@@ -1,0 +1,230 @@
+//! Fibonacci linear-feedback shift registers.
+//!
+//! Used as the pseudo-random pattern substrate for the BIST baselines and
+//! for candidate generation in the sequence ATPG. Taps come from a table
+//! of maximal-length (primitive) polynomials, so an `n`-bit LFSR cycles
+//! through all `2^n - 1` non-zero states.
+
+use wbist_sim::TestSequence;
+
+/// Converts 1-indexed polynomial tap positions to a stage bitmask for a
+/// right-shifting Fibonacci LFSR: the term `x^p` of an `n`-stage register
+/// taps stage bit `n - p` (so `x^n` taps the output bit 0). The register
+/// width is taken from the first (largest) position.
+const fn taps(positions: [u32; 4]) -> u32 {
+    let n = positions[0];
+    let mut mask = 0u32;
+    let mut i = 0;
+    while i < 4 {
+        if positions[i] != 0 {
+            mask |= 1 << (n - positions[i]);
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Maximal-length tap masks for widths 2..=32 (bit `i` set means stage `i`
+/// participates in the feedback XOR). Tap positions are the standard
+/// primitive-polynomial tables (e.g. Xilinx XAPP052 / Wikipedia's LFSR
+/// table); the unit tests verify maximal period for widths up to 16.
+const TAPS: [u32; 31] = [
+    taps([2, 1, 0, 0]),    // 2
+    taps([3, 2, 0, 0]),    // 3
+    taps([4, 3, 0, 0]),    // 4
+    taps([5, 3, 0, 0]),    // 5
+    taps([6, 5, 0, 0]),    // 6
+    taps([7, 6, 0, 0]),    // 7
+    taps([8, 6, 5, 4]),    // 8
+    taps([9, 5, 0, 0]),    // 9
+    taps([10, 7, 0, 0]),   // 10
+    taps([11, 9, 0, 0]),   // 11
+    taps([12, 11, 10, 4]), // 12
+    taps([13, 12, 11, 8]), // 13
+    taps([14, 13, 12, 2]), // 14
+    taps([15, 14, 0, 0]),  // 15
+    taps([16, 15, 13, 4]), // 16
+    taps([17, 14, 0, 0]),  // 17
+    taps([18, 11, 0, 0]),  // 18
+    taps([19, 18, 17, 14]),// 19
+    taps([20, 17, 0, 0]),  // 20
+    taps([21, 19, 0, 0]),  // 21
+    taps([22, 21, 0, 0]),  // 22
+    taps([23, 18, 0, 0]),  // 23
+    taps([24, 23, 22, 17]),// 24
+    taps([25, 22, 0, 0]),  // 25
+    taps([26, 6, 2, 1]),   // 26
+    taps([27, 5, 2, 1]),   // 27
+    taps([28, 25, 0, 0]),  // 28
+    taps([29, 27, 0, 0]),  // 29
+    taps([30, 6, 4, 1]),   // 30
+    taps([31, 28, 0, 0]),  // 31
+    taps([32, 22, 2, 1]),  // 32
+];
+
+/// A Fibonacci LFSR over up to 32 stages with maximal-length taps.
+///
+/// The LFSR never enters the all-zero lock-up state because seeds are
+/// forced non-zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lfsr {
+    width: u32,
+    taps: u32,
+    state: u32,
+}
+
+impl Lfsr {
+    /// Creates an LFSR with `width` stages (2..=32) seeded with `seed`
+    /// (forced non-zero within the register width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `2..=32`.
+    pub fn new(width: u32, seed: u32) -> Self {
+        assert!((2..=32).contains(&width), "LFSR width must be 2..=32");
+        let mask = if width == 32 { !0 } else { (1u32 << width) - 1 };
+        let mut state = seed & mask;
+        if state == 0 {
+            state = 1;
+        }
+        Lfsr {
+            width,
+            taps: TAPS[(width - 2) as usize],
+            state,
+        }
+    }
+
+    /// The register width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The current register contents.
+    pub fn state(&self) -> u32 {
+        self.state
+    }
+
+    /// Shifts once and returns the output bit (the stage-0 bit before the
+    /// shift).
+    pub fn next_bit(&mut self) -> bool {
+        let out = self.state & 1 != 0;
+        let fb = (self.state & self.taps).count_ones() & 1;
+        self.state >>= 1;
+        self.state |= fb << (self.width - 1);
+        out
+    }
+
+    /// Produces the next `n` bits.
+    pub fn next_bits(&mut self, n: usize) -> Vec<bool> {
+        (0..n).map(|_| self.next_bit()).collect()
+    }
+
+    /// Generates a pseudo-random [`TestSequence`] of `len` vectors over
+    /// `num_inputs` inputs, one fresh bit per (time, input) pair.
+    pub fn sequence(&mut self, num_inputs: usize, len: usize) -> TestSequence {
+        let mut seq = TestSequence::new(num_inputs);
+        let mut row = vec![false; num_inputs];
+        for _ in 0..len {
+            for slot in row.iter_mut() {
+                *slot = self.next_bit();
+            }
+            seq.push_row(&row);
+        }
+        seq
+    }
+
+    /// Generates a [`TestSequence`] the way BIST hardware taps an LFSR:
+    /// each cycle, input `i` reads register stage `i % width` of the
+    /// *current* state, then the register shifts once. This is the
+    /// stimulus an on-chip LFSR with per-input taps produces — the hybrid
+    /// generator netlist of `wbist-hw` matches it bit-for-bit when seeded
+    /// with 1 (the hardware's post-reset state).
+    pub fn parallel_sequence(&mut self, num_inputs: usize, len: usize) -> TestSequence {
+        let mut seq = TestSequence::new(num_inputs);
+        let mut row = vec![false; num_inputs];
+        for _ in 0..len {
+            for (i, slot) in row.iter_mut().enumerate() {
+                *slot = self.state >> (i as u32 % self.width) & 1 == 1;
+            }
+            self.next_bit();
+            seq.push_row(&row);
+        }
+        seq
+    }
+}
+
+/// The maximal-length feedback tap mask used for `width`-stage LFSRs
+/// (bit `k` set = stage `k` participates in the feedback parity). Shared
+/// with the hardware generator so software and netlist LFSRs agree.
+///
+/// # Panics
+///
+/// Panics if `width` is outside `2..=32`.
+pub fn tap_mask(width: u32) -> u32 {
+    assert!((2..=32).contains(&width), "LFSR width must be 2..=32");
+    TAPS[(width - 2) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_widths_are_maximal_length() {
+        for width in 2..=16u32 {
+            let mut l = Lfsr::new(width, 1);
+            let start = l.state();
+            let period = {
+                let mut n = 0usize;
+                loop {
+                    l.next_bit();
+                    n += 1;
+                    if l.state() == start {
+                        break n;
+                    }
+                    assert!(n <= 1 << width, "period exceeds 2^width");
+                }
+            };
+            assert_eq!(period, (1usize << width) - 1, "width {width}");
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_fixed_up() {
+        let mut l = Lfsr::new(8, 0);
+        assert_ne!(l.state(), 0);
+        // And it never reaches the all-zero state.
+        for _ in 0..512 {
+            l.next_bit();
+            assert_ne!(l.state(), 0);
+        }
+    }
+
+    #[test]
+    fn sequence_dimensions() {
+        let mut l = Lfsr::new(16, 0xACE1);
+        let s = l.sequence(5, 40);
+        assert_eq!(s.len(), 40);
+        assert_eq!(s.num_inputs(), 5);
+    }
+
+    #[test]
+    fn bits_look_balanced() {
+        let mut l = Lfsr::new(20, 12345);
+        let ones = l.next_bits(10_000).iter().filter(|&&b| b).count();
+        assert!((4500..5500).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = Lfsr::new(12, 7).next_bits(100);
+        let b = Lfsr::new(12, 7).next_bits(100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn width_validation() {
+        let _ = Lfsr::new(1, 1);
+    }
+}

@@ -1,0 +1,516 @@
+//! PODEM: deterministic combinational test generation.
+//!
+//! A complete branch-and-bound test generator over the primary inputs,
+//! using the classic five-valued D-calculus (0, 1, X, `D` = 1/0,
+//! `D'` = 0/1). It operates on *combinational* circuits — in this
+//! workspace, typically the [full-scan view](wbist_netlist::transform::full_scan)
+//! of a sequential circuit — and serves three purposes:
+//!
+//! * deterministic patterns for the scan-BIST baseline,
+//! * **redundancy identification**: a fault PODEM exhausts the search
+//!   space on (without a backtrack-limit abort) is combinationally
+//!   untestable, which also proves it untestable in scan mode,
+//! * an independent oracle for the fault simulator (every generated
+//!   pattern must detect its target fault under simulation — the tests
+//!   check exactly that).
+//!
+//! The implementation follows the textbook structure: *objective* →
+//! *backtrace* to a primary-input assignment → *imply* (5-valued forward
+//! simulation with the fault inserted) → check detection / D-frontier /
+//! X-path, with chronological backtracking over PI decisions.
+
+use wbist_sim::Logic3;
+use wbist_netlist::{Circuit, Fault, FaultSite, GateId, GateKind, NetId};
+
+/// A five-valued signal as a (fault-free, faulty) pair of three-valued
+/// components. `D` is `(1, 0)`; `D'` is `(0, 1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct V5 {
+    good: Logic3,
+    bad: Logic3,
+}
+
+impl V5 {
+    const X: V5 = V5 {
+        good: Logic3::X,
+        bad: Logic3::X,
+    };
+
+    fn known(b: bool) -> V5 {
+        V5 {
+            good: b.into(),
+            bad: b.into(),
+        }
+    }
+
+    fn is_error(self) -> bool {
+        self.good.conflicts(self.bad)
+    }
+
+    /// Not (yet) an error, but not fully resolved either: the net could
+    /// still become an error under further assignments.
+    fn is_unresolved(self) -> bool {
+        !self.is_error() && (self.good == Logic3::X || self.bad == Logic3::X)
+    }
+}
+
+/// The outcome of a PODEM run for one fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PodemResult {
+    /// A primary-input vector that detects the fault.
+    Test(Vec<bool>),
+    /// The full search space was exhausted: the fault is combinationally
+    /// untestable (redundant).
+    Redundant,
+    /// The backtrack limit was hit before a conclusion.
+    Aborted,
+}
+
+/// Configuration for [`Podem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PodemConfig {
+    /// Maximum backtracks before giving up with [`PodemResult::Aborted`].
+    pub max_backtracks: usize,
+}
+
+impl Default for PodemConfig {
+    fn default() -> Self {
+        PodemConfig {
+            max_backtracks: 10_000,
+        }
+    }
+}
+
+/// Deterministic test generator for combinational circuits.
+#[derive(Debug)]
+pub struct Podem<'c> {
+    circuit: &'c Circuit,
+    config: PodemConfig,
+}
+
+impl<'c> Podem<'c> {
+    /// Creates a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is not levelized or contains flip-flops
+    /// (run it on the full-scan view of sequential circuits).
+    pub fn new(circuit: &'c Circuit, config: PodemConfig) -> Self {
+        assert!(circuit.is_levelized(), "circuit must be levelized");
+        assert_eq!(
+            circuit.num_dffs(),
+            0,
+            "PODEM handles combinational circuits; use the full-scan view"
+        );
+        Podem { circuit, config }
+    }
+
+    /// Attempts to generate a test vector for `fault`.
+    pub fn generate(&self, fault: Fault) -> PodemResult {
+        let c = self.circuit;
+        let n_pi = c.num_inputs();
+        // Decision stack: (pi index, value, tried_both).
+        let mut stack: Vec<(usize, bool, bool)> = Vec::new();
+        let mut pi_vals: Vec<Option<bool>> = vec![None; n_pi];
+        let mut nets = vec![V5::X; c.num_nets()];
+        let mut backtracks = 0usize;
+
+        loop {
+            self.imply(&pi_vals, fault, &mut nets);
+            if self.detected(&nets) {
+                // Fill the unassigned inputs with 0.
+                return PodemResult::Test(
+                    pi_vals.iter().map(|v| v.unwrap_or(false)).collect(),
+                );
+            }
+
+            let objective = self.pick_objective(fault, &nets);
+            let next = objective.and_then(|(net, val)| self.backtrace(net, val, &nets, &pi_vals));
+
+            match next {
+                Some((pi, val)) => {
+                    stack.push((pi, val, false));
+                    pi_vals[pi] = Some(val);
+                }
+                None => {
+                    // Dead end: backtrack.
+                    loop {
+                        match stack.pop() {
+                            None => return PodemResult::Redundant,
+                            Some((pi, val, true)) => {
+                                pi_vals[pi] = None;
+                                let _ = val;
+                            }
+                            Some((pi, val, false)) => {
+                                backtracks += 1;
+                                if backtracks > self.config.max_backtracks {
+                                    return PodemResult::Aborted;
+                                }
+                                stack.push((pi, !val, true));
+                                pi_vals[pi] = Some(!val);
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Classifies every fault of `faults`: per fault, the PODEM outcome.
+    pub fn classify(&self, faults: &[Fault]) -> Vec<PodemResult> {
+        faults.iter().map(|&f| self.generate(f)).collect()
+    }
+
+    /// Five-valued forward implication from the current PI assignment.
+    fn imply(&self, pi_vals: &[Option<bool>], fault: Fault, nets: &mut [V5]) {
+        let c = self.circuit;
+        let inject_stem = |net: NetId, v: V5| -> V5 {
+            if fault.site == FaultSite::Stem(net) {
+                V5 {
+                    good: v.good,
+                    bad: fault.stuck.into(),
+                }
+            } else {
+                v
+            }
+        };
+        for (pi, &net) in c.inputs().iter().enumerate() {
+            let v = match pi_vals[pi] {
+                Some(b) => V5::known(b),
+                None => V5::X,
+            };
+            nets[net.index()] = inject_stem(net, v);
+        }
+        for idx in 0..c.num_nets() {
+            if let wbist_netlist::Driver::Const(v) = c.driver(NetId::from_index(idx)) {
+                nets[idx] = inject_stem(NetId::from_index(idx), V5::known(v));
+            }
+        }
+        for &gid in c.topo_gates() {
+            let g = c.gate(gid);
+            let fetch = |pin: usize| -> V5 {
+                let v = nets[g.inputs[pin].index()];
+                if fault.site == (FaultSite::GatePin { gate: gid, pin }) {
+                    V5 {
+                        good: v.good,
+                        bad: fault.stuck.into(),
+                    }
+                } else {
+                    v
+                }
+            };
+            let vals: Vec<V5> = (0..g.inputs.len()).map(fetch).collect();
+            let good = eval3(g.kind, vals.iter().map(|v| v.good));
+            let bad = eval3(g.kind, vals.iter().map(|v| v.bad));
+            nets[g.output.index()] = inject_stem(g.output, V5 { good, bad });
+        }
+    }
+
+    /// Whether a fault effect has reached an observed net.
+    fn detected(&self, nets: &[V5]) -> bool {
+        self.circuit
+            .observed_nets()
+            .any(|o| nets[o.index()].is_error())
+    }
+
+    /// The next objective `(net, value)`:
+    /// activation while the fault site is not sensitized, otherwise
+    /// D-frontier advancement. `None` when neither exists (dead end) or
+    /// no X-path remains.
+    fn pick_objective(&self, fault: Fault, nets: &[V5]) -> Option<(NetId, bool)> {
+        let c = self.circuit;
+        // Activation: the line driving the fault site must carry ¬stuck
+        // in the good machine.
+        let site_net = match fault.site {
+            FaultSite::Stem(n) => n,
+            FaultSite::GatePin { gate, pin } => c.gate(gate).inputs[pin],
+            FaultSite::DffData(_) => unreachable!("combinational circuits have no DFFs"),
+        };
+        match nets[site_net.index()].good {
+            Logic3::X => return Some((site_net, !fault.stuck)),
+            v if v.to_bool() == Some(fault.stuck) => return None, // can't activate
+            _ => {}
+        }
+        // The site is activated; check that an error actually exists at
+        // the site's effective output (for a pin fault, the consuming
+        // gate's output may have absorbed it).
+        // Propagation: find a D-frontier gate — error on an input,
+        // X on the output — and require a non-controlling value on one of
+        // its X inputs.
+        let mut frontier: Option<(GateId, usize)> = None;
+        'gates: for &gid in c.topo_gates() {
+            let g = c.gate(gid);
+            if !nets[g.output.index()].is_unresolved() {
+                continue;
+            }
+            let has_error = (0..g.inputs.len()).any(|pin| {
+                let mut v = nets[g.inputs[pin].index()];
+                if fault.site == (FaultSite::GatePin { gate: gid, pin }) {
+                    v.bad = fault.stuck.into();
+                }
+                v.is_error()
+            });
+            if !has_error {
+                continue;
+            }
+            // Prefer a frontier gate with an X-path to an output.
+            if self.x_path_to_po(g.output, nets) {
+                for (pin, &inp) in g.inputs.iter().enumerate() {
+                    if nets[inp.index()].good == Logic3::X {
+                        frontier = Some((gid, pin));
+                        break 'gates;
+                    }
+                }
+                // No steerable input on this frontier gate; keep
+                // scanning.
+            }
+        }
+        let (gid, pin) = frontier?;
+        let g = self.circuit.gate(gid);
+        // Objective: non-controlling value on the chosen X input.
+        let value = match g.kind.controlling_value() {
+            Some(cv) => !cv,
+            // XOR/XNOR and single-input gates: any value sensitizes.
+            None => true,
+        };
+        Some((g.inputs[pin], value))
+    }
+
+    /// Whether `from` reaches some observed net through X-valued nets.
+    fn x_path_to_po(&self, from: NetId, nets: &[V5]) -> bool {
+        let c = self.circuit;
+        let mut seen = vec![false; c.num_nets()];
+        let mut stack = vec![from];
+        while let Some(n) = stack.pop() {
+            if std::mem::replace(&mut seen[n.index()], true) {
+                continue;
+            }
+            let v = nets[n.index()];
+            if !(v.is_unresolved() || v.is_error()) && n != from {
+                continue;
+            }
+            if c.observed_nets().any(|o| o == n) {
+                return true;
+            }
+            for load in c.loads(n) {
+                if let wbist_netlist::Load::GatePin { gate, .. } = *load {
+                    stack.push(c.gate(gate).output);
+                }
+            }
+        }
+        false
+    }
+
+    /// Walks an objective back to an unassigned primary input, choosing
+    /// values through inversion parity and controllability.
+    fn backtrace(
+        &self,
+        mut net: NetId,
+        mut value: bool,
+        nets: &[V5],
+        pi_vals: &[Option<bool>],
+    ) -> Option<(usize, bool)> {
+        let c = self.circuit;
+        let mut guard = 0usize;
+        loop {
+            guard += 1;
+            if guard > c.num_nets() + c.num_gates() + 4 {
+                return None;
+            }
+            match c.driver(net) {
+                wbist_netlist::Driver::Input(pi) => {
+                    return if pi_vals[pi].is_none() {
+                        Some((pi, value))
+                    } else {
+                        None
+                    };
+                }
+                wbist_netlist::Driver::Const(_) => return None,
+                wbist_netlist::Driver::Dff(_) => {
+                    unreachable!("combinational circuits have no DFFs")
+                }
+                wbist_netlist::Driver::Gate(gid) => {
+                    let g = c.gate(gid);
+                    // Desired pre-inversion value.
+                    let want = if g.kind.inverting() { !value } else { value };
+                    match g.kind {
+                        GateKind::Not | GateKind::Buf => {
+                            net = g.inputs[0];
+                            value = want;
+                        }
+                        GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+                            // The AND/OR folds are monotone, so the input
+                            // target equals the desired pre-inversion
+                            // output: a 0 at an AND input pulls the fold
+                            // to 0, a 1 at an OR input pulls it to 1, and
+                            // the opposite values are what the all-inputs
+                            // case needs.
+                            let x_input = g
+                                .inputs
+                                .iter()
+                                .find(|&&i| nets[i.index()].good == Logic3::X)
+                                .copied()?;
+                            net = x_input;
+                            value = want;
+                        }
+                        GateKind::Xor | GateKind::Xnor => {
+                            // Parity: aim the first X input at `want`
+                            // xor (known part), treating other X inputs
+                            // as 0.
+                            let mut acc = false;
+                            let mut x_input = None;
+                            for &i in &g.inputs {
+                                match nets[i.index()].good.to_bool() {
+                                    Some(b) => acc ^= b,
+                                    None => {
+                                        if x_input.is_none() {
+                                            x_input = Some(i);
+                                        }
+                                    }
+                                }
+                            }
+                            net = x_input?;
+                            value = want ^ acc;
+                        }
+                    }
+                }
+                wbist_netlist::Driver::Undriven => return None,
+            }
+        }
+    }
+}
+
+/// Three-valued gate evaluation over an iterator (shared with the logic
+/// simulator's semantics).
+fn eval3(kind: GateKind, inputs: impl Iterator<Item = Logic3>) -> Logic3 {
+    let mut it = inputs;
+    let first = it.next().expect("gates have at least one input");
+    let folded = match kind {
+        GateKind::And | GateKind::Nand => it.fold(first, Logic3::and),
+        GateKind::Or | GateKind::Nor => it.fold(first, Logic3::or),
+        GateKind::Xor | GateKind::Xnor => it.fold(first, Logic3::xor),
+        GateKind::Not | GateKind::Buf => first,
+    };
+    if kind.inverting() {
+        Logic3::not(folded)
+    } else {
+        folded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbist_netlist::{bench_format, FaultList};
+    use wbist_sim::{FaultSim, TestSequence};
+
+    const C17: &str = r"
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+    #[test]
+    fn c17_all_faults_testable_and_tests_verify() {
+        let c = bench_format::parse("c17", C17).unwrap();
+        let faults = FaultList::checkpoints(&c);
+        let podem = Podem::new(&c, PodemConfig::default());
+        let sim = FaultSim::new(&c);
+        for (i, &f) in faults.faults().iter().enumerate() {
+            match podem.generate(f) {
+                PodemResult::Test(vec) => {
+                    let seq = TestSequence::from_rows(vec![vec]).unwrap();
+                    let det = sim.detected(&FaultList::from_faults(vec![f]), &seq);
+                    assert!(det[0], "fault {i} ({}) test does not verify", f.describe(&c));
+                }
+                other => panic!("fault {i} ({}) -> {other:?}", f.describe(&c)),
+            }
+        }
+    }
+
+    #[test]
+    fn redundant_fault_is_proven() {
+        // y = OR(a, AND(a, b)) ≡ a: the AND output stuck-at-0 is
+        // undetectable.
+        let c = bench_format::parse(
+            "red",
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nm = AND(a, b)\ny = OR(a, m)\n",
+        )
+        .unwrap();
+        let m = c.net_by_name("m").unwrap();
+        let podem = Podem::new(&c, PodemConfig::default());
+        assert_eq!(
+            podem.generate(Fault::sa0(FaultSite::Stem(m))),
+            PodemResult::Redundant
+        );
+        // The stuck-at-1 on the same line IS testable (a=0, b anything →
+        // y flips 0→1... requires b such that m=1: a=0 makes m=0, fault
+        // forces m=1 → y = 0 OR 1 = 1 vs good 0).
+        match podem.generate(Fault::sa1(FaultSite::Stem(m))) {
+            PodemResult::Test(v) => assert!(!v[0], "activation needs a = 0"),
+            other => panic!("expected a test, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scan_view_of_s27_is_fully_testable() {
+        let seq_c = wbist_circuits::s27::circuit();
+        let scan = wbist_netlist::transform::full_scan(&seq_c).unwrap();
+        let faults = FaultList::checkpoints(&scan);
+        let podem = Podem::new(&scan, PodemConfig::default());
+        let sim = FaultSim::new(&scan);
+        let results = podem.classify(faults.faults());
+        for (i, r) in results.iter().enumerate() {
+            match r {
+                PodemResult::Test(vec) => {
+                    let f = faults.faults()[i];
+                    let seq = TestSequence::from_rows(vec![vec.clone()]).unwrap();
+                    assert!(
+                        sim.detected(&FaultList::from_faults(vec![f]), &seq)[0],
+                        "fault {i} test does not verify"
+                    );
+                }
+                other => panic!("scan-view fault {i} -> {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn xor_faults_get_tests() {
+        let c = bench_format::parse(
+            "x",
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nm = XOR(a, b)\ny = XNOR(m, c)\n",
+        )
+        .unwrap();
+        let faults = FaultList::all_lines(&c);
+        let podem = Podem::new(&c, PodemConfig::default());
+        let sim = FaultSim::new(&c);
+        for &f in faults.faults() {
+            match podem.generate(f) {
+                PodemResult::Test(vec) => {
+                    let seq = TestSequence::from_rows(vec![vec]).unwrap();
+                    assert!(sim.detected(&FaultList::from_faults(vec![f]), &seq)[0]);
+                }
+                other => panic!("{}: {other:?}", f.describe(&c)),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "combinational")]
+    fn sequential_circuits_rejected() {
+        let c = wbist_circuits::s27::circuit();
+        let _ = Podem::new(&c, PodemConfig::default());
+    }
+}

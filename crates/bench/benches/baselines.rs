@@ -1,0 +1,26 @@
+//! Baseline BIST schemes: pure LFSR, weighted random, naive 3-weight.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wbist_circuits::s27;
+use wbist_core::baseline;
+use wbist_netlist::FaultList;
+
+fn bench_baselines(c: &mut Criterion) {
+    let circuit = s27::circuit();
+    let faults = FaultList::checkpoints(&circuit);
+    let t = s27::paper_test_sequence();
+    let mut group = c.benchmark_group("baselines_s27");
+    group.bench_function("pure_random_1024", |b| {
+        b.iter(|| baseline::pure_random_coverage(&circuit, &faults, &[1024], 0xACE1))
+    });
+    group.bench_function("weighted_random_1024", |b| {
+        b.iter(|| baseline::weighted_random_coverage(&circuit, &faults, &t, 1024, 7))
+    });
+    group.bench_function("three_weight", |b| {
+        b.iter(|| baseline::three_weight_coverage(&circuit, &faults, &t, 8, 128, 7))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

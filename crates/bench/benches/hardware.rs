@@ -1,0 +1,31 @@
+//! Hardware synthesis cost: FSM banking, two-level minimization, and
+//! full Figure-1 generator construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wbist_bench::{run_named, PipelineConfig};
+use wbist_hw::{build_generator, generator_cost, minimize, to_verilog, FsmBank};
+
+fn bench_hw(c: &mut Criterion) {
+    let run = run_named("s27", &PipelineConfig::fast()).expect("s27 exists");
+    let omega = run.pruned.clone();
+    let l_g = 64;
+
+    c.bench_function("fsm_bank_s27", |b| {
+        b.iter(|| FsmBank::from_assignments(&omega))
+    });
+    c.bench_function("build_generator_s27", |b| {
+        b.iter(|| build_generator(&omega, l_g).expect("synthesis succeeds"))
+    });
+    let gen = build_generator(&omega, l_g).expect("synthesis succeeds");
+    c.bench_function("generator_cost_s27", |b| b.iter(|| generator_cost(&gen)));
+    c.bench_function("verilog_emit_s27", |b| b.iter(|| to_verilog(&gen.circuit)));
+
+    c.bench_function("qm_minimize_6var", |b| {
+        let on: Vec<u32> = (0..64).filter(|x| x % 3 == 0).collect();
+        let dc: Vec<u32> = (0..64).filter(|x| x % 7 == 0).collect();
+        b.iter(|| minimize(6, &on, &dc))
+    });
+}
+
+criterion_group!(benches, bench_hw);
+criterion_main!(benches);

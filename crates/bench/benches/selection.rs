@@ -1,0 +1,35 @@
+//! The synthesis procedure itself, including the sample-first ablation
+//! the paper's §4.2 motivates ("the simulation effort is the dominant
+//! part of this computation; we reduce it by first simulating a sample").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wbist_circuits::s27;
+use wbist_core::{synthesize_weighted_bist, SynthesisConfig};
+use wbist_netlist::FaultList;
+
+fn bench_synthesis(c: &mut Criterion) {
+    let circuit = s27::circuit();
+    let t = s27::paper_test_sequence();
+    let faults = FaultList::checkpoints(&circuit);
+    let mut group = c.benchmark_group("synthesis_s27");
+    group.bench_function("sample_first_on", |b| {
+        let cfg = SynthesisConfig {
+            sequence_length: 100,
+            sample_first: true,
+            ..SynthesisConfig::default()
+        };
+        b.iter(|| synthesize_weighted_bist(&circuit, &t, &faults, &cfg));
+    });
+    group.bench_function("sample_first_off", |b| {
+        let cfg = SynthesisConfig {
+            sequence_length: 100,
+            sample_first: false,
+            ..SynthesisConfig::default()
+        };
+        b.iter(|| synthesize_weighted_bist(&circuit, &t, &faults, &cfg));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Fault-simulator throughput: parallel-fault simulation cost versus
+//! circuit size and sequence length (the dominant cost the paper's §4.2
+//! complexity analysis identifies).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wbist_atpg::Lfsr;
+use wbist_circuits::synthetic;
+use wbist_netlist::FaultList;
+use wbist_sim::FaultSim;
+
+fn bench_fault_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_sim");
+    for name in ["s27", "s298", "s526", "s1196"] {
+        let circuit = synthetic::by_name(name).expect("known circuit");
+        let faults = FaultList::checkpoints(&circuit);
+        let seq = Lfsr::new(24, 0xACE1).sequence(circuit.num_inputs(), 256);
+        group.bench_with_input(
+            BenchmarkId::new("detect_256", name),
+            &(&circuit, &faults, &seq),
+            |b, (circuit, faults, seq)| {
+                let sim = FaultSim::new(circuit);
+                b.iter(|| sim.count_detected(faults, seq));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_detection_times(c: &mut Criterion) {
+    let circuit = synthetic::by_name("s298").expect("known circuit");
+    let faults = FaultList::checkpoints(&circuit);
+    let seq = Lfsr::new(24, 0xACE1).sequence(circuit.num_inputs(), 512);
+    c.bench_function("detection_times_s298_512", |b| {
+        let sim = FaultSim::new(&circuit);
+        b.iter(|| sim.detection_times(&faults, &seq));
+    });
+}
+
+fn bench_engines(c: &mut Criterion) {
+    // Levelized vs event-driven good-machine simulation, on a
+    // low-activity stimulus (constant-heavy weighted sequences are the
+    // event-driven engine's home turf).
+    let circuit = synthetic::by_name("s526").expect("known circuit");
+    let n = circuit.num_inputs();
+    let mut rows = Vec::new();
+    for u in 0..512usize {
+        // Only one input toggles; the rest stay constant.
+        rows.push((0..n).map(|i| i == 0 && u % 2 == 0).collect());
+    }
+    let seq = wbist_sim::TestSequence::from_rows(rows).expect("rectangular");
+    let mut group = c.benchmark_group("good_sim_s526_low_activity");
+    group.bench_function("levelized", |b| {
+        let sim = wbist_sim::LogicSim::new(&circuit);
+        b.iter(|| sim.outputs(&seq).expect("width matches"));
+    });
+    group.bench_function("event_driven", |b| {
+        let sim = wbist_sim::EventSim::new(&circuit);
+        b.iter(|| sim.outputs(&seq).expect("width matches"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_sim, bench_detection_times, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! End-to-end pipeline cost for Table-6 rows (fast configuration so the
+//! bench converges; the binary `table6` produces the full-size table).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wbist_bench::{run_named, table6_row, PipelineConfig};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table6_pipeline");
+    group.sample_size(10);
+    for name in ["s27", "s208", "s298"] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, name| {
+            let cfg = PipelineConfig::fast();
+            b.iter(|| {
+                let run = run_named(name, &cfg).expect("known circuit");
+                table6_row(&run)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

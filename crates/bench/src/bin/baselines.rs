@@ -1,0 +1,87 @@
+//! Compares the proposed weighted-sequence scheme against the BIST
+//! baselines the paper positions itself against (its Section 1):
+//!
+//! * pure pseudo-random LFSR sequences (the no-storage schemes of
+//!   \[16\]/\[17\] — no coverage guarantee),
+//! * classic per-input weighted random patterns,
+//! * the naive 3-weight (0 / 0.5 / 1) extension of \[10\],
+//! * the proposed method (guaranteed to match `T`'s coverage).
+//!
+//! ```text
+//! cargo run --release -p wbist-bench --bin baselines [-- options] [circuits...]
+//!
+//! options:
+//!   --fast      reduced configuration
+//! ```
+
+use wbist_bench::{run_named, PipelineConfig};
+use wbist_core::baseline;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = if args.iter().any(|a| a == "--fast") {
+        PipelineConfig::fast()
+    } else {
+        PipelineConfig::paper()
+    };
+    let mut circuits: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    if circuits.is_empty() {
+        circuits = ["s27", "s298", "s386", "s526", "s820", "s1196"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+
+    println!(
+        "{:<8} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "circuit", "targets", "T(det)", "random", "weighted", "3-weight", "scan", "proposed"
+    );
+    for name in &circuits {
+        eprintln!("running {name} ...");
+        let Some(run) = run_named(name, &cfg) else {
+            eprintln!("  unknown circuit `{name}`, skipping");
+            continue;
+        };
+        // Give every baseline the same total pattern budget the proposed
+        // scheme uses: |Ω| · L_G cycles.
+        let budget = (run.pruned.len().max(1) * cfg.sequence_length).max(1024);
+        let random =
+            baseline::pure_random_coverage(&run.circuit, &run.faults, &[budget], 0xBEEF)[0].1;
+        let weighted = baseline::weighted_random_coverage(
+            &run.circuit,
+            &run.faults,
+            &run.sequence,
+            budget,
+            0xBEEF,
+        );
+        let per_assignment = budget / run.pruned.len().max(1);
+        let three = baseline::three_weight_coverage(
+            &run.circuit,
+            &run.faults,
+            &run.sequence,
+            8,
+            per_assignment,
+            0xBEEF,
+        );
+        let scan = baseline::scan_bist_coverage(&run.circuit, &run.faults, budget, 0xBEEF);
+        let proposed = run.synthesis.detected_faults();
+        println!(
+            "{:<8} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10}",
+            name,
+            run.faults.len(),
+            run.t_detected,
+            random.detected,
+            weighted.detected,
+            three.detected,
+            scan.detected,
+            proposed,
+        );
+    }
+    println!(
+        "\n(equal cycle budgets; `proposed` is guaranteed to equal `T(det)` by construction;\n         `scan` assumes full-scan conversion — high coverage, but it pays a mux per flip-flop)"
+    );
+}

@@ -1,0 +1,89 @@
+//! Ablation for the paper's future-work extension: does prepending
+//! pure-random LFSR sessions reduce the number of stored subsequences
+//! (and hence weight-FSM hardware)?
+//!
+//! The paper's concluding remarks conjecture: "The use of pure-random
+//! sequences as part of the weight scheme … is likely to reduce the
+//! number of subsequences that need to be generated." This binary
+//! quantifies that claim per circuit, sweeping the number of random
+//! sessions.
+//!
+//! ```text
+//! cargo run --release -p wbist-bench --bin hybrid_ablation [-- --fast] [circuits...]
+//! ```
+
+use wbist_bench::PipelineConfig;
+use wbist_circuits::synthetic;
+use wbist_core::{synthesize_hybrid, synthesize_weighted_bist, HybridConfig, SynthesisConfig};
+use wbist_atpg::{compact, SequenceAtpg};
+use wbist_netlist::FaultList;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = if args.iter().any(|a| a == "--fast") {
+        PipelineConfig::fast()
+    } else {
+        PipelineConfig::paper()
+    };
+    let mut circuits: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    if circuits.is_empty() {
+        circuits = ["s27", "s298", "s344", "s386", "s526"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+
+    println!(
+        "{:<8} {:>7} | {:>10} {:>6} | {:>7} {:>10} {:>6} {:>7}",
+        "circuit", "faults", "pure:subs", "seq", "random", "hyb:subs", "seq", "rnd-det"
+    );
+    for name in &circuits {
+        let Some(circuit) = synthetic::by_name(name) else {
+            eprintln!("unknown circuit `{name}`, skipping");
+            continue;
+        };
+        let faults = FaultList::checkpoints(&circuit);
+        let atpg = SequenceAtpg::new(&circuit, cfg.atpg.clone()).run(&faults);
+        let t = match &cfg.compaction {
+            Some(cc) => compact(&circuit, &faults, &atpg.sequence, cc),
+            None => atpg.sequence.clone(),
+        };
+        let syn = SynthesisConfig {
+            sequence_length: cfg.sequence_length.max(t.len() + 1),
+            ..SynthesisConfig::default()
+        };
+
+        let pure = synthesize_weighted_bist(&circuit, &t, &faults, &syn);
+        for random_sessions in [2usize, 4, 8] {
+            let hybrid = synthesize_hybrid(
+                &circuit,
+                &t,
+                &faults,
+                &HybridConfig {
+                    random_sessions,
+                    synthesis: syn.clone(),
+                    ..HybridConfig::default()
+                },
+            );
+            assert!(
+                hybrid.coverage_guaranteed(),
+                "{name}: hybrid lost the guarantee"
+            );
+            println!(
+                "{:<8} {:>7} | {:>10} {:>6} | {:>7} {:>10} {:>6} {:>7}",
+                name,
+                faults.len(),
+                pure.distinct_subsequences().len(),
+                pure.omega.len(),
+                random_sessions,
+                hybrid.synthesis.distinct_subsequences().len(),
+                hybrid.synthesis.omega.len(),
+                hybrid.random_count(),
+            );
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! MISR aliasing study: how much coverage does signature compaction
+//! lose, as a function of the MISR width and the capture window?
+//!
+//! The paper's architecture (Figure 1) covers stimulus generation; any
+//! deployment also compacts responses. This experiment runs the full
+//! BIST session with the synthesized weight assignments and compares
+//! cycle-accurate observation against signature comparison.
+//!
+//! ```text
+//! cargo run --release -p wbist-bench --bin misr_aliasing [-- --fast] [circuits...]
+//! ```
+
+use wbist_bench::{run_named, PipelineConfig};
+use wbist_core::{run_bist_session, SessionConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = if args.iter().any(|a| a == "--fast") {
+        PipelineConfig::fast()
+    } else {
+        PipelineConfig::paper()
+    };
+    let mut circuits: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    if circuits.is_empty() {
+        circuits = vec!["s27".to_string(), "s298".to_string()];
+    }
+
+    println!(
+        "{:<8} {:>5} {:>8} {:>9} {:>9} {:>7} {:>7}",
+        "circuit", "misr", "capture", "observed", "signed", "lost", "goldenX"
+    );
+    for name in &circuits {
+        let Some(run) = run_named(name, &cfg) else {
+            eprintln!("unknown circuit `{name}`, skipping");
+            continue;
+        };
+        if run.pruned.is_empty() {
+            eprintln!("{name}: empty Ω, skipping");
+            continue;
+        }
+        for misr_width in [8usize, 16, 32] {
+            for capture_from in [0usize, 8, 32] {
+                let report = run_bist_session(
+                    &run.circuit,
+                    &run.faults,
+                    &run.pruned,
+                    &SessionConfig {
+                        misr_width,
+                        sequence_length: run.synthesis.sequence_length.min(256),
+                        capture_from,
+                    },
+                );
+                println!(
+                    "{:<8} {:>5} {:>8} {:>9} {:>9} {:>7} {:>7}",
+                    name,
+                    misr_width,
+                    capture_from,
+                    report.observed(),
+                    report.signed(),
+                    report.lost_in_signature,
+                    if report.golden_known { "no" } else { "yes" }
+                );
+            }
+        }
+    }
+    println!("\n(`lost` = observable at the outputs but not provably different in the signature —\n aliasing plus X-masking; a capture window past initialization removes the X losses)");
+}

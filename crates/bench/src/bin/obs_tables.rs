@@ -1,0 +1,63 @@
+//! Regenerates the paper's Tables 7–16: the observation-point
+//! insertion trade-off.
+//!
+//! ```text
+//! cargo run --release -p wbist-bench --bin obs_tables [-- options] [circuits...]
+//!
+//! options:
+//!   --fast        reduced configuration
+//!   --lg N        override L_G
+//!   --all-rows    print every Ω_lim size (default: rows reaching ≥99%
+//!                 final fault efficiency, like the paper)
+//! ```
+//!
+//! Default circuits are the ones the paper reports: s208, s298, s344,
+//! s386, s400, s420, s526, s641, s1423 (s5378 takes longer; pass it
+//! explicitly).
+
+use wbist_bench::{format_obs_table, obs_table, run_named, PipelineConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = if args.iter().any(|a| a == "--fast") {
+        PipelineConfig::fast()
+    } else {
+        PipelineConfig::paper()
+    };
+    if let Some(pos) = args.iter().position(|a| a == "--lg") {
+        if let Some(n) = args.get(pos + 1).and_then(|v| v.parse().ok()) {
+            cfg.sequence_length = n;
+        }
+    }
+    let all_rows = args.iter().any(|a| a == "--all-rows");
+
+    let mut circuits: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && a.parse::<usize>().is_err())
+        .cloned()
+        .collect();
+    if circuits.is_empty() {
+        circuits = [
+            "s208", "s298", "s344", "s386", "s400", "s420", "s526", "s641", "s1423",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    for (k, name) in circuits.iter().enumerate() {
+        eprintln!("running {name} ...");
+        let Some(run) = run_named(name, &cfg) else {
+            eprintln!("  unknown circuit `{name}`, skipping");
+            continue;
+        };
+        let mut tr = obs_table(&run);
+        if !all_rows {
+            // The paper only reports rows whose final fault efficiency is
+            // at least 99%.
+            tr.rows.retain(|r| r.fe_with_obs >= 99.0);
+        }
+        println!("\nTable {}: Observation point insertion for {name}", 7 + k);
+        print!("{}", format_obs_table(name, &tr));
+    }
+}

@@ -1,0 +1,79 @@
+//! Regenerates the paper's Table 6: the main experimental result.
+//!
+//! ```text
+//! cargo run --release -p wbist-bench --bin table6 [-- options] [circuits...]
+//!
+//! options:
+//!   --fast        reduced configuration (short L_G, bounded ATPG)
+//!   --lg N        override L_G (default 2000)
+//!   --large       also run the large stand-ins (s5378, s35932)
+//!   --json        emit rows as JSON instead of the formatted table
+//! ```
+
+use wbist_bench::{
+    format_table6, large_circuits, run_named, standard_circuits, PipelineConfig, Table6Row,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = if args.iter().any(|a| a == "--fast") {
+        PipelineConfig::fast()
+    } else {
+        PipelineConfig::paper()
+    };
+    if let Some(pos) = args.iter().position(|a| a == "--lg") {
+        let n: usize = args
+            .get(pos + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--lg needs a positive integer");
+                std::process::exit(2);
+            });
+        cfg.sequence_length = n;
+    }
+    let json = args.iter().any(|a| a == "--json");
+
+    let mut circuits: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && a.parse::<usize>().is_err())
+        .cloned()
+        .collect();
+    if circuits.is_empty() {
+        circuits = standard_circuits();
+        if args.iter().any(|a| a == "--large") {
+            circuits.extend(large_circuits());
+        }
+    }
+
+    let mut rows: Vec<Table6Row> = Vec::new();
+    for name in &circuits {
+        eprintln!("running {name} ...");
+        let started = std::time::Instant::now();
+        match run_named(name, &cfg) {
+            Some(run) => {
+                let row = wbist_bench::table6_row(&run);
+                eprintln!(
+                    "  {}: T len {} det {} | omega {} -> {} pruned | {:.1}s",
+                    name,
+                    row.given_len,
+                    row.given_det,
+                    run.synthesis.omega.len(),
+                    row.seq,
+                    started.elapsed().as_secs_f64()
+                );
+                rows.push(row);
+            }
+            None => eprintln!("  unknown circuit `{name}`, skipping"),
+        }
+    }
+
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).unwrap_or_else(|e| format!("JSON error: {e}"))
+        );
+    } else {
+        println!("\nTable 6: Experimental results (L_G = {})", cfg.sequence_length);
+        print!("{}", format_table6(&rows));
+    }
+}

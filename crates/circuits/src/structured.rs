@@ -1,0 +1,326 @@
+//! Structured, parameterized circuit generators.
+//!
+//! Unlike the random [`synthetic`](crate::synthetic) circuits, these have
+//! *known* testability characteristics, which makes them ideal for
+//! targeted experiments:
+//!
+//! * [`shift_register`] — serial-in/parallel-out chain: every fault needs
+//!   time to propagate, but none is random-resistant;
+//! * [`counter`] — a binary counter with carry chain: long sequential
+//!   depth (bit `k` toggles every `2^k` cycles);
+//! * [`sequence_lock`] — a payload observable only after a magic input
+//!   vector is held for `arm_cycles` consecutive cycles: tunable
+//!   random-pattern resistance (probability `2^(-width·arm_cycles)` per
+//!   window under unbiased patterns);
+//! * [`johnson_counter`] — a self-initializing twisted-ring counter.
+
+use wbist_netlist::{Circuit, GateKind, NetId};
+
+/// An `n`-bit serial shift register with parallel outputs and a parity
+/// output over all taps.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn shift_register(n: usize) -> Circuit {
+    assert!(n > 0, "need at least one stage");
+    let mut c = Circuit::new(format!("shift{n}"));
+    let din = c.add_input("din");
+    let mut prev = din;
+    let mut taps = Vec::with_capacity(n);
+    for k in 0..n {
+        let q = c
+            .add_dff(&format!("q{k}"), Some(prev))
+            .expect("fresh names");
+        taps.push(q);
+        prev = q;
+    }
+    // Parallel outputs through buffers (so the POs are gate outputs and
+    // the chain itself keeps internal fanout).
+    for (k, &q) in taps.iter().enumerate() {
+        let o = c
+            .add_gate(GateKind::Buf, &format!("o{k}"), &[q])
+            .expect("fresh names");
+        c.mark_output(o);
+    }
+    let par = xor_tree(&mut c, "par", &taps);
+    c.mark_output(par);
+    c.levelize().expect("structure is valid")
+}
+
+/// An `n`-bit synchronous binary counter with enable input and a
+/// terminal-count output.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn counter(n: usize) -> Circuit {
+    assert!(n > 0, "need at least one bit");
+    let mut c = Circuit::new(format!("count{n}"));
+    let en = c.add_input("en");
+    let clr = c.add_input("clr");
+    let nclr = c.add_gate(GateKind::Not, "nclr", &[clr]).expect("fresh");
+    let bits: Vec<NetId> = (0..n)
+        .map(|k| c.add_dff(&format!("q{k}"), None).expect("fresh names"))
+        .collect();
+    let mut carry = en;
+    for (k, &q) in bits.iter().enumerate() {
+        let inc = c
+            .add_gate(GateKind::Xor, &format!("inc{k}"), &[q, carry])
+            .expect("fresh names");
+        let nxt = c
+            .add_gate(GateKind::And, &format!("nxt{k}"), &[inc, nclr])
+            .expect("fresh names");
+        c.connect_dff_data(q, nxt).expect("q is a DFF");
+        if k + 1 < n {
+            carry = c
+                .add_gate(GateKind::And, &format!("cy{k}"), &[carry, q])
+                .expect("fresh names");
+        }
+    }
+    let tc = c
+        .add_gate(GateKind::And, "tc", &bits)
+        .expect("fresh names");
+    c.mark_output(tc);
+    let lsb = c
+        .add_gate(GateKind::Buf, "lsb", &[bits[0]])
+        .expect("fresh names");
+    c.mark_output(lsb);
+    c.levelize().expect("structure is valid")
+}
+
+/// A random-pattern-resistant lock: the `payload` output is gated by a
+/// sticky unlock flag that sets only after the all-ones vector has been
+/// applied on `arm_cycles` consecutive cycles.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `arm_cycles == 0`.
+pub fn sequence_lock(width: usize, arm_cycles: usize) -> Circuit {
+    assert!(width > 0, "need at least one data input");
+    assert!(arm_cycles > 0, "need at least one arm cycle");
+    let mut c = Circuit::new(format!("lock{width}x{arm_cycles}"));
+    let data: Vec<NetId> = (0..width)
+        .map(|k| c.add_input(&format!("d{k}")))
+        .collect();
+    let allones = c
+        .add_gate(GateKind::And, "allones", &data)
+        .expect("fresh names");
+    // Arm chain: allones must hold for arm_cycles cycles.
+    let mut armed = allones;
+    for k in 1..arm_cycles {
+        let ff = c
+            .add_dff(&format!("arm{k}"), Some(armed))
+            .expect("fresh names");
+        armed = c
+            .add_gate(GateKind::And, &format!("armed{k}"), &[allones, ff])
+            .expect("fresh names");
+    }
+    // Sticky unlock.
+    let unlock = c.add_dff("unlock", None).expect("fresh names");
+    let unlock_next = c
+        .add_gate(GateKind::Or, "unlock_next", &[armed, unlock])
+        .expect("fresh names");
+    c.connect_dff_data(unlock, unlock_next).expect("DFF");
+    // Payload: parity state machine over the data inputs. The all-ones
+    // (arming) vector also clears the parity state, so the payload
+    // becomes initialized exactly when it becomes observable.
+    let par = xor_tree(&mut c, "dpar", &data);
+    let pstate = c.add_dff("pstate", None).expect("fresh names");
+    let nall = c
+        .add_gate(GateKind::Not, "nall", &[allones])
+        .expect("fresh names");
+    let pxor = c
+        .add_gate(GateKind::Xor, "pxor", &[par, pstate])
+        .expect("fresh names");
+    let pnext = c
+        .add_gate(GateKind::And, "pnext", &[pxor, nall])
+        .expect("fresh names");
+    c.connect_dff_data(pstate, pnext).expect("DFF");
+    let payload = c
+        .add_gate(GateKind::Xnor, "payload", &[pnext, data[0]])
+        .expect("fresh names");
+    let visible = c
+        .add_gate(GateKind::And, "visible", &[unlock, payload])
+        .expect("fresh names");
+    c.mark_output(visible);
+    // Keep part of the circuit observable without the lock.
+    let open_par = c
+        .add_gate(GateKind::Buf, "open_par", &[par])
+        .expect("fresh names");
+    c.mark_output(open_par);
+    c.levelize().expect("structure is valid")
+}
+
+/// An `n`-stage Johnson (twisted-ring) counter with a decoded output.
+/// Self-initializing modulo its natural cycle; the decode output fires
+/// on the all-zero state.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn johnson_counter(n: usize) -> Circuit {
+    assert!(n > 0, "need at least one stage");
+    let mut c = Circuit::new(format!("johnson{n}"));
+    let clr = c.add_input("clr");
+    let nclr = c.add_gate(GateKind::Not, "nclr", &[clr]).expect("fresh");
+    let bits: Vec<NetId> = (0..n)
+        .map(|k| c.add_dff(&format!("q{k}"), None).expect("fresh names"))
+        .collect();
+    // Feedback: complement of the last stage enters stage 0.
+    let fb = c
+        .add_gate(GateKind::Not, "fb", &[bits[n - 1]])
+        .expect("fresh names");
+    let d0 = c
+        .add_gate(GateKind::And, "d0", &[fb, nclr])
+        .expect("fresh names");
+    c.connect_dff_data(bits[0], d0).expect("DFF");
+    for k in 1..n {
+        let dk = c
+            .add_gate(GateKind::And, &format!("d{k}"), &[bits[k - 1], nclr])
+            .expect("fresh names");
+        c.connect_dff_data(bits[k], dk).expect("DFF");
+    }
+    let inv: Vec<NetId> = bits
+        .iter()
+        .enumerate()
+        .map(|(k, &q)| {
+            c.add_gate(GateKind::Not, &format!("nq{k}"), &[q])
+                .expect("fresh names")
+        })
+        .collect();
+    let zero = c
+        .add_gate(GateKind::And, "zero", &inv)
+        .expect("fresh names");
+    c.mark_output(zero);
+    let head = c
+        .add_gate(GateKind::Buf, "head", &[bits[0]])
+        .expect("fresh names");
+    c.mark_output(head);
+    c.levelize().expect("structure is valid")
+}
+
+/// Builds a balanced XOR tree over `nets`, returning the root net.
+fn xor_tree(c: &mut Circuit, prefix: &str, nets: &[NetId]) -> NetId {
+    assert!(!nets.is_empty(), "xor tree needs inputs");
+    if nets.len() == 1 {
+        return c
+            .add_gate(GateKind::Buf, &format!("{prefix}_buf"), nets)
+            .expect("fresh names");
+    }
+    let mut layer: Vec<NetId> = nets.to_vec();
+    let mut t = 0usize;
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                t += 1;
+                next.push(
+                    c.add_gate(GateKind::Xor, &format!("{prefix}_x{t}"), pair)
+                        .expect("fresh names"),
+                );
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+    }
+    layer[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbist_netlist::{circuit_stats, FaultList};
+    use wbist_sim::{FaultSim, Logic3, LogicSim, TestSequence};
+
+    #[test]
+    fn shift_register_shape() {
+        let c = shift_register(6);
+        assert_eq!(c.num_inputs(), 1);
+        assert_eq!(c.num_dffs(), 6);
+        assert_eq!(c.num_outputs(), 7, "6 taps + parity");
+        let s = circuit_stats(&c);
+        assert_eq!(s.feedback_dffs, 0, "a shift chain has no feedback");
+    }
+
+    #[test]
+    fn shift_register_shifts() {
+        let c = shift_register(3);
+        let seq = TestSequence::parse_rows(&["1", "0", "0", "0"]).unwrap();
+        let outs = LogicSim::new(&c).outputs(&seq).unwrap();
+        // The injected 1 marches down the taps (outputs o0..o2 then par).
+        assert_eq!(outs[1][0], Logic3::One);
+        assert_eq!(outs[2][1], Logic3::One);
+        assert_eq!(outs[3][2], Logic3::One);
+        assert_eq!(outs[3][0], Logic3::Zero);
+    }
+
+    #[test]
+    fn counter_counts() {
+        let c = counter(3);
+        // clr for one cycle, then count with en=1.
+        let mut rows = vec![vec![false, true]];
+        rows.extend(std::iter::repeat_n(vec![true, false], 9));
+        let seq = TestSequence::from_rows(rows).unwrap();
+        let outs = LogicSim::new(&c).outputs(&seq).unwrap();
+        // lsb (output 1) toggles every cycle once cleared.
+        let lsb: Vec<Logic3> = outs.iter().skip(1).map(|r| r[1]).collect();
+        assert_eq!(lsb[0], Logic3::Zero);
+        assert_eq!(lsb[1], Logic3::One);
+        assert_eq!(lsb[2], Logic3::Zero);
+        // Terminal count fires when all bits are 1 (count 7 → cycle 8).
+        assert_eq!(outs[8][0], Logic3::One);
+        assert_eq!(outs[7][0], Logic3::Zero);
+    }
+
+    #[test]
+    fn johnson_initializes_and_cycles() {
+        let c = johnson_counter(4);
+        let mut rows = vec![vec![true]];
+        rows.extend(std::iter::repeat_n(vec![false], 16));
+        let seq = TestSequence::from_rows(rows).unwrap();
+        let outs = LogicSim::new(&c).outputs(&seq).unwrap();
+        // After clear, state is 0000: `zero` fires at cycle 1.
+        assert_eq!(outs[1][0], Logic3::One);
+        // Johnson cycle has period 2n = 8: zero fires again at cycle 9.
+        assert_eq!(outs[9][0], Logic3::One);
+        assert_eq!(outs[5][0], Logic3::Zero);
+    }
+
+    #[test]
+    fn lock_is_random_resistant() {
+        let c = sequence_lock(8, 2);
+        let faults = FaultList::checkpoints(&c);
+        // 512 unbiased random vectors almost surely never unlock.
+        let seq = TestSequence::from_rows(wbist_atpg_like_random(512, 8)).unwrap();
+        let det = FaultSim::new(&c).count_detected(&faults, &seq);
+        // The open parity cone is detected, the payload cone is not.
+        assert!(det < faults.len() / 2, "detected {det}/{}", faults.len());
+
+        // Prepending a directed unlock sequence reveals the payload.
+        let mut rows = vec![vec![true; 8], vec![true; 8], vec![true; 8]];
+        rows.extend(wbist_atpg_like_random(512, 8));
+        let unlocked = TestSequence::from_rows(rows).unwrap();
+        let det_unlocked = FaultSim::new(&c).count_detected(&faults, &unlocked);
+        assert!(det_unlocked > det, "unlocking exposes more faults");
+    }
+
+    /// Simple deterministic pseudo-random rows (xorshift), avoiding a
+    /// dependency on the atpg crate from here.
+    fn wbist_atpg_like_random(len: usize, width: usize) -> Vec<Vec<bool>> {
+        let mut x = 0x12345678u32;
+        let mut rows = Vec::with_capacity(len);
+        for _ in 0..len {
+            let mut row = Vec::with_capacity(width);
+            for _ in 0..width {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                row.push(x & 1 == 1);
+            }
+            rows.push(row);
+        }
+        rows
+    }
+}

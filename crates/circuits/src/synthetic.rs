@@ -1,0 +1,406 @@
+//! Deterministic generation of ISCAS-like synchronous sequential circuits.
+//!
+//! The generator builds random but *reproducible* (seeded) gate-level
+//! circuits with a requested number of primary inputs, primary outputs,
+//! flip-flops and gates. Structural properties are chosen to resemble the
+//! ISCAS-89 benchmarks:
+//!
+//! * a gate-kind mix dominated by NAND/NOR/AND/OR with some inverters and
+//!   a small fraction of XOR/XNOR,
+//! * fanin of 1–4 biased toward 2,
+//! * input selection biased toward recently created gates, which produces
+//!   logic depth and reconvergent fanout,
+//! * flip-flop feedback: every DFF data input is driven by combinational
+//!   logic, and DFF outputs feed back into the logic (sequential depth).
+//!
+//! The pre-seeded specs in [`table6_specs`] match the published
+//! PI/PO/FF/gate counts of the circuits in Table 6 of the reproduced
+//! paper, so experiments scale the same way even though the boolean
+//! functions differ (see `DESIGN.md` §5).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wbist_netlist::{Circuit, GateKind, NetId};
+
+/// Parameters of one synthetic circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntheticSpec {
+    /// Circuit name (used for reporting).
+    pub name: String,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of D flip-flops.
+    pub dffs: usize,
+    /// Number of combinational gates.
+    pub gates: usize,
+    /// RNG seed; the same spec always generates the same circuit.
+    pub seed: u64,
+}
+
+impl SyntheticSpec {
+    /// Creates a spec with the given shape and seed.
+    pub fn new(
+        name: impl Into<String>,
+        inputs: usize,
+        outputs: usize,
+        dffs: usize,
+        gates: usize,
+        seed: u64,
+    ) -> Self {
+        SyntheticSpec {
+            name: name.into(),
+            inputs,
+            outputs,
+            dffs,
+            gates,
+            seed,
+        }
+    }
+
+    /// Generates the circuit for this spec (see [`generate`]).
+    pub fn build(&self) -> Circuit {
+        generate(self)
+    }
+}
+
+/// Generates a levelized circuit from a spec.
+///
+/// Two structural properties are engineered in so that the circuits behave
+/// like real benchmarks rather than like saturating random logic:
+///
+/// * **signal-probability control** — the generator tracks an estimated
+///   probability of logic 1 per net and picks gate kinds that keep
+///   internal probabilities near 0.5, preventing the constant-collapse
+///   that naive random NAND/NOR netlists suffer from;
+/// * **initializability** — every flip-flop's next-state function passes
+///   through a gate with one primary-input pin at a controlling value, so
+///   the all-`X` power-up state can always be resolved by input sequences
+///   (as is true of the ISCAS-89 suite).
+///
+/// # Panics
+///
+/// Panics if `spec.inputs == 0`, or if `spec.gates < spec.outputs.max(1)`,
+/// or if `spec.gates < 2 * spec.dffs` (each flip-flop consumes one
+/// dedicated next-state gate plus logic to feed it).
+pub fn generate(spec: &SyntheticSpec) -> Circuit {
+    assert!(spec.inputs > 0, "need at least one primary input");
+    assert!(
+        spec.gates >= spec.outputs.max(1),
+        "need at least as many gates as outputs"
+    );
+    assert!(
+        spec.gates >= 2 * spec.dffs,
+        "need at least two gates per DFF"
+    );
+
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut c = Circuit::new(spec.name.clone());
+
+    let pis: Vec<NetId> = (0..spec.inputs)
+        .map(|i| c.add_input(&format!("I{i}")))
+        .collect();
+    let ffs: Vec<NetId> = (0..spec.dffs)
+        .map(|k| {
+            c.add_dff(&format!("FF{k}"), None)
+                .expect("fresh DFF names are unique")
+        })
+        .collect();
+
+    // Pool of signals a new gate may read, with estimated probability of
+    // logic 1 and a consumed flag (to bias toward unused signals).
+    let mut pool: Vec<NetId> = Vec::with_capacity(spec.inputs + spec.dffs + spec.gates);
+    pool.extend(&pis);
+    pool.extend(&ffs);
+    let mut prob: Vec<f64> = vec![0.5; pool.len()];
+    let mut used = vec![false; pool.len()];
+
+    let body_gates = spec.gates - spec.dffs;
+    let mut gate_outputs: Vec<NetId> = Vec::with_capacity(spec.gates);
+    for g in 0..body_gates {
+        // Pick the fanin signals first, then a kind that keeps the output
+        // probability balanced.
+        let fanin = pick_fanin(&mut rng);
+        let mut picked: Vec<usize> = Vec::with_capacity(fanin);
+        for _ in 0..fanin {
+            let mut idx = pick_source(&mut rng, &pool, &used);
+            let mut guard = 0;
+            while picked.contains(&idx) && guard < 8 {
+                idx = pick_source(&mut rng, &pool, &used);
+                guard += 1;
+            }
+            if !picked.contains(&idx) {
+                picked.push(idx);
+            }
+        }
+        for &idx in &picked {
+            used[idx] = true;
+        }
+        let in_probs: Vec<f64> = picked.iter().map(|&i| prob[i]).collect();
+        let kind = pick_kind_balanced(&mut rng, &in_probs);
+        let inputs: Vec<NetId> = picked.iter().map(|&i| pool[i]).collect();
+        let out = c
+            .add_gate(kind, &format!("N{g}"), &inputs)
+            .expect("fresh gate names are unique");
+        pool.push(out);
+        prob.push(output_prob(kind, &in_probs));
+        used.push(false);
+        gate_outputs.push(out);
+    }
+
+    // Flip-flop next-state gates: AND/NOR of a primary input with a body
+    // signal, so pi at its controlling value forces a known next state.
+    for (k, &q) in ffs.iter().enumerate() {
+        let pi = pis[rng.gen_range(0..pis.len())];
+        let sig_idx = pick_source(&mut rng, &pool, &used);
+        used[sig_idx] = true;
+        let kind = if rng.gen_bool(0.5) {
+            GateKind::And
+        } else {
+            GateKind::Nor
+        };
+        let out = c
+            .add_gate(kind, &format!("NS{k}"), &[pi, pool[sig_idx]])
+            .expect("fresh gate names are unique");
+        gate_outputs.push(out);
+        pool.push(out);
+        prob.push(output_prob(kind, &[0.5, prob[sig_idx]]));
+        used.push(true);
+        c.connect_dff_data(q, out).expect("q is a DFF output");
+    }
+
+    // Primary outputs: prefer still-unused gate outputs, then random ones.
+    let base = spec.inputs + spec.dffs;
+    let mut pos: Vec<NetId> = Vec::new();
+    for (gi, &net) in gate_outputs.iter().enumerate() {
+        if pos.len() >= spec.outputs {
+            break;
+        }
+        if !used[base + gi] {
+            pos.push(net);
+            used[base + gi] = true;
+        }
+    }
+    let mut guard = 0;
+    while pos.len() < spec.outputs && guard < 100 * spec.outputs {
+        let gi = rng.gen_range(0..gate_outputs.len());
+        if !pos.contains(&gate_outputs[gi]) {
+            pos.push(gate_outputs[gi]);
+            used[base + gi] = true;
+        }
+        guard += 1;
+    }
+    for &p in &pos {
+        c.mark_output(p);
+    }
+
+    c.levelize()
+        .expect("generator constructs only valid circuits")
+}
+
+/// Estimated probability that a gate output is 1, assuming independent
+/// inputs with the given 1-probabilities.
+fn output_prob(kind: GateKind, inputs: &[f64]) -> f64 {
+    let p_and: f64 = inputs.iter().product();
+    let p_or: f64 = 1.0 - inputs.iter().map(|p| 1.0 - p).product::<f64>();
+    match kind {
+        GateKind::And => p_and,
+        GateKind::Nand => 1.0 - p_and,
+        GateKind::Or => p_or,
+        GateKind::Nor => 1.0 - p_or,
+        GateKind::Xor => inputs.iter().fold(0.0, |acc, &p| acc * (1.0 - p) + p * (1.0 - acc)),
+        GateKind::Xnor => {
+            1.0 - inputs
+                .iter()
+                .fold(0.0, |acc, &p| acc * (1.0 - p) + p * (1.0 - acc))
+        }
+        GateKind::Not => 1.0 - inputs[0],
+        GateKind::Buf => inputs[0],
+    }
+}
+
+/// Picks a gate kind whose output probability stays close to 0.5 for the
+/// given input probabilities, with ISCAS-like kind frequencies as the
+/// tie-breaking prior.
+fn pick_kind_balanced(rng: &mut StdRng, in_probs: &[f64]) -> GateKind {
+    if in_probs.len() == 1 {
+        return if rng.gen_bool(0.7) {
+            GateKind::Not
+        } else {
+            GateKind::Buf
+        };
+    }
+    // Occasional XOR/XNOR: inherently balanced.
+    if rng.gen_bool(0.06) {
+        return if rng.gen_bool(0.5) {
+            GateKind::Xor
+        } else {
+            GateKind::Xnor
+        };
+    }
+    let candidates = [GateKind::Nand, GateKind::Nor, GateKind::And, GateKind::Or];
+    // Keep only kinds whose output probability is not too extreme; among
+    // them pick randomly (NAND/NOR weighted slightly higher).
+    let mut ok: Vec<GateKind> = candidates
+        .iter()
+        .copied()
+        .filter(|&k| {
+            let p = output_prob(k, in_probs);
+            (0.2..=0.8).contains(&p)
+        })
+        .collect();
+    if ok.is_empty() {
+        // Pick the kind with the most balanced output.
+        ok = vec![*candidates
+            .iter()
+            .min_by(|&&a, &&b| {
+                let da = (output_prob(a, in_probs) - 0.5).abs();
+                let db = (output_prob(b, in_probs) - 0.5).abs();
+                da.partial_cmp(&db).expect("probabilities are finite")
+            })
+            .expect("candidate list is non-empty")];
+    }
+    ok[rng.gen_range(0..ok.len())]
+}
+
+fn pick_fanin(rng: &mut StdRng) -> usize {
+    match rng.gen_range(0..100u32) {
+        0..=11 => 1,
+        12..=74 => 2,
+        75..=94 => 3,
+        _ => 4,
+    }
+}
+
+/// Picks a source index, biased toward (a) unused signals, (b) recently
+/// created signals (for depth), (c) primary inputs and flip-flop outputs
+/// (for controllability).
+fn pick_source(rng: &mut StdRng, pool: &[NetId], used: &[bool]) -> usize {
+    // Half the time, try to consume an unused signal.
+    if rng.gen_bool(0.5) {
+        let unused: Vec<usize> = (0..pool.len()).filter(|&i| !used[i]).collect();
+        if !unused.is_empty() {
+            return unused[rng.gen_range(0..unused.len())];
+        }
+    }
+    let n = pool.len();
+    match rng.gen_range(0..10u32) {
+        // Recent signals: depth and reconvergence.
+        0..=4 => n - 1 - rng.gen_range(0..n.min(16)),
+        // Anywhere.
+        5..=7 => rng.gen_range(0..n),
+        // Early pool entries (PIs and FF outputs live there).
+        _ => rng.gen_range(0..n.min(64)),
+    }
+}
+
+/// The synthetic stand-ins for the circuits of Table 6 of the paper, with
+/// PI/PO/FF/gate counts matching the published ISCAS-89 statistics.
+///
+/// Names carry an `s` prefix like the originals; these are *not* the
+/// original netlists (see the crate docs).
+pub fn table6_specs() -> Vec<SyntheticSpec> {
+    vec![
+        SyntheticSpec::new("s208", 10, 1, 8, 96, 0xB157_0208),
+        SyntheticSpec::new("s298", 3, 6, 14, 119, 0xB157_0298),
+        SyntheticSpec::new("s344", 9, 11, 15, 160, 0xB157_0344),
+        SyntheticSpec::new("s382", 3, 6, 21, 158, 0xB157_0382),
+        SyntheticSpec::new("s386", 7, 7, 6, 159, 0xB157_0386),
+        SyntheticSpec::new("s400", 3, 6, 21, 162, 0xB157_0400),
+        SyntheticSpec::new("s420", 18, 1, 16, 218, 0xB157_0420),
+        SyntheticSpec::new("s444", 3, 6, 21, 181, 0xB157_0444),
+        SyntheticSpec::new("s526", 3, 6, 21, 193, 0xB157_0526),
+        SyntheticSpec::new("s641", 35, 24, 19, 379, 0xB157_0641),
+        SyntheticSpec::new("s820", 18, 19, 5, 289, 0xB157_0820),
+        SyntheticSpec::new("s1196", 14, 14, 18, 529, 0xB157_1196),
+        SyntheticSpec::new("s1423", 17, 5, 74, 657, 0xB157_1423),
+        SyntheticSpec::new("s1488", 8, 19, 6, 653, 0xB157_1488),
+        SyntheticSpec::new("s5378", 35, 49, 179, 2779, 0xB157_5378),
+        SyntheticSpec::new("s35932", 35, 320, 1728, 16065, 0xB157_3593),
+    ]
+}
+
+/// Builds one of the Table-6 stand-ins by name (`"s298"`, …); `"s27"`
+/// returns the *exact* ISCAS-89 circuit.
+pub fn by_name(name: &str) -> Option<Circuit> {
+    if name == "s27" {
+        return Some(crate::s27::circuit());
+    }
+    table6_specs()
+        .into_iter()
+        .find(|s| s.name == name)
+        .map(|s| s.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbist_netlist::FaultList;
+    use wbist_sim::{FaultSim, TestSequence};
+
+    #[test]
+    fn spec_counts_respected() {
+        for spec in table6_specs().into_iter().take(6) {
+            let c = spec.build();
+            assert_eq!(c.num_inputs(), spec.inputs, "{}", spec.name);
+            assert_eq!(c.num_outputs(), spec.outputs, "{}", spec.name);
+            assert_eq!(c.num_dffs(), spec.dffs, "{}", spec.name);
+            assert_eq!(c.num_gates(), spec.gates, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = SyntheticSpec::new("x", 5, 3, 4, 40, 42);
+        let a = wbist_netlist::bench_format::write(&spec.build());
+        let b = wbist_netlist::bench_format::write(&spec.build());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SyntheticSpec::new("x", 5, 3, 4, 40, 1).build();
+        let b = SyntheticSpec::new("x", 5, 3, 4, 40, 2).build();
+        assert_ne!(
+            wbist_netlist::bench_format::write(&a),
+            wbist_netlist::bench_format::write(&b)
+        );
+    }
+
+    #[test]
+    fn circuits_are_testable() {
+        // A modest random sequence should detect a healthy fraction of
+        // checkpoint faults — guards against degenerate generation.
+        let spec = SyntheticSpec::new("t", 6, 4, 5, 60, 7);
+        let c = spec.build();
+        let faults = FaultList::checkpoints(&c);
+        let mut rng = StdRng::seed_from_u64(11);
+        let rows: Vec<Vec<bool>> = (0..256)
+            .map(|_| (0..6).map(|_| rng.gen_bool(0.5)).collect())
+            .collect();
+        let seq = TestSequence::from_rows(rows).unwrap();
+        let det = FaultSim::new(&c).count_detected(&faults, &seq);
+        assert!(
+            det * 2 > faults.len(),
+            "only {det}/{} faults detected",
+            faults.len()
+        );
+    }
+
+    #[test]
+    fn by_name_finds_circuits() {
+        assert!(by_name("s27").is_some());
+        assert!(by_name("s298").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn roundtrips_through_bench_format() {
+        let c = SyntheticSpec::new("rt", 4, 2, 3, 30, 5).build();
+        let text = wbist_netlist::bench_format::write(&c);
+        let c2 = wbist_netlist::bench_format::parse("rt", &text).unwrap();
+        assert_eq!(c.num_gates(), c2.num_gates());
+        assert_eq!(c.num_dffs(), c2.num_dffs());
+    }
+}

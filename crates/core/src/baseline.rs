@@ -1,0 +1,335 @@
+//! Baseline BIST schemes the paper positions itself against.
+//!
+//! * [`pure_random_coverage`] — an LFSR drives every input with
+//!   unbiased pseudo-random bits (the \[16\]/\[17\]-style schemes: no storage,
+//!   but no coverage guarantee);
+//! * [`weighted_random_coverage`] — classic per-input weighted random:
+//!   input `i` gets independent random bits with `P(1)` equal to the
+//!   frequency of 1s in `T_i`;
+//! * [`three_weight_coverage`] — the natural (inadequate) extension of
+//!   the combinational 3-weight scheme \[10\]: per detection time, inputs
+//!   that are constant over the window of `T` ending there are held at
+//!   that constant (weights 0/1), the rest get unbiased random bits
+//!   (weight 0.5).
+//!
+//! All three lack the subsequence structure of the proposed method, so on
+//! sequential circuits they typically plateau below deterministic
+//! coverage; the benches reproduce that shape.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wbist_atpg::Lfsr;
+use wbist_netlist::{Circuit, FaultList};
+use wbist_sim::{FaultSim, TestSequence};
+
+/// A coverage measurement: faults detected out of a target list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Coverage {
+    /// Faults detected.
+    pub detected: usize,
+    /// Targets considered.
+    pub total: usize,
+}
+
+impl Coverage {
+    /// Detected fraction in 0..=1 (0 for an empty target list).
+    pub fn fraction(self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.detected as f64 / self.total as f64
+        }
+    }
+}
+
+/// Fault coverage of an unbiased LFSR sequence, sampled cumulatively at
+/// each length of `lengths` (which must be non-decreasing).
+///
+/// # Panics
+///
+/// Panics if the circuit is not levelized or `lengths` is not
+/// non-decreasing.
+pub fn pure_random_coverage(
+    circuit: &Circuit,
+    faults: &FaultList,
+    lengths: &[usize],
+    seed: u32,
+) -> Vec<(usize, Coverage)> {
+    assert!(
+        lengths.windows(2).all(|w| w[0] <= w[1]),
+        "lengths must be non-decreasing"
+    );
+    let sim = FaultSim::new(circuit);
+    let mut lfsr = Lfsr::new(24, seed);
+    let mut state = sim.begin(faults);
+    let mut out = Vec::with_capacity(lengths.len());
+    let mut applied = 0usize;
+    for &len in lengths {
+        let extra = len - applied;
+        if extra > 0 {
+            let seg = lfsr.sequence(circuit.num_inputs(), extra);
+            sim.advance(&mut state, &seg);
+            applied = len;
+        }
+        out.push((
+            len,
+            Coverage {
+                detected: state.num_detected(),
+                total: faults.len(),
+            },
+        ));
+    }
+    out
+}
+
+/// Classic weighted-random BIST: `P(input i = 1)` is the frequency of 1s
+/// in `T_i`. Returns the coverage of one sequence of `length` vectors.
+///
+/// # Panics
+///
+/// Panics if the circuit is not levelized or `t` is empty or its width
+/// does not match the circuit.
+pub fn weighted_random_coverage(
+    circuit: &Circuit,
+    faults: &FaultList,
+    t: &TestSequence,
+    length: usize,
+    seed: u64,
+) -> Coverage {
+    assert!(!t.is_empty(), "weight source sequence must be non-empty");
+    assert_eq!(
+        t.num_inputs(),
+        circuit.num_inputs(),
+        "sequence width must match the circuit"
+    );
+    let probs: Vec<f64> = (0..t.num_inputs())
+        .map(|i| {
+            let ones = t.input_track(i).iter().filter(|&&b| b).count();
+            ones as f64 / t.len() as f64
+        })
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seq = TestSequence::new(t.num_inputs());
+    let mut row = vec![false; t.num_inputs()];
+    for _ in 0..length {
+        for (slot, &p) in row.iter_mut().zip(&probs) {
+            *slot = rng.gen_bool(p.clamp(0.02, 0.98));
+        }
+        seq.push_row(&row);
+    }
+    Coverage {
+        detected: FaultSim::new(circuit).count_detected(faults, &seq),
+        total: faults.len(),
+    }
+}
+
+/// The naive 3-weight extension: one weight assignment per distinct
+/// detection time `u` of `t` (descending); input `i` is held constant
+/// when `T_i` is constant over the window of `window` vectors ending at
+/// `u`, otherwise it gets unbiased random bits. Each assignment is
+/// applied for `vectors_per_assignment` vectors; returns cumulative
+/// coverage.
+///
+/// # Panics
+///
+/// Panics if the circuit is not levelized, `t` is empty, its width does
+/// not match the circuit, or `window == 0`.
+pub fn three_weight_coverage(
+    circuit: &Circuit,
+    faults: &FaultList,
+    t: &TestSequence,
+    window: usize,
+    vectors_per_assignment: usize,
+    seed: u64,
+) -> Coverage {
+    assert!(window > 0, "window must be positive");
+    assert!(!t.is_empty(), "weight source sequence must be non-empty");
+    assert_eq!(
+        t.num_inputs(),
+        circuit.num_inputs(),
+        "sequence width must match the circuit"
+    );
+    let sim = FaultSim::new(circuit);
+    let mut times: Vec<usize> = sim
+        .detection_times(faults, t)
+        .into_iter()
+        .flatten()
+        .collect();
+    times.sort_unstable();
+    times.dedup();
+    times.reverse();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut detected = vec![false; faults.len()];
+    for &u in &times {
+        // Weights from the window ending at u.
+        let lo = (u + 1).saturating_sub(window);
+        let weights: Vec<Option<bool>> = (0..t.num_inputs())
+            .map(|i| {
+                let vals: Vec<bool> = (lo..=u).map(|v| t.value(v, i)).collect();
+                if vals.iter().all(|&b| b) {
+                    Some(true)
+                } else if vals.iter().all(|&b| !b) {
+                    Some(false)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let mut seq = TestSequence::new(t.num_inputs());
+        let mut row = vec![false; t.num_inputs()];
+        for _ in 0..vectors_per_assignment {
+            for (slot, w) in row.iter_mut().zip(&weights) {
+                *slot = match w {
+                    Some(v) => *v,
+                    None => rng.gen_bool(0.5),
+                };
+            }
+            seq.push_row(&row);
+        }
+        let live: Vec<usize> = (0..faults.len()).filter(|&i| !detected[i]).collect();
+        if live.is_empty() {
+            break;
+        }
+        let live_faults: FaultList = live.iter().map(|&i| faults.faults()[i]).collect();
+        let flags = sim.detected(&live_faults, &seq);
+        for (k, &i) in live.iter().enumerate() {
+            if flags[k] {
+                detected[i] = true;
+            }
+        }
+    }
+    Coverage {
+        detected: detected.iter().filter(|&&d| d).count(),
+        total: faults.len(),
+    }
+}
+
+/// Full-scan BIST baseline: the class of schemes (\[20\]–\[22\] in the
+/// paper) that modify the flip-flops. With a scan chain, every time
+/// frame is independent — random patterns drive the primary inputs *and*
+/// the state, and the captured next state is observed through the chain.
+/// Coverage is therefore excellent, but the cost is a scan mux per
+/// flip-flop plus chain routing, exactly the overhead the paper's
+/// introduction argues against for flip-flop-rich designs.
+///
+/// Faults are translated onto the scan view (which preserves net and
+/// gate ids): flip-flop data-input faults are approximated by the
+/// stem fault of the captured net.
+///
+/// # Panics
+///
+/// Panics if the circuit is not levelized.
+pub fn scan_bist_coverage(
+    circuit: &Circuit,
+    faults: &FaultList,
+    num_patterns: usize,
+    seed: u64,
+) -> Coverage {
+    use wbist_netlist::{transform, FaultSite};
+    let scan = transform::full_scan(circuit).expect("levelized circuits convert");
+    let translated: FaultList = faults
+        .iter()
+        .map(|f| {
+            let site = match f.site {
+                FaultSite::DffData(k) => FaultSite::Stem(
+                    circuit.dffs()[k]
+                        .d
+                        .expect("levelized circuits have connected DFFs"),
+                ),
+                other => other,
+            };
+            wbist_netlist::Fault { site, stuck: f.stuck }
+        })
+        .collect();
+    // The scan view is combinational, so one multi-row sequence is
+    // equivalent to independent frames.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let width = scan.num_inputs();
+    let mut seq = TestSequence::new(width);
+    let mut row = vec![false; width];
+    for _ in 0..num_patterns {
+        for slot in row.iter_mut() {
+            *slot = rng.gen_bool(0.5);
+        }
+        seq.push_row(&row);
+    }
+    Coverage {
+        detected: FaultSim::new(&scan).count_detected(&translated, &seq),
+        total: faults.len(),
+    }
+}
+
+/// The extra hardware a full-scan conversion costs, in the units of the
+/// generator cost model: one 2-to-1 scan mux (≈ 3 gates / 7 literals)
+/// per flip-flop. Returned as `(gates, literals)`.
+pub fn scan_overhead(circuit: &Circuit) -> (usize, usize) {
+    (3 * circuit.num_dffs(), 7 * circuit.num_dffs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbist_circuits::s27;
+
+    #[test]
+    fn random_coverage_is_monotone() {
+        let c = s27::circuit();
+        let faults = FaultList::checkpoints(&c);
+        let curve = pure_random_coverage(&c, &faults, &[16, 64, 256, 1024], 0xACE1);
+        for pair in curve.windows(2) {
+            assert!(pair[1].1.detected >= pair[0].1.detected);
+        }
+        assert!(curve.last().expect("non-empty").1.detected > 0);
+    }
+
+    #[test]
+    fn weighted_random_detects_something() {
+        let c = s27::circuit();
+        let faults = FaultList::checkpoints(&c);
+        let t = s27::paper_test_sequence();
+        let cov = weighted_random_coverage(&c, &faults, &t, 512, 7);
+        assert!(cov.detected > 0);
+        assert!(cov.fraction() <= 1.0);
+    }
+
+    #[test]
+    fn three_weight_runs_and_detects() {
+        let c = s27::circuit();
+        let faults = FaultList::checkpoints(&c);
+        let t = s27::paper_test_sequence();
+        let cov = three_weight_coverage(&c, &faults, &t, 4, 256, 7);
+        assert!(cov.detected > 0);
+    }
+
+    #[test]
+    fn scan_bist_covers_most_faults() {
+        // With independent random frames and observable state, scan BIST
+        // reaches high coverage quickly on s27.
+        let c = s27::circuit();
+        let faults = FaultList::checkpoints(&c);
+        let cov = scan_bist_coverage(&c, &faults, 256, 7);
+        assert_eq!(cov.total, 32);
+        assert!(cov.detected >= 28, "scan coverage only {}", cov.detected);
+        let (gates, literals) = scan_overhead(&c);
+        assert_eq!(gates, 9, "3 muxes");
+        assert!(literals > gates);
+    }
+
+    #[test]
+    fn coverage_fraction_handles_empty() {
+        let cov = Coverage {
+            detected: 0,
+            total: 0,
+        };
+        assert_eq!(cov.fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn lengths_must_be_sorted() {
+        let c = s27::circuit();
+        let faults = FaultList::checkpoints(&c);
+        let _ = pure_random_coverage(&c, &faults, &[64, 16], 1);
+    }
+}

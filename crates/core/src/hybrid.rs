@@ -1,0 +1,220 @@
+//! Hybrid pseudo-random + weighted-sequence BIST.
+//!
+//! The paper's concluding remarks name this as future work: *"The use of
+//! pure-random sequences as part of the weight scheme … Adding this
+//! option is likely to reduce the number of subsequences that need to be
+//! generated."* This module implements that extension:
+//!
+//! 1. a **random phase** applies a configurable number of LFSR-driven
+//!    sessions (each `L_G` cycles, circuit reset in between, exactly like
+//!    a weight-assignment session whose every input has the "random"
+//!    weight);
+//! 2. the **weighted phase** runs the paper's synthesis procedure only
+//!    for the faults the random phase missed.
+//!
+//! Random-pattern-easy faults stop consuming subsequences, so the stored
+//! weight set — and with it the FSM hardware — shrinks; the
+//! `hybrid_ablation` binary in `wbist-bench` quantifies the reduction.
+//! On-chip, the random sessions cost one LFSR shared by all inputs (see
+//! `wbist-hw`'s hybrid generator).
+
+use crate::select::{synthesize_weighted_bist_from, SynthesisConfig, SynthesisResult};
+use wbist_atpg::Lfsr;
+use wbist_netlist::{Circuit, FaultList};
+use wbist_sim::{FaultSim, TestSequence};
+
+/// Configuration of the hybrid scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HybridConfig {
+    /// Number of pure-random sessions applied before the weighted phase.
+    pub random_sessions: usize,
+    /// LFSR width for the random phase.
+    pub lfsr_width: u32,
+    /// LFSR seed. The hardware generator resets its LFSR to state 1, so
+    /// keep the default of 1 when the netlist must match the software
+    /// phase bit-for-bit.
+    pub lfsr_seed: u32,
+    /// Configuration of the weighted phase.
+    pub synthesis: SynthesisConfig,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig {
+            random_sessions: 4,
+            lfsr_width: 24,
+            lfsr_seed: 1,
+            synthesis: SynthesisConfig::default(),
+        }
+    }
+}
+
+/// The outcome of [`synthesize_hybrid`].
+#[derive(Debug, Clone)]
+pub struct HybridResult {
+    /// Per fault: detected during the random phase.
+    pub random_detected: Vec<bool>,
+    /// The random sequences applied (one per session), for reproduction.
+    pub random_sequences: Vec<TestSequence>,
+    /// The weighted phase's synthesis result (targets exclude the
+    /// random-phase detections).
+    pub synthesis: SynthesisResult,
+}
+
+impl HybridResult {
+    /// Faults detected by the random phase.
+    pub fn random_count(&self) -> usize {
+        self.random_detected.iter().filter(|&&d| d).count()
+    }
+
+    /// Total faults covered by the hybrid session (random ∪ weighted).
+    pub fn total_detected(&self) -> usize {
+        self.random_detected
+            .iter()
+            .zip(&self.synthesis.detected)
+            .filter(|&(&r, &w)| r || w)
+            .count()
+    }
+
+    /// Whether the hybrid scheme reaches the deterministic sequence's
+    /// coverage: every fault `T` detects is covered by one of the two
+    /// phases.
+    pub fn coverage_guaranteed(&self) -> bool {
+        self.synthesis.coverage_guaranteed()
+    }
+}
+
+/// Runs the hybrid scheme: `cfg.random_sessions` LFSR sessions, then the
+/// paper's weighted synthesis for the remainder.
+///
+/// # Panics
+///
+/// Panics if the circuit is not levelized, the sequence width does not
+/// match, or the synthesis configuration is invalid.
+pub fn synthesize_hybrid(
+    circuit: &Circuit,
+    t: &TestSequence,
+    faults: &FaultList,
+    cfg: &HybridConfig,
+) -> HybridResult {
+    let sim = FaultSim::new(circuit);
+    let mut lfsr = Lfsr::new(cfg.lfsr_width, cfg.lfsr_seed);
+    let mut random_detected = vec![false; faults.len()];
+    let mut random_sequences = Vec::with_capacity(cfg.random_sessions);
+    for _ in 0..cfg.random_sessions {
+        let seq = lfsr.parallel_sequence(circuit.num_inputs(), cfg.synthesis.sequence_length);
+        // Each session starts from the power-up state, like a weighted
+        // session would.
+        for (d, f) in random_detected.iter_mut().zip(sim.detected(faults, &seq)) {
+            *d |= f;
+        }
+        random_sequences.push(seq);
+    }
+
+    let synthesis =
+        synthesize_weighted_bist_from(circuit, t, faults, &cfg.synthesis, &random_detected);
+    HybridResult {
+        random_detected,
+        random_sequences,
+        synthesis,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::synthesize_weighted_bist;
+    use wbist_circuits::s27;
+
+    fn setup() -> (Circuit, TestSequence, FaultList) {
+        (
+            s27::circuit(),
+            s27::paper_test_sequence(),
+            FaultList::checkpoints(&s27::circuit()),
+        )
+    }
+
+    #[test]
+    fn hybrid_reaches_full_coverage() {
+        let (c, t, faults) = setup();
+        let cfg = HybridConfig {
+            synthesis: SynthesisConfig {
+                sequence_length: 100,
+                ..SynthesisConfig::default()
+            },
+            ..HybridConfig::default()
+        };
+        let r = synthesize_hybrid(&c, &t, &faults, &cfg);
+        assert!(r.coverage_guaranteed());
+        assert_eq!(r.total_detected(), 32);
+        assert!(r.random_count() > 0, "random phase detects something");
+    }
+
+    #[test]
+    fn hybrid_uses_fewer_or_equal_subsequences() {
+        // The paper's conjecture: the random phase reduces the stored
+        // subsequences.
+        let (c, t, faults) = setup();
+        let syn_cfg = SynthesisConfig {
+            sequence_length: 100,
+            ..SynthesisConfig::default()
+        };
+        let pure = synthesize_weighted_bist(&c, &t, &faults, &syn_cfg);
+        let hybrid = synthesize_hybrid(
+            &c,
+            &t,
+            &faults,
+            &HybridConfig {
+                synthesis: syn_cfg,
+                ..HybridConfig::default()
+            },
+        );
+        assert!(
+            hybrid.synthesis.distinct_subsequences().len()
+                <= pure.distinct_subsequences().len(),
+            "hybrid must not need more subsequences"
+        );
+    }
+
+    #[test]
+    fn zero_random_sessions_degenerates_to_pure() {
+        let (c, t, faults) = setup();
+        let syn_cfg = SynthesisConfig {
+            sequence_length: 100,
+            ..SynthesisConfig::default()
+        };
+        let pure = synthesize_weighted_bist(&c, &t, &faults, &syn_cfg);
+        let hybrid = synthesize_hybrid(
+            &c,
+            &t,
+            &faults,
+            &HybridConfig {
+                random_sessions: 0,
+                synthesis: syn_cfg,
+                ..HybridConfig::default()
+            },
+        );
+        assert_eq!(hybrid.random_count(), 0);
+        assert_eq!(
+            hybrid.synthesis.omega.len(),
+            pure.omega.len(),
+            "identical weighted phase"
+        );
+    }
+
+    #[test]
+    fn random_sequences_are_reproducible() {
+        let (c, t, faults) = setup();
+        let cfg = HybridConfig {
+            synthesis: SynthesisConfig {
+                sequence_length: 64,
+                ..SynthesisConfig::default()
+            },
+            ..HybridConfig::default()
+        };
+        let a = synthesize_hybrid(&c, &t, &faults, &cfg);
+        let b = synthesize_hybrid(&c, &t, &faults, &cfg);
+        assert_eq!(a.random_sequences, b.random_sequences);
+        assert_eq!(a.random_detected, b.random_detected);
+    }
+}

@@ -1,0 +1,122 @@
+//! Reverse-order simulation of `Ω` (paper, Section 4.3).
+//!
+//! The synthesis procedure builds `Ω` short-subsequences-first, which can
+//! leave *redundant* assignments: ones whose detected faults are all also
+//! detected by assignments generated later. Reverse-order simulation
+//! removes them: walking `Ω` from the most recently generated assignment
+//! backwards, each assignment's sequence is fault-simulated against the
+//! still-uncovered fault set; an assignment detecting nothing new is
+//! dropped.
+
+use crate::select::SelectedAssignment;
+use wbist_netlist::{Circuit, FaultList};
+use wbist_sim::FaultSim;
+
+/// Removes redundant assignments from `omega` by reverse-order
+/// simulation, preserving the original relative order of the survivors.
+///
+/// `faults` is the full target fault list; `sequence_length` is the `L_G`
+/// the sequences are applied with.
+///
+/// # Panics
+///
+/// Panics if the circuit is not levelized or `sequence_length == 0`.
+pub fn reverse_order_prune(
+    circuit: &Circuit,
+    faults: &FaultList,
+    omega: &[SelectedAssignment],
+    sequence_length: usize,
+) -> Vec<SelectedAssignment> {
+    assert!(sequence_length > 0, "L_G must be positive");
+    let sim = FaultSim::new(circuit);
+    let mut detected = vec![false; faults.len()];
+    let mut keep = vec![false; omega.len()];
+
+    for (k, sel) in omega.iter().enumerate().rev() {
+        let live: Vec<usize> = (0..faults.len()).filter(|&i| !detected[i]).collect();
+        if live.is_empty() {
+            break;
+        }
+        let live_faults: FaultList = live.iter().map(|&i| faults.faults()[i]).collect();
+        let tg = sel.sequence(sequence_length);
+        let flags = sim.detected(&live_faults, &tg);
+        let mut newly = 0;
+        for (j, &i) in live.iter().enumerate() {
+            if flags[j] {
+                detected[i] = true;
+                newly += 1;
+            }
+        }
+        keep[k] = newly > 0;
+    }
+
+    omega
+        .iter()
+        .zip(&keep)
+        .filter(|&(_, &k)| k)
+        .map(|(s, _)| s.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::{synthesize_weighted_bist, SynthesisConfig};
+    use wbist_circuits::s27;
+
+    #[test]
+    fn pruning_preserves_coverage() {
+        let c = s27::circuit();
+        let t = s27::paper_test_sequence();
+        let faults = FaultList::checkpoints(&c);
+        let cfg = SynthesisConfig {
+            sequence_length: 100,
+            ..SynthesisConfig::default()
+        };
+        let r = synthesize_weighted_bist(&c, &t, &faults, &cfg);
+        let pruned = reverse_order_prune(&c, &faults, &r.omega, cfg.sequence_length);
+        assert!(pruned.len() <= r.omega.len());
+
+        // Coverage after pruning must still match.
+        let sim = FaultSim::new(&c);
+        let mut detected = vec![false; faults.len()];
+        for sel in &pruned {
+            for (d, f) in detected
+                .iter_mut()
+                .zip(sim.detected(&faults, &sel.sequence(cfg.sequence_length)))
+            {
+                *d |= f;
+            }
+        }
+        for i in 0..faults.len() {
+            if r.target[i] {
+                assert!(detected[i], "pruning lost fault {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_assignments_are_pruned() {
+        // Duplicating Ω must not survive reverse-order simulation intact.
+        let c = s27::circuit();
+        let t = s27::paper_test_sequence();
+        let faults = FaultList::checkpoints(&c);
+        let cfg = SynthesisConfig {
+            sequence_length: 100,
+            ..SynthesisConfig::default()
+        };
+        let r = synthesize_weighted_bist(&c, &t, &faults, &cfg);
+        let mut doubled = r.omega.clone();
+        doubled.extend(r.omega.iter().cloned());
+        let pruned = reverse_order_prune(&c, &faults, &doubled, cfg.sequence_length);
+        assert!(pruned.len() <= r.omega.len());
+    }
+
+    #[test]
+    fn empty_omega_is_fine() {
+        let c = s27::circuit();
+        let faults = FaultList::checkpoints(&c);
+        let pruned = reverse_order_prune(&c, &faults, &[], 100);
+        assert!(pruned.is_empty());
+    }
+}

@@ -1,0 +1,445 @@
+//! The overall weight-assignment selection procedure (paper, Section 4.2).
+//!
+//! Starting from the set `F` of faults detected by the deterministic
+//! sequence `T`, the procedure repeatedly:
+//!
+//! 1. picks the **largest remaining detection time** `u` (harder faults
+//!    first — their sequences tend to detect many others);
+//! 2. for `L_S = 1, 2, …`: extends `S` with the subsequences of length
+//!    `L_S` derived from the window of `T` ending at `u`, builds the
+//!    candidate sets `A_i`, applies the full-length fix-up, and walks the
+//!    assignment ranks `j = 0, 1, …` — simulating a weighted sequence
+//!    `T_G` of length `L_G` for every admissible assignment (one
+//!    containing at least one subsequence of length `L_S`) and dropping
+//!    the faults it detects;
+//! 3. stops working on `u` as soon as no undetected fault with detection
+//!    time `u` remains.
+//!
+//! Termination is guaranteed: at `L_S = u + 1` the derived subsequences
+//! reproduce `T` exactly through time `u` (provided `L_G > u`), so the
+//! fault that defined `u` is necessarily detected — the paper's coverage
+//! guarantee.
+//!
+//! The paper's *sample-first* speedup is implemented: each `T_G` is first
+//! simulated against a small sample of undetected faults (always
+//! including the fault that defined `u`); if none of the sample is
+//! detected, the full simulation is skipped.
+
+use crate::assign::{CandidateOrdering, CandidateSets, WeightAssignment};
+use crate::weights::WeightSet;
+use wbist_netlist::{Circuit, Fault, FaultList};
+use wbist_sim::{FaultSim, TestSequence};
+
+/// Configuration of the synthesis procedure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynthesisConfig {
+    /// `L_G`: length of the weighted sequence applied per assignment
+    /// (the paper's experiments use 2000).
+    pub sequence_length: usize,
+    /// Enables the sample-first simulation shortcut (§4.2).
+    pub sample_first: bool,
+    /// Number of faults in the screening sample (including the target
+    /// fault).
+    pub sample_size: usize,
+    /// How candidates are ranked within each `A_i` (the paper:
+    /// [`CandidateOrdering::MatchCount`]; alternatives exist for the
+    /// ablation experiments).
+    pub ordering: CandidateOrdering,
+    /// Whether the §4.1 full-length fix-up is applied (the paper: yes).
+    /// Disabling it is an ablation knob; the coverage guarantee is only
+    /// proven with the fix-up enabled.
+    pub full_length_fixup: bool,
+}
+
+impl Default for SynthesisConfig {
+    fn default() -> Self {
+        SynthesisConfig {
+            sequence_length: 2000,
+            sample_first: true,
+            sample_size: 32,
+            ordering: CandidateOrdering::MatchCount,
+            full_length_fixup: true,
+        }
+    }
+}
+
+/// One weight assignment kept in `Ω`, with provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectedAssignment {
+    /// The weight assignment.
+    pub assignment: WeightAssignment,
+    /// The detection time `u` it was constructed around.
+    pub detection_time: usize,
+    /// The rank `j` within the candidate sets.
+    pub rank: usize,
+    /// Faults it newly detected when first simulated.
+    pub newly_detected: usize,
+}
+
+impl SelectedAssignment {
+    /// Regenerates the weighted test sequence for this assignment.
+    pub fn sequence(&self, len: usize) -> TestSequence {
+        self.assignment.generate(len)
+    }
+}
+
+/// The outcome of [`synthesize_weighted_bist`].
+#[derive(Debug, Clone)]
+pub struct SynthesisResult {
+    /// The selected weight assignments, in generation order (`Ω`).
+    pub omega: Vec<SelectedAssignment>,
+    /// The final weight set `S`.
+    pub weights: WeightSet,
+    /// Per-fault: detected by some sequence of `Ω` (indexed like the
+    /// fault list given to the synthesizer).
+    pub detected: Vec<bool>,
+    /// Per-fault: detected by the deterministic sequence `T` (the target
+    /// set `F`).
+    pub target: Vec<bool>,
+    /// Per-fault: targets given up on because `L_G` was shorter than
+    /// their detection time (cannot happen when `L_G > max u_det`).
+    pub abandoned: Vec<bool>,
+    /// The `L_G` used.
+    pub sequence_length: usize,
+}
+
+impl SynthesisResult {
+    /// Number of target faults (faults detected by `T`).
+    pub fn target_count(&self) -> usize {
+        self.target.iter().filter(|&&t| t).count()
+    }
+
+    /// Number of faults detected by the weighted sequences.
+    pub fn detected_faults(&self) -> usize {
+        self.detected.iter().filter(|&&d| d).count()
+    }
+
+    /// Whether the weighted sequences reach the coverage of `T` — the
+    /// paper's guarantee (always true when `L_G` exceeds every detection
+    /// time).
+    pub fn coverage_guaranteed(&self) -> bool {
+        self.detected
+            .iter()
+            .zip(&self.target)
+            .all(|(&d, &t)| d == t)
+    }
+
+    /// The distinct subsequences used by the assignments of `Ω` (the
+    /// Table-6 `subs` count).
+    pub fn distinct_subsequences(&self) -> Vec<crate::subseq::Subsequence> {
+        let mut subs: Vec<crate::subseq::Subsequence> = Vec::new();
+        for sel in &self.omega {
+            for s in sel.assignment.subsequences() {
+                if !subs.contains(s) {
+                    subs.push(s.clone());
+                }
+            }
+        }
+        subs
+    }
+
+    /// The longest subsequence used by `Ω` (the Table-6 `len` column).
+    pub fn max_subsequence_len(&self) -> usize {
+        self.omega
+            .iter()
+            .map(|s| s.assignment.max_len())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Runs the paper's synthesis procedure.
+///
+/// `t` is the deterministic test sequence, `faults` the target fault
+/// list. Faults that `t` does not detect are excluded from the target set
+/// `F` (the paper's guarantee is relative to `T`'s coverage).
+///
+/// # Panics
+///
+/// Panics if the circuit is not levelized, the sequence width does not
+/// match the circuit, or `cfg.sequence_length == 0`.
+pub fn synthesize_weighted_bist(
+    circuit: &Circuit,
+    t: &TestSequence,
+    faults: &FaultList,
+    cfg: &SynthesisConfig,
+) -> SynthesisResult {
+    synthesize_weighted_bist_from(circuit, t, faults, cfg, &vec![false; faults.len()])
+}
+
+/// Like [`synthesize_weighted_bist`], but treating the faults flagged in
+/// `already_detected` as covered before the procedure starts. Used by
+/// hybrid schemes that run a pseudo-random phase first (see
+/// [`crate::hybrid`]): the weighted phase then only has to cover what
+/// the random phase missed.
+///
+/// The result's `detected`/`target` flags cover only the faults the
+/// weighted phase was responsible for (targets exclude the pre-detected
+/// ones), so [`SynthesisResult::coverage_guaranteed`] still means "the
+/// weighted phase did its job".
+///
+/// # Panics
+///
+/// Panics as [`synthesize_weighted_bist`] does, or if
+/// `already_detected.len() != faults.len()`.
+pub fn synthesize_weighted_bist_from(
+    circuit: &Circuit,
+    t: &TestSequence,
+    faults: &FaultList,
+    cfg: &SynthesisConfig,
+    already_detected: &[bool],
+) -> SynthesisResult {
+    assert!(cfg.sequence_length > 0, "L_G must be positive");
+    assert_eq!(
+        already_detected.len(),
+        faults.len(),
+        "one pre-detection flag per fault"
+    );
+    let sim = FaultSim::new(circuit);
+    let det_times = sim.detection_times(faults, t);
+    let target: Vec<bool> = det_times
+        .iter()
+        .zip(already_detected)
+        .map(|(t, &pre)| t.is_some() && !pre)
+        .collect();
+    let n = faults.len();
+    let mut detected = vec![false; n];
+    let mut abandoned = vec![false; n];
+    let mut s = WeightSet::new();
+    let mut omega: Vec<SelectedAssignment> = Vec::new();
+
+    let remaining = |detected: &[bool], abandoned: &[bool]| -> Option<(usize, usize)> {
+        (0..n)
+            .filter(|&i| target[i] && !detected[i] && !abandoned[i])
+            .map(|i| (i, det_times[i].expect("targets have detection times")))
+            .max_by_key(|&(_, u)| u)
+    };
+
+    while let Some((fi, u)) = remaining(&detected, &abandoned) {
+        if u + 1 > cfg.sequence_length {
+            // T_G can never reach this fault's detection time.
+            abandoned[fi] = true;
+            continue;
+        }
+        let time_done = |detected: &[bool]| -> bool {
+            !(0..n).any(|i| target[i] && !detected[i] && det_times[i] == Some(u))
+        };
+        'ls: for ls in 1..=(u + 1) {
+            s.extend_for(t, u, ls);
+            let mut sets = CandidateSets::build_with(&s, t, u, ls, cfg.ordering);
+            if cfg.full_length_fixup {
+                sets.ensure_full_length_rank();
+            }
+            for j in 0..sets.max_rank() {
+                if !sets.rank_has_length(j, ls) {
+                    continue;
+                }
+                let Some(w) = sets.assignment_at(&s, j) else {
+                    continue;
+                };
+                let tg = w.generate(cfg.sequence_length);
+                if cfg.sample_first {
+                    let sample = screening_sample(faults, &target, &detected, fi, cfg.sample_size);
+                    if !sim.detects_any(&sample, &tg) {
+                        continue;
+                    }
+                }
+                let newly = simulate_and_drop(&sim, faults, &target, &mut detected, &tg);
+                if newly > 0 {
+                    omega.push(SelectedAssignment {
+                        assignment: w,
+                        detection_time: u,
+                        rank: j,
+                        newly_detected: newly,
+                    });
+                }
+                if time_done(&detected) {
+                    break 'ls;
+                }
+            }
+        }
+        if !detected[fi] {
+            // Unreachable when L_G > u (see module docs); kept as a
+            // safety valve so malformed inputs cannot hang the loop.
+            abandoned[fi] = true;
+        }
+    }
+
+    SynthesisResult {
+        omega,
+        weights: s,
+        detected,
+        target,
+        abandoned,
+        sequence_length: cfg.sequence_length,
+    }
+}
+
+/// Builds the screening sample: the target fault plus the first
+/// `size - 1` other undetected targets.
+fn screening_sample(
+    faults: &FaultList,
+    target: &[bool],
+    detected: &[bool],
+    fi: usize,
+    size: usize,
+) -> FaultList {
+    let all = faults.faults();
+    let mut picked: Vec<Fault> = vec![all[fi]];
+    for i in 0..all.len() {
+        if picked.len() >= size.max(1) {
+            break;
+        }
+        if i != fi && target[i] && !detected[i] {
+            picked.push(all[i]);
+        }
+    }
+    FaultList::from_faults(picked)
+}
+
+/// Simulates `tg` against the still-undetected targets and sets their
+/// flags; returns the number newly detected.
+fn simulate_and_drop(
+    sim: &FaultSim<'_>,
+    faults: &FaultList,
+    target: &[bool],
+    detected: &mut [bool],
+    tg: &TestSequence,
+) -> usize {
+    let live: Vec<usize> = (0..faults.len())
+        .filter(|&i| target[i] && !detected[i])
+        .collect();
+    if live.is_empty() {
+        return 0;
+    }
+    let live_faults: FaultList = live.iter().map(|&i| faults.faults()[i]).collect();
+    let flags = sim.detected(&live_faults, tg);
+    let mut newly = 0;
+    for (k, &i) in live.iter().enumerate() {
+        if flags[k] {
+            detected[i] = true;
+            newly += 1;
+        }
+    }
+    newly
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbist_circuits::s27;
+
+    fn setup() -> (Circuit, TestSequence, FaultList) {
+        let c = s27::circuit();
+        let t = s27::paper_test_sequence();
+        let faults = FaultList::checkpoints(&c);
+        (c, t, faults)
+    }
+
+    #[test]
+    fn s27_reaches_deterministic_coverage() {
+        let (c, t, faults) = setup();
+        let cfg = SynthesisConfig {
+            sequence_length: 100,
+            ..SynthesisConfig::default()
+        };
+        let r = synthesize_weighted_bist(&c, &t, &faults, &cfg);
+        assert_eq!(r.target_count(), 32, "T detects all 32 faults");
+        assert!(r.coverage_guaranteed());
+        assert!(!r.omega.is_empty());
+        assert!(r.abandoned.iter().all(|&a| !a));
+    }
+
+    #[test]
+    fn subsequences_are_much_shorter_than_t() {
+        let (c, t, faults) = setup();
+        let cfg = SynthesisConfig {
+            sequence_length: 100,
+            ..SynthesisConfig::default()
+        };
+        let r = synthesize_weighted_bist(&c, &t, &faults, &cfg);
+        assert!(
+            r.max_subsequence_len() <= t.len(),
+            "subsequences never exceed |T|"
+        );
+    }
+
+    #[test]
+    fn sample_first_does_not_change_coverage() {
+        let (c, t, faults) = setup();
+        let with = synthesize_weighted_bist(
+            &c,
+            &t,
+            &faults,
+            &SynthesisConfig {
+                sequence_length: 100,
+                sample_first: true,
+                sample_size: 4,
+                ..SynthesisConfig::default()
+            },
+        );
+        let without = synthesize_weighted_bist(
+            &c,
+            &t,
+            &faults,
+            &SynthesisConfig {
+                sequence_length: 100,
+                sample_first: false,
+                sample_size: 4,
+                ..SynthesisConfig::default()
+            },
+        );
+        assert!(with.coverage_guaranteed());
+        assert!(without.coverage_guaranteed());
+    }
+
+    #[test]
+    fn short_l_g_abandons_late_faults_instead_of_hanging() {
+        let (c, t, faults) = setup();
+        let cfg = SynthesisConfig {
+            sequence_length: 4, // shorter than the max detection time (9)
+            ..SynthesisConfig::default()
+        };
+        let r = synthesize_weighted_bist(&c, &t, &faults, &cfg);
+        assert!(r.abandoned.iter().any(|&a| a));
+        assert!(!r.coverage_guaranteed());
+    }
+
+    #[test]
+    fn omega_assignments_actually_detect() {
+        // Re-simulating Ω's sequences must reproduce the detected set.
+        let (c, t, faults) = setup();
+        let cfg = SynthesisConfig {
+            sequence_length: 100,
+            ..SynthesisConfig::default()
+        };
+        let r = synthesize_weighted_bist(&c, &t, &faults, &cfg);
+        let sim = FaultSim::new(&c);
+        let mut detected = vec![false; faults.len()];
+        for sel in &r.omega {
+            let flags = sim.detected(&faults, &sel.sequence(cfg.sequence_length));
+            for (d, f) in detected.iter_mut().zip(flags) {
+                *d |= f;
+            }
+        }
+        for i in 0..faults.len() {
+            if r.target[i] {
+                assert!(detected[i], "target fault {i} not covered by Ω");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_fault_list_is_fine() {
+        let (c, t, _) = setup();
+        let r = synthesize_weighted_bist(
+            &c,
+            &t,
+            &FaultList::from_faults(vec![]),
+            &SynthesisConfig::default(),
+        );
+        assert!(r.omega.is_empty());
+        assert_eq!(r.target_count(), 0);
+        assert!(r.coverage_guaranteed());
+    }
+}

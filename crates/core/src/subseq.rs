@@ -1,0 +1,274 @@
+//! Subsequence weights: the paper's basic objects.
+//!
+//! A *weight* is a finite 0/1 subsequence `α`. Assigning `α` to a primary
+//! input means the input receives the periodic sequence `α^r = α α α …`.
+//! At an arbitrary time unit `u'`, the stream `α^r` carries
+//! `α(u' % L_S)` where `L_S` is the length of `α` (paper, Section 3).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A finite 0/1 subsequence `α` used as a weight.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Subsequence {
+    bits: Vec<bool>,
+}
+
+/// Error returned when parsing a [`Subsequence`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSubsequenceError {
+    /// The offending character.
+    pub ch: char,
+}
+
+impl fmt::Display for ParseSubsequenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid subsequence character {:?}", self.ch)
+    }
+}
+
+impl std::error::Error for ParseSubsequenceError {}
+
+impl Subsequence {
+    /// Creates a subsequence from bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty — a weight must produce a value at every
+    /// time unit.
+    pub fn new(bits: Vec<bool>) -> Self {
+        assert!(!bits.is_empty(), "subsequence must be non-empty");
+        Subsequence { bits }
+    }
+
+    /// The length `L_S` of the subsequence.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Always false; subsequences are non-empty by construction. Provided
+    /// for API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The raw bits of `α`.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// The value carried by the periodic stream `α^r` at time unit `u`:
+    /// `α(u % L_S)`.
+    #[inline]
+    pub fn value_at(&self, u: usize) -> bool {
+        self.bits[u % self.bits.len()]
+    }
+
+    /// The first `len` values of the periodic stream `α^r`.
+    pub fn stream(&self, len: usize) -> Vec<bool> {
+        (0..len).map(|u| self.value_at(u)).collect()
+    }
+
+    /// Derives the subsequence `α` of length `ls` that reproduces `track`
+    /// over the window of time units `u - ls + 1 ..= u`:
+    /// `α(u' % ls) = track(u')` (paper, Section 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ls == 0`, `ls > u + 1` (the window would start before
+    /// time 0) or `u >= track.len()`.
+    pub fn derive(track: &[bool], u: usize, ls: usize) -> Self {
+        assert!(ls > 0, "subsequence length must be positive");
+        assert!(ls <= u + 1, "window starts before time 0");
+        assert!(u < track.len(), "u beyond end of track");
+        let mut bits = vec![false; ls];
+        for u_prime in (u + 1 - ls)..=u {
+            bits[u_prime % ls] = track[u_prime];
+        }
+        Subsequence { bits }
+    }
+
+    /// Whether `α^r` matches `track` perfectly on the last `L_S` time
+    /// units ending at `u`, i.e. `track(u') == α(u' % L_S)` for
+    /// `u - L_S + 1 <= u' <= u`. Returns `false` when the window would
+    /// start before time 0.
+    pub fn matches_window(&self, track: &[bool], u: usize) -> bool {
+        let ls = self.bits.len();
+        if ls > u + 1 || u >= track.len() {
+            return false;
+        }
+        ((u + 1 - ls)..=u).all(|u_prime| track[u_prime] == self.value_at(u_prime))
+    }
+
+    /// The number of time units `u'` at which `α^r` matches `track`
+    /// (the paper's `n_m`).
+    pub fn count_matches(&self, track: &[bool]) -> usize {
+        track
+            .iter()
+            .enumerate()
+            .filter(|&(u, &v)| v == self.value_at(u))
+            .count()
+    }
+
+    /// The primitive root of `α`: the shortest prefix `p` such that `α`
+    /// is `p` repeated an integer number of times. Two subsequences
+    /// produce the same stream when repeated iff they have equal primitive
+    /// roots (e.g. `01` and `0101`).
+    pub fn primitive_root(&self) -> Subsequence {
+        let n = self.bits.len();
+        for d in 1..=n {
+            if !n.is_multiple_of(d) {
+                continue;
+            }
+            if (0..n).all(|k| self.bits[k] == self.bits[k % d]) {
+                return Subsequence {
+                    bits: self.bits[..d].to_vec(),
+                };
+            }
+        }
+        unreachable!("d = n always divides and matches");
+    }
+
+    /// Whether `self` and `other` produce identical streams when repeated.
+    pub fn same_stream(&self, other: &Subsequence) -> bool {
+        self.primitive_root() == other.primitive_root()
+    }
+}
+
+impl FromStr for Subsequence {
+    type Err = ParseSubsequenceError;
+
+    /// Parses `"0"`/`"1"` text, e.g. `"100"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut bits = Vec::with_capacity(s.len());
+        for ch in s.chars() {
+            match ch {
+                '0' => bits.push(false),
+                '1' => bits.push(true),
+                c => return Err(ParseSubsequenceError { ch: c }),
+            }
+        }
+        if bits.is_empty() {
+            return Err(ParseSubsequenceError { ch: ' ' });
+        }
+        Ok(Subsequence { bits })
+    }
+}
+
+impl fmt::Display for Subsequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in &self.bits {
+            f.write_str(if b { "1" } else { "0" })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sub(s: &str) -> Subsequence {
+        s.parse().expect("test literals are valid")
+    }
+
+    fn track(s: &str) -> Vec<bool> {
+        s.chars().map(|c| c == '1').collect()
+    }
+
+    #[test]
+    fn stream_is_periodic() {
+        let a = sub("100");
+        assert_eq!(
+            a.stream(8),
+            track("10010010"),
+            "repeating 100 gives 10010010…"
+        );
+        assert!(a.value_at(0));
+        assert!(!a.value_at(1));
+        assert!(a.value_at(3));
+    }
+
+    #[test]
+    fn paper_example_matches_t0() {
+        // Paper §2: T_0 = 0101011001, u = 9.
+        let t0 = track("0101011001");
+        // α = 1 matches at u=9 and at five time units total.
+        let a1 = sub("1");
+        assert!(a1.matches_window(&t0, 9));
+        assert_eq!(a1.count_matches(&t0), 5);
+        // α = 01 matches time units 8 and 9, 8 matches total.
+        let a01 = sub("01");
+        assert!(a01.matches_window(&t0, 9));
+        assert_eq!(a01.count_matches(&t0), 8);
+        // α = 100 matches at 7, 8, 9 and 7 matches total.
+        let a100 = sub("100");
+        assert!(a100.matches_window(&t0, 9));
+        assert_eq!(a100.count_matches(&t0), 7);
+    }
+
+    #[test]
+    fn paper_example_derivation_0110() {
+        // Paper §3: T_0 = 0101011001, u = 8, L_S = 4 → α = 0110,
+        // whose repetition 011001100… matches T_0 at times 5..=8.
+        let t0 = track("0101011001");
+        let a = Subsequence::derive(&t0, 8, 4);
+        assert_eq!(a.to_string(), "0110");
+        assert!(a.matches_window(&t0, 8));
+        assert_eq!(a.stream(9), track("011001100"));
+    }
+
+    #[test]
+    fn paper_example_derivation_other_inputs() {
+        // Paper §3 continues: for input 1 α = 0000, input 2 α = 0100.
+        let t1 = track("1010100000");
+        assert_eq!(Subsequence::derive(&t1, 8, 4).to_string(), "0000");
+        // T_2 from Table 1: 1000101001 — wait, read column i=2:
+        // u0..u9 = 1,0,1,0,0,1,0,0,0,1.
+        let t2 = track("1010010001");
+        assert_eq!(Subsequence::derive(&t2, 8, 4).to_string(), "0100");
+    }
+
+    #[test]
+    fn derive_inverts_matching() {
+        // Whatever we derive must match its own window.
+        let tr = track("110100101101");
+        for u in 0..tr.len() {
+            for ls in 1..=(u + 1) {
+                let a = Subsequence::derive(&tr, u, ls);
+                assert!(a.matches_window(&tr, u), "u={u} ls={ls}");
+            }
+        }
+    }
+
+    #[test]
+    fn window_out_of_range_is_no_match() {
+        let a = sub("101");
+        assert!(!a.matches_window(&track("11"), 1)); // window before t=0
+        assert!(!a.matches_window(&track("101"), 5)); // u beyond track
+    }
+
+    #[test]
+    fn primitive_roots() {
+        assert_eq!(sub("0101").primitive_root(), sub("01"));
+        assert_eq!(sub("00").primitive_root(), sub("0"));
+        assert_eq!(sub("0110").primitive_root(), sub("0110"));
+        assert!(sub("01").same_stream(&sub("010101")));
+        assert!(!sub("01").same_stream(&sub("10")));
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["0", "1", "01", "100", "11001"] {
+            assert_eq!(sub(s).to_string(), s);
+        }
+        assert!("01x".parse::<Subsequence>().is_err());
+        assert!("".parse::<Subsequence>().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn derive_rejects_early_window() {
+        let _ = Subsequence::derive(&track("1010"), 1, 3);
+    }
+}

@@ -1,0 +1,175 @@
+//! The set of weights `S` (paper, Section 3).
+//!
+//! `S` accumulates subsequences derived from the deterministic test
+//! sequence `T`. For a detection time `u` and a length `L_S`, the
+//! subsequence added for input `i` is the unique `α` of length `L_S` with
+//! `α(u' % L_S) = T_i(u')` for the window `u - L_S + 1 ..= u`; repeating
+//! it reproduces `T_i` perfectly over that window.
+//!
+//! Duplicate subsequences are kept only once, but — following the paper —
+//! subsequences that produce identical *streams* (`0` vs `00`) are kept as
+//! distinct members of `S`, because they occupy different lengths and the
+//! assignment-selection machinery is organized per length. Stream
+//! deduplication happens later, in the hardware step.
+
+use crate::subseq::Subsequence;
+use std::collections::HashMap;
+use wbist_sim::TestSequence;
+
+/// The ordered set `S` of candidate weights.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WeightSet {
+    subs: Vec<Subsequence>,
+    index: HashMap<Subsequence, usize>,
+}
+
+impl WeightSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        WeightSet::default()
+    }
+
+    /// Builds the set of *all* subsequences of length 1 to `max_len` —
+    /// the `S` the paper's Table 4 uses for its worked example.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_len == 0` or `max_len > 20` (the set has `2^(L+1)-2`
+    /// members; larger requests are almost certainly mistakes).
+    pub fn all_up_to(max_len: usize) -> Self {
+        assert!((1..=20).contains(&max_len), "max_len must be 1..=20");
+        let mut s = WeightSet::new();
+        for ls in 1..=max_len {
+            for code in 0..(1u32 << ls) {
+                // The paper's Table 4 orders each length block 0,1 / 00,10,
+                // 01,11 / … — i.e. bit for the *earlier* time unit varies
+                // slowest… inspecting the table: 00,10,01,11 means the
+                // first position is the fastest-varying. Encode that order.
+                let bits: Vec<bool> = (0..ls).map(|k| code >> k & 1 == 1).collect();
+                s.insert(Subsequence::new(bits));
+            }
+        }
+        s
+    }
+
+    /// Inserts a subsequence if not already present; returns its index in
+    /// `S`.
+    pub fn insert(&mut self, sub: Subsequence) -> usize {
+        if let Some(&i) = self.index.get(&sub) {
+            return i;
+        }
+        let i = self.subs.len();
+        self.index.insert(sub.clone(), i);
+        self.subs.push(sub);
+        i
+    }
+
+    /// Extends `S` with the subsequences of length `ls` derived from every
+    /// input track of `t`, for the window ending at detection time `u`
+    /// (paper, Section 3). Returns the indices of the derived
+    /// subsequences, one per input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ls == 0`, `ls > u + 1`, or `u >= t.len()`.
+    pub fn extend_for(&mut self, t: &TestSequence, u: usize, ls: usize) -> Vec<usize> {
+        (0..t.num_inputs())
+            .map(|i| {
+                let track = t.input_track(i);
+                self.insert(Subsequence::derive(&track, u, ls))
+            })
+            .collect()
+    }
+
+    /// Number of subsequences in `S`.
+    pub fn len(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Whether `S` is empty.
+    pub fn is_empty(&self) -> bool {
+        self.subs.is_empty()
+    }
+
+    /// The subsequence with index `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn get(&self, j: usize) -> &Subsequence {
+        &self.subs[j]
+    }
+
+    /// The index of `sub` in `S`, if present.
+    pub fn position(&self, sub: &Subsequence) -> Option<usize> {
+        self.index.get(sub).copied()
+    }
+
+    /// Iterates over `(index, subsequence)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Subsequence)> {
+        self.subs.iter().enumerate()
+    }
+
+    /// The largest subsequence length currently in `S` (0 when empty).
+    pub fn max_len(&self) -> usize {
+        self.subs.iter().map(Subsequence::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_up_to_matches_table4() {
+        // Paper Table 4: j: 0..13 → 0,1,00,10,01,11,000,100,010,110,001,
+        // 101,011,111.
+        let s = WeightSet::all_up_to(3);
+        let expect = [
+            "0", "1", "00", "10", "01", "11", "000", "100", "010", "110", "001", "101", "011",
+            "111",
+        ];
+        assert_eq!(s.len(), expect.len());
+        for (j, text) in expect.iter().enumerate() {
+            assert_eq!(s.get(j).to_string(), *text, "index {j}");
+        }
+    }
+
+    #[test]
+    fn insert_dedupes() {
+        let mut s = WeightSet::new();
+        let a = s.insert("01".parse().expect("valid"));
+        let b = s.insert("01".parse().expect("valid"));
+        assert_eq!(a, b);
+        assert_eq!(s.len(), 1);
+        // But 0 and 00 are distinct members (same stream, different length).
+        s.insert("0".parse().expect("valid"));
+        s.insert("00".parse().expect("valid"));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn extend_for_derives_per_input() {
+        // Paper §3 example: u = 8, L_S = 4 on the s27 sequence adds
+        // 0110, 0000, 0100 (and 0110 again for input 3).
+        let t = wbist_sim::TestSequence::parse_rows(&[
+            "0111", "1001", "0111", "1001", "0100", "1011", "1001", "0000", "0000", "1011",
+        ])
+        .expect("valid rows");
+        let mut s = WeightSet::new();
+        let idx = s.extend_for(&t, 8, 4);
+        assert_eq!(s.get(idx[0]).to_string(), "0110");
+        assert_eq!(s.get(idx[1]).to_string(), "0000");
+        assert_eq!(s.get(idx[2]).to_string(), "0100");
+        assert_eq!(idx[3], idx[0], "inputs 0 and 3 share 0110");
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.max_len(), 4);
+    }
+
+    #[test]
+    fn position_lookup() {
+        let s = WeightSet::all_up_to(2);
+        assert_eq!(s.position(&"01".parse().expect("valid")), Some(4));
+        assert_eq!(s.position(&"000".parse().expect("valid")), None);
+    }
+}

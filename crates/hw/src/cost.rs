@@ -1,0 +1,119 @@
+//! Hardware cost model for the synthesized test generator.
+//!
+//! Reports the figures a DFT engineer would ask about before adopting
+//! the scheme: how many flip-flops, gates and literals the generator
+//! costs, split into its architectural pieces (weight FSMs, counters,
+//! multiplexers), plus the Table-6 FSM summary (`num`/`out` columns).
+
+use crate::fsm::FsmBank;
+use crate::generator::TestGenerator;
+
+/// A cost breakdown of one synthesized test generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostReport {
+    /// Number of weight FSMs (= distinct subsequence lengths; the
+    /// Table-6 `num` column).
+    pub num_fsms: usize,
+    /// Total FSM outputs (= deduplicated subsequences; the Table-6
+    /// `out` column).
+    pub fsm_outputs: usize,
+    /// State bits across all weight FSMs.
+    pub fsm_state_bits: u32,
+    /// Two-level literals of all FSM output functions.
+    pub output_literals: usize,
+    /// Two-level literals of all FSM next-state functions.
+    pub next_state_literals: usize,
+    /// Flip-flops in the whole generator (FSMs + phase + session
+    /// counters).
+    pub total_dffs: usize,
+    /// Gates in the whole generator netlist.
+    pub total_gates: usize,
+    /// Gate-input literals in the whole generator netlist.
+    pub total_literals: usize,
+}
+
+/// Computes the cost report for a synthesized generator.
+pub fn generator_cost(gen: &TestGenerator) -> CostReport {
+    let bank = &gen.bank;
+    CostReport {
+        num_fsms: bank.num_fsms(),
+        fsm_outputs: bank.total_outputs(),
+        fsm_state_bits: bank.total_state_bits(),
+        output_literals: logic_literals(bank, true),
+        next_state_literals: logic_literals(bank, false),
+        total_dffs: gen.circuit.num_dffs(),
+        total_gates: gen.circuit.num_gates(),
+        total_literals: gen.circuit.literal_count(),
+    }
+}
+
+fn logic_literals(bank: &FsmBank, outputs: bool) -> usize {
+    bank.fsms()
+        .iter()
+        .map(|f| {
+            let sops = if outputs {
+                f.output_logic()
+            } else {
+                f.next_state_logic()
+            };
+            sops.iter().map(|s| s.literals()).sum::<usize>()
+        })
+        .sum()
+}
+
+impl std::fmt::Display for CostReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "weight FSMs: {} ({} outputs, {} state bits)",
+            self.num_fsms, self.fsm_outputs, self.fsm_state_bits
+        )?;
+        writeln!(
+            f,
+            "FSM logic: {} output literals, {} next-state literals",
+            self.output_literals, self.next_state_literals
+        )?;
+        write!(
+            f,
+            "generator netlist: {} DFFs, {} gates, {} literals",
+            self.total_dffs, self.total_gates, self.total_literals
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::build_generator;
+    use wbist_core::{SelectedAssignment, Subsequence, WeightAssignment};
+
+    fn sel(subs: &[&str]) -> SelectedAssignment {
+        SelectedAssignment {
+            assignment: WeightAssignment::new(
+                subs.iter()
+                    .map(|s| s.parse::<Subsequence>().expect("valid"))
+                    .collect(),
+            ),
+            detection_time: 0,
+            rank: 0,
+            newly_detected: 0,
+        }
+    }
+
+    #[test]
+    fn cost_report_is_consistent() {
+        let omega = vec![sel(&["01", "0", "100", "1"]), sel(&["100", "00", "01", "100"])];
+        let gen = build_generator(&omega, 16).expect("synthesis succeeds");
+        let cost = generator_cost(&gen);
+        // Subsequences after stream dedup: 01, 0, 100, 1 (00 ≡ 0).
+        assert_eq!(cost.fsm_outputs, 4);
+        assert_eq!(cost.num_fsms, 3, "lengths 1, 2, 3");
+        // 0 state bits (len 1) + 1 (len 2) + 2 (len 3).
+        assert_eq!(cost.fsm_state_bits, 3);
+        assert!(cost.total_dffs >= 3, "FSM bits + counters");
+        assert!(cost.total_gates > 0);
+        assert!(cost.total_literals >= cost.total_gates);
+        let text = cost.to_string();
+        assert!(text.contains("weight FSMs: 3"));
+    }
+}

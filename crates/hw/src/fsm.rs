@@ -1,0 +1,269 @@
+//! Weight FSMs (paper, Section 3 and the `FSMs` columns of Table 6).
+//!
+//! A weight represented by a subsequence `α` of length `L_S` is produced
+//! by an autonomous FSM: a modulo-`L_S` counter over `⌈log2 L_S⌉` state
+//! bits plus one output function per subsequence. All subsequences of the
+//! same length share one FSM (the counter is common; only the output
+//! logic differs), so the number of FSMs equals the number of distinct
+//! subsequence lengths and the number of FSM outputs equals the number of
+//! distinct subsequences.
+//!
+//! Before grouping, subsequences that produce identical streams when
+//! repeated (`01` vs `0101`) are replaced by their primitive roots and
+//! deduplicated, as the paper prescribes for the implementation step.
+
+use crate::qm::{minimize, Sop};
+use wbist_core::{SelectedAssignment, Subsequence};
+
+/// One FSM producing every subsequence of one length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightFsm {
+    /// The shared period `L_S` of this FSM's outputs.
+    pub length: usize,
+    /// The subsequences produced, one output each.
+    pub outputs: Vec<Subsequence>,
+}
+
+impl WeightFsm {
+    /// Number of state variables: `⌈log2 L_S⌉` (0 for `L_S = 1`).
+    pub fn state_bits(&self) -> u32 {
+        usize::BITS - (self.length - 1).leading_zeros()
+    }
+
+    /// Number of reachable states (= `L_S`).
+    pub fn num_states(&self) -> usize {
+        self.length
+    }
+
+    /// The transition/output table, one row per reachable state in visit
+    /// order: `(state, next_state, output bits)` — the shape of the
+    /// paper's Table 3.
+    pub fn table(&self) -> Vec<(usize, usize, Vec<bool>)> {
+        (0..self.length)
+            .map(|s| {
+                let next = (s + 1) % self.length;
+                let outs = self.outputs.iter().map(|a| a.bits()[s]).collect();
+                (s, next, outs)
+            })
+            .collect()
+    }
+
+    /// Minimized output functions over the state bits, with unreachable
+    /// state codes as don't-cares (the paper's observation (2)).
+    pub fn output_logic(&self) -> Vec<Sop> {
+        let bits = self.state_bits().max(1);
+        let dc: Vec<u32> = (self.length as u32..(1u32 << bits)).collect();
+        self.outputs
+            .iter()
+            .map(|a| {
+                let on: Vec<u32> = (0..self.length as u32)
+                    .filter(|&s| a.bits()[s as usize])
+                    .collect();
+                minimize(bits, &on, &dc)
+            })
+            .collect()
+    }
+
+    /// Minimized next-state functions (one per state bit) of the
+    /// modulo-`L_S` counter, unreachable codes as don't-cares.
+    pub fn next_state_logic(&self) -> Vec<Sop> {
+        let bits = self.state_bits();
+        if bits == 0 {
+            return Vec::new();
+        }
+        let dc: Vec<u32> = (self.length as u32..(1u32 << bits)).collect();
+        (0..bits)
+            .map(|bit| {
+                let on: Vec<u32> = (0..self.length as u32)
+                    .filter(|&s| {
+                        let next = (s + 1) % self.length as u32;
+                        next >> bit & 1 == 1
+                    })
+                    .collect();
+                minimize(bits, &on, &dc)
+            })
+            .collect()
+    }
+}
+
+/// The bank of weight FSMs implementing a set of subsequences.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FsmBank {
+    fsms: Vec<WeightFsm>,
+}
+
+impl FsmBank {
+    /// Builds the bank for an explicit set of subsequences: primitive-root
+    /// deduplication, then one FSM per remaining length (ascending).
+    pub fn from_subsequences(subs: &[Subsequence]) -> Self {
+        let mut roots: Vec<Subsequence> = Vec::new();
+        for s in subs {
+            let r = s.primitive_root();
+            if !roots.contains(&r) {
+                roots.push(r);
+            }
+        }
+        let mut lengths: Vec<usize> = roots.iter().map(Subsequence::len).collect();
+        lengths.sort_unstable();
+        lengths.dedup();
+        let fsms = lengths
+            .into_iter()
+            .map(|len| WeightFsm {
+                length: len,
+                outputs: roots.iter().filter(|r| r.len() == len).cloned().collect(),
+            })
+            .collect();
+        FsmBank { fsms }
+    }
+
+    /// Builds the bank for the subsequences used by a set of selected
+    /// weight assignments (the hardware for `Ω`).
+    pub fn from_assignments(omega: &[SelectedAssignment]) -> Self {
+        let subs: Vec<Subsequence> = omega
+            .iter()
+            .flat_map(|sel| sel.assignment.subsequences().iter().cloned())
+            .collect();
+        Self::from_subsequences(&subs)
+    }
+
+    /// The FSMs, ordered by increasing length.
+    pub fn fsms(&self) -> &[WeightFsm] {
+        &self.fsms
+    }
+
+    /// Number of FSMs (the Table-6 `num` column).
+    pub fn num_fsms(&self) -> usize {
+        self.fsms.len()
+    }
+
+    /// Total outputs across all FSMs (the Table-6 `out` column).
+    pub fn total_outputs(&self) -> usize {
+        self.fsms.iter().map(|f| f.outputs.len()).sum()
+    }
+
+    /// Total state bits across all FSMs.
+    pub fn total_state_bits(&self) -> u32 {
+        self.fsms.iter().map(WeightFsm::state_bits).sum()
+    }
+
+    /// Looks up which FSM output produces the stream of `sub` (after
+    /// primitive-root reduction). Returns `(fsm index, output index)`.
+    pub fn locate(&self, sub: &Subsequence) -> Option<(usize, usize)> {
+        let root = sub.primitive_root();
+        for (fi, fsm) in self.fsms.iter().enumerate() {
+            if fsm.length == root.len() {
+                if let Some(oi) = fsm.outputs.iter().position(|o| *o == root) {
+                    return Some((fi, oi));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sub(text: &str) -> Subsequence {
+        text.parse().expect("valid")
+    }
+
+    #[test]
+    fn table3_fsm() {
+        // Paper Table 3: one FSM producing 00010, 01011 and 11001.
+        let fsm = WeightFsm {
+            length: 5,
+            outputs: vec![sub("00010"), sub("01011"), sub("11001")],
+        };
+        assert_eq!(fsm.state_bits(), 3);
+        assert_eq!(fsm.num_states(), 5);
+        let table = fsm.table();
+        // Row A (state 0): next B, outputs 0,0,1.
+        assert_eq!(table[0], (0, 1, vec![false, false, true]));
+        // Row D (state 3): next E, outputs 1,1,0.
+        assert_eq!(table[3], (3, 4, vec![true, true, false]));
+        // Row E (state 4): wraps to A, outputs 0,1,1.
+        assert_eq!(table[4], (4, 0, vec![false, true, true]));
+    }
+
+    #[test]
+    fn output_logic_matches_table() {
+        let fsm = WeightFsm {
+            length: 5,
+            outputs: vec![sub("00010"), sub("01011"), sub("11001")],
+        };
+        let logic = fsm.output_logic();
+        assert_eq!(logic.len(), 3);
+        for (oi, sop) in logic.iter().enumerate() {
+            for s in 0..5u32 {
+                assert_eq!(
+                    sop.eval(s),
+                    fsm.outputs[oi].bits()[s as usize],
+                    "output {oi} state {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn next_state_logic_counts_mod_l() {
+        let fsm = WeightFsm {
+            length: 5,
+            outputs: vec![sub("00010")],
+        };
+        let ns = fsm.next_state_logic();
+        assert_eq!(ns.len(), 3);
+        for s in 0..5u32 {
+            let expect = (s + 1) % 5;
+            for bit in 0..3 {
+                assert_eq!(
+                    ns[bit].eval(s),
+                    expect >> bit & 1 == 1,
+                    "state {s} bit {bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bank_dedupes_identical_streams() {
+        // 01 and 0101 produce the same stream; 0 and 00 likewise.
+        let bank =
+            FsmBank::from_subsequences(&[sub("01"), sub("0101"), sub("0"), sub("00"), sub("110")]);
+        assert_eq!(bank.total_outputs(), 3, "01, 0, 110 remain");
+        assert_eq!(bank.num_fsms(), 3, "lengths 1, 2, 3");
+    }
+
+    #[test]
+    fn locate_finds_roots() {
+        let bank = FsmBank::from_subsequences(&[sub("01"), sub("110")]);
+        let (f, o) = bank.locate(&sub("0101")).expect("stream exists");
+        assert_eq!(bank.fsms()[f].outputs[o], sub("01"));
+        assert!(bank.locate(&sub("111")).is_none());
+    }
+
+    #[test]
+    fn length_one_fsm_has_no_state() {
+        let fsm = WeightFsm {
+            length: 1,
+            outputs: vec![sub("1"), sub("0")],
+        };
+        assert_eq!(fsm.state_bits(), 0);
+        assert!(fsm.next_state_logic().is_empty());
+        let logic = fsm.output_logic();
+        assert_eq!(logic[0], Sop::One);
+        assert_eq!(logic[1], Sop::Zero);
+    }
+
+    #[test]
+    fn state_bits_formula() {
+        for (len, bits) in [(1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4)] {
+            let fsm = WeightFsm {
+                length: len,
+                outputs: vec![Subsequence::new(vec![true; len])],
+            };
+            assert_eq!(fsm.state_bits(), bits, "len {len}");
+        }
+    }
+}

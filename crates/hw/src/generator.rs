@@ -1,0 +1,633 @@
+//! Structural synthesis of the complete test generator (paper, Figure 1).
+//!
+//! The generated hardware is itself a [`Circuit`] in the workspace's own
+//! netlist IR, which makes it simulatable by `wbist-sim` — the tests run
+//! the synthesized netlist and compare its output streams bit-for-bit
+//! against [`WeightAssignment::generate`], a hardware-in-the-loop
+//! self-check.
+//!
+//! Structure (one clock domain, one synchronous active-high `rst` input):
+//!
+//! * a **phase counter** counting `0 .. L_G-1` (one weighted sequence per
+//!   weight assignment);
+//! * a **session counter** of `⌈log2 |Ω|⌉` bits advancing when the phase
+//!   counter wraps — the `s_1 s_2` control inputs of Figure 1;
+//! * one **weight FSM** per subsequence length (shared output logic per
+//!   subsequence, modulo-`L_S` counter, reset at every session boundary so
+//!   each weighted sequence starts at `α(0)`);
+//! * an **output multiplexer** per circuit input selecting the FSM output
+//!   of the subsequence the current assignment gives that input.
+//!
+//! [`WeightAssignment::generate`]: wbist_core::WeightAssignment::generate
+
+use crate::fsm::FsmBank;
+use crate::qm::Sop;
+use wbist_core::SelectedAssignment;
+use wbist_netlist::{Circuit, GateKind, NetId, NetlistError};
+
+/// A synthesized test generator.
+#[derive(Debug, Clone)]
+pub struct TestGenerator {
+    /// The structural netlist: inputs `rst`; outputs `OUT<i>`, one per
+    /// circuit-under-test input.
+    pub circuit: Circuit,
+    /// The weight FSM bank implementing the subsequences.
+    pub bank: FsmBank,
+    /// Number of weight assignments the session counter walks through.
+    pub num_assignments: usize,
+    /// Cycles per assignment (`L_G`).
+    pub sequence_length: usize,
+}
+
+/// Builds the Figure-1 test generator for the assignments of `omega`,
+/// applying `sequence_length` cycles per assignment.
+///
+/// # Errors
+///
+/// Returns a [`NetlistError`] if synthesis produces an invalid netlist
+/// (cannot happen for well-formed inputs; surfaced rather than unwrapped
+/// so callers keep a typed error path).
+///
+/// # Panics
+///
+/// Panics if `omega` is empty or `sequence_length == 0`.
+pub fn build_generator(
+    omega: &[SelectedAssignment],
+    sequence_length: usize,
+) -> Result<TestGenerator, NetlistError> {
+    assert!(!omega.is_empty(), "need at least one weight assignment");
+    assert!(sequence_length > 0, "L_G must be positive");
+    let bank = FsmBank::from_assignments(omega);
+    let num_inputs = omega[0].assignment.num_inputs();
+
+    let mut c = Circuit::new("weight_test_generator");
+    let rst = c.add_input("rst");
+    let nrst = c.add_gate(GateKind::Not, "nrst", &[rst])?;
+
+    let mut b = Builder {
+        c: &mut c,
+        nrst,
+        tmp: 0,
+    };
+
+    // Phase counter: 0 .. L_G - 1.
+    let (phase_bits, phase_wrap) = b.modulo_counter("ph", sequence_length, None)?;
+    let _ = phase_bits;
+
+    // Session counter: advances on phase wrap, wraps freely.
+    let sess_width = usize::BITS - (omega.len().max(2) - 1).leading_zeros();
+    let session_bits = b.binary_counter("se", sess_width as usize, phase_wrap)?;
+
+    // Weight FSMs: reset on session boundary so every T_G starts at α(0).
+    // When L_G == 1 the phase wraps every cycle, i.e. the FSMs stay in
+    // state 0 — expressed with a constant-1 clear.
+    // fsm_outputs[fi][oi] = net carrying that subsequence's stream.
+    let fsm_clear = match phase_wrap {
+        Some(w) => Some(w),
+        None => Some(b.c.add_const("const1", true)?),
+    };
+    let mut fsm_outputs: Vec<Vec<NetId>> = Vec::new();
+    for (fi, fsm) in bank.fsms().iter().enumerate() {
+        let clear = fsm_clear;
+        let (state, _) = b.modulo_counter(&format!("f{fi}"), fsm.length, clear)?;
+        let logic = fsm.output_logic();
+        let mut outs = Vec::new();
+        for (oi, sop) in logic.iter().enumerate() {
+            outs.push(b.sop(&format!("f{fi}z{oi}"), sop, &state)?);
+        }
+        fsm_outputs.push(outs);
+    }
+
+    // Session decoders: one per assignment.
+    let decodes: Vec<NetId> = (0..omega.len())
+        .map(|a| b.eq_const(&format!("dec{a}"), &session_bits, a))
+        .collect::<Result<_, _>>()?;
+
+    // Per-input multiplexers.
+    for i in 0..num_inputs {
+        let mut terms = Vec::new();
+        for (a, sel) in omega.iter().enumerate() {
+            let sub = &sel.assignment.subsequences()[i];
+            let (fi, oi) = bank
+                .locate(sub)
+                .expect("bank was built from these assignments");
+            let term = b.c.add_gate(
+                GateKind::And,
+                &format!("mux{i}a{a}"),
+                &[decodes[a], fsm_outputs[fi][oi]],
+            )?;
+            terms.push(term);
+        }
+        let out = if terms.len() == 1 {
+            b.c.add_gate(GateKind::Buf, &format!("OUT{i}"), &terms)?
+        } else {
+            b.c.add_gate(GateKind::Or, &format!("OUT{i}"), &terms)?
+        };
+        b.c.mark_output(out);
+    }
+
+    let circuit = c.levelize()?;
+    Ok(TestGenerator {
+        circuit,
+        bank,
+        num_assignments: omega.len(),
+        sequence_length,
+    })
+}
+
+/// A synthesized *hybrid* test generator: pseudo-random LFSR sessions
+/// followed by weighted-sequence sessions (the paper's future-work
+/// extension, implemented in `wbist-core`'s
+/// [`hybrid`](wbist_core::hybrid) module).
+#[derive(Debug, Clone)]
+pub struct HybridGenerator {
+    /// The structural netlist: input `rst`; outputs `OUT<i>`.
+    pub circuit: Circuit,
+    /// The weight FSM bank for the weighted sessions.
+    pub bank: FsmBank,
+    /// Leading pure-random sessions.
+    pub num_random_sessions: usize,
+    /// Weighted sessions following the random phase.
+    pub num_assignments: usize,
+    /// Cycles per session (`L_G`).
+    pub sequence_length: usize,
+    /// LFSR stages.
+    pub lfsr_width: u32,
+}
+
+/// Builds the hybrid Figure-1 generator: `random_sessions` LFSR-driven
+/// sessions, then one session per assignment of `omega`. The on-chip
+/// LFSR resets to state `…0001` and input `i` taps stage `i % width`, so
+/// the random stimulus matches
+/// [`Lfsr::parallel_sequence`](wbist_atpg::Lfsr::parallel_sequence) with
+/// seed 1 bit-for-bit.
+///
+/// # Errors
+///
+/// Returns a [`NetlistError`] if synthesis produces an invalid netlist
+/// (cannot happen for well-formed inputs).
+///
+/// # Panics
+///
+/// Panics if `omega` is empty, `sequence_length == 0`, or `lfsr_width`
+/// is outside `2..=32`.
+pub fn build_hybrid_generator(
+    omega: &[SelectedAssignment],
+    sequence_length: usize,
+    random_sessions: usize,
+    lfsr_width: u32,
+) -> Result<HybridGenerator, NetlistError> {
+    assert!(!omega.is_empty(), "need at least one weight assignment");
+    assert!(sequence_length > 0, "L_G must be positive");
+    let bank = FsmBank::from_assignments(omega);
+    let num_inputs = omega[0].assignment.num_inputs();
+    let total_sessions = random_sessions + omega.len();
+
+    let mut c = Circuit::new("hybrid_test_generator");
+    let rst = c.add_input("rst");
+    let nrst = c.add_gate(GateKind::Not, "nrst", &[rst])?;
+    let mut b = Builder {
+        c: &mut c,
+        nrst,
+        tmp: 0,
+    };
+
+    let (_, phase_wrap) = b.modulo_counter("ph", sequence_length, None)?;
+    let sess_width = usize::BITS - (total_sessions.max(2) - 1).leading_zeros();
+    let session_bits = b.binary_counter("se", sess_width as usize, phase_wrap)?;
+    let fsm_clear = match phase_wrap {
+        Some(w) => Some(w),
+        None => Some(b.c.add_const("const1", true)?),
+    };
+
+    // The shared LFSR (free-running; reset to state 1).
+    let lfsr_bits = b.lfsr("lfsr", lfsr_width, rst)?;
+
+    // Weight FSMs.
+    let mut fsm_outputs: Vec<Vec<NetId>> = Vec::new();
+    for (fi, fsm) in bank.fsms().iter().enumerate() {
+        let (state, _) = b.modulo_counter(&format!("f{fi}"), fsm.length, fsm_clear)?;
+        let logic = fsm.output_logic();
+        let mut outs = Vec::new();
+        for (oi, sop) in logic.iter().enumerate() {
+            outs.push(b.sop(&format!("f{fi}z{oi}"), sop, &state)?);
+        }
+        fsm_outputs.push(outs);
+    }
+
+    // Session decoders for every session (random and weighted).
+    let decodes: Vec<NetId> = (0..total_sessions)
+        .map(|s| b.eq_const(&format!("dec{s}"), &session_bits, s))
+        .collect::<Result<_, _>>()?;
+    // One "random phase" strobe: OR of the random-session decodes.
+    let in_random = if random_sessions == 0 {
+        None
+    } else if random_sessions == 1 {
+        Some(decodes[0])
+    } else {
+        Some(b.c.add_gate(GateKind::Or, "in_random", &decodes[..random_sessions])?)
+    };
+
+    // Per-input multiplexers: the random phase taps the LFSR, weighted
+    // sessions tap the FSM outputs.
+    for i in 0..num_inputs {
+        let mut terms = Vec::new();
+        if let Some(ir) = in_random {
+            let tap = lfsr_bits[i % lfsr_bits.len()];
+            terms.push(
+                b.c.add_gate(GateKind::And, &format!("mux{i}r"), &[ir, tap])?,
+            );
+        }
+        for (a, sel) in omega.iter().enumerate() {
+            let sub = &sel.assignment.subsequences()[i];
+            let (fi, oi) = bank
+                .locate(sub)
+                .expect("bank was built from these assignments");
+            terms.push(b.c.add_gate(
+                GateKind::And,
+                &format!("mux{i}a{a}"),
+                &[decodes[random_sessions + a], fsm_outputs[fi][oi]],
+            )?);
+        }
+        let out = if terms.len() == 1 {
+            b.c.add_gate(GateKind::Buf, &format!("OUT{i}"), &terms)?
+        } else {
+            b.c.add_gate(GateKind::Or, &format!("OUT{i}"), &terms)?
+        };
+        b.c.mark_output(out);
+    }
+
+    let circuit = c.levelize()?;
+    Ok(HybridGenerator {
+        circuit,
+        bank,
+        num_random_sessions: random_sessions,
+        num_assignments: omega.len(),
+        sequence_length,
+        lfsr_width,
+    })
+}
+
+/// Small structural-synthesis helper bound to one circuit.
+pub(crate) struct Builder<'a> {
+    pub(crate) c: &'a mut Circuit,
+    pub(crate) nrst: NetId,
+    pub(crate) tmp: usize,
+}
+
+impl Builder<'_> {
+    pub(crate) fn fresh(&mut self, prefix: &str) -> String {
+        self.tmp += 1;
+        format!("{prefix}_t{}", self.tmp)
+    }
+
+    /// Adds a gate with a fresh generated name.
+    pub(crate) fn gate(
+        &mut self,
+        kind: GateKind,
+        prefix: &str,
+        inputs: &[NetId],
+    ) -> Result<NetId, NetlistError> {
+        let name = self.fresh(prefix);
+        self.c.add_gate(kind, &name, inputs)
+    }
+
+    /// A modulo-`m` counter with synchronous reset (`rst` and optional
+    /// `clear`). Returns the state-bit nets (LSB first; empty when
+    /// `m == 1`) and the wrap signal (state == m-1; constant 1 when
+    /// `m == 1`).
+    pub(crate) fn modulo_counter(
+        &mut self,
+        prefix: &str,
+        m: usize,
+        clear: Option<NetId>,
+    ) -> Result<(Vec<NetId>, Option<NetId>), NetlistError> {
+        if m == 1 {
+            // Stateless: wraps every cycle.
+            return Ok((Vec::new(), None));
+        }
+        let width = (usize::BITS - (m - 1).leading_zeros()) as usize;
+        let bits: Vec<NetId> = (0..width)
+            .map(|k| self.c.add_dff(&format!("{prefix}_q{k}"), None))
+            .collect::<Result<_, _>>()?;
+        let wrap = self.eq_const(&format!("{prefix}_wrap"), &bits, m - 1)?;
+        // Increment logic with synchronous clears.
+        let mut carry: Option<NetId> = None; // None = constant 1
+        for (k, &bit) in bits.iter().enumerate() {
+            let inc = match carry {
+                None => self.gate(GateKind::Not, prefix, &[bit])?,
+                Some(ca) => self.gate(GateKind::Xor, prefix, &[bit, ca])?,
+            };
+            // next = nrst & !wrap & (!clear) & inc
+            let mut ands = vec![self.nrst, inc];
+            let nwrap = self.gate(GateKind::Not, prefix, &[wrap])?;
+            ands.push(nwrap);
+            if let Some(cl) = clear {
+                let ncl = self.gate(GateKind::Not, prefix, &[cl])?;
+                ands.push(ncl);
+            }
+            let next = self.gate(GateKind::And, prefix, &ands)?;
+            self.c.connect_dff_data(bit, next)?;
+            // Carry chain: AND of the bits below the next position.
+            carry = Some(match carry {
+                None => bit,
+                Some(ca) => self.gate(GateKind::And, prefix, &[ca, bit])?,
+            });
+            let _ = k;
+        }
+        Ok((bits, Some(wrap)))
+    }
+
+    /// A free-running binary counter that increments only when `enable`
+    /// is high (constantly, when `enable` is `None`). Returns the state
+    /// bits (LSB first).
+    pub(crate) fn binary_counter(
+        &mut self,
+        prefix: &str,
+        width: usize,
+        enable: Option<NetId>,
+    ) -> Result<Vec<NetId>, NetlistError> {
+        let bits: Vec<NetId> = (0..width)
+            .map(|k| self.c.add_dff(&format!("{prefix}_q{k}"), None))
+            .collect::<Result<_, _>>()?;
+        let mut carry: Option<NetId> = enable;
+        for &bit in &bits {
+            let inc = match carry {
+                None => self.gate(GateKind::Not, prefix, &[bit])?,
+                Some(ca) => self.gate(GateKind::Xor, prefix, &[bit, ca])?,
+            };
+            let next = self.gate(GateKind::And, prefix, &[self.nrst, inc])?;
+            self.c.connect_dff_data(bit, next)?;
+            carry = Some(match carry {
+                None => bit,
+                Some(ca) => self.gate(GateKind::And, prefix, &[ca, bit])?,
+            });
+        }
+        Ok(bits)
+    }
+
+    /// A comparator: output is 1 when the counter bits equal `value`.
+    pub(crate) fn eq_const(
+        &mut self,
+        name: &str,
+        bits: &[NetId],
+        value: usize,
+    ) -> Result<NetId, NetlistError> {
+        let mut lits = Vec::with_capacity(bits.len());
+        for (k, &bit) in bits.iter().enumerate() {
+            if value >> k & 1 == 1 {
+                lits.push(bit);
+            } else {
+                lits.push(
+                    self.gate(GateKind::Not, name, &[bit])?,
+                );
+            }
+        }
+        if lits.len() == 1 {
+            self.c.add_gate(GateKind::Buf, name, &lits)
+        } else {
+            self.c.add_gate(GateKind::And, name, &lits)
+        }
+    }
+
+    /// A Fibonacci LFSR with `width` stages: stage `k` shifts from stage
+    /// `k+1`; the top stage takes the feedback parity of the tapped
+    /// stages (taps shared with `wbist_atpg::tap_mask`). `rst` forces the
+    /// register to state `…0001`, matching the software model seeded
+    /// with 1. Returns the stage nets (stage 0 first).
+    pub(crate) fn lfsr(&mut self, prefix: &str, width: u32, rst: NetId) -> Result<Vec<NetId>, NetlistError> {
+        let taps = wbist_atpg::tap_mask(width);
+        let stages: Vec<NetId> = (0..width)
+            .map(|k| self.c.add_dff(&format!("{prefix}_q{k}"), None))
+            .collect::<Result<_, _>>()?;
+        // Feedback parity of the tapped stages.
+        let mut fb: Option<NetId> = None;
+        for (k, &st) in stages.iter().enumerate() {
+            if taps >> k & 1 == 1 {
+                fb = Some(match fb {
+                    None => st,
+                    Some(acc) => self.gate(GateKind::Xor, prefix, &[acc, st])?,
+                });
+            }
+        }
+        let fb = fb.expect("maximal-length taps are non-empty");
+        for (k, &st) in stages.iter().enumerate() {
+            let from = if (k as u32) < width - 1 {
+                stages[k + 1]
+            } else {
+                fb
+            };
+            let shifted = self.gate(GateKind::And, prefix, &[self.nrst, from])?;
+            let next = if k == 0 {
+                // Reset forces a 1 into stage 0 so the register never
+                // locks up in the all-zero state.
+                self.gate(GateKind::Or, prefix, &[rst, shifted])?
+            } else {
+                shifted
+            };
+            self.c.connect_dff_data(st, next)?;
+        }
+        Ok(stages)
+    }
+
+    /// Materializes a minimized SOP over `vars` (LSB-first state bits).
+    pub(crate) fn sop(&mut self, name: &str, sop: &Sop, vars: &[NetId]) -> Result<NetId, NetlistError> {
+        match sop {
+            Sop::Zero => {
+                // NOR(x, NOT x) would work, but a constant is cleaner.
+                self.c.add_const(name, false)
+            }
+            Sop::One => self.c.add_const(name, true),
+            Sop::Terms(terms) => {
+                let mut term_nets = Vec::with_capacity(terms.len());
+                for t in terms {
+                    let mut lits = Vec::new();
+                    for (k, &var) in vars.iter().enumerate() {
+                        if t.mask >> k & 1 == 0 {
+                            continue;
+                        }
+                        if t.value >> k & 1 == 1 {
+                            lits.push(var);
+                        } else {
+                            lits.push(self.gate(GateKind::Not, name, &[var])?);
+                        }
+                    }
+                    let net = if lits.len() == 1 {
+                        lits[0]
+                    } else {
+                        self.gate(GateKind::And, name, &lits)?
+                    };
+                    term_nets.push(net);
+                }
+                if term_nets.len() == 1 {
+                    self.c.add_gate(GateKind::Buf, name, &term_nets)
+                } else {
+                    self.c.add_gate(GateKind::Or, name, &term_nets)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbist_core::{Subsequence, WeightAssignment};
+    use wbist_sim::{Logic3, LogicSim, TestSequence};
+
+    fn sel(subs: &[&str]) -> SelectedAssignment {
+        SelectedAssignment {
+            assignment: WeightAssignment::new(
+                subs.iter()
+                    .map(|s| s.parse::<Subsequence>().expect("valid"))
+                    .collect(),
+            ),
+            detection_time: 0,
+            rank: 0,
+            newly_detected: 0,
+        }
+    }
+
+    /// Simulates the generator netlist and returns the output rows
+    /// produced after reset (cycle 1 onward).
+    fn run(gen: &TestGenerator, cycles: usize) -> Vec<Vec<Logic3>> {
+        let mut rows = vec![vec![true]]; // rst = 1
+        rows.extend(std::iter::repeat_n(vec![false], cycles));
+        let seq = TestSequence::from_rows(rows).expect("rectangular");
+        let outs = LogicSim::new(&gen.circuit)
+            .outputs(&seq)
+            .expect("width matches");
+        outs[1..].to_vec()
+    }
+
+    #[test]
+    fn single_assignment_streams_match_generate() {
+        let omega = vec![sel(&["01", "0", "100", "1"])];
+        let l_g = 12;
+        let gen = build_generator(&omega, l_g).expect("synthesis succeeds");
+        let expect = omega[0].assignment.generate(l_g);
+        let got = run(&gen, l_g);
+        for u in 0..l_g {
+            for i in 0..4 {
+                assert_eq!(
+                    got[u][i],
+                    Logic3::from(expect.value(u, i)),
+                    "cycle {u} output {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_assignments_switch_at_session_boundary() {
+        let omega = vec![
+            sel(&["01", "1"]),
+            sel(&["100", "0"]),
+            sel(&["1", "110"]),
+        ];
+        let l_g = 7; // deliberately not a multiple of any subsequence length
+        let gen = build_generator(&omega, l_g).expect("synthesis succeeds");
+        let got = run(&gen, 3 * l_g);
+        for (a, sel) in omega.iter().enumerate() {
+            let expect = sel.assignment.generate(l_g);
+            for u in 0..l_g {
+                for i in 0..2 {
+                    assert_eq!(
+                        got[a * l_g + u][i],
+                        Logic3::from(expect.value(u, i)),
+                        "assignment {a} cycle {u} output {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generator_is_a_valid_circuit() {
+        let omega = vec![sel(&["01", "0"]), sel(&["11", "10"])];
+        let gen = build_generator(&omega, 4).expect("synthesis succeeds");
+        assert!(gen.circuit.is_levelized());
+        assert_eq!(gen.circuit.num_outputs(), 2);
+        assert_eq!(gen.num_assignments, 2);
+    }
+
+    #[test]
+    fn shared_fsm_outputs_are_reused() {
+        // Both assignments use "01": the bank holds it once.
+        let omega = vec![sel(&["01", "0"]), sel(&["01", "1"])];
+        let gen = build_generator(&omega, 4).expect("synthesis succeeds");
+        assert_eq!(gen.bank.total_outputs(), 3, "01, 0, 1");
+        assert_eq!(gen.bank.num_fsms(), 2, "lengths 1 and 2");
+    }
+
+    #[test]
+    fn hybrid_random_phase_matches_software_lfsr() {
+        let omega = vec![sel(&["01", "0", "100", "1"])];
+        let l_g = 10;
+        let width = 8u32;
+        let gen = build_hybrid_generator(&omega, l_g, 2, width).expect("synthesis succeeds");
+        let got = run_hybrid(&gen, 2 * l_g);
+        let mut soft = wbist_atpg::Lfsr::new(width, 1);
+        let expect = soft.parallel_sequence(4, 2 * l_g);
+        for u in 0..2 * l_g {
+            for i in 0..4 {
+                assert_eq!(
+                    got[u][i],
+                    Logic3::from(expect.value(u, i)),
+                    "random cycle {u} input {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_weighted_phase_matches_generate() {
+        let omega = vec![sel(&["01", "0", "100", "1"]), sel(&["1", "10", "0", "110"])];
+        let l_g = 9;
+        let gen = build_hybrid_generator(&omega, l_g, 3, 8).expect("synthesis succeeds");
+        let got = run_hybrid(&gen, (3 + 2) * l_g);
+        for (a, sel) in omega.iter().enumerate() {
+            let expect = sel.assignment.generate(l_g);
+            for u in 0..l_g {
+                for i in 0..4 {
+                    assert_eq!(
+                        got[(3 + a) * l_g + u][i],
+                        Logic3::from(expect.value(u, i)),
+                        "assignment {a} cycle {u} input {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_with_zero_random_sessions_equals_plain() {
+        let omega = vec![sel(&["01", "1"]), sel(&["100", "0"])];
+        let l_g = 6;
+        let hybrid = build_hybrid_generator(&omega, l_g, 0, 8).expect("synthesis succeeds");
+        let plain = build_generator(&omega, l_g).expect("synthesis succeeds");
+        let a = run_hybrid(&hybrid, 2 * l_g);
+        let b = run(&plain, 2 * l_g);
+        assert_eq!(a, b);
+    }
+
+    /// Simulates the hybrid generator netlist post-reset.
+    fn run_hybrid(gen: &HybridGenerator, cycles: usize) -> Vec<Vec<Logic3>> {
+        let mut rows = vec![vec![true]];
+        rows.extend(std::iter::repeat_n(vec![false], cycles));
+        let seq = TestSequence::from_rows(rows).expect("rectangular");
+        let outs = LogicSim::new(&gen.circuit)
+            .outputs(&seq)
+            .expect("width matches");
+        outs[1..].to_vec()
+    }
+
+    #[test]
+    fn l_g_one_works() {
+        let omega = vec![sel(&["1"]), sel(&["0"])];
+        let gen = build_generator(&omega, 1).expect("synthesis succeeds");
+        let got = run(&gen, 2);
+        assert_eq!(got[0][0], Logic3::One);
+        assert_eq!(got[1][0], Logic3::Zero);
+    }
+}

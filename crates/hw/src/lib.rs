@@ -1,0 +1,60 @@
+//! BIST hardware generation for the weighted test-sequence scheme.
+//!
+//! Turns the output of `wbist-core` (a set of selected weight
+//! assignments `Ω`) into hardware:
+//!
+//! * [`fsm`] — groups the subsequences into weight FSMs (one per length,
+//!   shared modulo counter, one output per subsequence) after
+//!   primitive-root deduplication — the paper's Section 3 and the
+//!   `FSMs` columns of its Table 6;
+//! * [`qm`] — an exact two-level minimizer (Quine–McCluskey + greedy
+//!   cover) used for the FSM output and next-state functions, exploiting
+//!   unreachable states as don't-cares;
+//! * [`generator`] — synthesizes the complete Figure-1 test generator
+//!   (phase counter, session counter, FSMs, per-input multiplexers) as a
+//!   `wbist-netlist` [`Circuit`](wbist_netlist::Circuit), simulatable by
+//!   `wbist-sim` for hardware-in-the-loop validation;
+//! * [`verilog`] — structural Verilog emission for any circuit,
+//!   including the synthesized generator;
+//! * [`cost`] — flip-flop / gate / literal cost reporting.
+//!
+//! # Example
+//!
+//! ```
+//! use wbist_core::{SelectedAssignment, Subsequence, WeightAssignment};
+//! use wbist_hw::{build_generator, generator_cost, to_verilog};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let assignment = WeightAssignment::new(vec![
+//!     "01".parse::<Subsequence>()?,
+//!     "0".parse::<Subsequence>()?,
+//!     "100".parse::<Subsequence>()?,
+//!     "1".parse::<Subsequence>()?,
+//! ]);
+//! let omega = vec![SelectedAssignment {
+//!     assignment,
+//!     detection_time: 9,
+//!     rank: 0,
+//!     newly_detected: 9,
+//! }];
+//! let gen = build_generator(&omega, 12)?;
+//! let verilog = to_verilog(&gen.circuit);
+//! assert!(verilog.contains("module weight_test_generator"));
+//! println!("{}", generator_cost(&gen));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cost;
+pub mod fsm;
+pub mod generator;
+pub mod qm;
+pub mod selftest;
+pub mod verilog;
+
+pub use cost::{generator_cost, CostReport};
+pub use fsm::{FsmBank, WeightFsm};
+pub use generator::{build_generator, build_hybrid_generator, HybridGenerator, TestGenerator};
+pub use qm::{minimize, Implicant, Sop};
+pub use selftest::{build_self_test, SelfTestDesign};
+pub use verilog::to_verilog;

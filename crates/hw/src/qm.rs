@@ -1,0 +1,285 @@
+//! Two-level logic minimization (Quine–McCluskey with a greedy cover).
+//!
+//! Used to synthesize the output functions of the weight FSMs: each
+//! output is a function of the FSM state bits, with the unreachable
+//! states (indices ≥ `L_S` within the `2^⌈log2 L_S⌉` code space) as
+//! don't-cares — exactly the structure the paper's Section 3 points out.
+//!
+//! The implementation is exact prime-implicant generation followed by an
+//! essential-prime extraction and a greedy cover of the remainder; for
+//! the FSM sizes that occur here (≤ 8 state bits) this is instantaneous
+//! and the covers are minimal or near-minimal.
+
+/// A product term (cube) over `n` variables: variable `i` participates
+/// when bit `i` of `mask` is set, with polarity bit `i` of `value`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Implicant {
+    /// Cared-about variable positions.
+    pub mask: u32,
+    /// Required values on the cared positions (subset of `mask`).
+    pub value: u32,
+}
+
+impl Implicant {
+    /// Whether the cube contains the minterm.
+    #[inline]
+    pub fn covers(&self, minterm: u32) -> bool {
+        minterm & self.mask == self.value
+    }
+
+    /// Number of literals in the product term.
+    pub fn literals(&self) -> u32 {
+        self.mask.count_ones()
+    }
+}
+
+/// A minimized sum-of-products cover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sop {
+    /// The function is constantly 0.
+    Zero,
+    /// The function is constantly 1.
+    One,
+    /// OR of the product terms.
+    Terms(Vec<Implicant>),
+}
+
+impl Sop {
+    /// Evaluates the cover on an input assignment.
+    pub fn eval(&self, input: u32) -> bool {
+        match self {
+            Sop::Zero => false,
+            Sop::One => true,
+            Sop::Terms(terms) => terms.iter().any(|t| t.covers(input)),
+        }
+    }
+
+    /// Total literal count (0 for constants).
+    pub fn literals(&self) -> usize {
+        match self {
+            Sop::Zero | Sop::One => 0,
+            Sop::Terms(terms) => terms.iter().map(|t| t.literals() as usize).sum(),
+        }
+    }
+
+    /// Number of product terms (0 for constants).
+    pub fn num_terms(&self) -> usize {
+        match self {
+            Sop::Zero | Sop::One => 0,
+            Sop::Terms(terms) => terms.len(),
+        }
+    }
+}
+
+/// Minimizes the function over `num_vars` variables whose on-set is
+/// `on` and whose don't-care set is `dc` (both given as minterm indices;
+/// overlapping entries are treated as don't-cares).
+///
+/// # Panics
+///
+/// Panics if `num_vars > 16`, or any minterm is out of range.
+pub fn minimize(num_vars: u32, on: &[u32], dc: &[u32]) -> Sop {
+    assert!(num_vars <= 16, "minimizer supports up to 16 variables");
+    let space = 1u64 << num_vars;
+    for &m in on.iter().chain(dc) {
+        assert!((m as u64) < space, "minterm {m} out of range");
+    }
+    let mut on: Vec<u32> = on.to_vec();
+    on.sort_unstable();
+    on.dedup();
+    let mut dc: Vec<u32> = dc.to_vec();
+    dc.sort_unstable();
+    dc.dedup();
+    on.retain(|m| !dc.contains(m));
+
+    if on.is_empty() {
+        return Sop::Zero;
+    }
+    if on.len() as u64 + dc.len() as u64 == space {
+        return Sop::One;
+    }
+
+    let primes = prime_implicants(num_vars, &on, &dc);
+    let cover = select_cover(&on, &primes);
+    if cover.len() == 1 && cover[0].mask == 0 {
+        return Sop::One;
+    }
+    Sop::Terms(cover)
+}
+
+/// Generates all prime implicants by iterative cube merging.
+fn prime_implicants(num_vars: u32, on: &[u32], dc: &[u32]) -> Vec<Implicant> {
+    let full_mask = if num_vars == 32 {
+        !0u32
+    } else {
+        (1u32 << num_vars) - 1
+    };
+    let mut current: Vec<Implicant> = on
+        .iter()
+        .chain(dc)
+        .map(|&m| Implicant {
+            mask: full_mask,
+            value: m,
+        })
+        .collect();
+    current.sort_unstable();
+    current.dedup();
+
+    let mut primes: Vec<Implicant> = Vec::new();
+    while !current.is_empty() {
+        let mut merged_flag = vec![false; current.len()];
+        let mut next: Vec<Implicant> = Vec::new();
+        for i in 0..current.len() {
+            for j in (i + 1)..current.len() {
+                let (a, b) = (current[i], current[j]);
+                if a.mask != b.mask {
+                    continue;
+                }
+                let diff = a.value ^ b.value;
+                if diff.count_ones() == 1 {
+                    merged_flag[i] = true;
+                    merged_flag[j] = true;
+                    next.push(Implicant {
+                        mask: a.mask & !diff,
+                        value: a.value & !diff,
+                    });
+                }
+            }
+        }
+        for (k, &f) in merged_flag.iter().enumerate() {
+            if !f {
+                primes.push(current[k]);
+            }
+        }
+        next.sort_unstable();
+        next.dedup();
+        current = next;
+    }
+    primes.sort_unstable();
+    primes.dedup();
+    primes
+}
+
+/// Essential primes first, then greedy: largest on-set coverage, ties
+/// broken toward fewer literals.
+fn select_cover(on: &[u32], primes: &[Implicant]) -> Vec<Implicant> {
+    let mut cover: Vec<Implicant> = Vec::new();
+    let mut uncovered: Vec<u32> = on.to_vec();
+
+    // Essential primes: minterms covered by exactly one prime.
+    for &m in on {
+        let covering: Vec<&Implicant> = primes.iter().filter(|p| p.covers(m)).collect();
+        if covering.len() == 1 && !cover.contains(covering[0]) {
+            cover.push(*covering[0]);
+        }
+    }
+    uncovered.retain(|&m| !cover.iter().any(|p| p.covers(m)));
+
+    while !uncovered.is_empty() {
+        let best = primes
+            .iter()
+            .filter(|p| !cover.contains(p))
+            .max_by_key(|p| {
+                let gain = uncovered.iter().filter(|&&m| p.covers(m)).count();
+                (gain, std::cmp::Reverse(p.literals()))
+            })
+            .expect("primes cover every on-set minterm");
+        cover.push(*best);
+        uncovered.retain(|&m| !best.covers(m));
+    }
+    cover
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force check: the cover equals the spec on every cared input.
+    fn verify(num_vars: u32, on: &[u32], dc: &[u32], sop: &Sop) {
+        for input in 0..(1u32 << num_vars) {
+            if dc.contains(&input) {
+                continue;
+            }
+            assert_eq!(
+                sop.eval(input),
+                on.contains(&input),
+                "mismatch at input {input:0b}"
+            );
+        }
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(minimize(3, &[], &[]), Sop::Zero);
+        assert_eq!(minimize(2, &[0, 1, 2, 3], &[]), Sop::One);
+        assert_eq!(minimize(2, &[0, 3], &[1, 2]), Sop::One);
+    }
+
+    #[test]
+    fn classic_example() {
+        // f(a,b,c,d) = Σ(4,8,10,11,12,15) + d(9,14): a textbook case.
+        let on = [4, 8, 10, 11, 12, 15];
+        let dc = [9, 14];
+        let sop = minimize(4, &on, &dc);
+        verify(4, &on, &dc, &sop);
+        // Known minimal cover has 3-4 terms.
+        assert!(sop.num_terms() <= 4);
+    }
+
+    #[test]
+    fn xor_needs_all_minterms() {
+        // XOR of 3 variables: no merging possible, 4 terms of 3 literals.
+        let on = [0b001, 0b010, 0b100, 0b111];
+        let sop = minimize(3, &on, &[]);
+        verify(3, &on, &[], &sop);
+        assert_eq!(sop.num_terms(), 4);
+        assert_eq!(sop.literals(), 12);
+    }
+
+    #[test]
+    fn single_variable_functions() {
+        let sop = minimize(3, &[4, 5, 6, 7], &[]);
+        verify(3, &[4, 5, 6, 7], &[], &sop);
+        assert_eq!(sop.literals(), 1, "f = a (the MSB)");
+    }
+
+    #[test]
+    fn dont_cares_shrink_covers() {
+        // On-set {1}, DC {3,5,7} over 3 vars → f = bit0 (1 literal).
+        let sop = minimize(3, &[1], &[3, 5, 7]);
+        verify(3, &[1], &[3, 5, 7], &sop);
+        assert_eq!(sop.literals(), 1);
+    }
+
+    #[test]
+    fn exhaustive_small_functions() {
+        // All 256 functions of 3 variables, no DCs: brute-force verify.
+        for code in 0u32..256 {
+            let on: Vec<u32> = (0..8).filter(|&m| code >> m & 1 == 1).collect();
+            let sop = minimize(3, &on, &[]);
+            verify(3, &on, &[], &sop);
+        }
+    }
+
+    #[test]
+    fn exhaustive_with_dontcares() {
+        // All (on, dc) partitions over 2 variables.
+        for on_code in 0u32..16 {
+            for dc_code in 0u32..16 {
+                if on_code & dc_code != 0 {
+                    continue;
+                }
+                let on: Vec<u32> = (0..4).filter(|&m| on_code >> m & 1 == 1).collect();
+                let dc: Vec<u32> = (0..4).filter(|&m| dc_code >> m & 1 == 1).collect();
+                let sop = minimize(2, &on, &dc);
+                verify(2, &on, &dc, &sop);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn minterm_range_checked() {
+        let _ = minimize(2, &[4], &[]);
+    }
+}

@@ -1,0 +1,376 @@
+//! Complete self-test synthesis: generator + CUT + MISR in one netlist.
+//!
+//! The paper's Figure 1 covers stimulus generation; a deployable BIST
+//! block also contains the circuit under test and a response compactor.
+//! [`build_self_test`] fuses all three into a single synchronous
+//! netlist with one input (`rst`) and the MISR signature bits as
+//! outputs:
+//!
+//! * the Figure-1 weight generator drives the CUT's inputs directly
+//!   (no external test access needed);
+//! * the CUT is instantiated unmodified — in particular its flip-flops
+//!   get **no reset**, exactly the paper's no-flip-flop-modification
+//!   constraint; coverage still holds because the synthesis procedure's
+//!   all-`X` simulation is initial-state-independent;
+//! * a MISR absorbs the CUT outputs, gated by a *capture window*
+//!   comparator on the phase counter (absorbing only once the session
+//!   has run `capture_from` cycles keeps the unknown power-up values
+//!   out of the signature).
+//!
+//! The result is simulatable by `wbist-sim`: the tests run the fused
+//! netlist fault-free to obtain the golden signature, then re-run it
+//! with faults injected *into the embedded CUT* and check that the
+//! final signature differs — self-test of the synthesized self-test.
+
+use crate::fsm::FsmBank;
+use crate::generator::Builder;
+use crate::qm::minimize;
+use std::collections::HashMap;
+use wbist_core::SelectedAssignment;
+use wbist_netlist::{Circuit, Driver, GateKind, NetId, NetlistError};
+
+/// A fused self-test design.
+#[derive(Debug, Clone)]
+pub struct SelfTestDesign {
+    /// The fused netlist: input `rst`; outputs `SIG<k>` (MISR stages).
+    pub circuit: Circuit,
+    /// Mapping from CUT net names to nets of the fused circuit, for
+    /// injecting faults into the embedded CUT.
+    pub cut_nets: HashMap<String, NetId>,
+    /// The weight FSM bank.
+    pub bank: FsmBank,
+    /// Sessions (weight assignments) the schedule walks through.
+    pub num_assignments: usize,
+    /// Cycles per session.
+    pub sequence_length: usize,
+    /// MISR width.
+    pub misr_width: usize,
+    /// Total cycles of one complete self-test (excluding the reset
+    /// cycle).
+    pub total_cycles: usize,
+}
+
+/// Builds the fused self-test block for `cut` under the schedule
+/// `omega` (one session of `sequence_length` cycles per assignment),
+/// compacting responses into a `misr_width`-stage MISR that starts
+/// capturing `capture_from` cycles into each session.
+///
+/// # Errors
+///
+/// Returns a [`NetlistError`] if synthesis produces an invalid netlist
+/// (cannot happen for well-formed inputs).
+///
+/// # Panics
+///
+/// Panics if `omega` is empty, the assignment width does not match the
+/// CUT's inputs, `sequence_length == 0`, `misr_width == 0`, or
+/// `capture_from >= sequence_length`.
+pub fn build_self_test(
+    cut: &Circuit,
+    omega: &[SelectedAssignment],
+    sequence_length: usize,
+    misr_width: usize,
+    capture_from: usize,
+) -> Result<SelfTestDesign, NetlistError> {
+    assert!(!omega.is_empty(), "need at least one weight assignment");
+    assert!(sequence_length > 0, "L_G must be positive");
+    assert!(misr_width > 0, "MISR needs at least one stage");
+    assert!(
+        capture_from < sequence_length,
+        "capture window must open within the session"
+    );
+    assert_eq!(
+        omega[0].assignment.num_inputs(),
+        cut.num_inputs(),
+        "assignment width must match the CUT"
+    );
+    let bank = FsmBank::from_assignments(omega);
+
+    let mut c = Circuit::new(format!("{}_selftest", cut.name()));
+    let rst = c.add_input("rst");
+    let nrst = c.add_gate(GateKind::Not, "nrst", &[rst])?;
+    let mut b = Builder {
+        c: &mut c,
+        nrst,
+        tmp: 0,
+    };
+
+    // ── Stimulus generator (Figure 1) ────────────────────────────────
+    let (phase_bits, phase_wrap) = b.modulo_counter("ph", sequence_length, None)?;
+    let sess_width = usize::BITS - (omega.len().max(2) - 1).leading_zeros();
+    let session_bits = b.binary_counter("se", sess_width as usize, phase_wrap)?;
+    let fsm_clear = match phase_wrap {
+        Some(w) => Some(w),
+        None => Some(b.c.add_const("const1", true)?),
+    };
+    let mut fsm_outputs: Vec<Vec<NetId>> = Vec::new();
+    for (fi, fsm) in bank.fsms().iter().enumerate() {
+        let (state, _) = b.modulo_counter(&format!("f{fi}"), fsm.length, fsm_clear)?;
+        let logic = fsm.output_logic();
+        let mut outs = Vec::new();
+        for (oi, sop) in logic.iter().enumerate() {
+            outs.push(b.sop(&format!("f{fi}z{oi}"), sop, &state)?);
+        }
+        fsm_outputs.push(outs);
+    }
+    let decodes: Vec<NetId> = (0..omega.len())
+        .map(|a| b.eq_const(&format!("dec{a}"), &session_bits, a))
+        .collect::<Result<_, _>>()?;
+    let mut stimulus: Vec<NetId> = Vec::with_capacity(cut.num_inputs());
+    for i in 0..cut.num_inputs() {
+        let mut terms = Vec::new();
+        for (a, sel) in omega.iter().enumerate() {
+            let sub = &sel.assignment.subsequences()[i];
+            let (fi, oi) = bank
+                .locate(sub)
+                .expect("bank was built from these assignments");
+            terms.push(b.gate(
+                GateKind::And,
+                "mux",
+                &[decodes[a], fsm_outputs[fi][oi]],
+            )?);
+        }
+        let out = if terms.len() == 1 {
+            b.gate(GateKind::Buf, "stim", &terms)?
+        } else {
+            b.gate(GateKind::Or, "stim", &terms)?
+        };
+        stimulus.push(out);
+    }
+
+    // ── Embedded CUT (unmodified; nets prefixed `cut_`) ──────────────
+    let mut cut_nets: HashMap<String, NetId> = HashMap::new();
+    // CUT primary inputs are driven by the stimulus muxes via buffers.
+    for (i, &pi) in cut.inputs().iter().enumerate() {
+        let name = format!("cut_{}", cut.net_name(pi));
+        let net = b.c.add_gate(GateKind::Buf, &name, &[stimulus[i]])?;
+        cut_nets.insert(cut.net_name(pi).to_string(), net);
+    }
+    for dff in cut.dffs() {
+        let name = format!("cut_{}", cut.net_name(dff.q));
+        let q = b.c.add_dff(&name, None)?;
+        cut_nets.insert(cut.net_name(dff.q).to_string(), q);
+    }
+    for idx in 0..cut.num_nets() {
+        let net = NetId::from_index(idx);
+        if let Driver::Const(v) = cut.driver(net) {
+            let name = format!("cut_{}", cut.net_name(net));
+            let k = b.c.add_const(&name, v)?;
+            cut_nets.insert(cut.net_name(net).to_string(), k);
+        }
+    }
+    for &gid in cut.topo_gates() {
+        let g = cut.gate(gid);
+        let inputs: Vec<NetId> = g
+            .inputs
+            .iter()
+            .map(|&i| cut_nets[cut.net_name(i)])
+            .collect();
+        let name = format!("cut_{}", cut.net_name(g.output));
+        let out = b.c.add_gate(g.kind, &name, &inputs)?;
+        cut_nets.insert(cut.net_name(g.output).to_string(), out);
+    }
+    for dff in cut.dffs() {
+        let d = dff.d.expect("levelized CUTs have connected DFFs");
+        let q = cut_nets[cut.net_name(dff.q)];
+        b.c.connect_dff_data(q, cut_nets[cut.net_name(d)])?;
+    }
+
+    // ── MISR with capture gating ──────────────────────────────────────
+    // capture = (phase >= capture_from), as a minimized SOP over the
+    // phase bits (constant 1 when the window opens at 0).
+    let capture = if capture_from == 0 || phase_bits.is_empty() {
+        b.c.add_const("capture", true)?
+    } else {
+        let w = phase_bits.len() as u32;
+        let on: Vec<u32> = (capture_from as u32..(1u32 << w)).collect();
+        let sop = minimize(w, &on, &[]);
+        b.sop("capture", &sop, &phase_bits)?
+    };
+    let taps = default_taps(misr_width);
+    let stages: Vec<NetId> = (0..misr_width)
+        .map(|k| b.c.add_dff(&format!("misr_q{k}"), None))
+        .collect::<Result<_, _>>()?;
+    // Feedback parity of the tapped stages.
+    let mut fb: Option<NetId> = None;
+    for (k, &st) in stages.iter().enumerate() {
+        if taps[k] {
+            fb = Some(match fb {
+                None => st,
+                Some(acc) => b.gate(GateKind::Xor, "misr_fb", &[acc, st])?,
+            });
+        }
+    }
+    let fb = fb.expect("default taps are non-empty");
+    // Fold the CUT outputs into per-stage injections, gated by capture.
+    let cut_outputs: Vec<NetId> = cut
+        .outputs()
+        .iter()
+        .map(|&o| cut_nets[cut.net_name(o)])
+        .collect();
+    for (k, &st) in stages.iter().enumerate() {
+        let mut inject: Option<NetId> = None;
+        for (oi, &po) in cut_outputs.iter().enumerate() {
+            if oi % misr_width == k {
+                inject = Some(match inject {
+                    None => po,
+                    Some(acc) => b.gate(GateKind::Xor, "misr_in", &[acc, po])?,
+                });
+            }
+        }
+        let from = if k == 0 { fb } else { stages[k - 1] };
+        let shifted = match inject {
+            Some(inj) => {
+                let gated = b.gate(GateKind::And, "misr_gate", &[inj, capture])?;
+                b.gate(GateKind::Xor, "misr_x", &[from, gated])?
+            }
+            None => from,
+        };
+        let next = b.gate(GateKind::And, "misr_n", &[b.nrst, shifted])?;
+        b.c.connect_dff_data(st, next)?;
+    }
+    for (k, &st) in stages.iter().enumerate() {
+        let sig = b.c.add_gate(GateKind::Buf, &format!("SIG{k}"), &[st])?;
+        b.c.mark_output(sig);
+    }
+
+    let total_cycles = omega.len() * sequence_length;
+    let circuit = c.levelize()?;
+    Ok(SelfTestDesign {
+        circuit,
+        cut_nets,
+        bank,
+        num_assignments: omega.len(),
+        sequence_length,
+        misr_width,
+        total_cycles,
+    })
+}
+
+/// The default MISR taps used by [`build_self_test`] — the same shape as
+/// `wbist_sim::Misr::with_default_taps`.
+fn default_taps(width: usize) -> Vec<bool> {
+    let mut taps = vec![false; width];
+    taps[width - 1] = true;
+    taps[0] = true;
+    if width > 2 {
+        taps[width / 2] = true;
+    }
+    taps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbist_core::{synthesize_weighted_bist, SynthesisConfig};
+    use wbist_netlist::{Fault, FaultList, FaultSite};
+    use wbist_sim::{Logic3, SerialFaultSim, TestSequence};
+
+    fn setup() -> (Circuit, FaultList, Vec<SelectedAssignment>, usize) {
+        let cut = wbist_circuits::s27::circuit();
+        let t = wbist_circuits::s27::paper_test_sequence();
+        let faults = FaultList::checkpoints(&cut);
+        let l_g = 32;
+        let r = synthesize_weighted_bist(
+            &cut,
+            &t,
+            &faults,
+            &SynthesisConfig {
+                sequence_length: l_g,
+                ..SynthesisConfig::default()
+            },
+        );
+        (cut, faults, r.omega, l_g)
+    }
+
+    /// One reset cycle then the whole schedule.
+    fn stimulus(total: usize) -> TestSequence {
+        let mut rows = vec![vec![true]];
+        rows.extend(std::iter::repeat_n(vec![false], total));
+        TestSequence::from_rows(rows).expect("rectangular")
+    }
+
+    #[test]
+    fn fused_design_builds_and_produces_binary_signature() {
+        let (cut, _faults, omega, l_g) = setup();
+        let design = build_self_test(&cut, &omega, l_g, 8, 8).expect("synthesis succeeds");
+        assert_eq!(design.circuit.num_inputs(), 1, "only rst");
+        assert_eq!(design.circuit.num_outputs(), 8, "signature bits");
+        let sim = wbist_sim::LogicSim::new(&design.circuit);
+        let outs = sim
+            .outputs(&stimulus(design.total_cycles))
+            .expect("width matches");
+        let last = outs.last().expect("non-empty");
+        assert!(
+            last.iter().all(|v| v.is_known()),
+            "golden signature must be binary, got {last:?}"
+        );
+    }
+
+    #[test]
+    fn embedded_cut_faults_flip_the_signature() {
+        let (cut, faults, omega, l_g) = setup();
+        let design = build_self_test(&cut, &omega, l_g, 16, 8).expect("synthesis succeeds");
+        let stim = stimulus(design.total_cycles);
+        let sim = SerialFaultSim::new(&design.circuit);
+        let golden = sim.output_stream(None, &stim);
+        let golden_sig = golden.last().expect("non-empty");
+
+        // Translate every stem fault of the CUT into the fused netlist
+        // and count how many flip the final signature.
+        let mut translated = 0usize;
+        let mut flipped = 0usize;
+        for f in &faults {
+            let FaultSite::Stem(net) = f.site else {
+                continue; // pin/DFF-data faults need gate-id mapping
+            };
+            let fused_net = design.cut_nets[cut.net_name(net)];
+            let fault = Fault {
+                site: FaultSite::Stem(fused_net),
+                stuck: f.stuck,
+            };
+            translated += 1;
+            let bad = sim.output_stream(Some(fault), &stim);
+            let bad_sig = bad.last().expect("non-empty");
+            if golden_sig
+                .iter()
+                .zip(bad_sig)
+                .any(|(g, b)| g.conflicts(*b))
+            {
+                flipped += 1;
+            }
+        }
+        assert!(translated >= 10, "s27 has many stem checkpoint faults");
+        // A 16-bit MISR over the full session catches essentially all of
+        // them (aliasing would need a 2^-16 coincidence).
+        assert!(
+            flipped * 10 >= translated * 9,
+            "only {flipped}/{translated} faults flip the signature"
+        );
+    }
+
+    #[test]
+    fn capture_window_constant_when_zero() {
+        let (cut, _faults, omega, l_g) = setup();
+        let design = build_self_test(&cut, &omega, l_g, 8, 0).expect("synthesis succeeds");
+        // With capture from cycle 0 the X power-up state may poison the
+        // signature — exactly the failure the capture window exists to
+        // prevent. It must still build and simulate.
+        let sim = wbist_sim::LogicSim::new(&design.circuit);
+        let outs = sim
+            .outputs(&stimulus(design.total_cycles))
+            .expect("width matches");
+        let last = outs.last().expect("non-empty");
+        // s27's first cycles produce X on G17, so some stage is X.
+        assert!(last.iter().any(|v| *v == Logic3::X));
+    }
+
+    #[test]
+    fn validates_configuration() {
+        let (cut, _faults, omega, l_g) = setup();
+        assert!(std::panic::catch_unwind(|| {
+            build_self_test(&cut, &omega, l_g, 8, l_g).ok();
+        })
+        .is_err());
+    }
+}

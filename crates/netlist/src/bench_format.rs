@@ -1,0 +1,280 @@
+//! Parser and writer for the ISCAS-89 `.bench` netlist format.
+//!
+//! The format, as used by the ISCAS-89 sequential benchmarks:
+//!
+//! ```text
+//! # comment
+//! INPUT(G0)
+//! OUTPUT(G17)
+//! G5 = DFF(G10)
+//! G14 = NOT(G0)
+//! G8 = AND(G14, G6)
+//! ```
+//!
+//! Supported gate keywords: `AND`, `NAND`, `OR`, `NOR`, `XOR`, `XNOR`,
+//! `NOT`, `BUF`/`BUFF`, plus `DFF` for flip-flops and `CONST0`/`CONST1`
+//! (a common extension) for constants.
+
+use crate::circuit::{Circuit, Driver, GateKind, NetId};
+use crate::error::NetlistError;
+use std::fmt::Write as _;
+
+/// Parses `.bench` source text into a levelized [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for syntax errors and any of the
+/// validation errors of [`Circuit::levelize`] for structural problems.
+pub fn parse(name: &str, src: &str) -> Result<Circuit, NetlistError> {
+    let mut c = Circuit::new(name);
+    // Deferred wiring: (line_no, lhs, keyword, args)
+    let mut dff_data: Vec<(usize, String, String)> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+
+    for (ln0, raw) in src.lines().enumerate() {
+        let line_no = ln0 + 1;
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+
+        let parse_call = |text: &str| -> Result<(String, Vec<String>), NetlistError> {
+            let open = text.find('(').ok_or(NetlistError::Parse {
+                line: line_no,
+                message: "expected `(`".into(),
+            })?;
+            let close = text.rfind(')').ok_or(NetlistError::Parse {
+                line: line_no,
+                message: "expected `)`".into(),
+            })?;
+            if close < open {
+                return Err(NetlistError::Parse {
+                    line: line_no,
+                    message: "mismatched parentheses".into(),
+                });
+            }
+            let head = text[..open].trim().to_string();
+            let args: Vec<String> = text[open + 1..close]
+                .split(',')
+                .map(|a| a.trim().to_string())
+                .filter(|a| !a.is_empty())
+                .collect();
+            Ok((head, args))
+        };
+
+        if let Some(eq) = line.find('=') {
+            let lhs = line[..eq].trim().to_string();
+            let rhs = line[eq + 1..].trim();
+            let (head, args) = parse_call(rhs)?;
+            let upper = head.to_ascii_uppercase();
+            match upper.as_str() {
+                "DFF" => {
+                    if args.len() != 1 {
+                        return Err(NetlistError::Parse {
+                            line: line_no,
+                            message: format!("DFF takes one input, got {}", args.len()),
+                        });
+                    }
+                    c.add_dff(&lhs, None)?;
+                    dff_data.push((line_no, lhs, args[0].clone()));
+                }
+                "CONST0" | "CONST1" => {
+                    if !args.is_empty() {
+                        return Err(NetlistError::Parse {
+                            line: line_no,
+                            message: format!("{upper} takes no inputs"),
+                        });
+                    }
+                    c.add_const(&lhs, upper == "CONST1")?;
+                }
+                _ => {
+                    let kind = GateKind::from_keyword(&upper).ok_or_else(|| NetlistError::Parse {
+                        line: line_no,
+                        message: format!("unknown gate keyword `{head}`"),
+                    })?;
+                    if args.is_empty() {
+                        return Err(NetlistError::Parse {
+                            line: line_no,
+                            message: format!("{upper} needs at least one input"),
+                        });
+                    }
+                    let ins: Vec<NetId> = args.iter().map(|a| c.declare_net(a)).collect();
+                    c.add_gate(kind, &lhs, &ins)?;
+                }
+            }
+        } else {
+            let (head, args) = parse_call(line)?;
+            let upper = head.to_ascii_uppercase();
+            if args.len() != 1 {
+                return Err(NetlistError::Parse {
+                    line: line_no,
+                    message: format!("{upper} takes one net name"),
+                });
+            }
+            match upper.as_str() {
+                "INPUT" => {
+                    c.try_add_input(&args[0])?;
+                }
+                "OUTPUT" => outputs.push(args[0].clone()),
+                _ => {
+                    return Err(NetlistError::Parse {
+                        line: line_no,
+                        message: format!("unknown directive `{head}`"),
+                    });
+                }
+            }
+        }
+    }
+
+    for (_line_no, q, d) in dff_data {
+        let qn = c.net_by_name(&q).expect("dff output was interned");
+        let dn = c.declare_net(&d);
+        c.connect_dff_data(qn, dn)?;
+    }
+    for o in outputs {
+        let net = c.declare_net(&o);
+        c.mark_output(net);
+    }
+    c.levelize()
+}
+
+/// Writes a levelized (or raw) [`Circuit`] as `.bench` text.
+///
+/// The output round-trips through [`parse`] to an equivalent circuit.
+pub fn write(c: &Circuit) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "# {}", c.name());
+    let _ = writeln!(
+        s,
+        "# {} inputs  {} outputs  {} D-type flipflops  {} gates",
+        c.num_inputs(),
+        c.num_outputs(),
+        c.num_dffs(),
+        c.num_gates()
+    );
+    for &i in c.inputs() {
+        let _ = writeln!(s, "INPUT({})", c.net_name(i));
+    }
+    for &o in c.outputs() {
+        let _ = writeln!(s, "OUTPUT({})", c.net_name(o));
+    }
+    s.push('\n');
+    for dff in c.dffs() {
+        let d = dff.d.expect("writer requires connected DFFs");
+        let _ = writeln!(s, "{} = DFF({})", c.net_name(dff.q), c.net_name(d));
+    }
+    for (_, g) in c.iter_gates() {
+        let ins: Vec<&str> = g.inputs.iter().map(|&i| c.net_name(i)).collect();
+        let _ = writeln!(
+            s,
+            "{} = {}({})",
+            c.net_name(g.output),
+            g.kind,
+            ins.join(", ")
+        );
+    }
+    // Constants (rare; extension keywords).
+    for idx in 0..c.num_nets() {
+        let net = NetId::from_index(idx);
+        if let Driver::Const(v) = c.driver(net) {
+            let _ = writeln!(
+                s,
+                "{} = CONST{}()",
+                c.net_name(net),
+                if v { 1 } else { 0 }
+            );
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOY: &str = r"
+# a toy circuit
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+q = DFF(g)
+g = NAND(a, q)
+y = XOR(g, b)
+";
+
+    #[test]
+    fn parses_toy() {
+        let c = parse("toy", TOY).unwrap();
+        assert_eq!(c.num_inputs(), 2);
+        assert_eq!(c.num_outputs(), 1);
+        assert_eq!(c.num_dffs(), 1);
+        assert_eq!(c.num_gates(), 2);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let c = parse("toy", TOY).unwrap();
+        let text = write(&c);
+        let c2 = parse("toy2", &text).unwrap();
+        assert_eq!(c.num_inputs(), c2.num_inputs());
+        assert_eq!(c.num_outputs(), c2.num_outputs());
+        assert_eq!(c.num_dffs(), c2.num_dffs());
+        assert_eq!(c.num_gates(), c2.num_gates());
+        // Gate kinds survive in order of creation.
+        for (g1, g2) in c.gates().iter().zip(c2.gates()) {
+            assert_eq!(g1.kind, g2.kind);
+            assert_eq!(g1.inputs.len(), g2.inputs.len());
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let c = parse("c", "  \n# hi\nINPUT(x) # trailing\nOUTPUT(y)\ny = NOT(x)\n").unwrap();
+        assert_eq!(c.num_gates(), 1);
+    }
+
+    #[test]
+    fn unknown_keyword_is_parse_error() {
+        let err = parse("c", "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 3, .. }));
+    }
+
+    #[test]
+    fn missing_paren_is_parse_error() {
+        let err = parse("c", "INPUT a\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn dff_with_two_inputs_rejected() {
+        let err = parse("c", "INPUT(a)\nq = DFF(a, a)\nOUTPUT(q)\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn undriven_reference_rejected() {
+        let err = parse("c", "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n").unwrap_err();
+        assert!(matches!(err, NetlistError::UndrivenNet { .. }));
+    }
+
+    #[test]
+    fn const_extension() {
+        let c = parse("c", "INPUT(a)\nOUTPUT(y)\nk = CONST1()\ny = AND(a, k)\n").unwrap();
+        let k = c.net_by_name("k").unwrap();
+        assert_eq!(c.driver(k), Driver::Const(true));
+        let text = write(&c);
+        assert!(text.contains("CONST1"));
+        parse("c2", &text).unwrap();
+    }
+
+    #[test]
+    fn forward_references_ok() {
+        // y uses g before g is defined.
+        let c = parse("c", "INPUT(a)\nOUTPUT(y)\ny = NOT(g)\ng = BUFF(a)\n").unwrap();
+        assert_eq!(c.num_gates(), 2);
+    }
+}

@@ -1,0 +1,76 @@
+//! Error types for netlist construction and parsing.
+
+use std::fmt;
+
+/// Errors produced while building, validating or parsing a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A net name was declared twice with conflicting drivers.
+    DuplicateDriver {
+        /// The offending net name.
+        name: String,
+    },
+    /// A net was referenced but never driven by a PI, gate, DFF or constant.
+    UndrivenNet {
+        /// The offending net name.
+        name: String,
+    },
+    /// The combinational core of the circuit contains a cycle that is not
+    /// broken by a flip-flop.
+    CombinationalLoop {
+        /// Name of one net on the cycle.
+        witness: String,
+    },
+    /// A gate was declared with an arity its kind does not support
+    /// (e.g. a `NOT` with two inputs).
+    BadArity {
+        /// The gate kind as text.
+        kind: String,
+        /// Number of inputs supplied.
+        got: usize,
+    },
+    /// A `.bench` source line could not be parsed.
+    Parse {
+        /// 1-based line number in the source text.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// An operation referenced a net id that does not exist in this circuit.
+    UnknownNet {
+        /// The raw index that was out of range.
+        index: usize,
+    },
+    /// An operation referenced a DFF by a net that is not a DFF output.
+    NotADff {
+        /// The offending net name.
+        name: String,
+    },
+    /// The circuit has no primary inputs, which the sequence-based
+    /// algorithms cannot work with.
+    NoInputs,
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DuplicateDriver { name } => {
+                write!(f, "net `{name}` has more than one driver")
+            }
+            Self::UndrivenNet { name } => write!(f, "net `{name}` is never driven"),
+            Self::CombinationalLoop { witness } => {
+                write!(f, "combinational loop through net `{witness}`")
+            }
+            Self::BadArity { kind, got } => {
+                write!(f, "gate kind {kind} cannot take {got} inputs")
+            }
+            Self::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            Self::UnknownNet { index } => write!(f, "unknown net index {index}"),
+            Self::NotADff { name } => write!(f, "net `{name}` is not a flip-flop output"),
+            Self::NoInputs => write!(f, "circuit has no primary inputs"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}

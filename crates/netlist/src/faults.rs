@@ -1,0 +1,422 @@
+//! Single stuck-at fault enumeration and structural collapsing.
+//!
+//! Three enumeration conventions are provided:
+//!
+//! * [`FaultList::all_lines`] — the uncollapsed universe: both polarities on
+//!   every stem (net) and on every gate input pin.
+//! * [`FaultList::collapsed`] — the universe reduced by structural
+//!   equivalence (fanout-free branch ≡ stem; controlling-value input ≡
+//!   output; inverter/buffer input ≡ output).
+//! * [`FaultList::checkpoints`] — the classic *checkpoint* set: both
+//!   polarities on every primary input, every flip-flop output (pseudo
+//!   primary input) and every fanout branch. This is the convention used by
+//!   the sequential ATPG literature the reproduced paper builds on: it
+//!   yields exactly 32 faults for ISCAS-89 `s27` (the paper's
+//!   `f_0 … f_31`) and 22 for the combinational `c17`.
+//!
+//! Fault identity is positional: a [`Fault`] is meaningful only together
+//! with the circuit it was enumerated from.
+
+use crate::circuit::{Circuit, Driver, GateId, Load, NetId};
+
+/// The structural location of a stuck-at fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultSite {
+    /// On a net at its driver (affects every load).
+    Stem(NetId),
+    /// On one input pin of one gate (affects only that gate).
+    GatePin {
+        /// The consuming gate.
+        gate: GateId,
+        /// Zero-based pin position.
+        pin: usize,
+    },
+    /// On the data input of the flip-flop with this index (affects only the
+    /// value loaded into that flip-flop).
+    DffData(usize),
+}
+
+/// A single stuck-at fault: a site stuck at `stuck`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fault {
+    /// Where the fault sits.
+    pub site: FaultSite,
+    /// The stuck value: `false` = stuck-at-0, `true` = stuck-at-1.
+    pub stuck: bool,
+}
+
+impl Fault {
+    /// Stuck-at-0 at `site`.
+    pub fn sa0(site: FaultSite) -> Self {
+        Fault { site, stuck: false }
+    }
+
+    /// Stuck-at-1 at `site`.
+    pub fn sa1(site: FaultSite) -> Self {
+        Fault { site, stuck: true }
+    }
+
+    /// Human-readable description, e.g. `G11/G10.1 s-a-1`.
+    pub fn describe(&self, c: &Circuit) -> String {
+        let v = if self.stuck { 1 } else { 0 };
+        match self.site {
+            FaultSite::Stem(n) => format!("{} s-a-{v}", c.net_name(n)),
+            FaultSite::GatePin { gate, pin } => {
+                let g = c.gate(gate);
+                format!(
+                    "{}<-{}' (pin {pin}) s-a-{v}",
+                    c.net_name(g.output),
+                    c.net_name(g.inputs[pin]),
+                )
+            }
+            FaultSite::DffData(k) => {
+                let q = c.dffs()[k].q;
+                format!("DFF({})<-data s-a-{v}", c.net_name(q))
+            }
+        }
+    }
+}
+
+/// An ordered list of target faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultList {
+    faults: Vec<Fault>,
+}
+
+impl FaultList {
+    /// Builds a fault list from explicit faults.
+    pub fn from_faults(faults: Vec<Fault>) -> Self {
+        FaultList { faults }
+    }
+
+    /// The uncollapsed universe: both stuck values on every stem and on
+    /// every gate input pin. Constant-driven nets are skipped (a fault on a
+    /// tied line is either undetectable or the tied value itself).
+    pub fn all_lines(c: &Circuit) -> Self {
+        let mut faults = Vec::new();
+        for idx in 0..c.num_nets() {
+            let net = NetId::from_index(idx);
+            if matches!(c.driver(net), Driver::Const(_)) {
+                continue;
+            }
+            faults.push(Fault::sa0(FaultSite::Stem(net)));
+            faults.push(Fault::sa1(FaultSite::Stem(net)));
+        }
+        for (gid, gate) in c.iter_gates() {
+            for pin in 0..gate.inputs.len() {
+                let site = FaultSite::GatePin { gate: gid, pin };
+                faults.push(Fault::sa0(site));
+                faults.push(Fault::sa1(site));
+            }
+        }
+        FaultList { faults }
+    }
+
+    /// The classic checkpoint fault set: both polarities on every primary
+    /// input stem, every flip-flop output stem (pseudo primary input), and
+    /// every fanout branch (each load of a stem with fanout ≥ 2; a stem
+    /// that is also observed counts the observation as one of its loads and
+    /// contributes its stem fault for it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has not been levelized.
+    pub fn checkpoints(c: &Circuit) -> Self {
+        let mut faults = Vec::new();
+        for &pi in c.inputs() {
+            faults.push(Fault::sa0(FaultSite::Stem(pi)));
+            faults.push(Fault::sa1(FaultSite::Stem(pi)));
+        }
+        for dff in c.dffs() {
+            faults.push(Fault::sa0(FaultSite::Stem(dff.q)));
+            faults.push(Fault::sa1(FaultSite::Stem(dff.q)));
+        }
+        for idx in 0..c.num_nets() {
+            let net = NetId::from_index(idx);
+            if matches!(c.driver(net), Driver::Const(_)) {
+                continue;
+            }
+            if c.fanout_count(net) < 2 {
+                continue;
+            }
+            for load in c.loads(net) {
+                let site = match *load {
+                    Load::GatePin { gate, pin } => FaultSite::GatePin { gate, pin },
+                    Load::DffData(k) => FaultSite::DffData(k),
+                };
+                faults.push(Fault::sa0(site));
+                faults.push(Fault::sa1(site));
+            }
+            // The observation tap of an observed fanout stem is represented
+            // by the stem fault itself — but only when the stem is not a
+            // PI/FF output already enumerated above.
+            let is_ppi = matches!(c.driver(net), Driver::Input(_) | Driver::Dff(_));
+            let observed = c.observed_nets().any(|o| o == net);
+            if observed && !is_ppi {
+                faults.push(Fault::sa0(FaultSite::Stem(net)));
+                faults.push(Fault::sa1(FaultSite::Stem(net)));
+            }
+        }
+        FaultList { faults }
+    }
+
+    /// Structural equivalence collapsing of [`FaultList::all_lines`].
+    ///
+    /// Rules (applied transitively by union-find):
+    ///
+    /// 1. a gate-pin fault on a pin fed by a fanout-free stem is equivalent
+    ///    to the stem fault of the same polarity;
+    /// 2. a controlling-value fault on a gate input is equivalent to the
+    ///    corresponding output stem fault (AND: in-0 ≡ out-0; NAND: in-0 ≡
+    ///    out-1; OR: in-1 ≡ out-1; NOR: in-1 ≡ out-0);
+    /// 3. NOT/BUF input faults are equivalent to output faults (with
+    ///    polarity inversion for NOT).
+    ///
+    /// One representative per class is kept, preferring stems over pins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has not been levelized.
+    pub fn collapsed(c: &Circuit) -> Self {
+        use crate::circuit::GateKind;
+
+        // Universe indexing: stems first, then gate pins, ×2 polarities.
+        let n_nets = c.num_nets();
+        let mut pin_base = vec![0usize; c.num_gates()];
+        let mut n_pins = 0usize;
+        for (gid, gate) in c.iter_gates() {
+            pin_base[gid.index()] = n_pins;
+            n_pins += gate.inputs.len();
+        }
+        let stem_idx = |net: NetId, v: bool| net.index() * 2 + v as usize;
+        let pin_idx =
+            |g: GateId, pin: usize, v: bool| n_nets * 2 + (pin_base[g.index()] + pin) * 2 + v as usize;
+        let total = n_nets * 2 + n_pins * 2;
+
+        let mut uf = UnionFind::new(total);
+
+        for (gid, gate) in c.iter_gates() {
+            for (pin, &inp) in gate.inputs.iter().enumerate() {
+                // Rule 1: fanout-free branch ≡ stem.
+                if c.fanout_count(inp) == 1 {
+                    uf.union(pin_idx(gid, pin, false), stem_idx(inp, false));
+                    uf.union(pin_idx(gid, pin, true), stem_idx(inp, true));
+                }
+                // Rules 2 and 3: input ≡ output.
+                let out = gate.output;
+                match gate.kind {
+                    GateKind::And => uf.union(pin_idx(gid, pin, false), stem_idx(out, false)),
+                    GateKind::Nand => uf.union(pin_idx(gid, pin, false), stem_idx(out, true)),
+                    GateKind::Or => uf.union(pin_idx(gid, pin, true), stem_idx(out, true)),
+                    GateKind::Nor => uf.union(pin_idx(gid, pin, true), stem_idx(out, false)),
+                    GateKind::Not => {
+                        uf.union(pin_idx(gid, pin, false), stem_idx(out, true));
+                        uf.union(pin_idx(gid, pin, true), stem_idx(out, false));
+                    }
+                    GateKind::Buf => {
+                        uf.union(pin_idx(gid, pin, false), stem_idx(out, false));
+                        uf.union(pin_idx(gid, pin, true), stem_idx(out, true));
+                    }
+                    GateKind::Xor | GateKind::Xnor => {}
+                }
+            }
+        }
+
+        // Pick representatives: for each class, prefer the lowest stem.
+        let mut rep: Vec<Option<Fault>> = vec![None; total];
+        for idx in 0..c.num_nets() {
+            let net = NetId::from_index(idx);
+            if matches!(c.driver(net), Driver::Const(_)) {
+                continue;
+            }
+            for v in [false, true] {
+                let root = uf.find(stem_idx(net, v));
+                if rep[root].is_none() {
+                    rep[root] = Some(Fault {
+                        site: FaultSite::Stem(net),
+                        stuck: v,
+                    });
+                }
+            }
+        }
+        for (gid, gate) in c.iter_gates() {
+            for pin in 0..gate.inputs.len() {
+                for v in [false, true] {
+                    let root = uf.find(pin_idx(gid, pin, v));
+                    if rep[root].is_none() {
+                        rep[root] = Some(Fault {
+                            site: FaultSite::GatePin { gate: gid, pin },
+                            stuck: v,
+                        });
+                    }
+                }
+            }
+        }
+
+        let mut faults: Vec<Fault> = rep.into_iter().flatten().collect();
+        faults.sort();
+        faults.dedup();
+        FaultList { faults }
+    }
+
+    /// Number of faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The faults, in order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Iterates over the faults.
+    pub fn iter(&self) -> std::slice::Iter<'_, Fault> {
+        self.faults.iter()
+    }
+
+    /// Retains only the faults for which `keep` returns true.
+    pub fn retain(&mut self, keep: impl FnMut(&Fault) -> bool) {
+        self.faults.retain(keep);
+    }
+}
+
+impl FromIterator<Fault> for FaultList {
+    fn from_iter<I: IntoIterator<Item = Fault>>(iter: I) -> Self {
+        FaultList {
+            faults: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Fault> for FaultList {
+    fn extend<I: IntoIterator<Item = Fault>>(&mut self, iter: I) {
+        self.faults.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a FaultList {
+    type Item = &'a Fault;
+    type IntoIter = std::slice::Iter<'a, Fault>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.faults.iter()
+    }
+}
+
+impl IntoIterator for FaultList {
+    type Item = Fault;
+    type IntoIter = std::vec::IntoIter<Fault>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.faults.into_iter()
+    }
+}
+
+/// Minimal union-find with path halving.
+#[derive(Debug)]
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Deterministic: smaller root wins, keeping stems (low indices)
+            // as class representatives.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_format;
+
+    const C17: &str = r"
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+    #[test]
+    fn c17_checkpoints_count() {
+        let c = bench_format::parse("c17", C17).unwrap();
+        // 5 PIs (10 faults) + fanout branches of nets 3, 11, 16 (12 faults).
+        assert_eq!(FaultList::checkpoints(&c).len(), 22);
+    }
+
+    #[test]
+    fn c17_collapsed_count() {
+        let c = bench_format::parse("c17", C17).unwrap();
+        // The standard published collapsed fault count for c17.
+        assert_eq!(FaultList::collapsed(&c).len(), 22);
+    }
+
+    #[test]
+    fn c17_all_lines_count() {
+        let c = bench_format::parse("c17", C17).unwrap();
+        // 11 stems * 2 + 12 pins * 2.
+        assert_eq!(FaultList::all_lines(&c).len(), 46);
+    }
+
+    #[test]
+    fn describe_is_readable() {
+        let c = bench_format::parse("c17", C17).unwrap();
+        let fl = FaultList::checkpoints(&c);
+        let texts: Vec<String> = fl.iter().map(|f| f.describe(&c)).collect();
+        assert!(texts.iter().any(|t| t.contains("s-a-0")));
+        assert!(texts.iter().any(|t| t.contains("s-a-1")));
+    }
+
+    #[test]
+    fn collapsed_subset_of_universe() {
+        let c = bench_format::parse("c17", C17).unwrap();
+        let all = FaultList::all_lines(&c);
+        let col = FaultList::collapsed(&c);
+        assert!(col.len() < all.len());
+        for f in &col {
+            assert!(all.faults().contains(f));
+        }
+    }
+
+    #[test]
+    fn retain_and_collect() {
+        let c = bench_format::parse("c17", C17).unwrap();
+        let mut fl = FaultList::checkpoints(&c);
+        let n = fl.len();
+        fl.retain(|f| f.stuck);
+        assert_eq!(fl.len(), n / 2);
+        let back: FaultList = fl.iter().copied().collect();
+        assert_eq!(back, fl);
+    }
+}

@@ -1,0 +1,47 @@
+//! Gate-level synchronous sequential netlist intermediate representation.
+//!
+//! This crate provides the circuit substrate used by every other `wbist`
+//! crate: a compact gate-level IR for synchronous sequential circuits in the
+//! style of the ISCAS-89 benchmarks, together with
+//!
+//! * a parser and writer for the ISCAS-89 `.bench` netlist format
+//!   ([`bench_format`]),
+//! * levelization (topological ordering of the combinational core) with
+//!   combinational-loop detection ([`Circuit::levelize`]),
+//! * single stuck-at fault enumeration on checkpoint lines and structural
+//!   fault collapsing ([`faults`]),
+//! * support for *observation points* — extra observed internal lines used
+//!   by the observation-point insertion experiments of the reproduced paper.
+//!
+//! # Example
+//!
+//! ```
+//! use wbist_netlist::{Circuit, GateKind};
+//!
+//! # fn main() -> Result<(), wbist_netlist::NetlistError> {
+//! let mut c = Circuit::new("toy");
+//! let a = c.add_input("a");
+//! let b = c.add_input("b");
+//! let q = c.add_dff("q", None)?;
+//! let g = c.add_gate(GateKind::Nand, "g", &[a, q])?;
+//! c.connect_dff_data(q, g)?;
+//! c.add_gate(GateKind::Xor, "y", &[g, b])?;
+//! c.mark_output(c.net_by_name("y").unwrap());
+//! let c = c.levelize()?;
+//! assert_eq!(c.num_inputs(), 2);
+//! assert_eq!(c.num_dffs(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bench_format;
+pub mod circuit;
+pub mod error;
+pub mod faults;
+pub mod stats;
+pub mod transform;
+
+pub use circuit::{Circuit, Dff, Driver, Gate, GateId, GateKind, Load, NetId};
+pub use error::NetlistError;
+pub use faults::{Fault, FaultList, FaultSite};
+pub use stats::{circuit_stats, CircuitStats};

@@ -1,0 +1,156 @@
+//! Property-based tests for the netlist layer: random valid circuits
+//! must levelize, round-trip through `.bench`, and keep their fault
+//! lists consistent.
+
+use proptest::prelude::*;
+use wbist_netlist::{bench_format, circuit_stats, Circuit, FaultList, GateKind};
+
+/// A recipe for one random, always-valid circuit.
+#[derive(Debug, Clone)]
+struct Recipe {
+    num_inputs: usize,
+    num_dffs: usize,
+    gates: Vec<(u8, Vec<usize>)>, // (kind selector, input picks)
+    num_outputs: usize,
+}
+
+fn arb_recipe() -> impl Strategy<Value = Recipe> {
+    (1usize..5, 0usize..4, 1usize..4).prop_flat_map(|(num_inputs, num_dffs, num_outputs)| {
+        prop::collection::vec(
+            (
+                0u8..8,
+                prop::collection::vec(0usize..10_000, 1..4),
+            ),
+            num_outputs.max(num_dffs * 2).max(2)..24,
+        )
+        .prop_map(move |gates| Recipe {
+            num_inputs,
+            num_dffs,
+            gates,
+            num_outputs,
+        })
+    })
+}
+
+/// Builds the circuit for a recipe. Construction only ever picks
+/// already-existing nets as gate inputs, so the result is always valid.
+fn build(recipe: &Recipe) -> Circuit {
+    let mut c = Circuit::new("prop");
+    let mut pool = Vec::new();
+    for i in 0..recipe.num_inputs {
+        pool.push(c.add_input(&format!("i{i}")));
+    }
+    let mut dffs = Vec::new();
+    for k in 0..recipe.num_dffs {
+        let q = c.add_dff(&format!("q{k}"), None).expect("fresh");
+        dffs.push(q);
+        pool.push(q);
+    }
+    let kinds = [
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Not,
+        GateKind::Buf,
+    ];
+    let mut outputs = Vec::new();
+    for (gi, (ksel, picks)) in recipe.gates.iter().enumerate() {
+        let kind = kinds[*ksel as usize % kinds.len()];
+        let fanin = if matches!(kind, GateKind::Not | GateKind::Buf) {
+            1
+        } else {
+            picks.len()
+        };
+        let inputs: Vec<_> = (0..fanin)
+            .map(|k| pool[picks[k % picks.len()] % pool.len()])
+            .collect();
+        let out = c
+            .add_gate(kind, &format!("g{gi}"), &inputs)
+            .expect("fresh names");
+        pool.push(out);
+        outputs.push(out);
+    }
+    for (k, &q) in dffs.iter().enumerate() {
+        // Feed each DFF from a distinct late gate.
+        let src = outputs[outputs.len() - 1 - (k % outputs.len())];
+        c.connect_dff_data(q, src).expect("q is a DFF");
+    }
+    for k in 0..recipe.num_outputs {
+        c.mark_output(outputs[outputs.len() - 1 - (k % outputs.len())]);
+    }
+    c.levelize().expect("recipe circuits are valid")
+}
+
+proptest! {
+    #[test]
+    fn recipes_levelize_and_roundtrip(recipe in arb_recipe()) {
+        let c = build(&recipe);
+        // Topological order respects dependencies.
+        let topo = c.topo_gates();
+        prop_assert_eq!(topo.len(), c.num_gates());
+        let mut pos = vec![usize::MAX; c.num_gates()];
+        for (i, g) in topo.iter().enumerate() {
+            pos[g.index()] = i;
+        }
+        for (gid, g) in c.iter_gates() {
+            for &inp in &g.inputs {
+                if let wbist_netlist::Driver::Gate(src) = c.driver(inp) {
+                    prop_assert!(pos[src.index()] < pos[gid.index()]);
+                }
+            }
+        }
+        // Round-trip.
+        let text = bench_format::write(&c);
+        let c2 = bench_format::parse("rt", &text).expect("roundtrip parses");
+        prop_assert_eq!(c.num_gates(), c2.num_gates());
+        prop_assert_eq!(c.num_dffs(), c2.num_dffs());
+        prop_assert_eq!(c.num_inputs(), c2.num_inputs());
+        prop_assert_eq!(c.num_outputs(), c2.num_outputs());
+    }
+
+    #[test]
+    fn fault_lists_are_consistent(recipe in arb_recipe()) {
+        let c = build(&recipe);
+        let all = FaultList::all_lines(&c);
+        let collapsed = FaultList::collapsed(&c);
+        let checkpoints = FaultList::checkpoints(&c);
+        prop_assert!(collapsed.len() <= all.len());
+        prop_assert!(checkpoints.len() <= all.len());
+        // Both polarities per site in the universe → even count.
+        prop_assert_eq!(all.len() % 2, 0);
+        // Every collapsed representative is a member of the universe.
+        for f in &collapsed {
+            prop_assert!(all.faults().contains(f));
+        }
+    }
+
+    #[test]
+    fn stats_agree_with_structure(recipe in arb_recipe()) {
+        let c = build(&recipe);
+        let s = circuit_stats(&c);
+        prop_assert_eq!(s.inputs, c.num_inputs());
+        prop_assert_eq!(s.gates, c.num_gates());
+        prop_assert_eq!(s.dffs, c.num_dffs());
+        prop_assert!(s.depth <= c.num_gates());
+        prop_assert_eq!(s.literals, c.literal_count());
+        prop_assert!(s.feedback_dffs <= s.dffs);
+        let kinds_total: usize = s.kind_histogram.iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(kinds_total, c.num_gates());
+    }
+
+    #[test]
+    fn full_scan_is_combinational_and_id_preserving(recipe in arb_recipe()) {
+        let c = build(&recipe);
+        let s = wbist_netlist::transform::full_scan(&c).expect("converts");
+        prop_assert_eq!(s.num_dffs(), 0);
+        prop_assert_eq!(s.num_gates(), c.num_gates());
+        prop_assert_eq!(s.num_inputs(), c.num_inputs() + c.num_dffs());
+        for idx in 0..c.num_nets() {
+            let net = wbist_netlist::NetId::from_index(idx);
+            prop_assert_eq!(c.net_name(net), s.net_name(net));
+        }
+    }
+}

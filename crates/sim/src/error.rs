@@ -1,0 +1,52 @@
+//! Error types for the simulation crate.
+
+use std::fmt;
+
+/// Errors produced by sequence construction and simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The test sequence vector width does not match the circuit's number
+    /// of primary inputs.
+    InputWidthMismatch {
+        /// Inputs the circuit has.
+        circuit: usize,
+        /// Width of the sequence rows.
+        sequence: usize,
+    },
+    /// A textual test vector contained a character other than `0` or `1`.
+    BadVectorChar {
+        /// Row index.
+        row: usize,
+        /// The offending character.
+        ch: char,
+    },
+    /// Rows of differing widths were supplied.
+    RaggedRows {
+        /// Width of the first row.
+        expected: usize,
+        /// Index of the first row with a different width.
+        row: usize,
+        /// That row's width.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InputWidthMismatch { circuit, sequence } => write!(
+                f,
+                "sequence rows have {sequence} bits but the circuit has {circuit} inputs"
+            ),
+            Self::BadVectorChar { row, ch } => {
+                write!(f, "row {row} contains invalid character {ch:?}")
+            }
+            Self::RaggedRows { expected, row, got } => {
+                write!(f, "row {row} has {got} bits, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

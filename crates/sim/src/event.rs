@@ -1,0 +1,176 @@
+//! Event-driven good-machine simulation.
+//!
+//! The levelized simulator in [`crate::good`] evaluates every gate every
+//! cycle. For circuits with low switching activity — long BIST sessions
+//! where most inputs are held by constant-like weights — an event-driven
+//! evaluator visits only the fanout cones of nets that actually changed.
+//! Results are identical to [`LogicSim`](crate::good::LogicSim); the
+//! `simulator` Criterion bench compares their throughput.
+//!
+//! The implementation is a classic two-list algorithm: per cycle, source
+//! changes (PIs and flip-flop outputs) seed an activity queue ordered by
+//! topological level; each gate is re-evaluated at most once per cycle,
+//! and scheduling stops where the computed value does not change.
+
+use crate::error::SimError;
+use crate::logic::Logic3;
+use crate::sequence::TestSequence;
+use std::collections::BTreeSet;
+use wbist_netlist::{Circuit, Driver, GateId, Load, NetId};
+
+/// Event-driven fault-free simulator.
+#[derive(Debug, Clone)]
+pub struct EventSim<'c> {
+    circuit: &'c Circuit,
+    /// Topological level of every gate (position in topo order).
+    level: Vec<usize>,
+}
+
+impl<'c> EventSim<'c> {
+    /// Creates an event-driven simulator for `circuit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has not been levelized.
+    pub fn new(circuit: &'c Circuit) -> Self {
+        assert!(circuit.is_levelized(), "circuit must be levelized");
+        let mut level = vec![0usize; circuit.num_gates()];
+        for (pos, &gid) in circuit.topo_gates().iter().enumerate() {
+            level[gid.index()] = pos;
+        }
+        EventSim { circuit, level }
+    }
+
+    /// Simulates `seq` from the all-`X` state and returns the primary
+    /// output values per time unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InputWidthMismatch`] if the sequence width
+    /// does not match the circuit.
+    pub fn outputs(&self, seq: &TestSequence) -> Result<Vec<Vec<Logic3>>, SimError> {
+        let c = self.circuit;
+        if seq.num_inputs() != c.num_inputs() {
+            return Err(SimError::InputWidthMismatch {
+                circuit: c.num_inputs(),
+                sequence: seq.num_inputs(),
+            });
+        }
+        let mut nets: Vec<Logic3> = vec![Logic3::X; c.num_nets()];
+        // Constants never change; set them once. Their fanout is woken on
+        // the first cycle via `first` below.
+        for idx in 0..c.num_nets() {
+            if let Driver::Const(v) = c.driver(NetId::from_index(idx)) {
+                nets[idx] = v.into();
+            }
+        }
+        let mut state: Vec<Logic3> = vec![Logic3::X; c.num_dffs()];
+        // Agenda of gates to evaluate this cycle, ordered by level.
+        let mut agenda: BTreeSet<(usize, GateId)> = BTreeSet::new();
+        let mut out = Vec::with_capacity(seq.len());
+        let mut first = true;
+
+        for u in 0..seq.len() {
+            // Drive sources; schedule fanout of changed nets.
+            for (pi, &net) in c.inputs().iter().enumerate() {
+                let v: Logic3 = seq.value(u, pi).into();
+                if first || nets[net.index()] != v {
+                    nets[net.index()] = v;
+                    self.wake(net, &mut agenda);
+                }
+            }
+            for (k, dff) in c.dffs().iter().enumerate() {
+                if first || nets[dff.q.index()] != state[k] {
+                    nets[dff.q.index()] = state[k];
+                    self.wake(dff.q, &mut agenda);
+                }
+            }
+            if first {
+                for idx in 0..c.num_nets() {
+                    if matches!(c.driver(NetId::from_index(idx)), Driver::Const(_)) {
+                        self.wake(NetId::from_index(idx), &mut agenda);
+                    }
+                }
+            }
+            // Propagate in level order.
+            while let Some(&(lvl, gid)) = agenda.iter().next() {
+                agenda.remove(&(lvl, gid));
+                let g = c.gate(gid);
+                let v = crate::good::eval_gate(g.kind, g.inputs.iter().map(|&i| nets[i.index()]));
+                if nets[g.output.index()] != v {
+                    nets[g.output.index()] = v;
+                    self.wake(g.output, &mut agenda);
+                }
+            }
+            // Capture next state and outputs.
+            for (k, dff) in c.dffs().iter().enumerate() {
+                state[k] = nets[dff.d.expect("levelized").index()];
+            }
+            out.push(c.outputs().iter().map(|&o| nets[o.index()]).collect());
+            first = false;
+        }
+        Ok(out)
+    }
+
+    fn wake(&self, net: NetId, agenda: &mut BTreeSet<(usize, GateId)>) {
+        for load in self.circuit.loads(net) {
+            if let Load::GatePin { gate, .. } = *load {
+                agenda.insert((self.level[gate.index()], gate));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::good::LogicSim;
+    use wbist_netlist::bench_format;
+
+    fn toy() -> Circuit {
+        bench_format::parse(
+            "toy",
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nq = DFF(g)\ng = NAND(a, q)\ny = XOR(g, b)\n",
+        )
+        .expect("valid netlist")
+    }
+
+    #[test]
+    fn agrees_with_levelized_sim() {
+        let c = toy();
+        let seq = TestSequence::parse_rows(&["00", "10", "01", "11", "10", "00", "11"]).unwrap();
+        let a = EventSim::new(&c).outputs(&seq).unwrap();
+        let b = LogicSim::new(&c).outputs(&seq).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn agrees_on_constant_inputs() {
+        // A sequence that never changes: after cycle 1, zero activity.
+        let c = toy();
+        let seq = TestSequence::parse_rows(&["10"; 20]).unwrap();
+        let a = EventSim::new(&c).outputs(&seq).unwrap();
+        let b = LogicSim::new(&c).outputs(&seq).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn handles_constants() {
+        let c = bench_format::parse(
+            "k",
+            "INPUT(a)\nOUTPUT(y)\nk = CONST1()\nm = CONST0()\nt = OR(a, m)\ny = AND(t, k)\n",
+        )
+        .unwrap();
+        let seq = TestSequence::parse_rows(&["1", "0", "1"]).unwrap();
+        let a = EventSim::new(&c).outputs(&seq).unwrap();
+        let b = LogicSim::new(&c).outputs(&seq).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn width_mismatch_is_error() {
+        let c = toy();
+        let seq = TestSequence::parse_rows(&["000"]).unwrap();
+        assert!(EventSim::new(&c).outputs(&seq).is_err());
+    }
+}

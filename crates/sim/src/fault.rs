@@ -1,0 +1,728 @@
+//! Parallel sequential stuck-at fault simulation.
+//!
+//! The simulator packs the fault-free machine (bit 0) and up to 63 faulty
+//! machines (bits 1–63) into each 64-bit word. A three-valued signal is
+//! held as two bit-planes `(ones, zeros)` per net: bit `b` of `ones` set
+//! means machine `b` sees logic 1, bit `b` of `zeros` means logic 0, and
+//! neither means `X`. Gate evaluation is plain boolean algebra on the
+//! planes, so all machines advance in lock-step through the levelized
+//! combinational core, cycle by cycle, each with its own flip-flop state.
+//!
+//! Faults are injected by forcing plane bits: a stem fault forces the net's
+//! planes after its driver is evaluated; a gate-pin fault forces the value
+//! seen by a single gate input; a DFF-data fault forces the value loaded
+//! into one flip-flop.
+
+use crate::error::SimError;
+use crate::sequence::TestSequence;
+use std::collections::HashMap;
+use wbist_netlist::{Circuit, Driver, Fault, FaultList, FaultSite, GateKind, NetId};
+
+/// Two bit-planes encoding one net's value in 64 machines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Planes {
+    ones: u64,
+    zeros: u64,
+}
+
+impl Planes {
+    const ALL_ONE: Planes = Planes {
+        ones: !0,
+        zeros: 0,
+    };
+    const ALL_ZERO: Planes = Planes {
+        ones: 0,
+        zeros: !0,
+    };
+    const ALL_X: Planes = Planes { ones: 0, zeros: 0 };
+
+    #[inline]
+    fn broadcast(v: bool) -> Planes {
+        if v {
+            Planes::ALL_ONE
+        } else {
+            Planes::ALL_ZERO
+        }
+    }
+
+    #[inline]
+    fn and(self, rhs: Planes) -> Planes {
+        Planes {
+            ones: self.ones & rhs.ones,
+            zeros: self.zeros | rhs.zeros,
+        }
+    }
+
+    #[inline]
+    fn or(self, rhs: Planes) -> Planes {
+        Planes {
+            ones: self.ones | rhs.ones,
+            zeros: self.zeros & rhs.zeros,
+        }
+    }
+
+    #[inline]
+    fn xor(self, rhs: Planes) -> Planes {
+        Planes {
+            ones: (self.ones & rhs.zeros) | (self.zeros & rhs.ones),
+            zeros: (self.ones & rhs.ones) | (self.zeros & rhs.zeros),
+        }
+    }
+
+    #[inline]
+    fn not(self) -> Planes {
+        Planes {
+            ones: self.zeros,
+            zeros: self.ones,
+        }
+    }
+
+    /// Forces bits: machines in `f1` to 1, machines in `f0` to 0.
+    #[inline]
+    fn inject(self, f1: u64, f0: u64) -> Planes {
+        Planes {
+            ones: (self.ones & !f0) | f1,
+            zeros: (self.zeros & !f1) | f0,
+        }
+    }
+
+    /// Machines whose value is binary and differs from the fault-free
+    /// machine (bit 0). Returns 0 when the fault-free value is `X`.
+    #[inline]
+    fn diff_from_good(self) -> u64 {
+        if self.ones & 1 != 0 {
+            self.zeros & !1
+        } else if self.zeros & 1 != 0 {
+            self.ones & !1
+        } else {
+            0
+        }
+    }
+}
+
+/// One batch of up to 63 faults sharing a simulation word.
+#[derive(Debug, Clone)]
+struct Batch {
+    /// Global fault indices; fault `k` of the batch occupies bit `k + 1`.
+    fault_indices: Vec<usize>,
+    /// Stem injections: net index → (force-1 mask, force-0 mask).
+    stems: HashMap<u32, (u64, u64)>,
+    /// Gate-pin injections: (gate index, pin) → masks.
+    pins: HashMap<(u32, u32), (u64, u64)>,
+    /// DFF-data injections: dff index → masks.
+    dffs: HashMap<u32, (u64, u64)>,
+    /// Which gates have at least one pin injection (fast skip).
+    gate_has_pin_inj: Vec<bool>,
+    /// Mask of bits that carry live (not yet detected) faults.
+    live: u64,
+}
+
+impl Batch {
+    fn build(circuit: &Circuit, faults: &[(usize, Fault)]) -> Batch {
+        debug_assert!(faults.len() <= 63);
+        let mut b = Batch {
+            fault_indices: faults.iter().map(|&(i, _)| i).collect(),
+            stems: HashMap::new(),
+            pins: HashMap::new(),
+            dffs: HashMap::new(),
+            gate_has_pin_inj: vec![false; circuit.num_gates()],
+            live: 0,
+        };
+        for (k, &(_, f)) in faults.iter().enumerate() {
+            let bit = 1u64 << (k + 1);
+            b.live |= bit;
+            let (f1, f0) = if f.stuck { (bit, 0) } else { (0, bit) };
+            match f.site {
+                FaultSite::Stem(net) => {
+                    let e = b.stems.entry(net.index() as u32).or_insert((0, 0));
+                    e.0 |= f1;
+                    e.1 |= f0;
+                }
+                FaultSite::GatePin { gate, pin } => {
+                    let e = b
+                        .pins
+                        .entry((gate.index() as u32, pin as u32))
+                        .or_insert((0, 0));
+                    e.0 |= f1;
+                    e.1 |= f0;
+                    b.gate_has_pin_inj[gate.index()] = true;
+                }
+                FaultSite::DffData(k) => {
+                    let e = b.dffs.entry(k as u32).or_insert((0, 0));
+                    e.0 |= f1;
+                    e.1 |= f0;
+                }
+            }
+        }
+        b
+    }
+
+    /// Bit position (1–63) of a global fault index within this batch.
+    fn bit_of(&self, global: usize) -> Option<u64> {
+        self.fault_indices
+            .iter()
+            .position(|&g| g == global)
+            .map(|k| 1u64 << (k + 1))
+    }
+}
+
+/// Per-batch flip-flop state, retained between [`FaultSim::advance`] calls.
+///
+/// Create with [`FaultSim::begin`]; all machines start in the all-`X`
+/// state. The state is tied to the fault list it was created from.
+#[derive(Debug, Clone)]
+pub struct FaultSimState {
+    batches: Vec<Batch>,
+    /// Flip-flop planes per batch.
+    ff: Vec<Vec<Planes>>,
+    /// Detected flags, indexed like the originating fault list.
+    detected: Vec<bool>,
+    /// Time units consumed so far (for absolute detection times).
+    elapsed: usize,
+}
+
+impl FaultSimState {
+    /// Detected flags, indexed like the fault list passed to
+    /// [`FaultSim::begin`].
+    pub fn detected(&self) -> &[bool] {
+        &self.detected
+    }
+
+    /// Number of detected faults so far.
+    pub fn num_detected(&self) -> usize {
+        self.detected.iter().filter(|&&d| d).count()
+    }
+
+    /// Time units simulated so far.
+    pub fn elapsed(&self) -> usize {
+        self.elapsed
+    }
+}
+
+/// Parallel-fault sequential stuck-at fault simulator.
+///
+/// See the [module documentation](self) for the machine model and
+/// detection semantics.
+#[derive(Debug, Clone)]
+pub struct FaultSim<'c> {
+    circuit: &'c Circuit,
+}
+
+impl<'c> FaultSim<'c> {
+    /// Creates a fault simulator for `circuit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has not been levelized.
+    pub fn new(circuit: &'c Circuit) -> Self {
+        assert!(circuit.is_levelized(), "circuit must be levelized");
+        FaultSim { circuit }
+    }
+
+    /// The circuit being simulated.
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
+    }
+
+    fn check_width(&self, seq: &TestSequence) {
+        assert_eq!(
+            seq.num_inputs(),
+            self.circuit.num_inputs(),
+            "{}",
+            SimError::InputWidthMismatch {
+                circuit: self.circuit.num_inputs(),
+                sequence: seq.num_inputs(),
+            }
+        );
+    }
+
+    fn make_batches(&self, faults: &FaultList) -> Vec<Batch> {
+        let indexed: Vec<(usize, Fault)> = faults.iter().copied().enumerate().collect();
+        indexed
+            .chunks(63)
+            .map(|chunk| Batch::build(self.circuit, chunk))
+            .collect()
+    }
+
+    /// Starts an incremental simulation of `faults` from the all-`X` state.
+    pub fn begin(&self, faults: &FaultList) -> FaultSimState {
+        let batches = self.make_batches(faults);
+        let ff = batches
+            .iter()
+            .map(|_| vec![Planes::ALL_X; self.circuit.num_dffs()])
+            .collect();
+        FaultSimState {
+            batches,
+            ff,
+            detected: vec![false; faults.len()],
+            elapsed: 0,
+        }
+    }
+
+    /// Applies `seq` on top of `state`, updating flip-flop planes and the
+    /// detected flags. Returns the number of newly detected faults.
+    ///
+    /// Batches whose faults are all detected are skipped entirely (fault
+    /// dropping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence width does not match the circuit.
+    pub fn advance(&self, state: &mut FaultSimState, seq: &TestSequence) -> usize {
+        self.check_width(seq);
+        let mut newly = 0;
+        let mut nets = vec![Planes::ALL_X; self.circuit.num_nets()];
+        for (bi, batch) in state.batches.iter_mut().enumerate() {
+            if batch.live == 0 {
+                continue;
+            }
+            let ff = &mut state.ff[bi];
+            for u in 0..seq.len() {
+                let mut detected_now = 0u64;
+                step_batch(self.circuit, batch, seq.row(u), ff, &mut nets);
+                for o in self.circuit.observed_nets() {
+                    detected_now |= nets[o.index()].diff_from_good();
+                }
+                detected_now &= batch.live;
+                if detected_now != 0 {
+                    for (k, &gi) in batch.fault_indices.iter().enumerate() {
+                        if detected_now & (1u64 << (k + 1)) != 0 && !state.detected[gi] {
+                            state.detected[gi] = true;
+                            newly += 1;
+                        }
+                    }
+                    batch.live &= !detected_now;
+                    if batch.live == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+        state.elapsed += seq.len();
+        newly
+    }
+
+    /// Simulates `seq` from the all-`X` state and returns, for every fault,
+    /// the first time unit at which it is detected (the paper's
+    /// `u_det(f)`), or `None` if the sequence does not detect it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence width does not match the circuit.
+    pub fn detection_times(&self, faults: &FaultList, seq: &TestSequence) -> Vec<Option<usize>> {
+        self.check_width(seq);
+        let mut times = vec![None; faults.len()];
+        let mut batches = self.make_batches(faults);
+        let mut nets = vec![Planes::ALL_X; self.circuit.num_nets()];
+        for batch in &mut batches {
+            let mut ff = vec![Planes::ALL_X; self.circuit.num_dffs()];
+            for u in 0..seq.len() {
+                if batch.live == 0 {
+                    break;
+                }
+                step_batch(self.circuit, batch, seq.row(u), &mut ff, &mut nets);
+                let mut detected_now = 0u64;
+                for o in self.circuit.observed_nets() {
+                    detected_now |= nets[o.index()].diff_from_good();
+                }
+                detected_now &= batch.live;
+                if detected_now != 0 {
+                    for (k, &gi) in batch.fault_indices.iter().enumerate() {
+                        if detected_now & (1u64 << (k + 1)) != 0 {
+                            times[gi] = Some(u);
+                        }
+                    }
+                    batch.live &= !detected_now;
+                }
+            }
+        }
+        times
+    }
+
+    /// Simulates `seq` and returns a detected flag per fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence width does not match the circuit.
+    pub fn detected(&self, faults: &FaultList, seq: &TestSequence) -> Vec<bool> {
+        self.detection_times(faults, seq)
+            .into_iter()
+            .map(|t| t.is_some())
+            .collect()
+    }
+
+    /// Counts the faults of `faults` detected by `seq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence width does not match the circuit.
+    pub fn count_detected(&self, faults: &FaultList, seq: &TestSequence) -> usize {
+        self.detected(faults, seq).iter().filter(|&&d| d).count()
+    }
+
+    /// Returns `true` as soon as `seq` detects any fault of `faults`
+    /// (early exit). Used for the paper's sample-first speedup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence width does not match the circuit.
+    pub fn detects_any(&self, faults: &FaultList, seq: &TestSequence) -> bool {
+        self.check_width(seq);
+        let mut batches = self.make_batches(faults);
+        let mut nets = vec![Planes::ALL_X; self.circuit.num_nets()];
+        for batch in &mut batches {
+            let mut ff = vec![Planes::ALL_X; self.circuit.num_dffs()];
+            for u in 0..seq.len() {
+                step_batch(self.circuit, batch, seq.row(u), &mut ff, &mut nets);
+                for o in self.circuit.observed_nets() {
+                    if nets[o.index()].diff_from_good() & batch.live != 0 {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// For every fault, the set of nets on which the faulty machine differs
+    /// (binary vs. binary) from the fault-free machine at *some* time unit
+    /// of `seq`. A fault would be detected by observing any of these lines —
+    /// this computes the paper's observation-point candidate sets `OP(f)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence width does not match the circuit.
+    pub fn observable_lines(&self, faults: &FaultList, seq: &TestSequence) -> Vec<Vec<NetId>> {
+        self.check_width(seq);
+        let batches = self.make_batches(faults);
+        let mut result = vec![Vec::new(); faults.len()];
+        let mut nets = vec![Planes::ALL_X; self.circuit.num_nets()];
+        for batch in &batches {
+            let mut ff = vec![Planes::ALL_X; self.circuit.num_dffs()];
+            // Accumulated difference mask per net.
+            let mut acc = vec![0u64; self.circuit.num_nets()];
+            for u in 0..seq.len() {
+                step_batch(self.circuit, batch, seq.row(u), &mut ff, &mut nets);
+                for (n, planes) in nets.iter().enumerate() {
+                    acc[n] |= planes.diff_from_good();
+                }
+            }
+            for (k, &gi) in batch.fault_indices.iter().enumerate() {
+                let bit = 1u64 << (k + 1);
+                for (n, &mask) in acc.iter().enumerate() {
+                    if mask & bit != 0 {
+                        result[gi].push(NetId::from_index(n));
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    /// Resumes `state` but only checks whether any *specific* fault listed
+    /// in `sample` (by its index in the originating fault list) is
+    /// detected by `seq`; flip-flop planes are cloned so `state` is not
+    /// modified. Used for the paper's sample-first simulation shortcut.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence width does not match the circuit.
+    pub fn sample_detects(
+        &self,
+        state: &FaultSimState,
+        sample: &[usize],
+        seq: &TestSequence,
+    ) -> bool {
+        self.check_width(seq);
+        let mut nets = vec![Planes::ALL_X; self.circuit.num_nets()];
+        for (bi, batch) in state.batches.iter().enumerate() {
+            let mut wanted = 0u64;
+            for &gi in sample {
+                if let Some(bit) = batch.bit_of(gi) {
+                    wanted |= bit;
+                }
+            }
+            wanted &= batch.live;
+            if wanted == 0 {
+                continue;
+            }
+            let mut ff = state.ff[bi].clone();
+            for u in 0..seq.len() {
+                step_batch(self.circuit, batch, seq.row(u), &mut ff, &mut nets);
+                for o in self.circuit.observed_nets() {
+                    if nets[o.index()].diff_from_good() & wanted != 0 {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Evaluates one clock cycle for one batch.
+fn step_batch(
+    c: &Circuit,
+    batch: &Batch,
+    row: &[bool],
+    ff: &mut [Planes],
+    nets: &mut [Planes],
+) {
+    // Sources.
+    for (pi_idx, &net) in c.inputs().iter().enumerate() {
+        nets[net.index()] = Planes::broadcast(row[pi_idx]);
+    }
+    for (k, dff) in c.dffs().iter().enumerate() {
+        nets[dff.q.index()] = ff[k];
+    }
+    for idx in 0..c.num_nets() {
+        if let Driver::Const(v) = c.driver(NetId::from_index(idx)) {
+            nets[idx] = Planes::broadcast(v);
+        }
+    }
+    // Stem injections on sources (gate-output stems are injected right
+    // after their gate is evaluated below).
+    for (&n, &(f1, f0)) in &batch.stems {
+        let n = n as usize;
+        if !matches!(c.driver(NetId::from_index(n)), Driver::Gate(_)) {
+            nets[n] = nets[n].inject(f1, f0);
+        }
+    }
+    // Combinational core.
+    for &gid in c.topo_gates() {
+        let g = c.gate(gid);
+        let gi = gid.index();
+        let has_pin_inj = batch.gate_has_pin_inj[gi];
+        let fetch = |pin: usize| -> Planes {
+            let v = nets[g.inputs[pin].index()];
+            if has_pin_inj {
+                if let Some(&(f1, f0)) = batch.pins.get(&(gi as u32, pin as u32)) {
+                    return v.inject(f1, f0);
+                }
+            }
+            v
+        };
+        let mut acc = fetch(0);
+        match g.kind {
+            GateKind::And | GateKind::Nand => {
+                for pin in 1..g.inputs.len() {
+                    acc = acc.and(fetch(pin));
+                }
+            }
+            GateKind::Or | GateKind::Nor => {
+                for pin in 1..g.inputs.len() {
+                    acc = acc.or(fetch(pin));
+                }
+            }
+            GateKind::Xor | GateKind::Xnor => {
+                for pin in 1..g.inputs.len() {
+                    acc = acc.xor(fetch(pin));
+                }
+            }
+            GateKind::Not | GateKind::Buf => {}
+        }
+        if g.kind.inverting() {
+            acc = acc.not();
+        }
+        // Stem injection on the gate output.
+        if let Some(&(f1, f0)) = batch.stems.get(&(g.output.index() as u32)) {
+            acc = acc.inject(f1, f0);
+        }
+        nets[g.output.index()] = acc;
+    }
+    // Next state, with DFF-data injections.
+    for (k, dff) in c.dffs().iter().enumerate() {
+        let d = dff.d.expect("levelized circuits have connected DFFs");
+        let mut v = nets[d.index()];
+        if let Some(&(f1, f0)) = batch.dffs.get(&(k as u32)) {
+            v = v.inject(f1, f0);
+        }
+        ff[k] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::good::LogicSim;
+    use crate::logic::Logic3;
+    use wbist_netlist::bench_format;
+
+    fn toy() -> Circuit {
+        bench_format::parse(
+            "toy",
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nq = DFF(g)\ng = NAND(a, q)\ny = XOR(g, b)\n",
+        )
+        .unwrap()
+    }
+
+    /// Reference implementation: serial single-fault simulation using the
+    /// good simulator on a mutated evaluation. Used to validate the
+    /// parallel engine.
+    fn serial_detect(c: &Circuit, fault: Fault, seq: &TestSequence) -> Option<usize> {
+        // Simulate good and faulty machines side by side with scalar logic.
+        let mut good_ff = vec![Logic3::X; c.num_dffs()];
+        let mut bad_ff = vec![Logic3::X; c.num_dffs()];
+        let mut good = vec![Logic3::X; c.num_nets()];
+        let mut bad = vec![Logic3::X; c.num_nets()];
+        for u in 0..seq.len() {
+            scalar_step(c, seq.row(u), &mut good_ff, &mut good, None);
+            scalar_step(c, seq.row(u), &mut bad_ff, &mut bad, Some(fault));
+            for o in c.observed_nets() {
+                if good[o.index()].conflicts(bad[o.index()]) {
+                    return Some(u);
+                }
+            }
+        }
+        None
+    }
+
+    fn scalar_step(
+        c: &Circuit,
+        row: &[bool],
+        ff: &mut [Logic3],
+        nets: &mut [Logic3],
+        fault: Option<Fault>,
+    ) {
+        let inject_stem = |net: NetId, v: Logic3| -> Logic3 {
+            if let Some(f) = fault {
+                if f.site == FaultSite::Stem(net) {
+                    return f.stuck.into();
+                }
+            }
+            v
+        };
+        for (pi, &net) in c.inputs().iter().enumerate() {
+            nets[net.index()] = inject_stem(net, row[pi].into());
+        }
+        for (k, d) in c.dffs().iter().enumerate() {
+            nets[d.q.index()] = inject_stem(d.q, ff[k]);
+        }
+        for &gid in c.topo_gates() {
+            let g = c.gate(gid);
+            let vals: Vec<Logic3> = g
+                .inputs
+                .iter()
+                .enumerate()
+                .map(|(pin, &i)| {
+                    let mut v = nets[i.index()];
+                    if let Some(f) = fault {
+                        if f.site == (FaultSite::GatePin { gate: gid, pin }) {
+                            v = f.stuck.into();
+                        }
+                    }
+                    v
+                })
+                .collect();
+            let out = crate::good::eval_gate(g.kind, vals.into_iter());
+            nets[g.output.index()] = inject_stem(g.output, out);
+        }
+        for (k, d) in c.dffs().iter().enumerate() {
+            let mut v = nets[d.d.unwrap().index()];
+            if let Some(f) = fault {
+                if f.site == FaultSite::DffData(k) {
+                    v = f.stuck.into();
+                }
+            }
+            ff[k] = v;
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_toy() {
+        let c = toy();
+        let faults = FaultList::all_lines(&c);
+        let seq = TestSequence::parse_rows(&["00", "10", "01", "11", "00", "10"]).unwrap();
+        let par = FaultSim::new(&c).detection_times(&faults, &seq);
+        for (i, &f) in faults.faults().iter().enumerate() {
+            let ser = serial_detect(&c, f, &seq);
+            assert_eq!(par[i], ser, "fault {} disagrees", f.describe(&c));
+        }
+    }
+
+    #[test]
+    fn good_machine_consistency() {
+        // The fault simulator's bit-0 machine must agree with LogicSim:
+        // with an empty fault list nothing is ever detected.
+        let c = toy();
+        let seq = TestSequence::parse_rows(&["00", "10", "01"]).unwrap();
+        let empty = FaultList::from_faults(vec![]);
+        let sim = FaultSim::new(&c);
+        assert_eq!(sim.count_detected(&empty, &seq), 0);
+        // And a stuck fault on the PO stem is detected whenever the PO is
+        // binary and differs.
+        let y = c.net_by_name("y").unwrap();
+        let fl = FaultList::from_faults(vec![Fault::sa0(FaultSite::Stem(y))]);
+        let times = sim.detection_times(&fl, &seq);
+        let outs = LogicSim::new(&c).outputs(&seq).unwrap();
+        let expect = outs.iter().position(|o| o[0] == Logic3::One);
+        assert_eq!(times[0], expect);
+    }
+
+    #[test]
+    fn incremental_advance_equals_oneshot() {
+        let c = toy();
+        let faults = FaultList::all_lines(&c);
+        let seq = TestSequence::parse_rows(&["00", "10", "01", "11", "10", "00"]).unwrap();
+        let sim = FaultSim::new(&c);
+        let oneshot = sim.detected(&faults, &seq);
+        let mut st = sim.begin(&faults);
+        sim.advance(&mut st, &seq.slice(0..3));
+        sim.advance(&mut st, &seq.slice(3..6));
+        assert_eq!(st.detected(), &oneshot[..]);
+        assert_eq!(st.elapsed(), 6);
+    }
+
+    #[test]
+    fn detects_any_early_exit_agrees() {
+        let c = toy();
+        let faults = FaultList::checkpoints(&c);
+        let seq = TestSequence::parse_rows(&["00", "10"]).unwrap();
+        let sim = FaultSim::new(&c);
+        let any = sim.count_detected(&faults, &seq) > 0;
+        assert_eq!(sim.detects_any(&faults, &seq), any);
+    }
+
+    #[test]
+    fn observable_lines_superset_of_detection() {
+        let c = toy();
+        let faults = FaultList::checkpoints(&c);
+        let seq = TestSequence::parse_rows(&["00", "10", "01", "11"]).unwrap();
+        let sim = FaultSim::new(&c);
+        let det = sim.detected(&faults, &seq);
+        let lines = sim.observable_lines(&faults, &seq);
+        let y = c.net_by_name("y").unwrap();
+        for (i, d) in det.iter().enumerate() {
+            if *d {
+                assert!(
+                    lines[i].contains(&y),
+                    "detected fault must differ on the PO"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sample_detects_respects_state() {
+        let c = toy();
+        let faults = FaultList::checkpoints(&c);
+        let seq = TestSequence::parse_rows(&["00", "10", "01", "11"]).unwrap();
+        let sim = FaultSim::new(&c);
+        let st = sim.begin(&faults);
+        let sample: Vec<usize> = (0..faults.len()).collect();
+        let any = sim.sample_detects(&st, &sample, &seq);
+        assert_eq!(any, sim.detects_any(&faults, &seq));
+        // State must be unmodified.
+        assert_eq!(st.elapsed(), 0);
+        assert_eq!(st.num_detected(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs")]
+    fn width_mismatch_panics() {
+        let c = toy();
+        let faults = FaultList::checkpoints(&c);
+        let seq = TestSequence::parse_rows(&["000"]).unwrap();
+        FaultSim::new(&c).detected(&faults, &seq);
+    }
+}

@@ -1,0 +1,58 @@
+//! Three-valued logic simulation and sequential stuck-at fault simulation.
+//!
+//! This crate provides the simulation substrate for the `wbist` workspace:
+//!
+//! * [`Logic3`] — the three-valued logic domain `{0, 1, X}`;
+//! * [`TestSequence`] — a fully specified binary input sequence applied to
+//!   the primary inputs of a circuit, one vector per time unit;
+//! * [`LogicSim`] — good-machine (fault-free) simulation from the all-`X`
+//!   initial state, with optional full-trace recording;
+//! * [`FaultSim`] — a parallel-fault sequential stuck-at fault simulator
+//!   that evaluates 63 faulty machines plus the fault-free machine per
+//!   64-bit word, using a two-bit-plane encoding of three-valued signals.
+//!
+//! # Detection semantics
+//!
+//! All simulation starts from the unknown state (every flip-flop holds `X`).
+//! A fault is *detected* at time unit `u` when some observed net (primary
+//! output or observation point) carries a binary value in both the
+//! fault-free and the faulty machine and the two values differ. A binary
+//! value against an `X` never counts — the conservative, standard rule.
+//!
+//! # Example
+//!
+//! ```
+//! use wbist_netlist::{bench_format, FaultList};
+//! use wbist_sim::{FaultSim, TestSequence};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let c = bench_format::parse(
+//!     "toy",
+//!     "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nq = DFF(g)\ng = NAND(a, q)\ny = XOR(g, b)\n",
+//! )?;
+//! let faults = FaultList::checkpoints(&c);
+//! let seq = TestSequence::parse_rows(&["11", "01", "10", "00"])?;
+//! let times = FaultSim::new(&c).detection_times(&faults, &seq);
+//! assert_eq!(times.len(), faults.len());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod error;
+pub mod event;
+pub mod fault;
+pub mod good;
+pub mod logic;
+pub mod misr;
+pub mod reference;
+pub mod sequence;
+pub mod vcd;
+
+pub use error::SimError;
+pub use event::EventSim;
+pub use fault::{FaultSim, FaultSimState};
+pub use good::{LogicSim, SimTrace};
+pub use logic::Logic3;
+pub use misr::Misr;
+pub use reference::SerialFaultSim;
+pub use sequence::TestSequence;

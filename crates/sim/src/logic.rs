@@ -1,0 +1,199 @@
+//! The three-valued logic domain `{0, 1, X}`.
+
+use std::fmt;
+
+/// A three-valued logic value: known 0, known 1, or unknown `X`.
+///
+/// `X` models the unknown power-up state of flip-flops and propagates
+/// pessimistically through gates (e.g. `X AND 0 = 0`, `X AND 1 = X`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Logic3 {
+    /// Known logic 0.
+    Zero,
+    /// Known logic 1.
+    One,
+    /// Unknown.
+    #[default]
+    X,
+}
+
+impl Logic3 {
+    /// Whether the value is binary (not `X`).
+    #[inline]
+    pub fn is_known(self) -> bool {
+        !matches!(self, Logic3::X)
+    }
+
+    /// Converts to `bool` if binary.
+    #[inline]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic3::Zero => Some(false),
+            Logic3::One => Some(true),
+            Logic3::X => None,
+        }
+    }
+
+    /// Three-valued AND.
+    #[inline]
+    pub fn and(self, rhs: Logic3) -> Logic3 {
+        match (self, rhs) {
+            (Logic3::Zero, _) | (_, Logic3::Zero) => Logic3::Zero,
+            (Logic3::One, Logic3::One) => Logic3::One,
+            _ => Logic3::X,
+        }
+    }
+
+    /// Three-valued OR.
+    #[inline]
+    pub fn or(self, rhs: Logic3) -> Logic3 {
+        match (self, rhs) {
+            (Logic3::One, _) | (_, Logic3::One) => Logic3::One,
+            (Logic3::Zero, Logic3::Zero) => Logic3::Zero,
+            _ => Logic3::X,
+        }
+    }
+
+    /// Three-valued XOR.
+    #[inline]
+    pub fn xor(self, rhs: Logic3) -> Logic3 {
+        match (self, rhs) {
+            (Logic3::X, _) | (_, Logic3::X) => Logic3::X,
+            (a, b) if a == b => Logic3::Zero,
+            _ => Logic3::One,
+        }
+    }
+
+    /// Three-valued NOT.
+    #[inline]
+    #[allow(clippy::should_implement_trait)] // domain name; `!` is also provided
+    pub fn not(self) -> Logic3 {
+        match self {
+            Logic3::Zero => Logic3::One,
+            Logic3::One => Logic3::Zero,
+            Logic3::X => Logic3::X,
+        }
+    }
+
+    /// Whether `self` and `rhs` are binary and different — the detection
+    /// condition between a fault-free and a faulty value.
+    #[inline]
+    pub fn conflicts(self, rhs: Logic3) -> bool {
+        matches!(
+            (self, rhs),
+            (Logic3::Zero, Logic3::One) | (Logic3::One, Logic3::Zero)
+        )
+    }
+}
+
+impl std::ops::Not for Logic3 {
+    type Output = Logic3;
+
+    #[inline]
+    fn not(self) -> Logic3 {
+        Logic3::not(self)
+    }
+}
+
+impl From<bool> for Logic3 {
+    #[inline]
+    fn from(b: bool) -> Self {
+        if b {
+            Logic3::One
+        } else {
+            Logic3::Zero
+        }
+    }
+}
+
+impl fmt::Display for Logic3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Logic3::Zero => "0",
+            Logic3::One => "1",
+            Logic3::X => "x",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Logic3::{One, X, Zero};
+    use super::*;
+
+    const ALL: [Logic3; 3] = [Zero, One, X];
+
+    #[test]
+    fn and_truth_table() {
+        assert_eq!(Zero.and(X), Zero);
+        assert_eq!(X.and(Zero), Zero);
+        assert_eq!(One.and(One), One);
+        assert_eq!(One.and(X), X);
+        assert_eq!(X.and(X), X);
+    }
+
+    #[test]
+    fn or_truth_table() {
+        assert_eq!(One.or(X), One);
+        assert_eq!(X.or(One), One);
+        assert_eq!(Zero.or(Zero), Zero);
+        assert_eq!(Zero.or(X), X);
+        assert_eq!(X.or(X), X);
+    }
+
+    #[test]
+    fn xor_truth_table() {
+        assert_eq!(One.xor(Zero), One);
+        assert_eq!(One.xor(One), Zero);
+        assert_eq!(Zero.xor(Zero), Zero);
+        assert_eq!(One.xor(X), X);
+        assert_eq!(X.xor(X), X);
+    }
+
+    #[test]
+    fn not_involution_on_known() {
+        for v in ALL {
+            assert_eq!(v.not().not(), v);
+        }
+    }
+
+    #[test]
+    fn demorgan_holds_in_three_valued_logic() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.and(b).not(), a.not().or(b.not()));
+                assert_eq!(a.or(b).not(), a.not().and(b.not()));
+            }
+        }
+    }
+
+    #[test]
+    fn conflicts_only_between_distinct_binaries() {
+        assert!(Zero.conflicts(One));
+        assert!(One.conflicts(Zero));
+        assert!(!One.conflicts(One));
+        assert!(!One.conflicts(X));
+        assert!(!X.conflicts(Zero));
+        assert!(!X.conflicts(X));
+    }
+
+    #[test]
+    fn operator_not_matches_method() {
+        use super::Logic3;
+        assert_eq!(!Logic3::One, Logic3::Zero);
+        assert_eq!(!Logic3::X, Logic3::X);
+    }
+
+    #[test]
+    fn bool_conversions() {
+        assert_eq!(Logic3::from(true), One);
+        assert_eq!(Logic3::from(false), Zero);
+        assert_eq!(One.to_bool(), Some(true));
+        assert_eq!(X.to_bool(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{Zero}{One}{X}"), "01x");
+    }
+}

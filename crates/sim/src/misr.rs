@@ -1,0 +1,201 @@
+//! Multiple-input signature register (MISR) response compaction.
+//!
+//! A BIST architecture needs more than a pattern generator: the circuit's
+//! responses must be compacted on-chip into a short signature that is
+//! compared against a golden value at the end of the session. This module
+//! models the standard type-2 (internal-XOR) MISR over three-valued
+//! responses:
+//!
+//! * the register is reset to all-0 before the session;
+//! * each cycle, every output bit is XORed into its stage together with
+//!   the LFSR-style feedback;
+//! * an `X` absorbed anywhere makes the affected stages unknown — the
+//!   unknown spreads through the feedback exactly as it would in silicon,
+//!   so the model exposes the classic X-poisoning problem (start
+//!   capturing only after initialization, or the signature is useless).
+
+use crate::logic::Logic3;
+
+/// A three-valued multiple-input signature register.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Misr {
+    stages: Vec<Logic3>,
+    taps: Vec<bool>,
+    absorbed: usize,
+}
+
+impl Misr {
+    /// Creates a MISR with `width` stages and the given feedback taps
+    /// (`taps[i]` = stage `i` feeds the polynomial XOR). Reset to all-0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or `taps.len() != width`.
+    pub fn new(width: usize, taps: &[bool]) -> Self {
+        assert!(width > 0, "MISR needs at least one stage");
+        assert_eq!(taps.len(), width, "one tap flag per stage");
+        Misr {
+            stages: vec![Logic3::Zero; width],
+            taps: taps.to_vec(),
+            absorbed: 0,
+        }
+    }
+
+    /// A MISR with a default primitive-ish polynomial: taps on the last
+    /// stage and on stage 0 plus the middle stage (adequate spreading for
+    /// aliasing experiments; choose explicit taps for production use).
+    pub fn with_default_taps(width: usize) -> Self {
+        let mut taps = vec![false; width];
+        taps[width - 1] = true;
+        taps[0] = true;
+        if width > 2 {
+            taps[width / 2] = true;
+        }
+        Misr::new(width, &taps)
+    }
+
+    /// Number of stages.
+    pub fn width(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Cycles absorbed since the last reset.
+    pub fn absorbed(&self) -> usize {
+        self.absorbed
+    }
+
+    /// Resets the register to all-0.
+    pub fn reset(&mut self) {
+        self.stages.fill(Logic3::Zero);
+        self.absorbed = 0;
+    }
+
+    /// Absorbs one response vector. Inputs beyond the register width wrap
+    /// around (standard practice when the CUT has more outputs than the
+    /// MISR has stages); missing inputs contribute 0.
+    pub fn absorb(&mut self, response: &[Logic3]) {
+        let w = self.stages.len();
+        // Fold the response into per-stage injection values.
+        let mut inject = vec![Logic3::Zero; w];
+        for (i, &r) in response.iter().enumerate() {
+            let k = i % w;
+            inject[k] = inject[k].xor(r);
+        }
+        // Feedback: XOR of the tapped stages.
+        let mut fb = Logic3::Zero;
+        for (s, &t) in self.stages.iter().zip(&self.taps) {
+            if t {
+                fb = fb.xor(*s);
+            }
+        }
+        // Shift: stage k takes stage k-1; stage 0 takes the feedback.
+        let mut next = vec![Logic3::Zero; w];
+        next[0] = fb.xor(inject[0]);
+        for k in 1..w {
+            next[k] = self.stages[k - 1].xor(inject[k]);
+        }
+        self.stages = next;
+        self.absorbed += 1;
+    }
+
+    /// The current signature.
+    pub fn signature(&self) -> &[Logic3] {
+        &self.stages
+    }
+
+    /// Whether the signature contains no unknowns.
+    pub fn is_known(&self) -> bool {
+        self.stages.iter().all(|s| s.is_known())
+    }
+
+    /// Whether two signatures provably differ (some stage binary in both
+    /// and different) — the conservative pass/fail rule.
+    pub fn differs(&self, other: &Misr) -> bool {
+        self.stages
+            .iter()
+            .zip(&other.stages)
+            .any(|(a, b)| a.conflicts(*b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Logic3::{One, X, Zero};
+
+    fn absorb_all(misr: &mut Misr, rows: &[Vec<Logic3>]) {
+        for r in rows {
+            misr.absorb(r);
+        }
+    }
+
+    #[test]
+    fn zero_stream_keeps_zero_signature() {
+        let mut m = Misr::with_default_taps(8);
+        absorb_all(&mut m, &vec![vec![Zero; 3]; 20]);
+        assert!(m.signature().iter().all(|&s| s == Zero));
+        assert_eq!(m.absorbed(), 20);
+    }
+
+    #[test]
+    fn different_streams_give_different_signatures() {
+        let mut a = Misr::with_default_taps(8);
+        let mut b = Misr::with_default_taps(8);
+        absorb_all(&mut a, &[vec![One, Zero], vec![Zero, Zero], vec![One, One]]);
+        absorb_all(&mut b, &[vec![One, Zero], vec![Zero, One], vec![One, One]]);
+        assert!(a.differs(&b));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_signature() {
+        // With more absorbed cycles than stages, single-bit errors must
+        // still flip the signature (no trivial cancellation).
+        let base: Vec<Vec<Logic3>> = (0..32)
+            .map(|u| vec![if u % 3 == 0 { One } else { Zero }; 2])
+            .collect();
+        let mut golden = Misr::with_default_taps(12);
+        absorb_all(&mut golden, &base);
+        for flip in 0..32 {
+            let mut rows = base.clone();
+            rows[flip][0] = rows[flip][0].not();
+            let mut m = Misr::with_default_taps(12);
+            absorb_all(&mut m, &rows);
+            assert!(m.differs(&golden), "flip at {flip} aliased");
+        }
+    }
+
+    #[test]
+    fn x_poisons_signature() {
+        let mut m = Misr::with_default_taps(4);
+        m.absorb(&[X]);
+        assert!(!m.is_known());
+        // The unknown spreads but differs() stays conservative.
+        let golden = Misr::with_default_taps(4);
+        assert!(!m.differs(&golden));
+    }
+
+    #[test]
+    fn reset_restores_zero() {
+        let mut m = Misr::with_default_taps(4);
+        m.absorb(&[One, One]);
+        m.reset();
+        assert_eq!(m.absorbed(), 0);
+        assert!(m.signature().iter().all(|&s| s == Zero));
+    }
+
+    #[test]
+    fn wraparound_inputs() {
+        // 5 outputs into a 2-stage MISR: inputs fold by XOR.
+        let mut m = Misr::with_default_taps(2);
+        m.absorb(&[One, Zero, One, Zero, One]);
+        // Stage 0 gets 1^1^1 = 1 (plus feedback 0), stage 1 gets 0^0 = 0
+        // (plus old stage 0 = 0).
+        assert_eq!(m.signature(), &[One, Zero]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stage")]
+    fn zero_width_rejected() {
+        let _ = Misr::new(0, &[]);
+    }
+}

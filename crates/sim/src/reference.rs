@@ -1,0 +1,195 @@
+//! A deliberately simple serial fault simulator used as an oracle.
+//!
+//! [`SerialFaultSim`] simulates one faulty machine at a time, side by
+//! side with the fault-free machine, using the scalar three-valued
+//! evaluator. It is an order of magnitude slower than the bit-sliced
+//! parallel engine in [`crate::fault`], but short enough to audit by
+//! eye — the workspace's property tests assert that the two engines
+//! agree on every fault, sequence and circuit they are given.
+//!
+//! It also exposes per-cycle faulty-machine *output streams*, which the
+//! signature-analysis layer (`wbist-core`'s BIST session) consumes.
+
+use crate::good::eval_gate;
+use crate::logic::Logic3;
+use crate::sequence::TestSequence;
+use wbist_netlist::{Circuit, Fault, FaultSite, NetId};
+
+/// Serial (one-fault-at-a-time) sequential fault simulator.
+#[derive(Debug, Clone)]
+pub struct SerialFaultSim<'c> {
+    circuit: &'c Circuit,
+}
+
+impl<'c> SerialFaultSim<'c> {
+    /// Creates a serial simulator for `circuit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has not been levelized.
+    pub fn new(circuit: &'c Circuit) -> Self {
+        assert!(circuit.is_levelized(), "circuit must be levelized");
+        SerialFaultSim { circuit }
+    }
+
+    /// First detection time of `fault` under `seq`, or `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence width does not match the circuit.
+    pub fn detection_time(&self, fault: Fault, seq: &TestSequence) -> Option<usize> {
+        let c = self.circuit;
+        assert_eq!(
+            seq.num_inputs(),
+            c.num_inputs(),
+            "sequence width must match the circuit"
+        );
+        let mut good = MachineState::new(c);
+        let mut bad = MachineState::new(c);
+        for u in 0..seq.len() {
+            good.step(c, seq.row(u), None);
+            bad.step(c, seq.row(u), Some(fault));
+            for o in c.observed_nets() {
+                if good.nets[o.index()].conflicts(bad.nets[o.index()]) {
+                    return Some(u);
+                }
+            }
+        }
+        None
+    }
+
+    /// The faulty machine's primary-output stream under `seq` (one row
+    /// per time unit, PO order). Pass `fault = None` for the fault-free
+    /// stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence width does not match the circuit.
+    pub fn output_stream(&self, fault: Option<Fault>, seq: &TestSequence) -> Vec<Vec<Logic3>> {
+        let c = self.circuit;
+        assert_eq!(
+            seq.num_inputs(),
+            c.num_inputs(),
+            "sequence width must match the circuit"
+        );
+        let mut m = MachineState::new(c);
+        let mut out = Vec::with_capacity(seq.len());
+        for u in 0..seq.len() {
+            m.step(c, seq.row(u), fault);
+            out.push(c.outputs().iter().map(|&o| m.nets[o.index()]).collect());
+        }
+        out
+    }
+}
+
+/// One machine's scalar state.
+#[derive(Debug, Clone)]
+struct MachineState {
+    ff: Vec<Logic3>,
+    nets: Vec<Logic3>,
+}
+
+impl MachineState {
+    fn new(c: &Circuit) -> Self {
+        MachineState {
+            ff: vec![Logic3::X; c.num_dffs()],
+            nets: vec![Logic3::X; c.num_nets()],
+        }
+    }
+
+    fn step(&mut self, c: &Circuit, row: &[bool], fault: Option<Fault>) {
+        let inject_stem = |net: NetId, v: Logic3| -> Logic3 {
+            match fault {
+                Some(f) if f.site == FaultSite::Stem(net) => f.stuck.into(),
+                _ => v,
+            }
+        };
+        for (pi, &net) in c.inputs().iter().enumerate() {
+            self.nets[net.index()] = inject_stem(net, row[pi].into());
+        }
+        for (k, d) in c.dffs().iter().enumerate() {
+            self.nets[d.q.index()] = inject_stem(d.q, self.ff[k]);
+        }
+        for idx in 0..c.num_nets() {
+            if let wbist_netlist::Driver::Const(v) = c.driver(NetId::from_index(idx)) {
+                self.nets[idx] = inject_stem(NetId::from_index(idx), v.into());
+            }
+        }
+        for &gid in c.topo_gates() {
+            let g = c.gate(gid);
+            let vals = g.inputs.iter().enumerate().map(|(pin, &i)| {
+                let v = self.nets[i.index()];
+                match fault {
+                    Some(f) if f.site == (FaultSite::GatePin { gate: gid, pin }) => f.stuck.into(),
+                    _ => v,
+                }
+            });
+            let out = eval_gate(g.kind, vals);
+            self.nets[g.output.index()] = inject_stem(g.output, out);
+        }
+        for (k, d) in c.dffs().iter().enumerate() {
+            let mut v = self.nets[d.d.expect("levelized").index()];
+            if let Some(f) = fault {
+                if f.site == FaultSite::DffData(k) {
+                    v = f.stuck.into();
+                }
+            }
+            self.ff[k] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultSim;
+    use wbist_netlist::{bench_format, FaultList};
+
+    fn toy() -> Circuit {
+        bench_format::parse(
+            "toy",
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nq = DFF(g)\ng = NAND(a, q)\ny = XOR(g, b)\n",
+        )
+        .expect("valid netlist")
+    }
+
+    #[test]
+    fn agrees_with_parallel_engine() {
+        let c = toy();
+        let faults = FaultList::all_lines(&c);
+        let seq = TestSequence::parse_rows(&["00", "10", "01", "11", "00", "10"]).expect("valid");
+        let par = FaultSim::new(&c).detection_times(&faults, &seq);
+        let ser = SerialFaultSim::new(&c);
+        for (i, &f) in faults.faults().iter().enumerate() {
+            assert_eq!(par[i], ser.detection_time(f, &seq), "{}", f.describe(&c));
+        }
+    }
+
+    #[test]
+    fn fault_free_stream_matches_logic_sim() {
+        let c = toy();
+        let seq = TestSequence::parse_rows(&["00", "10", "01"]).expect("valid");
+        let a = SerialFaultSim::new(&c).output_stream(None, &seq);
+        let b = crate::good::LogicSim::new(&c).outputs(&seq).expect("ok");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn faulty_stream_differs_at_detection_time() {
+        let c = toy();
+        let faults = FaultList::checkpoints(&c);
+        let seq = TestSequence::parse_rows(&["00", "10", "01", "11"]).expect("valid");
+        let ser = SerialFaultSim::new(&c);
+        for &f in faults.faults() {
+            if let Some(u) = ser.detection_time(f, &seq) {
+                let good = ser.output_stream(None, &seq);
+                let bad = ser.output_stream(Some(f), &seq);
+                assert!(
+                    good[u].iter().zip(&bad[u]).any(|(g, b)| g.conflicts(*b)),
+                    "{} detection not visible in streams",
+                    f.describe(&c)
+                );
+            }
+        }
+    }
+}

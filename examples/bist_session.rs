@@ -1,0 +1,64 @@
+//! A complete BIST self-test session: weighted stimulus generation plus
+//! MISR response compaction, with signature-vs-observation accounting.
+//!
+//! ```text
+//! cargo run --release --example bist_session
+//! ```
+
+use wbist::circuits::s27;
+use wbist::core::{
+    run_bist_session, synthesize_weighted_bist, SessionConfig, SynthesisConfig,
+};
+use wbist::netlist::FaultList;
+
+fn main() {
+    let circuit = s27::circuit();
+    let t = s27::paper_test_sequence();
+    let faults = FaultList::checkpoints(&circuit);
+    let l_g = 64;
+    let result = synthesize_weighted_bist(
+        &circuit,
+        &t,
+        &faults,
+        &SynthesisConfig {
+            sequence_length: l_g,
+            ..SynthesisConfig::default()
+        },
+    );
+    assert!(result.coverage_guaranteed());
+    println!(
+        "synthesized {} weight assignments for {} faults",
+        result.omega.len(),
+        faults.len()
+    );
+
+    println!("\nmisr  capture  observed  signed  lost  golden-has-X");
+    for capture_from in [0usize, 8] {
+        for misr_width in [8usize, 16, 24] {
+            let report = run_bist_session(
+                &circuit,
+                &faults,
+                &result.omega,
+                &SessionConfig {
+                    misr_width,
+                    sequence_length: l_g,
+                    capture_from,
+                },
+            );
+            println!(
+                "{:>4} {:>8} {:>9} {:>7} {:>5} {:>10}",
+                misr_width,
+                capture_from,
+                report.observed(),
+                report.signed(),
+                report.lost_in_signature,
+                if report.golden_known { "no" } else { "yes" }
+            );
+        }
+    }
+    println!(
+        "\nTakeaway: capture gating (skipping the unknown-state prefix) plus a\n\
+         modest MISR keeps the signature's coverage at the observation level —\n\
+         the missing piece between the paper's Figure 1 and a full self-test."
+    );
+}

@@ -1,0 +1,64 @@
+//! The observation-point trade-off (paper, Section 5 / Tables 7–16) on a
+//! mid-size synthetic benchmark.
+//!
+//! ```text
+//! cargo run --release --example observation_points
+//! ```
+//!
+//! Shows how a handful of observation points substitutes for most of the
+//! weight assignments: the first rows use few assignments plus several
+//! observation points; the last row reaches 100% fault efficiency with
+//! none.
+
+use wbist::circuits::SyntheticSpec;
+use wbist::core::{observation_point_tradeoff, synthesize_weighted_bist, SynthesisConfig};
+use wbist::atpg::{AtpgConfig, SequenceAtpg};
+use wbist::netlist::FaultList;
+
+fn main() {
+    let circuit = SyntheticSpec::new("s344-like", 9, 11, 15, 160, 0xB157_0344).build();
+    let faults = FaultList::checkpoints(&circuit);
+    let atpg = SequenceAtpg::new(&circuit, AtpgConfig::default()).run(&faults);
+    println!(
+        "{}: {} faults, deterministic coverage {:.1}%",
+        circuit.name(),
+        faults.len(),
+        100.0 * atpg.coverage()
+    );
+
+    let cfg = SynthesisConfig {
+        sequence_length: 512,
+        ..SynthesisConfig::default()
+    };
+    let result = synthesize_weighted_bist(&circuit, &atpg.sequence, &faults, &cfg);
+    println!("Ω holds {} weight assignments before pruning\n", result.omega.len());
+
+    let tr = observation_point_tradeoff(&circuit, &faults, &result.omega, cfg.sequence_length);
+    println!("seq   sub   len    f.e.   obs    f.e.(obs)");
+    for row in &tr.rows {
+        println!(
+            "{:>3} {:>5} {:>5} {:>7.2} {:>5} {:>9.2}",
+            row.num_assignments,
+            row.num_subsequences,
+            row.max_len,
+            row.fault_efficiency,
+            row.num_obs,
+            row.fe_with_obs
+        );
+    }
+    let last = tr.rows.last().expect("tradeoff has rows");
+    assert_eq!(last.num_obs, 0, "full Ω_lim needs no observation points");
+
+    // Show where the observation points of the first ≥99% row would go.
+    if let Some(row) = tr.rows.iter().find(|r| r.fe_with_obs >= 99.0) {
+        let names: Vec<&str> = row
+            .obs_lines
+            .iter()
+            .map(|&n| circuit.net_name(n))
+            .collect();
+        println!(
+            "\nfirst ≥99% row uses {} assignments + {} observation points: {:?}",
+            row.num_assignments, row.num_obs, names
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: synthesize a weighted-sequence BIST scheme for `s27`.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks the full flow on the paper's own example circuit: deterministic
+//! sequence → weight selection → weight assignments → reverse-order
+//! pruning → hardware summary, asserting the paper's coverage guarantee
+//! along the way.
+
+use wbist::circuits::s27;
+use wbist::core::{reverse_order_prune, synthesize_weighted_bist, SynthesisConfig};
+use wbist::hw::{build_generator, generator_cost};
+use wbist::netlist::FaultList;
+use wbist::sim::FaultSim;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The circuit under test and its target faults.
+    let circuit = s27::circuit();
+    let faults = FaultList::checkpoints(&circuit);
+    println!(
+        "circuit {}: {} PIs, {} FFs, {} gates, {} checkpoint faults",
+        circuit.name(),
+        circuit.num_inputs(),
+        circuit.num_dffs(),
+        circuit.num_gates(),
+        faults.len()
+    );
+
+    // 2. A deterministic test sequence. Here: the paper's own Table-1
+    //    sequence; for your circuit, produce one with `wbist::atpg`.
+    let t = s27::paper_test_sequence();
+    let det = FaultSim::new(&circuit).count_detected(&faults, &t);
+    println!("deterministic sequence: {} vectors, detects {det} faults", t.len());
+
+    // 3. Synthesize the weighted BIST scheme.
+    let cfg = SynthesisConfig {
+        sequence_length: 100, // the paper uses 2000; s27 needs far less
+        ..SynthesisConfig::default()
+    };
+    let result = synthesize_weighted_bist(&circuit, &t, &faults, &cfg);
+    assert!(result.coverage_guaranteed(), "the paper's guarantee");
+    println!(
+        "synthesis: {} weight assignments, {} distinct subsequences (max length {})",
+        result.omega.len(),
+        result.distinct_subsequences().len(),
+        result.max_subsequence_len()
+    );
+
+    // 4. Prune redundant assignments (reverse-order simulation).
+    let pruned = reverse_order_prune(&circuit, &faults, &result.omega, cfg.sequence_length);
+    println!("after reverse-order pruning: {} assignments", pruned.len());
+    for (k, sel) in pruned.iter().enumerate() {
+        println!(
+            "  Ω_{k}: {}  (built around u = {}, rank {}, newly detected {})",
+            sel.assignment, sel.detection_time, sel.rank, sel.newly_detected
+        );
+    }
+
+    // 5. Hardware: the Figure-1 test generator.
+    let generator = build_generator(&pruned, cfg.sequence_length)?;
+    println!("\nhardware cost:\n{}", generator_cost(&generator));
+    Ok(())
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of the paper and the extension
+# experiments, recording outputs under results/.
+#
+#   scripts/run_experiments.sh [--fast]
+#
+# --fast uses the reduced configuration (short L_G, bounded ATPG) —
+# minutes instead of an hour on a laptop core.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE=${1:-}
+FLAG=""
+if [ "$MODE" = "--fast" ]; then
+  FLAG="--fast"
+fi
+
+mkdir -p results
+cargo build --release -p wbist-bench --bins
+
+run() {
+  local name=$1
+  shift
+  echo "=== $name $*" | tee "results/$name.txt"
+  "target/release/$name" "$@" 2>&1 | tee -a "results/$name.txt"
+}
+
+run paper_example
+run table6 $FLAG
+run obs_tables $FLAG
+run baselines $FLAG
+run hybrid_ablation $FLAG
+run selection_ablation $FLAG
+run misr_aliasing $FLAG
+
+echo "All outputs recorded under results/."

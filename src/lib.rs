@@ -1,0 +1,55 @@
+//! # wbist — Built-In Generation of Weighted Test Sequences
+//!
+//! Umbrella crate for a from-scratch Rust reproduction of
+//! *Pomeranz & Reddy, "Built-In Generation of Weighted Test Sequences for
+//! Synchronous Sequential Circuits", DATE 2000*.
+//!
+//! Under the scheme reproduced here, a BIST *weight* is a finite 0/1
+//! subsequence `α`; assigning `α` to a primary input means that input
+//! receives the periodic stream `α^r = α α α …` produced by a small on-chip
+//! FSM. Weights are derived from a single deterministic test sequence so
+//! that the generated weighted sequences reproduce the deterministic
+//! sequence around each fault's detection time — which is what guarantees
+//! that the weighted BIST session reaches the deterministic sequence's
+//! fault coverage.
+//!
+//! The functionality lives in focused sub-crates, re-exported here:
+//!
+//! * [`netlist`] — gate-level IR, ISCAS-89 `.bench` parser, fault model;
+//! * [`circuits`] — exact `s27` plus ISCAS-like synthetic benchmarks;
+//! * [`sim`] — 3-valued logic simulation and parallel fault simulation;
+//! * [`atpg`] — deterministic sequence generation and compaction, LFSRs;
+//! * [`core`] — the paper's method: weights, weight assignments,
+//!   reverse-order pruning, observation-point insertion, baselines;
+//! * [`hw`] — weight-FSM synthesis, logic minimization, Verilog emission.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use wbist::circuits::s27;
+//! use wbist::netlist::FaultList;
+//! use wbist::sim::FaultSim;
+//! use wbist::core::{SynthesisConfig, synthesize_weighted_bist};
+//!
+//! // The circuit and the deterministic test sequence from the paper.
+//! let circuit = s27::circuit();
+//! let t = s27::paper_test_sequence();
+//! let faults = FaultList::checkpoints(&circuit);
+//!
+//! // Deterministic coverage is the guarantee target.
+//! let det = FaultSim::new(&circuit).detection_times(&faults, &t);
+//! let covered = det.iter().filter(|d| d.is_some()).count();
+//!
+//! // Synthesize the weighted BIST scheme.
+//! let cfg = SynthesisConfig { sequence_length: 100, ..SynthesisConfig::default() };
+//! let result = synthesize_weighted_bist(&circuit, &t, &faults, &cfg);
+//! assert_eq!(result.detected_faults(), covered);
+//! assert!(result.coverage_guaranteed());
+//! ```
+
+pub use wbist_atpg as atpg;
+pub use wbist_circuits as circuits;
+pub use wbist_core as core;
+pub use wbist_hw as hw;
+pub use wbist_netlist as netlist;
+pub use wbist_sim as sim;

@@ -1,0 +1,78 @@
+//! Failure injection: malformed inputs must surface typed errors (or
+//! documented panics), never silent misbehaviour.
+
+use wbist::netlist::{bench_format, Circuit, GateKind, NetlistError};
+use wbist::sim::{LogicSim, SimError, TestSequence};
+
+#[test]
+fn malformed_bench_inputs() {
+    // Unknown gate keyword.
+    let err = bench_format::parse("x", "INPUT(a)\nOUTPUT(y)\ny = MAYBE(a)\n").unwrap_err();
+    assert!(matches!(err, NetlistError::Parse { line: 3, .. }));
+    // Garbage line.
+    let err = bench_format::parse("x", "hello world\n").unwrap_err();
+    assert!(matches!(err, NetlistError::Parse { line: 1, .. }));
+    // Mismatched parens.
+    let err = bench_format::parse("x", "INPUT)a(\n").unwrap_err();
+    assert!(matches!(err, NetlistError::Parse { .. }));
+    // Double driver.
+    let err =
+        bench_format::parse("x", "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUFF(a)\n").unwrap_err();
+    assert!(matches!(err, NetlistError::DuplicateDriver { .. }));
+    // Error messages are human-readable.
+    assert!(err.to_string().contains("y"));
+}
+
+#[test]
+fn undriven_and_looping_circuits() {
+    let err = bench_format::parse("x", "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n").unwrap_err();
+    assert!(matches!(err, NetlistError::UndrivenNet { .. }));
+
+    let err =
+        bench_format::parse("x", "INPUT(a)\nOUTPUT(p)\np = NOT(q)\nq = NOT(p)\n").unwrap_err();
+    assert!(matches!(err, NetlistError::CombinationalLoop { .. }));
+}
+
+#[test]
+fn sequence_validation() {
+    assert!(matches!(
+        TestSequence::parse_rows(&["01", "0"]),
+        Err(SimError::RaggedRows { .. })
+    ));
+    assert!(matches!(
+        TestSequence::parse_rows(&["0z"]),
+        Err(SimError::BadVectorChar { .. })
+    ));
+}
+
+#[test]
+fn simulator_rejects_wrong_width() {
+    let c = wbist::circuits::s27::circuit();
+    let seq = TestSequence::parse_rows(&["01"]).expect("valid rows");
+    let err = LogicSim::new(&c).outputs(&seq).unwrap_err();
+    assert!(matches!(err, SimError::InputWidthMismatch { circuit: 4, sequence: 2 }));
+    assert!(err.to_string().contains("4"));
+}
+
+#[test]
+fn builder_validation() {
+    let mut c = Circuit::new("v");
+    let a = c.add_input("a");
+    assert!(matches!(
+        c.add_gate(GateKind::Buf, "y", &[a, a]),
+        Err(NetlistError::BadArity { .. })
+    ));
+    // DFF data connection on a non-DFF net.
+    let y = c.add_gate(GateKind::Not, "y", &[a]).expect("valid gate");
+    assert!(matches!(
+        c.connect_dff_data(y, a),
+        Err(NetlistError::NotADff { .. })
+    ));
+}
+
+#[test]
+fn error_types_are_std_errors() {
+    fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+    assert_error::<NetlistError>();
+    assert_error::<SimError>();
+}

@@ -1,0 +1,129 @@
+//! Hardware-in-the-loop: the synthesized Figure-1 test generator —
+//! built as a netlist in this workspace's own IR — must, when simulated
+//! gate-by-gate, reproduce the weighted test sequences exactly and
+//! drive the circuit under test to the same fault coverage.
+
+use wbist::circuits::s27;
+use wbist::core::{reverse_order_prune, synthesize_weighted_bist, SynthesisConfig};
+use wbist::hw::{build_generator, generator_cost, to_verilog};
+use wbist::netlist::{bench_format, FaultList};
+use wbist::sim::{FaultSim, Logic3, LogicSim, TestSequence};
+
+/// Runs the full pipeline on s27 and returns (circuit, faults, pruned Ω, L_G).
+fn pipeline() -> (
+    wbist::netlist::Circuit,
+    FaultList,
+    Vec<wbist::core::SelectedAssignment>,
+    usize,
+) {
+    let c = s27::circuit();
+    let t = s27::paper_test_sequence();
+    let faults = FaultList::checkpoints(&c);
+    let l_g = 64;
+    let cfg = SynthesisConfig {
+        sequence_length: l_g,
+        ..SynthesisConfig::default()
+    };
+    let r = synthesize_weighted_bist(&c, &t, &faults, &cfg);
+    assert!(r.coverage_guaranteed());
+    let pruned = reverse_order_prune(&c, &faults, &r.omega, l_g);
+    (c, faults, pruned, l_g)
+}
+
+/// Simulates the generator netlist for `cycles` cycles after reset and
+/// returns the output rows.
+fn run_generator(gen: &wbist::hw::TestGenerator, cycles: usize) -> Vec<Vec<Logic3>> {
+    let mut rows = vec![vec![true]];
+    rows.extend(std::iter::repeat_n(vec![false], cycles));
+    let stim = TestSequence::from_rows(rows).expect("rectangular");
+    LogicSim::new(&gen.circuit)
+        .outputs(&stim)
+        .expect("width matches")[1..]
+        .to_vec()
+}
+
+#[test]
+fn generator_streams_match_weighted_sequences() {
+    let (_c, _faults, pruned, l_g) = pipeline();
+    let gen = build_generator(&pruned, l_g).expect("synthesis succeeds");
+    let outs = run_generator(&gen, pruned.len() * l_g);
+    for (a, sel) in pruned.iter().enumerate() {
+        let expect = sel.sequence(l_g);
+        for u in 0..l_g {
+            for i in 0..4 {
+                assert_eq!(
+                    outs[a * l_g + u][i],
+                    Logic3::from(expect.value(u, i)),
+                    "assignment {a} cycle {u} input {i}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn generator_driven_bist_session_reaches_guaranteed_coverage() {
+    // Convert the generator's (binary) output stream into a test
+    // sequence and apply it to the CUT: the full BIST session must reach
+    // the deterministic coverage.
+    let (c, faults, pruned, l_g) = pipeline();
+    let gen = build_generator(&pruned, l_g).expect("synthesis succeeds");
+    let outs = run_generator(&gen, pruned.len() * l_g);
+    let rows: Vec<Vec<bool>> = outs
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|v| v.to_bool().expect("generator outputs are binary after reset"))
+                .collect()
+        })
+        .collect();
+    let session = TestSequence::from_rows(rows).expect("rectangular");
+
+    let sim = FaultSim::new(&c);
+    let detected = sim.count_detected(&faults, &session);
+    assert_eq!(detected, 32, "the one-session BIST run detects all faults");
+}
+
+#[test]
+fn generator_emits_valid_verilog_and_bench() {
+    let (_c, _faults, pruned, l_g) = pipeline();
+    let gen = build_generator(&pruned, l_g).expect("synthesis succeeds");
+    let v = to_verilog(&gen.circuit);
+    assert!(v.contains("module weight_test_generator"));
+    assert!(v.contains("endmodule"));
+    assert!(v.contains("always @(posedge clk)"));
+    // The .bench writer output must re-parse into an equivalent netlist.
+    let text = bench_format::write(&gen.circuit);
+    let reparsed = bench_format::parse("regen", &text).expect("roundtrip parses");
+    assert_eq!(reparsed.num_gates(), gen.circuit.num_gates());
+    assert_eq!(reparsed.num_dffs(), gen.circuit.num_dffs());
+    assert_eq!(reparsed.num_outputs(), gen.circuit.num_outputs());
+}
+
+#[test]
+fn cost_report_tracks_bank() {
+    let (_c, _faults, pruned, l_g) = pipeline();
+    let gen = build_generator(&pruned, l_g).expect("synthesis succeeds");
+    let cost = generator_cost(&gen);
+    assert_eq!(cost.num_fsms, gen.bank.num_fsms());
+    assert_eq!(cost.fsm_outputs, gen.bank.total_outputs());
+    assert!(cost.total_dffs as u32 >= cost.fsm_state_bits);
+    assert!(cost.total_literals >= cost.total_gates);
+}
+
+#[test]
+fn reparsed_generator_simulates_identically() {
+    // Write the generator to .bench, parse it back, and make sure the
+    // reparsed netlist produces the same streams.
+    let (_c, _faults, pruned, l_g) = pipeline();
+    let gen = build_generator(&pruned, l_g).expect("synthesis succeeds");
+    let text = bench_format::write(&gen.circuit);
+    let reparsed = bench_format::parse("regen", &text).expect("roundtrip parses");
+
+    let mut rows = vec![vec![true]];
+    rows.extend(std::iter::repeat_n(vec![false], l_g));
+    let stim = TestSequence::from_rows(rows).expect("rectangular");
+    let a = LogicSim::new(&gen.circuit).outputs(&stim).expect("ok");
+    let b = LogicSim::new(&reparsed).outputs(&stim).expect("ok");
+    assert_eq!(a, b);
+}

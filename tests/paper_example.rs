@@ -1,0 +1,129 @@
+//! Reproduces the paper's worked example (Sections 2–4, Tables 1–5) on
+//! the exact ISCAS-89 `s27` and asserts every number the paper states.
+
+use wbist::circuits::s27;
+use wbist::core::{CandidateSets, Subsequence, WeightAssignment, WeightSet};
+use wbist::netlist::FaultList;
+use wbist::sim::FaultSim;
+
+fn sub(s: &str) -> Subsequence {
+    s.parse().expect("test literals are valid")
+}
+
+#[test]
+fn s27_has_32_checkpoint_faults() {
+    // The paper enumerates f0..f31.
+    let c = s27::circuit();
+    assert_eq!(FaultList::checkpoints(&c).len(), 32);
+}
+
+#[test]
+fn table1_sequence_detects_all_faults() {
+    let c = s27::circuit();
+    let t = s27::paper_test_sequence();
+    let faults = FaultList::checkpoints(&c);
+    let times = FaultSim::new(&c).detection_times(&faults, &t);
+    assert!(times.iter().all(Option::is_some), "T detects all 32 faults");
+    // The largest detection time is 9 and exactly two faults are
+    // detected there (the paper's f10 and f12).
+    let max = times.iter().flatten().max().copied();
+    assert_eq!(max, Some(9));
+    let at9 = times.iter().filter(|&&u| u == Some(9)).count();
+    assert_eq!(at9, 2);
+}
+
+#[test]
+fn section2_match_counts() {
+    // §2 narrative for input 0 at u = 9: α=1 matches 5, α=01 matches 8
+    // (perfect at 8,9), α=100 matches 7 (perfect at 7,8,9).
+    let t = s27::paper_test_sequence();
+    let t0 = t.input_track(0);
+    assert_eq!(sub("1").count_matches(&t0), 5);
+    assert_eq!(sub("01").count_matches(&t0), 8);
+    assert_eq!(sub("100").count_matches(&t0), 7);
+    assert!(sub("01").matches_window(&t0, 9));
+    assert!(sub("100").matches_window(&t0, 9));
+    // For input 2 the paper selects 100: perfect at 7..9, 6 matches.
+    let t2 = t.input_track(2);
+    assert!(sub("100").matches_window(&t2, 9));
+    assert_eq!(sub("100").count_matches(&t2), 6);
+}
+
+#[test]
+fn section3_derivation_example() {
+    // §3: u = 8, L_S = 4 derives 0110 / 0000 / 0100 / 0110.
+    let t = s27::paper_test_sequence();
+    let expect = ["0110", "0000", "0100", "0110"];
+    for i in 0..4 {
+        let track = t.input_track(i);
+        let a = Subsequence::derive(&track, 8, 4);
+        assert_eq!(a.to_string(), expect[i], "input {i}");
+    }
+}
+
+#[test]
+fn table4_weight_set() {
+    let s = WeightSet::all_up_to(3);
+    assert_eq!(s.len(), 14);
+    assert_eq!(s.get(0).to_string(), "0");
+    assert_eq!(s.get(7).to_string(), "100");
+    assert_eq!(s.get(13).to_string(), "111");
+}
+
+#[test]
+fn table5_candidate_sets_and_assignments() {
+    let s = WeightSet::all_up_to(3);
+    let t = s27::paper_test_sequence();
+    let sets = CandidateSets::build(&s, &t, 9, 3);
+    // Indices from Table 5: A_0 = (4)(7)(1), A_1 = (0)(2)(6),
+    // A_2 = (7)(4)(1), A_3 = (1)(7)(4).
+    let indices = |i: usize| -> Vec<usize> { sets.set(i).iter().map(|c| c.index).collect() };
+    assert_eq!(indices(0), vec![4, 7, 1]);
+    assert_eq!(indices(1), vec![0, 2, 6]);
+    assert_eq!(indices(2), vec![7, 4, 1]);
+    assert_eq!(indices(3), vec![1, 7, 4]);
+    // Rank 0 and rank 1 assignments quoted in §4.1.
+    assert_eq!(
+        sets.assignment_at(&s, 0).expect("non-empty").to_string(),
+        "{01, 0, 100, 1}"
+    );
+    assert_eq!(
+        sets.assignment_at(&s, 1).expect("non-empty").to_string(),
+        "{100, 00, 01, 100}"
+    );
+}
+
+#[test]
+fn table2_weighted_sequence_and_detections() {
+    let c = s27::circuit();
+    let faults = FaultList::checkpoints(&c);
+    let sim = FaultSim::new(&c);
+    let w0 = WeightAssignment::new(vec![sub("01"), sub("0"), sub("100"), sub("1")]);
+    let tg = w0.generate(12);
+    assert_eq!(tg, s27::paper_weighted_sequence(), "Table 2 bit-for-bit");
+
+    // The paper counts 9 faults for T_G and 4 additional for the
+    // second-best assignment (13 cumulative). Our detection-time
+    // convention shifts the split by one fault (8 + 5) but the cumulative
+    // count is identical — see EXPERIMENTS.md.
+    let d0 = sim.detected(&faults, &tg);
+    let n0 = d0.iter().filter(|&&d| d).count();
+    assert!((8..=9).contains(&n0), "T_G detects {n0}");
+
+    let w1 = WeightAssignment::new(vec![sub("100"), sub("00"), sub("01"), sub("100")]);
+    let d1 = sim.detected(&faults, &w1.generate(12));
+    let cumulative = d0
+        .iter()
+        .zip(&d1)
+        .filter(|&(&a, &b)| a || b)
+        .count();
+    assert_eq!(cumulative, 13, "both assignments together detect 13");
+}
+
+#[test]
+fn repetition_identities_from_section2() {
+    // §2: 0 and 00 produce the same repeated sequence; 01 and 0101 too.
+    assert!(sub("0").same_stream(&sub("00")));
+    assert!(sub("01").same_stream(&sub("0101")));
+    assert!(!sub("01").same_stream(&sub("10")));
+}

@@ -1,0 +1,178 @@
+//! Property-based tests over cross-crate invariants.
+
+use proptest::prelude::*;
+use wbist::atpg::Lfsr;
+use wbist::circuits::SyntheticSpec;
+use wbist::core::{Subsequence, WeightAssignment};
+use wbist::hw::{minimize, FsmBank, Sop};
+use wbist::netlist::{bench_format, FaultList};
+use wbist::sim::FaultSim;
+
+fn arb_subsequence(max_len: usize) -> impl Strategy<Value = Subsequence> {
+    prop::collection::vec(any::<bool>(), 1..=max_len).prop_map(Subsequence::new)
+}
+
+proptest! {
+    /// α^r is periodic with period |α|.
+    #[test]
+    fn stream_periodicity(sub in arb_subsequence(12), len in 1usize..100) {
+        let stream = sub.stream(len);
+        for (u, &v) in stream.iter().enumerate() {
+            prop_assert_eq!(v, sub.bits()[u % sub.len()]);
+        }
+    }
+
+    /// The primitive root generates the same stream as the original.
+    #[test]
+    fn primitive_root_same_stream(sub in arb_subsequence(12)) {
+        let root = sub.primitive_root();
+        prop_assert!(root.len() <= sub.len());
+        prop_assert_eq!(sub.len() % root.len(), 0);
+        prop_assert_eq!(sub.stream(48), root.stream(48));
+        // The root itself is primitive.
+        prop_assert_eq!(root.primitive_root().len(), root.len());
+    }
+
+    /// Deriving a subsequence from a track always yields a window match,
+    /// and a full-length derivation reproduces the track prefix exactly.
+    #[test]
+    fn derivation_matches_window(
+        track in prop::collection::vec(any::<bool>(), 1..40),
+        u_frac in 0.0f64..1.0,
+        ls_frac in 0.0f64..1.0,
+    ) {
+        let u = ((track.len() - 1) as f64 * u_frac) as usize;
+        let ls = 1 + ((u as f64) * ls_frac) as usize;
+        let sub = Subsequence::derive(&track, u, ls);
+        prop_assert!(sub.matches_window(&track, u));
+        let full = Subsequence::derive(&track, u, u + 1);
+        prop_assert_eq!(&full.stream(u + 1)[..], &track[..=u]);
+    }
+
+    /// A weight assignment's generated sequence carries each input's
+    /// periodic stream.
+    #[test]
+    fn assignment_generation(
+        subs in prop::collection::vec(arb_subsequence(8), 1..6),
+        len in 1usize..64,
+    ) {
+        let w = WeightAssignment::new(subs.clone());
+        let tg = w.generate(len);
+        prop_assert_eq!(tg.len(), len);
+        for (i, sub) in subs.iter().enumerate() {
+            prop_assert_eq!(tg.input_track(i), sub.stream(len));
+        }
+    }
+
+    /// The FSM bank produces every requested stream through some output.
+    #[test]
+    fn fsm_bank_covers_all_streams(subs in prop::collection::vec(arb_subsequence(8), 1..8)) {
+        let bank = FsmBank::from_subsequences(&subs);
+        for sub in &subs {
+            let (fi, oi) = bank.locate(sub).expect("every stream is implemented");
+            let fsm = &bank.fsms()[fi];
+            prop_assert_eq!(fsm.outputs[oi].stream(32), sub.stream(32));
+            // And the minimized output logic agrees with the table.
+            let logic = fsm.output_logic();
+            for s in 0..fsm.length as u32 {
+                prop_assert_eq!(logic[oi].eval(s), fsm.outputs[oi].bits()[s as usize]);
+            }
+        }
+        prop_assert!(bank.total_outputs() <= subs.len());
+    }
+
+    /// QM minimization is exact on random functions with don't-cares.
+    #[test]
+    fn qm_exactness(on_code in any::<u16>(), dc_code in any::<u16>()) {
+        let on: Vec<u32> = (0..16).filter(|&m| on_code >> m & 1 == 1).collect();
+        let dc: Vec<u32> = (0..16)
+            .filter(|&m| dc_code >> m & 1 == 1 && on_code >> m & 1 == 0)
+            .collect();
+        let sop = minimize(4, &on, &dc);
+        for input in 0..16u32 {
+            if dc.contains(&input) {
+                continue;
+            }
+            prop_assert_eq!(sop.eval(input), on.contains(&input));
+        }
+        // A cover never has more terms than on-set minterms.
+        if let Sop::Terms(terms) = &sop {
+            prop_assert!(terms.len() <= on.len().max(1));
+        }
+    }
+
+    /// Detection is monotone in sequence extension: everything a prefix
+    /// detects, the full sequence detects.
+    #[test]
+    fn detection_monotonicity(seed in any::<u64>(), split in 4usize..60) {
+        let c = SyntheticSpec::new("pm", 4, 3, 4, 40, seed % 16).build();
+        let faults = FaultList::checkpoints(&c);
+        let seq = Lfsr::new(20, (seed % 0xFFFF) as u32 + 1).sequence(4, 64);
+        let sim = FaultSim::new(&c);
+        let full = sim.detected(&faults, &seq);
+        let prefix = sim.detected(&faults, &seq.slice(0..split.min(seq.len())));
+        for (i, (&p, &f)) in prefix.iter().zip(&full).enumerate() {
+            prop_assert!(!p || f, "fault {i} detected by prefix but not by full");
+        }
+    }
+
+    /// `.bench` round-trips preserve simulation behaviour.
+    #[test]
+    fn bench_roundtrip_behaviour(seed in any::<u64>()) {
+        let c = SyntheticSpec::new("rt", 5, 3, 4, 35, seed % 32).build();
+        let text = bench_format::write(&c);
+        let c2 = bench_format::parse("rt2", &text).expect("roundtrip parses");
+        let seq = Lfsr::new(16, 0xACE1).sequence(5, 32);
+        let a = wbist::sim::LogicSim::new(&c).outputs(&seq).expect("ok");
+        let b = wbist::sim::LogicSim::new(&c2).outputs(&seq).expect("ok");
+        prop_assert_eq!(a, b);
+    }
+
+    /// The event-driven and levelized logic simulators agree on random
+    /// circuits and stimuli.
+    #[test]
+    fn event_sim_equals_levelized(seed in any::<u64>()) {
+        let c = SyntheticSpec::new("ev", 5, 3, 4, 45, seed % 64).build();
+        let seq = Lfsr::new(17, (seed % 9999) as u32 + 1).sequence(5, 48);
+        let a = wbist::sim::LogicSim::new(&c).outputs(&seq).expect("ok");
+        let b = wbist::sim::EventSim::new(&c).outputs(&seq).expect("ok");
+        prop_assert_eq!(a, b);
+    }
+
+    /// The MISR is linear: absorbing a stream then comparing signatures
+    /// is deterministic and reset is complete.
+    #[test]
+    fn misr_determinism_and_reset(rows in prop::collection::vec(
+        prop::collection::vec(any::<bool>(), 3), 1..40)) {
+        use wbist::sim::{Logic3, Misr};
+        let to_row = |r: &Vec<bool>| -> Vec<Logic3> {
+            r.iter().map(|&b| Logic3::from(b)).collect()
+        };
+        let mut a = Misr::with_default_taps(8);
+        let mut b = Misr::with_default_taps(8);
+        for r in &rows {
+            a.absorb(&to_row(r));
+            b.absorb(&to_row(r));
+        }
+        prop_assert_eq!(a.signature(), b.signature());
+        prop_assert!(a.is_known());
+        a.reset();
+        prop_assert_eq!(a.absorbed(), 0);
+        prop_assert!(a.signature().iter().all(|&s| s == Logic3::Zero));
+    }
+
+    /// The incremental fault-simulation API agrees with one-shot
+    /// simulation for arbitrary split points.
+    #[test]
+    fn incremental_equals_oneshot(seed in any::<u64>(), cut in 1usize..63) {
+        let c = SyntheticSpec::new("inc", 4, 2, 3, 30, seed % 16).build();
+        let faults = FaultList::checkpoints(&c);
+        let seq = Lfsr::new(18, (seed % 1000) as u32 + 3).sequence(4, 64);
+        let sim = FaultSim::new(&c);
+        let oneshot = sim.detected(&faults, &seq);
+        let mut st = sim.begin(&faults);
+        sim.advance(&mut st, &seq.slice(0..cut));
+        sim.advance(&mut st, &seq.slice(cut..seq.len()));
+        prop_assert_eq!(st.detected(), &oneshot[..]);
+    }
+}
