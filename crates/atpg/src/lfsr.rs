@@ -29,37 +29,37 @@ const fn taps(positions: [u32; 4]) -> u32 {
 /// primitive-polynomial tables (e.g. Xilinx XAPP052 / Wikipedia's LFSR
 /// table); the unit tests verify maximal period for widths up to 16.
 const TAPS: [u32; 31] = [
-    taps([2, 1, 0, 0]),    // 2
-    taps([3, 2, 0, 0]),    // 3
-    taps([4, 3, 0, 0]),    // 4
-    taps([5, 3, 0, 0]),    // 5
-    taps([6, 5, 0, 0]),    // 6
-    taps([7, 6, 0, 0]),    // 7
-    taps([8, 6, 5, 4]),    // 8
-    taps([9, 5, 0, 0]),    // 9
-    taps([10, 7, 0, 0]),   // 10
-    taps([11, 9, 0, 0]),   // 11
-    taps([12, 11, 10, 4]), // 12
-    taps([13, 12, 11, 8]), // 13
-    taps([14, 13, 12, 2]), // 14
-    taps([15, 14, 0, 0]),  // 15
-    taps([16, 15, 13, 4]), // 16
-    taps([17, 14, 0, 0]),  // 17
-    taps([18, 11, 0, 0]),  // 18
-    taps([19, 18, 17, 14]),// 19
-    taps([20, 17, 0, 0]),  // 20
-    taps([21, 19, 0, 0]),  // 21
-    taps([22, 21, 0, 0]),  // 22
-    taps([23, 18, 0, 0]),  // 23
-    taps([24, 23, 22, 17]),// 24
-    taps([25, 22, 0, 0]),  // 25
-    taps([26, 6, 2, 1]),   // 26
-    taps([27, 5, 2, 1]),   // 27
-    taps([28, 25, 0, 0]),  // 28
-    taps([29, 27, 0, 0]),  // 29
-    taps([30, 6, 4, 1]),   // 30
-    taps([31, 28, 0, 0]),  // 31
-    taps([32, 22, 2, 1]),  // 32
+    taps([2, 1, 0, 0]),     // 2
+    taps([3, 2, 0, 0]),     // 3
+    taps([4, 3, 0, 0]),     // 4
+    taps([5, 3, 0, 0]),     // 5
+    taps([6, 5, 0, 0]),     // 6
+    taps([7, 6, 0, 0]),     // 7
+    taps([8, 6, 5, 4]),     // 8
+    taps([9, 5, 0, 0]),     // 9
+    taps([10, 7, 0, 0]),    // 10
+    taps([11, 9, 0, 0]),    // 11
+    taps([12, 11, 10, 4]),  // 12
+    taps([13, 12, 11, 8]),  // 13
+    taps([14, 13, 12, 2]),  // 14
+    taps([15, 14, 0, 0]),   // 15
+    taps([16, 15, 13, 4]),  // 16
+    taps([17, 14, 0, 0]),   // 17
+    taps([18, 11, 0, 0]),   // 18
+    taps([19, 18, 17, 14]), // 19
+    taps([20, 17, 0, 0]),   // 20
+    taps([21, 19, 0, 0]),   // 21
+    taps([22, 21, 0, 0]),   // 22
+    taps([23, 18, 0, 0]),   // 23
+    taps([24, 23, 22, 17]), // 24
+    taps([25, 22, 0, 0]),   // 25
+    taps([26, 6, 2, 1]),    // 26
+    taps([27, 5, 2, 1]),    // 27
+    taps([28, 25, 0, 0]),   // 28
+    taps([29, 27, 0, 0]),   // 29
+    taps([30, 6, 4, 1]),    // 30
+    taps([31, 28, 0, 0]),   // 31
+    taps([32, 22, 2, 1]),   // 32
 ];
 
 /// A Fibonacci LFSR over up to 32 stages with maximal-length taps.

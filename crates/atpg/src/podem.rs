@@ -19,8 +19,8 @@
 //! simulation with the fault inserted) → check detection / D-frontier /
 //! X-path, with chronological backtracking over PI decisions.
 
-use wbist_sim::Logic3;
 use wbist_netlist::{Circuit, Fault, FaultSite, GateId, GateKind, NetId};
+use wbist_sim::Logic3;
 
 /// A five-valued signal as a (fault-free, faulty) pair of three-valued
 /// components. `D` is `(1, 0)`; `D'` is `(0, 1)`.
@@ -119,9 +119,7 @@ impl<'c> Podem<'c> {
             self.imply(&pi_vals, fault, &mut nets);
             if self.detected(&nets) {
                 // Fill the unassigned inputs with 0.
-                return PodemResult::Test(
-                    pi_vals.iter().map(|v| v.unwrap_or(false)).collect(),
-                );
+                return PodemResult::Test(pi_vals.iter().map(|v| v.unwrap_or(false)).collect());
             }
 
             let objective = self.pick_objective(fault, &nets);
@@ -182,9 +180,9 @@ impl<'c> Podem<'c> {
             };
             nets[net.index()] = inject_stem(net, v);
         }
-        for idx in 0..c.num_nets() {
+        for (idx, net) in nets.iter_mut().enumerate() {
             if let wbist_netlist::Driver::Const(v) = c.driver(NetId::from_index(idx)) {
-                nets[idx] = inject_stem(NetId::from_index(idx), V5::known(v));
+                *net = inject_stem(NetId::from_index(idx), V5::known(v));
             }
         }
         for &gid in c.topo_gates() {
@@ -432,7 +430,11 @@ OUTPUT(23)
                 PodemResult::Test(vec) => {
                     let seq = TestSequence::from_rows(vec![vec]).unwrap();
                     let det = sim.detected(&FaultList::from_faults(vec![f]), &seq);
-                    assert!(det[0], "fault {i} ({}) test does not verify", f.describe(&c));
+                    assert!(
+                        det[0],
+                        "fault {i} ({}) test does not verify",
+                        f.describe(&c)
+                    );
                 }
                 other => panic!("fault {i} ({}) -> {other:?}", f.describe(&c)),
             }

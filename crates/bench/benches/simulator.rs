@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wbist_atpg::Lfsr;
 use wbist_circuits::synthetic;
 use wbist_netlist::FaultList;
-use wbist_sim::FaultSim;
+use wbist_sim::{FaultSim, SimOptions};
 
 fn bench_fault_sim(c: &mut Criterion) {
     let mut group = c.benchmark_group("fault_sim");
@@ -36,6 +36,31 @@ fn bench_detection_times(c: &mut Criterion) {
     });
 }
 
+fn bench_threads(c: &mut Criterion) {
+    // Single-threaded vs multi-threaded batch fan-out on circuits with
+    // enough faults to fill several 63-fault batches.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    for name in ["s1196", "s5378"] {
+        let circuit = synthetic::by_name(name).expect("known circuit");
+        let faults = FaultList::checkpoints(&circuit);
+        let seq = Lfsr::new(24, 0xACE1).sequence(circuit.num_inputs(), 256);
+        let mut group = c.benchmark_group(format!("fault_sim_threads_{name}"));
+        for threads in [1usize, 2, 4, cores] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(threads),
+                &threads,
+                |b, &threads| {
+                    let sim = FaultSim::with_options(&circuit, SimOptions::with_threads(threads));
+                    b.iter(|| sim.detection_times(&faults, &seq));
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
 fn bench_engines(c: &mut Criterion) {
     // Levelized vs event-driven good-machine simulation, on a
     // low-activity stimulus (constant-heavy weighted sequences are the
@@ -60,5 +85,11 @@ fn bench_engines(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fault_sim, bench_detection_times, bench_engines);
+criterion_group!(
+    benches,
+    bench_fault_sim,
+    bench_detection_times,
+    bench_threads,
+    bench_engines
+);
 criterion_main!(benches);

@@ -12,10 +12,10 @@
 //! cargo run --release -p wbist-bench --bin hybrid_ablation [-- --fast] [circuits...]
 //! ```
 
+use wbist_atpg::{compact, SequenceAtpg};
 use wbist_bench::PipelineConfig;
 use wbist_circuits::synthetic;
 use wbist_core::{synthesize_hybrid, synthesize_weighted_bist, HybridConfig, SynthesisConfig};
-use wbist_atpg::{compact, SequenceAtpg};
 use wbist_netlist::FaultList;
 
 fn main() {

@@ -16,13 +16,20 @@ fn main() {
     println!("Table 1: deterministic test sequence T for s27");
     println!("  u | i=0 i=1 i=2 i=3");
     for u in 0..t.len() {
-        let row: Vec<&str> = t.row(u).iter().map(|&b| if b { "1" } else { "0" }).collect();
+        let row: Vec<&str> = t
+            .row(u)
+            .iter()
+            .map(|&b| if b { "1" } else { "0" })
+            .collect();
         println!("  {u} |  {}", row.join("   "));
     }
 
     let times = sim.detection_times(&faults, &t);
     let detected = times.iter().filter(|x| x.is_some()).count();
-    println!("\nT detects {detected}/{} checkpoint faults (paper: all 32).", faults.len());
+    println!(
+        "\nT detects {detected}/{} checkpoint faults (paper: all 32).",
+        faults.len()
+    );
     let at9: Vec<String> = faults
         .iter()
         .zip(&times)
@@ -52,7 +59,11 @@ fn main() {
     let tg = w0.generate(12);
     println!("\nTable 2: weighted sequence T_G (12 time units)");
     for u in 0..tg.len() {
-        let row: Vec<&str> = tg.row(u).iter().map(|&b| if b { "1" } else { "0" }).collect();
+        let row: Vec<&str> = tg
+            .row(u)
+            .iter()
+            .map(|&b| if b { "1" } else { "0" })
+            .collect();
         println!("  {u:>2} |  {}", row.join("   "));
     }
     let tg_det = sim.count_detected(&faults, &tg);

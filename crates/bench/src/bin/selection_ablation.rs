@@ -78,7 +78,11 @@ fn main() {
                 r.distinct_subsequences().len(),
                 r.max_subsequence_len(),
                 syn.sequence_length,
-                if r.coverage_guaranteed() { "met" } else { "MISSED" }
+                if r.coverage_guaranteed() {
+                    "met"
+                } else {
+                    "MISSED"
+                }
             );
         }
     }

@@ -1,0 +1,123 @@
+//! Fault-simulator throughput benchmark: faults × cycles per second at
+//! varying worker-thread counts, emitted as JSON for `scripts/bench_sim.sh`.
+//!
+//! ```text
+//! cargo run --release -p wbist-bench --bin sim_bench [-- options]
+//!
+//! options:
+//!   --circuits a,b,c   comma-separated circuit names (default
+//!                      s1196,s5378; add s35932 for the largest stand-in)
+//!   --cycles N         sequence length per measurement (default 256)
+//!   --threads a,b,c    thread counts to measure (default 1,2,4,<cores>)
+//!   --reps N           repetitions per measurement; the fastest is
+//!                      reported (default 3)
+//!   -o FILE            write the JSON there instead of stdout
+//! ```
+
+use std::time::Instant;
+use wbist_atpg::Lfsr;
+use wbist_bench::Json;
+use wbist_circuits::synthetic;
+use wbist_netlist::FaultList;
+use wbist_sim::{FaultSim, SimOptions};
+
+fn parse_list(s: &str) -> Vec<String> {
+    s.split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Last occurrence wins so callers (scripts/bench_sim.sh) can supply
+    // defaults ahead of user arguments.
+    let opt = |key: &str| -> Option<String> {
+        args.iter()
+            .rposition(|a| a == key)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let circuits = opt("--circuits")
+        .map(|s| parse_list(&s))
+        .unwrap_or_else(|| vec!["s1196".to_string(), "s5378".to_string()]);
+    let cycles: usize = opt("--cycles").and_then(|s| s.parse().ok()).unwrap_or(256);
+    let reps: usize = opt("--reps")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads: Vec<usize> = match opt("--threads") {
+        Some(s) => parse_list(&s)
+            .iter()
+            .filter_map(|t| t.parse().ok())
+            .filter(|&t| t >= 1)
+            .collect(),
+        None => {
+            let mut v = vec![1, 2, 4, cores];
+            v.sort_unstable();
+            v.dedup();
+            v
+        }
+    };
+
+    let mut rows = Vec::new();
+    for name in &circuits {
+        let Some(circuit) = synthetic::by_name(name) else {
+            eprintln!("unknown circuit `{name}`, skipping");
+            continue;
+        };
+        let faults = FaultList::checkpoints(&circuit);
+        let seq = Lfsr::new(24, 0xACE1).sequence(circuit.num_inputs(), cycles);
+        let mut baseline_secs = None;
+        for &t in &threads {
+            let sim = FaultSim::with_options(&circuit, SimOptions::with_threads(t));
+            // Warm up once, then keep the fastest of `reps` runs — the
+            // usual least-noise estimator for throughput numbers.
+            let detected = sim.count_detected(&faults, &seq);
+            let secs = (0..reps)
+                .map(|_| {
+                    let start = Instant::now();
+                    std::hint::black_box(sim.count_detected(&faults, &seq));
+                    start.elapsed().as_secs_f64()
+                })
+                .fold(f64::INFINITY, f64::min);
+            let baseline = *baseline_secs.get_or_insert(secs);
+            let work = (faults.len() * cycles) as f64;
+            eprintln!(
+                "{name}: {} faults x {cycles} cycles, {t} thread(s): {:.1} ms ({:.2}x, {:.0} fault-cycles/s)",
+                faults.len(),
+                secs * 1e3,
+                baseline / secs,
+                work / secs
+            );
+            rows.push(Json::obj(vec![
+                ("circuit", name.as_str().into()),
+                ("faults", faults.len().into()),
+                ("cycles", cycles.into()),
+                ("threads", t.into()),
+                ("detected", detected.into()),
+                ("seconds", secs.into()),
+                ("fault_cycles_per_sec", (work / secs).into()),
+                ("speedup_vs_1_thread", (baseline / secs).into()),
+            ]));
+        }
+    }
+
+    let doc = Json::obj(vec![
+        ("bench", "sim".into()),
+        ("available_cores", cores.into()),
+        ("rows", Json::Array(rows)),
+    ]);
+    let text = doc.render_pretty();
+    match opt("-o") {
+        Some(path) => {
+            std::fs::write(&path, format!("{text}\n")).expect("writable output path");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{text}"),
+    }
+}

@@ -68,12 +68,12 @@ fn main() {
     }
 
     if json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&rows).unwrap_or_else(|e| format!("JSON error: {e}"))
-        );
+        println!("{}", wbist_bench::table6_rows_json(&rows).render_pretty());
     } else {
-        println!("\nTable 6: Experimental results (L_G = {})", cfg.sequence_length);
+        println!(
+            "\nTable 6: Experimental results (L_G = {})",
+            cfg.sequence_length
+        );
         print!("{}", format_table6(&rows));
     }
 }

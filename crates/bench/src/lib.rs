@@ -17,17 +17,20 @@
 //! `wbist-core` feed the comparison table. Binaries in `src/bin/` print
 //! the tables; Criterion benches in `benches/` measure the components.
 
-use serde::Serialize;
+pub mod json;
+
+pub use json::Json;
+
 use std::fmt;
 use wbist_atpg::{compact, AtpgConfig, CompactionConfig, SequenceAtpg};
 use wbist_circuits::synthetic;
 use wbist_core::{
-    observation_point_tradeoff, reverse_order_prune, synthesize_weighted_bist, ObsTradeoff,
-    SelectedAssignment, SynthesisConfig, SynthesisResult,
+    observation_point_tradeoff_with, reverse_order_prune_with, synthesize_weighted_bist,
+    ObsTradeoff, SelectedAssignment, SynthesisConfig, SynthesisResult,
 };
 use wbist_hw::FsmBank;
 use wbist_netlist::{Circuit, FaultList};
-use wbist_sim::{FaultSim, TestSequence};
+use wbist_sim::{FaultSim, SimOptions, TestSequence};
 
 /// Configuration of the full experiment pipeline.
 #[derive(Debug, Clone)]
@@ -40,6 +43,8 @@ pub struct PipelineConfig {
     pub compaction: Option<CompactionConfig>,
     /// Sample-first speedup in the synthesis procedure.
     pub sample_first: bool,
+    /// Fault-simulator options (worker thread count).
+    pub sim: SimOptions,
 }
 
 impl PipelineConfig {
@@ -51,6 +56,7 @@ impl PipelineConfig {
             atpg: AtpgConfig::default(),
             compaction: Some(CompactionConfig::default()),
             sample_first: true,
+            sim: SimOptions::default(),
         }
     }
 
@@ -69,6 +75,7 @@ impl PipelineConfig {
                 max_trials: 200,
             }),
             sample_first: true,
+            sim: SimOptions::default(),
         }
     }
 }
@@ -108,14 +115,21 @@ pub fn run_pipeline(name: &str, circuit: Circuit, cfg: &PipelineConfig) -> Circu
         Some(cc) => compact(&circuit, &faults, &atpg.sequence, cc),
         None => atpg.sequence.clone(),
     };
-    let t_detected = FaultSim::new(&circuit).count_detected(&faults, &sequence);
+    let t_detected = FaultSim::with_options(&circuit, cfg.sim).count_detected(&faults, &sequence);
     let syn_cfg = SynthesisConfig {
         sequence_length: cfg.sequence_length,
         sample_first: cfg.sample_first,
+        sim: cfg.sim,
         ..SynthesisConfig::default()
     };
     let synthesis = synthesize_weighted_bist(&circuit, &sequence, &faults, &syn_cfg);
-    let pruned = reverse_order_prune(&circuit, &faults, &synthesis.omega, cfg.sequence_length);
+    let pruned = reverse_order_prune_with(
+        &circuit,
+        &faults,
+        &synthesis.omega,
+        cfg.sequence_length,
+        cfg.sim,
+    );
     CircuitRun {
         name: name.to_string(),
         circuit,
@@ -135,7 +149,7 @@ pub fn run_named(name: &str, cfg: &PipelineConfig) -> Option<CircuitRun> {
 }
 
 /// One row of the paper's Table 6.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Table6Row {
     /// Circuit name.
     pub circuit: String,
@@ -195,6 +209,29 @@ pub fn table6_row(run: &CircuitRun) -> Table6Row {
     }
 }
 
+impl Table6Row {
+    /// The row as an ordered JSON object (field order matches the
+    /// struct).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("circuit", self.circuit.as_str().into()),
+            ("given_len", self.given_len.into()),
+            ("given_det", self.given_det.into()),
+            ("seq", self.seq.into()),
+            ("subs", self.subs.into()),
+            ("max_len", self.max_len.into()),
+            ("fsm_num", self.fsm_num.into()),
+            ("fsm_out", self.fsm_out.into()),
+            ("coverage_guaranteed", self.coverage_guaranteed.into()),
+        ])
+    }
+}
+
+/// All rows as a JSON array.
+pub fn table6_rows_json(rows: &[Table6Row]) -> Json {
+    Json::Array(rows.iter().map(Table6Row::to_json).collect())
+}
+
 impl fmt::Display for Table6Row {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -208,7 +245,11 @@ impl fmt::Display for Table6Row {
             self.max_len,
             self.fsm_num,
             self.fsm_out,
-            if self.coverage_guaranteed { "ok" } else { "MISS" }
+            if self.coverage_guaranteed {
+                "ok"
+            } else {
+                "MISS"
+            }
         )
     }
 }
@@ -228,11 +269,12 @@ pub fn format_table6(rows: &[Table6Row]) -> String {
 /// Reproduces one of the Tables 7–16 for a run: the observation-point
 /// trade-off over `Ω` before pruning.
 pub fn obs_table(run: &CircuitRun) -> ObsTradeoff {
-    observation_point_tradeoff(
+    observation_point_tradeoff_with(
         &run.circuit,
         &run.faults,
         &run.synthesis.omega,
         run.synthesis.sequence_length,
+        SimOptions::default(),
     )
 }
 
@@ -327,7 +369,7 @@ mod tests {
     fn table6_row_serializes() {
         let run = run_named("s27", &PipelineConfig::fast()).expect("s27 exists");
         let row = table6_row(&run);
-        let json = serde_json::to_string(&row).expect("serializable");
+        let json = row.to_json().render();
         assert!(json.contains("\"circuit\":\"s27\""));
         assert!(json.contains("coverage_guaranteed"));
     }

@@ -78,9 +78,7 @@ pub fn counter(n: usize) -> Circuit {
                 .expect("fresh names");
         }
     }
-    let tc = c
-        .add_gate(GateKind::And, "tc", &bits)
-        .expect("fresh names");
+    let tc = c.add_gate(GateKind::And, "tc", &bits).expect("fresh names");
     c.mark_output(tc);
     let lsb = c
         .add_gate(GateKind::Buf, "lsb", &[bits[0]])
@@ -100,9 +98,7 @@ pub fn sequence_lock(width: usize, arm_cycles: usize) -> Circuit {
     assert!(width > 0, "need at least one data input");
     assert!(arm_cycles > 0, "need at least one arm cycle");
     let mut c = Circuit::new(format!("lock{width}x{arm_cycles}"));
-    let data: Vec<NetId> = (0..width)
-        .map(|k| c.add_input(&format!("d{k}")))
-        .collect();
+    let data: Vec<NetId> = (0..width).map(|k| c.add_input(&format!("d{k}"))).collect();
     let allones = c
         .add_gate(GateKind::And, "allones", &data)
         .expect("fresh names");

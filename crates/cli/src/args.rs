@@ -17,18 +17,14 @@ pub fn parse(argv: &[String], value_keys: &[&str]) -> Result<Parsed, String> {
     while let Some(a) = it.next() {
         if let Some(key) = a.strip_prefix("--") {
             if value_keys.contains(&key) {
-                let v = it
-                    .next()
-                    .ok_or_else(|| format!("--{key} needs a value"))?;
+                let v = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
                 out.options.push((key.to_string(), v.clone()));
             } else {
                 out.flags.push(key.to_string());
             }
         } else if let Some(key) = a.strip_prefix('-') {
             if value_keys.contains(&key) {
-                let v = it
-                    .next()
-                    .ok_or_else(|| format!("-{key} needs a value"))?;
+                let v = it.next().ok_or_else(|| format!("-{key} needs a value"))?;
                 out.options.push((key.to_string(), v.clone()));
             } else {
                 out.flags.push(key.to_string());
@@ -87,8 +83,11 @@ mod tests {
 
     #[test]
     fn positional_flags_and_options() {
-        let p = parse(&argv(&["a.bench", "--times", "--lg", "500", "-o", "x.txt"]), &["lg", "o"])
-            .unwrap();
+        let p = parse(
+            &argv(&["a.bench", "--times", "--lg", "500", "-o", "x.txt"]),
+            &["lg", "o"],
+        )
+        .unwrap();
         assert_eq!(p.pos(0), Some("a.bench"));
         assert!(p.flag("times"));
         assert_eq!(p.opt("lg"), Some("500"));

@@ -4,24 +4,22 @@ use crate::args::{parse, Parsed};
 use std::fmt;
 use wbist_atpg::{compact, AtpgConfig, CompactionConfig, SequenceAtpg};
 use wbist_circuits::{structured, synthetic};
-use wbist_core::{
-    reverse_order_prune, synthesize_hybrid, synthesize_weighted_bist, HybridConfig,
-    SynthesisConfig,
-};
+use wbist_core::{synthesize_hybrid, synthesize_weighted_bist, HybridConfig, SynthesisConfig};
 use wbist_hw::{build_generator, build_hybrid_generator, generator_cost, to_verilog};
 use wbist_netlist::{bench_format, circuit_stats, Circuit, FaultList};
-use wbist_sim::{FaultSim, TestSequence};
+use wbist_sim::{FaultSim, SimOptions, TestSequence};
 
 /// Top-level usage text.
 pub const USAGE: &str = "usage:
   wbist stats   <circuit.bench>
   wbist faults  <circuit.bench> [--model checkpoints|collapsed|all]
   wbist atpg    <circuit.bench> [--seed N] [--max-len N] [--no-compact] [-o seq.txt]
-  wbist sim     <circuit.bench> <seq.txt> [--times]
+  wbist sim     <circuit.bench> <seq.txt> [--times] [--threads N]
   wbist synth   <circuit.bench> [--seq seq.txt] [--lg N] [--random N]
-                [--verilog out.v] [--bench out.bench]
-  wbist obs     <circuit.bench> [--seq seq.txt] [--lg N]
+                [--verilog out.v] [--bench out.bench] [--threads N]
+  wbist obs     <circuit.bench> [--seq seq.txt] [--lg N] [--threads N]
   wbist session <circuit.bench> [--seq seq.txt] [--lg N] [--misr N] [--capture N]
+                [--threads N]
   wbist podem   <circuit.bench>           # scan-view classification
   wbist vcd     <circuit.bench> <seq.txt> [-o out.vcd]
   wbist gen     <name> [-o out.bench]
@@ -99,6 +97,9 @@ fn load_sequence(path: &str) -> Result<TestSequence, CliError> {
 
 fn cmd_stats(argv: &[String]) -> Result<(), CliError> {
     let p = parse(argv, &[]).map_err(usage)?;
+    if p.num_pos() > 1 {
+        return Err(usage("stats takes exactly one .bench file"));
+    }
     let path = p.pos(0).ok_or_else(|| usage("stats needs a .bench file"))?;
     let c = load_circuit(path)?;
     println!("circuit {}", c.name());
@@ -112,6 +113,15 @@ fn cmd_stats(argv: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Reads `--threads N` into [`SimOptions`] (absent = all cores).
+fn sim_options(p: &Parsed) -> Result<SimOptions, CliError> {
+    let threads = p.opt_parse::<usize>("threads").map_err(usage)?;
+    if threads == Some(0) {
+        return Err(usage("--threads must be at least 1"));
+    }
+    Ok(SimOptions { threads })
+}
+
 fn fault_list(c: &Circuit, model: Option<&str>) -> Result<FaultList, CliError> {
     Ok(match model.unwrap_or("checkpoints") {
         "checkpoints" => FaultList::checkpoints(c),
@@ -123,7 +133,9 @@ fn fault_list(c: &Circuit, model: Option<&str>) -> Result<FaultList, CliError> {
 
 fn cmd_faults(argv: &[String]) -> Result<(), CliError> {
     let p = parse(argv, &["model"]).map_err(usage)?;
-    let path = p.pos(0).ok_or_else(|| usage("faults needs a .bench file"))?;
+    let path = p
+        .pos(0)
+        .ok_or_else(|| usage("faults needs a .bench file"))?;
     let c = load_circuit(path)?;
     let fl = fault_list(&c, p.opt("model"))?;
     for (i, f) in fl.iter().enumerate() {
@@ -166,7 +178,7 @@ fn cmd_atpg(argv: &[String]) -> Result<(), CliError> {
 }
 
 fn cmd_sim(argv: &[String]) -> Result<(), CliError> {
-    let p = parse(argv, &["model"]).map_err(usage)?;
+    let p = parse(argv, &["model", "threads"]).map_err(usage)?;
     let (path, seq_path) = match (p.pos(0), p.pos(1)) {
         (Some(a), Some(b)) => (a, b),
         _ => return Err(usage("sim needs a .bench file and a sequence file")),
@@ -174,7 +186,7 @@ fn cmd_sim(argv: &[String]) -> Result<(), CliError> {
     let c = load_circuit(path)?;
     let seq = load_sequence(seq_path)?;
     let faults = fault_list(&c, p.opt("model"))?;
-    let times = FaultSim::new(&c).detection_times(&faults, &seq);
+    let times = FaultSim::with_options(&c, sim_options(&p)?).detection_times(&faults, &seq);
     let det = times.iter().filter(|t| t.is_some()).count();
     println!(
         "{}/{} faults detected ({:.2}%) by {} vectors",
@@ -195,8 +207,13 @@ fn cmd_sim(argv: &[String]) -> Result<(), CliError> {
 }
 
 fn cmd_synth(argv: &[String]) -> Result<(), CliError> {
-    let p = parse(argv, &["seq", "lg", "random", "verilog", "bench", "model", "seed"])
-        .map_err(usage)?;
+    let p = parse(
+        argv,
+        &[
+            "seq", "lg", "random", "verilog", "bench", "model", "seed", "threads",
+        ],
+    )
+    .map_err(usage)?;
     let path = p.pos(0).ok_or_else(|| usage("synth needs a .bench file"))?;
     let c = load_circuit(path)?;
     let faults = fault_list(&c, p.opt("model"))?;
@@ -225,8 +242,10 @@ fn cmd_synth(argv: &[String]) -> Result<(), CliError> {
         .map_err(usage)?
         .unwrap_or_else(|| (2 * t.len()).max(256));
     let random_sessions = p.opt_parse::<usize>("random").map_err(usage)?.unwrap_or(0);
+    let sim = sim_options(&p)?;
     let syn_cfg = SynthesisConfig {
         sequence_length: l_g,
+        sim,
         ..SynthesisConfig::default()
     };
 
@@ -262,7 +281,7 @@ fn cmd_synth(argv: &[String]) -> Result<(), CliError> {
         )
     };
 
-    let pruned = reverse_order_prune(&c, &faults, &omega, l_g);
+    let pruned = wbist_core::reverse_order_prune_with(&c, &faults, &omega, l_g, sim);
     println!(
         "L_G = {l_g}: {} assignments ({} after pruning), {} distinct subsequences{}",
         omega.len(),
@@ -270,9 +289,15 @@ fn cmd_synth(argv: &[String]) -> Result<(), CliError> {
         subs,
         random_note
     );
-    println!("coverage guarantee: {}", if guaranteed { "met" } else { "NOT met" });
+    println!(
+        "coverage guarantee: {}",
+        if guaranteed { "met" } else { "NOT met" }
+    );
     for (k, sel) in pruned.iter().enumerate() {
-        println!("  Ω_{k}: {} (u={}, rank {})", sel.assignment, sel.detection_time, sel.rank);
+        println!(
+            "  Ω_{k}: {} (u={}, rank {})",
+            sel.assignment, sel.detection_time, sel.rank
+        );
     }
 
     if pruned.is_empty() {
@@ -294,11 +319,7 @@ fn cmd_synth(argv: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-fn print_hw(
-    circuit: &Circuit,
-    verilog: Option<&str>,
-    bench: Option<&str>,
-) -> Result<(), CliError> {
+fn print_hw(circuit: &Circuit, verilog: Option<&str>, bench: Option<&str>) -> Result<(), CliError> {
     if let Some(path) = verilog {
         std::fs::write(path, to_verilog(circuit))?;
         eprintln!("wrote {path}");
@@ -312,22 +333,23 @@ fn print_hw(
 
 /// Produces the deterministic sequence for commands that need one: from
 /// `--seq`, or from the built-in ATPG.
-fn sequence_for(
-    c: &Circuit,
-    faults: &FaultList,
-    p: &Parsed,
-) -> Result<TestSequence, CliError> {
+fn sequence_for(c: &Circuit, faults: &FaultList, p: &Parsed) -> Result<TestSequence, CliError> {
     match p.opt("seq") {
         Some(sp) => load_sequence(sp),
         None => {
             let r = SequenceAtpg::new(c, AtpgConfig::default()).run(faults);
-            Ok(compact(c, faults, &r.sequence, &CompactionConfig::default()))
+            Ok(compact(
+                c,
+                faults,
+                &r.sequence,
+                &CompactionConfig::default(),
+            ))
         }
     }
 }
 
 fn cmd_obs(argv: &[String]) -> Result<(), CliError> {
-    let p = parse(argv, &["seq", "lg", "model"]).map_err(usage)?;
+    let p = parse(argv, &["seq", "lg", "model", "threads"]).map_err(usage)?;
     let path = p.pos(0).ok_or_else(|| usage("obs needs a .bench file"))?;
     let c = load_circuit(path)?;
     let faults = fault_list(&c, p.opt("model"))?;
@@ -336,16 +358,18 @@ fn cmd_obs(argv: &[String]) -> Result<(), CliError> {
         .opt_parse::<usize>("lg")
         .map_err(usage)?
         .unwrap_or_else(|| (2 * t.len()).max(256));
+    let sim = sim_options(&p)?;
     let r = synthesize_weighted_bist(
         &c,
         &t,
         &faults,
         &SynthesisConfig {
             sequence_length: l_g,
+            sim,
             ..SynthesisConfig::default()
         },
     );
-    let tr = wbist_core::observation_point_tradeoff(&c, &faults, &r.omega, l_g);
+    let tr = wbist_core::observation_point_tradeoff_with(&c, &faults, &r.omega, l_g, sim);
     println!("seq   sub   len    f.e.   obs    f.e.(obs)");
     for row in &tr.rows {
         println!(
@@ -362,8 +386,10 @@ fn cmd_obs(argv: &[String]) -> Result<(), CliError> {
 }
 
 fn cmd_session(argv: &[String]) -> Result<(), CliError> {
-    let p = parse(argv, &["seq", "lg", "misr", "capture", "model"]).map_err(usage)?;
-    let path = p.pos(0).ok_or_else(|| usage("session needs a .bench file"))?;
+    let p = parse(argv, &["seq", "lg", "misr", "capture", "model", "threads"]).map_err(usage)?;
+    let path = p
+        .pos(0)
+        .ok_or_else(|| usage("session needs a .bench file"))?;
     let c = load_circuit(path)?;
     let faults = fault_list(&c, p.opt("model"))?;
     let t = sequence_for(&c, &faults, &p)?;
@@ -371,12 +397,14 @@ fn cmd_session(argv: &[String]) -> Result<(), CliError> {
         .opt_parse::<usize>("lg")
         .map_err(usage)?
         .unwrap_or_else(|| (2 * t.len()).max(256));
+    let sim = sim_options(&p)?;
     let r = synthesize_weighted_bist(
         &c,
         &t,
         &faults,
         &SynthesisConfig {
             sequence_length: l_g,
+            sim,
             ..SynthesisConfig::default()
         },
     );
@@ -391,10 +419,8 @@ fn cmd_session(argv: &[String]) -> Result<(), CliError> {
         &wbist_core::SessionConfig {
             misr_width: p.opt_parse::<usize>("misr").map_err(usage)?.unwrap_or(16),
             sequence_length: l_g,
-            capture_from: p
-                .opt_parse::<usize>("capture")
-                .map_err(usage)?
-                .unwrap_or(8),
+            capture_from: p.opt_parse::<usize>("capture").map_err(usage)?.unwrap_or(8),
+            sim,
         },
     );
     println!(
@@ -403,7 +429,11 @@ fn cmd_session(argv: &[String]) -> Result<(), CliError> {
         report.signed(),
         faults.len(),
         report.lost_in_signature,
-        if report.golden_known { "clean" } else { "contains X" }
+        if report.golden_known {
+            "clean"
+        } else {
+            "contains X"
+        }
     );
     Ok(())
 }
@@ -535,8 +565,7 @@ mod tests {
         let seq = dir.join("seq.txt");
 
         // gen → file
-        dispatch(&argv(&["gen", "s27", "-o", bench.to_str().expect("utf8")]))
-            .expect("gen works");
+        dispatch(&argv(&["gen", "s27", "-o", bench.to_str().expect("utf8")])).expect("gen works");
         // stats
         dispatch(&argv(&["stats", bench.to_str().expect("utf8")])).expect("stats works");
         // atpg → file

@@ -239,7 +239,10 @@ pub fn scan_bist_coverage(
                 ),
                 other => other,
             };
-            wbist_netlist::Fault { site, stuck: f.stuck }
+            wbist_netlist::Fault {
+                site,
+                stuck: f.stuck,
+            }
         })
         .collect();
     // The scan view is combinational, so one multi-row sequence is

@@ -97,7 +97,7 @@ pub fn synthesize_hybrid(
     faults: &FaultList,
     cfg: &HybridConfig,
 ) -> HybridResult {
-    let sim = FaultSim::new(circuit);
+    let sim = FaultSim::with_options(circuit, cfg.synthesis.sim);
     let mut lfsr = Lfsr::new(cfg.lfsr_width, cfg.lfsr_seed);
     let mut random_detected = vec![false; faults.len()];
     let mut random_sequences = Vec::with_capacity(cfg.random_sessions);
@@ -170,8 +170,7 @@ mod tests {
             },
         );
         assert!(
-            hybrid.synthesis.distinct_subsequences().len()
-                <= pure.distinct_subsequences().len(),
+            hybrid.synthesis.distinct_subsequences().len() <= pure.distinct_subsequences().len(),
             "hybrid must not need more subsequences"
         );
     }

@@ -49,14 +49,15 @@ pub mod subseq;
 pub mod weights;
 
 pub use assign::{Candidate, CandidateOrdering, CandidateSets, WeightAssignment};
-pub use obs::{observation_point_tradeoff, ObsRow, ObsTradeoff};
-pub use prune::reverse_order_prune;
 pub use diagnose::{DictionaryResolution, FaultDictionary, Syndrome};
 pub use hybrid::{synthesize_hybrid, HybridConfig, HybridResult};
+pub use obs::{observation_point_tradeoff, observation_point_tradeoff_with, ObsRow, ObsTradeoff};
+pub use prune::{reverse_order_prune, reverse_order_prune_with};
 pub use select::{
-    synthesize_weighted_bist, synthesize_weighted_bist_from, SelectedAssignment,
-    SynthesisConfig, SynthesisResult,
+    synthesize_weighted_bist, synthesize_weighted_bist_from, SelectedAssignment, SynthesisConfig,
+    SynthesisResult,
 };
 pub use session::{run_bist_session, SessionConfig, SessionReport};
 pub use subseq::Subsequence;
+pub use wbist_sim::SimOptions;
 pub use weights::WeightSet;

@@ -22,7 +22,7 @@
 
 use crate::select::SelectedAssignment;
 use wbist_netlist::{Circuit, FaultList, NetId};
-use wbist_sim::FaultSim;
+use wbist_sim::{FaultSim, SimOptions};
 
 /// One row of the trade-off tables (Tables 7–16).
 #[derive(Debug, Clone, PartialEq)]
@@ -76,8 +76,29 @@ pub fn observation_point_tradeoff(
     omega: &[SelectedAssignment],
     sequence_length: usize,
 ) -> ObsTradeoff {
+    observation_point_tradeoff_with(
+        circuit,
+        faults,
+        omega,
+        sequence_length,
+        SimOptions::default(),
+    )
+}
+
+/// [`observation_point_tradeoff`] with explicit fault-simulator options.
+///
+/// # Panics
+///
+/// Panics if the circuit is not levelized or `sequence_length == 0`.
+pub fn observation_point_tradeoff_with(
+    circuit: &Circuit,
+    faults: &FaultList,
+    omega: &[SelectedAssignment],
+    sequence_length: usize,
+    sim_options: SimOptions,
+) -> ObsTradeoff {
     assert!(sequence_length > 0, "L_G must be positive");
-    let sim = FaultSim::new(circuit);
+    let sim = FaultSim::with_options(circuit, sim_options);
 
     // Detection matrix: per assignment, per fault.
     let det: Vec<Vec<bool>> = omega
@@ -127,10 +148,7 @@ pub fn observation_point_tradeoff(
             .collect();
         if !live.is_empty() {
             let live_faults: FaultList = live.iter().map(|&i| faults.faults()[i]).collect();
-            let lines = sim.observable_lines(
-                &live_faults,
-                &omega[best].sequence(sequence_length),
-            );
+            let lines = sim.observable_lines(&live_faults, &omega[best].sequence(sequence_length));
             for (k, &i) in live.iter().enumerate() {
                 for &net in &lines[k] {
                     if !op_lines[i].contains(&net) {

@@ -10,7 +10,7 @@
 
 use crate::select::SelectedAssignment;
 use wbist_netlist::{Circuit, FaultList};
-use wbist_sim::FaultSim;
+use wbist_sim::{FaultSim, SimOptions};
 
 /// Removes redundant assignments from `omega` by reverse-order
 /// simulation, preserving the original relative order of the survivors.
@@ -27,8 +27,29 @@ pub fn reverse_order_prune(
     omega: &[SelectedAssignment],
     sequence_length: usize,
 ) -> Vec<SelectedAssignment> {
+    reverse_order_prune_with(
+        circuit,
+        faults,
+        omega,
+        sequence_length,
+        SimOptions::default(),
+    )
+}
+
+/// [`reverse_order_prune`] with explicit fault-simulator options.
+///
+/// # Panics
+///
+/// Panics if the circuit is not levelized or `sequence_length == 0`.
+pub fn reverse_order_prune_with(
+    circuit: &Circuit,
+    faults: &FaultList,
+    omega: &[SelectedAssignment],
+    sequence_length: usize,
+    sim_options: SimOptions,
+) -> Vec<SelectedAssignment> {
     assert!(sequence_length > 0, "L_G must be positive");
-    let sim = FaultSim::new(circuit);
+    let sim = FaultSim::with_options(circuit, sim_options);
     let mut detected = vec![false; faults.len()];
     let mut keep = vec![false; omega.len()];
 
@@ -88,9 +109,9 @@ mod tests {
                 *d |= f;
             }
         }
-        for i in 0..faults.len() {
-            if r.target[i] {
-                assert!(detected[i], "pruning lost fault {i}");
+        for (i, (&target, &hit)) in r.target.iter().zip(&detected).enumerate() {
+            if target {
+                assert!(hit, "pruning lost fault {i}");
             }
         }
     }

@@ -28,7 +28,7 @@
 use crate::assign::{CandidateOrdering, CandidateSets, WeightAssignment};
 use crate::weights::WeightSet;
 use wbist_netlist::{Circuit, Fault, FaultList};
-use wbist_sim::{FaultSim, TestSequence};
+use wbist_sim::{FaultSim, SimOptions, TestSequence};
 
 /// Configuration of the synthesis procedure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,6 +49,8 @@ pub struct SynthesisConfig {
     /// Disabling it is an ablation knob; the coverage guarantee is only
     /// proven with the fix-up enabled.
     pub full_length_fixup: bool,
+    /// Fault-simulator options (worker thread count).
+    pub sim: SimOptions,
 }
 
 impl Default for SynthesisConfig {
@@ -59,6 +61,7 @@ impl Default for SynthesisConfig {
             sample_size: 32,
             ordering: CandidateOrdering::MatchCount,
             full_length_fixup: true,
+            sim: SimOptions::default(),
         }
     }
 }
@@ -195,7 +198,7 @@ pub fn synthesize_weighted_bist_from(
         faults.len(),
         "one pre-detection flag per fault"
     );
-    let sim = FaultSim::new(circuit);
+    let sim = FaultSim::with_options(circuit, cfg.sim);
     let det_times = sim.detection_times(faults, t);
     let target: Vec<bool> = det_times
         .iter()
@@ -422,9 +425,9 @@ mod tests {
                 *d |= f;
             }
         }
-        for i in 0..faults.len() {
-            if r.target[i] {
-                assert!(detected[i], "target fault {i} not covered by Ω");
+        for (i, (&target, &hit)) in r.target.iter().zip(&detected).enumerate() {
+            if target {
+                assert!(hit, "target fault {i} not covered by Ω");
             }
         }
     }

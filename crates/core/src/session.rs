@@ -23,7 +23,7 @@
 
 use crate::select::SelectedAssignment;
 use wbist_netlist::{Circuit, FaultList};
-use wbist_sim::{Logic3, Misr, SerialFaultSim, TestSequence};
+use wbist_sim::{Logic3, Misr, SerialFaultSim, SimOptions, TestSequence};
 
 /// Configuration of a BIST session run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,6 +35,9 @@ pub struct SessionConfig {
     /// Cycles (per assignment) before signature capture starts; skipping
     /// the unknown-state prefix keeps `X` out of the signatures.
     pub capture_from: usize,
+    /// Simulator options; the per-fault session evaluation fans faults
+    /// out over this many worker threads.
+    pub sim: SimOptions,
 }
 
 impl Default for SessionConfig {
@@ -43,6 +46,7 @@ impl Default for SessionConfig {
             misr_width: 16,
             sequence_length: 100,
             capture_from: 0,
+            sim: SimOptions::default(),
         }
     }
 }
@@ -113,37 +117,75 @@ pub fn run_bist_session(
         .iter()
         .map(|stream| signature(stream, cfg))
         .collect();
-    let golden_known = golden
-        .iter()
-        .all(|sig| sig.iter().all(|s| s.is_known()));
+    let golden_known = golden.iter().all(|sig| sig.iter().all(|s| s.is_known()));
 
-    let mut detected_by_observation = vec![false; faults.len()];
-    let mut detected_by_signature = vec![false; faults.len()];
-    for (fi, &fault) in faults.faults().iter().enumerate() {
+    // Faults are independent: fan them out over worker threads. Each
+    // worker shares the read-only simulator, golden streams, and
+    // signatures; results land in disjoint per-fault slots, so the merge
+    // is deterministic.
+    let n_faults = faults.len();
+    let threads = cfg
+        .sim
+        .threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .clamp(1, n_faults.max(1));
+    let eval_fault = |fault| {
+        let mut observed_any = false;
+        let mut signed_any = false;
         for (si, seq) in sequences.iter().enumerate() {
             let stream = sim.output_stream(Some(fault), seq);
             // Observation: any cycle with a binary-vs-binary conflict.
             let observed = stream
                 .iter()
                 .zip(&golden_streams[si])
-                .any(|(bad, good)| {
-                    bad.iter().zip(good).any(|(b, g)| b.conflicts(*g))
-                });
-            if observed {
-                detected_by_observation[fi] = true;
-            }
+                .any(|(bad, good)| bad.iter().zip(good).any(|(b, g)| b.conflicts(*g)));
+            observed_any |= observed;
             // Signature: provable difference of this session's MISRs.
             let sig = signature(&stream, cfg);
-            let diff = sig
-                .iter()
-                .zip(&golden[si])
-                .any(|(a, b)| a.conflicts(*b));
-            if diff {
-                detected_by_signature[fi] = true;
-            }
-            if detected_by_observation[fi] && detected_by_signature[fi] {
+            signed_any |= sig.iter().zip(&golden[si]).any(|(a, b)| a.conflicts(*b));
+            if observed_any && signed_any {
                 break;
             }
+        }
+        (observed_any, signed_any)
+    };
+    let mut detected_by_observation = vec![false; n_faults];
+    let mut detected_by_signature = vec![false; n_faults];
+    if threads <= 1 {
+        for (fi, &fault) in faults.faults().iter().enumerate() {
+            let (o, s) = eval_fault(fault);
+            detected_by_observation[fi] = o;
+            detected_by_signature[fi] = s;
+        }
+    } else {
+        let eval_fault = &eval_fault;
+        let results = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    scope.spawn(move || {
+                        faults
+                            .faults()
+                            .iter()
+                            .enumerate()
+                            .skip(w)
+                            .step_by(threads)
+                            .map(|(fi, &fault)| (fi, eval_fault(fault)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("session worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for (fi, (o, s)) in results {
+            detected_by_observation[fi] = o;
+            detected_by_signature[fi] = s;
         }
     }
 
@@ -202,7 +244,10 @@ mod tests {
         let sim = wbist_sim::FaultSim::new(&c);
         let mut expect = vec![false; faults.len()];
         for sel in &omega {
-            for (e, f) in expect.iter_mut().zip(sim.detected(&faults, &sel.sequence(l_g))) {
+            for (e, f) in expect
+                .iter_mut()
+                .zip(sim.detected(&faults, &sel.sequence(l_g)))
+            {
                 *e |= f;
             }
         }
@@ -251,6 +296,7 @@ mod tests {
                 sequence_length: l_g,
                 capture_from: 8,
                 misr_width: 16,
+                sim: SimOptions::default(),
             },
         );
         // Signature detection is a subset of observation...
@@ -262,7 +308,10 @@ mod tests {
             assert!(*o || !*s, "signature detection implies observability");
         }
         // ...and the losses are accounted for.
-        assert_eq!(report.lost_in_signature, report.observed() - report.signed());
+        assert_eq!(
+            report.lost_in_signature,
+            report.observed() - report.signed()
+        );
         // A 16-bit MISR over ~100 cycles loses at most a few faults.
         assert!(
             report.lost_in_signature <= 4,

@@ -102,7 +102,10 @@ mod tests {
 
     #[test]
     fn cost_report_is_consistent() {
-        let omega = vec![sel(&["01", "0", "100", "1"]), sel(&["100", "00", "01", "100"])];
+        let omega = vec![
+            sel(&["01", "0", "100", "1"]),
+            sel(&["100", "00", "01", "100"]),
+        ];
         let gen = build_generator(&omega, 16).expect("synthesis succeeds");
         let cost = generator_cost(&gen);
         // Subsequences after stream dedup: 01, 0, 100, 1 (00 ≡ 0).

@@ -216,12 +216,8 @@ mod tests {
         assert_eq!(ns.len(), 3);
         for s in 0..5u32 {
             let expect = (s + 1) % 5;
-            for bit in 0..3 {
-                assert_eq!(
-                    ns[bit].eval(s),
-                    expect >> bit & 1 == 1,
-                    "state {s} bit {bit}"
-                );
+            for (bit, n) in ns.iter().enumerate() {
+                assert_eq!(n.eval(s), expect >> bit & 1 == 1, "state {s} bit {bit}");
             }
         }
     }

@@ -234,9 +234,7 @@ pub fn build_hybrid_generator(
         let mut terms = Vec::new();
         if let Some(ir) = in_random {
             let tap = lfsr_bits[i % lfsr_bits.len()];
-            terms.push(
-                b.c.add_gate(GateKind::And, &format!("mux{i}r"), &[ir, tap])?,
-            );
+            terms.push(b.c.add_gate(GateKind::And, &format!("mux{i}r"), &[ir, tap])?);
         }
         for (a, sel) in omega.iter().enumerate() {
             let sub = &sel.assignment.subsequences()[i];
@@ -378,9 +376,7 @@ impl Builder<'_> {
             if value >> k & 1 == 1 {
                 lits.push(bit);
             } else {
-                lits.push(
-                    self.gate(GateKind::Not, name, &[bit])?,
-                );
+                lits.push(self.gate(GateKind::Not, name, &[bit])?);
             }
         }
         if lits.len() == 1 {
@@ -395,7 +391,12 @@ impl Builder<'_> {
     /// stages (taps shared with `wbist_atpg::tap_mask`). `rst` forces the
     /// register to state `…0001`, matching the software model seeded
     /// with 1. Returns the stage nets (stage 0 first).
-    pub(crate) fn lfsr(&mut self, prefix: &str, width: u32, rst: NetId) -> Result<Vec<NetId>, NetlistError> {
+    pub(crate) fn lfsr(
+        &mut self,
+        prefix: &str,
+        width: u32,
+        rst: NetId,
+    ) -> Result<Vec<NetId>, NetlistError> {
         let taps = wbist_atpg::tap_mask(width);
         let stages: Vec<NetId> = (0..width)
             .map(|k| self.c.add_dff(&format!("{prefix}_q{k}"), None))
@@ -431,7 +432,12 @@ impl Builder<'_> {
     }
 
     /// Materializes a minimized SOP over `vars` (LSB-first state bits).
-    pub(crate) fn sop(&mut self, name: &str, sop: &Sop, vars: &[NetId]) -> Result<NetId, NetlistError> {
+    pub(crate) fn sop(
+        &mut self,
+        name: &str,
+        sop: &Sop,
+        vars: &[NetId],
+    ) -> Result<NetId, NetlistError> {
         match sop {
             Sop::Zero => {
                 // NOR(x, NOT x) would work, but a constant is cleaner.
@@ -507,33 +513,25 @@ mod tests {
         let gen = build_generator(&omega, l_g).expect("synthesis succeeds");
         let expect = omega[0].assignment.generate(l_g);
         let got = run(&gen, l_g);
-        for u in 0..l_g {
-            for i in 0..4 {
-                assert_eq!(
-                    got[u][i],
-                    Logic3::from(expect.value(u, i)),
-                    "cycle {u} output {i}"
-                );
+        for (u, row) in got.iter().enumerate() {
+            for (i, &g) in row.iter().enumerate().take(4) {
+                assert_eq!(g, Logic3::from(expect.value(u, i)), "cycle {u} output {i}");
             }
         }
     }
 
     #[test]
     fn multiple_assignments_switch_at_session_boundary() {
-        let omega = vec![
-            sel(&["01", "1"]),
-            sel(&["100", "0"]),
-            sel(&["1", "110"]),
-        ];
+        let omega = vec![sel(&["01", "1"]), sel(&["100", "0"]), sel(&["1", "110"])];
         let l_g = 7; // deliberately not a multiple of any subsequence length
         let gen = build_generator(&omega, l_g).expect("synthesis succeeds");
         let got = run(&gen, 3 * l_g);
         for (a, sel) in omega.iter().enumerate() {
             let expect = sel.assignment.generate(l_g);
             for u in 0..l_g {
-                for i in 0..2 {
+                for (i, &g) in got[a * l_g + u].iter().enumerate().take(2) {
                     assert_eq!(
-                        got[a * l_g + u][i],
+                        g,
                         Logic3::from(expect.value(u, i)),
                         "assignment {a} cycle {u} output {i}"
                     );
@@ -569,10 +567,10 @@ mod tests {
         let got = run_hybrid(&gen, 2 * l_g);
         let mut soft = wbist_atpg::Lfsr::new(width, 1);
         let expect = soft.parallel_sequence(4, 2 * l_g);
-        for u in 0..2 * l_g {
-            for i in 0..4 {
+        for (u, row) in got.iter().enumerate() {
+            for (i, &g) in row.iter().enumerate().take(4) {
                 assert_eq!(
-                    got[u][i],
+                    g,
                     Logic3::from(expect.value(u, i)),
                     "random cycle {u} input {i}"
                 );
@@ -589,9 +587,9 @@ mod tests {
         for (a, sel) in omega.iter().enumerate() {
             let expect = sel.assignment.generate(l_g);
             for u in 0..l_g {
-                for i in 0..4 {
+                for (i, &g) in got[(3 + a) * l_g + u].iter().enumerate().take(4) {
                     assert_eq!(
-                        got[(3 + a) * l_g + u][i],
+                        g,
                         Logic3::from(expect.value(u, i)),
                         "assignment {a} cycle {u} input {i}"
                     );

@@ -124,11 +124,7 @@ pub fn build_self_test(
             let (fi, oi) = bank
                 .locate(sub)
                 .expect("bank was built from these assignments");
-            terms.push(b.gate(
-                GateKind::And,
-                "mux",
-                &[decodes[a], fsm_outputs[fi][oi]],
-            )?);
+            terms.push(b.gate(GateKind::And, "mux", &[decodes[a], fsm_outputs[fi][oi]])?);
         }
         let out = if terms.len() == 1 {
             b.gate(GateKind::Buf, "stim", &terms)?
@@ -332,11 +328,7 @@ mod tests {
             translated += 1;
             let bad = sim.output_stream(Some(fault), &stim);
             let bad_sig = bad.last().expect("non-empty");
-            if golden_sig
-                .iter()
-                .zip(bad_sig)
-                .any(|(g, b)| g.conflicts(*b))
-            {
+            if golden_sig.iter().zip(bad_sig).any(|(g, b)| g.conflicts(*b)) {
                 flipped += 1;
             }
         }
@@ -362,7 +354,7 @@ mod tests {
             .expect("width matches");
         let last = outs.last().expect("non-empty");
         // s27's first cycles produce X on G17, so some stage is X.
-        assert!(last.iter().any(|v| *v == Logic3::X));
+        assert!(last.contains(&Logic3::X));
     }
 
     #[test]

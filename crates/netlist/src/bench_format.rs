@@ -92,10 +92,11 @@ pub fn parse(name: &str, src: &str) -> Result<Circuit, NetlistError> {
                     c.add_const(&lhs, upper == "CONST1")?;
                 }
                 _ => {
-                    let kind = GateKind::from_keyword(&upper).ok_or_else(|| NetlistError::Parse {
-                        line: line_no,
-                        message: format!("unknown gate keyword `{head}`"),
-                    })?;
+                    let kind =
+                        GateKind::from_keyword(&upper).ok_or_else(|| NetlistError::Parse {
+                            line: line_no,
+                            message: format!("unknown gate keyword `{head}`"),
+                        })?;
                     if args.is_empty() {
                         return Err(NetlistError::Parse {
                             line: line_no,
@@ -181,12 +182,7 @@ pub fn write(c: &Circuit) -> String {
     for idx in 0..c.num_nets() {
         let net = NetId::from_index(idx);
         if let Driver::Const(v) = c.driver(net) {
-            let _ = writeln!(
-                s,
-                "{} = CONST{}()",
-                c.net_name(net),
-                if v { 1 } else { 0 }
-            );
+            let _ = writeln!(s, "{} = CONST{}()", c.net_name(net), if v { 1 } else { 0 });
         }
     }
     s
@@ -233,7 +229,11 @@ y = XOR(g, b)
 
     #[test]
     fn comments_and_blanks_ignored() {
-        let c = parse("c", "  \n# hi\nINPUT(x) # trailing\nOUTPUT(y)\ny = NOT(x)\n").unwrap();
+        let c = parse(
+            "c",
+            "  \n# hi\nINPUT(x) # trailing\nOUTPUT(y)\ny = NOT(x)\n",
+        )
+        .unwrap();
         assert_eq!(c.num_gates(), 1);
     }
 

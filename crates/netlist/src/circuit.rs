@@ -266,8 +266,7 @@ impl Circuit {
     /// Panics if the name already has a driver; use [`Circuit::try_add_input`]
     /// to handle that case as an error.
     pub fn add_input(&mut self, name: &str) -> NetId {
-        self.try_add_input(name)
-            .expect("input net already driven")
+        self.try_add_input(name).expect("input net already driven")
     }
 
     /// Adds a primary input, failing if the net is already driven.

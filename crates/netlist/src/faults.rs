@@ -189,8 +189,9 @@ impl FaultList {
             n_pins += gate.inputs.len();
         }
         let stem_idx = |net: NetId, v: bool| net.index() * 2 + v as usize;
-        let pin_idx =
-            |g: GateId, pin: usize, v: bool| n_nets * 2 + (pin_base[g.index()] + pin) * 2 + v as usize;
+        let pin_idx = |g: GateId, pin: usize, v: bool| {
+            n_nets * 2 + (pin_base[g.index()] + pin) * 2 + v as usize
+        };
         let total = n_nets * 2 + n_pins * 2;
 
         let mut uf = UnionFind::new(total);

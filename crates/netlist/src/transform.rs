@@ -23,10 +23,7 @@ use crate::error::NetlistError;
 /// # Errors
 ///
 /// Returns [`NetlistError::UnknownNet`] if a line index is out of range.
-pub fn add_ideal_observation_points(
-    c: &Circuit,
-    lines: &[NetId],
-) -> Result<Circuit, NetlistError> {
+pub fn add_ideal_observation_points(c: &Circuit, lines: &[NetId]) -> Result<Circuit, NetlistError> {
     for &n in lines {
         if n.index() >= c.num_nets() {
             return Err(NetlistError::UnknownNet { index: n.index() });

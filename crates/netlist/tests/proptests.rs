@@ -17,10 +17,7 @@ struct Recipe {
 fn arb_recipe() -> impl Strategy<Value = Recipe> {
     (1usize..5, 0usize..4, 1usize..4).prop_flat_map(|(num_inputs, num_dffs, num_outputs)| {
         prop::collection::vec(
-            (
-                0u8..8,
-                prop::collection::vec(0usize..10_000, 1..4),
-            ),
+            (0u8..8, prop::collection::vec(0usize..10_000, 1..4)),
             num_outputs.max(num_dffs * 2).max(2)..24,
         )
         .prop_map(move |gates| Recipe {

@@ -59,9 +59,9 @@ impl<'c> EventSim<'c> {
         let mut nets: Vec<Logic3> = vec![Logic3::X; c.num_nets()];
         // Constants never change; set them once. Their fanout is woken on
         // the first cycle via `first` below.
-        for idx in 0..c.num_nets() {
+        for (idx, net) in nets.iter_mut().enumerate() {
             if let Driver::Const(v) = c.driver(NetId::from_index(idx)) {
-                nets[idx] = v.into();
+                *net = v.into();
             }
         }
         let mut state: Vec<Logic3> = vec![Logic3::X; c.num_dffs()];

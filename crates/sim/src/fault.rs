@@ -12,10 +12,26 @@
 //! planes after its driver is evaluated; a gate-pin fault forces the value
 //! seen by a single gate input; a DFF-data fault forces the value loaded
 //! into one flip-flop.
+//!
+//! # Threading model
+//!
+//! Fault batches are mutually independent — they share nothing but the
+//! (read-only) circuit and input sequence — so every public entry point
+//! fans its batches out over worker threads (`std::thread::scope`), with
+//! one net-plane scratch buffer per worker and the flip-flop planes owned
+//! per batch. Per-fault results are written to disjoint indices and
+//! merged in batch order after the join, so all outputs are bit-identical
+//! to the single-threaded path regardless of scheduling. The boolean
+//! early-exit queries ([`FaultSim::detects_any`],
+//! [`FaultSim::sample_detects`]) coordinate through an `AtomicBool`: the
+//! first worker to find a detection cancels the rest. Thread count is
+//! controlled by [`SimOptions::threads`] (default: all available cores).
 
 use crate::error::SimError;
 use crate::sequence::TestSequence;
 use std::collections::HashMap;
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, Ordering};
 use wbist_netlist::{Circuit, Driver, Fault, FaultList, FaultSite, GateKind, NetId};
 
 /// Two bit-planes encoding one net's value in 64 machines.
@@ -26,14 +42,8 @@ struct Planes {
 }
 
 impl Planes {
-    const ALL_ONE: Planes = Planes {
-        ones: !0,
-        zeros: 0,
-    };
-    const ALL_ZERO: Planes = Planes {
-        ones: 0,
-        zeros: !0,
-    };
+    const ALL_ONE: Planes = Planes { ones: !0, zeros: 0 };
+    const ALL_ZERO: Planes = Planes { ones: 0, zeros: !0 };
     const ALL_X: Planes = Planes { ones: 0, zeros: 0 };
 
     #[inline]
@@ -100,11 +110,32 @@ impl Planes {
     }
 }
 
+/// Simulation tuning knobs, shared by every [`FaultSim`] entry point.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimOptions {
+    /// Worker threads for batch-level parallelism. `None` uses every
+    /// available core; `Some(1)` forces the single-threaded path. The
+    /// count is always capped by the number of fault batches.
+    pub threads: Option<usize>,
+}
+
+impl SimOptions {
+    /// Options pinned to a fixed worker count.
+    pub fn with_threads(threads: usize) -> SimOptions {
+        SimOptions {
+            threads: Some(threads),
+        }
+    }
+}
+
 /// One batch of up to 63 faults sharing a simulation word.
 #[derive(Debug, Clone)]
 struct Batch {
     /// Global fault indices; fault `k` of the batch occupies bit `k + 1`.
     fault_indices: Vec<usize>,
+    /// Global fault index → its bit mask (the inverse of
+    /// `fault_indices`, for O(1) membership checks).
+    bit_index: HashMap<usize, u64>,
     /// Stem injections: net index → (force-1 mask, force-0 mask).
     stems: HashMap<u32, (u64, u64)>,
     /// Gate-pin injections: (gate index, pin) → masks.
@@ -122,14 +153,16 @@ impl Batch {
         debug_assert!(faults.len() <= 63);
         let mut b = Batch {
             fault_indices: faults.iter().map(|&(i, _)| i).collect(),
+            bit_index: HashMap::with_capacity(faults.len()),
             stems: HashMap::new(),
             pins: HashMap::new(),
             dffs: HashMap::new(),
             gate_has_pin_inj: vec![false; circuit.num_gates()],
             live: 0,
         };
-        for (k, &(_, f)) in faults.iter().enumerate() {
+        for (k, &(gi, f)) in faults.iter().enumerate() {
             let bit = 1u64 << (k + 1);
+            b.bit_index.insert(gi, bit);
             b.live |= bit;
             let (f1, f0) = if f.stuck { (bit, 0) } else { (0, bit) };
             match f.site {
@@ -159,10 +192,7 @@ impl Batch {
 
     /// Bit position (1–63) of a global fault index within this batch.
     fn bit_of(&self, global: usize) -> Option<u64> {
-        self.fault_indices
-            .iter()
-            .position(|&g| g == global)
-            .map(|k| 1u64 << (k + 1))
+        self.bit_index.get(&global).copied()
     }
 }
 
@@ -201,27 +231,43 @@ impl FaultSimState {
 
 /// Parallel-fault sequential stuck-at fault simulator.
 ///
-/// See the [module documentation](self) for the machine model and
-/// detection semantics.
+/// See the [module documentation](self) for the machine model, detection
+/// semantics, and threading model.
 #[derive(Debug, Clone)]
 pub struct FaultSim<'c> {
     circuit: &'c Circuit,
+    options: SimOptions,
 }
 
 impl<'c> FaultSim<'c> {
-    /// Creates a fault simulator for `circuit`.
+    /// Creates a fault simulator for `circuit` with default options
+    /// (threads: all available cores).
     ///
     /// # Panics
     ///
     /// Panics if the circuit has not been levelized.
     pub fn new(circuit: &'c Circuit) -> Self {
+        Self::with_options(circuit, SimOptions::default())
+    }
+
+    /// Creates a fault simulator with explicit [`SimOptions`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has not been levelized.
+    pub fn with_options(circuit: &'c Circuit, options: SimOptions) -> Self {
         assert!(circuit.is_levelized(), "circuit must be levelized");
-        FaultSim { circuit }
+        FaultSim { circuit, options }
     }
 
     /// The circuit being simulated.
     pub fn circuit(&self) -> &'c Circuit {
         self.circuit
+    }
+
+    /// The simulator's options.
+    pub fn options(&self) -> SimOptions {
+        self.options
     }
 
     fn check_width(&self, seq: &TestSequence) {
@@ -241,6 +287,70 @@ impl<'c> FaultSim<'c> {
         indexed
             .chunks(63)
             .map(|chunk| Batch::build(self.circuit, chunk))
+            .collect()
+    }
+
+    /// The worker count for `jobs` independent jobs.
+    fn thread_count(&self, jobs: usize) -> usize {
+        let hw = || {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        self.options
+            .threads
+            .unwrap_or_else(hw)
+            .clamp(1, jobs.max(1))
+    }
+
+    /// Runs `work` over every item, fanning out across worker threads.
+    ///
+    /// Items are distributed round-robin; each worker owns one net-plane
+    /// scratch buffer for its lifetime. Results are returned in item
+    /// order, so callers observe a deterministic merge no matter how the
+    /// items were scheduled.
+    fn scatter<I, R, F>(&self, items: Vec<I>, work: F) -> Vec<R>
+    where
+        I: Send,
+        R: Send,
+        F: Fn(I, &mut Vec<Planes>) -> R + Sync,
+    {
+        let threads = self.thread_count(items.len());
+        if threads <= 1 {
+            let mut nets = vec![Planes::ALL_X; self.circuit.num_nets()];
+            return items.into_iter().map(|it| work(it, &mut nets)).collect();
+        }
+        let n = items.len();
+        // Round-robin deal so neighbouring (similarly-sized) batches
+        // spread across workers.
+        let mut per_worker: Vec<Vec<(usize, I)>> = (0..threads).map(|_| Vec::new()).collect();
+        for (i, item) in items.into_iter().enumerate() {
+            per_worker[i % threads].push((i, item));
+        }
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let work = &work;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = per_worker
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let mut nets = vec![Planes::ALL_X; self.circuit.num_nets()];
+                        chunk
+                            .into_iter()
+                            .map(|(i, item)| (i, work(item, &mut nets)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, r) in handle.join().expect("sim worker panicked") {
+                    slots[i] = Some(r);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every item produces a result"))
             .collect()
     }
 
@@ -270,32 +380,34 @@ impl<'c> FaultSim<'c> {
     /// Panics if the sequence width does not match the circuit.
     pub fn advance(&self, state: &mut FaultSimState, seq: &TestSequence) -> usize {
         self.check_width(seq);
-        let mut newly = 0;
-        let mut nets = vec![Planes::ALL_X; self.circuit.num_nets()];
-        for (bi, batch) in state.batches.iter_mut().enumerate() {
-            if batch.live == 0 {
-                continue;
-            }
-            let ff = &mut state.ff[bi];
-            for u in 0..seq.len() {
-                let mut detected_now = 0u64;
-                step_batch(self.circuit, batch, seq.row(u), ff, &mut nets);
-                for o in self.circuit.observed_nets() {
-                    detected_now |= nets[o.index()].diff_from_good();
-                }
-                detected_now &= batch.live;
+        let circuit = self.circuit;
+        let jobs: Vec<(&mut Batch, &mut Vec<Planes>)> = state
+            .batches
+            .iter_mut()
+            .zip(state.ff.iter_mut())
+            .filter(|(batch, _)| batch.live != 0)
+            .collect();
+        let hits: Vec<Vec<usize>> = self.scatter(jobs, |(batch, ff), nets| {
+            let mut found = Vec::new();
+            simulate_batch(circuit, batch, seq, ff, nets, |u, batch, nets| {
+                let _ = u;
+                let detected_now = observed_diff(circuit, nets) & batch.live;
                 if detected_now != 0 {
-                    for (k, &gi) in batch.fault_indices.iter().enumerate() {
-                        if detected_now & (1u64 << (k + 1)) != 0 && !state.detected[gi] {
-                            state.detected[gi] = true;
-                            newly += 1;
-                        }
-                    }
+                    collect_hits(batch, detected_now, |gi| found.push(gi));
                     batch.live &= !detected_now;
                     if batch.live == 0 {
-                        break;
+                        return ControlFlow::Break(());
                     }
                 }
+                ControlFlow::Continue(())
+            });
+            found
+        });
+        let mut newly = 0;
+        for gi in hits.into_iter().flatten() {
+            if !state.detected[gi] {
+                state.detected[gi] = true;
+                newly += 1;
             }
         }
         state.elapsed += seq.len();
@@ -311,30 +423,27 @@ impl<'c> FaultSim<'c> {
     /// Panics if the sequence width does not match the circuit.
     pub fn detection_times(&self, faults: &FaultList, seq: &TestSequence) -> Vec<Option<usize>> {
         self.check_width(seq);
-        let mut times = vec![None; faults.len()];
-        let mut batches = self.make_batches(faults);
-        let mut nets = vec![Planes::ALL_X; self.circuit.num_nets()];
-        for batch in &mut batches {
-            let mut ff = vec![Planes::ALL_X; self.circuit.num_dffs()];
-            for u in 0..seq.len() {
-                if batch.live == 0 {
-                    break;
-                }
-                step_batch(self.circuit, batch, seq.row(u), &mut ff, &mut nets);
-                let mut detected_now = 0u64;
-                for o in self.circuit.observed_nets() {
-                    detected_now |= nets[o.index()].diff_from_good();
-                }
-                detected_now &= batch.live;
+        let circuit = self.circuit;
+        let batches = self.make_batches(faults);
+        let hits: Vec<Vec<(usize, usize)>> = self.scatter(batches, |mut batch, nets| {
+            let mut ff = vec![Planes::ALL_X; circuit.num_dffs()];
+            let mut found = Vec::new();
+            simulate_batch(circuit, &mut batch, seq, &mut ff, nets, |u, batch, nets| {
+                let detected_now = observed_diff(circuit, nets) & batch.live;
                 if detected_now != 0 {
-                    for (k, &gi) in batch.fault_indices.iter().enumerate() {
-                        if detected_now & (1u64 << (k + 1)) != 0 {
-                            times[gi] = Some(u);
-                        }
-                    }
+                    collect_hits(batch, detected_now, |gi| found.push((gi, u)));
                     batch.live &= !detected_now;
+                    if batch.live == 0 {
+                        return ControlFlow::Break(());
+                    }
                 }
-            }
+                ControlFlow::Continue(())
+            });
+            found
+        });
+        let mut times = vec![None; faults.len()];
+        for (gi, u) in hits.into_iter().flatten() {
+            times[gi] = Some(u);
         }
         times
     }
@@ -363,25 +472,37 @@ impl<'c> FaultSim<'c> {
     /// Returns `true` as soon as `seq` detects any fault of `faults`
     /// (early exit). Used for the paper's sample-first speedup.
     ///
+    /// The first worker thread to find a detection cancels the others
+    /// through a shared flag.
+    ///
     /// # Panics
     ///
     /// Panics if the sequence width does not match the circuit.
     pub fn detects_any(&self, faults: &FaultList, seq: &TestSequence) -> bool {
         self.check_width(seq);
-        let mut batches = self.make_batches(faults);
-        let mut nets = vec![Planes::ALL_X; self.circuit.num_nets()];
-        for batch in &mut batches {
-            let mut ff = vec![Planes::ALL_X; self.circuit.num_dffs()];
-            for u in 0..seq.len() {
-                step_batch(self.circuit, batch, seq.row(u), &mut ff, &mut nets);
-                for o in self.circuit.observed_nets() {
-                    if nets[o.index()].diff_from_good() & batch.live != 0 {
-                        return true;
-                    }
-                }
+        let circuit = self.circuit;
+        let batches = self.make_batches(faults);
+        let found = AtomicBool::new(false);
+        let hits: Vec<bool> = self.scatter(batches, |mut batch, nets| {
+            if found.load(Ordering::Relaxed) {
+                return false;
             }
-        }
-        false
+            let mut ff = vec![Planes::ALL_X; circuit.num_dffs()];
+            let mut hit = false;
+            simulate_batch(circuit, &mut batch, seq, &mut ff, nets, |_, batch, nets| {
+                if found.load(Ordering::Relaxed) {
+                    return ControlFlow::Break(());
+                }
+                if observed_diff(circuit, nets) & batch.live != 0 {
+                    hit = true;
+                    found.store(true, Ordering::Relaxed);
+                    return ControlFlow::Break(());
+                }
+                ControlFlow::Continue(())
+            });
+            hit
+        });
+        hits.into_iter().any(|h| h)
     }
 
     /// For every fault, the set of nets on which the faulty machine differs
@@ -394,27 +515,37 @@ impl<'c> FaultSim<'c> {
     /// Panics if the sequence width does not match the circuit.
     pub fn observable_lines(&self, faults: &FaultList, seq: &TestSequence) -> Vec<Vec<NetId>> {
         self.check_width(seq);
+        let circuit = self.circuit;
         let batches = self.make_batches(faults);
-        let mut result = vec![Vec::new(); faults.len()];
-        let mut nets = vec![Planes::ALL_X; self.circuit.num_nets()];
-        for batch in &batches {
-            let mut ff = vec![Planes::ALL_X; self.circuit.num_dffs()];
+        let per_batch: Vec<Vec<(usize, Vec<NetId>)>> = self.scatter(batches, |mut batch, nets| {
+            let mut ff = vec![Planes::ALL_X; circuit.num_dffs()];
             // Accumulated difference mask per net.
-            let mut acc = vec![0u64; self.circuit.num_nets()];
-            for u in 0..seq.len() {
-                step_batch(self.circuit, batch, seq.row(u), &mut ff, &mut nets);
-                for (n, planes) in nets.iter().enumerate() {
-                    acc[n] |= planes.diff_from_good();
+            let mut acc = vec![0u64; circuit.num_nets()];
+            simulate_batch(circuit, &mut batch, seq, &mut ff, nets, |_, _, nets| {
+                for (a, planes) in acc.iter_mut().zip(nets) {
+                    *a |= planes.diff_from_good();
                 }
-            }
-            for (k, &gi) in batch.fault_indices.iter().enumerate() {
-                let bit = 1u64 << (k + 1);
-                for (n, &mask) in acc.iter().enumerate() {
-                    if mask & bit != 0 {
-                        result[gi].push(NetId::from_index(n));
-                    }
-                }
-            }
+                ControlFlow::Continue(())
+            });
+            batch
+                .fault_indices
+                .iter()
+                .enumerate()
+                .map(|(k, &gi)| {
+                    let bit = 1u64 << (k + 1);
+                    let lines = acc
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &mask)| mask & bit != 0)
+                        .map(|(n, _)| NetId::from_index(n))
+                        .collect();
+                    (gi, lines)
+                })
+                .collect()
+        });
+        let mut result = vec![Vec::new(); faults.len()];
+        for (gi, lines) in per_batch.into_iter().flatten() {
+            result[gi] = lines;
         }
         result
     }
@@ -434,40 +565,96 @@ impl<'c> FaultSim<'c> {
         seq: &TestSequence,
     ) -> bool {
         self.check_width(seq);
-        let mut nets = vec![Planes::ALL_X; self.circuit.num_nets()];
-        for (bi, batch) in state.batches.iter().enumerate() {
-            let mut wanted = 0u64;
-            for &gi in sample {
-                if let Some(bit) = batch.bit_of(gi) {
-                    wanted |= bit;
-                }
-            }
-            wanted &= batch.live;
-            if wanted == 0 {
-                continue;
-            }
-            let mut ff = state.ff[bi].clone();
-            for u in 0..seq.len() {
-                step_batch(self.circuit, batch, seq.row(u), &mut ff, &mut nets);
-                for o in self.circuit.observed_nets() {
-                    if nets[o.index()].diff_from_good() & wanted != 0 {
-                        return true;
+        let circuit = self.circuit;
+        // Only batches carrying a live sampled fault need simulating.
+        let jobs: Vec<(usize, u64)> = state
+            .batches
+            .iter()
+            .enumerate()
+            .filter_map(|(bi, batch)| {
+                let mut wanted = 0u64;
+                for &gi in sample {
+                    if let Some(bit) = batch.bit_of(gi) {
+                        wanted |= bit;
                     }
                 }
+                wanted &= batch.live;
+                (wanted != 0).then_some((bi, wanted))
+            })
+            .collect();
+        let found = AtomicBool::new(false);
+        let hits: Vec<bool> = self.scatter(jobs, |(bi, wanted), nets| {
+            if found.load(Ordering::Relaxed) {
+                return false;
             }
+            let mut batch = state.batches[bi].clone();
+            let mut ff = state.ff[bi].clone();
+            let mut hit = false;
+            simulate_batch(circuit, &mut batch, seq, &mut ff, nets, |_, _, nets| {
+                if found.load(Ordering::Relaxed) {
+                    return ControlFlow::Break(());
+                }
+                if observed_diff(circuit, nets) & wanted != 0 {
+                    hit = true;
+                    found.store(true, Ordering::Relaxed);
+                    return ControlFlow::Break(());
+                }
+                ControlFlow::Continue(())
+            });
+            hit
+        });
+        hits.into_iter().any(|h| h)
+    }
+}
+
+/// OR of `diff_from_good` over the observed nets (primary outputs plus
+/// observation points).
+#[inline]
+fn observed_diff(c: &Circuit, nets: &[Planes]) -> u64 {
+    let mut mask = 0u64;
+    for o in c.observed_nets() {
+        mask |= nets[o.index()].diff_from_good();
+    }
+    mask
+}
+
+/// Reports every set bit of `detected_now` as its global fault index.
+#[inline]
+fn collect_hits(batch: &Batch, detected_now: u64, mut report: impl FnMut(usize)) {
+    for (k, &gi) in batch.fault_indices.iter().enumerate() {
+        if detected_now & (1u64 << (k + 1)) != 0 {
+            report(gi);
         }
-        false
+    }
+}
+
+/// The shared per-batch kernel: drives one batch through `seq`, invoking
+/// `sink` after every evaluated cycle with the cycle index, the batch
+/// (mutable, so sinks can drop detected faults from `live`), and the net
+/// planes. The sink returns [`ControlFlow::Break`] to stop early.
+///
+/// The `nets` scratch is reset to all-`X` on entry, so stale planes can
+/// never leak between batches (see the module docs); `ff` is the batch's
+/// persistent flip-flop state and is left at the final cycle's values.
+fn simulate_batch(
+    circuit: &Circuit,
+    batch: &mut Batch,
+    seq: &TestSequence,
+    ff: &mut [Planes],
+    nets: &mut [Planes],
+    mut sink: impl FnMut(usize, &mut Batch, &[Planes]) -> ControlFlow<()>,
+) {
+    nets.fill(Planes::ALL_X);
+    for u in 0..seq.len() {
+        step_batch(circuit, batch, seq.row(u), ff, nets);
+        if sink(u, batch, nets).is_break() {
+            return;
+        }
     }
 }
 
 /// Evaluates one clock cycle for one batch.
-fn step_batch(
-    c: &Circuit,
-    batch: &Batch,
-    row: &[bool],
-    ff: &mut [Planes],
-    nets: &mut [Planes],
-) {
+fn step_batch(c: &Circuit, batch: &Batch, row: &[bool], ff: &mut [Planes], nets: &mut [Planes]) {
     // Sources.
     for (pi_idx, &net) in c.inputs().iter().enumerate() {
         nets[net.index()] = Planes::broadcast(row[pi_idx]);
@@ -475,9 +662,9 @@ fn step_batch(
     for (k, dff) in c.dffs().iter().enumerate() {
         nets[dff.q.index()] = ff[k];
     }
-    for idx in 0..c.num_nets() {
+    for (idx, net) in nets.iter_mut().enumerate() {
         if let Driver::Const(v) = c.driver(NetId::from_index(idx)) {
-            nets[idx] = Planes::broadcast(v);
+            *net = Planes::broadcast(v);
         }
     }
     // Stem injections on sources (gate-output stems are injected right
@@ -724,5 +911,95 @@ mod tests {
         let faults = FaultList::checkpoints(&c);
         let seq = TestSequence::parse_rows(&["000"]).unwrap();
         FaultSim::new(&c).detected(&faults, &seq);
+    }
+
+    /// A circuit big enough to span several 63-fault batches.
+    fn multi_batch() -> (Circuit, FaultList) {
+        let mut text = String::from("INPUT(a)\nINPUT(b)\nINPUT(c)\n");
+        text.push_str("g0 = NAND(a, b)\n");
+        for i in 1..60 {
+            text.push_str(&format!("g{i} = NAND(g{}, c)\n", i - 1));
+        }
+        text.push_str("q = DFF(g59)\ng60 = XOR(q, a)\nOUTPUT(g60)\n");
+        let c = bench_format::parse("chain", &text).unwrap();
+        let faults = FaultList::all_lines(&c);
+        assert!(faults.len() > 126, "need at least 3 batches");
+        (c, faults)
+    }
+
+    fn walk_sequence(len: usize) -> TestSequence {
+        let rows: Vec<Vec<bool>> = (0..len)
+            .map(|u| vec![u % 2 == 0, u % 3 == 0, u % 5 != 0])
+            .collect();
+        TestSequence::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn thread_counts_agree_on_multi_batch_circuit() {
+        let (c, faults) = multi_batch();
+        let seq = walk_sequence(48);
+        let serial = FaultSim::with_options(&c, SimOptions::with_threads(1));
+        let threaded = FaultSim::with_options(&c, SimOptions::with_threads(4));
+        assert_eq!(
+            serial.detection_times(&faults, &seq),
+            threaded.detection_times(&faults, &seq)
+        );
+        assert_eq!(
+            serial.observable_lines(&faults, &seq),
+            threaded.observable_lines(&faults, &seq)
+        );
+        assert_eq!(
+            serial.detects_any(&faults, &seq),
+            threaded.detects_any(&faults, &seq)
+        );
+        let mut st_a = serial.begin(&faults);
+        let mut st_b = threaded.begin(&faults);
+        for cut in [5usize, 17, 48] {
+            let part = seq.slice(cut.saturating_sub(12)..cut);
+            assert_eq!(
+                serial.advance(&mut st_a, &part),
+                threaded.advance(&mut st_b, &part)
+            );
+            assert_eq!(st_a.detected(), st_b.detected());
+        }
+    }
+
+    #[test]
+    fn sample_detects_agrees_across_thread_counts() {
+        let (c, faults) = multi_batch();
+        let seq = walk_sequence(32);
+        let serial = FaultSim::with_options(&c, SimOptions::with_threads(1));
+        let threaded = FaultSim::with_options(&c, SimOptions::with_threads(4));
+        let st = serial.begin(&faults);
+        // Samples across different batches, including none.
+        for sample in [
+            vec![],
+            vec![0],
+            vec![1, 64, 127],
+            (0..faults.len()).collect(),
+        ] {
+            assert_eq!(
+                serial.sample_detects(&st, &sample, &seq),
+                threaded.sample_detects(&st, &sample, &seq),
+                "sample {sample:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_is_reset_between_batches() {
+        // Two single-batch runs through the same simulator must not
+        // observe each other's planes: simulate a detecting sequence,
+        // then an all-zero sequence, and require identical results to a
+        // fresh simulator (this failed before per-batch resets when a
+        // net was not rewritten by step_batch).
+        let (c, faults) = multi_batch();
+        let sim = FaultSim::new(&c);
+        let hot = walk_sequence(16);
+        let cold = TestSequence::from_rows(vec![vec![false; 3]; 4]).unwrap();
+        let _ = sim.detection_times(&faults, &hot);
+        let after = sim.detection_times(&faults, &cold);
+        let fresh = FaultSim::new(&c).detection_times(&faults, &cold);
+        assert_eq!(after, fresh);
     }
 }

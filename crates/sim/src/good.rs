@@ -146,9 +146,9 @@ fn step(c: &Circuit, row: &[bool], state: &mut [Logic3], nets: &mut [Logic3]) {
     for (k, dff) in c.dffs().iter().enumerate() {
         nets[dff.q.index()] = state[k];
     }
-    for idx in 0..c.num_nets() {
+    for (idx, net) in nets.iter_mut().enumerate() {
         if let Driver::Const(v) = c.driver(wbist_netlist::NetId::from_index(idx)) {
-            nets[idx] = v.into();
+            *net = v.into();
         }
     }
     // Combinational core in topological order.

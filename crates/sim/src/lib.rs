@@ -50,7 +50,7 @@ pub mod vcd;
 
 pub use error::SimError;
 pub use event::EventSim;
-pub use fault::{FaultSim, FaultSimState};
+pub use fault::{FaultSim, FaultSimState, SimOptions};
 pub use good::{LogicSim, SimTrace};
 pub use logic::Logic3;
 pub use misr::Misr;

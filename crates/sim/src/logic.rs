@@ -118,7 +118,7 @@ impl fmt::Display for Logic3 {
 
 #[cfg(test)]
 mod tests {
-    use super::Logic3::{One, X, Zero};
+    use super::Logic3::{One, Zero, X};
     use super::*;
 
     const ALL: [Logic3; 3] = [Zero, One, X];

@@ -121,7 +121,7 @@ impl Misr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use Logic3::{One, X, Zero};
+    use Logic3::{One, Zero, X};
 
     fn absorb_all(misr: &mut Misr, rows: &[Vec<Logic3>]) {
         for r in rows {

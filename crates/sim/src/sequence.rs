@@ -143,10 +143,7 @@ impl TestSequence {
     ///
     /// Panics if the input widths differ.
     pub fn append(&mut self, other: &TestSequence) {
-        assert_eq!(
-            other.num_inputs, self.num_inputs,
-            "sequence width mismatch"
-        );
+        assert_eq!(other.num_inputs, self.num_inputs, "sequence width mismatch");
         self.bits.extend_from_slice(&other.bits);
     }
 

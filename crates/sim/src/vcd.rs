@@ -66,11 +66,11 @@ pub fn trace_to_vcd(circuit: &Circuit, trace: &SimTrace, scope: &str) -> String 
         if u == 0 {
             let _ = writeln!(out, "$dumpvars");
         }
-        for idx in 0..circuit.num_nets() {
+        for (idx, p) in prev.iter_mut().enumerate() {
             let v = trace.value(u, NetId::from_index(idx));
-            if prev[idx] != Some(v) {
+            if *p != Some(v) {
                 let _ = writeln!(out, "{}{}", ch(v), ident(idx));
-                prev[idx] = Some(v);
+                *p = Some(v);
             }
         }
         if u == 0 {
@@ -121,7 +121,10 @@ mod tests {
         let trace = LogicSim::new(&c).trace(&seq).unwrap();
         let vcd = trace_to_vcd(&c, &trace, "k");
         // `a` (ident '!') changes at t0 and t3 only.
-        let changes = vcd.lines().filter(|l| l.ends_with('!') && l.len() == 2).count();
+        let changes = vcd
+            .lines()
+            .filter(|l| l.ends_with('!') && l.len() == 2)
+            .count();
         assert_eq!(changes, 2, "{vcd}");
     }
 

@@ -1,0 +1,217 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements the subset of criterion's 0.5 API the workspace's
+//! benches use: [`Criterion::bench_function`], benchmark groups with
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is real (median of wall-clock samples after a warm-up)
+//! but intentionally simple: there is no outlier analysis, plotting, or
+//! baseline persistence. Environment knobs:
+//!
+//! * `WBIST_BENCH_WARMUP_MS` — warm-up per benchmark (default 200),
+//! * `WBIST_BENCH_MEASURE_MS` — measurement per benchmark (default 600).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn env_ms(key: &str, default: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(key)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default),
+    )
+}
+
+/// Times closures handed to `Bencher::iter`.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Bencher {
+    /// Measures `f`, collecting per-iteration wall-clock samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, and calibrate the batch size to make one batch last
+        // roughly a millisecond so Instant overhead stays negligible.
+        let warm_start = Instant::now();
+        let mut iters_done: u64 = 0;
+        while warm_start.elapsed() < self.warmup {
+            black_box(f());
+            iters_done += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters_done.max(1) as f64;
+        let batch = (1e-3 / per_iter.max(1e-9)).clamp(1.0, 1e6) as u64;
+
+        let run_start = Instant::now();
+        while run_start.elapsed() < self.measure {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed() / batch as u32);
+        }
+    }
+
+    fn report(&mut self, label: &str) {
+        if self.samples.is_empty() {
+            println!("{label:<60} (no samples)");
+            return;
+        }
+        self.samples.sort();
+        let median = self.samples[self.samples.len() / 2];
+        let lo = self.samples[self.samples.len() / 20];
+        let hi = self.samples[self.samples.len() - 1 - self.samples.len() / 20];
+        println!(
+            "{label:<60} time: [{} {} {}]",
+            fmt_duration(lo),
+            fmt_duration(median),
+            fmt_duration(hi)
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Identifier of one benchmark within a group (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just a parameter, no function name.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: env_ms("WBIST_BENCH_WARMUP_MS", 200),
+            measure: env_ms("WBIST_BENCH_MEASURE_MS", 600),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            warmup: self.warmup,
+            measure: self.measure,
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling here is time-bounded, so
+    /// the requested sample count is ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        let group = &self.name;
+        let _ = group;
+        self.criterion.bench_function(&label, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.bench_function(&label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

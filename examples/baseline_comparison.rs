@@ -72,14 +72,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let random = baseline::pure_random_coverage(&circuit, &faults, &[budget], 0xACE1)[0].1;
     let weighted = baseline::weighted_random_coverage(&circuit, &faults, t, budget, 11);
-    let three = baseline::three_weight_coverage(
-        &circuit,
-        &faults,
-        t,
-        8,
-        budget / pruned.len().max(1),
-        11,
-    );
+    let three =
+        baseline::three_weight_coverage(&circuit, &faults, t, 8, budget / pruned.len().max(1), 11);
 
     println!("circuit {}: {} target faults", circuit.name(), faults.len());
     println!("cycle budget for every scheme: {budget} clock cycles\n");

@@ -6,9 +6,7 @@
 //! ```
 
 use wbist::circuits::s27;
-use wbist::core::{
-    run_bist_session, synthesize_weighted_bist, SessionConfig, SynthesisConfig,
-};
+use wbist::core::{run_bist_session, synthesize_weighted_bist, SessionConfig, SynthesisConfig};
 use wbist::netlist::FaultList;
 
 fn main() {
@@ -43,6 +41,7 @@ fn main() {
                     misr_width,
                     sequence_length: l_g,
                     capture_from,
+                    ..SessionConfig::default()
                 },
             );
             println!(

@@ -55,7 +55,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         atpg.sequence.len(),
         100.0 * atpg.coverage()
     );
-    let t = compact(&circuit, &faults, &atpg.sequence, &CompactionConfig::default());
+    let t = compact(
+        &circuit,
+        &faults,
+        &atpg.sequence,
+        &CompactionConfig::default(),
+    );
     println!("after static compaction: {} vectors", t.len());
 
     // Weighted BIST synthesis.

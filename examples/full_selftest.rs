@@ -47,15 +47,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let outs = LogicSim::new(&design.circuit).outputs(&stim)?;
     let golden: Vec<_> = outs.last().expect("non-empty").clone();
     let text: String = golden.iter().map(|v| v.to_string()).collect();
-    println!("\ngolden signature after {} cycles: {text}", design.total_cycles);
-    assert!(golden.iter().all(|v| v.is_known()), "capture gating keeps X out");
+    println!(
+        "\ngolden signature after {} cycles: {text}",
+        design.total_cycles
+    );
+    assert!(
+        golden.iter().all(|v| v.is_known()),
+        "capture gating keeps X out"
+    );
 
     // Inject every stem fault of the CUT into the fused netlist.
     let sim = SerialFaultSim::new(&design.circuit);
     let mut flipped = 0usize;
     let mut total = 0usize;
     for f in &faults {
-        let FaultSite::Stem(net) = f.site else { continue };
+        let FaultSite::Stem(net) = f.site else {
+            continue;
+        };
         let fault = Fault {
             site: FaultSite::Stem(design.cut_nets[cut.net_name(net)]),
             stuck: f.stuck,

@@ -60,8 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (a, sel) in omega.iter().enumerate() {
         let expect = sel.assignment.generate(l_g);
         for u in 0..l_g {
-            for i in 0..4 {
-                let got = outs[1 + a * l_g + u][i];
+            for (i, &got) in outs[1 + a * l_g + u].iter().enumerate().take(4) {
                 assert_eq!(
                     got,
                     Logic3::from(expect.value(u, i)),

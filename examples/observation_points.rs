@@ -10,9 +10,9 @@
 //! observation points; the last row reaches 100% fault efficiency with
 //! none.
 
+use wbist::atpg::{AtpgConfig, SequenceAtpg};
 use wbist::circuits::SyntheticSpec;
 use wbist::core::{observation_point_tradeoff, synthesize_weighted_bist, SynthesisConfig};
-use wbist::atpg::{AtpgConfig, SequenceAtpg};
 use wbist::netlist::FaultList;
 
 fn main() {
@@ -31,7 +31,10 @@ fn main() {
         ..SynthesisConfig::default()
     };
     let result = synthesize_weighted_bist(&circuit, &atpg.sequence, &faults, &cfg);
-    println!("Ω holds {} weight assignments before pruning\n", result.omega.len());
+    println!(
+        "Ω holds {} weight assignments before pruning\n",
+        result.omega.len()
+    );
 
     let tr = observation_point_tradeoff(&circuit, &faults, &result.omega, cfg.sequence_length);
     println!("seq   sub   len    f.e.   obs    f.e.(obs)");
@@ -51,11 +54,7 @@ fn main() {
 
     // Show where the observation points of the first ≥99% row would go.
     if let Some(row) = tr.rows.iter().find(|r| r.fe_with_obs >= 99.0) {
-        let names: Vec<&str> = row
-            .obs_lines
-            .iter()
-            .map(|&n| circuit.net_name(n))
-            .collect();
+        let names: Vec<&str> = row.obs_lines.iter().map(|&n| circuit.net_name(n)).collect();
         println!(
             "\nfirst ≥99% row uses {} assignments + {} observation points: {:?}",
             row.num_assignments, row.num_obs, names

@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    sequence; for your circuit, produce one with `wbist::atpg`.
     let t = s27::paper_test_sequence();
     let det = FaultSim::new(&circuit).count_detected(&faults, &t);
-    println!("deterministic sequence: {} vectors, detects {det} faults", t.len());
+    println!(
+        "deterministic sequence: {} vectors, detects {det} faults",
+        t.len()
+    );
 
     // 3. Synthesize the weighted BIST scheme.
     let cfg = SynthesisConfig {

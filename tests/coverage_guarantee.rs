@@ -43,13 +43,16 @@ fn check_guarantee(circuit: &Circuit, l_g: usize) {
     let sim = FaultSim::new(circuit);
     let mut detected = vec![false; faults.len()];
     for sel in &pruned {
-        for (d, f) in detected.iter_mut().zip(sim.detected(&faults, &sel.sequence(l_g))) {
+        for (d, f) in detected
+            .iter_mut()
+            .zip(sim.detected(&faults, &sel.sequence(l_g)))
+        {
             *d |= f;
         }
     }
-    for i in 0..faults.len() {
-        if result.target[i] {
-            assert!(detected[i], "{}: pruning lost a fault", circuit.name());
+    for (&target, &hit) in result.target.iter().zip(&detected) {
+        if target {
+            assert!(hit, "{}: pruning lost a fault", circuit.name());
         }
     }
 

@@ -50,7 +50,13 @@ fn simulator_rejects_wrong_width() {
     let c = wbist::circuits::s27::circuit();
     let seq = TestSequence::parse_rows(&["01"]).expect("valid rows");
     let err = LogicSim::new(&c).outputs(&seq).unwrap_err();
-    assert!(matches!(err, SimError::InputWidthMismatch { circuit: 4, sequence: 2 }));
+    assert!(matches!(
+        err,
+        SimError::InputWidthMismatch {
+            circuit: 4,
+            sequence: 2
+        }
+    ));
     assert!(err.to_string().contains("4"));
 }
 

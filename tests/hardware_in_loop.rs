@@ -50,9 +50,9 @@ fn generator_streams_match_weighted_sequences() {
     for (a, sel) in pruned.iter().enumerate() {
         let expect = sel.sequence(l_g);
         for u in 0..l_g {
-            for i in 0..4 {
+            for (i, &got) in outs[a * l_g + u].iter().enumerate().take(4) {
                 assert_eq!(
-                    outs[a * l_g + u][i],
+                    got,
                     Logic3::from(expect.value(u, i)),
                     "assignment {a} cycle {u} input {i}"
                 );
@@ -73,7 +73,10 @@ fn generator_driven_bist_session_reaches_guaranteed_coverage() {
         .iter()
         .map(|row| {
             row.iter()
-                .map(|v| v.to_bool().expect("generator outputs are binary after reset"))
+                .map(|v| {
+                    v.to_bool()
+                        .expect("generator outputs are binary after reset")
+                })
                 .collect()
         })
         .collect();

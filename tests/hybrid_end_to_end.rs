@@ -40,9 +40,9 @@ fn hybrid_session_reaches_guaranteed_coverage_through_hardware() {
     // Hardware random phase == software random phase, bit for bit.
     for (k, seq) in r.random_sequences.iter().enumerate() {
         for u in 0..l_g {
-            for i in 0..4 {
+            for (i, &got) in outs[1 + k * l_g + u].iter().enumerate().take(4) {
                 assert_eq!(
-                    outs[1 + k * l_g + u][i],
+                    got,
                     Logic3::from(seq.value(u, i)),
                     "random session {k} cycle {u} input {i}"
                 );

@@ -35,8 +35,7 @@ fn xor_tree_detects_with_possible_masking() {
     // Pick two internal lines; compare ideal vs XOR-tree observation.
     let g8 = c.net_by_name("G8").expect("s27 net");
     let g12 = c.net_by_name("G12").expect("s27 net");
-    let ideal =
-        transform::add_ideal_observation_points(&c, &[g8, g12]).expect("valid lines");
+    let ideal = transform::add_ideal_observation_points(&c, &[g8, g12]).expect("valid lines");
     let tree = transform::add_xor_observation_tree(&c, &[g8, g12]).expect("valid lines");
 
     let ideal_cov = FaultSim::new(&ideal).count_detected(&faults, &seq);
@@ -46,7 +45,10 @@ fn xor_tree_detects_with_possible_masking() {
     // The XOR tree can mask (even number of simultaneous errors) but
     // never observes less than the raw outputs.
     assert!(tree_cov >= base_cov);
-    assert!(ideal_cov >= tree_cov, "ideal observation dominates the tree");
+    assert!(
+        ideal_cov >= tree_cov,
+        "ideal observation dominates the tree"
+    );
 }
 
 #[test]
@@ -101,9 +103,9 @@ fn sequential_detection_implies_scan_detection_possible() {
         }
         // Translate DFF-data faults like the scan baseline does.
         let site = match f.site {
-            wbist::netlist::FaultSite::DffData(k) => wbist::netlist::FaultSite::Stem(
-                c.dffs()[k].d.expect("levelized"),
-            ),
+            wbist::netlist::FaultSite::DffData(k) => {
+                wbist::netlist::FaultSite::Stem(c.dffs()[k].d.expect("levelized"))
+            }
             other => other,
         };
         let tf = wbist::netlist::Fault {

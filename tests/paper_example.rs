@@ -54,10 +54,10 @@ fn section3_derivation_example() {
     // §3: u = 8, L_S = 4 derives 0110 / 0000 / 0100 / 0110.
     let t = s27::paper_test_sequence();
     let expect = ["0110", "0000", "0100", "0110"];
-    for i in 0..4 {
+    for (i, want) in expect.iter().enumerate() {
         let track = t.input_track(i);
         let a = Subsequence::derive(&track, 8, 4);
-        assert_eq!(a.to_string(), expect[i], "input {i}");
+        assert_eq!(a.to_string(), *want, "input {i}");
     }
 }
 
@@ -112,11 +112,7 @@ fn table2_weighted_sequence_and_detections() {
 
     let w1 = WeightAssignment::new(vec![sub("100"), sub("00"), sub("01"), sub("100")]);
     let d1 = sim.detected(&faults, &w1.generate(12));
-    let cumulative = d0
-        .iter()
-        .zip(&d1)
-        .filter(|&(&a, &b)| a || b)
-        .count();
+    let cumulative = d0.iter().zip(&d1).filter(|&(&a, &b)| a || b).count();
     assert_eq!(cumulative, 13, "both assignments together detect 13");
 }
 

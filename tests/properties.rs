@@ -6,7 +6,7 @@ use wbist::circuits::SyntheticSpec;
 use wbist::core::{Subsequence, WeightAssignment};
 use wbist::hw::{minimize, FsmBank, Sop};
 use wbist::netlist::{bench_format, FaultList};
-use wbist::sim::FaultSim;
+use wbist::sim::{FaultSim, SerialFaultSim, SimOptions};
 
 fn arb_subsequence(max_len: usize) -> impl Strategy<Value = Subsequence> {
     prop::collection::vec(any::<bool>(), 1..=max_len).prop_map(Subsequence::new)
@@ -174,5 +174,54 @@ proptest! {
         sim.advance(&mut st, &seq.slice(0..cut));
         sim.advance(&mut st, &seq.slice(cut..seq.len()));
         prop_assert_eq!(st.detected(), &oneshot[..]);
+    }
+
+    /// The parallel engine's detection times agree exactly with the
+    /// serial oracle, at one worker thread and at four. The circuit is
+    /// big enough that its fault list spans several 63-fault batches.
+    #[test]
+    fn parallel_engine_equals_serial_oracle(seed in any::<u64>()) {
+        let c = SyntheticSpec::new("par", 6, 4, 5, 60, seed % 16).build();
+        let faults = FaultList::checkpoints(&c);
+        prop_assert!(faults.len() > 63, "fault list must span batches");
+        let seq = Lfsr::new(19, (seed % 5000) as u32 + 7).sequence(6, 48);
+        let oracle = SerialFaultSim::new(&c);
+        let expect: Vec<Option<usize>> = faults
+            .faults()
+            .iter()
+            .map(|&f| oracle.detection_time(f, &seq))
+            .collect();
+        for threads in [1usize, 4] {
+            let sim = FaultSim::with_options(&c, SimOptions::with_threads(threads));
+            prop_assert_eq!(
+                sim.detection_times(&faults, &seq),
+                expect.clone(),
+                "thread count {}",
+                threads
+            );
+        }
+    }
+
+    /// Chunked `advance` equals one-shot simulation at arbitrary split
+    /// points, independent of the worker-thread count.
+    #[test]
+    fn chunked_advance_is_thread_invariant(
+        seed in any::<u64>(),
+        cut_a in 1usize..32,
+        cut_b in 32usize..63,
+    ) {
+        let c = SyntheticSpec::new("chk", 6, 4, 5, 60, seed % 16).build();
+        let faults = FaultList::checkpoints(&c);
+        let seq = Lfsr::new(21, (seed % 3000) as u32 + 11).sequence(6, 64);
+        let oneshot = FaultSim::new(&c).detected(&faults, &seq);
+        for threads in [1usize, 4] {
+            let sim = FaultSim::with_options(&c, SimOptions::with_threads(threads));
+            let mut st = sim.begin(&faults);
+            sim.advance(&mut st, &seq.slice(0..cut_a));
+            sim.advance(&mut st, &seq.slice(cut_a..cut_b));
+            sim.advance(&mut st, &seq.slice(cut_b..seq.len()));
+            prop_assert_eq!(st.detected(), &oneshot[..], "thread count {}", threads);
+            prop_assert_eq!(st.elapsed(), seq.len());
+        }
     }
 }
