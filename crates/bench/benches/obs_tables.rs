@@ -6,12 +6,16 @@ use wbist_bench::{obs_table, run_named, PipelineConfig};
 
 fn bench_obs(c: &mut Criterion) {
     let run = run_named("s27", &PipelineConfig::fast()).expect("s27 exists");
-    c.bench_function("obs_tradeoff_s27", |b| b.iter(|| obs_table(&run)));
+    c.bench_function("obs_tradeoff_s27", |b| {
+        b.iter(|| obs_table(&run, &Default::default()))
+    });
 
     let run298 = run_named("s298", &PipelineConfig::fast()).expect("s298 exists");
     let mut group = c.benchmark_group("obs_tradeoff_s298");
     group.sample_size(10);
-    group.bench_function("full", |b| b.iter(|| obs_table(&run298)));
+    group.bench_function("full", |b| {
+        b.iter(|| obs_table(&run298, &Default::default()))
+    });
     group.finish();
 }
 

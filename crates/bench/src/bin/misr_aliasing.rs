@@ -52,7 +52,7 @@ fn main() {
                         misr_width,
                         sequence_length: run.synthesis.sequence_length.min(256),
                         capture_from,
-                        sim: cfg.sim,
+                        run: cfg.run.clone(),
                     },
                 );
                 println!(

@@ -51,7 +51,7 @@ fn main() {
             eprintln!("  unknown circuit `{name}`, skipping");
             continue;
         };
-        let mut tr = obs_table(&run);
+        let mut tr = obs_table(&run, &cfg.run);
         if !all_rows {
             // The paper only reports rows whose final fault efficiency is
             // at least 99%.

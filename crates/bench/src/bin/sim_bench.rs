@@ -19,7 +19,7 @@ use wbist_atpg::Lfsr;
 use wbist_bench::Json;
 use wbist_circuits::synthetic;
 use wbist_netlist::FaultList;
-use wbist_sim::{FaultSim, SimOptions};
+use wbist_sim::{FaultSim, SimOptions, Telemetry};
 
 fn parse_list(s: &str) -> Vec<String> {
     s.split(',')
@@ -78,6 +78,12 @@ fn main() {
             // Warm up once, then keep the fastest of `reps` runs — the
             // usual least-noise estimator for throughput numbers.
             let detected = sim.count_detected(&faults, &seq);
+            // One untimed instrumented run attributes the work: actual
+            // cycles simulated (early exits included), batches, drops.
+            let tel = Telemetry::enabled();
+            let attributed = FaultSim::with_options(&circuit, SimOptions::with_threads(t))
+                .telemetry(tel.clone());
+            std::hint::black_box(attributed.count_detected(&faults, &seq));
             let secs = (0..reps)
                 .map(|_| {
                     let start = Instant::now();
@@ -103,6 +109,9 @@ fn main() {
                 ("seconds", secs.into()),
                 ("fault_cycles_per_sec", (work / secs).into()),
                 ("speedup_vs_1_thread", (baseline / secs).into()),
+                ("cycles_simulated", tel.counter("sim.cycles").into()),
+                ("batches", tel.counter("sim.batches").into()),
+                ("faults_dropped", tel.counter("sim.faults_dropped").into()),
             ]));
         }
     }

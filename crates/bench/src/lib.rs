@@ -17,7 +17,10 @@
 //! `wbist-core` feed the comparison table. Binaries in `src/bin/` print
 //! the tables; Criterion benches in `benches/` measure the components.
 
-pub mod json;
+// The JSON writer lives in `wbist-telemetry` now (it needs it for trace
+// export and must stay dependency-free); re-exported here so existing
+// `wbist_bench::json::Json` paths keep working.
+pub use wbist_telemetry::json;
 
 pub use json::Json;
 
@@ -25,12 +28,12 @@ use std::fmt;
 use wbist_atpg::{compact, AtpgConfig, CompactionConfig, SequenceAtpg};
 use wbist_circuits::synthetic;
 use wbist_core::{
-    observation_point_tradeoff_with, reverse_order_prune_with, synthesize_weighted_bist,
-    ObsTradeoff, SelectedAssignment, SynthesisConfig, SynthesisResult,
+    observation_point_tradeoff, reverse_order_prune, synthesize_weighted_bist, ObsOptions,
+    ObsTradeoff, PruneOptions, SelectedAssignment, SynthesisConfig, SynthesisResult,
 };
 use wbist_hw::FsmBank;
 use wbist_netlist::{Circuit, FaultList};
-use wbist_sim::{FaultSim, SimOptions, TestSequence};
+use wbist_sim::{FaultSim, RunOptions, TestSequence};
 
 /// Configuration of the full experiment pipeline.
 #[derive(Debug, Clone)]
@@ -43,8 +46,8 @@ pub struct PipelineConfig {
     pub compaction: Option<CompactionConfig>,
     /// Sample-first speedup in the synthesis procedure.
     pub sample_first: bool,
-    /// Fault-simulator options (worker thread count).
-    pub sim: SimOptions,
+    /// Shared run options: simulator tuning, telemetry handle, seed.
+    pub run: RunOptions,
 }
 
 impl PipelineConfig {
@@ -56,7 +59,7 @@ impl PipelineConfig {
             atpg: AtpgConfig::default(),
             compaction: Some(CompactionConfig::default()),
             sample_first: true,
-            sim: SimOptions::default(),
+            run: RunOptions::default(),
         }
     }
 
@@ -75,7 +78,7 @@ impl PipelineConfig {
                 max_trials: 200,
             }),
             sample_first: true,
-            sim: SimOptions::default(),
+            run: RunOptions::default(),
         }
     }
 }
@@ -109,26 +112,33 @@ impl CircuitRun {
 
 /// Runs the full pipeline on a circuit.
 pub fn run_pipeline(name: &str, circuit: Circuit, cfg: &PipelineConfig) -> CircuitRun {
+    let tel = cfg.run.telemetry.clone();
     let faults = FaultList::checkpoints(&circuit);
-    let atpg = SequenceAtpg::new(&circuit, cfg.atpg.clone()).run(&faults);
-    let sequence = match &cfg.compaction {
-        Some(cc) => compact(&circuit, &faults, &atpg.sequence, cc),
-        None => atpg.sequence.clone(),
+    let atpg = {
+        let _span = tel.span("atpg");
+        SequenceAtpg::new(&circuit, cfg.atpg.clone()).run(&faults)
     };
-    let t_detected = FaultSim::with_options(&circuit, cfg.sim).count_detected(&faults, &sequence);
+    let sequence = {
+        let _span = tel.span("compact");
+        match &cfg.compaction {
+            Some(cc) => compact(&circuit, &faults, &atpg.sequence, cc),
+            None => atpg.sequence.clone(),
+        }
+    };
+    let t_detected =
+        FaultSim::with_run_options(&circuit, &cfg.run).count_detected(&faults, &sequence);
     let syn_cfg = SynthesisConfig {
         sequence_length: cfg.sequence_length,
         sample_first: cfg.sample_first,
-        sim: cfg.sim,
+        run: cfg.run.clone(),
         ..SynthesisConfig::default()
     };
     let synthesis = synthesize_weighted_bist(&circuit, &sequence, &faults, &syn_cfg);
-    let pruned = reverse_order_prune_with(
+    let pruned = reverse_order_prune(
         &circuit,
         &faults,
         &synthesis.omega,
-        cfg.sequence_length,
-        cfg.sim,
+        &PruneOptions::new(cfg.sequence_length).run(cfg.run.clone()),
     );
     CircuitRun {
         name: name.to_string(),
@@ -268,14 +278,9 @@ pub fn format_table6(rows: &[Table6Row]) -> String {
 
 /// Reproduces one of the Tables 7–16 for a run: the observation-point
 /// trade-off over `Ω` before pruning.
-pub fn obs_table(run: &CircuitRun) -> ObsTradeoff {
-    observation_point_tradeoff_with(
-        &run.circuit,
-        &run.faults,
-        &run.synthesis.omega,
-        run.synthesis.sequence_length,
-        SimOptions::default(),
-    )
+pub fn obs_table(run: &CircuitRun, run_opts: &RunOptions) -> ObsTradeoff {
+    let opts = ObsOptions::new(run.synthesis.sequence_length).run(run_opts.clone());
+    observation_point_tradeoff(&run.circuit, &run.faults, &run.synthesis.omega, &opts)
 }
 
 /// Formats an observation-point trade-off like the paper's tables.
@@ -341,7 +346,7 @@ mod tests {
     #[test]
     fn obs_table_for_s27() {
         let run = run_named("s27", &PipelineConfig::fast()).expect("s27 exists");
-        let tr = obs_table(&run);
+        let tr = obs_table(&run, &RunOptions::default());
         let text = format_obs_table("s27", &tr);
         assert!(text.contains("f.e."));
         let last = tr.rows.last().expect("rows exist");

@@ -4,27 +4,33 @@ use crate::args::{parse, Parsed};
 use std::fmt;
 use wbist_atpg::{compact, AtpgConfig, CompactionConfig, SequenceAtpg};
 use wbist_circuits::{structured, synthetic};
-use wbist_core::{synthesize_hybrid, synthesize_weighted_bist, HybridConfig, SynthesisConfig};
+use wbist_core::{
+    synthesize_hybrid, synthesize_weighted_bist, HybridConfig, ObsOptions, PruneOptions,
+    SynthesisConfig,
+};
 use wbist_hw::{build_generator, build_hybrid_generator, generator_cost, to_verilog};
 use wbist_netlist::{bench_format, circuit_stats, Circuit, FaultList};
-use wbist_sim::{FaultSim, SimOptions, TestSequence};
+use wbist_sim::{FaultSim, RunOptions, SimOptions, Telemetry, TestSequence};
 
 /// Top-level usage text.
 pub const USAGE: &str = "usage:
   wbist stats   <circuit.bench>
   wbist faults  <circuit.bench> [--model checkpoints|collapsed|all]
   wbist atpg    <circuit.bench> [--seed N] [--max-len N] [--no-compact] [-o seq.txt]
-  wbist sim     <circuit.bench> <seq.txt> [--times] [--threads N]
+  wbist sim     <circuit.bench> <seq.txt> [--times]
   wbist synth   <circuit.bench> [--seq seq.txt] [--lg N] [--random N]
-                [--verilog out.v] [--bench out.bench] [--threads N]
-  wbist obs     <circuit.bench> [--seq seq.txt] [--lg N] [--threads N]
+                [--verilog out.v] [--bench out.bench]
+  wbist obs     <circuit.bench> [--seq seq.txt] [--lg N]
   wbist session <circuit.bench> [--seq seq.txt] [--lg N] [--misr N] [--capture N]
-                [--threads N]
   wbist podem   <circuit.bench>           # scan-view classification
   wbist vcd     <circuit.bench> <seq.txt> [-o out.vcd]
   wbist gen     <name> [-o out.bench]
       names: s27, s208..s35932 (synthetic stand-ins),
-             shift:N, count:N, lock:WIDTH:ARM, johnson:N";
+             shift:N, count:N, lock:WIDTH:ARM, johnson:N
+  global options (any command):
+      --threads N     simulator worker threads (default: all cores)
+      --trace FILE    write a deterministic JSON telemetry trace
+      --progress      print a phase-timing summary to stderr";
 
 /// CLI error: usage problems print the help text; run errors print the
 /// message only.
@@ -55,29 +61,104 @@ fn usage(msg: impl Into<String>) -> CliError {
     CliError::Usage(msg.into())
 }
 
+/// Options shared by every command, stripped from the command line
+/// before the per-command parse. `--threads` is validated here, once,
+/// instead of in every command.
+#[derive(Debug, Clone)]
+pub struct Globals {
+    /// Run options handed to every simulation-driven phase.
+    pub run: RunOptions,
+    /// `--trace FILE`: write the deterministic JSON telemetry trace.
+    pub trace: Option<String>,
+    /// `--progress`: print the wall-clock phase summary to stderr.
+    pub progress: bool,
+}
+
+/// Strips `--threads N`, `--trace FILE` and `--progress` out of `argv`,
+/// returning the remaining arguments and the validated globals.
+fn extract_globals(argv: &[String]) -> Result<(Vec<String>, Globals), CliError> {
+    let mut rest = Vec::new();
+    let mut threads: Option<usize> = None;
+    let mut trace: Option<String> = None;
+    let mut progress = false;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => {
+                let v = it.next().ok_or_else(|| usage("--threads needs a value"))?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| usage(format!("--threads: cannot parse `{v}`")))?;
+                if n == 0 {
+                    return Err(usage("--threads must be at least 1"));
+                }
+                threads = Some(n);
+            }
+            "--trace" => {
+                let v = it.next().ok_or_else(|| usage("--trace needs a path"))?;
+                trace = Some(v.clone());
+            }
+            "--progress" => progress = true,
+            _ => rest.push(a.clone()),
+        }
+    }
+    let telemetry = if trace.is_some() || progress {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    let run = RunOptions::default().telemetry(telemetry);
+    let run = RunOptions {
+        sim: SimOptions { threads },
+        ..run
+    };
+    Ok((
+        rest,
+        Globals {
+            run,
+            trace,
+            progress,
+        },
+    ))
+}
+
+/// Writes the trace file and/or the progress summary after a command.
+fn finish(g: &Globals) -> Result<(), CliError> {
+    if let Some(path) = &g.trace {
+        std::fs::write(path, g.run.telemetry.render_trace())?;
+        eprintln!("wrote {path}");
+    }
+    if g.progress {
+        eprint!("{}", g.run.telemetry.summary());
+    }
+    Ok(())
+}
+
 /// Dispatches a command line.
 pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
-    let Some(cmd) = argv.first() else {
+    // Globals may appear anywhere, including before the command.
+    let (rest, g) = extract_globals(argv)?;
+    let Some((cmd, rest)) = rest.split_first() else {
         return Err(usage("missing command"));
     };
-    let rest = &argv[1..];
     match cmd.as_str() {
         "stats" => cmd_stats(rest),
         "faults" => cmd_faults(rest),
         "atpg" => cmd_atpg(rest),
-        "sim" => cmd_sim(rest),
-        "synth" => cmd_synth(rest),
-        "obs" => cmd_obs(rest),
-        "session" => cmd_session(rest),
+        "sim" => cmd_sim(rest, &g),
+        "synth" => cmd_synth(rest, &g),
+        "obs" => cmd_obs(rest, &g),
+        "session" => cmd_session(rest, &g),
         "podem" => cmd_podem(rest),
         "vcd" => cmd_vcd(rest),
         "gen" => cmd_gen(rest),
         "-h" | "--help" | "help" => {
             println!("{USAGE}");
-            Ok(())
+            return Ok(());
         }
-        other => Err(usage(format!("unknown command `{other}`"))),
-    }
+        other => return Err(usage(format!("unknown command `{other}`"))),
+    }?;
+    finish(&g)
 }
 
 fn load_circuit(path: &str) -> Result<Circuit, CliError> {
@@ -111,15 +192,6 @@ fn cmd_stats(argv: &[String]) -> Result<(), CliError> {
         FaultList::all_lines(&c).len()
     );
     Ok(())
-}
-
-/// Reads `--threads N` into [`SimOptions`] (absent = all cores).
-fn sim_options(p: &Parsed) -> Result<SimOptions, CliError> {
-    let threads = p.opt_parse::<usize>("threads").map_err(usage)?;
-    if threads == Some(0) {
-        return Err(usage("--threads must be at least 1"));
-    }
-    Ok(SimOptions { threads })
 }
 
 fn fault_list(c: &Circuit, model: Option<&str>) -> Result<FaultList, CliError> {
@@ -177,8 +249,8 @@ fn cmd_atpg(argv: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-fn cmd_sim(argv: &[String]) -> Result<(), CliError> {
-    let p = parse(argv, &["model", "threads"]).map_err(usage)?;
+fn cmd_sim(argv: &[String], g: &Globals) -> Result<(), CliError> {
+    let p = parse(argv, &["model"]).map_err(usage)?;
     let (path, seq_path) = match (p.pos(0), p.pos(1)) {
         (Some(a), Some(b)) => (a, b),
         _ => return Err(usage("sim needs a .bench file and a sequence file")),
@@ -186,7 +258,7 @@ fn cmd_sim(argv: &[String]) -> Result<(), CliError> {
     let c = load_circuit(path)?;
     let seq = load_sequence(seq_path)?;
     let faults = fault_list(&c, p.opt("model"))?;
-    let times = FaultSim::with_options(&c, sim_options(&p)?).detection_times(&faults, &seq);
+    let times = FaultSim::with_run_options(&c, &g.run).detection_times(&faults, &seq);
     let det = times.iter().filter(|t| t.is_some()).count();
     println!(
         "{}/{} faults detected ({:.2}%) by {} vectors",
@@ -206,12 +278,10 @@ fn cmd_sim(argv: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-fn cmd_synth(argv: &[String]) -> Result<(), CliError> {
+fn cmd_synth(argv: &[String], g: &Globals) -> Result<(), CliError> {
     let p = parse(
         argv,
-        &[
-            "seq", "lg", "random", "verilog", "bench", "model", "seed", "threads",
-        ],
+        &["seq", "lg", "random", "verilog", "bench", "model", "seed"],
     )
     .map_err(usage)?;
     let path = p.pos(0).ok_or_else(|| usage("synth needs a .bench file"))?;
@@ -242,10 +312,9 @@ fn cmd_synth(argv: &[String]) -> Result<(), CliError> {
         .map_err(usage)?
         .unwrap_or_else(|| (2 * t.len()).max(256));
     let random_sessions = p.opt_parse::<usize>("random").map_err(usage)?.unwrap_or(0);
-    let sim = sim_options(&p)?;
     let syn_cfg = SynthesisConfig {
         sequence_length: l_g,
-        sim,
+        run: g.run.clone(),
         ..SynthesisConfig::default()
     };
 
@@ -281,7 +350,12 @@ fn cmd_synth(argv: &[String]) -> Result<(), CliError> {
         )
     };
 
-    let pruned = wbist_core::reverse_order_prune_with(&c, &faults, &omega, l_g, sim);
+    let pruned = wbist_core::reverse_order_prune(
+        &c,
+        &faults,
+        &omega,
+        &PruneOptions::new(l_g).run(g.run.clone()),
+    );
     println!(
         "L_G = {l_g}: {} assignments ({} after pruning), {} distinct subsequences{}",
         omega.len(),
@@ -313,7 +387,9 @@ fn cmd_synth(argv: &[String]) -> Result<(), CliError> {
         );
     } else {
         let gen = build_generator(&pruned, l_g)?;
-        println!("{}", generator_cost(&gen));
+        let cost = generator_cost(&gen);
+        cost.record(&g.run.telemetry);
+        println!("{cost}");
         print_hw(&gen.circuit, p.opt("verilog"), p.opt("bench"))?;
     }
     Ok(())
@@ -348,8 +424,8 @@ fn sequence_for(c: &Circuit, faults: &FaultList, p: &Parsed) -> Result<TestSeque
     }
 }
 
-fn cmd_obs(argv: &[String]) -> Result<(), CliError> {
-    let p = parse(argv, &["seq", "lg", "model", "threads"]).map_err(usage)?;
+fn cmd_obs(argv: &[String], g: &Globals) -> Result<(), CliError> {
+    let p = parse(argv, &["seq", "lg", "model"]).map_err(usage)?;
     let path = p.pos(0).ok_or_else(|| usage("obs needs a .bench file"))?;
     let c = load_circuit(path)?;
     let faults = fault_list(&c, p.opt("model"))?;
@@ -358,18 +434,22 @@ fn cmd_obs(argv: &[String]) -> Result<(), CliError> {
         .opt_parse::<usize>("lg")
         .map_err(usage)?
         .unwrap_or_else(|| (2 * t.len()).max(256));
-    let sim = sim_options(&p)?;
     let r = synthesize_weighted_bist(
         &c,
         &t,
         &faults,
         &SynthesisConfig {
             sequence_length: l_g,
-            sim,
+            run: g.run.clone(),
             ..SynthesisConfig::default()
         },
     );
-    let tr = wbist_core::observation_point_tradeoff_with(&c, &faults, &r.omega, l_g, sim);
+    let tr = wbist_core::observation_point_tradeoff(
+        &c,
+        &faults,
+        &r.omega,
+        &ObsOptions::new(l_g).run(g.run.clone()),
+    );
     println!("seq   sub   len    f.e.   obs    f.e.(obs)");
     for row in &tr.rows {
         println!(
@@ -385,8 +465,8 @@ fn cmd_obs(argv: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-fn cmd_session(argv: &[String]) -> Result<(), CliError> {
-    let p = parse(argv, &["seq", "lg", "misr", "capture", "model", "threads"]).map_err(usage)?;
+fn cmd_session(argv: &[String], g: &Globals) -> Result<(), CliError> {
+    let p = parse(argv, &["seq", "lg", "misr", "capture", "model"]).map_err(usage)?;
     let path = p
         .pos(0)
         .ok_or_else(|| usage("session needs a .bench file"))?;
@@ -397,14 +477,13 @@ fn cmd_session(argv: &[String]) -> Result<(), CliError> {
         .opt_parse::<usize>("lg")
         .map_err(usage)?
         .unwrap_or_else(|| (2 * t.len()).max(256));
-    let sim = sim_options(&p)?;
     let r = synthesize_weighted_bist(
         &c,
         &t,
         &faults,
         &SynthesisConfig {
             sequence_length: l_g,
-            sim,
+            run: g.run.clone(),
             ..SynthesisConfig::default()
         },
     );
@@ -420,7 +499,7 @@ fn cmd_session(argv: &[String]) -> Result<(), CliError> {
             misr_width: p.opt_parse::<usize>("misr").map_err(usage)?.unwrap_or(16),
             sequence_length: l_g,
             capture_from: p.opt_parse::<usize>("capture").map_err(usage)?.unwrap_or(8),
-            sim,
+            run: g.run.clone(),
         },
     );
     println!(
@@ -545,6 +624,65 @@ mod tests {
     #[test]
     fn help_succeeds() {
         dispatch(&argv(&["help"])).expect("help works");
+    }
+
+    #[test]
+    fn zero_threads_is_rejected_once_for_every_command() {
+        for cmd in ["sim", "synth", "obs", "session", "stats"] {
+            let e = dispatch(&argv(&[cmd, "x.bench", "--threads", "0"]));
+            match e {
+                Err(CliError::Usage(msg)) => {
+                    assert!(msg.contains("--threads"), "{cmd}: {msg}")
+                }
+                other => panic!("{cmd}: expected usage error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn trace_file_is_written_and_thread_invariant() {
+        let dir = std::env::temp_dir().join(format!("wbist-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        let bench = dir.join("s27.bench");
+        let seq = dir.join("seq.txt");
+        dispatch(&argv(&["gen", "s27", "-o", bench.to_str().expect("utf8")])).expect("gen");
+        dispatch(&argv(&[
+            "atpg",
+            bench.to_str().expect("utf8"),
+            "--max-len",
+            "600",
+            "-o",
+            seq.to_str().expect("utf8"),
+        ]))
+        .expect("atpg");
+        let mut traces = Vec::new();
+        for threads in ["1", "4"] {
+            let out = dir.join(format!("trace{threads}.json"));
+            dispatch(&argv(&[
+                "synth",
+                bench.to_str().expect("utf8"),
+                "--seq",
+                seq.to_str().expect("utf8"),
+                "--lg",
+                "64",
+                "--threads",
+                threads,
+                "--trace",
+                out.to_str().expect("utf8"),
+            ]))
+            .expect("synth with trace");
+            traces.push(std::fs::read_to_string(&out).expect("trace written"));
+        }
+        assert_eq!(
+            traces[0], traces[1],
+            "trace must be byte-identical across thread counts"
+        );
+        assert!(traces[0].contains("wbist-trace/v1"));
+        assert!(traces[0].contains("fault_drop"));
+        assert!(traces[0].contains("\"synthesis\""));
+        assert!(traces[0].contains("\"prune\""));
+        assert!(traces[0].contains("hw.gates"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -18,13 +18,13 @@
 //! On-chip, the random sessions cost one LFSR shared by all inputs (see
 //! `wbist-hw`'s hybrid generator).
 
-use crate::select::{synthesize_weighted_bist_from, SynthesisConfig, SynthesisResult};
+use crate::select::{Synthesis, SynthesisConfig, SynthesisResult};
 use wbist_atpg::Lfsr;
 use wbist_netlist::{Circuit, FaultList};
 use wbist_sim::{FaultSim, TestSequence};
 
 /// Configuration of the hybrid scheme.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct HybridConfig {
     /// Number of pure-random sessions applied before the weighted phase.
     pub random_sessions: usize,
@@ -97,22 +97,33 @@ pub fn synthesize_hybrid(
     faults: &FaultList,
     cfg: &HybridConfig,
 ) -> HybridResult {
-    let sim = FaultSim::with_options(circuit, cfg.synthesis.sim);
+    let tel = cfg.synthesis.run.telemetry.clone();
+    let sim = FaultSim::with_run_options(circuit, &cfg.synthesis.run);
     let mut lfsr = Lfsr::new(cfg.lfsr_width, cfg.lfsr_seed);
     let mut random_detected = vec![false; faults.len()];
     let mut random_sequences = Vec::with_capacity(cfg.random_sessions);
-    for _ in 0..cfg.random_sessions {
-        let seq = lfsr.parallel_sequence(circuit.num_inputs(), cfg.synthesis.sequence_length);
-        // Each session starts from the power-up state, like a weighted
-        // session would.
-        for (d, f) in random_detected.iter_mut().zip(sim.detected(faults, &seq)) {
-            *d |= f;
+    {
+        let _span = tel.span("random_phase");
+        for _ in 0..cfg.random_sessions {
+            let seq = lfsr.parallel_sequence(circuit.num_inputs(), cfg.synthesis.sequence_length);
+            // Each session starts from the power-up state, like a weighted
+            // session would.
+            for (d, f) in random_detected.iter_mut().zip(sim.detected(faults, &seq)) {
+                *d |= f;
+            }
+            random_sequences.push(seq);
         }
-        random_sequences.push(seq);
+        tel.add("hybrid.random_sessions", cfg.random_sessions as u64);
+        tel.add(
+            "hybrid.random_detected",
+            random_detected.iter().filter(|&&d| d).count() as u64,
+        );
     }
 
-    let synthesis =
-        synthesize_weighted_bist_from(circuit, t, faults, &cfg.synthesis, &random_detected);
+    let synthesis = Synthesis::new(circuit, t, faults)
+        .config(cfg.synthesis.clone())
+        .already_detected(&random_detected)
+        .run();
     HybridResult {
         random_detected,
         random_sequences,

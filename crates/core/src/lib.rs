@@ -51,13 +51,20 @@ pub mod weights;
 pub use assign::{Candidate, CandidateOrdering, CandidateSets, WeightAssignment};
 pub use diagnose::{DictionaryResolution, FaultDictionary, Syndrome};
 pub use hybrid::{synthesize_hybrid, HybridConfig, HybridResult};
-pub use obs::{observation_point_tradeoff, observation_point_tradeoff_with, ObsRow, ObsTradeoff};
-pub use prune::{reverse_order_prune, reverse_order_prune_with};
+pub use obs::{observation_point_tradeoff, ObsOptions, ObsRow, ObsTradeoff};
+pub use prune::{reverse_order_prune, PruneOptions};
 pub use select::{
-    synthesize_weighted_bist, synthesize_weighted_bist_from, SelectedAssignment, SynthesisConfig,
-    SynthesisResult,
+    synthesize_weighted_bist, SelectedAssignment, Synthesis, SynthesisConfig, SynthesisResult,
 };
 pub use session::{run_bist_session, SessionConfig, SessionReport};
 pub use subseq::Subsequence;
-pub use wbist_sim::SimOptions;
+pub use wbist_sim::{RunOptions, SimOptions, Telemetry};
 pub use weights::WeightSet;
+
+// Deprecated positional forms, re-exported for the transition period.
+#[allow(deprecated)]
+pub use obs::observation_point_tradeoff_with;
+#[allow(deprecated)]
+pub use prune::reverse_order_prune_with;
+#[allow(deprecated)]
+pub use select::synthesize_weighted_bist_from;

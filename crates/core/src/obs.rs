@@ -22,7 +22,33 @@
 
 use crate::select::SelectedAssignment;
 use wbist_netlist::{Circuit, FaultList, NetId};
-use wbist_sim::{FaultSim, SimOptions};
+use wbist_sim::{FaultSim, RunOptions, SimOptions};
+
+/// Options for [`observation_point_tradeoff`].
+#[derive(Debug, Clone)]
+pub struct ObsOptions {
+    /// `L_G`: the length the assignments' sequences are applied with.
+    pub sequence_length: usize,
+    /// Shared run options: simulator tuning, telemetry handle, seed.
+    pub run: RunOptions,
+}
+
+impl ObsOptions {
+    /// Options for sequences of length `sequence_length`, with default
+    /// [`RunOptions`].
+    pub fn new(sequence_length: usize) -> ObsOptions {
+        ObsOptions {
+            sequence_length,
+            run: RunOptions::default(),
+        }
+    }
+
+    /// Replaces the run options (builder style).
+    pub fn run(mut self, run: RunOptions) -> ObsOptions {
+        self.run = run;
+        self
+    }
+}
 
 /// One row of the trade-off tables (Tables 7–16).
 #[derive(Debug, Clone, PartialEq)]
@@ -69,36 +95,19 @@ impl ObsTradeoff {
 ///
 /// # Panics
 ///
-/// Panics if the circuit is not levelized or `sequence_length == 0`.
+/// Panics if the circuit is not levelized or
+/// `opts.sequence_length == 0`.
 pub fn observation_point_tradeoff(
     circuit: &Circuit,
     faults: &FaultList,
     omega: &[SelectedAssignment],
-    sequence_length: usize,
+    opts: &ObsOptions,
 ) -> ObsTradeoff {
-    observation_point_tradeoff_with(
-        circuit,
-        faults,
-        omega,
-        sequence_length,
-        SimOptions::default(),
-    )
-}
-
-/// [`observation_point_tradeoff`] with explicit fault-simulator options.
-///
-/// # Panics
-///
-/// Panics if the circuit is not levelized or `sequence_length == 0`.
-pub fn observation_point_tradeoff_with(
-    circuit: &Circuit,
-    faults: &FaultList,
-    omega: &[SelectedAssignment],
-    sequence_length: usize,
-    sim_options: SimOptions,
-) -> ObsTradeoff {
+    let sequence_length = opts.sequence_length;
     assert!(sequence_length > 0, "L_G must be positive");
-    let sim = FaultSim::with_options(circuit, sim_options);
+    let tel = opts.run.telemetry.clone();
+    let _span = tel.span("obs");
+    let sim = FaultSim::with_run_options(circuit, &opts.run);
 
     // Detection matrix: per assignment, per fault.
     let det: Vec<Vec<bool>> = omega
@@ -166,6 +175,9 @@ pub fn observation_point_tradeoff_with(
             .filter(|&i| covered_by_omega[i] && !covered[i])
             .collect();
         let (obs, coverable) = select_cover(&remaining, &op_lines);
+        tel.add("obs.rows", 1);
+        // `select_cover` picks one line per greedy iteration.
+        tel.add("obs.cover_iterations", obs.len() as u64);
 
         let subs = distinct_subsequences(omega, &in_lim);
         rows.push(ObsRow {
@@ -187,6 +199,25 @@ pub fn observation_point_tradeoff_with(
         rows,
         total_covered,
     }
+}
+
+/// Deprecated positional form of [`observation_point_tradeoff`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `observation_point_tradeoff(circuit, faults, omega, &ObsOptions { .. })`"
+)]
+pub fn observation_point_tradeoff_with(
+    circuit: &Circuit,
+    faults: &FaultList,
+    omega: &[SelectedAssignment],
+    sequence_length: usize,
+    sim_options: SimOptions,
+) -> ObsTradeoff {
+    let opts = ObsOptions::new(sequence_length).run(RunOptions {
+        sim: sim_options,
+        ..RunOptions::default()
+    });
+    observation_point_tradeoff(circuit, faults, omega, &opts)
 }
 
 /// Greedy set cover: picks lines until every fault in `remaining` with a
@@ -246,7 +277,12 @@ mod tests {
             ..SynthesisConfig::default()
         };
         let r = synthesize_weighted_bist(&c, &t, &faults, &cfg);
-        let tr = observation_point_tradeoff(&c, &faults, &r.omega, cfg.sequence_length);
+        let tr = observation_point_tradeoff(
+            &c,
+            &faults,
+            &r.omega,
+            &ObsOptions::new(cfg.sequence_length),
+        );
         (tr, r.omega.len())
     }
 
@@ -295,8 +331,25 @@ mod tests {
     fn empty_omega_yields_no_rows() {
         let c = s27::circuit();
         let faults = FaultList::checkpoints(&c);
-        let tr = observation_point_tradeoff(&c, &faults, &[], 100);
+        let tr = observation_point_tradeoff(&c, &faults, &[], &ObsOptions::new(100));
         assert!(tr.rows.is_empty());
         assert_eq!(tr.total_covered, 0);
+    }
+
+    #[test]
+    fn telemetry_counts_one_row_per_greedy_step() {
+        let c = s27::circuit();
+        let t = s27::paper_test_sequence();
+        let faults = FaultList::checkpoints(&c);
+        let cfg = SynthesisConfig {
+            sequence_length: 100,
+            ..SynthesisConfig::default()
+        };
+        let r = synthesize_weighted_bist(&c, &t, &faults, &cfg);
+        let tel = wbist_sim::Telemetry::enabled();
+        let opts = ObsOptions::new(cfg.sequence_length)
+            .run(wbist_sim::RunOptions::default().telemetry(tel.clone()));
+        let tr = observation_point_tradeoff(&c, &faults, &r.omega, &opts);
+        assert_eq!(tel.counter("obs.rows"), tr.rows.len() as u64);
     }
 }

@@ -10,46 +10,54 @@
 
 use crate::select::SelectedAssignment;
 use wbist_netlist::{Circuit, FaultList};
-use wbist_sim::{FaultSim, SimOptions};
+use wbist_sim::{FaultSim, RunOptions, SimOptions};
+
+/// Options for [`reverse_order_prune`].
+#[derive(Debug, Clone)]
+pub struct PruneOptions {
+    /// `L_G`: the length the assignments' sequences are applied with.
+    pub sequence_length: usize,
+    /// Shared run options: simulator tuning, telemetry handle, seed.
+    pub run: RunOptions,
+}
+
+impl PruneOptions {
+    /// Options for sequences of length `sequence_length`, with default
+    /// [`RunOptions`].
+    pub fn new(sequence_length: usize) -> PruneOptions {
+        PruneOptions {
+            sequence_length,
+            run: RunOptions::default(),
+        }
+    }
+
+    /// Replaces the run options (builder style).
+    pub fn run(mut self, run: RunOptions) -> PruneOptions {
+        self.run = run;
+        self
+    }
+}
 
 /// Removes redundant assignments from `omega` by reverse-order
 /// simulation, preserving the original relative order of the survivors.
 ///
-/// `faults` is the full target fault list; `sequence_length` is the `L_G`
-/// the sequences are applied with.
+/// `faults` is the full target fault list; `opts.sequence_length` is the
+/// `L_G` the sequences are applied with.
 ///
 /// # Panics
 ///
-/// Panics if the circuit is not levelized or `sequence_length == 0`.
+/// Panics if the circuit is not levelized or
+/// `opts.sequence_length == 0`.
 pub fn reverse_order_prune(
     circuit: &Circuit,
     faults: &FaultList,
     omega: &[SelectedAssignment],
-    sequence_length: usize,
+    opts: &PruneOptions,
 ) -> Vec<SelectedAssignment> {
-    reverse_order_prune_with(
-        circuit,
-        faults,
-        omega,
-        sequence_length,
-        SimOptions::default(),
-    )
-}
-
-/// [`reverse_order_prune`] with explicit fault-simulator options.
-///
-/// # Panics
-///
-/// Panics if the circuit is not levelized or `sequence_length == 0`.
-pub fn reverse_order_prune_with(
-    circuit: &Circuit,
-    faults: &FaultList,
-    omega: &[SelectedAssignment],
-    sequence_length: usize,
-    sim_options: SimOptions,
-) -> Vec<SelectedAssignment> {
-    assert!(sequence_length > 0, "L_G must be positive");
-    let sim = FaultSim::with_options(circuit, sim_options);
+    assert!(opts.sequence_length > 0, "L_G must be positive");
+    let tel = opts.run.telemetry.clone();
+    let _span = tel.span("prune");
+    let sim = FaultSim::with_run_options(circuit, &opts.run);
     let mut detected = vec![false; faults.len()];
     let mut keep = vec![false; omega.len()];
 
@@ -59,7 +67,7 @@ pub fn reverse_order_prune_with(
             break;
         }
         let live_faults: FaultList = live.iter().map(|&i| faults.faults()[i]).collect();
-        let tg = sel.sequence(sequence_length);
+        let tg = sel.sequence(opts.sequence_length);
         let flags = sim.detected(&live_faults, &tg);
         let mut newly = 0;
         for (j, &i) in live.iter().enumerate() {
@@ -71,12 +79,35 @@ pub fn reverse_order_prune_with(
         keep[k] = newly > 0;
     }
 
+    let kept = keep.iter().filter(|&&k| k).count();
+    tel.add("prune.kept", kept as u64);
+    tel.add("prune.dropped", (omega.len() - kept) as u64);
+
     omega
         .iter()
         .zip(&keep)
         .filter(|&(_, &k)| k)
         .map(|(s, _)| s.clone())
         .collect()
+}
+
+/// Deprecated positional form of [`reverse_order_prune`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `reverse_order_prune(circuit, faults, omega, &PruneOptions { .. })`"
+)]
+pub fn reverse_order_prune_with(
+    circuit: &Circuit,
+    faults: &FaultList,
+    omega: &[SelectedAssignment],
+    sequence_length: usize,
+    sim_options: SimOptions,
+) -> Vec<SelectedAssignment> {
+    let opts = PruneOptions::new(sequence_length).run(RunOptions {
+        sim: sim_options,
+        ..RunOptions::default()
+    });
+    reverse_order_prune(circuit, faults, omega, &opts)
 }
 
 #[cfg(test)]
@@ -95,7 +126,12 @@ mod tests {
             ..SynthesisConfig::default()
         };
         let r = synthesize_weighted_bist(&c, &t, &faults, &cfg);
-        let pruned = reverse_order_prune(&c, &faults, &r.omega, cfg.sequence_length);
+        let pruned = reverse_order_prune(
+            &c,
+            &faults,
+            &r.omega,
+            &PruneOptions::new(cfg.sequence_length),
+        );
         assert!(pruned.len() <= r.omega.len());
 
         // Coverage after pruning must still match.
@@ -129,7 +165,12 @@ mod tests {
         let r = synthesize_weighted_bist(&c, &t, &faults, &cfg);
         let mut doubled = r.omega.clone();
         doubled.extend(r.omega.iter().cloned());
-        let pruned = reverse_order_prune(&c, &faults, &doubled, cfg.sequence_length);
+        let pruned = reverse_order_prune(
+            &c,
+            &faults,
+            &doubled,
+            &PruneOptions::new(cfg.sequence_length),
+        );
         assert!(pruned.len() <= r.omega.len());
     }
 
@@ -137,7 +178,28 @@ mod tests {
     fn empty_omega_is_fine() {
         let c = s27::circuit();
         let faults = FaultList::checkpoints(&c);
-        let pruned = reverse_order_prune(&c, &faults, &[], 100);
+        let pruned = reverse_order_prune(&c, &faults, &[], &PruneOptions::new(100));
         assert!(pruned.is_empty());
+    }
+
+    #[test]
+    fn telemetry_counts_kept_plus_dropped() {
+        let c = s27::circuit();
+        let t = s27::paper_test_sequence();
+        let faults = FaultList::checkpoints(&c);
+        let cfg = SynthesisConfig {
+            sequence_length: 100,
+            ..SynthesisConfig::default()
+        };
+        let r = synthesize_weighted_bist(&c, &t, &faults, &cfg);
+        let tel = wbist_sim::Telemetry::enabled();
+        let opts = PruneOptions::new(cfg.sequence_length)
+            .run(wbist_sim::RunOptions::default().telemetry(tel.clone()));
+        let pruned = reverse_order_prune(&c, &faults, &r.omega, &opts);
+        assert_eq!(tel.counter("prune.kept"), pruned.len() as u64);
+        assert_eq!(
+            tel.counter("prune.kept") + tel.counter("prune.dropped"),
+            r.omega.len() as u64
+        );
     }
 }

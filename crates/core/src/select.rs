@@ -28,10 +28,10 @@
 use crate::assign::{CandidateOrdering, CandidateSets, WeightAssignment};
 use crate::weights::WeightSet;
 use wbist_netlist::{Circuit, Fault, FaultList};
-use wbist_sim::{FaultSim, SimOptions, TestSequence};
+use wbist_sim::{FaultSim, RunOptions, TestSequence};
 
 /// Configuration of the synthesis procedure.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct SynthesisConfig {
     /// `L_G`: length of the weighted sequence applied per assignment
     /// (the paper's experiments use 2000).
@@ -49,8 +49,8 @@ pub struct SynthesisConfig {
     /// Disabling it is an ablation knob; the coverage guarantee is only
     /// proven with the fix-up enabled.
     pub full_length_fixup: bool,
-    /// Fault-simulator options (worker thread count).
-    pub sim: SimOptions,
+    /// Shared run options: simulator tuning, telemetry handle, seed.
+    pub run: RunOptions,
 }
 
 impl Default for SynthesisConfig {
@@ -61,7 +61,7 @@ impl Default for SynthesisConfig {
             sample_size: 32,
             ordering: CandidateOrdering::MatchCount,
             full_length_fixup: true,
-            sim: SimOptions::default(),
+            run: RunOptions::default(),
         }
     }
 }
@@ -151,11 +151,197 @@ impl SynthesisResult {
     }
 }
 
+/// Entry point for the synthesis procedure (builder style).
+///
+/// Bundles the circuit, the deterministic sequence `T`, and the target
+/// fault list; optional knobs (`config`, `already_detected`) are applied
+/// with builder methods before calling [`Synthesis::run`].
+///
+/// ```no_run
+/// # use wbist_core::select::{Synthesis, SynthesisConfig};
+/// # use wbist_netlist::{Circuit, FaultList};
+/// # use wbist_sim::TestSequence;
+/// # fn demo(c: &Circuit, t: &TestSequence, faults: &FaultList) {
+/// let result = Synthesis::new(c, t, faults)
+///     .config(SynthesisConfig {
+///         sequence_length: 500,
+///         ..SynthesisConfig::default()
+///     })
+///     .run();
+/// # let _ = result;
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Synthesis<'a> {
+    circuit: &'a Circuit,
+    t: &'a TestSequence,
+    faults: &'a FaultList,
+    cfg: SynthesisConfig,
+    already_detected: Option<Vec<bool>>,
+}
+
+impl<'a> Synthesis<'a> {
+    /// Starts a synthesis over `faults` from the deterministic sequence
+    /// `t`, with the default [`SynthesisConfig`].
+    pub fn new(circuit: &'a Circuit, t: &'a TestSequence, faults: &'a FaultList) -> Synthesis<'a> {
+        Synthesis {
+            circuit,
+            t,
+            faults,
+            cfg: SynthesisConfig::default(),
+            already_detected: None,
+        }
+    }
+
+    /// Replaces the configuration.
+    pub fn config(mut self, cfg: SynthesisConfig) -> Synthesis<'a> {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Treats the flagged faults as covered before the procedure starts.
+    /// Used by hybrid schemes that run a pseudo-random phase first (see
+    /// [`crate::hybrid`]): the weighted phase then only has to cover what
+    /// the random phase missed.
+    ///
+    /// The result's `detected`/`target` flags cover only the faults the
+    /// weighted phase was responsible for (targets exclude the
+    /// pre-detected ones), so [`SynthesisResult::coverage_guaranteed`]
+    /// still means "the weighted phase did its job".
+    pub fn already_detected(mut self, flags: &[bool]) -> Synthesis<'a> {
+        self.already_detected = Some(flags.to_vec());
+        self
+    }
+
+    /// Runs the paper's synthesis procedure.
+    ///
+    /// Faults that `t` does not detect are excluded from the target set
+    /// `F` (the paper's guarantee is relative to `T`'s coverage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is not levelized, the sequence width does
+    /// not match the circuit, `cfg.sequence_length == 0`, or an
+    /// `already_detected` slice has the wrong length.
+    pub fn run(self) -> SynthesisResult {
+        let cfg = &self.cfg;
+        let (circuit, t, faults) = (self.circuit, self.t, self.faults);
+        let pre: Vec<bool> = self
+            .already_detected
+            .unwrap_or_else(|| vec![false; faults.len()]);
+        assert!(cfg.sequence_length > 0, "L_G must be positive");
+        assert_eq!(pre.len(), faults.len(), "one pre-detection flag per fault");
+        let tel = cfg.run.telemetry.clone();
+        let _span = tel.span("synthesis");
+        let sim = FaultSim::with_run_options(circuit, &cfg.run);
+        let det_times = sim.detection_times(faults, t);
+        let target: Vec<bool> = det_times
+            .iter()
+            .zip(&pre)
+            .map(|(t, &pre)| t.is_some() && !pre)
+            .collect();
+        let n = faults.len();
+        let mut detected = vec![false; n];
+        let mut abandoned = vec![false; n];
+        let mut s = WeightSet::new();
+        let mut omega: Vec<SelectedAssignment> = Vec::new();
+
+        let remaining = |detected: &[bool], abandoned: &[bool]| -> Option<(usize, usize)> {
+            (0..n)
+                .filter(|&i| target[i] && !detected[i] && !abandoned[i])
+                .map(|i| (i, det_times[i].expect("targets have detection times")))
+                .max_by_key(|&(_, u)| u)
+        };
+        let undetected =
+            |detected: &[bool]| (0..n).filter(|&i| target[i] && !detected[i]).count() as u64;
+        if tel.is_enabled() {
+            tel.point("fault_drop", undetected(&detected));
+        }
+
+        while let Some((fi, u)) = remaining(&detected, &abandoned) {
+            if u + 1 > cfg.sequence_length {
+                // T_G can never reach this fault's detection time.
+                abandoned[fi] = true;
+                tel.add("select.targets_abandoned", 1);
+                continue;
+            }
+            let time_done = |detected: &[bool]| -> bool {
+                !(0..n).any(|i| target[i] && !detected[i] && det_times[i] == Some(u))
+            };
+            'ls: for ls in 1..=(u + 1) {
+                s.extend_for(t, u, ls);
+                let mut sets = CandidateSets::build_with(&s, t, u, ls, cfg.ordering);
+                if cfg.full_length_fixup {
+                    sets.ensure_full_length_rank();
+                }
+                for j in 0..sets.max_rank() {
+                    if !sets.rank_has_length(j, ls) {
+                        continue;
+                    }
+                    let Some(w) = sets.assignment_at(&s, j) else {
+                        continue;
+                    };
+                    tel.add("select.candidates_tried", 1);
+                    let tg = w.generate(cfg.sequence_length);
+                    if cfg.sample_first {
+                        let sample =
+                            screening_sample(faults, &target, &detected, fi, cfg.sample_size);
+                        if !sim.detects_any(&sample, &tg) {
+                            tel.add("select.sample_skips", 1);
+                            continue;
+                        }
+                    }
+                    let newly = simulate_and_drop(&sim, faults, &target, &mut detected, &tg);
+                    if newly > 0 {
+                        tel.add("select.assignments_kept", 1);
+                        if tel.is_enabled() {
+                            tel.point("fault_drop", undetected(&detected));
+                            tel.event(
+                                "select.kept",
+                                &[
+                                    ("detection_time", u as u64),
+                                    ("rank", j as u64),
+                                    ("newly_detected", newly as u64),
+                                ],
+                            );
+                        }
+                        omega.push(SelectedAssignment {
+                            assignment: w,
+                            detection_time: u,
+                            rank: j,
+                            newly_detected: newly,
+                        });
+                    }
+                    if time_done(&detected) {
+                        break 'ls;
+                    }
+                }
+            }
+            if !detected[fi] {
+                // Unreachable when L_G > u (see module docs); kept as a
+                // safety valve so malformed inputs cannot hang the loop.
+                abandoned[fi] = true;
+                tel.add("select.targets_abandoned", 1);
+            }
+        }
+
+        SynthesisResult {
+            omega,
+            weights: s,
+            detected,
+            target,
+            abandoned,
+            sequence_length: cfg.sequence_length,
+        }
+    }
+}
+
 /// Runs the paper's synthesis procedure.
 ///
-/// `t` is the deterministic test sequence, `faults` the target fault
-/// list. Faults that `t` does not detect are excluded from the target set
-/// `F` (the paper's guarantee is relative to `T`'s coverage).
+/// Convenience wrapper over [`Synthesis`]: `t` is the deterministic test
+/// sequence, `faults` the target fault list. Faults that `t` does not
+/// detect are excluded from the target set `F` (the paper's guarantee is
+/// relative to `T`'s coverage).
 ///
 /// # Panics
 ///
@@ -167,24 +353,15 @@ pub fn synthesize_weighted_bist(
     faults: &FaultList,
     cfg: &SynthesisConfig,
 ) -> SynthesisResult {
-    synthesize_weighted_bist_from(circuit, t, faults, cfg, &vec![false; faults.len()])
+    Synthesis::new(circuit, t, faults).config(cfg.clone()).run()
 }
 
-/// Like [`synthesize_weighted_bist`], but treating the faults flagged in
-/// `already_detected` as covered before the procedure starts. Used by
-/// hybrid schemes that run a pseudo-random phase first (see
-/// [`crate::hybrid`]): the weighted phase then only has to cover what
-/// the random phase missed.
-///
-/// The result's `detected`/`target` flags cover only the faults the
-/// weighted phase was responsible for (targets exclude the pre-detected
-/// ones), so [`SynthesisResult::coverage_guaranteed`] still means "the
-/// weighted phase did its job".
-///
-/// # Panics
-///
-/// Panics as [`synthesize_weighted_bist`] does, or if
-/// `already_detected.len() != faults.len()`.
+/// Deprecated positional form of [`Synthesis::already_detected`] +
+/// [`Synthesis::run`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Synthesis::new(..).config(..).already_detected(..).run()`"
+)]
 pub fn synthesize_weighted_bist_from(
     circuit: &Circuit,
     t: &TestSequence,
@@ -192,90 +369,10 @@ pub fn synthesize_weighted_bist_from(
     cfg: &SynthesisConfig,
     already_detected: &[bool],
 ) -> SynthesisResult {
-    assert!(cfg.sequence_length > 0, "L_G must be positive");
-    assert_eq!(
-        already_detected.len(),
-        faults.len(),
-        "one pre-detection flag per fault"
-    );
-    let sim = FaultSim::with_options(circuit, cfg.sim);
-    let det_times = sim.detection_times(faults, t);
-    let target: Vec<bool> = det_times
-        .iter()
-        .zip(already_detected)
-        .map(|(t, &pre)| t.is_some() && !pre)
-        .collect();
-    let n = faults.len();
-    let mut detected = vec![false; n];
-    let mut abandoned = vec![false; n];
-    let mut s = WeightSet::new();
-    let mut omega: Vec<SelectedAssignment> = Vec::new();
-
-    let remaining = |detected: &[bool], abandoned: &[bool]| -> Option<(usize, usize)> {
-        (0..n)
-            .filter(|&i| target[i] && !detected[i] && !abandoned[i])
-            .map(|i| (i, det_times[i].expect("targets have detection times")))
-            .max_by_key(|&(_, u)| u)
-    };
-
-    while let Some((fi, u)) = remaining(&detected, &abandoned) {
-        if u + 1 > cfg.sequence_length {
-            // T_G can never reach this fault's detection time.
-            abandoned[fi] = true;
-            continue;
-        }
-        let time_done = |detected: &[bool]| -> bool {
-            !(0..n).any(|i| target[i] && !detected[i] && det_times[i] == Some(u))
-        };
-        'ls: for ls in 1..=(u + 1) {
-            s.extend_for(t, u, ls);
-            let mut sets = CandidateSets::build_with(&s, t, u, ls, cfg.ordering);
-            if cfg.full_length_fixup {
-                sets.ensure_full_length_rank();
-            }
-            for j in 0..sets.max_rank() {
-                if !sets.rank_has_length(j, ls) {
-                    continue;
-                }
-                let Some(w) = sets.assignment_at(&s, j) else {
-                    continue;
-                };
-                let tg = w.generate(cfg.sequence_length);
-                if cfg.sample_first {
-                    let sample = screening_sample(faults, &target, &detected, fi, cfg.sample_size);
-                    if !sim.detects_any(&sample, &tg) {
-                        continue;
-                    }
-                }
-                let newly = simulate_and_drop(&sim, faults, &target, &mut detected, &tg);
-                if newly > 0 {
-                    omega.push(SelectedAssignment {
-                        assignment: w,
-                        detection_time: u,
-                        rank: j,
-                        newly_detected: newly,
-                    });
-                }
-                if time_done(&detected) {
-                    break 'ls;
-                }
-            }
-        }
-        if !detected[fi] {
-            // Unreachable when L_G > u (see module docs); kept as a
-            // safety valve so malformed inputs cannot hang the loop.
-            abandoned[fi] = true;
-        }
-    }
-
-    SynthesisResult {
-        omega,
-        weights: s,
-        detected,
-        target,
-        abandoned,
-        sequence_length: cfg.sequence_length,
-    }
+    Synthesis::new(circuit, t, faults)
+        .config(cfg.clone())
+        .already_detected(already_detected)
+        .run()
 }
 
 /// Builds the screening sample: the target fault plus the first

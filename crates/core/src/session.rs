@@ -23,10 +23,10 @@
 
 use crate::select::SelectedAssignment;
 use wbist_netlist::{Circuit, FaultList};
-use wbist_sim::{Logic3, Misr, SerialFaultSim, SimOptions, TestSequence};
+use wbist_sim::{Logic3, Misr, RunOptions, SerialFaultSim, TestSequence};
 
 /// Configuration of a BIST session run.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct SessionConfig {
     /// MISR stages.
     pub misr_width: usize,
@@ -35,9 +35,9 @@ pub struct SessionConfig {
     /// Cycles (per assignment) before signature capture starts; skipping
     /// the unknown-state prefix keeps `X` out of the signatures.
     pub capture_from: usize,
-    /// Simulator options; the per-fault session evaluation fans faults
-    /// out over this many worker threads.
-    pub sim: SimOptions,
+    /// Shared run options; the per-fault session evaluation fans faults
+    /// out over `run.sim`'s worker threads.
+    pub run: RunOptions,
 }
 
 impl Default for SessionConfig {
@@ -46,7 +46,7 @@ impl Default for SessionConfig {
             misr_width: 16,
             sequence_length: 100,
             capture_from: 0,
-            sim: SimOptions::default(),
+            run: RunOptions::default(),
         }
     }
 }
@@ -102,6 +102,8 @@ pub fn run_bist_session(
     assert!(!omega.is_empty(), "session needs at least one assignment");
     assert!(cfg.misr_width > 0, "MISR width must be positive");
     assert!(cfg.sequence_length > 0, "L_G must be positive");
+    let tel = cfg.run.telemetry.clone();
+    let _span = tel.span("session");
     let sim = SerialFaultSim::new(circuit);
     let sequences: Vec<TestSequence> = omega
         .iter()
@@ -125,6 +127,7 @@ pub fn run_bist_session(
     // is deterministic.
     let n_faults = faults.len();
     let threads = cfg
+        .run
         .sim
         .threads
         .unwrap_or_else(|| {
@@ -194,6 +197,17 @@ pub fn run_bist_session(
         .zip(&detected_by_signature)
         .filter(|&(&o, &s)| o && !s)
         .count();
+    tel.add("session.assignments", omega.len() as u64);
+    tel.add("session.faults", n_faults as u64);
+    tel.add(
+        "session.observed",
+        detected_by_observation.iter().filter(|&&d| d).count() as u64,
+    );
+    tel.add(
+        "session.signed",
+        detected_by_signature.iter().filter(|&&d| d).count() as u64,
+    );
+    tel.add("session.lost_in_signature", lost_in_signature as u64);
 
     SessionReport {
         golden,
@@ -296,7 +310,7 @@ mod tests {
                 sequence_length: l_g,
                 capture_from: 8,
                 misr_width: 16,
-                sim: SimOptions::default(),
+                run: RunOptions::default(),
             },
         );
         // Signature detection is a subset of observation...

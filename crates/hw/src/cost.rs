@@ -47,6 +47,22 @@ pub fn generator_cost(gen: &TestGenerator) -> CostReport {
     }
 }
 
+impl CostReport {
+    /// Records the report into `telemetry` as `hw.*` counters, so a
+    /// traced pipeline run carries the generator's cost accounting
+    /// alongside the simulation effort.
+    pub fn record(&self, telemetry: &wbist_telemetry::Telemetry) {
+        telemetry.add("hw.fsms", self.num_fsms as u64);
+        telemetry.add("hw.fsm_outputs", self.fsm_outputs as u64);
+        telemetry.add("hw.fsm_state_bits", self.fsm_state_bits as u64);
+        telemetry.add("hw.output_literals", self.output_literals as u64);
+        telemetry.add("hw.next_state_literals", self.next_state_literals as u64);
+        telemetry.add("hw.dffs", self.total_dffs as u64);
+        telemetry.add("hw.gates", self.total_gates as u64);
+        telemetry.add("hw.literals", self.total_literals as u64);
+    }
+}
+
 fn logic_literals(bank: &FsmBank, outputs: bool) -> usize {
     bank.fsms()
         .iter()
@@ -118,5 +134,17 @@ mod tests {
         assert!(cost.total_literals >= cost.total_gates);
         let text = cost.to_string();
         assert!(text.contains("weight FSMs: 3"));
+    }
+
+    #[test]
+    fn record_mirrors_the_report() {
+        let omega = vec![sel(&["01", "0"])];
+        let gen = build_generator(&omega, 16).expect("synthesis succeeds");
+        let cost = generator_cost(&gen);
+        let tel = wbist_telemetry::Telemetry::enabled();
+        cost.record(&tel);
+        assert_eq!(tel.counter("hw.fsms"), cost.num_fsms as u64);
+        assert_eq!(tel.counter("hw.gates"), cost.total_gates as u64);
+        assert_eq!(tel.counter("hw.literals"), cost.total_literals as u64);
     }
 }

@@ -28,11 +28,13 @@
 //! controlled by [`SimOptions::threads`] (default: all available cores).
 
 use crate::error::SimError;
+use crate::run::RunOptions;
 use crate::sequence::TestSequence;
 use std::collections::HashMap;
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, Ordering};
 use wbist_netlist::{Circuit, Driver, Fault, FaultList, FaultSite, GateKind, NetId};
+use wbist_telemetry::Telemetry;
 
 /// Two bit-planes encoding one net's value in 64 machines.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -237,6 +239,7 @@ impl FaultSimState {
 pub struct FaultSim<'c> {
     circuit: &'c Circuit,
     options: SimOptions,
+    telemetry: Telemetry,
 }
 
 impl<'c> FaultSim<'c> {
@@ -257,7 +260,31 @@ impl<'c> FaultSim<'c> {
     /// Panics if the circuit has not been levelized.
     pub fn with_options(circuit: &'c Circuit, options: SimOptions) -> Self {
         assert!(circuit.is_levelized(), "circuit must be levelized");
-        FaultSim { circuit, options }
+        FaultSim {
+            circuit,
+            options,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Creates a fault simulator from shared [`RunOptions`]: simulator
+    /// tuning plus the telemetry handle. This is the constructor the
+    /// pipeline phases use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has not been levelized.
+    pub fn with_run_options(circuit: &'c Circuit, run: &RunOptions) -> Self {
+        Self::with_options(circuit, run.sim).telemetry(run.telemetry.clone())
+    }
+
+    /// Replaces the telemetry handle (builder style). Every query then
+    /// reports `sim.*` counters — cycles simulated, faults dropped,
+    /// batches — through it; see the crate docs of `wbist-telemetry` for
+    /// which counters are deterministic.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The circuit being simulated.
@@ -387,9 +414,10 @@ impl<'c> FaultSim<'c> {
             .zip(state.ff.iter_mut())
             .filter(|(batch, _)| batch.live != 0)
             .collect();
-        let hits: Vec<Vec<usize>> = self.scatter(jobs, |(batch, ff), nets| {
+        let n_jobs = jobs.len();
+        let hits: Vec<(Vec<usize>, usize)> = self.scatter(jobs, |(batch, ff), nets| {
             let mut found = Vec::new();
-            simulate_batch(circuit, batch, seq, ff, nets, |u, batch, nets| {
+            let cycles = simulate_batch(circuit, batch, seq, ff, nets, |u, batch, nets| {
                 let _ = u;
                 let detected_now = observed_diff(circuit, nets) & batch.live;
                 if detected_now != 0 {
@@ -401,15 +429,22 @@ impl<'c> FaultSim<'c> {
                 }
                 ControlFlow::Continue(())
             });
-            found
+            (found, cycles)
         });
         let mut newly = 0;
-        for gi in hits.into_iter().flatten() {
-            if !state.detected[gi] {
-                state.detected[gi] = true;
-                newly += 1;
+        let mut cycles = 0usize;
+        let mut dropped = 0usize;
+        for (batch_hits, batch_cycles) in hits {
+            cycles += batch_cycles;
+            dropped += batch_hits.len();
+            for gi in batch_hits {
+                if !state.detected[gi] {
+                    state.detected[gi] = true;
+                    newly += 1;
+                }
             }
         }
+        self.record_run(n_jobs, cycles, dropped);
         state.elapsed += seq.len();
         newly
     }
@@ -425,26 +460,35 @@ impl<'c> FaultSim<'c> {
         self.check_width(seq);
         let circuit = self.circuit;
         let batches = self.make_batches(faults);
-        let hits: Vec<Vec<(usize, usize)>> = self.scatter(batches, |mut batch, nets| {
+        let n_jobs = batches.len();
+        let hits: Vec<(Vec<(usize, usize)>, usize)> = self.scatter(batches, |mut batch, nets| {
             let mut ff = vec![Planes::ALL_X; circuit.num_dffs()];
             let mut found = Vec::new();
-            simulate_batch(circuit, &mut batch, seq, &mut ff, nets, |u, batch, nets| {
-                let detected_now = observed_diff(circuit, nets) & batch.live;
-                if detected_now != 0 {
-                    collect_hits(batch, detected_now, |gi| found.push((gi, u)));
-                    batch.live &= !detected_now;
-                    if batch.live == 0 {
-                        return ControlFlow::Break(());
+            let cycles =
+                simulate_batch(circuit, &mut batch, seq, &mut ff, nets, |u, batch, nets| {
+                    let detected_now = observed_diff(circuit, nets) & batch.live;
+                    if detected_now != 0 {
+                        collect_hits(batch, detected_now, |gi| found.push((gi, u)));
+                        batch.live &= !detected_now;
+                        if batch.live == 0 {
+                            return ControlFlow::Break(());
+                        }
                     }
-                }
-                ControlFlow::Continue(())
-            });
-            found
+                    ControlFlow::Continue(())
+                });
+            (found, cycles)
         });
         let mut times = vec![None; faults.len()];
-        for (gi, u) in hits.into_iter().flatten() {
-            times[gi] = Some(u);
+        let mut cycles = 0usize;
+        let mut dropped = 0usize;
+        for (batch_hits, batch_cycles) in hits {
+            cycles += batch_cycles;
+            dropped += batch_hits.len();
+            for (gi, u) in batch_hits {
+                times[gi] = Some(u);
+            }
         }
+        self.record_run(n_jobs, cycles, dropped);
         times
     }
 
@@ -483,26 +527,30 @@ impl<'c> FaultSim<'c> {
         let circuit = self.circuit;
         let batches = self.make_batches(faults);
         let found = AtomicBool::new(false);
-        let hits: Vec<bool> = self.scatter(batches, |mut batch, nets| {
+        let hits: Vec<(bool, usize, usize)> = self.scatter(batches, |mut batch, nets| {
             if found.load(Ordering::Relaxed) {
-                return false;
+                return (false, 0, 1);
             }
             let mut ff = vec![Planes::ALL_X; circuit.num_dffs()];
             let mut hit = false;
-            simulate_batch(circuit, &mut batch, seq, &mut ff, nets, |_, batch, nets| {
-                if found.load(Ordering::Relaxed) {
-                    return ControlFlow::Break(());
-                }
-                if observed_diff(circuit, nets) & batch.live != 0 {
-                    hit = true;
-                    found.store(true, Ordering::Relaxed);
-                    return ControlFlow::Break(());
-                }
-                ControlFlow::Continue(())
-            });
-            hit
+            let mut cancelled = 0usize;
+            let cycles =
+                simulate_batch(circuit, &mut batch, seq, &mut ff, nets, |_, batch, nets| {
+                    if found.load(Ordering::Relaxed) {
+                        cancelled = 1;
+                        return ControlFlow::Break(());
+                    }
+                    if observed_diff(circuit, nets) & batch.live != 0 {
+                        hit = true;
+                        found.store(true, Ordering::Relaxed);
+                        return ControlFlow::Break(());
+                    }
+                    ControlFlow::Continue(())
+                });
+            (hit, cycles, cancelled)
         });
-        hits.into_iter().any(|h| h)
+        self.record_screen(&hits);
+        hits.into_iter().any(|(h, _, _)| h)
     }
 
     /// For every fault, the set of nets on which the faulty machine differs
@@ -517,17 +565,20 @@ impl<'c> FaultSim<'c> {
         self.check_width(seq);
         let circuit = self.circuit;
         let batches = self.make_batches(faults);
-        let per_batch: Vec<Vec<(usize, Vec<NetId>)>> = self.scatter(batches, |mut batch, nets| {
+        let n_jobs = batches.len();
+        // Per batch: (fault index, observable lines) pairs + cycles run.
+        type BatchLines = (Vec<(usize, Vec<NetId>)>, usize);
+        let per_batch: Vec<BatchLines> = self.scatter(batches, |mut batch, nets| {
             let mut ff = vec![Planes::ALL_X; circuit.num_dffs()];
             // Accumulated difference mask per net.
             let mut acc = vec![0u64; circuit.num_nets()];
-            simulate_batch(circuit, &mut batch, seq, &mut ff, nets, |_, _, nets| {
+            let cycles = simulate_batch(circuit, &mut batch, seq, &mut ff, nets, |_, _, nets| {
                 for (a, planes) in acc.iter_mut().zip(nets) {
                     *a |= planes.diff_from_good();
                 }
                 ControlFlow::Continue(())
             });
-            batch
+            let lines = batch
                 .fault_indices
                 .iter()
                 .enumerate()
@@ -541,12 +592,18 @@ impl<'c> FaultSim<'c> {
                         .collect();
                     (gi, lines)
                 })
-                .collect()
+                .collect();
+            (lines, cycles)
         });
         let mut result = vec![Vec::new(); faults.len()];
-        for (gi, lines) in per_batch.into_iter().flatten() {
-            result[gi] = lines;
+        let mut cycles = 0usize;
+        for (batch_lines, batch_cycles) in per_batch {
+            cycles += batch_cycles;
+            for (gi, lines) in batch_lines {
+                result[gi] = lines;
+            }
         }
+        self.record_run(n_jobs, cycles, 0);
         result
     }
 
@@ -583,15 +640,17 @@ impl<'c> FaultSim<'c> {
             })
             .collect();
         let found = AtomicBool::new(false);
-        let hits: Vec<bool> = self.scatter(jobs, |(bi, wanted), nets| {
+        let hits: Vec<(bool, usize, usize)> = self.scatter(jobs, |(bi, wanted), nets| {
             if found.load(Ordering::Relaxed) {
-                return false;
+                return (false, 0, 1);
             }
             let mut batch = state.batches[bi].clone();
             let mut ff = state.ff[bi].clone();
             let mut hit = false;
-            simulate_batch(circuit, &mut batch, seq, &mut ff, nets, |_, _, nets| {
+            let mut cancelled = 0usize;
+            let cycles = simulate_batch(circuit, &mut batch, seq, &mut ff, nets, |_, _, nets| {
                 if found.load(Ordering::Relaxed) {
+                    cancelled = 1;
                     return ControlFlow::Break(());
                 }
                 if observed_diff(circuit, nets) & wanted != 0 {
@@ -601,9 +660,41 @@ impl<'c> FaultSim<'c> {
                 }
                 ControlFlow::Continue(())
             });
-            hit
+            (hit, cycles, cancelled)
         });
-        hits.into_iter().any(|h| h)
+        self.record_screen(&hits);
+        hits.into_iter().any(|(h, _, _)| h)
+    }
+
+    /// Reports one full (non-early-exit) query into the telemetry
+    /// handle. All three figures are deterministic: each batch runs until
+    /// its own faults are exhausted or the sequence ends, independent of
+    /// scheduling.
+    fn record_run(&self, batches: usize, cycles: usize, dropped: usize) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry.add("sim.calls", 1);
+        self.telemetry.add("sim.batches", batches as u64);
+        self.telemetry.add("sim.cycles", cycles as u64);
+        self.telemetry.add("sim.faults_dropped", dropped as u64);
+    }
+
+    /// Reports one early-exit screening query ([`FaultSim::detects_any`]
+    /// / [`FaultSim::sample_detects`]). Cycle and cancellation totals
+    /// depend on which worker wins the race, so they are recorded as
+    /// effort, not as deterministic counters.
+    fn record_screen(&self, hits: &[(bool, usize, usize)]) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry.add("sim.screen_calls", 1);
+        let cycles: usize = hits.iter().map(|&(_, c, _)| c).sum();
+        let cancelled: usize = hits.iter().map(|&(_, _, x)| x).sum();
+        self.telemetry
+            .add_effort("sim.screen_cycles", cycles as u64);
+        self.telemetry
+            .add_effort("sim.early_exit_cancels", cancelled as u64);
     }
 }
 
@@ -633,6 +724,11 @@ fn collect_hits(batch: &Batch, detected_now: u64, mut report: impl FnMut(usize))
 /// (mutable, so sinks can drop detected faults from `live`), and the net
 /// planes. The sink returns [`ControlFlow::Break`] to stop early.
 ///
+/// Returns the number of cycles actually evaluated — the telemetry
+/// layer's unit of simulation effort; callers aggregate the per-batch
+/// counts after the deterministic merge so traces never depend on
+/// scheduling.
+///
 /// The `nets` scratch is reset to all-`X` on entry, so stale planes can
 /// never leak between batches (see the module docs); `ff` is the batch's
 /// persistent flip-flop state and is left at the final cycle's values.
@@ -643,14 +739,15 @@ fn simulate_batch(
     ff: &mut [Planes],
     nets: &mut [Planes],
     mut sink: impl FnMut(usize, &mut Batch, &[Planes]) -> ControlFlow<()>,
-) {
+) -> usize {
     nets.fill(Planes::ALL_X);
     for u in 0..seq.len() {
         step_batch(circuit, batch, seq.row(u), ff, nets);
         if sink(u, batch, nets).is_break() {
-            return;
+            return u + 1;
         }
     }
+    seq.len()
 }
 
 /// Evaluates one clock cycle for one batch.

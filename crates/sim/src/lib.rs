@@ -45,6 +45,7 @@ pub mod good;
 pub mod logic;
 pub mod misr;
 pub mod reference;
+pub mod run;
 pub mod sequence;
 pub mod vcd;
 
@@ -55,4 +56,6 @@ pub use good::{LogicSim, SimTrace};
 pub use logic::Logic3;
 pub use misr::Misr;
 pub use reference::SerialFaultSim;
+pub use run::RunOptions;
 pub use sequence::TestSequence;
+pub use wbist_telemetry::Telemetry;

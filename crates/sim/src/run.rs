@@ -1,0 +1,82 @@
+//! Shared run options for every pipeline phase.
+//!
+//! Before this module existed, each phase configuration
+//! (`SynthesisConfig`, `SessionConfig`, `PipelineConfig`, …) re-plumbed
+//! [`SimOptions`] independently and grew `_with` variants whenever a new
+//! knob appeared. [`RunOptions`] is the one bundle they all share now:
+//! simulator tuning, the telemetry handle, and the base seed for any
+//! pseudo-random choices a phase makes.
+
+use crate::fault::SimOptions;
+use wbist_telemetry::Telemetry;
+
+/// Options shared by every phase of a pipeline run.
+///
+/// Cloning is cheap: [`SimOptions`] is `Copy` and the telemetry handle
+/// is an `Arc` (or nothing, when disabled).
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Fault-simulator tuning (worker thread count).
+    pub sim: SimOptions,
+    /// Telemetry recorder; [`Telemetry::disabled`] (the default) makes
+    /// every instrumentation point a no-op.
+    pub telemetry: Telemetry,
+    /// Base seed for pseudo-random decisions (LFSR phases, ATPG
+    /// restarts). Phases that need several streams derive from it.
+    pub seed: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            sim: SimOptions::default(),
+            telemetry: Telemetry::disabled(),
+            seed: 1,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Options pinned to a fixed simulator worker count.
+    pub fn with_threads(threads: usize) -> RunOptions {
+        RunOptions {
+            sim: SimOptions::with_threads(threads),
+            ..RunOptions::default()
+        }
+    }
+
+    /// Replaces the telemetry handle (builder style).
+    pub fn telemetry(mut self, telemetry: Telemetry) -> RunOptions {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Replaces the seed (builder style).
+    pub fn seed(mut self, seed: u64) -> RunOptions {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_quiet_and_seeded() {
+        let run = RunOptions::default();
+        assert!(!run.telemetry.is_enabled());
+        assert_eq!(run.sim.threads, None);
+        assert_eq!(run.seed, 1);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let run = RunOptions::with_threads(2)
+            .telemetry(Telemetry::enabled())
+            .seed(7);
+        assert_eq!(run.sim.threads, Some(2));
+        assert!(run.telemetry.is_enabled());
+        assert_eq!(run.seed, 7);
+    }
+}

@@ -1,6 +1,6 @@
 //! VCD (Value Change Dump) export of simulation traces.
 //!
-//! Converts a recorded [`SimTrace`](crate::good::SimTrace) into standard
+//! Converts a recorded [`SimTrace`] into standard
 //! IEEE-1364 VCD text, viewable in GTKWave & co. Three-valued unknowns
 //! map to the VCD `x` state; one VCD time step per clock cycle.
 

@@ -1,0 +1,89 @@
+//! A disabled telemetry handle must be free on the batch-kernel path:
+//! no locks, no allocations. This test swaps in a counting global
+//! allocator and checks (a) that disabled-handle operations allocate
+//! nothing at all, and (b) that a fault-simulation run with a disabled
+//! handle attached allocates exactly as much as one with no handle.
+//!
+//! Everything lives in one `#[test]` because the allocation counter is
+//! process-global and the test harness runs tests concurrently.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use wbist_netlist::{bench_format, FaultList};
+use wbist_sim::{FaultSim, SimOptions, Telemetry, TestSequence};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocs() -> usize {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn disabled_telemetry_adds_no_allocations() {
+    let c = bench_format::parse(
+        "toy",
+        "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nq = DFF(g)\ng = NAND(a, q)\ny = XOR(g, b)\n",
+    )
+    .expect("parses");
+    let faults = FaultList::checkpoints(&c);
+    let seq = TestSequence::parse_rows(&["11", "01", "10", "00", "11", "10"]).expect("parses");
+
+    // (a) Disabled-handle operations themselves are allocation-free.
+    let tel = Telemetry::disabled();
+    let before = allocs();
+    for _ in 0..1_000 {
+        tel.add("sim.cycles", 1);
+        tel.add_effort("sim.screen_cycles", 1);
+        tel.point("fault_drop", 3);
+        tel.event("select.kept", &[("rank", 1)]);
+        let _span = tel.span("synthesis");
+        let _clone = tel.clone();
+    }
+    assert_eq!(
+        allocs() - before,
+        0,
+        "disabled telemetry operations must not allocate"
+    );
+
+    // (b) Attaching a disabled handle to the fault simulator costs
+    // nothing on the kernel path: same allocation count as no handle.
+    let plain = FaultSim::with_options(&c, SimOptions::with_threads(1));
+    let with_disabled =
+        FaultSim::with_options(&c, SimOptions::with_threads(1)).telemetry(Telemetry::disabled());
+    // Warm up both paths once (lazy init, thread-local growth).
+    plain.detection_times(&faults, &seq);
+    with_disabled.detection_times(&faults, &seq);
+
+    let base = allocs();
+    plain.detection_times(&faults, &seq);
+    let after_plain = allocs();
+    with_disabled.detection_times(&faults, &seq);
+    let after_disabled = allocs();
+    assert_eq!(
+        after_disabled - after_plain,
+        after_plain - base,
+        "a disabled handle must not change the kernel's allocation count"
+    );
+}

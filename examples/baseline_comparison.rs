@@ -14,7 +14,7 @@
 
 use wbist::atpg::{AtpgConfig, SequenceAtpg};
 use wbist::core::baseline;
-use wbist::core::{reverse_order_prune, synthesize_weighted_bist, SynthesisConfig};
+use wbist::core::{reverse_order_prune, synthesize_weighted_bist, PruneOptions, SynthesisConfig};
 use wbist::netlist::{bench_format, FaultList};
 
 /// A random-pattern-resistant circuit: a payload that is only observable
@@ -67,7 +67,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..SynthesisConfig::default()
     };
     let result = synthesize_weighted_bist(&circuit, t, &faults, &cfg);
-    let pruned = reverse_order_prune(&circuit, &faults, &result.omega, cfg.sequence_length);
+    let pruned = reverse_order_prune(
+        &circuit,
+        &faults,
+        &result.omega,
+        &PruneOptions::new(cfg.sequence_length),
+    );
     let budget = pruned.len().max(1) * cfg.sequence_length;
 
     let random = baseline::pure_random_coverage(&circuit, &faults, &[budget], 0xACE1)[0].1;

@@ -10,7 +10,7 @@
 //! everything the paper's method needs is produced in-process.
 
 use wbist::atpg::{compact, AtpgConfig, CompactionConfig, SequenceAtpg};
-use wbist::core::{reverse_order_prune, synthesize_weighted_bist, SynthesisConfig};
+use wbist::core::{reverse_order_prune, synthesize_weighted_bist, PruneOptions, SynthesisConfig};
 use wbist::hw::{build_generator, generator_cost};
 use wbist::netlist::{bench_format, FaultList};
 use wbist::sim::FaultSim;
@@ -70,7 +70,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let result = synthesize_weighted_bist(&circuit, &t, &faults, &cfg);
     assert!(result.coverage_guaranteed());
-    let pruned = reverse_order_prune(&circuit, &faults, &result.omega, cfg.sequence_length);
+    let pruned = reverse_order_prune(
+        &circuit,
+        &faults,
+        &result.omega,
+        &PruneOptions::new(cfg.sequence_length),
+    );
     println!(
         "weighted BIST: {} assignments ({} before pruning), max subsequence length {}",
         pruned.len(),

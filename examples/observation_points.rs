@@ -12,7 +12,9 @@
 
 use wbist::atpg::{AtpgConfig, SequenceAtpg};
 use wbist::circuits::SyntheticSpec;
-use wbist::core::{observation_point_tradeoff, synthesize_weighted_bist, SynthesisConfig};
+use wbist::core::{
+    observation_point_tradeoff, synthesize_weighted_bist, ObsOptions, SynthesisConfig,
+};
 use wbist::netlist::FaultList;
 
 fn main() {
@@ -36,7 +38,12 @@ fn main() {
         result.omega.len()
     );
 
-    let tr = observation_point_tradeoff(&circuit, &faults, &result.omega, cfg.sequence_length);
+    let tr = observation_point_tradeoff(
+        &circuit,
+        &faults,
+        &result.omega,
+        &ObsOptions::new(cfg.sequence_length),
+    );
     println!("seq   sub   len    f.e.   obs    f.e.(obs)");
     for row in &tr.rows {
         println!(

@@ -10,7 +10,7 @@
 //! along the way.
 
 use wbist::circuits::s27;
-use wbist::core::{reverse_order_prune, synthesize_weighted_bist, SynthesisConfig};
+use wbist::core::{reverse_order_prune, synthesize_weighted_bist, PruneOptions, SynthesisConfig};
 use wbist::hw::{build_generator, generator_cost};
 use wbist::netlist::FaultList;
 use wbist::sim::FaultSim;
@@ -52,7 +52,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 4. Prune redundant assignments (reverse-order simulation).
-    let pruned = reverse_order_prune(&circuit, &faults, &result.omega, cfg.sequence_length);
+    let pruned = reverse_order_prune(
+        &circuit,
+        &faults,
+        &result.omega,
+        &PruneOptions::new(cfg.sequence_length),
+    );
     println!("after reverse-order pruning: {} assignments", pruned.len());
     for (k, sel) in pruned.iter().enumerate() {
         println!(

@@ -21,7 +21,9 @@
 //! * [`atpg`] — deterministic sequence generation and compaction, LFSRs;
 //! * [`core`] — the paper's method: weights, weight assignments,
 //!   reverse-order pruning, observation-point insertion, baselines;
-//! * [`hw`] — weight-FSM synthesis, logic minimization, Verilog emission.
+//! * [`hw`] — weight-FSM synthesis, logic minimization, Verilog emission;
+//! * [`telemetry`] — pipeline spans/counters/events and deterministic
+//!   JSON traces (see `wbist --trace` / `--progress`).
 //!
 //! # Quickstart
 //!
@@ -53,3 +55,4 @@ pub use wbist_core as core;
 pub use wbist_hw as hw;
 pub use wbist_netlist as netlist;
 pub use wbist_sim as sim;
+pub use wbist_telemetry as telemetry;

@@ -5,7 +5,7 @@
 
 use wbist::atpg::{AtpgConfig, SequenceAtpg};
 use wbist::circuits::{s27, SyntheticSpec};
-use wbist::core::{reverse_order_prune, synthesize_weighted_bist, SynthesisConfig};
+use wbist::core::{reverse_order_prune, synthesize_weighted_bist, PruneOptions, SynthesisConfig};
 use wbist::netlist::{Circuit, FaultList};
 use wbist::sim::FaultSim;
 
@@ -39,7 +39,7 @@ fn check_guarantee(circuit: &Circuit, l_g: usize) {
 
     // The guarantee must survive reverse-order pruning.
     let l_g = cfg.sequence_length;
-    let pruned = reverse_order_prune(circuit, &faults, &result.omega, l_g);
+    let pruned = reverse_order_prune(circuit, &faults, &result.omega, &PruneOptions::new(l_g));
     let sim = FaultSim::new(circuit);
     let mut detected = vec![false; faults.len()];
     for sel in &pruned {

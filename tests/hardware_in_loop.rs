@@ -4,7 +4,7 @@
 //! drive the circuit under test to the same fault coverage.
 
 use wbist::circuits::s27;
-use wbist::core::{reverse_order_prune, synthesize_weighted_bist, SynthesisConfig};
+use wbist::core::{reverse_order_prune, synthesize_weighted_bist, PruneOptions, SynthesisConfig};
 use wbist::hw::{build_generator, generator_cost, to_verilog};
 use wbist::netlist::{bench_format, FaultList};
 use wbist::sim::{FaultSim, Logic3, LogicSim, TestSequence};
@@ -26,7 +26,7 @@ fn pipeline() -> (
     };
     let r = synthesize_weighted_bist(&c, &t, &faults, &cfg);
     assert!(r.coverage_guaranteed());
-    let pruned = reverse_order_prune(&c, &faults, &r.omega, l_g);
+    let pruned = reverse_order_prune(&c, &faults, &r.omega, &PruneOptions::new(l_g));
     (c, faults, pruned, l_g)
 }
 

@@ -224,4 +224,25 @@ proptest! {
             prop_assert_eq!(st.elapsed(), seq.len());
         }
     }
+
+    /// Telemetry traces carry only deterministic counters: the rendered
+    /// trace JSON of a full simulation is byte-identical at one worker
+    /// thread and at four, on arbitrary circuits and sequences.
+    #[test]
+    fn telemetry_trace_is_thread_invariant(seed in any::<u64>()) {
+        use wbist::sim::{RunOptions, Telemetry};
+        let c = SyntheticSpec::new("tel", 6, 4, 5, 60, seed % 16).build();
+        let faults = FaultList::checkpoints(&c);
+        let seq = Lfsr::new(20, (seed % 4000) as u32 + 5).sequence(6, 48);
+        let mut traces = Vec::new();
+        for threads in [1usize, 4] {
+            let tel = Telemetry::enabled();
+            let run = RunOptions::with_threads(threads).telemetry(tel.clone());
+            let sim = FaultSim::with_run_options(&c, &run);
+            sim.detection_times(&faults, &seq);
+            prop_assert!(tel.counter("sim.cycles") > 0);
+            traces.push(tel.render_trace());
+        }
+        prop_assert_eq!(&traces[0], &traces[1]);
+    }
 }

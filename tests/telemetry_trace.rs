@@ -1,0 +1,123 @@
+//! Telemetry traces are deterministic data: running the same pipeline
+//! with different simulator thread counts must produce byte-identical
+//! trace JSON, because the trace carries only scheduling-independent
+//! counters (simulated cycles, kept/dropped assignments, the fault-drop
+//! curve) and never wall-clock times.
+
+use wbist::circuits::s27;
+use wbist::core::{
+    observation_point_tradeoff, reverse_order_prune, ObsOptions, PruneOptions, RunOptions,
+    Synthesis, SynthesisConfig, Telemetry,
+};
+use wbist::netlist::FaultList;
+
+const L_G: usize = 100;
+
+fn traced_pipeline(threads: usize) -> (Telemetry, String) {
+    let tel = Telemetry::enabled();
+    let run = RunOptions::with_threads(threads).telemetry(tel.clone());
+    let c = s27::circuit();
+    let t = s27::paper_test_sequence();
+    let faults = FaultList::checkpoints(&c);
+    let r = Synthesis::new(&c, &t, &faults)
+        .config(SynthesisConfig {
+            sequence_length: L_G,
+            run: run.clone(),
+            ..SynthesisConfig::default()
+        })
+        .run();
+    assert!(r.coverage_guaranteed());
+    let pruned = reverse_order_prune(
+        &c,
+        &faults,
+        &r.omega,
+        &PruneOptions::new(L_G).run(run.clone()),
+    );
+    assert!(!pruned.is_empty());
+    let tr = observation_point_tradeoff(&c, &faults, &r.omega, &ObsOptions::new(L_G).run(run));
+    assert!(!tr.rows.is_empty());
+    let trace = tel.render_trace();
+    (tel, trace)
+}
+
+#[test]
+fn trace_is_byte_identical_across_thread_counts() {
+    let (_, one) = traced_pipeline(1);
+    let (_, four) = traced_pipeline(4);
+    assert_eq!(one, four, "trace JSON must not depend on worker scheduling");
+}
+
+#[test]
+fn trace_has_schema_phases_and_fault_drop_curve() {
+    let (tel, trace) = traced_pipeline(2);
+    assert!(trace.starts_with("{\n  \"schema\": \"wbist-trace/v1\""));
+    for phase in ["\"synthesis\"", "\"prune\"", "\"obs\""] {
+        assert!(trace.contains(phase), "missing phase {phase}");
+    }
+    // The fault-drop curve starts at the full target count and ends dry.
+    let curve = tel.curve("fault_drop");
+    assert!(!curve.is_empty());
+    assert_eq!(curve[0], 32, "s27 has 32 checkpoint targets");
+    assert_eq!(*curve.last().unwrap(), 0, "synthesis runs until dry");
+    assert!(curve.windows(2).all(|w| w[1] <= w[0]), "monotone drop");
+    // Simulation totals were attributed.
+    assert!(tel.counter("sim.cycles") > 0);
+    assert!(tel.counter("sim.batches") > 0);
+    assert!(tel.counter("prune.kept") > 0);
+    assert!(tel.counter("obs.rows") > 0);
+    // Wall-clock only ever appears in the summary, not the trace.
+    assert!(!trace.contains("wall"));
+    assert!(tel.summary().contains("phase timings"));
+}
+
+#[test]
+fn disabled_handle_exports_a_schema_stable_empty_trace() {
+    let tel = Telemetry::disabled();
+    assert!(!tel.is_enabled());
+    let trace = tel.render_trace();
+    assert!(trace.contains("wbist-trace/v1"));
+    assert!(trace.contains("\"phases\""));
+    assert!(trace.contains("\"counters\""));
+    assert_eq!(tel.counter("sim.cycles"), 0);
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_match_the_options_api() {
+    let c = s27::circuit();
+    let t = s27::paper_test_sequence();
+    let faults = FaultList::checkpoints(&c);
+    let cfg = SynthesisConfig {
+        sequence_length: L_G,
+        ..SynthesisConfig::default()
+    };
+    let pre = vec![false; faults.len()];
+    let via_builder = Synthesis::new(&c, &t, &faults)
+        .config(cfg.clone())
+        .already_detected(&pre)
+        .run();
+    let via_shim = wbist::core::synthesize_weighted_bist_from(&c, &t, &faults, &cfg, &pre);
+    assert_eq!(via_builder.detected, via_shim.detected);
+    assert_eq!(via_builder.omega.len(), via_shim.omega.len());
+
+    let new_prune = reverse_order_prune(&c, &faults, &via_builder.omega, &PruneOptions::new(L_G));
+    let old_prune = wbist::core::reverse_order_prune_with(
+        &c,
+        &faults,
+        &via_builder.omega,
+        L_G,
+        wbist::sim::SimOptions::default(),
+    );
+    assert_eq!(new_prune.len(), old_prune.len());
+
+    let new_obs =
+        observation_point_tradeoff(&c, &faults, &via_builder.omega, &ObsOptions::new(L_G));
+    let old_obs = wbist::core::observation_point_tradeoff_with(
+        &c,
+        &faults,
+        &via_builder.omega,
+        L_G,
+        wbist::sim::SimOptions::default(),
+    );
+    assert_eq!(new_obs.rows.len(), old_obs.rows.len());
+}
