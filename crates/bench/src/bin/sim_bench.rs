@@ -8,11 +8,27 @@
 //!   --circuits a,b,c   comma-separated circuit names (default
 //!                      s1196,s5378; add s35932 for the largest stand-in)
 //!   --cycles N         sequence length per measurement (default 256)
-//!   --threads a,b,c    thread counts to measure (default 1,2,4,<cores>)
+//!   --threads a,b,c    thread counts to measure (default 1,2,4,<cores>;
+//!                      collapses to 1 on single-core hosts)
+//!   --thread-sweep     measure the multi-thread rows even when the host
+//!                      has a single core
+//!   --kernel K         simulation kernel: compiled (default) or
+//!                      reference (the full-walk differential oracle)
 //!   --reps N           repetitions per measurement; the fastest is
 //!                      reported (default 3)
+//!   --golden           verify detection counts against the committed
+//!                      golden values (128-cycle runs) and exit non-zero
+//!                      on any deviation
 //!   -o FILE            write the JSON there instead of stdout
 //! ```
+//!
+//! Each row reports two throughput figures: `fault_cycles_per_sec` is
+//! the *nominal* rate (`faults * cycles / seconds`, comparable across
+//! tools), while `effective_fault_cycles_per_sec` divides by the live
+//! fault-cycles actually simulated (early exits and detected-fault drops
+//! excluded), taken from the deterministic `sim.fault_cycles` telemetry
+//! counter. `speedup_vs_seed` compares the 1-thread, 128-cycle rows
+//! against the committed pre-compiled-kernel baseline.
 
 use std::time::Instant;
 use wbist_atpg::Lfsr;
@@ -20,6 +36,20 @@ use wbist_bench::Json;
 use wbist_circuits::synthetic;
 use wbist_netlist::FaultList;
 use wbist_sim::{FaultSim, SimOptions, Telemetry};
+
+/// Seed-era (full-circuit-walk kernel) 1-thread seconds at 128 cycles,
+/// recorded before the compiled kernel landed. `speedup_vs_seed` in the
+/// emitted rows is measured against these.
+const SEED_SECONDS_128: &[(&str, f64)] = &[
+    ("s1196", 0.043319865),
+    ("s5378", 1.168868837),
+    ("s35932", 59.570927134),
+];
+
+/// Golden detection counts at 128 cycles. Any kernel, any thread count
+/// and any repetition must reproduce these exactly; `--golden` turns a
+/// deviation into a non-zero exit for CI.
+const GOLDEN_DETECTED_128: &[(&str, u64)] = &[("s1196", 1325), ("s5378", 6190), ("s35932", 33560)];
 
 fn parse_list(s: &str) -> Vec<String> {
     s.split(',')
@@ -39,6 +69,7 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
+    let flag = |key: &str| -> bool { args.iter().any(|a| a == key) };
     let circuits = opt("--circuits")
         .map(|s| parse_list(&s))
         .unwrap_or_else(|| vec!["s1196".to_string(), "s5378".to_string()]);
@@ -47,6 +78,15 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(3)
         .max(1);
+    let reference_kernel = match opt("--kernel").as_deref() {
+        None | Some("compiled") => false,
+        Some("reference") => true,
+        Some(other) => {
+            eprintln!("unknown kernel `{other}` (expected compiled or reference)");
+            std::process::exit(2);
+        }
+    };
+    let golden = flag("--golden");
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -56,6 +96,11 @@ fn main() {
             .filter_map(|t| t.parse().ok())
             .filter(|&t| t >= 1)
             .collect(),
+        // A single-core host cannot say anything about scaling — the
+        // multi-thread rows only measure scheduler overhead — so the
+        // default sweep collapses to the 1-thread row there unless
+        // --thread-sweep insists.
+        None if cores == 1 && !flag("--thread-sweep") => vec![1],
         None => {
             let mut v = vec![1, 2, 4, cores];
             v.sort_unstable();
@@ -64,6 +109,12 @@ fn main() {
         }
     };
 
+    let kernel_name = if reference_kernel {
+        "reference"
+    } else {
+        "compiled"
+    };
+    let mut golden_failures = 0usize;
     let mut rows = Vec::new();
     for name in &circuits {
         let Some(circuit) = synthetic::by_name(name) else {
@@ -72,17 +123,23 @@ fn main() {
         };
         let faults = FaultList::checkpoints(&circuit);
         let seq = Lfsr::new(24, 0xACE1).sequence(circuit.num_inputs(), cycles);
+        let seed_secs = SEED_SECONDS_128
+            .iter()
+            .find(|&&(n, _)| n == name)
+            .map(|&(_, s)| s)
+            .filter(|_| cycles == 128);
         let mut baseline_secs = None;
         for &t in &threads {
-            let sim = FaultSim::with_options(&circuit, SimOptions::with_threads(t));
+            let options = SimOptions::with_threads(t).reference_kernel(reference_kernel);
+            let sim = FaultSim::with_options(&circuit, options);
             // Warm up once, then keep the fastest of `reps` runs — the
             // usual least-noise estimator for throughput numbers.
             let detected = sim.count_detected(&faults, &seq);
             // One untimed instrumented run attributes the work: actual
-            // cycles simulated (early exits included), batches, drops.
+            // cycles simulated (early exits included), batches, drops,
+            // live fault-cycles and gate-evaluation effort.
             let tel = Telemetry::enabled();
-            let attributed = FaultSim::with_options(&circuit, SimOptions::with_threads(t))
-                .telemetry(tel.clone());
+            let attributed = FaultSim::with_options(&circuit, options).telemetry(tel.clone());
             std::hint::black_box(attributed.count_detected(&faults, &seq));
             let secs = (0..reps)
                 .map(|_| {
@@ -93,32 +150,53 @@ fn main() {
                 .fold(f64::INFINITY, f64::min);
             let baseline = *baseline_secs.get_or_insert(secs);
             let work = (faults.len() * cycles) as f64;
+            let live_work = tel.counter("sim.fault_cycles") as f64;
             eprintln!(
-                "{name}: {} faults x {cycles} cycles, {t} thread(s): {:.1} ms ({:.2}x, {:.0} fault-cycles/s)",
+                "{name}: {} faults x {cycles} cycles, {t} thread(s), {kernel_name}: {:.1} ms ({:.2}x, {:.0} nominal / {:.0} effective fault-cycles/s)",
                 faults.len(),
                 secs * 1e3,
                 baseline / secs,
-                work / secs
+                work / secs,
+                live_work / secs
             );
-            rows.push(Json::obj(vec![
+            if golden {
+                if let Some(&(_, want)) = GOLDEN_DETECTED_128.iter().find(|&&(n, _)| n == name) {
+                    if cycles == 128 && detected as u64 != want {
+                        eprintln!(
+                            "GOLDEN MISMATCH: {name} detected {detected}, committed value is {want}"
+                        );
+                        golden_failures += 1;
+                    }
+                }
+            }
+            let mut fields = vec![
                 ("circuit", name.as_str().into()),
                 ("faults", faults.len().into()),
                 ("cycles", cycles.into()),
                 ("threads", t.into()),
+                ("kernel", kernel_name.into()),
                 ("detected", detected.into()),
                 ("seconds", secs.into()),
                 ("fault_cycles_per_sec", (work / secs).into()),
+                ("effective_fault_cycles_per_sec", (live_work / secs).into()),
                 ("speedup_vs_1_thread", (baseline / secs).into()),
                 ("cycles_simulated", tel.counter("sim.cycles").into()),
                 ("batches", tel.counter("sim.batches").into()),
                 ("faults_dropped", tel.counter("sim.faults_dropped").into()),
-            ]));
+                ("gates_evaluated", tel.counter("sim.gates_evaluated").into()),
+                ("gates_skipped", tel.counter("sim.gates_skipped").into()),
+            ];
+            if let (Some(seed), 1) = (seed_secs, t) {
+                fields.push(("speedup_vs_seed", (seed / secs).into()));
+            }
+            rows.push(Json::obj(fields));
         }
     }
 
     let doc = Json::obj(vec![
         ("bench", "sim".into()),
         ("available_cores", cores.into()),
+        ("kernel", kernel_name.into()),
         ("rows", Json::Array(rows)),
     ]);
     let text = doc.render_pretty();
@@ -128,5 +206,9 @@ fn main() {
             eprintln!("wrote {path}");
         }
         None => println!("{text}"),
+    }
+    if golden_failures > 0 {
+        eprintln!("{golden_failures} golden detection mismatch(es)");
+        std::process::exit(1);
     }
 }

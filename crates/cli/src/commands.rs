@@ -29,6 +29,7 @@ pub const USAGE: &str = "usage:
              shift:N, count:N, lock:WIDTH:ARM, johnson:N
   global options (any command):
       --threads N     simulator worker threads (default: all cores)
+      --kernel K      fault-sim kernel: compiled (default) | reference
       --trace FILE    write a deterministic JSON telemetry trace
       --progress      print a phase-timing summary to stderr";
 
@@ -79,6 +80,7 @@ pub struct Globals {
 fn extract_globals(argv: &[String]) -> Result<(Vec<String>, Globals), CliError> {
     let mut rest = Vec::new();
     let mut threads: Option<usize> = None;
+    let mut reference_kernel = false;
     let mut trace: Option<String> = None;
     let mut progress = false;
     let mut it = argv.iter();
@@ -93,6 +95,18 @@ fn extract_globals(argv: &[String]) -> Result<(Vec<String>, Globals), CliError> 
                     return Err(usage("--threads must be at least 1"));
                 }
                 threads = Some(n);
+            }
+            "--kernel" => {
+                let v = it.next().ok_or_else(|| usage("--kernel needs a value"))?;
+                reference_kernel = match v.as_str() {
+                    "compiled" => false,
+                    "reference" => true,
+                    other => {
+                        return Err(usage(format!(
+                            "--kernel: expected `compiled` or `reference`, got `{other}`"
+                        )))
+                    }
+                };
             }
             "--trace" => {
                 let v = it.next().ok_or_else(|| usage("--trace needs a path"))?;
@@ -109,7 +123,10 @@ fn extract_globals(argv: &[String]) -> Result<(Vec<String>, Globals), CliError> 
     };
     let run = RunOptions::default().telemetry(telemetry);
     let run = RunOptions {
-        sim: SimOptions { threads },
+        sim: SimOptions {
+            threads,
+            reference_kernel,
+        },
         ..run
     };
     Ok((

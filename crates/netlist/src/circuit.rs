@@ -411,6 +411,19 @@ impl Circuit {
         self.drivers[net.index()]
     }
 
+    /// Iterates over the constant-driven nets and their values, in net
+    /// index order. Compiled simulators use this to pre-resolve constant
+    /// sources instead of re-scanning every net's [`Driver`] per cycle.
+    pub fn const_nets(&self) -> impl Iterator<Item = (NetId, bool)> + '_ {
+        self.drivers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| match d {
+                Driver::Const(v) => Some((NetId::from_index(i), *v)),
+                _ => None,
+            })
+    }
+
     /// Number of nets (signals).
     pub fn num_nets(&self) -> usize {
         self.net_names.len()

@@ -2,115 +2,60 @@
 //!
 //! The simulator packs the fault-free machine (bit 0) and up to 63 faulty
 //! machines (bits 1–63) into each 64-bit word. A three-valued signal is
-//! held as two bit-planes `(ones, zeros)` per net: bit `b` of `ones` set
-//! means machine `b` sees logic 1, bit `b` of `zeros` means logic 0, and
-//! neither means `X`. Gate evaluation is plain boolean algebra on the
-//! planes, so all machines advance in lock-step through the levelized
-//! combinational core, cycle by cycle, each with its own flip-flop state.
+//! held as two bit-planes `(ones, zeros)` per net (the `plane` module): bit
+//! `b` of `ones` set means machine `b` sees logic 1, bit `b` of `zeros`
+//! means logic 0, and neither means `X`. Gate evaluation is plain boolean
+//! algebra on the planes, so all machines advance in lock-step through
+//! the levelized combinational core, cycle by cycle, each with its own
+//! flip-flop state.
 //!
 //! Faults are injected by forcing plane bits: a stem fault forces the net's
 //! planes after its driver is evaluated; a gate-pin fault forces the value
 //! seen by a single gate input; a DFF-data fault forces the value loaded
 //! into one flip-flop.
 //!
+//! # Kernels
+//!
+//! Two kernels implement the machine model (see the `compiled` module):
+//!
+//! * the **compiled kernel** (default) lowers the circuit into CSR
+//!   arrays once per simulator, simulates the fault-free machine once
+//!   per query into a shared good-value trace, and then evaluates per
+//!   cycle only the gates whose operands differ from that trace on a
+//!   live machine bit (the dirty set) — injections come from flat
+//!   schedules merged into topological order, so the hot loop does no
+//!   hashing at all;
+//! * the **reference kernel** ([`SimOptions::reference_kernel`]) is the
+//!   historic full-circuit walk, kept as a differential-testing oracle.
+//!
+//! Both kernels produce identical detection results; their flip-flop
+//! planes agree on every live machine bit (dropped bits may diverge —
+//! the compiled kernel stops maintaining them).
+//!
 //! # Threading model
 //!
 //! Fault batches are mutually independent — they share nothing but the
-//! (read-only) circuit and input sequence — so every public entry point
-//! fans its batches out over worker threads (`std::thread::scope`), with
-//! one net-plane scratch buffer per worker and the flip-flop planes owned
-//! per batch. Per-fault results are written to disjoint indices and
-//! merged in batch order after the join, so all outputs are bit-identical
-//! to the single-threaded path regardless of scheduling. The boolean
-//! early-exit queries ([`FaultSim::detects_any`],
+//! (read-only) circuit, good trace, and input sequence — so every public
+//! entry point fans its batches out over worker threads
+//! (`std::thread::scope`), with one scratch buffer per worker and the
+//! flip-flop planes owned per batch. Per-fault results are written to
+//! disjoint indices and merged in batch order after the join, so all
+//! outputs are bit-identical to the single-threaded path regardless of
+//! scheduling. The boolean early-exit queries ([`FaultSim::detects_any`],
 //! [`FaultSim::sample_detects`]) coordinate through an `AtomicBool`: the
 //! first worker to find a detection cancels the rest. Thread count is
 //! controlled by [`SimOptions::threads`] (default: all available cores).
 
+use crate::compiled::{self, BatchStats, CompiledCircuit, ConeScratch, CycleCtx, GoodTrace};
 use crate::error::SimError;
+use crate::logic::Logic3;
+use crate::plane::Planes;
 use crate::run::RunOptions;
 use crate::sequence::TestSequence;
-use std::collections::HashMap;
-use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, Ordering};
-use wbist_netlist::{Circuit, Driver, Fault, FaultList, FaultSite, GateKind, NetId};
+use std::sync::Arc;
+use wbist_netlist::{Circuit, Fault, FaultList, NetId};
 use wbist_telemetry::Telemetry;
-
-/// Two bit-planes encoding one net's value in 64 machines.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-struct Planes {
-    ones: u64,
-    zeros: u64,
-}
-
-impl Planes {
-    const ALL_ONE: Planes = Planes { ones: !0, zeros: 0 };
-    const ALL_ZERO: Planes = Planes { ones: 0, zeros: !0 };
-    const ALL_X: Planes = Planes { ones: 0, zeros: 0 };
-
-    #[inline]
-    fn broadcast(v: bool) -> Planes {
-        if v {
-            Planes::ALL_ONE
-        } else {
-            Planes::ALL_ZERO
-        }
-    }
-
-    #[inline]
-    fn and(self, rhs: Planes) -> Planes {
-        Planes {
-            ones: self.ones & rhs.ones,
-            zeros: self.zeros | rhs.zeros,
-        }
-    }
-
-    #[inline]
-    fn or(self, rhs: Planes) -> Planes {
-        Planes {
-            ones: self.ones | rhs.ones,
-            zeros: self.zeros & rhs.zeros,
-        }
-    }
-
-    #[inline]
-    fn xor(self, rhs: Planes) -> Planes {
-        Planes {
-            ones: (self.ones & rhs.zeros) | (self.zeros & rhs.ones),
-            zeros: (self.ones & rhs.ones) | (self.zeros & rhs.zeros),
-        }
-    }
-
-    #[inline]
-    fn not(self) -> Planes {
-        Planes {
-            ones: self.zeros,
-            zeros: self.ones,
-        }
-    }
-
-    /// Forces bits: machines in `f1` to 1, machines in `f0` to 0.
-    #[inline]
-    fn inject(self, f1: u64, f0: u64) -> Planes {
-        Planes {
-            ones: (self.ones & !f0) | f1,
-            zeros: (self.zeros & !f1) | f0,
-        }
-    }
-
-    /// Machines whose value is binary and differs from the fault-free
-    /// machine (bit 0). Returns 0 when the fault-free value is `X`.
-    #[inline]
-    fn diff_from_good(self) -> u64 {
-        if self.ones & 1 != 0 {
-            self.zeros & !1
-        } else if self.zeros & 1 != 0 {
-            self.ones & !1
-        } else {
-            0
-        }
-    }
-}
 
 /// Simulation tuning knobs, shared by every [`FaultSim`] entry point.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -119,6 +64,10 @@ pub struct SimOptions {
     /// available core; `Some(1)` forces the single-threaded path. The
     /// count is always capped by the number of fault batches.
     pub threads: Option<usize>,
+    /// Run the historic full-circuit-walk kernel instead of the
+    /// compiled cone-restricted one. Slower by design; kept as the
+    /// differential-testing oracle (detection results are identical).
+    pub reference_kernel: bool,
 }
 
 impl SimOptions {
@@ -126,7 +75,15 @@ impl SimOptions {
     pub fn with_threads(threads: usize) -> SimOptions {
         SimOptions {
             threads: Some(threads),
+            ..SimOptions::default()
         }
+    }
+
+    /// Selects the kernel (builder style): `true` runs the reference
+    /// full-walk kernel, `false` the compiled kernel.
+    pub fn reference_kernel(mut self, on: bool) -> SimOptions {
+        self.reference_kernel = on;
+        self
     }
 }
 
@@ -135,66 +92,40 @@ impl SimOptions {
 struct Batch {
     /// Global fault indices; fault `k` of the batch occupies bit `k + 1`.
     fault_indices: Vec<usize>,
-    /// Global fault index → its bit mask (the inverse of
-    /// `fault_indices`, for O(1) membership checks).
-    bit_index: HashMap<usize, u64>,
-    /// Stem injections: net index → (force-1 mask, force-0 mask).
-    stems: HashMap<u32, (u64, u64)>,
-    /// Gate-pin injections: (gate index, pin) → masks.
-    pins: HashMap<(u32, u32), (u64, u64)>,
-    /// DFF-data injections: dff index → masks.
-    dffs: HashMap<u32, (u64, u64)>,
-    /// Which gates have at least one pin injection (fast skip).
-    gate_has_pin_inj: Vec<bool>,
+    /// Global fault index → its bit mask, sorted by index (the inverse
+    /// of `fault_indices`, for O(log n) membership checks).
+    bit_index: Vec<(usize, u64)>,
+    /// The batch's injections, flattened into topo-sorted arrays.
+    sched: compiled::Schedule,
     /// Mask of bits that carry live (not yet detected) faults.
     live: u64,
 }
 
 impl Batch {
-    fn build(circuit: &Circuit, faults: &[(usize, Fault)]) -> Batch {
+    fn build(circuit: &Circuit, cc: &CompiledCircuit, faults: &[(usize, Fault)]) -> Batch {
         debug_assert!(faults.len() <= 63);
-        let mut b = Batch {
-            fault_indices: faults.iter().map(|&(i, _)| i).collect(),
-            bit_index: HashMap::with_capacity(faults.len()),
-            stems: HashMap::new(),
-            pins: HashMap::new(),
-            dffs: HashMap::new(),
-            gate_has_pin_inj: vec![false; circuit.num_gates()],
-            live: 0,
-        };
-        for (k, &(gi, f)) in faults.iter().enumerate() {
+        let mut live = 0u64;
+        let mut bit_index = Vec::with_capacity(faults.len());
+        for (k, &(gi, _)) in faults.iter().enumerate() {
             let bit = 1u64 << (k + 1);
-            b.bit_index.insert(gi, bit);
-            b.live |= bit;
-            let (f1, f0) = if f.stuck { (bit, 0) } else { (0, bit) };
-            match f.site {
-                FaultSite::Stem(net) => {
-                    let e = b.stems.entry(net.index() as u32).or_insert((0, 0));
-                    e.0 |= f1;
-                    e.1 |= f0;
-                }
-                FaultSite::GatePin { gate, pin } => {
-                    let e = b
-                        .pins
-                        .entry((gate.index() as u32, pin as u32))
-                        .or_insert((0, 0));
-                    e.0 |= f1;
-                    e.1 |= f0;
-                    b.gate_has_pin_inj[gate.index()] = true;
-                }
-                FaultSite::DffData(k) => {
-                    let e = b.dffs.entry(k as u32).or_insert((0, 0));
-                    e.0 |= f1;
-                    e.1 |= f0;
-                }
-            }
+            bit_index.push((gi, bit));
+            live |= bit;
         }
-        b
+        debug_assert!(bit_index.windows(2).all(|w| w[0].0 < w[1].0));
+        Batch {
+            fault_indices: faults.iter().map(|&(i, _)| i).collect(),
+            bit_index,
+            sched: compiled::Schedule::build(circuit, cc, faults),
+            live,
+        }
     }
 
     /// Bit position (1–63) of a global fault index within this batch.
     fn bit_of(&self, global: usize) -> Option<u64> {
-        self.bit_index.get(&global).copied()
+        self.bit_index
+            .binary_search_by_key(&global, |&(gi, _)| gi)
+            .ok()
+            .map(|i| self.bit_index[i].1)
     }
 }
 
@@ -207,6 +138,10 @@ pub struct FaultSimState {
     batches: Vec<Batch>,
     /// Flip-flop planes per batch.
     ff: Vec<Vec<Planes>>,
+    /// Scalar fault-free flip-flop state, advanced alongside the
+    /// batches; the compiled kernel seeds each query's good trace from
+    /// it.
+    good_ff: Vec<Logic3>,
     /// Detected flags, indexed like the originating fault list.
     detected: Vec<bool>,
     /// Time units consumed so far (for absolute detection times).
@@ -229,22 +164,56 @@ impl FaultSimState {
     pub fn elapsed(&self) -> usize {
         self.elapsed
     }
+
+    /// Raw per-batch flip-flop planes for differential tests: one entry
+    /// per batch of `(live-or-good mask, per-DFF (ones, zeros))`. Planes
+    /// are only meaningful on the masked bits — the compiled kernel
+    /// stops maintaining dropped machines. Not part of the public API.
+    #[doc(hidden)]
+    pub fn debug_ff_planes(&self) -> Vec<(u64, Vec<(u64, u64)>)> {
+        self.batches
+            .iter()
+            .zip(&self.ff)
+            .map(|(b, ff)| {
+                let planes = ff.iter().map(|p| (p.ones, p.zeros)).collect();
+                (b.live | 1, planes)
+            })
+            .collect()
+    }
+}
+
+/// Per-worker scratch: one net-plane buffer plus the cone bookkeeping,
+/// allocated once per worker and reused across every batch and cycle it
+/// processes.
+struct Scratch {
+    nets: Vec<Planes>,
+    cone: ConeScratch,
+}
+
+impl Scratch {
+    fn new(cc: &CompiledCircuit) -> Scratch {
+        Scratch {
+            nets: vec![Planes::ALL_X; cc.num_nets],
+            cone: ConeScratch::new(cc),
+        }
+    }
 }
 
 /// Parallel-fault sequential stuck-at fault simulator.
 ///
 /// See the [module documentation](self) for the machine model, detection
-/// semantics, and threading model.
+/// semantics, kernels, and threading model.
 #[derive(Debug, Clone)]
 pub struct FaultSim<'c> {
     circuit: &'c Circuit,
+    compiled: Arc<CompiledCircuit>,
     options: SimOptions,
     telemetry: Telemetry,
 }
 
 impl<'c> FaultSim<'c> {
     /// Creates a fault simulator for `circuit` with default options
-    /// (threads: all available cores).
+    /// (compiled kernel, threads: all available cores).
     ///
     /// # Panics
     ///
@@ -262,6 +231,7 @@ impl<'c> FaultSim<'c> {
         assert!(circuit.is_levelized(), "circuit must be levelized");
         FaultSim {
             circuit,
+            compiled: Arc::new(CompiledCircuit::build(circuit)),
             options,
             telemetry: Telemetry::disabled(),
         }
@@ -279,9 +249,9 @@ impl<'c> FaultSim<'c> {
     }
 
     /// Replaces the telemetry handle (builder style). Every query then
-    /// reports `sim.*` counters — cycles simulated, faults dropped,
-    /// batches — through it; see the crate docs of `wbist-telemetry` for
-    /// which counters are deterministic.
+    /// reports `sim.*` counters — cycles simulated, gate evaluations,
+    /// faults dropped, batches — through it; see the crate docs of
+    /// `wbist-telemetry` for which counters are deterministic.
     pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
         self
@@ -313,8 +283,52 @@ impl<'c> FaultSim<'c> {
         let indexed: Vec<(usize, Fault)> = faults.iter().copied().enumerate().collect();
         indexed
             .chunks(63)
-            .map(|chunk| Batch::build(self.circuit, chunk))
+            .map(|chunk| Batch::build(self.circuit, &self.compiled, chunk))
             .collect()
+    }
+
+    /// The good trace for one query over `seq`, starting from `init_ff`.
+    fn good_trace(&self, seq: &TestSequence, init_ff: &[Logic3]) -> (GoodTrace, Vec<Logic3>) {
+        self.compiled.good_trace(seq, init_ff)
+    }
+
+    /// Dispatches one batch run to the configured kernel. Both kernels
+    /// share the sink contract: called after every evaluated cycle, the
+    /// sink returns `(drop_bits, stop)`.
+    #[allow(clippy::too_many_arguments)]
+    fn run_one(
+        &self,
+        sched: &compiled::Schedule,
+        live: u64,
+        seq: &TestSequence,
+        trace: &GoodTrace,
+        ff: &mut [Planes],
+        scratch: &mut Scratch,
+        sink: impl FnMut(usize, &CycleCtx) -> (u64, bool),
+    ) -> (u64, BatchStats) {
+        if self.options.reference_kernel {
+            compiled::run_batch_reference(
+                &self.compiled,
+                sched,
+                live,
+                seq,
+                ff,
+                &mut scratch.nets,
+                sink,
+            )
+        } else {
+            compiled::run_batch(
+                &self.compiled,
+                sched,
+                live,
+                seq,
+                trace,
+                ff,
+                &mut scratch.nets,
+                &mut scratch.cone,
+                sink,
+            )
+        }
     }
 
     /// The worker count for `jobs` independent jobs.
@@ -332,20 +346,20 @@ impl<'c> FaultSim<'c> {
 
     /// Runs `work` over every item, fanning out across worker threads.
     ///
-    /// Items are distributed round-robin; each worker owns one net-plane
-    /// scratch buffer for its lifetime. Results are returned in item
-    /// order, so callers observe a deterministic merge no matter how the
-    /// items were scheduled.
+    /// Items are distributed round-robin; each worker owns one
+    /// [`Scratch`] for its lifetime. Results are returned in item order,
+    /// so callers observe a deterministic merge no matter how the items
+    /// were scheduled.
     fn scatter<I, R, F>(&self, items: Vec<I>, work: F) -> Vec<R>
     where
         I: Send,
         R: Send,
-        F: Fn(I, &mut Vec<Planes>) -> R + Sync,
+        F: Fn(I, &mut Scratch) -> R + Sync,
     {
         let threads = self.thread_count(items.len());
         if threads <= 1 {
-            let mut nets = vec![Planes::ALL_X; self.circuit.num_nets()];
-            return items.into_iter().map(|it| work(it, &mut nets)).collect();
+            let mut scratch = Scratch::new(&self.compiled);
+            return items.into_iter().map(|it| work(it, &mut scratch)).collect();
         }
         let n = items.len();
         // Round-robin deal so neighbouring (similarly-sized) batches
@@ -361,10 +375,10 @@ impl<'c> FaultSim<'c> {
                 .into_iter()
                 .map(|chunk| {
                     scope.spawn(move || {
-                        let mut nets = vec![Planes::ALL_X; self.circuit.num_nets()];
+                        let mut scratch = Scratch::new(&self.compiled);
                         chunk
                             .into_iter()
-                            .map(|(i, item)| (i, work(item, &mut nets)))
+                            .map(|(i, item)| (i, work(item, &mut scratch)))
                             .collect::<Vec<_>>()
                     })
                 })
@@ -391,6 +405,7 @@ impl<'c> FaultSim<'c> {
         FaultSimState {
             batches,
             ff,
+            good_ff: vec![Logic3::X; self.circuit.num_dffs()],
             detected: vec![false; faults.len()],
             elapsed: 0,
         }
@@ -400,14 +415,16 @@ impl<'c> FaultSim<'c> {
     /// detected flags. Returns the number of newly detected faults.
     ///
     /// Batches whose faults are all detected are skipped entirely (fault
-    /// dropping).
+    /// dropping), and the compiled kernel further shrinks each surviving
+    /// batch's active cone as its faults drop.
     ///
     /// # Panics
     ///
     /// Panics if the sequence width does not match the circuit.
     pub fn advance(&self, state: &mut FaultSimState, seq: &TestSequence) -> usize {
         self.check_width(seq);
-        let circuit = self.circuit;
+        let (trace, next_good) = self.good_trace(seq, &state.good_ff);
+        let trace = &trace;
         let jobs: Vec<(&mut Batch, &mut Vec<Planes>)> = state
             .batches
             .iter_mut()
@@ -415,27 +432,30 @@ impl<'c> FaultSim<'c> {
             .filter(|(batch, _)| batch.live != 0)
             .collect();
         let n_jobs = jobs.len();
-        let hits: Vec<(Vec<usize>, usize)> = self.scatter(jobs, |(batch, ff), nets| {
+        let hits: Vec<(Vec<usize>, BatchStats)> = self.scatter(jobs, |(batch, ff), scratch| {
             let mut found = Vec::new();
-            let cycles = simulate_batch(circuit, batch, seq, ff, nets, |u, batch, nets| {
-                let _ = u;
-                let detected_now = observed_diff(circuit, nets) & batch.live;
-                if detected_now != 0 {
-                    collect_hits(batch, detected_now, |gi| found.push(gi));
-                    batch.live &= !detected_now;
-                    if batch.live == 0 {
-                        return ControlFlow::Break(());
+            let Batch {
+                fault_indices,
+                sched,
+                live,
+                ..
+            } = &mut *batch;
+            let (new_live, stats) =
+                self.run_one(sched, *live, seq, trace, ff, scratch, |_, ctx| {
+                    let detected_now = ctx.obs_diff & ctx.live;
+                    if detected_now != 0 {
+                        collect_hits(fault_indices, detected_now, |gi| found.push(gi));
                     }
-                }
-                ControlFlow::Continue(())
-            });
-            (found, cycles)
+                    (detected_now, false)
+                });
+            *live = new_live;
+            (found, stats)
         });
         let mut newly = 0;
-        let mut cycles = 0usize;
+        let mut stats = BatchStats::default();
         let mut dropped = 0usize;
-        for (batch_hits, batch_cycles) in hits {
-            cycles += batch_cycles;
+        for (batch_hits, batch_stats) in hits {
+            stats.merge(batch_stats);
             dropped += batch_hits.len();
             for gi in batch_hits {
                 if !state.detected[gi] {
@@ -444,7 +464,8 @@ impl<'c> FaultSim<'c> {
                 }
             }
         }
-        self.record_run(n_jobs, cycles, dropped);
+        self.record_run(n_jobs, stats, dropped);
+        state.good_ff = next_good;
         state.elapsed += seq.len();
         newly
     }
@@ -458,37 +479,45 @@ impl<'c> FaultSim<'c> {
     /// Panics if the sequence width does not match the circuit.
     pub fn detection_times(&self, faults: &FaultList, seq: &TestSequence) -> Vec<Option<usize>> {
         self.check_width(seq);
-        let circuit = self.circuit;
+        let num_dffs = self.circuit.num_dffs();
+        let (trace, _) = self.good_trace(seq, &vec![Logic3::X; num_dffs]);
+        let trace = &trace;
         let batches = self.make_batches(faults);
         let n_jobs = batches.len();
-        let hits: Vec<(Vec<(usize, usize)>, usize)> = self.scatter(batches, |mut batch, nets| {
-            let mut ff = vec![Planes::ALL_X; circuit.num_dffs()];
-            let mut found = Vec::new();
-            let cycles =
-                simulate_batch(circuit, &mut batch, seq, &mut ff, nets, |u, batch, nets| {
-                    let detected_now = observed_diff(circuit, nets) & batch.live;
-                    if detected_now != 0 {
-                        collect_hits(batch, detected_now, |gi| found.push((gi, u)));
-                        batch.live &= !detected_now;
-                        if batch.live == 0 {
-                            return ControlFlow::Break(());
+        let hits: Vec<(Vec<(usize, usize)>, BatchStats)> =
+            self.scatter(batches, |batch, scratch| {
+                let mut ff = vec![Planes::ALL_X; num_dffs];
+                let mut found = Vec::new();
+                let (_, stats) = self.run_one(
+                    &batch.sched,
+                    batch.live,
+                    seq,
+                    trace,
+                    &mut ff,
+                    scratch,
+                    |u, ctx| {
+                        let detected_now = ctx.obs_diff & ctx.live;
+                        if detected_now != 0 {
+                            collect_hits(&batch.fault_indices, detected_now, |gi| {
+                                found.push((gi, u))
+                            });
                         }
-                    }
-                    ControlFlow::Continue(())
-                });
-            (found, cycles)
-        });
+                        (detected_now, false)
+                    },
+                );
+                (found, stats)
+            });
         let mut times = vec![None; faults.len()];
-        let mut cycles = 0usize;
+        let mut stats = BatchStats::default();
         let mut dropped = 0usize;
-        for (batch_hits, batch_cycles) in hits {
-            cycles += batch_cycles;
+        for (batch_hits, batch_stats) in hits {
+            stats.merge(batch_stats);
             dropped += batch_hits.len();
             for (gi, u) in batch_hits {
                 times[gi] = Some(u);
             }
         }
-        self.record_run(n_jobs, cycles, dropped);
+        self.record_run(n_jobs, stats, dropped);
         times
     }
 
@@ -524,30 +553,39 @@ impl<'c> FaultSim<'c> {
     /// Panics if the sequence width does not match the circuit.
     pub fn detects_any(&self, faults: &FaultList, seq: &TestSequence) -> bool {
         self.check_width(seq);
-        let circuit = self.circuit;
+        let num_dffs = self.circuit.num_dffs();
+        let (trace, _) = self.good_trace(seq, &vec![Logic3::X; num_dffs]);
+        let trace = &trace;
         let batches = self.make_batches(faults);
         let found = AtomicBool::new(false);
-        let hits: Vec<(bool, usize, usize)> = self.scatter(batches, |mut batch, nets| {
+        let hits: Vec<(bool, usize, usize)> = self.scatter(batches, |batch, scratch| {
             if found.load(Ordering::Relaxed) {
                 return (false, 0, 1);
             }
-            let mut ff = vec![Planes::ALL_X; circuit.num_dffs()];
+            let mut ff = vec![Planes::ALL_X; num_dffs];
             let mut hit = false;
             let mut cancelled = 0usize;
-            let cycles =
-                simulate_batch(circuit, &mut batch, seq, &mut ff, nets, |_, batch, nets| {
+            let (_, stats) = self.run_one(
+                &batch.sched,
+                batch.live,
+                seq,
+                trace,
+                &mut ff,
+                scratch,
+                |_, ctx| {
                     if found.load(Ordering::Relaxed) {
                         cancelled = 1;
-                        return ControlFlow::Break(());
+                        return (0, true);
                     }
-                    if observed_diff(circuit, nets) & batch.live != 0 {
+                    if ctx.obs_diff & ctx.live != 0 {
                         hit = true;
                         found.store(true, Ordering::Relaxed);
-                        return ControlFlow::Break(());
+                        return (0, true);
                     }
-                    ControlFlow::Continue(())
-                });
-            (hit, cycles, cancelled)
+                    (0, false)
+                },
+            );
+            (hit, stats.cycles, cancelled)
         });
         self.record_screen(&hits);
         hits.into_iter().any(|(h, _, _)| h)
@@ -563,21 +601,34 @@ impl<'c> FaultSim<'c> {
     /// Panics if the sequence width does not match the circuit.
     pub fn observable_lines(&self, faults: &FaultList, seq: &TestSequence) -> Vec<Vec<NetId>> {
         self.check_width(seq);
-        let circuit = self.circuit;
+        let num_dffs = self.circuit.num_dffs();
+        let num_nets = self.circuit.num_nets();
+        let (trace, _) = self.good_trace(seq, &vec![Logic3::X; num_dffs]);
+        let trace = &trace;
         let batches = self.make_batches(faults);
         let n_jobs = batches.len();
-        // Per batch: (fault index, observable lines) pairs + cycles run.
-        type BatchLines = (Vec<(usize, Vec<NetId>)>, usize);
-        let per_batch: Vec<BatchLines> = self.scatter(batches, |mut batch, nets| {
-            let mut ff = vec![Planes::ALL_X; circuit.num_dffs()];
-            // Accumulated difference mask per net.
-            let mut acc = vec![0u64; circuit.num_nets()];
-            let cycles = simulate_batch(circuit, &mut batch, seq, &mut ff, nets, |_, _, nets| {
-                for (a, planes) in acc.iter_mut().zip(nets) {
-                    *a |= planes.diff_from_good();
-                }
-                ControlFlow::Continue(())
-            });
+        // Per batch: (fault index, observable lines) pairs + stats.
+        type BatchLines = (Vec<(usize, Vec<NetId>)>, BatchStats);
+        let per_batch: Vec<BatchLines> = self.scatter(batches, |batch, scratch| {
+            let mut ff = vec![Planes::ALL_X; num_dffs];
+            // Accumulated difference mask per net. Only nets inside the
+            // batch's cone can ever differ from the good machine, so the
+            // sink visits just those.
+            let mut acc = vec![0u64; num_nets];
+            let (_, stats) = self.run_one(
+                &batch.sched,
+                batch.live,
+                seq,
+                trace,
+                &mut ff,
+                scratch,
+                |_, ctx| {
+                    for &n in ctx.cone_nets {
+                        acc[n as usize] |= ctx.nets[n as usize].diff_from_good();
+                    }
+                    (0, false)
+                },
+            );
             let lines = batch
                 .fault_indices
                 .iter()
@@ -593,17 +644,17 @@ impl<'c> FaultSim<'c> {
                     (gi, lines)
                 })
                 .collect();
-            (lines, cycles)
+            (lines, stats)
         });
         let mut result = vec![Vec::new(); faults.len()];
-        let mut cycles = 0usize;
-        for (batch_lines, batch_cycles) in per_batch {
-            cycles += batch_cycles;
+        let mut stats = BatchStats::default();
+        for (batch_lines, batch_stats) in per_batch {
+            stats.merge(batch_stats);
             for (gi, lines) in batch_lines {
                 result[gi] = lines;
             }
         }
-        self.record_run(n_jobs, cycles, 0);
+        self.record_run(n_jobs, stats, 0);
         result
     }
 
@@ -611,6 +662,10 @@ impl<'c> FaultSim<'c> {
     /// in `sample` (by its index in the originating fault list) is
     /// detected by `seq`; flip-flop planes are cloned so `state` is not
     /// modified. Used for the paper's sample-first simulation shortcut.
+    ///
+    /// The compiled kernel restricts each batch's cone to the sampled
+    /// faults alone, so a handful of sampled faults in a 63-fault batch
+    /// touches only their own fanout.
     ///
     /// # Panics
     ///
@@ -622,7 +677,8 @@ impl<'c> FaultSim<'c> {
         seq: &TestSequence,
     ) -> bool {
         self.check_width(seq);
-        let circuit = self.circuit;
+        let (trace, _) = self.good_trace(seq, &state.good_ff);
+        let trace = &trace;
         // Only batches carrying a live sampled fault need simulating.
         let jobs: Vec<(usize, u64)> = state
             .batches
@@ -640,44 +696,57 @@ impl<'c> FaultSim<'c> {
             })
             .collect();
         let found = AtomicBool::new(false);
-        let hits: Vec<(bool, usize, usize)> = self.scatter(jobs, |(bi, wanted), nets| {
+        let hits: Vec<(bool, usize, usize)> = self.scatter(jobs, |(bi, wanted), scratch| {
             if found.load(Ordering::Relaxed) {
                 return (false, 0, 1);
             }
-            let mut batch = state.batches[bi].clone();
+            let batch = &state.batches[bi];
             let mut ff = state.ff[bi].clone();
             let mut hit = false;
             let mut cancelled = 0usize;
-            let cycles = simulate_batch(circuit, &mut batch, seq, &mut ff, nets, |_, _, nets| {
-                if found.load(Ordering::Relaxed) {
-                    cancelled = 1;
-                    return ControlFlow::Break(());
-                }
-                if observed_diff(circuit, nets) & wanted != 0 {
-                    hit = true;
-                    found.store(true, Ordering::Relaxed);
-                    return ControlFlow::Break(());
-                }
-                ControlFlow::Continue(())
-            });
-            (hit, cycles, cancelled)
+            let (_, stats) = self.run_one(
+                &batch.sched,
+                wanted,
+                seq,
+                trace,
+                &mut ff,
+                scratch,
+                |_, ctx| {
+                    if found.load(Ordering::Relaxed) {
+                        cancelled = 1;
+                        return (0, true);
+                    }
+                    if ctx.obs_diff & wanted != 0 {
+                        hit = true;
+                        found.store(true, Ordering::Relaxed);
+                        return (0, true);
+                    }
+                    (0, false)
+                },
+            );
+            (hit, stats.cycles, cancelled)
         });
         self.record_screen(&hits);
         hits.into_iter().any(|(h, _, _)| h)
     }
 
     /// Reports one full (non-early-exit) query into the telemetry
-    /// handle. All three figures are deterministic: each batch runs until
-    /// its own faults are exhausted or the sequence ends, independent of
-    /// scheduling.
-    fn record_run(&self, batches: usize, cycles: usize, dropped: usize) {
+    /// handle. All figures are deterministic: each batch runs until its
+    /// own faults are exhausted or the sequence ends, and its cone
+    /// evolution depends only on the (deterministic) drop order — both
+    /// independent of thread scheduling.
+    fn record_run(&self, batches: usize, stats: BatchStats, dropped: usize) {
         if !self.telemetry.is_enabled() {
             return;
         }
         self.telemetry.add("sim.calls", 1);
         self.telemetry.add("sim.batches", batches as u64);
-        self.telemetry.add("sim.cycles", cycles as u64);
+        self.telemetry.add("sim.cycles", stats.cycles as u64);
         self.telemetry.add("sim.faults_dropped", dropped as u64);
+        self.telemetry
+            .add("sim.gates_evaluated", stats.gates_evaluated);
+        self.telemetry.add("sim.gates_skipped", stats.gates_skipped);
+        self.telemetry.add("sim.fault_cycles", stats.fault_cycles);
     }
 
     /// Reports one early-exit screening query ([`FaultSim::detects_any`]
@@ -698,130 +767,23 @@ impl<'c> FaultSim<'c> {
     }
 }
 
-/// OR of `diff_from_good` over the observed nets (primary outputs plus
-/// observation points).
-#[inline]
-fn observed_diff(c: &Circuit, nets: &[Planes]) -> u64 {
-    let mut mask = 0u64;
-    for o in c.observed_nets() {
-        mask |= nets[o.index()].diff_from_good();
+impl BatchStats {
+    /// Accumulates another batch's figures (deterministic merge).
+    fn merge(&mut self, other: BatchStats) {
+        self.cycles += other.cycles;
+        self.gates_evaluated += other.gates_evaluated;
+        self.gates_skipped += other.gates_skipped;
+        self.fault_cycles += other.fault_cycles;
     }
-    mask
 }
 
 /// Reports every set bit of `detected_now` as its global fault index.
 #[inline]
-fn collect_hits(batch: &Batch, detected_now: u64, mut report: impl FnMut(usize)) {
-    for (k, &gi) in batch.fault_indices.iter().enumerate() {
+fn collect_hits(fault_indices: &[usize], detected_now: u64, mut report: impl FnMut(usize)) {
+    for (k, &gi) in fault_indices.iter().enumerate() {
         if detected_now & (1u64 << (k + 1)) != 0 {
             report(gi);
         }
-    }
-}
-
-/// The shared per-batch kernel: drives one batch through `seq`, invoking
-/// `sink` after every evaluated cycle with the cycle index, the batch
-/// (mutable, so sinks can drop detected faults from `live`), and the net
-/// planes. The sink returns [`ControlFlow::Break`] to stop early.
-///
-/// Returns the number of cycles actually evaluated — the telemetry
-/// layer's unit of simulation effort; callers aggregate the per-batch
-/// counts after the deterministic merge so traces never depend on
-/// scheduling.
-///
-/// The `nets` scratch is reset to all-`X` on entry, so stale planes can
-/// never leak between batches (see the module docs); `ff` is the batch's
-/// persistent flip-flop state and is left at the final cycle's values.
-fn simulate_batch(
-    circuit: &Circuit,
-    batch: &mut Batch,
-    seq: &TestSequence,
-    ff: &mut [Planes],
-    nets: &mut [Planes],
-    mut sink: impl FnMut(usize, &mut Batch, &[Planes]) -> ControlFlow<()>,
-) -> usize {
-    nets.fill(Planes::ALL_X);
-    for u in 0..seq.len() {
-        step_batch(circuit, batch, seq.row(u), ff, nets);
-        if sink(u, batch, nets).is_break() {
-            return u + 1;
-        }
-    }
-    seq.len()
-}
-
-/// Evaluates one clock cycle for one batch.
-fn step_batch(c: &Circuit, batch: &Batch, row: &[bool], ff: &mut [Planes], nets: &mut [Planes]) {
-    // Sources.
-    for (pi_idx, &net) in c.inputs().iter().enumerate() {
-        nets[net.index()] = Planes::broadcast(row[pi_idx]);
-    }
-    for (k, dff) in c.dffs().iter().enumerate() {
-        nets[dff.q.index()] = ff[k];
-    }
-    for (idx, net) in nets.iter_mut().enumerate() {
-        if let Driver::Const(v) = c.driver(NetId::from_index(idx)) {
-            *net = Planes::broadcast(v);
-        }
-    }
-    // Stem injections on sources (gate-output stems are injected right
-    // after their gate is evaluated below).
-    for (&n, &(f1, f0)) in &batch.stems {
-        let n = n as usize;
-        if !matches!(c.driver(NetId::from_index(n)), Driver::Gate(_)) {
-            nets[n] = nets[n].inject(f1, f0);
-        }
-    }
-    // Combinational core.
-    for &gid in c.topo_gates() {
-        let g = c.gate(gid);
-        let gi = gid.index();
-        let has_pin_inj = batch.gate_has_pin_inj[gi];
-        let fetch = |pin: usize| -> Planes {
-            let v = nets[g.inputs[pin].index()];
-            if has_pin_inj {
-                if let Some(&(f1, f0)) = batch.pins.get(&(gi as u32, pin as u32)) {
-                    return v.inject(f1, f0);
-                }
-            }
-            v
-        };
-        let mut acc = fetch(0);
-        match g.kind {
-            GateKind::And | GateKind::Nand => {
-                for pin in 1..g.inputs.len() {
-                    acc = acc.and(fetch(pin));
-                }
-            }
-            GateKind::Or | GateKind::Nor => {
-                for pin in 1..g.inputs.len() {
-                    acc = acc.or(fetch(pin));
-                }
-            }
-            GateKind::Xor | GateKind::Xnor => {
-                for pin in 1..g.inputs.len() {
-                    acc = acc.xor(fetch(pin));
-                }
-            }
-            GateKind::Not | GateKind::Buf => {}
-        }
-        if g.kind.inverting() {
-            acc = acc.not();
-        }
-        // Stem injection on the gate output.
-        if let Some(&(f1, f0)) = batch.stems.get(&(g.output.index() as u32)) {
-            acc = acc.inject(f1, f0);
-        }
-        nets[g.output.index()] = acc;
-    }
-    // Next state, with DFF-data injections.
-    for (k, dff) in c.dffs().iter().enumerate() {
-        let d = dff.d.expect("levelized circuits have connected DFFs");
-        let mut v = nets[d.index()];
-        if let Some(&(f1, f0)) = batch.dffs.get(&(k as u32)) {
-            v = v.inject(f1, f0);
-        }
-        ff[k] = v;
     }
 }
 
@@ -830,7 +792,7 @@ mod tests {
     use super::*;
     use crate::good::LogicSim;
     use crate::logic::Logic3;
-    use wbist_netlist::bench_format;
+    use wbist_netlist::{bench_format, FaultSite};
 
     fn toy() -> Circuit {
         bench_format::parse(
@@ -918,6 +880,19 @@ mod tests {
         let faults = FaultList::all_lines(&c);
         let seq = TestSequence::parse_rows(&["00", "10", "01", "11", "00", "10"]).unwrap();
         let par = FaultSim::new(&c).detection_times(&faults, &seq);
+        for (i, &f) in faults.faults().iter().enumerate() {
+            let ser = serial_detect(&c, f, &seq);
+            assert_eq!(par[i], ser, "fault {} disagrees", f.describe(&c));
+        }
+    }
+
+    #[test]
+    fn reference_kernel_matches_serial_on_toy() {
+        let c = toy();
+        let faults = FaultList::all_lines(&c);
+        let seq = TestSequence::parse_rows(&["00", "10", "01", "11", "00", "10"]).unwrap();
+        let sim = FaultSim::with_options(&c, SimOptions::default().reference_kernel(true));
+        let par = sim.detection_times(&faults, &seq);
         for (i, &f) in faults.faults().iter().enumerate() {
             let ser = serial_detect(&c, f, &seq);
             assert_eq!(par[i], ser, "fault {} disagrees", f.describe(&c));
@@ -1032,6 +1007,26 @@ mod tests {
     }
 
     #[test]
+    fn kernels_agree_on_multi_batch_circuit() {
+        let (c, faults) = multi_batch();
+        let seq = walk_sequence(48);
+        let fast = FaultSim::with_options(&c, SimOptions::with_threads(1));
+        let oracle = FaultSim::with_options(&c, SimOptions::with_threads(1).reference_kernel(true));
+        assert_eq!(
+            fast.detection_times(&faults, &seq),
+            oracle.detection_times(&faults, &seq)
+        );
+        assert_eq!(
+            fast.observable_lines(&faults, &seq),
+            oracle.observable_lines(&faults, &seq)
+        );
+        assert_eq!(
+            fast.detects_any(&faults, &seq),
+            oracle.detects_any(&faults, &seq)
+        );
+    }
+
+    #[test]
     fn thread_counts_agree_on_multi_batch_circuit() {
         let (c, faults) = multi_batch();
         let seq = walk_sequence(48);
@@ -1089,7 +1084,7 @@ mod tests {
         // observe each other's planes: simulate a detecting sequence,
         // then an all-zero sequence, and require identical results to a
         // fresh simulator (this failed before per-batch resets when a
-        // net was not rewritten by step_batch).
+        // net was not rewritten by the stepping loop).
         let (c, faults) = multi_batch();
         let sim = FaultSim::new(&c);
         let hot = walk_sequence(16);
@@ -1098,5 +1093,37 @@ mod tests {
         let after = sim.detection_times(&faults, &cold);
         let fresh = FaultSim::new(&c).detection_times(&faults, &cold);
         assert_eq!(after, fresh);
+    }
+
+    #[test]
+    fn kernels_agree_on_incremental_ff_planes() {
+        let (c, faults) = multi_batch();
+        let seq = walk_sequence(36);
+        let fast = FaultSim::with_options(&c, SimOptions::with_threads(1));
+        let oracle = FaultSim::with_options(&c, SimOptions::with_threads(1).reference_kernel(true));
+        let mut st_a = fast.begin(&faults);
+        let mut st_b = oracle.begin(&faults);
+        for cut in [12usize, 24, 36] {
+            let part = seq.slice(cut - 12..cut);
+            assert_eq!(
+                fast.advance(&mut st_a, &part),
+                oracle.advance(&mut st_b, &part)
+            );
+            assert_eq!(st_a.detected(), st_b.detected());
+            // Flip-flop planes must agree on every live machine bit and
+            // on the fault-free machine (bit 0); dropped bits may
+            // diverge — the compiled kernel stops maintaining them.
+            for ((mask_a, ff_a), (mask_b, ff_b)) in st_a
+                .debug_ff_planes()
+                .into_iter()
+                .zip(st_b.debug_ff_planes())
+            {
+                assert_eq!(mask_a, mask_b);
+                for (k, (&(o_a, z_a), &(o_b, z_b))) in ff_a.iter().zip(&ff_b).enumerate() {
+                    assert_eq!(o_a & mask_a, o_b & mask_a, "dff {k} ones");
+                    assert_eq!(z_a & mask_a, z_b & mask_a, "dff {k} zeros");
+                }
+            }
+        }
     }
 }

@@ -38,12 +38,14 @@
 //! # }
 //! ```
 
+mod compiled;
 pub mod error;
 pub mod event;
 pub mod fault;
 pub mod good;
 pub mod logic;
 pub mod misr;
+mod plane;
 pub mod reference;
 pub mod run;
 pub mod sequence;

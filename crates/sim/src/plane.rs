@@ -1,0 +1,132 @@
+//! The two-bit-plane encoding of 64 three-valued machines.
+//!
+//! One [`Planes`] word pair holds the value of a single net in 64
+//! machines at once: bit `b` of `ones` set means machine `b` sees logic
+//! 1, bit `b` of `zeros` means logic 0, and neither means `X`. Machine 0
+//! is by convention the fault-free machine; machines 1–63 carry faults.
+//! Both the reference kernel and the compiled cone-restricted kernel
+//! (see [`crate::compiled`]) operate on this representation, so moving a
+//! batch between them is a no-op.
+
+/// Two bit-planes encoding one net's value in 64 machines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct Planes {
+    pub(crate) ones: u64,
+    pub(crate) zeros: u64,
+}
+
+impl Planes {
+    pub(crate) const ALL_ONE: Planes = Planes { ones: !0, zeros: 0 };
+    pub(crate) const ALL_ZERO: Planes = Planes { ones: 0, zeros: !0 };
+    pub(crate) const ALL_X: Planes = Planes { ones: 0, zeros: 0 };
+
+    #[inline]
+    pub(crate) fn broadcast(v: bool) -> Planes {
+        if v {
+            Planes::ALL_ONE
+        } else {
+            Planes::ALL_ZERO
+        }
+    }
+
+    #[inline]
+    pub(crate) fn and(self, rhs: Planes) -> Planes {
+        Planes {
+            ones: self.ones & rhs.ones,
+            zeros: self.zeros | rhs.zeros,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn or(self, rhs: Planes) -> Planes {
+        Planes {
+            ones: self.ones | rhs.ones,
+            zeros: self.zeros & rhs.zeros,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn xor(self, rhs: Planes) -> Planes {
+        Planes {
+            ones: (self.ones & rhs.zeros) | (self.zeros & rhs.ones),
+            zeros: (self.ones & rhs.ones) | (self.zeros & rhs.zeros),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn not(self) -> Planes {
+        Planes {
+            ones: self.zeros,
+            zeros: self.ones,
+        }
+    }
+
+    /// Forces bits: machines in `f1` to 1, machines in `f0` to 0.
+    #[inline]
+    pub(crate) fn inject(self, f1: u64, f0: u64) -> Planes {
+        Planes {
+            ones: (self.ones & !f0) | f1,
+            zeros: (self.zeros & !f1) | f0,
+        }
+    }
+
+    /// Machines whose value is binary and differs from the fault-free
+    /// machine (bit 0). Returns 0 when the fault-free value is `X`.
+    #[inline]
+    pub(crate) fn diff_from_good(self) -> u64 {
+        if self.ones & 1 != 0 {
+            self.zeros & !1
+        } else if self.zeros & 1 != 0 {
+            self.ones & !1
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inject_forces_bits() {
+        let x = Planes::ALL_X.inject(0b10, 0b100);
+        assert_eq!(x.ones, 0b10);
+        assert_eq!(x.zeros, 0b100);
+        let one = Planes::ALL_ONE.inject(0, 0b1000);
+        assert_eq!(one.ones, !0b1000);
+        assert_eq!(one.zeros, 0b1000);
+    }
+
+    #[test]
+    fn diff_needs_binary_good_value() {
+        // Good machine X: nothing can differ.
+        assert_eq!(Planes::ALL_X.diff_from_good(), 0);
+        // Good machine 1, machine 3 at 0.
+        let p = Planes {
+            ones: 0b1,
+            zeros: 0b1000,
+        };
+        assert_eq!(p.diff_from_good(), 0b1000);
+        // Good machine 0, machine 1 at 1.
+        let p = Planes {
+            ones: 0b10,
+            zeros: 0b1,
+        };
+        assert_eq!(p.diff_from_good(), 0b10);
+    }
+
+    #[test]
+    fn de_morgan_on_planes() {
+        let a = Planes {
+            ones: 0b0110,
+            zeros: 0b1001,
+        };
+        let b = Planes {
+            ones: 0b0011,
+            zeros: 0b0100,
+        };
+        assert_eq!(a.and(b).not(), a.not().or(b.not()));
+        assert_eq!(a.or(b).not(), a.not().and(b.not()));
+    }
+}

@@ -10,7 +10,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use wbist_netlist::{bench_format, FaultList};
+use wbist_netlist::{bench_format, Fault, FaultList, FaultSite};
 use wbist_sim::{FaultSim, SimOptions, Telemetry, TestSequence};
 
 struct CountingAlloc;
@@ -86,4 +86,38 @@ fn disabled_telemetry_adds_no_allocations() {
         after_plain - base,
         "a disabled handle must not change the kernel's allocation count"
     );
+
+    // (c) The cycle loop itself is allocation-free on both kernels.
+    // With a fault this sequence never activates (s-a-0 on an input
+    // held at 0), the run goes the full sequence length with an empty
+    // dirty set; a 10x longer sequence must then cost exactly the same
+    // number of allocations — the per-query allocations (good trace,
+    // batch state, worker scratch) are count-invariant in the length.
+    let quiet = bench_format::parse(
+        "quiet",
+        "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ng = AND(a, b)\nq = DFF(g)\ny = OR(q, g)\n",
+    )
+    .expect("parses");
+    let a = quiet.net_by_name("a").expect("net a");
+    let latent = FaultList::from_faults(vec![Fault::sa0(FaultSite::Stem(a))]);
+    let short = TestSequence::parse_rows(&["00"; 8]).expect("parses");
+    let long = TestSequence::parse_rows(&["00"; 80]).expect("parses");
+    for reference in [false, true] {
+        let sim = FaultSim::with_options(
+            &quiet,
+            SimOptions::with_threads(1).reference_kernel(reference),
+        );
+        assert_eq!(sim.detection_times(&latent, &short), vec![None]);
+        assert_eq!(sim.detection_times(&latent, &long), vec![None]);
+        let base = allocs();
+        sim.detection_times(&latent, &short);
+        let after_short = allocs();
+        sim.detection_times(&latent, &long);
+        let after_long = allocs();
+        assert_eq!(
+            after_long - after_short,
+            after_short - base,
+            "cycle loop must not allocate per cycle (reference_kernel = {reference})"
+        );
+    }
 }

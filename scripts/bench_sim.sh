@@ -3,8 +3,11 @@
 # worker-thread counts and writes BENCH_sim.json at the repo root.
 #
 # Usage: scripts/bench_sim.sh [--circuits s1196,s5378,s35932] [--cycles N]
-#                             [--threads 1,2,4,8] [--reps N]
-# Extra arguments are forwarded to the sim_bench binary.
+#                             [--threads 1,2,4,8] [--reps N] [--kernel K]
+#                             [--thread-sweep] [--golden]
+# Extra arguments are forwarded to the sim_bench binary. The committed
+# BENCH_sim.json is regenerated with:
+#   scripts/bench_sim.sh --circuits s1196,s5378,s35932 --cycles 128
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -202,6 +202,47 @@ proptest! {
         }
     }
 
+    /// The compiled dirty-set kernel agrees with the reference
+    /// full-walk kernel on arbitrary circuits, fault lists and
+    /// sequences: identical detection sets, detection times, and
+    /// flip-flop planes on every live machine bit.
+    #[test]
+    fn compiled_kernel_equals_reference_kernel(seed in any::<u64>(), cut in 1usize..47) {
+        let c = SyntheticSpec::new("dif", 6, 4, 5, 60, seed % 16).build();
+        let faults = FaultList::checkpoints(&c);
+        prop_assert!(faults.len() > 63, "fault list must span batches");
+        let seq = Lfsr::new(22, (seed % 6000) as u32 + 13).sequence(6, 48);
+        let fast = FaultSim::with_options(&c, SimOptions::with_threads(1));
+        let oracle = FaultSim::with_options(
+            &c,
+            SimOptions::with_threads(1).reference_kernel(true),
+        );
+        prop_assert_eq!(
+            fast.detection_times(&faults, &seq),
+            oracle.detection_times(&faults, &seq)
+        );
+        prop_assert_eq!(fast.detected(&faults, &seq), oracle.detected(&faults, &seq));
+        // Incremental runs must leave identical flip-flop planes on
+        // every live machine bit at the query boundary.
+        let mut sf = fast.begin(&faults);
+        fast.advance(&mut sf, &seq.slice(0..cut));
+        fast.advance(&mut sf, &seq.slice(cut..seq.len()));
+        let mut so = oracle.begin(&faults);
+        oracle.advance(&mut so, &seq.slice(0..cut));
+        oracle.advance(&mut so, &seq.slice(cut..seq.len()));
+        prop_assert_eq!(sf.detected(), so.detected());
+        let pf = sf.debug_ff_planes();
+        let po = so.debug_ff_planes();
+        prop_assert_eq!(pf.len(), po.len());
+        for (bi, (bf, bo)) in pf.iter().zip(&po).enumerate() {
+            let mask = bf.0 & bo.0;
+            for (k, (&(o1, z1), &(o2, z2))) in bf.1.iter().zip(&bo.1).enumerate() {
+                prop_assert_eq!(o1 & mask, o2 & mask, "ones, batch {} dff {}", bi, k);
+                prop_assert_eq!(z1 & mask, z2 & mask, "zeros, batch {} dff {}", bi, k);
+            }
+        }
+    }
+
     /// Chunked `advance` equals one-shot simulation at arbitrary split
     /// points, independent of the worker-thread count.
     #[test]
