@@ -19,7 +19,14 @@
 //!   --golden           verify detection counts against the committed
 //!                      golden values (128-cycle runs) and exit non-zero
 //!                      on any deviation
+//!   --max-wall-secs S  stop measuring once S seconds of wall clock have
+//!                      elapsed; rows finished so far are still emitted
+//!   --max-fault-cycles N  stop once N live fault-cycles have been
+//!                      simulated across all measurements
 //!   -o FILE            write the JSON there instead of stdout
+//!
+//! exit codes: 0 complete, 2 budget truncated (rows emitted so far are
+//! valid), 1 usage error, I/O failure or golden mismatch
 //! ```
 //!
 //! Each row reports two throughput figures: `fault_cycles_per_sec` is
@@ -35,7 +42,7 @@ use wbist_atpg::Lfsr;
 use wbist_bench::Json;
 use wbist_circuits::synthetic;
 use wbist_netlist::FaultList;
-use wbist_sim::{FaultSim, SimOptions, Telemetry};
+use wbist_sim::{Budget, CancelToken, FaultSim, SimOptions, Telemetry};
 
 /// Seed-era (full-circuit-walk kernel) 1-thread seconds at 128 cycles,
 /// recorded before the compiled kernel landed. `speedup_vs_seed` in the
@@ -83,10 +90,30 @@ fn main() {
         Some("reference") => true,
         Some(other) => {
             eprintln!("unknown kernel `{other}` (expected compiled or reference)");
-            std::process::exit(2);
+            std::process::exit(1);
         }
     };
     let golden = flag("--golden");
+    let mut budget = Budget::unlimited();
+    if let Some(s) = opt("--max-wall-secs") {
+        match s.parse::<f64>() {
+            Ok(secs) if !(secs.is_nan() || secs <= 0.0) => budget = budget.wall_secs(secs),
+            _ => {
+                eprintln!("--max-wall-secs needs a positive number, got `{s}`");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(s) = opt("--max-fault-cycles") {
+        match s.parse::<u64>() {
+            Ok(n) if n > 0 => budget = budget.fault_cycles(n),
+            _ => {
+                eprintln!("--max-fault-cycles needs a positive integer, got `{s}`");
+                std::process::exit(1);
+            }
+        }
+    }
+    let token = CancelToken::for_budget(&budget);
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -115,8 +142,9 @@ fn main() {
         "compiled"
     };
     let mut golden_failures = 0usize;
+    let mut truncated = None;
     let mut rows = Vec::new();
-    for name in &circuits {
+    'measure: for name in &circuits {
         let Some(circuit) = synthetic::by_name(name) else {
             eprintln!("unknown circuit `{name}`, skipping");
             continue;
@@ -131,15 +159,21 @@ fn main() {
         let mut baseline_secs = None;
         for &t in &threads {
             let options = SimOptions::with_threads(t).reference_kernel(reference_kernel);
-            let sim = FaultSim::with_options(&circuit, options);
+            let sim = FaultSim::with_options(&circuit, options).cancel(token.clone());
             // Warm up once, then keep the fastest of `reps` runs — the
             // usual least-noise estimator for throughput numbers.
             let detected = sim.count_detected(&faults, &seq);
+            if let Some(reason) = token.cancelled() {
+                truncated = Some(reason);
+                break 'measure;
+            }
             // One untimed instrumented run attributes the work: actual
             // cycles simulated (early exits included), batches, drops,
             // live fault-cycles and gate-evaluation effort.
             let tel = Telemetry::enabled();
-            let attributed = FaultSim::with_options(&circuit, options).telemetry(tel.clone());
+            let attributed = FaultSim::with_options(&circuit, options)
+                .telemetry(tel.clone())
+                .cancel(token.clone());
             std::hint::black_box(attributed.count_detected(&faults, &seq));
             let secs = (0..reps)
                 .map(|_| {
@@ -148,6 +182,13 @@ fn main() {
                     start.elapsed().as_secs_f64()
                 })
                 .fold(f64::INFINITY, f64::min);
+            // A budget trip mid-measurement leaves this row's timings
+            // describing partial runs; drop the row, keep the earlier
+            // complete ones.
+            if let Some(reason) = token.cancelled() {
+                truncated = Some(reason);
+                break 'measure;
+            }
             let baseline = *baseline_secs.get_or_insert(secs);
             let work = (faults.len() * cycles) as f64;
             let live_work = tel.counter("sim.fault_cycles") as f64;
@@ -193,19 +234,36 @@ fn main() {
         }
     }
 
-    let doc = Json::obj(vec![
+    let mut doc_fields = vec![
         ("bench", "sim".into()),
         ("available_cores", cores.into()),
         ("kernel", kernel_name.into()),
-        ("rows", Json::Array(rows)),
-    ]);
+    ];
+    if let Some(reason) = truncated {
+        doc_fields.push(("truncated", Json::Str(reason.to_string())));
+    }
+    doc_fields.push(("rows", Json::Array(rows)));
+    let doc = Json::obj(doc_fields);
     let text = doc.render_pretty();
     match opt("-o") {
         Some(path) => {
-            std::fs::write(&path, format!("{text}\n")).expect("writable output path");
+            if let Err(e) = std::fs::write(&path, format!("{text}\n")) {
+                eprintln!("error: cannot write `{path}`: {e}");
+                std::process::exit(1);
+            }
             eprintln!("wrote {path}");
         }
         None => println!("{text}"),
+    }
+    if let Some(reason) = truncated {
+        // Fail fast before the golden verdict: a truncated run's
+        // detection counts are partial, so comparing them against the
+        // committed values would only report spurious deviations.
+        if golden {
+            eprintln!("golden comparison skipped: run truncated ({reason}); partial detection counts are not comparable");
+        }
+        eprintln!("sim_bench: run truncated: {reason} (rows emitted so far are complete)");
+        std::process::exit(2);
     }
     if golden_failures > 0 {
         eprintln!("{golden_failures} golden detection mismatch(es)");

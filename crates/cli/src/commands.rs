@@ -2,15 +2,19 @@
 
 use crate::args::{parse, Parsed};
 use std::fmt;
+use std::path::PathBuf;
 use wbist_atpg::{compact, AtpgConfig, CompactionConfig, SequenceAtpg};
 use wbist_circuits::{structured, synthetic};
 use wbist_core::{
-    synthesize_hybrid, synthesize_weighted_bist, HybridConfig, ObsOptions, PruneOptions,
-    SynthesisConfig,
+    synthesize_hybrid, synthesize_weighted_bist, Checkpoint, HybridConfig, ObsOptions,
+    PruneOptions, RunControl, Synthesis, SynthesisConfig,
 };
 use wbist_hw::{build_generator, build_hybrid_generator, generator_cost, to_verilog};
 use wbist_netlist::{bench_format, circuit_stats, Circuit, FaultList};
-use wbist_sim::{FaultSim, RunOptions, SimOptions, Telemetry, TestSequence};
+use wbist_sim::{
+    Budget, CancelToken, FaultSim, RunOptions, SimOptions, Telemetry, TestSequence,
+    TruncationReason,
+};
 
 /// Top-level usage text.
 pub const USAGE: &str = "usage:
@@ -31,7 +35,17 @@ pub const USAGE: &str = "usage:
       --threads N     simulator worker threads (default: all cores)
       --kernel K      fault-sim kernel: compiled (default) | reference
       --trace FILE    write a deterministic JSON telemetry trace
-      --progress      print a phase-timing summary to stderr";
+      --progress      print a phase-timing summary to stderr
+  run control (budgets apply to any command; checkpoints to synth):
+      --max-wall-secs S       stop after S seconds of wall clock
+      --max-fault-cycles N    stop after N simulated fault-cycles
+      --max-assignments N     stop after keeping N weight assignments
+      --checkpoint FILE       write a resumable checkpoint after every
+                              kept assignment (synth only)
+      --resume FILE           continue a budget-truncated synth run from
+                              its checkpoint, bit-identically
+  exit codes: 0 complete, 2 budget truncated (valid partial results),
+              1 usage or run error";
 
 /// CLI error: usage problems print the help text; run errors print the
 /// message only.
@@ -62,27 +76,47 @@ fn usage(msg: impl Into<String>) -> CliError {
     CliError::Usage(msg.into())
 }
 
+/// How a command finished: completely, or cut short by a budget with
+/// valid partial output. `main` maps these to exit codes 0 and 2; errors
+/// exit 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmdStatus {
+    /// Everything ran to the end.
+    Complete,
+    /// A `--max-*` budget tripped; printed results are valid but partial.
+    Truncated(TruncationReason),
+}
+
 /// Options shared by every command, stripped from the command line
 /// before the per-command parse. `--threads` is validated here, once,
 /// instead of in every command.
 #[derive(Debug, Clone)]
 pub struct Globals {
-    /// Run options handed to every simulation-driven phase.
+    /// Run options handed to every simulation-driven phase; armed with a
+    /// cancellation token when any `--max-*` budget is given.
     pub run: RunOptions,
     /// `--trace FILE`: write the deterministic JSON telemetry trace.
     pub trace: Option<String>,
     /// `--progress`: print the wall-clock phase summary to stderr.
     pub progress: bool,
+    /// `--checkpoint FILE`: resumable synthesis snapshots (synth only).
+    pub checkpoint: Option<String>,
+    /// `--resume FILE`: continue a truncated synth run (synth only).
+    pub resume: Option<String>,
 }
 
-/// Strips `--threads N`, `--trace FILE` and `--progress` out of `argv`,
-/// returning the remaining arguments and the validated globals.
+/// Strips the global options (`--threads N`, `--trace FILE`,
+/// `--progress`, budgets, checkpointing) out of `argv`, returning the
+/// remaining arguments and the validated globals.
 fn extract_globals(argv: &[String]) -> Result<(Vec<String>, Globals), CliError> {
     let mut rest = Vec::new();
     let mut threads: Option<usize> = None;
     let mut reference_kernel = false;
     let mut trace: Option<String> = None;
     let mut progress = false;
+    let mut budget = Budget::default();
+    let mut checkpoint: Option<String> = None;
+    let mut resume: Option<String> = None;
     let mut it = argv.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -113,6 +147,49 @@ fn extract_globals(argv: &[String]) -> Result<(Vec<String>, Globals), CliError> 
                 trace = Some(v.clone());
             }
             "--progress" => progress = true,
+            "--max-wall-secs" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| usage("--max-wall-secs needs a value"))?;
+                let secs: f64 = v
+                    .parse()
+                    .map_err(|_| usage(format!("--max-wall-secs: cannot parse `{v}`")))?;
+                if secs.is_nan() || secs <= 0.0 {
+                    return Err(usage("--max-wall-secs must be positive"));
+                }
+                budget = budget.wall_secs(secs);
+            }
+            "--max-fault-cycles" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| usage("--max-fault-cycles needs a value"))?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| usage(format!("--max-fault-cycles: cannot parse `{v}`")))?;
+                budget = budget.fault_cycles(n);
+            }
+            "--max-assignments" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| usage("--max-assignments needs a value"))?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| usage(format!("--max-assignments: cannot parse `{v}`")))?;
+                if n == 0 {
+                    return Err(usage("--max-assignments must be at least 1"));
+                }
+                budget = budget.max_assignments(n);
+            }
+            "--checkpoint" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| usage("--checkpoint needs a path"))?;
+                checkpoint = Some(v.clone());
+            }
+            "--resume" => {
+                let v = it.next().ok_or_else(|| usage("--resume needs a path"))?;
+                resume = Some(v.clone());
+            }
             _ => rest.push(a.clone()),
         }
     }
@@ -121,7 +198,12 @@ fn extract_globals(argv: &[String]) -> Result<(Vec<String>, Globals), CliError> 
     } else {
         Telemetry::disabled()
     };
-    let run = RunOptions::default().telemetry(telemetry);
+    let cancel = if budget.is_unlimited() {
+        CancelToken::unlimited()
+    } else {
+        CancelToken::for_budget(&budget)
+    };
+    let run = RunOptions::default().telemetry(telemetry).cancel(cancel);
     let run = RunOptions {
         sim: SimOptions {
             threads,
@@ -135,6 +217,8 @@ fn extract_globals(argv: &[String]) -> Result<(Vec<String>, Globals), CliError> 
             run,
             trace,
             progress,
+            checkpoint,
+            resume,
         },
     ))
 }
@@ -152,30 +236,41 @@ fn finish(g: &Globals) -> Result<(), CliError> {
 }
 
 /// Dispatches a command line.
-pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
+pub fn dispatch(argv: &[String]) -> Result<CmdStatus, CliError> {
     // Globals may appear anywhere, including before the command.
     let (rest, g) = extract_globals(argv)?;
     let Some((cmd, rest)) = rest.split_first() else {
         return Err(usage("missing command"));
     };
-    match cmd.as_str() {
-        "stats" => cmd_stats(rest),
-        "faults" => cmd_faults(rest),
-        "atpg" => cmd_atpg(rest),
-        "sim" => cmd_sim(rest, &g),
+    if (g.checkpoint.is_some() || g.resume.is_some()) && cmd != "synth" {
+        return Err(usage(format!(
+            "--checkpoint/--resume only apply to `synth`, not `{cmd}`"
+        )));
+    }
+    let status = match cmd.as_str() {
+        "stats" => cmd_stats(rest).map(|()| CmdStatus::Complete),
+        "faults" => cmd_faults(rest).map(|()| CmdStatus::Complete),
+        "atpg" => cmd_atpg(rest).map(|()| CmdStatus::Complete),
+        "sim" => cmd_sim(rest, &g).map(|()| CmdStatus::Complete),
         "synth" => cmd_synth(rest, &g),
-        "obs" => cmd_obs(rest, &g),
-        "session" => cmd_session(rest, &g),
-        "podem" => cmd_podem(rest),
-        "vcd" => cmd_vcd(rest),
-        "gen" => cmd_gen(rest),
+        "obs" => cmd_obs(rest, &g).map(|()| CmdStatus::Complete),
+        "session" => cmd_session(rest, &g).map(|()| CmdStatus::Complete),
+        "podem" => cmd_podem(rest).map(|()| CmdStatus::Complete),
+        "vcd" => cmd_vcd(rest).map(|()| CmdStatus::Complete),
+        "gen" => cmd_gen(rest).map(|()| CmdStatus::Complete),
         "-h" | "--help" | "help" => {
             println!("{USAGE}");
-            return Ok(());
+            return Ok(CmdStatus::Complete);
         }
         other => return Err(usage(format!("unknown command `{other}`"))),
     }?;
-    finish(&g)
+    finish(&g)?;
+    // A budget that tripped inside any phase surfaces as truncation even
+    // when the command itself has no dedicated run-control path.
+    match (status, g.run.cancel.cancelled()) {
+        (CmdStatus::Complete, Some(reason)) => Ok(CmdStatus::Truncated(reason)),
+        _ => Ok(status),
+    }
 }
 
 fn load_circuit(path: &str) -> Result<Circuit, CliError> {
@@ -295,7 +390,7 @@ fn cmd_sim(argv: &[String], g: &Globals) -> Result<(), CliError> {
     Ok(())
 }
 
-fn cmd_synth(argv: &[String], g: &Globals) -> Result<(), CliError> {
+fn cmd_synth(argv: &[String], g: &Globals) -> Result<CmdStatus, CliError> {
     let p = parse(
         argv,
         &["seq", "lg", "random", "verilog", "bench", "model", "seed"],
@@ -335,7 +430,13 @@ fn cmd_synth(argv: &[String], g: &Globals) -> Result<(), CliError> {
         ..SynthesisConfig::default()
     };
 
+    let mut truncated: Option<TruncationReason> = None;
     let (omega, guaranteed, subs, random_note) = if random_sessions > 0 {
+        if g.checkpoint.is_some() || g.resume.is_some() {
+            return Err(usage(
+                "--checkpoint/--resume do not support the hybrid (--random) flow",
+            ));
+        }
         let r = synthesize_hybrid(
             &c,
             &t,
@@ -358,7 +459,21 @@ fn cmd_synth(argv: &[String], g: &Globals) -> Result<(), CliError> {
             note,
         )
     } else {
-        let r = synthesize_weighted_bist(&c, &t, &faults, &syn_cfg);
+        let ctl = RunControl {
+            // The globals already armed `run.cancel` with the budget;
+            // run_controlled reuses that token.
+            budget: Budget::default(),
+            checkpoint: g.checkpoint.as_ref().map(PathBuf::from),
+        };
+        let mut syn = Synthesis::new(&c, &t, &faults).config(syn_cfg.clone());
+        if let Some(path) = &g.resume {
+            let ckpt = Checkpoint::load(std::path::Path::new(path))?;
+            syn = syn.resume_from(ckpt)?;
+            eprintln!("resuming from {path}");
+        }
+        let outcome = syn.run_controlled(&ctl);
+        truncated = outcome.truncation();
+        let r = outcome.into_result();
         (
             r.omega.clone(),
             r.coverage_guaranteed(),
@@ -366,6 +481,9 @@ fn cmd_synth(argv: &[String], g: &Globals) -> Result<(), CliError> {
             String::new(),
         )
     };
+    if let Some(reason) = truncated {
+        eprintln!("synthesis truncated: {reason} (partial results below are valid)");
+    }
 
     let pruned = wbist_core::reverse_order_prune(
         &c,
@@ -391,9 +509,13 @@ fn cmd_synth(argv: &[String], g: &Globals) -> Result<(), CliError> {
         );
     }
 
+    let status = match truncated {
+        Some(reason) => CmdStatus::Truncated(reason),
+        None => CmdStatus::Complete,
+    };
     if pruned.is_empty() {
         eprintln!("nothing to synthesize hardware for");
-        return Ok(());
+        return Ok(status);
     }
     if random_sessions > 0 {
         let gen = build_hybrid_generator(&pruned, l_g, random_sessions, 24)?;
@@ -409,7 +531,7 @@ fn cmd_synth(argv: &[String], g: &Globals) -> Result<(), CliError> {
         println!("{cost}");
         print_hw(&gen.circuit, p.opt("verilog"), p.opt("bench"))?;
     }
-    Ok(())
+    Ok(status)
 }
 
 fn print_hw(circuit: &Circuit, verilog: Option<&str>, bench: Option<&str>) -> Result<(), CliError> {
@@ -699,6 +821,105 @@ mod tests {
         assert!(traces[0].contains("\"synthesis\""));
         assert!(traces[0].contains("\"prune\""));
         assert!(traces[0].contains("hw.gates"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // One test per exit-code class: 0 = Ok(Complete), 2 = Ok(Truncated),
+    // 1 = Err(Usage | Run). `main` maps these one to one.
+    #[test]
+    fn complete_runs_report_complete() {
+        assert_eq!(
+            dispatch(&argv(&["help"])).expect("help works"),
+            CmdStatus::Complete
+        );
+    }
+
+    #[test]
+    fn tiny_budget_reports_truncated() {
+        let dir = std::env::temp_dir().join(format!("wbist-trunc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        let bench = dir.join("s27.bench");
+        dispatch(&argv(&["gen", "s27", "-o", bench.to_str().expect("utf8")])).expect("gen");
+        let status = dispatch(&argv(&[
+            "synth",
+            bench.to_str().expect("utf8"),
+            "--lg",
+            "64",
+            "--max-assignments",
+            "1",
+        ]))
+        .expect("truncation is not an error");
+        assert!(matches!(status, CmdStatus::Truncated(_)), "{status:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn usage_and_run_failures_are_errors() {
+        // Usage: bad flag value.
+        assert!(matches!(
+            dispatch(&argv(&["synth", "x.bench", "--max-assignments", "0"])),
+            Err(CliError::Usage(_))
+        ));
+        // Usage: checkpointing outside synth.
+        assert!(matches!(
+            dispatch(&argv(&["stats", "x.bench", "--checkpoint", "c.ckpt"])),
+            Err(CliError::Usage(_))
+        ));
+        // Run: missing input file.
+        assert!(matches!(
+            dispatch(&argv(&["stats", "/nonexistent/x.bench"])),
+            Err(CliError::Run(_))
+        ));
+    }
+
+    #[test]
+    fn synth_checkpoint_resume_round_trip() {
+        let dir = std::env::temp_dir().join(format!("wbist-cli-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        let bench = dir.join("s27.bench");
+        let seq = dir.join("seq.txt");
+        let ckpt = dir.join("synth.ckpt");
+        dispatch(&argv(&["gen", "s27", "-o", bench.to_str().expect("utf8")])).expect("gen");
+        dispatch(&argv(&[
+            "atpg",
+            bench.to_str().expect("utf8"),
+            "--max-len",
+            "600",
+            "-o",
+            seq.to_str().expect("utf8"),
+        ]))
+        .expect("atpg");
+        let base = [
+            "synth",
+            bench.to_str().expect("utf8"),
+            "--seq",
+            seq.to_str().expect("utf8"),
+            "--lg",
+            "64",
+        ];
+        let mut cut = argv(&base);
+        cut.extend(argv(&[
+            "--max-assignments",
+            "1",
+            "--checkpoint",
+            ckpt.to_str().expect("utf8"),
+        ]));
+        let status = dispatch(&cut).expect("truncated synth runs");
+        assert!(matches!(status, CmdStatus::Truncated(_)));
+        assert!(ckpt.exists(), "checkpoint written");
+
+        let mut resumed = argv(&base);
+        resumed.extend(argv(&["--resume", ckpt.to_str().expect("utf8")]));
+        assert_eq!(
+            dispatch(&resumed).expect("resume completes"),
+            CmdStatus::Complete
+        );
+
+        // Resuming against a different configuration is rejected.
+        let mut wrong = argv(&base);
+        wrong[5] = "48".to_string(); // different --lg
+        wrong.extend(argv(&["--resume", ckpt.to_str().expect("utf8")]));
+        assert!(matches!(dispatch(&wrong), Err(CliError::Run(_))));
         std::fs::remove_dir_all(&dir).ok();
     }
 

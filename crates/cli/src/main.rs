@@ -20,14 +20,20 @@ use std::process::ExitCode;
 mod args;
 mod commands;
 
+// Exit-code contract: 0 = complete, 2 = budget truncated (valid partial
+// results), 1 = usage or run error.
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match commands::dispatch(&argv) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(commands::CmdStatus::Complete) => ExitCode::SUCCESS,
+        Ok(commands::CmdStatus::Truncated(reason)) => {
+            eprintln!("wbist: run truncated: {reason}");
+            ExitCode::from(2)
+        }
         Err(commands::CliError::Usage(msg)) => {
             eprintln!("{msg}");
             eprintln!("\n{}", commands::USAGE);
-            ExitCode::from(2)
+            ExitCode::FAILURE
         }
         Err(commands::CliError::Run(err)) => {
             eprintln!("error: {err}");

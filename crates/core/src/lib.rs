@@ -43,6 +43,7 @@ pub mod diagnose;
 pub mod hybrid;
 pub mod obs;
 pub mod prune;
+pub mod runctl;
 pub mod select;
 pub mod session;
 pub mod subseq;
@@ -53,12 +54,15 @@ pub use diagnose::{DictionaryResolution, FaultDictionary, Syndrome};
 pub use hybrid::{synthesize_hybrid, HybridConfig, HybridResult};
 pub use obs::{observation_point_tradeoff, ObsOptions, ObsRow, ObsTradeoff};
 pub use prune::{reverse_order_prune, PruneOptions};
+pub use runctl::{
+    config_hash, Checkpoint, CheckpointError, Cursor, Outcome, RunControl, CHECKPOINT_SCHEMA,
+};
 pub use select::{
     synthesize_weighted_bist, SelectedAssignment, Synthesis, SynthesisConfig, SynthesisResult,
 };
 pub use session::{run_bist_session, SessionConfig, SessionReport};
 pub use subseq::Subsequence;
-pub use wbist_sim::{RunOptions, SimOptions, Telemetry};
+pub use wbist_sim::{Budget, CancelToken, RunOptions, SimOptions, Telemetry, TruncationReason};
 pub use weights::WeightSet;
 
 // Deprecated positional forms, re-exported for the transition period.

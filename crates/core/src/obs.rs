@@ -132,6 +132,12 @@ pub fn observation_point_tradeoff(
     let mut rows = Vec::new();
 
     while covered.iter().filter(|&&c| c).count() < total_covered {
+        if let Some(reason) = opts.run.cancel.cancelled() {
+            // Budget tripped: return the rows built so far — each is a
+            // complete, valid trade-off point on its own.
+            crate::runctl::note_truncation(&tel, reason);
+            break;
+        }
         // Greedy: assignment with the largest marginal gain.
         let (best, _) = det
             .iter()

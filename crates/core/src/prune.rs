@@ -62,6 +62,16 @@ pub fn reverse_order_prune(
     let mut keep = vec![false; omega.len()];
 
     for (k, sel) in omega.iter().enumerate().rev() {
+        if let Some(reason) = opts.run.cancel.cancelled() {
+            // Budget tripped: the assignments not yet examined stay kept
+            // (only proven-redundant ones may be dropped), so the partial
+            // result still covers everything `omega` covered.
+            for slot in keep.iter_mut().take(k + 1) {
+                *slot = true;
+            }
+            crate::runctl::note_truncation(&tel, reason);
+            break;
+        }
         let live: Vec<usize> = (0..faults.len()).filter(|&i| !detected[i]).collect();
         if live.is_empty() {
             break;

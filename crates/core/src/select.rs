@@ -26,9 +26,13 @@
 //! detected, the full simulation is skipped.
 
 use crate::assign::{CandidateOrdering, CandidateSets, WeightAssignment};
+use crate::runctl::{
+    self, Checkpoint, CheckpointError, Cursor, Outcome, RunControl, TruncationReason,
+};
 use crate::weights::WeightSet;
 use wbist_netlist::{Circuit, Fault, FaultList};
-use wbist_sim::{FaultSim, RunOptions, TestSequence};
+use wbist_sim::{CancelToken, FaultSim, RunOptions, TestSequence};
+use wbist_telemetry::Telemetry;
 
 /// Configuration of the synthesis procedure.
 #[derive(Debug, Clone)]
@@ -178,6 +182,7 @@ pub struct Synthesis<'a> {
     faults: &'a FaultList,
     cfg: SynthesisConfig,
     already_detected: Option<Vec<bool>>,
+    resume: Option<Checkpoint>,
 }
 
 impl<'a> Synthesis<'a> {
@@ -190,6 +195,7 @@ impl<'a> Synthesis<'a> {
             faults,
             cfg: SynthesisConfig::default(),
             already_detected: None,
+            resume: None,
         }
     }
 
@@ -224,7 +230,74 @@ impl<'a> Synthesis<'a> {
     /// not match the circuit, `cfg.sequence_length == 0`, or an
     /// `already_detected` slice has the wrong length.
     pub fn run(self) -> SynthesisResult {
+        self.run_controlled(&RunControl::default()).into_result()
+    }
+
+    /// Pre-seeds the procedure from a [`Checkpoint`] written by an
+    /// earlier (budget-truncated) run over the same circuit, sequence,
+    /// fault list and configuration.
+    ///
+    /// Call it *after* [`Synthesis::config`] and
+    /// [`Synthesis::already_detected`]: the checkpoint is validated
+    /// against a hash of the run configuration
+    /// ([`crate::runctl::config_hash`] plus the pre-detection flags) and
+    /// rejected with [`CheckpointError::ConfigMismatch`] if anything
+    /// differs. A resumed run reproduces the uninterrupted run bit for
+    /// bit — same `Ω`, same flags, same telemetry counters.
+    pub fn resume_from(mut self, ckpt: Checkpoint) -> Result<Synthesis<'a>, CheckpointError> {
+        let expected = self.run_hash();
+        if ckpt.config_hash != expected {
+            return Err(CheckpointError::ConfigMismatch {
+                expected,
+                found: ckpt.config_hash,
+            });
+        }
+        if ckpt.detected.len() != self.faults.len() {
+            return Err(CheckpointError::Schema(format!(
+                "checkpoint covers {} faults, the fault list has {}",
+                ckpt.detected.len(),
+                self.faults.len()
+            )));
+        }
+        self.resume = Some(ckpt);
+        Ok(self)
+    }
+
+    /// The configuration hash checkpoints of this run carry: the shared
+    /// [`runctl::config_hash`] with the pre-detection flags folded in
+    /// (absent flags hash like all-false ones).
+    fn run_hash(&self) -> u64 {
+        let base = runctl::config_hash(self.circuit, self.t, self.faults, &self.cfg);
+        let pre = self
+            .already_detected
+            .clone()
+            .unwrap_or_else(|| vec![false; self.faults.len()]);
+        runctl::fold_flags(base, &pre)
+    }
+
+    /// Runs the procedure under a [`RunControl`]: budget limits become a
+    /// cooperative [`CancelToken`] (polled by the kernels every simulated
+    /// cycle and by this driver at every candidate), and a checkpoint is
+    /// written after every kept assignment.
+    ///
+    /// On truncation the returned [`Outcome::Truncated`] still carries a
+    /// valid partial result: every `detected` flag is a genuine
+    /// detection and `Ω` contains only fully evaluated assignments. The
+    /// setup simulation of `T` (detection times) always runs to
+    /// completion — every later decision depends on it — so budgets are
+    /// enforced from the first candidate onwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Synthesis::run`].
+    pub fn run_controlled(mut self, ctl: &RunControl) -> Outcome<SynthesisResult> {
+        if !ctl.budget.is_unlimited() {
+            self.cfg.run.cancel = CancelToken::for_budget(&ctl.budget);
+        }
+        let config_hash = self.run_hash();
+        let resume = self.resume.take();
         let cfg = &self.cfg;
+        let token = cfg.run.cancel.clone();
         let (circuit, t, faults) = (self.circuit, self.t, self.faults);
         let pre: Vec<bool> = self
             .already_detected
@@ -234,7 +307,22 @@ impl<'a> Synthesis<'a> {
         let tel = cfg.run.telemetry.clone();
         let _span = tel.span("synthesis");
         let sim = FaultSim::with_run_options(circuit, &cfg.run);
-        let det_times = sim.detection_times(faults, t);
+        // The setup pass must complete (and be counted) exactly once
+        // across an interrupted/resumed chain of runs: a resumed run
+        // recomputes it with telemetry disabled — its cost is already
+        // inside the restored counters — and without the token, so a
+        // tiny budget cannot corrupt the detection times everything
+        // else depends on.
+        let setup_run = if resume.is_some() {
+            cfg.run
+                .clone()
+                .telemetry(Telemetry::disabled())
+                .cancel(CancelToken::unlimited())
+        } else {
+            cfg.run.clone().cancel(CancelToken::unlimited())
+        };
+        let setup_sim = FaultSim::with_run_options(circuit, &setup_run);
+        let det_times = setup_sim.detection_times(faults, t);
         let target: Vec<bool> = det_times
             .iter()
             .zip(&pre)
@@ -245,6 +333,55 @@ impl<'a> Synthesis<'a> {
         let mut abandoned = vec![false; n];
         let mut s = WeightSet::new();
         let mut omega: Vec<SelectedAssignment> = Vec::new();
+        // Loop coordinates to re-enter at, when resuming: the cursor
+        // names the last *kept* rank, so the walk continues at rank + 1.
+        let mut pending: Option<(usize, usize, usize, usize)> = None;
+
+        if let Some(ck) = &resume {
+            detected.copy_from_slice(&ck.detected);
+            abandoned.copy_from_slice(&ck.abandoned);
+            for sub in &ck.weights {
+                s.insert(sub.clone());
+            }
+            omega = ck.omega.clone();
+            runctl::restore_counters(&tel, &ck.counters);
+            pending = ck.cursor.map(|c| (c.fault, c.u, c.ls, c.rank + 1));
+            if tel.is_enabled() {
+                tel.event("runctl.resumed", &[("assignments", omega.len() as u64)]);
+            }
+        }
+
+        let write_checkpoint = |tel: &Telemetry,
+                                omega: &[SelectedAssignment],
+                                detected: &[bool],
+                                abandoned: &[bool],
+                                s: &WeightSet,
+                                cursor: Option<Cursor>| {
+            let Some(path) = &ctl.checkpoint else {
+                return;
+            };
+            // Counted before the snapshot so the restored value already
+            // includes this write — that keeps the counter identical
+            // between interrupted and uninterrupted runs.
+            tel.add("runctl.checkpoints_written", 1);
+            let ck = Checkpoint {
+                config_hash,
+                seed: cfg.run.seed,
+                sequence_length: cfg.sequence_length,
+                detected: detected.to_vec(),
+                abandoned: abandoned.to_vec(),
+                weights: s.iter().map(|(_, sub)| sub.clone()).collect(),
+                omega: omega.to_vec(),
+                cursor,
+                counters: tel.counters(),
+            };
+            if let Err(e) = ck.save(path) {
+                // Non-fatal: losing a checkpoint must never kill the run
+                // it exists to protect.
+                eprintln!("wbist: checkpoint write failed: {e}");
+                tel.event("runctl.checkpoint_failed", &[]);
+            }
+        };
 
         let remaining = |detected: &[bool], abandoned: &[bool]| -> Option<(usize, usize)> {
             (0..n)
@@ -257,8 +394,23 @@ impl<'a> Synthesis<'a> {
         if tel.is_enabled() {
             tel.point("fault_drop", undetected(&detected));
         }
+        if resume.is_none() {
+            write_checkpoint(&tel, &omega, &detected, &abandoned, &s, None);
+        }
 
-        while let Some((fi, u)) = remaining(&detected, &abandoned) {
+        let mut truncated: Option<TruncationReason> = None;
+        loop {
+            if let Some(r) = token.cancelled() {
+                truncated = Some(r);
+                break;
+            }
+            let (fi, u, ls0, j0) = match pending.take() {
+                Some(at) => at,
+                None => match remaining(&detected, &abandoned) {
+                    Some((fi, u)) => (fi, u, 1, 0),
+                    None => break,
+                },
+            };
             if u + 1 > cfg.sequence_length {
                 // T_G can never reach this fault's detection time.
                 abandoned[fi] = true;
@@ -268,54 +420,95 @@ impl<'a> Synthesis<'a> {
             let time_done = |detected: &[bool]| -> bool {
                 !(0..n).any(|i| target[i] && !detected[i] && det_times[i] == Some(u))
             };
-            'ls: for ls in 1..=(u + 1) {
-                s.extend_for(t, u, ls);
-                let mut sets = CandidateSets::build_with(&s, t, u, ls, cfg.ordering);
-                if cfg.full_length_fixup {
-                    sets.ensure_full_length_rank();
-                }
-                for j in 0..sets.max_rank() {
-                    if !sets.rank_has_length(j, ls) {
-                        continue;
+            // A fresh target is never time-done (the fault that defined
+            // `u` is undetected); a resumed cursor may be.
+            if !time_done(&detected) {
+                'ls: for ls in ls0..=(u + 1) {
+                    s.extend_for(t, u, ls);
+                    let mut sets = CandidateSets::build_with(&s, t, u, ls, cfg.ordering);
+                    if cfg.full_length_fixup {
+                        sets.ensure_full_length_rank();
                     }
-                    let Some(w) = sets.assignment_at(&s, j) else {
-                        continue;
-                    };
-                    tel.add("select.candidates_tried", 1);
-                    let tg = w.generate(cfg.sequence_length);
-                    if cfg.sample_first {
-                        let sample =
-                            screening_sample(faults, &target, &detected, fi, cfg.sample_size);
-                        if !sim.detects_any(&sample, &tg) {
-                            tel.add("select.sample_skips", 1);
+                    let j_first = if ls == ls0 { j0 } else { 0 };
+                    for j in j_first..sets.max_rank() {
+                        if let Some(r) = token.cancelled() {
+                            truncated = Some(r);
+                            break 'ls;
+                        }
+                        if !sets.rank_has_length(j, ls) {
                             continue;
                         }
-                    }
-                    let newly = simulate_and_drop(&sim, faults, &target, &mut detected, &tg);
-                    if newly > 0 {
-                        tel.add("select.assignments_kept", 1);
-                        if tel.is_enabled() {
-                            tel.point("fault_drop", undetected(&detected));
-                            tel.event(
-                                "select.kept",
-                                &[
-                                    ("detection_time", u as u64),
-                                    ("rank", j as u64),
-                                    ("newly_detected", newly as u64),
-                                ],
-                            );
+                        let Some(w) = sets.assignment_at(&s, j) else {
+                            continue;
+                        };
+                        tel.add("select.candidates_tried", 1);
+                        let tg = w.generate(cfg.sequence_length);
+                        if cfg.sample_first {
+                            let sample =
+                                screening_sample(faults, &target, &detected, fi, cfg.sample_size);
+                            if !sim.detects_any(&sample, &tg) {
+                                tel.add("select.sample_skips", 1);
+                                continue;
+                            }
                         }
-                        omega.push(SelectedAssignment {
-                            assignment: w,
-                            detection_time: u,
-                            rank: j,
-                            newly_detected: newly,
-                        });
-                    }
-                    if time_done(&detected) {
-                        break 'ls;
+                        let newly = simulate_and_drop(&sim, faults, &target, &mut detected, &tg);
+                        if let Some(r) = token.cancelled() {
+                            // The simulation was cut short: its flags are
+                            // genuine detections (kept, result stays
+                            // valid) but possibly incomplete, so this
+                            // rank must not enter Ω or a checkpoint — a
+                            // resumed run replays it in full.
+                            truncated = Some(r);
+                            break 'ls;
+                        }
+                        if newly > 0 {
+                            tel.add("select.assignments_kept", 1);
+                            if tel.is_enabled() {
+                                tel.point("fault_drop", undetected(&detected));
+                                tel.event(
+                                    "select.kept",
+                                    &[
+                                        ("detection_time", u as u64),
+                                        ("rank", j as u64),
+                                        ("newly_detected", newly as u64),
+                                    ],
+                                );
+                            }
+                            omega.push(SelectedAssignment {
+                                assignment: w,
+                                detection_time: u,
+                                rank: j,
+                                newly_detected: newly,
+                            });
+                            write_checkpoint(
+                                &tel,
+                                &omega,
+                                &detected,
+                                &abandoned,
+                                &s,
+                                Some(Cursor {
+                                    fault: fi,
+                                    u,
+                                    ls,
+                                    rank: j,
+                                }),
+                            );
+                            if let Some(max) = token.max_assignments() {
+                                if omega.len() >= max {
+                                    token.cancel(TruncationReason::MaxAssignments);
+                                    truncated = Some(TruncationReason::MaxAssignments);
+                                    break 'ls;
+                                }
+                            }
+                        }
+                        if time_done(&detected) {
+                            break 'ls;
+                        }
                     }
                 }
+            }
+            if truncated.is_some() {
+                break;
             }
             if !detected[fi] {
                 // Unreachable when L_G > u (see module docs); kept as a
@@ -325,13 +518,20 @@ impl<'a> Synthesis<'a> {
             }
         }
 
-        SynthesisResult {
+        let result = SynthesisResult {
             omega,
             weights: s,
             detected,
             target,
             abandoned,
             sequence_length: cfg.sequence_length,
+        };
+        match truncated {
+            Some(reason) => {
+                runctl::note_truncation(&tel, reason);
+                Outcome::Truncated { result, reason }
+            }
+            None => Outcome::Complete(result),
         }
     }
 }
@@ -527,6 +727,92 @@ mod tests {
                 assert!(hit, "target fault {i} not covered by Ω");
             }
         }
+    }
+
+    #[test]
+    fn max_assignment_budget_truncates_and_resumes_bit_identically() {
+        use crate::runctl::{Budget, Checkpoint, RunControl};
+        let (c, t, faults) = setup();
+        let cfg = SynthesisConfig {
+            sequence_length: 100,
+            run: RunOptions::default().telemetry(Telemetry::enabled()),
+            ..SynthesisConfig::default()
+        };
+        let dir = std::env::temp_dir().join("wbist-resume-s27");
+        std::fs::create_dir_all(&dir).unwrap();
+        let full_ckpt = dir.join("full.ckpt");
+        let full = Synthesis::new(&c, &t, &faults)
+            .config(cfg.clone())
+            .run_controlled(&RunControl::default().checkpoint(&full_ckpt));
+        assert!(!full.is_truncated());
+        let full_counters = cfg.run.telemetry.counters();
+        let total = full.result().omega.len();
+        assert!(total >= 2, "need several assignments to interrupt between");
+
+        for k in 1..total {
+            let ckpt_path = dir.join(format!("cut-{k}.ckpt"));
+            let cut_cfg = SynthesisConfig {
+                run: RunOptions::default().telemetry(Telemetry::enabled()),
+                ..cfg.clone()
+            };
+            let ctl = RunControl::default()
+                .budget(Budget::default().max_assignments(k))
+                .checkpoint(&ckpt_path);
+            let cut = Synthesis::new(&c, &t, &faults)
+                .config(cut_cfg)
+                .run_controlled(&ctl);
+            assert!(cut.is_truncated(), "k={k} should truncate");
+            assert_eq!(cut.result().omega.len(), k);
+            assert_eq!(cut.result().omega[..], full.result().omega[..k]);
+
+            let resumed_cfg = SynthesisConfig {
+                run: RunOptions::default().telemetry(Telemetry::enabled()),
+                ..cfg.clone()
+            };
+            let resumed_tel = resumed_cfg.run.telemetry.clone();
+            let resumed = Synthesis::new(&c, &t, &faults)
+                .config(resumed_cfg)
+                .resume_from(Checkpoint::load(&ckpt_path).expect("checkpoint loads"))
+                .expect("checkpoint matches this run")
+                .run_controlled(&RunControl::default().checkpoint(&ckpt_path));
+            assert!(!resumed.is_truncated());
+            assert_eq!(resumed.result().omega, full.result().omega, "k={k}");
+            assert_eq!(resumed.result().detected, full.result().detected);
+            assert_eq!(resumed.result().abandoned, full.result().abandoned);
+            assert_eq!(resumed_tel.counters(), full_counters, "k={k} counters");
+            std::fs::remove_file(&ckpt_path).ok();
+        }
+        std::fs::remove_file(&full_ckpt).ok();
+    }
+
+    #[test]
+    fn mismatched_checkpoint_is_rejected() {
+        use crate::runctl::{Checkpoint, CheckpointError, RunControl};
+        let (c, t, faults) = setup();
+        let cfg = SynthesisConfig {
+            sequence_length: 100,
+            ..SynthesisConfig::default()
+        };
+        let dir = std::env::temp_dir().join("wbist-resume-reject");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mismatch.ckpt");
+        let _ = Synthesis::new(&c, &t, &faults)
+            .config(cfg.clone())
+            .run_controlled(&RunControl::default().checkpoint(&path));
+        let ckpt = Checkpoint::load(&path).expect("checkpoint loads");
+        let other = SynthesisConfig {
+            sequence_length: 99,
+            ..cfg
+        };
+        let err = Synthesis::new(&c, &t, &faults)
+            .config(other)
+            .resume_from(ckpt)
+            .unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::ConfigMismatch { .. }),
+            "{err}"
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

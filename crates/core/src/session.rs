@@ -136,10 +136,16 @@ pub fn run_bist_session(
                 .unwrap_or(1)
         })
         .clamp(1, n_faults.max(1));
+    let token = &cfg.run.cancel;
     let eval_fault = |fault| {
         let mut observed_any = false;
         let mut signed_any = false;
         for (si, seq) in sequences.iter().enumerate() {
+            // Budget trip: stop evaluating; flags found so far are
+            // genuine, faults not reached simply stay undetected.
+            if token.cancelled().is_some() {
+                break;
+            }
             let stream = sim.output_stream(Some(fault), seq);
             // Observation: any cycle with a binary-vs-binary conflict.
             let observed = stream
@@ -192,6 +198,9 @@ pub fn run_bist_session(
         }
     }
 
+    if let Some(reason) = cfg.run.cancel.cancelled() {
+        crate::runctl::note_truncation(&tel, reason);
+    }
     let lost_in_signature = detected_by_observation
         .iter()
         .zip(&detected_by_signature)

@@ -26,6 +26,12 @@ use std::fmt::Write as _;
 /// Returns [`NetlistError::Parse`] for syntax errors and any of the
 /// validation errors of [`Circuit::levelize`] for structural problems.
 pub fn parse(name: &str, src: &str) -> Result<Circuit, NetlistError> {
+    if wbist_telemetry::failpoint::should_fire("netlist.bench_parse") {
+        return Err(NetlistError::Parse {
+            line: 0,
+            message: "failpoint `netlist.bench_parse` fired".into(),
+        });
+    }
     let mut c = Circuit::new(name);
     // Deferred wiring: (line_no, lhs, keyword, args)
     let mut dff_data: Vec<(usize, String, String)> = Vec::new();
@@ -131,8 +137,11 @@ pub fn parse(name: &str, src: &str) -> Result<Circuit, NetlistError> {
         }
     }
 
-    for (_line_no, q, d) in dff_data {
-        let qn = c.net_by_name(&q).expect("dff output was interned");
+    for (line_no, q, d) in dff_data {
+        let qn = c.net_by_name(&q).ok_or_else(|| NetlistError::Parse {
+            line: line_no,
+            message: format!("flip-flop output `{q}` lost during parsing"),
+        })?;
         let dn = c.declare_net(&d);
         c.connect_dff_data(qn, dn)?;
     }
@@ -165,8 +174,20 @@ pub fn write(c: &Circuit) -> String {
     }
     s.push('\n');
     for dff in c.dffs() {
-        let d = dff.d.expect("writer requires connected DFFs");
-        let _ = writeln!(s, "{} = DFF({})", c.net_name(dff.q), c.net_name(d));
+        match dff.d {
+            Some(d) => {
+                let _ = writeln!(s, "{} = DFF({})", c.net_name(dff.q), c.net_name(d));
+            }
+            // An unconnected data input cannot be expressed in `.bench`;
+            // leave a comment instead of panicking mid-write.
+            None => {
+                let _ = writeln!(
+                    s,
+                    "# {} = DFF(?)  unconnected data input",
+                    c.net_name(dff.q)
+                );
+            }
+        }
     }
     for (_, g) in c.iter_gates() {
         let ins: Vec<&str> = g.inputs.iter().map(|&i| c.net_name(i)).collect();

@@ -109,6 +109,36 @@ proptest! {
     }
 
     #[test]
+    fn mutated_bench_text_never_panics(
+        recipe in arb_recipe(),
+        edits in prop::collection::vec((0usize..10_000, 0u8..=255), 0..8),
+        cut in 0usize..10_000,
+    ) {
+        // Corrupt valid `.bench` text with byte substitutions and a
+        // truncation: the parser must return a typed error (or a valid
+        // circuit), never panic.
+        let c = build(&recipe);
+        let mut bytes = bench_format::write(&c).into_bytes();
+        for &(pos, byte) in &edits {
+            if !bytes.is_empty() {
+                let p = pos % bytes.len();
+                bytes[p] = byte;
+            }
+        }
+        bytes.truncate(cut % (bytes.len() + 1));
+        let mutated = String::from_utf8_lossy(&bytes).into_owned();
+        if let Err(e) = bench_format::parse("mutated", &mutated) {
+            // Errors render, and parse errors carry a line number
+            // inside the mutated text.
+            let msg = e.to_string();
+            prop_assert!(!msg.is_empty());
+            if let wbist_netlist::NetlistError::Parse { line, .. } = e {
+                prop_assert!(line <= mutated.lines().count());
+            }
+        }
+    }
+
+    #[test]
     fn fault_lists_are_consistent(recipe in arb_recipe()) {
         let c = build(&recipe);
         let all = FaultList::all_lines(&c);

@@ -30,6 +30,15 @@ pub enum SimError {
         /// That row's width.
         got: usize,
     },
+    /// A simulation batch panicked inside a worker. The simulator
+    /// retries the batch once on the reference kernel; this error
+    /// describes the original panic.
+    BatchPanicked {
+        /// Index of the batch within the query's batch list.
+        batch: usize,
+        /// The panic payload, rendered to text.
+        payload: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -44,6 +53,9 @@ impl fmt::Display for SimError {
             }
             Self::RaggedRows { expected, row, got } => {
                 write!(f, "row {row} has {got} bits, expected {expected}")
+            }
+            Self::BatchPanicked { batch, payload } => {
+                write!(f, "simulation batch {batch} panicked: {payload}")
             }
         }
     }

@@ -51,7 +51,9 @@ use crate::error::SimError;
 use crate::logic::Logic3;
 use crate::plane::Planes;
 use crate::run::RunOptions;
+use crate::runctl::CancelToken;
 use crate::sequence::TestSequence;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use wbist_netlist::{Circuit, Fault, FaultList, NetId};
@@ -209,6 +211,7 @@ pub struct FaultSim<'c> {
     compiled: Arc<CompiledCircuit>,
     options: SimOptions,
     telemetry: Telemetry,
+    cancel: CancelToken,
 }
 
 impl<'c> FaultSim<'c> {
@@ -234,18 +237,21 @@ impl<'c> FaultSim<'c> {
             compiled: Arc::new(CompiledCircuit::build(circuit)),
             options,
             telemetry: Telemetry::disabled(),
+            cancel: CancelToken::unlimited(),
         }
     }
 
     /// Creates a fault simulator from shared [`RunOptions`]: simulator
-    /// tuning plus the telemetry handle. This is the constructor the
-    /// pipeline phases use.
+    /// tuning, the telemetry handle, and the cancellation token. This is
+    /// the constructor the pipeline phases use.
     ///
     /// # Panics
     ///
     /// Panics if the circuit has not been levelized.
     pub fn with_run_options(circuit: &'c Circuit, run: &RunOptions) -> Self {
-        Self::with_options(circuit, run.sim).telemetry(run.telemetry.clone())
+        Self::with_options(circuit, run.sim)
+            .telemetry(run.telemetry.clone())
+            .cancel(run.cancel.clone())
     }
 
     /// Replaces the telemetry handle (builder style). Every query then
@@ -254,6 +260,17 @@ impl<'c> FaultSim<'c> {
     /// `wbist-telemetry` for which counters are deterministic.
     pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Replaces the cancellation token (builder style). An armed token
+    /// is polled once per simulated cycle per batch: each cycle charges
+    /// its live fault-cycles against the budget, and a tripped token
+    /// stops every batch at its next cycle boundary — detected flags and
+    /// flip-flop planes stay consistent, so truncated queries return a
+    /// valid prefix of the full run's results.
+    pub fn cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
         self
     }
 
@@ -292,21 +309,38 @@ impl<'c> FaultSim<'c> {
         self.compiled.good_trace(seq, init_ff)
     }
 
-    /// Dispatches one batch run to the configured kernel. Both kernels
-    /// share the sink contract: called after every evaluated cycle, the
-    /// sink returns `(drop_bits, stop)`.
+    /// Dispatches one batch run to `reference` or the compiled kernel.
+    /// Both kernels share the sink contract: called after every
+    /// evaluated cycle, the sink returns `(drop_bits, stop)`. An armed
+    /// cancellation token is polled through the same contract — each
+    /// cycle charges its live fault-cycles, and a tripped token turns
+    /// into `stop`, ending the batch at a cycle boundary with its state
+    /// intact.
     #[allow(clippy::too_many_arguments)]
     fn run_one(
         &self,
+        reference: bool,
         sched: &compiled::Schedule,
         live: u64,
         seq: &TestSequence,
         trace: &GoodTrace,
         ff: &mut [Planes],
         scratch: &mut Scratch,
-        sink: impl FnMut(usize, &CycleCtx) -> (u64, bool),
+        mut sink: impl FnMut(usize, &CycleCtx) -> (u64, bool),
     ) -> (u64, BatchStats) {
-        if self.options.reference_kernel {
+        let cancel = &self.cancel;
+        let armed = cancel.is_armed();
+        let sink = |u: usize, ctx: &CycleCtx| {
+            if armed {
+                cancel.charge_fault_cycles(ctx.live.count_ones() as u64);
+            }
+            let (drop, mut stop) = sink(u, ctx);
+            if armed && cancel.cancelled().is_some() {
+                stop = true;
+            }
+            (drop, stop)
+        };
+        if reference {
             compiled::run_batch_reference(
                 &self.compiled,
                 sched,
@@ -317,6 +351,7 @@ impl<'c> FaultSim<'c> {
                 sink,
             )
         } else {
+            wbist_telemetry::failpoint::panic_if_armed("sim.batch_kernel");
             compiled::run_batch(
                 &self.compiled,
                 sched,
@@ -328,6 +363,49 @@ impl<'c> FaultSim<'c> {
                 &mut scratch.cone,
                 sink,
             )
+        }
+    }
+
+    /// Runs one batch's work with panic isolation: `attempt` is called
+    /// with the configured kernel choice; if it panics, the panic is
+    /// caught, `sim.batch_panics` is recorded, the (possibly mid-cycle)
+    /// scratch is rebuilt, and the batch is retried once on the
+    /// reference kernel. `attempt` must own all its side effects —
+    /// results only escape through its return value — so a panicked
+    /// attempt leaves no partial state behind.
+    ///
+    /// A second panic (or a panic when the reference kernel was already
+    /// the primary) re-raises as a [`SimError::BatchPanicked`]-formatted
+    /// panic: at that point both kernels are broken and there is nothing
+    /// safer left to run.
+    fn run_isolated<R>(
+        &self,
+        batch_index: usize,
+        scratch: &mut Scratch,
+        attempt: impl Fn(bool, &mut Scratch) -> R,
+    ) -> R {
+        let reference = self.options.reference_kernel;
+        match catch_unwind(AssertUnwindSafe(|| attempt(reference, &mut *scratch))) {
+            Ok(r) => r,
+            Err(payload) => {
+                *scratch = Scratch::new(&self.compiled);
+                self.telemetry.add("sim.batch_panics", 1);
+                let err = SimError::BatchPanicked {
+                    batch: batch_index,
+                    payload: panic_message(&payload),
+                };
+                if reference {
+                    panic!("{err}; no fallback kernel left");
+                }
+                eprintln!("wbist-sim: {err}; retrying on the reference kernel");
+                match catch_unwind(AssertUnwindSafe(|| attempt(true, &mut *scratch))) {
+                    Ok(r) => r,
+                    Err(retry) => panic!(
+                        "{err}; reference-kernel retry also panicked: {}",
+                        panic_message(&retry)
+                    ),
+                }
+            }
         }
     }
 
@@ -425,30 +503,45 @@ impl<'c> FaultSim<'c> {
         self.check_width(seq);
         let (trace, next_good) = self.good_trace(seq, &state.good_ff);
         let trace = &trace;
-        let jobs: Vec<(&mut Batch, &mut Vec<Planes>)> = state
+        let jobs: Vec<(usize, &mut Batch, &mut Vec<Planes>)> = state
             .batches
             .iter_mut()
             .zip(state.ff.iter_mut())
-            .filter(|(batch, _)| batch.live != 0)
+            .enumerate()
+            .filter(|(_, (batch, _))| batch.live != 0)
+            .map(|(bi, (batch, ff))| (bi, batch, ff))
             .collect();
         let n_jobs = jobs.len();
-        let hits: Vec<(Vec<usize>, BatchStats)> = self.scatter(jobs, |(batch, ff), scratch| {
-            let mut found = Vec::new();
-            let Batch {
-                fault_indices,
-                sched,
-                live,
-                ..
-            } = &mut *batch;
-            let (new_live, stats) =
-                self.run_one(sched, *live, seq, trace, ff, scratch, |_, ctx| {
-                    let detected_now = ctx.obs_diff & ctx.live;
-                    if detected_now != 0 {
-                        collect_hits(fault_indices, detected_now, |gi| found.push(gi));
-                    }
-                    (detected_now, false)
+        let hits: Vec<(Vec<usize>, BatchStats)> = self.scatter(jobs, |(bi, batch, ff), scratch| {
+            // The attempt owns its accumulators and works on a copy of
+            // the flip-flop planes, so a panicked try leaves no partial
+            // state for the reference-kernel retry to trip over.
+            let (found, new_live, new_ff, stats) =
+                self.run_isolated(bi, scratch, |reference, scratch| {
+                    let mut found = Vec::new();
+                    let mut ff_run = ff.clone();
+                    let (new_live, stats) = self.run_one(
+                        reference,
+                        &batch.sched,
+                        batch.live,
+                        seq,
+                        trace,
+                        &mut ff_run,
+                        scratch,
+                        |_, ctx| {
+                            let detected_now = ctx.obs_diff & ctx.live;
+                            if detected_now != 0 {
+                                collect_hits(&batch.fault_indices, detected_now, |gi| {
+                                    found.push(gi)
+                                });
+                            }
+                            (detected_now, false)
+                        },
+                    );
+                    (found, new_live, ff_run, stats)
                 });
-            *live = new_live;
+            batch.live = new_live;
+            *ff = new_ff;
             (found, stats)
         });
         let mut newly = 0;
@@ -484,28 +577,32 @@ impl<'c> FaultSim<'c> {
         let trace = &trace;
         let batches = self.make_batches(faults);
         let n_jobs = batches.len();
+        let jobs: Vec<(usize, Batch)> = batches.into_iter().enumerate().collect();
         let hits: Vec<(Vec<(usize, usize)>, BatchStats)> =
-            self.scatter(batches, |batch, scratch| {
-                let mut ff = vec![Planes::ALL_X; num_dffs];
-                let mut found = Vec::new();
-                let (_, stats) = self.run_one(
-                    &batch.sched,
-                    batch.live,
-                    seq,
-                    trace,
-                    &mut ff,
-                    scratch,
-                    |u, ctx| {
-                        let detected_now = ctx.obs_diff & ctx.live;
-                        if detected_now != 0 {
-                            collect_hits(&batch.fault_indices, detected_now, |gi| {
-                                found.push((gi, u))
-                            });
-                        }
-                        (detected_now, false)
-                    },
-                );
-                (found, stats)
+            self.scatter(jobs, |(bi, batch), scratch| {
+                self.run_isolated(bi, scratch, |reference, scratch| {
+                    let mut ff = vec![Planes::ALL_X; num_dffs];
+                    let mut found = Vec::new();
+                    let (_, stats) = self.run_one(
+                        reference,
+                        &batch.sched,
+                        batch.live,
+                        seq,
+                        trace,
+                        &mut ff,
+                        scratch,
+                        |u, ctx| {
+                            let detected_now = ctx.obs_diff & ctx.live;
+                            if detected_now != 0 {
+                                collect_hits(&batch.fault_indices, detected_now, |gi| {
+                                    found.push((gi, u))
+                                });
+                            }
+                            (detected_now, false)
+                        },
+                    );
+                    (found, stats)
+                })
             });
         let mut times = vec![None; faults.len()];
         let mut stats = BatchStats::default();
@@ -557,35 +654,39 @@ impl<'c> FaultSim<'c> {
         let (trace, _) = self.good_trace(seq, &vec![Logic3::X; num_dffs]);
         let trace = &trace;
         let batches = self.make_batches(faults);
+        let jobs: Vec<(usize, Batch)> = batches.into_iter().enumerate().collect();
         let found = AtomicBool::new(false);
-        let hits: Vec<(bool, usize, usize)> = self.scatter(batches, |batch, scratch| {
+        let hits: Vec<(bool, usize, usize)> = self.scatter(jobs, |(bi, batch), scratch| {
             if found.load(Ordering::Relaxed) {
                 return (false, 0, 1);
             }
-            let mut ff = vec![Planes::ALL_X; num_dffs];
-            let mut hit = false;
-            let mut cancelled = 0usize;
-            let (_, stats) = self.run_one(
-                &batch.sched,
-                batch.live,
-                seq,
-                trace,
-                &mut ff,
-                scratch,
-                |_, ctx| {
-                    if found.load(Ordering::Relaxed) {
-                        cancelled = 1;
-                        return (0, true);
-                    }
-                    if ctx.obs_diff & ctx.live != 0 {
-                        hit = true;
-                        found.store(true, Ordering::Relaxed);
-                        return (0, true);
-                    }
-                    (0, false)
-                },
-            );
-            (hit, stats.cycles, cancelled)
+            self.run_isolated(bi, scratch, |reference, scratch| {
+                let mut ff = vec![Planes::ALL_X; num_dffs];
+                let mut hit = false;
+                let mut cancelled = 0usize;
+                let (_, stats) = self.run_one(
+                    reference,
+                    &batch.sched,
+                    batch.live,
+                    seq,
+                    trace,
+                    &mut ff,
+                    scratch,
+                    |_, ctx| {
+                        if found.load(Ordering::Relaxed) {
+                            cancelled = 1;
+                            return (0, true);
+                        }
+                        if ctx.obs_diff & ctx.live != 0 {
+                            hit = true;
+                            found.store(true, Ordering::Relaxed);
+                            return (0, true);
+                        }
+                        (0, false)
+                    },
+                );
+                (hit, stats.cycles, cancelled)
+            })
         });
         self.record_screen(&hits);
         hits.into_iter().any(|(h, _, _)| h)
@@ -607,44 +708,48 @@ impl<'c> FaultSim<'c> {
         let trace = &trace;
         let batches = self.make_batches(faults);
         let n_jobs = batches.len();
+        let jobs: Vec<(usize, Batch)> = batches.into_iter().enumerate().collect();
         // Per batch: (fault index, observable lines) pairs + stats.
         type BatchLines = (Vec<(usize, Vec<NetId>)>, BatchStats);
-        let per_batch: Vec<BatchLines> = self.scatter(batches, |batch, scratch| {
-            let mut ff = vec![Planes::ALL_X; num_dffs];
-            // Accumulated difference mask per net. Only nets inside the
-            // batch's cone can ever differ from the good machine, so the
-            // sink visits just those.
-            let mut acc = vec![0u64; num_nets];
-            let (_, stats) = self.run_one(
-                &batch.sched,
-                batch.live,
-                seq,
-                trace,
-                &mut ff,
-                scratch,
-                |_, ctx| {
-                    for &n in ctx.cone_nets {
-                        acc[n as usize] |= ctx.nets[n as usize].diff_from_good();
-                    }
-                    (0, false)
-                },
-            );
-            let lines = batch
-                .fault_indices
-                .iter()
-                .enumerate()
-                .map(|(k, &gi)| {
-                    let bit = 1u64 << (k + 1);
-                    let lines = acc
-                        .iter()
-                        .enumerate()
-                        .filter(|&(_, &mask)| mask & bit != 0)
-                        .map(|(n, _)| NetId::from_index(n))
-                        .collect();
-                    (gi, lines)
-                })
-                .collect();
-            (lines, stats)
+        let per_batch: Vec<BatchLines> = self.scatter(jobs, |(bi, batch), scratch| {
+            self.run_isolated(bi, scratch, |reference, scratch| {
+                let mut ff = vec![Planes::ALL_X; num_dffs];
+                // Accumulated difference mask per net. Only nets inside
+                // the batch's cone can ever differ from the good
+                // machine, so the sink visits just those.
+                let mut acc = vec![0u64; num_nets];
+                let (_, stats) = self.run_one(
+                    reference,
+                    &batch.sched,
+                    batch.live,
+                    seq,
+                    trace,
+                    &mut ff,
+                    scratch,
+                    |_, ctx| {
+                        for &n in ctx.cone_nets {
+                            acc[n as usize] |= ctx.nets[n as usize].diff_from_good();
+                        }
+                        (0, false)
+                    },
+                );
+                let lines = batch
+                    .fault_indices
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &gi)| {
+                        let bit = 1u64 << (k + 1);
+                        let lines = acc
+                            .iter()
+                            .enumerate()
+                            .filter(|&(_, &mask)| mask & bit != 0)
+                            .map(|(n, _)| NetId::from_index(n))
+                            .collect();
+                        (gi, lines)
+                    })
+                    .collect();
+                (lines, stats)
+            })
         });
         let mut result = vec![Vec::new(); faults.len()];
         let mut stats = BatchStats::default();
@@ -700,31 +805,34 @@ impl<'c> FaultSim<'c> {
             if found.load(Ordering::Relaxed) {
                 return (false, 0, 1);
             }
-            let batch = &state.batches[bi];
-            let mut ff = state.ff[bi].clone();
-            let mut hit = false;
-            let mut cancelled = 0usize;
-            let (_, stats) = self.run_one(
-                &batch.sched,
-                wanted,
-                seq,
-                trace,
-                &mut ff,
-                scratch,
-                |_, ctx| {
-                    if found.load(Ordering::Relaxed) {
-                        cancelled = 1;
-                        return (0, true);
-                    }
-                    if ctx.obs_diff & wanted != 0 {
-                        hit = true;
-                        found.store(true, Ordering::Relaxed);
-                        return (0, true);
-                    }
-                    (0, false)
-                },
-            );
-            (hit, stats.cycles, cancelled)
+            self.run_isolated(bi, scratch, |reference, scratch| {
+                let batch = &state.batches[bi];
+                let mut ff = state.ff[bi].clone();
+                let mut hit = false;
+                let mut cancelled = 0usize;
+                let (_, stats) = self.run_one(
+                    reference,
+                    &batch.sched,
+                    wanted,
+                    seq,
+                    trace,
+                    &mut ff,
+                    scratch,
+                    |_, ctx| {
+                        if found.load(Ordering::Relaxed) {
+                            cancelled = 1;
+                            return (0, true);
+                        }
+                        if ctx.obs_diff & wanted != 0 {
+                            hit = true;
+                            found.store(true, Ordering::Relaxed);
+                            return (0, true);
+                        }
+                        (0, false)
+                    },
+                );
+                (hit, stats.cycles, cancelled)
+            })
         });
         self.record_screen(&hits);
         hits.into_iter().any(|(h, _, _)| h)
@@ -774,6 +882,18 @@ impl BatchStats {
         self.gates_evaluated += other.gates_evaluated;
         self.gates_skipped += other.gates_skipped;
         self.fault_cycles += other.fault_cycles;
+    }
+}
+
+/// Renders a caught panic payload to text (panics carry `&str` or
+/// `String` in practice).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -1093,6 +1213,38 @@ mod tests {
         let after = sim.detection_times(&faults, &cold);
         let fresh = FaultSim::new(&c).detection_times(&faults, &cold);
         assert_eq!(after, fresh);
+    }
+
+    #[test]
+    fn tiny_fault_cycle_budget_stops_with_consistent_prefix() {
+        use crate::runctl::{Budget, CancelToken, TruncationReason};
+        let (c, faults) = multi_batch();
+        let seq = walk_sequence(48);
+        let full = FaultSim::with_options(&c, SimOptions::with_threads(1)).detected(&faults, &seq);
+        let token = CancelToken::for_budget(&Budget::unlimited().fault_cycles(200));
+        let sim = FaultSim::with_options(&c, SimOptions::with_threads(1)).cancel(token.clone());
+        let partial = sim.detected(&faults, &seq);
+        assert_eq!(token.cancelled(), Some(TruncationReason::FaultCycles));
+        // The truncated query is a valid prefix: everything it reports
+        // detected is detected by the full run too.
+        for (i, (&p, &f)) in partial.iter().zip(&full).enumerate() {
+            assert!(!p || f, "fault {i} detected only under the budget");
+        }
+        assert!(
+            partial.iter().filter(|&&d| d).count() < full.iter().filter(|&&d| d).count(),
+            "a 200-fault-cycle budget must truncate this run"
+        );
+        // Each batch stops within one cycle of the trip: the overshoot
+        // is bounded by one 63-fault cycle per batch.
+        let batches = faults.len().div_ceil(63) as u64;
+        assert!(token.fault_cycles_spent() <= 200 + batches * 63);
+        // Single-threaded truncation is deterministic.
+        let again = FaultSim::with_options(&c, SimOptions::with_threads(1))
+            .cancel(CancelToken::for_budget(
+                &Budget::unlimited().fault_cycles(200),
+            ))
+            .detected(&faults, &seq);
+        assert_eq!(partial, again);
     }
 
     #[test]

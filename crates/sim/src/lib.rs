@@ -48,6 +48,7 @@ pub mod misr;
 mod plane;
 pub mod reference;
 pub mod run;
+pub mod runctl;
 pub mod sequence;
 pub mod vcd;
 
@@ -59,5 +60,6 @@ pub use logic::Logic3;
 pub use misr::Misr;
 pub use reference::SerialFaultSim;
 pub use run::RunOptions;
+pub use runctl::{Budget, CancelToken, TruncationReason};
 pub use sequence::TestSequence;
 pub use wbist_telemetry::Telemetry;

@@ -8,6 +8,7 @@
 //! pseudo-random choices a phase makes.
 
 use crate::fault::SimOptions;
+use crate::runctl::CancelToken;
 use wbist_telemetry::Telemetry;
 
 /// Options shared by every phase of a pipeline run.
@@ -24,6 +25,11 @@ pub struct RunOptions {
     /// Base seed for pseudo-random decisions (LFSR phases, ATPG
     /// restarts). Phases that need several streams derive from it.
     pub seed: u64,
+    /// Cooperative cancellation token, polled by the kernels once per
+    /// simulated cycle and by phase drivers at phase boundaries. The
+    /// default ([`CancelToken::unlimited`]) never trips and costs
+    /// nothing.
+    pub cancel: CancelToken,
 }
 
 impl Default for RunOptions {
@@ -32,6 +38,7 @@ impl Default for RunOptions {
             sim: SimOptions::default(),
             telemetry: Telemetry::disabled(),
             seed: 1,
+            cancel: CancelToken::unlimited(),
         }
     }
 }
@@ -56,6 +63,12 @@ impl RunOptions {
         self.seed = seed;
         self
     }
+
+    /// Replaces the cancellation token (builder style).
+    pub fn cancel(mut self, cancel: CancelToken) -> RunOptions {
+        self.cancel = cancel;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -74,9 +87,12 @@ mod tests {
     fn builders_compose() {
         let run = RunOptions::with_threads(2)
             .telemetry(Telemetry::enabled())
-            .seed(7);
+            .seed(7)
+            .cancel(CancelToken::for_budget(&crate::runctl::Budget::default()));
         assert_eq!(run.sim.threads, Some(2));
         assert!(run.telemetry.is_enabled());
         assert_eq!(run.seed, 7);
+        assert!(run.cancel.is_armed());
+        assert!(!RunOptions::default().cancel.is_armed());
     }
 }

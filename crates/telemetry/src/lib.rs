@@ -59,6 +59,7 @@
 //! assert_eq!(off.counter("sim.cycles"), 0);
 //! ```
 
+pub mod failpoint;
 pub mod json;
 
 pub use json::Json;

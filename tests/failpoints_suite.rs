@@ -1,0 +1,124 @@
+//! Forced-failure resilience suite, compiled only with the
+//! `failpoints` feature: each named fault-injection site is armed in
+//! turn and the pipeline must recover — never abort the process.
+//!
+//! ```text
+//! cargo test --features failpoints --test failpoints_suite
+//! ```
+#![cfg(feature = "failpoints")]
+
+use std::sync::Mutex;
+use wbist::atpg::Lfsr;
+use wbist::circuits::{s27, synthetic};
+use wbist::core::{RunControl, RunOptions, Synthesis, SynthesisConfig, Telemetry};
+use wbist::netlist::{bench_format, FaultList, NetlistError};
+use wbist::sim::{FaultSim, SimOptions};
+use wbist::telemetry::failpoint;
+
+/// The failpoint registry is process-global, and the test harness runs
+/// tests in parallel threads — serialize every test that arms a site.
+static REGISTRY: Mutex<()> = Mutex::new(());
+
+fn serialized() -> std::sync::MutexGuard<'static, ()> {
+    let guard = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    failpoint::reset();
+    guard
+}
+
+/// A forced panic in the compiled batch kernel is caught, retried on
+/// the reference kernel, and the run completes with correct detections
+/// — the process never aborts.
+#[test]
+fn batch_kernel_panic_recovers_via_reference_retry() {
+    let _guard = serialized();
+    let c = synthetic::by_name("s1196").expect("known benchmark");
+    let faults = FaultList::checkpoints(&c);
+    assert!(faults.len() > 63, "needs a multi-batch run");
+    let seq = Lfsr::new(24, 0xACE1).sequence(c.num_inputs(), 128);
+    let want = FaultSim::with_options(&c, SimOptions::with_threads(1)).detected(&faults, &seq);
+
+    failpoint::arm("sim.batch_kernel", 1);
+    let tel = Telemetry::enabled();
+    let got = FaultSim::with_options(&c, SimOptions::with_threads(1))
+        .telemetry(tel.clone())
+        .detected(&faults, &seq);
+    failpoint::reset();
+
+    assert_eq!(got, want, "retried run must report the same detections");
+    assert!(
+        tel.counter("sim.batch_panics") >= 1,
+        "the forced panic must be recorded"
+    );
+}
+
+/// Repeated panics across a run: every armed firing is isolated to its
+/// batch and retried; detections still come out right.
+#[test]
+fn repeated_batch_panics_still_complete() {
+    let _guard = serialized();
+    let c = synthetic::by_name("s1196").expect("known benchmark");
+    let faults = FaultList::checkpoints(&c);
+    let seq = Lfsr::new(24, 0xACE1).sequence(c.num_inputs(), 64);
+    let want =
+        FaultSim::with_options(&c, SimOptions::with_threads(1)).count_detected(&faults, &seq);
+
+    failpoint::arm("sim.batch_kernel", 3);
+    let tel = Telemetry::enabled();
+    let got = FaultSim::with_options(&c, SimOptions::with_threads(1))
+        .telemetry(tel.clone())
+        .count_detected(&faults, &seq);
+    failpoint::reset();
+
+    assert_eq!(got, want);
+    assert!(tel.counter("sim.batch_panics") >= 3);
+}
+
+/// A forced checkpoint-write failure is non-fatal: the synthesis run
+/// carries on to completion and reports the failure as telemetry.
+#[test]
+fn checkpoint_write_failure_does_not_kill_the_run() {
+    let _guard = serialized();
+    let c = s27::circuit();
+    let t = s27::paper_test_sequence();
+    let faults = FaultList::checkpoints(&c);
+    let dir = std::env::temp_dir().join("wbist-failpoint-ckpt");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("forced-failure.ckpt");
+
+    failpoint::arm("core.checkpoint_write", 1);
+    let outcome = Synthesis::new(&c, &t, &faults)
+        .config(SynthesisConfig {
+            sequence_length: 100,
+            run: RunOptions::default().telemetry(Telemetry::enabled()),
+            ..SynthesisConfig::default()
+        })
+        .run_controlled(&RunControl::default().checkpoint(&path));
+    failpoint::reset();
+
+    assert!(!outcome.is_truncated());
+    let result = outcome.into_result();
+    assert!(result.coverage_guaranteed());
+    std::fs::remove_file(&path).ok();
+}
+
+/// A forced `.bench` parse failure surfaces as the typed parse error —
+/// and the parser works again once the site is spent.
+#[test]
+fn bench_parse_failpoint_is_a_typed_error() {
+    let _guard = serialized();
+    let c = s27::circuit();
+    let text = bench_format::write(&c);
+
+    failpoint::arm("netlist.bench_parse", 1);
+    let err = bench_format::parse("forced", &text).unwrap_err();
+    assert!(
+        matches!(err, NetlistError::Parse { .. }),
+        "expected a parse error, got {err}"
+    );
+    assert!(err.to_string().contains("failpoint"));
+
+    // The site fired once; parsing recovers immediately after.
+    let c2 = bench_format::parse("recovered", &text).expect("parses after the site is spent");
+    assert_eq!(c2.num_gates(), c.num_gates());
+    failpoint::reset();
+}
