@@ -1,0 +1,282 @@
+//! Selection-loop synthesis benchmark: wall-clock and candidates per
+//! second across speculation widths, emitted as JSON for
+//! `scripts/bench_select.sh`.
+//!
+//! ```text
+//! cargo run --release -p wbist-bench --bin synth_bench [-- options]
+//!
+//! options:
+//!   --circuits a,b,c   comma-separated circuit names (default
+//!                      s1196,s5378; add s35932 for the largest stand-in)
+//!   --t-len N          length of the deterministic sequence T (default 48)
+//!   --lg N             generated-sequence length L_G (default 64)
+//!   --keep-every N     keep every N-th fault as a synthesis target and
+//!                      mark the rest already detected (default per
+//!                      circuit: s1196 5, s5378 60, s35932 600)
+//!   --widths a,b,c     speculation wavefront widths to measure (default
+//!                      1,4,8; collapses to 1 on single-core hosts)
+//!   --width-sweep      measure the speculative rows even when the host
+//!                      has a single core
+//!   --threads N        simulation worker threads (default all cores)
+//!   --reps N           repetitions per row; the fastest is reported
+//!                      (default 1 — a synthesis run is long enough)
+//!   --golden           verify Ω size and target coverage against the
+//!                      committed golden values (default configuration
+//!                      only) and exit non-zero on any deviation
+//!   -o FILE            write the JSON there instead of stdout
+//!
+//! exit codes: 0 complete, 1 usage error, I/O failure or golden mismatch
+//! ```
+//!
+//! Every row must agree with the width-1 row of the same circuit on Ω,
+//! detection flags and the deterministic counters — speculation is a
+//! wall-clock optimization only — and the benchmark enforces that
+//! invariant on every run, not just under `--golden`. `candidates_per_sec`
+//! divides the deterministic `select.candidates_tried` counter by the
+//! wall clock; `memo_hit_rate` is `select.memo_hits` over the candidates
+//! tried; the speculation launch/waste figures come from the
+//! width-dependent effort space.
+
+use std::time::Instant;
+use wbist_atpg::Lfsr;
+use wbist_bench::Json;
+use wbist_circuits::synthetic;
+use wbist_core::{RunOptions, Synthesis, SynthesisConfig, SynthesisResult, Telemetry};
+use wbist_netlist::FaultList;
+
+/// Default target subsampling per circuit: every `keep_every`-th fault
+/// stays a target. Chosen so a full synthesis walk finishes in seconds
+/// while still exercising hundreds of candidate evaluations.
+const DEFAULT_KEEP_EVERY: &[(&str, usize)] = &[("s1196", 5), ("s5378", 60), ("s35932", 600)];
+
+/// Golden Ω sizes and detected-target counts at the default
+/// configuration (`--t-len 48 --lg 64`, default `--keep-every`). The
+/// walk is bit-identical at every speculation width and worker count,
+/// so one committed value per circuit pins them all; `--golden` turns a
+/// deviation into a non-zero exit for CI.
+const GOLDEN_DEFAULT_CONFIG: &[(&str, u64, u64)] = &[
+    // (circuit, omega_len, targets_detected)
+    ("s1196", 36, 212),
+    ("s5378", 31, 74),
+];
+
+/// A run's identity-relevant products: the synthesis result, the
+/// deterministic counter snapshot, and the wall-clock seconds.
+type Baseline = (SynthesisResult, Vec<(String, u64)>, f64);
+
+fn parse_list(s: &str) -> Vec<String> {
+    s.split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Last occurrence wins so callers (scripts/bench_select.sh) can
+    // supply defaults ahead of user arguments.
+    let opt = |key: &str| -> Option<String> {
+        args.iter()
+            .rposition(|a| a == key)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let flag = |key: &str| -> bool { args.iter().any(|a| a == key) };
+    let circuits = opt("--circuits")
+        .map(|s| parse_list(&s))
+        .unwrap_or_else(|| vec!["s1196".to_string(), "s5378".to_string()]);
+    let t_len: usize = opt("--t-len").and_then(|s| s.parse().ok()).unwrap_or(48);
+    let lg: usize = opt("--lg").and_then(|s| s.parse().ok()).unwrap_or(64);
+    let keep_override: Option<usize> = opt("--keep-every").and_then(|s| s.parse().ok());
+    let reps: usize = opt("--reps")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+        .max(1);
+    let golden = flag("--golden");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads: usize = opt("--threads")
+        .and_then(|s| s.parse().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or(cores);
+    let widths: Vec<usize> = match opt("--widths") {
+        Some(s) => parse_list(&s)
+            .iter()
+            .filter_map(|w| w.parse().ok())
+            .filter(|&w| w >= 1)
+            .collect(),
+        // On a single core the speculative rows only measure scheduling
+        // overhead — the wavefront evaluates inline — so the default
+        // sweep collapses to the width-1 baseline unless --width-sweep
+        // insists (mirroring sim_bench's --thread-sweep).
+        None if cores == 1 && !flag("--width-sweep") => vec![1],
+        None => vec![1, 4, 8],
+    };
+    if widths.is_empty() {
+        eprintln!("--widths needs at least one positive integer");
+        std::process::exit(1);
+    }
+    let default_config = t_len == 48 && lg == 64 && keep_override.is_none();
+    if golden && !default_config {
+        eprintln!(
+            "--golden pins the default configuration; drop --t-len/--lg/--keep-every overrides"
+        );
+        std::process::exit(1);
+    }
+
+    let mut golden_failures = 0usize;
+    let mut identity_failures = 0usize;
+    let mut rows = Vec::new();
+    for name in &circuits {
+        let Some(circuit) = synthetic::by_name(name) else {
+            eprintln!("unknown circuit `{name}`, skipping");
+            continue;
+        };
+        let faults = FaultList::checkpoints(&circuit);
+        let seq = Lfsr::new(24, 0xACE1).sequence(circuit.num_inputs(), t_len);
+        let keep_every = keep_override
+            .or_else(|| {
+                DEFAULT_KEEP_EVERY
+                    .iter()
+                    .find(|&&(n, _)| n == name)
+                    .map(|&(_, k)| k)
+            })
+            .unwrap_or(20);
+        let pre: Vec<bool> = (0..faults.len()).map(|i| i % keep_every != 0).collect();
+        let targets = pre.iter().filter(|&&d| !d).count();
+
+        let run_at = |width: usize| -> (SynthesisResult, Telemetry, f64) {
+            let mut best: Option<(SynthesisResult, Telemetry, f64)> = None;
+            for _ in 0..reps {
+                let tel = Telemetry::enabled();
+                let cfg = SynthesisConfig {
+                    sequence_length: lg,
+                    speculation: width,
+                    run: RunOptions::with_threads(threads).telemetry(tel.clone()),
+                    ..SynthesisConfig::default()
+                };
+                let start = Instant::now();
+                let result = Synthesis::new(&circuit, &seq, &faults)
+                    .config(cfg)
+                    .already_detected(&pre)
+                    .run();
+                let secs = start.elapsed().as_secs_f64();
+                if best.as_ref().is_none_or(|(_, _, b)| secs < *b) {
+                    best = Some((result, tel, secs));
+                }
+            }
+            best.expect("reps >= 1")
+        };
+
+        let mut baseline: Option<Baseline> = None;
+        for &width in &widths {
+            let (result, tel, secs) = run_at(width);
+            let counters = tel.counters();
+            let (base_result, base_counters, base_secs) = baseline.get_or_insert_with(|| {
+                if width == 1 {
+                    (result.clone(), counters.clone(), secs)
+                } else {
+                    // The sweep starts above width 1: take a dedicated
+                    // sequential run as the identity reference.
+                    let (r, t, s) = run_at(1);
+                    (r, t.counters(), s)
+                }
+            });
+            // Bit-identity is the whole contract — check it on every
+            // run, golden or not.
+            if result.omega != base_result.omega
+                || result.detected != base_result.detected
+                || result.abandoned != base_result.abandoned
+                || counters != *base_counters
+            {
+                eprintln!(
+                    "IDENTITY MISMATCH: {name} width {width} deviates from the sequential walk"
+                );
+                identity_failures += 1;
+            }
+            let tried = tel.counter("select.candidates_tried");
+            let memo_hits = tel.counter("select.memo_hits");
+            let launched = tel.effort("select.speculation_launched");
+            let wasted = tel.effort("select.speculation_wasted");
+            let detected_targets = result
+                .detected
+                .iter()
+                .zip(&pre)
+                .filter(|&(&d, &p)| d && !p)
+                .count() as u64;
+            eprintln!(
+                "{name}: {targets} targets, width {width}, {threads} thread(s): {:.2} s ({:.2}x, {:.1} candidates/s, {tried} tried, {memo_hits} memo hits, {wasted}/{launched} speculative evals wasted)",
+                secs,
+                *base_secs / secs,
+                tried as f64 / secs,
+            );
+            if golden {
+                if let Some(&(_, want_omega, want_detected)) =
+                    GOLDEN_DEFAULT_CONFIG.iter().find(|&&(n, _, _)| n == name)
+                {
+                    if (result.omega.len() as u64, detected_targets) != (want_omega, want_detected)
+                    {
+                        eprintln!(
+                            "GOLDEN MISMATCH: {name} width {width}: Ω size {} / {detected_targets} detected, committed values are {want_omega} / {want_detected}",
+                            result.omega.len()
+                        );
+                        golden_failures += 1;
+                    }
+                }
+            }
+            rows.push(Json::obj(vec![
+                ("circuit", name.as_str().into()),
+                ("faults", faults.len().into()),
+                ("targets", targets.into()),
+                ("t_len", t_len.into()),
+                ("sequence_length", lg.into()),
+                ("threads", threads.into()),
+                ("speculation", width.into()),
+                ("seconds", secs.into()),
+                ("candidates_tried", tried.into()),
+                ("candidates_per_sec", (tried as f64 / secs).into()),
+                ("memo_hits", memo_hits.into()),
+                (
+                    "memo_hit_rate",
+                    (memo_hits as f64 / (tried.max(1)) as f64).into(),
+                ),
+                ("speculation_launched", launched.into()),
+                ("speculation_wasted", wasted.into()),
+                ("omega_len", result.omega.len().into()),
+                ("targets_detected", detected_targets.into()),
+                (
+                    "coverage",
+                    (detected_targets as f64 / targets.max(1) as f64).into(),
+                ),
+                ("speedup_vs_width_1", (*base_secs / secs).into()),
+            ]));
+        }
+    }
+
+    let doc = Json::obj(vec![
+        ("bench", "select".into()),
+        ("available_cores", cores.into()),
+        ("rows", Json::Array(rows)),
+    ]);
+    let text = doc.render_pretty();
+    match opt("-o") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, format!("{text}\n")) {
+                eprintln!("error: cannot write `{path}`: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {path}");
+        }
+        None => println!("{text}"),
+    }
+    if identity_failures > 0 {
+        eprintln!("{identity_failures} bit-identity violation(s) across speculation widths");
+        std::process::exit(1);
+    }
+    if golden_failures > 0 {
+        eprintln!("{golden_failures} golden synthesis mismatch(es)");
+        std::process::exit(1);
+    }
+}

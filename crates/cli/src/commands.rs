@@ -34,6 +34,8 @@ pub const USAGE: &str = "usage:
   global options (any command):
       --threads N     simulator worker threads (default: all cores)
       --kernel K      fault-sim kernel: compiled (default) | reference
+      --speculation K synth candidate wavefront width (default 1);
+                      results are bit-identical at every width
       --trace FILE    write a deterministic JSON telemetry trace
       --progress      print a phase-timing summary to stderr
   run control (budgets apply to any command; checkpoints to synth):
@@ -103,6 +105,8 @@ pub struct Globals {
     pub checkpoint: Option<String>,
     /// `--resume FILE`: continue a truncated synth run (synth only).
     pub resume: Option<String>,
+    /// `--speculation K`: synthesis candidate wavefront width.
+    pub speculation: usize,
 }
 
 /// Strips the global options (`--threads N`, `--trace FILE`,
@@ -117,6 +121,7 @@ fn extract_globals(argv: &[String]) -> Result<(Vec<String>, Globals), CliError> 
     let mut budget = Budget::default();
     let mut checkpoint: Option<String> = None;
     let mut resume: Option<String> = None;
+    let mut speculation: usize = 1;
     let mut it = argv.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -190,6 +195,18 @@ fn extract_globals(argv: &[String]) -> Result<(Vec<String>, Globals), CliError> 
                 let v = it.next().ok_or_else(|| usage("--resume needs a path"))?;
                 resume = Some(v.clone());
             }
+            "--speculation" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| usage("--speculation needs a value"))?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| usage(format!("--speculation: cannot parse `{v}`")))?;
+                if n == 0 {
+                    return Err(usage("--speculation must be at least 1"));
+                }
+                speculation = n;
+            }
             _ => rest.push(a.clone()),
         }
     }
@@ -219,6 +236,7 @@ fn extract_globals(argv: &[String]) -> Result<(Vec<String>, Globals), CliError> 
             progress,
             checkpoint,
             resume,
+            speculation,
         },
     ))
 }
@@ -426,6 +444,7 @@ fn cmd_synth(argv: &[String], g: &Globals) -> Result<CmdStatus, CliError> {
     let random_sessions = p.opt_parse::<usize>("random").map_err(usage)?.unwrap_or(0);
     let syn_cfg = SynthesisConfig {
         sequence_length: l_g,
+        speculation: g.speculation,
         run: g.run.clone(),
         ..SynthesisConfig::default()
     };
@@ -579,6 +598,7 @@ fn cmd_obs(argv: &[String], g: &Globals) -> Result<(), CliError> {
         &faults,
         &SynthesisConfig {
             sequence_length: l_g,
+            speculation: g.speculation,
             run: g.run.clone(),
             ..SynthesisConfig::default()
         },
@@ -622,6 +642,7 @@ fn cmd_session(argv: &[String], g: &Globals) -> Result<(), CliError> {
         &faults,
         &SynthesisConfig {
             sequence_length: l_g,
+            speculation: g.speculation,
             run: g.run.clone(),
             ..SynthesisConfig::default()
         },

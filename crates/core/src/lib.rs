@@ -41,11 +41,13 @@ pub mod assign;
 pub mod baseline;
 pub mod diagnose;
 pub mod hybrid;
+mod live;
 pub mod obs;
 pub mod prune;
 pub mod runctl;
 pub mod select;
 pub mod session;
+mod speculate;
 pub mod subseq;
 pub mod weights;
 

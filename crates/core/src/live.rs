@@ -1,0 +1,233 @@
+//! Incrementally maintained index of live target faults.
+//!
+//! The selection loop used to answer three questions with O(n) scans on
+//! every iteration: *which undetected target has the largest detection
+//! time* (`remaining`), *how many targets are still undetected* (the
+//! fault-drop curve), and *is any undetected target left at time `u`*
+//! (`time_done`). [`LiveTargets`] answers all three from state updated
+//! at commit time, and additionally maintains the dense list of
+//! simulation-live faults (`target && !detected` — abandoned faults stay
+//! in it, exactly like the scan it replaces: an abandoned target can
+//! still be detected incidentally by a later assignment's sequence).
+//!
+//! The distinction between the three views matters and mirrors the
+//! original closures precisely:
+//!
+//! * `remaining` excludes abandoned faults (the walk never returns to
+//!   them);
+//! * the undetected count and `time_done` *include* abandoned faults (an
+//!   abandoned, undetected target keeps its time "not done", and stays
+//!   on the fault-drop curve until some sequence happens to detect it);
+//! * the simulation list includes abandoned faults for the same reason.
+
+/// Dense index of the target faults a synthesis run still works on.
+#[derive(Debug, Clone)]
+pub(crate) struct LiveTargets {
+    /// Per-fault mirror of the synthesis `detected` flags (targets only).
+    detected: Vec<bool>,
+    /// Per-fault mirror of the synthesis `abandoned` flags.
+    abandoned: Vec<bool>,
+    /// Detection time per fault (targets only; 0 elsewhere, unused).
+    det_time: Vec<usize>,
+    /// Target flags.
+    target: Vec<bool>,
+    /// Ascending indices of `target && !detected` — the simulation list.
+    /// Pruned by [`LiveTargets::compact`], not on every drop.
+    live: Vec<usize>,
+    /// Count of `target && !detected` per detection time `u`.
+    by_time: Vec<u64>,
+    /// Total `target && !detected`.
+    undetected: u64,
+    /// Per-`u` buckets (ascending indices) backing [`LiveTargets::remaining`];
+    /// detected/abandoned entries are lazily popped from the back.
+    buckets: Vec<Vec<usize>>,
+    /// Upper bound on the largest `u` with a live bucket entry; the live
+    /// set only shrinks, so this only moves down.
+    max_u_hint: usize,
+}
+
+impl LiveTargets {
+    /// Builds the index from the synthesis state (which may come from a
+    /// resumed checkpoint).
+    pub(crate) fn new(
+        target: &[bool],
+        det_times: &[Option<usize>],
+        detected: &[bool],
+        abandoned: &[bool],
+    ) -> LiveTargets {
+        let n = target.len();
+        let max_u = (0..n)
+            .filter(|&i| target[i])
+            .filter_map(|i| det_times[i])
+            .max()
+            .unwrap_or(0);
+        let mut lt = LiveTargets {
+            detected: detected.to_vec(),
+            abandoned: abandoned.to_vec(),
+            det_time: det_times.iter().map(|t| t.unwrap_or(0)).collect(),
+            target: target.to_vec(),
+            live: Vec::new(),
+            by_time: vec![0; max_u + 1],
+            undetected: 0,
+            buckets: vec![Vec::new(); max_u + 1],
+            max_u_hint: max_u,
+        };
+        for i in 0..n {
+            if !target[i] {
+                continue;
+            }
+            let u = lt.det_time[i];
+            if !detected[i] {
+                lt.live.push(i);
+                lt.by_time[u] += 1;
+                lt.undetected += 1;
+            }
+            if !detected[i] && !abandoned[i] {
+                lt.buckets[u].push(i);
+            }
+        }
+        lt
+    }
+
+    /// Records that fault `i` was detected.
+    pub(crate) fn mark_detected(&mut self, i: usize) {
+        if self.detected[i] || !self.target[i] {
+            return;
+        }
+        self.detected[i] = true;
+        self.by_time[self.det_time[i]] -= 1;
+        self.undetected -= 1;
+    }
+
+    /// Records that fault `i` was abandoned (it stays in the simulation
+    /// list and the undetected count).
+    pub(crate) fn mark_abandoned(&mut self, i: usize) {
+        self.abandoned[i] = true;
+    }
+
+    /// Drops detected faults out of the simulation list. Called once per
+    /// kept assignment, not per drop, so the list stays ascending and
+    /// the total cost is O(live × keeps).
+    pub(crate) fn compact(&mut self) {
+        let detected = &self.detected;
+        self.live.retain(|&i| !detected[i]);
+    }
+
+    /// The simulation-live faults: ascending indices of undetected
+    /// targets, abandoned ones included. Only valid after
+    /// [`LiveTargets::compact`] since the last detection.
+    pub(crate) fn live(&self) -> &[usize] {
+        &self.live
+    }
+
+    /// Number of undetected targets (abandoned ones included) — the
+    /// fault-drop curve's y value.
+    pub(crate) fn undetected(&self) -> u64 {
+        self.undetected
+    }
+
+    /// Whether no undetected target with detection time `u` remains
+    /// (abandoned faults count as *not* done, like the scan this
+    /// replaces).
+    pub(crate) fn time_done(&self, u: usize) -> bool {
+        self.by_time.get(u).is_none_or(|&c| c == 0)
+    }
+
+    /// The next fault to work on: among the undetected, unabandoned
+    /// targets with the largest detection time, the one with the largest
+    /// index (the tie the original `max_by_key` scan broke the same
+    /// way). Amortized O(1): dead entries are popped as they surface.
+    pub(crate) fn remaining(&mut self) -> Option<(usize, usize)> {
+        loop {
+            let u = self.max_u_hint;
+            while let Some(&i) = self.buckets[u].last() {
+                if !self.detected[i] && !self.abandoned[i] {
+                    return Some((i, u));
+                }
+                self.buckets[u].pop();
+            }
+            if u == 0 {
+                return None;
+            }
+            self.max_u_hint = u - 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn times(ts: &[usize]) -> Vec<Option<usize>> {
+        ts.iter().map(|&t| Some(t)).collect()
+    }
+
+    #[test]
+    fn mirrors_the_scans_it_replaces() {
+        let target = vec![true, true, false, true, true];
+        let det_times = times(&[3, 7, 0, 7, 1]);
+        let mut lt = LiveTargets::new(&target, &det_times, &[false; 5], &[false; 5]);
+        assert_eq!(lt.undetected(), 4);
+        assert_eq!(lt.live(), &[0, 1, 3, 4]);
+        // Ties at the max u resolve to the larger index.
+        assert_eq!(lt.remaining(), Some((3, 7)));
+        assert!(!lt.time_done(7));
+        assert!(lt.time_done(0)); // index 2 is not a target
+
+        lt.mark_detected(3);
+        lt.compact();
+        assert_eq!(lt.remaining(), Some((1, 7)));
+        assert_eq!(lt.live(), &[0, 1, 4]);
+        assert_eq!(lt.undetected(), 3);
+
+        lt.mark_detected(1);
+        lt.compact();
+        assert!(lt.time_done(7));
+        assert_eq!(lt.remaining(), Some((0, 3)));
+    }
+
+    #[test]
+    fn abandonment_leaves_simulation_views_alone() {
+        let target = vec![true, true];
+        let det_times = times(&[5, 2]);
+        let mut lt = LiveTargets::new(&target, &det_times, &[false; 2], &[false; 2]);
+        lt.mark_abandoned(0);
+        // The walk moves on…
+        assert_eq!(lt.remaining(), Some((1, 2)));
+        // …but the abandoned fault still simulates, still counts, and
+        // still holds its detection time open.
+        assert_eq!(lt.live(), &[0, 1]);
+        assert_eq!(lt.undetected(), 2);
+        assert!(!lt.time_done(5));
+        // An incidental detection finally releases it.
+        lt.mark_detected(0);
+        lt.compact();
+        assert!(lt.time_done(5));
+        assert_eq!(lt.live(), &[1]);
+    }
+
+    #[test]
+    fn resume_state_is_respected() {
+        let target = vec![true, true, true];
+        let det_times = times(&[4, 4, 2]);
+        let detected = vec![true, false, false];
+        let abandoned = vec![false, false, true];
+        let mut lt = LiveTargets::new(&target, &det_times, &detected, &abandoned);
+        assert_eq!(lt.undetected(), 2);
+        assert_eq!(lt.live(), &[1, 2]);
+        assert_eq!(lt.remaining(), Some((1, 4)));
+        lt.mark_detected(1);
+        lt.compact();
+        // Only the abandoned fault is left: nothing to work on.
+        assert_eq!(lt.remaining(), None);
+        assert_eq!(lt.undetected(), 1);
+    }
+
+    #[test]
+    fn empty_target_set() {
+        let mut lt = LiveTargets::new(&[], &[], &[], &[]);
+        assert_eq!(lt.remaining(), None);
+        assert_eq!(lt.undetected(), 0);
+        assert!(lt.live().is_empty());
+    }
+}

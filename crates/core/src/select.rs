@@ -26,9 +26,11 @@
 //! detected, the full simulation is skipped.
 
 use crate::assign::{CandidateOrdering, CandidateSets, WeightAssignment};
+use crate::live::LiveTargets;
 use crate::runctl::{
     self, Checkpoint, CheckpointError, Cursor, Outcome, RunControl, TruncationReason,
 };
+use crate::speculate::{self, SequenceMemo};
 use crate::weights::WeightSet;
 use wbist_netlist::{Circuit, Fault, FaultList};
 use wbist_sim::{CancelToken, FaultSim, RunOptions, TestSequence};
@@ -53,6 +55,15 @@ pub struct SynthesisConfig {
     /// Disabling it is an ablation knob; the coverage guarantee is only
     /// proven with the fix-up enabled.
     pub full_length_fixup: bool,
+    /// Speculation width `K`: how many candidate ranks are evaluated
+    /// concurrently against a frozen detection snapshot before their
+    /// results are committed in strict rank order (see `DESIGN.md`
+    /// §12). `1` is the plain sequential walk. Every
+    /// width produces bit-identical results — the knob trades CPU for
+    /// wall-clock only — so it is deliberately *not* part of the
+    /// checkpoint configuration hash: checkpoints are portable across
+    /// widths.
+    pub speculation: usize,
     /// Shared run options: simulator tuning, telemetry handle, seed.
     pub run: RunOptions,
 }
@@ -65,6 +76,7 @@ impl Default for SynthesisConfig {
             sample_size: 32,
             ordering: CandidateOrdering::MatchCount,
             full_length_fixup: true,
+            speculation: 1,
             run: RunOptions::default(),
         }
     }
@@ -383,16 +395,11 @@ impl<'a> Synthesis<'a> {
             }
         };
 
-        let remaining = |detected: &[bool], abandoned: &[bool]| -> Option<(usize, usize)> {
-            (0..n)
-                .filter(|&i| target[i] && !detected[i] && !abandoned[i])
-                .map(|i| (i, det_times[i].expect("targets have detection times")))
-                .max_by_key(|&(_, u)| u)
-        };
-        let undetected =
-            |detected: &[bool]| (0..n).filter(|&i| target[i] && !detected[i]).count() as u64;
+        let width = cfg.speculation.max(1);
+        let mut live = LiveTargets::new(&target, &det_times, &detected, &abandoned);
+        let mut memo = SequenceMemo::new();
         if tel.is_enabled() {
-            tel.point("fault_drop", undetected(&detected));
+            tel.point("fault_drop", live.undetected());
         }
         if resume.is_none() {
             write_checkpoint(&tel, &omega, &detected, &abandoned, &s, None);
@@ -406,7 +413,7 @@ impl<'a> Synthesis<'a> {
             }
             let (fi, u, ls0, j0) = match pending.take() {
                 Some(at) => at,
-                None => match remaining(&detected, &abandoned) {
+                None => match live.remaining() {
                     Some((fi, u)) => (fi, u, 1, 0),
                     None => break,
                 },
@@ -414,95 +421,170 @@ impl<'a> Synthesis<'a> {
             if u + 1 > cfg.sequence_length {
                 // T_G can never reach this fault's detection time.
                 abandoned[fi] = true;
+                live.mark_abandoned(fi);
                 tel.add("select.targets_abandoned", 1);
                 continue;
             }
-            let time_done = |detected: &[bool]| -> bool {
-                !(0..n).any(|i| target[i] && !detected[i] && det_times[i] == Some(u))
-            };
             // A fresh target is never time-done (the fault that defined
-            // `u` is undetected); a resumed cursor may be.
-            if !time_done(&detected) {
+            // `u` is undetected); a resumed cursor may be. `time_done`
+            // only flips when a keep drops faults, so checking it after
+            // keeps (below) covers every rank the old per-rank scan did.
+            if !live.time_done(u) {
+                // The segment snapshot: the screening sample and the
+                // dense simulation list are frozen between keeps, and
+                // the memo lives exactly as long as they do. Rebuilt
+                // lazily at the fault start and after every keep.
+                let mut segment: Option<(Vec<usize>, FaultList, Option<FaultList>)> = None;
                 'ls: for ls in ls0..=(u + 1) {
                     s.extend_for(t, u, ls);
                     let mut sets = CandidateSets::build_with(&s, t, u, ls, cfg.ordering);
                     if cfg.full_length_fixup {
                         sets.ensure_full_length_rank();
                     }
-                    let j_first = if ls == ls0 { j0 } else { 0 };
-                    for j in j_first..sets.max_rank() {
+                    let mut j = if ls == ls0 { j0 } else { 0 };
+                    while j < sets.max_rank() {
                         if let Some(r) = token.cancelled() {
                             truncated = Some(r);
                             break 'ls;
                         }
-                        if !sets.rank_has_length(j, ls) {
-                            continue;
+                        if segment.is_none() {
+                            live.compact();
+                            memo.clear();
+                            let seg_live = live.live().to_vec();
+                            let seg_faults: FaultList =
+                                seg_live.iter().map(|&i| faults.faults()[i]).collect();
+                            let sample = cfg
+                                .sample_first
+                                .then(|| screening_sample(faults, &seg_live, fi, cfg.sample_size));
+                            segment = Some((seg_live, seg_faults, sample));
                         }
-                        let Some(w) = sets.assignment_at(&s, j) else {
-                            continue;
-                        };
-                        tel.add("select.candidates_tried", 1);
-                        let tg = w.generate(cfg.sequence_length);
-                        if cfg.sample_first {
-                            let sample =
-                                screening_sample(faults, &target, &detected, fi, cfg.sample_size);
-                            if !sim.detects_any(&sample, &tg) {
-                                tel.add("select.sample_skips", 1);
+                        let seg = segment.as_ref().expect("segment snapshot just built");
+                        let mut wave = speculate::gather(
+                            &sets,
+                            &s,
+                            ls,
+                            &mut j,
+                            width,
+                            &memo,
+                            cfg.sequence_length,
+                        );
+                        if wave.is_empty() {
+                            break; // no admissible rank left at this L_S
+                        }
+                        let launched = speculate::evaluate_wavefront(
+                            &sim,
+                            &token,
+                            &mut wave,
+                            seg.2.as_ref(),
+                            &seg.1,
+                            tel.is_enabled(),
+                        );
+                        // Commit in strict rank order. The first keep (or
+                        // budget trip) discards the rest of the wave: the
+                        // discarded evaluations were computed against a
+                        // now-stale snapshot and are re-gathered, and
+                        // their private counters are never merged — which
+                        // is what keeps the deterministic trace blind to
+                        // the speculation width.
+                        let mut committed = 0usize;
+                        let mut keep_happened = false;
+                        for entry in &wave {
+                            committed += 1;
+                            tel.add("select.candidates_tried", 1);
+                            if entry.memo_hit {
+                                tel.add("select.memo_hits", 1);
                                 continue;
                             }
-                        }
-                        let newly = simulate_and_drop(&sim, faults, &target, &mut detected, &tg);
-                        if let Some(r) = token.cancelled() {
-                            // The simulation was cut short: its flags are
-                            // genuine detections (kept, result stays
-                            // valid) but possibly incomplete, so this
-                            // rank must not enter Ω or a checkpoint — a
-                            // resumed run replays it in full.
-                            truncated = Some(r);
-                            break 'ls;
-                        }
-                        if newly > 0 {
-                            tel.add("select.assignments_kept", 1);
-                            if tel.is_enabled() {
-                                tel.point("fault_drop", undetected(&detected));
-                                tel.event(
-                                    "select.kept",
-                                    &[
-                                        ("detection_time", u as u64),
-                                        ("rank", j as u64),
-                                        ("newly_detected", newly as u64),
-                                    ],
-                                );
+                            let done = entry.eval.as_ref().expect("launched entries carry results");
+                            tel.merge_from(&done.tel);
+                            if done.screen_skip {
+                                tel.add("select.sample_skips", 1);
+                                if done.cancelled {
+                                    truncated = token.cancelled();
+                                    break;
+                                }
+                                memo.insert(entry.key.clone());
+                                continue;
                             }
-                            omega.push(SelectedAssignment {
-                                assignment: w,
-                                detection_time: u,
-                                rank: j,
-                                newly_detected: newly,
-                            });
-                            write_checkpoint(
-                                &tel,
-                                &omega,
-                                &detected,
-                                &abandoned,
-                                &s,
-                                Some(Cursor {
-                                    fault: fi,
-                                    u,
-                                    ls,
-                                    rank: j,
-                                }),
-                            );
-                            if let Some(max) = token.max_assignments() {
-                                if omega.len() >= max {
-                                    token.cancel(TruncationReason::MaxAssignments);
-                                    truncated = Some(TruncationReason::MaxAssignments);
-                                    break 'ls;
+                            // The full simulation ran: its flags are
+                            // genuine detections (kept, result stays
+                            // valid) even when the run was cut short.
+                            let mut newly = 0usize;
+                            for &k in &done.newly {
+                                let gi = seg.0[k];
+                                if !detected[gi] {
+                                    detected[gi] = true;
+                                    live.mark_detected(gi);
+                                    newly += 1;
                                 }
                             }
+                            if done.cancelled {
+                                // Possibly incomplete, so this rank must
+                                // not enter Ω or a checkpoint — a resumed
+                                // run replays it in full.
+                                truncated = token.cancelled();
+                                break;
+                            }
+                            if newly > 0 {
+                                tel.add("select.assignments_kept", 1);
+                                if tel.is_enabled() {
+                                    tel.point("fault_drop", live.undetected());
+                                    tel.event(
+                                        "select.kept",
+                                        &[
+                                            ("detection_time", u as u64),
+                                            ("rank", entry.rank as u64),
+                                            ("newly_detected", newly as u64),
+                                        ],
+                                    );
+                                }
+                                omega.push(SelectedAssignment {
+                                    assignment: entry.assignment.clone(),
+                                    detection_time: u,
+                                    rank: entry.rank,
+                                    newly_detected: newly,
+                                });
+                                write_checkpoint(
+                                    &tel,
+                                    &omega,
+                                    &detected,
+                                    &abandoned,
+                                    &s,
+                                    Some(Cursor {
+                                        fault: fi,
+                                        u,
+                                        ls,
+                                        rank: entry.rank,
+                                    }),
+                                );
+                                if let Some(max) = token.max_assignments() {
+                                    if omega.len() >= max {
+                                        token.cancel(TruncationReason::MaxAssignments);
+                                        truncated = Some(TruncationReason::MaxAssignments);
+                                    }
+                                }
+                                keep_happened = true;
+                                j = entry.rank + 1;
+                                break;
+                            }
+                            memo.insert(entry.key.clone());
                         }
-                        if time_done(&detected) {
+                        if launched > 0 && tel.is_enabled() {
+                            // Width-dependent by nature → effort space,
+                            // which stays out of the deterministic trace.
+                            let wasted =
+                                wave[committed..].iter().filter(|e| !e.memo_hit).count() as u64;
+                            tel.add_effort("select.speculation_launched", launched as u64);
+                            tel.add_effort("select.speculation_wasted", wasted);
+                        }
+                        if truncated.is_some() {
                             break 'ls;
+                        }
+                        if keep_happened {
+                            segment = None;
+                            if live.time_done(u) {
+                                break 'ls;
+                            }
                         }
                     }
                 }
@@ -514,6 +596,7 @@ impl<'a> Synthesis<'a> {
                 // Unreachable when L_G > u (see module docs); kept as a
                 // safety valve so malformed inputs cannot hang the loop.
                 abandoned[fi] = true;
+                live.mark_abandoned(fi);
                 tel.add("select.targets_abandoned", 1);
             }
         }
@@ -576,52 +659,22 @@ pub fn synthesize_weighted_bist_from(
 }
 
 /// Builds the screening sample: the target fault plus the first
-/// `size - 1` other undetected targets.
-fn screening_sample(
-    faults: &FaultList,
-    target: &[bool],
-    detected: &[bool],
-    fi: usize,
-    size: usize,
-) -> FaultList {
+/// `size - 1` other undetected targets (ascending index over the
+/// segment's live list — the same faults the old per-rank scan picked,
+/// built once per segment instead of once per candidate, and
+/// independent of the speculation width).
+fn screening_sample(faults: &FaultList, live: &[usize], fi: usize, size: usize) -> FaultList {
     let all = faults.faults();
     let mut picked: Vec<Fault> = vec![all[fi]];
-    for i in 0..all.len() {
+    for &i in live {
         if picked.len() >= size.max(1) {
             break;
         }
-        if i != fi && target[i] && !detected[i] {
+        if i != fi {
             picked.push(all[i]);
         }
     }
     FaultList::from_faults(picked)
-}
-
-/// Simulates `tg` against the still-undetected targets and sets their
-/// flags; returns the number newly detected.
-fn simulate_and_drop(
-    sim: &FaultSim<'_>,
-    faults: &FaultList,
-    target: &[bool],
-    detected: &mut [bool],
-    tg: &TestSequence,
-) -> usize {
-    let live: Vec<usize> = (0..faults.len())
-        .filter(|&i| target[i] && !detected[i])
-        .collect();
-    if live.is_empty() {
-        return 0;
-    }
-    let live_faults: FaultList = live.iter().map(|&i| faults.faults()[i]).collect();
-    let flags = sim.detected(&live_faults, tg);
-    let mut newly = 0;
-    for (k, &i) in live.iter().enumerate() {
-        if flags[k] {
-            detected[i] = true;
-            newly += 1;
-        }
-    }
-    newly
 }
 
 #[cfg(test)]

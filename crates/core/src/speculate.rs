@@ -1,0 +1,329 @@
+//! Speculative candidate evaluation for the selection loop.
+//!
+//! The §4.2 walk evaluates candidate ranks one at a time: generate
+//! `T_G`, screen it against a small sample, fault-simulate it, keep it
+//! if it detects something new. Whether `T_G` detects a fault is a pure
+//! function of the circuit and `T_G` — it does not depend on the
+//! `detected` bitmap — so the next `K` ranks can be evaluated
+//! *concurrently* against a frozen snapshot of the state and their
+//! results **committed in strict rank order**. The commit point is the
+//! only place state changes, which makes the speculation exact: Ω, the
+//! detection flags, and every deterministic telemetry counter are
+//! bit-identical to the sequential walk at any width and worker count.
+//!
+//! Three invariants carry the proof:
+//!
+//! 1. **Snapshots are segment-frozen.** The screening sample and the
+//!    dense live-fault list only change when an assignment is kept; a
+//!    kept assignment discards every later in-flight result (they were
+//!    computed against a now-stale snapshot) and the walk re-gathers
+//!    from the next rank. Committed results are therefore always
+//!    evaluated against exactly the state the sequential walk would
+//!    have used.
+//! 2. **Counters ride private handles.** Each evaluation records its
+//!    `sim.*` counters into a private [`Telemetry`] handle, merged into
+//!    the main handle in commit order; discarded evaluations are never
+//!    merged, so the deterministic trace cannot see the speculation
+//!    width. The width-dependent totals (`select.speculation_*`) go to
+//!    the effort space, which is excluded from the trace by contract.
+//! 3. **Cancellation commits a prefix.** A budget that trips mid-wave
+//!    stops the commit loop at the first result whose evaluation saw
+//!    the tripped token; later results are discarded, the checkpoint
+//!    still names the last kept rank, and a resumed run replays from
+//!    there — the same contract the sequential walk has.
+//!
+//! The [`SequenceMemo`] layered underneath exploits that distinct
+//! assignments at small `L_S` frequently generate *identical* `T_G`
+//! (clamped ranks literally repeat assignments, and short subsequences
+//! expand to the same periodic stream). The memo keys candidates by the
+//! packed bits of the generated sequence; a hit skips the screen and
+//! the simulation outright. Entries live exactly as long as the
+//! snapshot they were evaluated under (cleared on every keep and at
+//! every new target fault), so a hit is always exact, and — because
+//! checkpoints are only written at keeps — a resumed run rebuilds the
+//! same (empty) memo state the uninterrupted run had at that point.
+
+use std::collections::HashSet;
+
+use crate::assign::{CandidateSets, WeightAssignment};
+use crate::weights::WeightSet;
+use wbist_netlist::FaultList;
+use wbist_sim::{CancelToken, FaultSim, TestSequence};
+use wbist_telemetry::Telemetry;
+
+/// Hard cap on memo entries per segment; inserts beyond it are dropped
+/// (deterministically — the cap depends only on the committed walk).
+/// Bounds memory on pathological runs where one segment tries tens of
+/// thousands of distinct sequences.
+const MEMO_CAP: usize = 4096;
+
+/// Hash-consed set of generated sequences already evaluated in the
+/// current segment (the stretch between two kept assignments).
+#[derive(Debug, Default)]
+pub(crate) struct SequenceMemo {
+    seen: HashSet<Vec<u64>>,
+}
+
+impl SequenceMemo {
+    pub(crate) fn new() -> SequenceMemo {
+        SequenceMemo::default()
+    }
+
+    /// Forgets everything; called whenever the snapshot the entries
+    /// were evaluated under changes (a keep, or a new target fault).
+    pub(crate) fn clear(&mut self) {
+        self.seen.clear();
+    }
+
+    pub(crate) fn contains(&self, key: &[u64]) -> bool {
+        self.seen.contains(key)
+    }
+
+    /// Records a fully evaluated, committed, keep-free sequence.
+    pub(crate) fn insert(&mut self, key: Vec<u64>) {
+        if self.seen.len() < MEMO_CAP {
+            self.seen.insert(key);
+        }
+    }
+}
+
+/// Packs a generated sequence into the words the memo keys on. Exact:
+/// two sequences share a key iff they are bit-for-bit equal (the
+/// trailing word pins the shape).
+pub(crate) fn sequence_key(tg: &TestSequence) -> Vec<u64> {
+    let bits = tg.len() * tg.num_inputs();
+    let mut words = Vec::with_capacity(bits / 64 + 2);
+    let mut w = 0u64;
+    let mut k = 0u32;
+    for u in 0..tg.len() {
+        for &b in tg.row(u) {
+            w |= (b as u64) << k;
+            k += 1;
+            if k == 64 {
+                words.push(w);
+                w = 0;
+                k = 0;
+            }
+        }
+    }
+    if k > 0 {
+        words.push(w);
+    }
+    words.push(((tg.len() as u64) << 32) | tg.num_inputs() as u64);
+    words
+}
+
+/// What one speculative evaluation produced.
+#[derive(Debug)]
+pub(crate) struct EvalDone {
+    /// The screening sample rejected the sequence (no full simulation).
+    pub screen_skip: bool,
+    /// Indices *into the segment's live list* that the sequence
+    /// detects. Exact regardless of commit-time state: detection is
+    /// independent of the `detected` bitmap.
+    pub newly: Vec<usize>,
+    /// The evaluation's private counter handle, merged at commit.
+    pub tel: Telemetry,
+    /// The cancellation token tripped before the evaluation finished;
+    /// its results are a valid prefix but must not be committed to Ω.
+    pub cancelled: bool,
+}
+
+/// One gathered candidate rank, in walk order.
+#[derive(Debug)]
+pub(crate) struct WaveEntry {
+    pub rank: usize,
+    pub assignment: WeightAssignment,
+    pub tg: TestSequence,
+    pub key: Vec<u64>,
+    /// Resolved without simulation: the memo (or an earlier entry of
+    /// this very wave) already evaluated an identical sequence.
+    pub memo_hit: bool,
+    /// Filled by [`evaluate_wavefront`] for non-memo-hit entries.
+    pub eval: Option<EvalDone>,
+}
+
+/// Collects the next (up to) `width` admissible candidate ranks at
+/// subsequence length `ls`, advancing the rank cursor `j` past every
+/// rank it examined. Inadmissible ranks (no length-`ls` subsequence, or
+/// an empty candidate set) are skipped without being counted, exactly
+/// like the sequential walk's `continue`s.
+pub(crate) fn gather(
+    sets: &CandidateSets,
+    s: &WeightSet,
+    ls: usize,
+    j: &mut usize,
+    width: usize,
+    memo: &SequenceMemo,
+    l_g: usize,
+) -> Vec<WaveEntry> {
+    let mut wave: Vec<WaveEntry> = Vec::new();
+    while wave.len() < width.max(1) && *j < sets.max_rank() {
+        let rank = *j;
+        *j += 1;
+        if !sets.rank_has_length(rank, ls) {
+            continue;
+        }
+        let Some(assignment) = sets.assignment_at(s, rank) else {
+            continue;
+        };
+        let tg = assignment.generate(l_g);
+        let key = sequence_key(&tg);
+        // An identical sequence earlier in this same wave acts like a
+        // memo entry: if it is reached it commits first and inserts the
+        // key, so this rank resolves as a hit — and if it is not
+        // reached (a keep or a budget cut before it), this rank is
+        // discarded along with it.
+        let memo_hit = memo.contains(&key) || wave.iter().any(|e| e.key == key);
+        wave.push(WaveEntry {
+            rank,
+            assignment,
+            tg,
+            key,
+            memo_hit,
+            eval: None,
+        });
+    }
+    wave
+}
+
+/// Evaluates every non-memo-hit entry of the wave — screen, then full
+/// simulation against the segment's frozen live list — fanning the
+/// entries out over a `std::thread::scope` worker pool (the `wbist-sim`
+/// batch-pool idiom, one level up). Results land back in the entries;
+/// returns how many evaluations were launched.
+///
+/// Each evaluation runs on a [`FaultSim::worker_clone`] with a private
+/// telemetry handle, so nothing is recorded into the main handle here —
+/// the caller merges committed results in rank order.
+pub(crate) fn evaluate_wavefront(
+    sim: &FaultSim<'_>,
+    token: &CancelToken,
+    wave: &mut [WaveEntry],
+    sample: Option<&FaultList>,
+    live_faults: &FaultList,
+    tel_enabled: bool,
+) -> usize {
+    let todo: Vec<usize> = wave
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| !e.memo_hit)
+        .map(|(i, _)| i)
+        .collect();
+    if todo.is_empty() {
+        return 0;
+    }
+    let pool = sim
+        .options()
+        .threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1);
+    let evaluate = |tg: &TestSequence, threads: usize| -> EvalDone {
+        let tel = if tel_enabled {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        };
+        let esim = sim.worker_clone(tel.clone(), threads);
+        let screen_skip = match sample {
+            Some(sample) => !esim.detects_any(sample, tg),
+            None => false,
+        };
+        let newly = if screen_skip || live_faults.is_empty() {
+            Vec::new()
+        } else {
+            esim.detected_indices(live_faults, tg)
+        };
+        // Read after the queries: the kernels poll the same token per
+        // cycle, so a cut-short query implies the trip is visible here.
+        let cancelled = token.cancelled().is_some();
+        EvalDone {
+            screen_skip,
+            newly,
+            tel,
+            cancelled,
+        }
+    };
+    if todo.len() == 1 || pool == 1 {
+        // Inline: a lone evaluation keeps the full batch-level pool.
+        for &i in &todo {
+            wave[i].eval = Some(evaluate(&wave[i].tg, pool));
+        }
+    } else {
+        let workers = pool.min(todo.len());
+        let inner = (pool / workers).max(1);
+        let mut per_worker: Vec<Vec<usize>> = (0..workers).map(|_| Vec::new()).collect();
+        for (k, &i) in todo.iter().enumerate() {
+            per_worker[k % workers].push(i);
+        }
+        let shared: &[WaveEntry] = wave;
+        let evaluate = &evaluate;
+        let mut slots: Vec<(usize, EvalDone)> = Vec::with_capacity(todo.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = per_worker
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        chunk
+                            .into_iter()
+                            .map(|i| (i, evaluate(&shared[i].tg, inner)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                slots.extend(handle.join().expect("speculation worker panicked"));
+            }
+        });
+        for (i, done) in slots {
+            wave[i].eval = Some(done);
+        }
+    }
+    todo.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(rows: &[&str]) -> TestSequence {
+        TestSequence::parse_rows(rows).expect("valid rows")
+    }
+
+    #[test]
+    fn sequence_key_is_exact() {
+        let a = seq(&["01", "10"]);
+        let b = seq(&["01", "10"]);
+        let c = seq(&["01", "11"]);
+        assert_eq!(sequence_key(&a), sequence_key(&b));
+        assert_ne!(sequence_key(&a), sequence_key(&c));
+        // Same bits, different shape: the shape word separates them.
+        let wide = seq(&["0110"]);
+        assert_ne!(sequence_key(&a), sequence_key(&wide));
+    }
+
+    #[test]
+    fn sequence_key_crosses_word_boundaries() {
+        // 3 inputs × 50 units = 150 bits → 3 words + shape.
+        let rows: Vec<String> = (0..50).map(|u| format!("{:03b}", u % 8)).collect();
+        let row_refs: Vec<&str> = rows.iter().map(String::as_str).collect();
+        let long = seq(&row_refs);
+        let key = sequence_key(&long);
+        assert_eq!(key.len(), 150_usize.div_ceil(64) + 1);
+        assert_eq!(key, sequence_key(&long.clone()));
+    }
+
+    #[test]
+    fn memo_caps_and_clears() {
+        let mut memo = SequenceMemo::new();
+        let key = vec![1u64, 2];
+        memo.insert(key.clone());
+        assert!(memo.contains(&key));
+        memo.clear();
+        assert!(!memo.contains(&key));
+    }
+}

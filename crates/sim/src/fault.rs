@@ -274,6 +274,19 @@ impl<'c> FaultSim<'c> {
         self
     }
 
+    /// A clone of this simulator sharing the compiled circuit (an `Arc`
+    /// bump, no recompilation) but recording into `telemetry` and pinned
+    /// to `threads` batch-level workers. The synthesis wavefront hands
+    /// one of these to each speculation worker so every candidate's
+    /// counters land in a private handle that can be merged in commit
+    /// order.
+    pub fn worker_clone(&self, telemetry: Telemetry, threads: usize) -> FaultSim<'c> {
+        let mut sim = self.clone();
+        sim.options.threads = Some(threads.max(1));
+        sim.telemetry = telemetry;
+        sim
+    }
+
     /// The circuit being simulated.
     pub fn circuit(&self) -> &'c Circuit {
         self.circuit
@@ -627,6 +640,25 @@ impl<'c> FaultSim<'c> {
         self.detection_times(faults, seq)
             .into_iter()
             .map(|t| t.is_some())
+            .collect()
+    }
+
+    /// Simulates `seq` and returns the indices (into `faults`, ascending)
+    /// of the detected faults.
+    ///
+    /// This is the snapshot-safe query the synthesis wavefront uses:
+    /// detection of a fault by a sequence does not depend on any other
+    /// fault's status, so the returned set computed against a frozen
+    /// fault list stays valid when it is intersected with a later state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence width does not match the circuit.
+    pub fn detected_indices(&self, faults: &FaultList, seq: &TestSequence) -> Vec<usize> {
+        self.detection_times(faults, seq)
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.map(|_| i))
             .collect()
     }
 
