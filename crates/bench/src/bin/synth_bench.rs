@@ -23,6 +23,8 @@
 //!   --golden           verify Ω size and target coverage against the
 //!                      committed golden values (default configuration
 //!                      only) and exit non-zero on any deviation
+//!   --no-prefix-cache  disable the prefix-trace cache (the results must
+//!                      be bit-identical either way; CI asserts it)
 //!   -o FILE            write the JSON there instead of stdout
 //!
 //! exit codes: 0 complete, 1 usage error, I/O failure or golden mismatch
@@ -33,9 +35,11 @@
 //! wall-clock optimization only — and the benchmark enforces that
 //! invariant on every run, not just under `--golden`. `candidates_per_sec`
 //! divides the deterministic `select.candidates_tried` counter by the
-//! wall clock; `memo_hit_rate` is `select.memo_hits` over the candidates
-//! tried; the speculation launch/waste figures come from the
-//! width-dependent effort space.
+//! wall clock; `prefix_hits`/`cycles_skipped` report the prefix-trace
+//! cache's reuse, and the speculation launch/waste figures come from the
+//! same width-dependent effort space. `speedup_vs_width_1` is null when
+//! `--threads` oversubscribes the host (`threads > available_cores`):
+//! the width-1 baseline then measures contention, not work.
 
 use std::time::Instant;
 use wbist_atpg::Lfsr;
@@ -94,6 +98,7 @@ fn main() {
         .unwrap_or(1)
         .max(1);
     let golden = flag("--golden");
+    let no_prefix_cache = flag("--no-prefix-cache");
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -154,6 +159,7 @@ fn main() {
                 let cfg = SynthesisConfig {
                     sequence_length: lg,
                     speculation: width,
+                    prefix_cache: !no_prefix_cache,
                     run: RunOptions::with_threads(threads).telemetry(tel.clone()),
                     ..SynthesisConfig::default()
                 };
@@ -197,7 +203,8 @@ fn main() {
                 identity_failures += 1;
             }
             let tried = tel.counter("select.candidates_tried");
-            let memo_hits = tel.counter("select.memo_hits");
+            let prefix_hits = tel.effort("select.prefix_hits");
+            let cycles_skipped = tel.effort("select.cycles_skipped");
             let launched = tel.effort("select.speculation_launched");
             let wasted = tel.effort("select.speculation_wasted");
             let detected_targets = result
@@ -207,7 +214,7 @@ fn main() {
                 .filter(|&(&d, &p)| d && !p)
                 .count() as u64;
             eprintln!(
-                "{name}: {targets} targets, width {width}, {threads} thread(s): {:.2} s ({:.2}x, {:.1} candidates/s, {tried} tried, {memo_hits} memo hits, {wasted}/{launched} speculative evals wasted)",
+                "{name}: {targets} targets, width {width}, {threads} thread(s): {:.2} s ({:.2}x, {:.1} candidates/s, {tried} tried, {prefix_hits} prefix hits skipping {cycles_skipped} cycles, {wasted}/{launched} speculative evals wasted)",
                 secs,
                 *base_secs / secs,
                 tried as f64 / secs,
@@ -237,11 +244,9 @@ fn main() {
                 ("seconds", secs.into()),
                 ("candidates_tried", tried.into()),
                 ("candidates_per_sec", (tried as f64 / secs).into()),
-                ("memo_hits", memo_hits.into()),
-                (
-                    "memo_hit_rate",
-                    (memo_hits as f64 / (tried.max(1)) as f64).into(),
-                ),
+                ("prefix_cache", (!no_prefix_cache).into()),
+                ("prefix_hits", prefix_hits.into()),
+                ("cycles_skipped", cycles_skipped.into()),
                 ("speculation_launched", launched.into()),
                 ("speculation_wasted", wasted.into()),
                 ("omega_len", result.omega.len().into()),
@@ -250,7 +255,18 @@ fn main() {
                     "coverage",
                     (detected_targets as f64 / targets.max(1) as f64).into(),
                 ),
-                ("speedup_vs_width_1", (*base_secs / secs).into()),
+                ("available_cores", cores.into()),
+                (
+                    // An oversubscribed host (threads > cores) measures
+                    // scheduler contention, not speculation: suppress
+                    // the figure rather than publish a misleading one.
+                    "speedup_vs_width_1",
+                    if threads > cores {
+                        Json::Null
+                    } else {
+                        (*base_secs / secs).into()
+                    },
+                ),
             ]));
         }
     }

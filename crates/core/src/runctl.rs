@@ -537,7 +537,6 @@ const KNOWN_COUNTERS: &[&str] = &[
     "runctl.truncations",
     "select.assignments_kept",
     "select.candidates_tried",
-    "select.memo_hits",
     "select.sample_skips",
     "select.targets_abandoned",
     "session.assignments",

@@ -30,10 +30,10 @@ use crate::live::LiveTargets;
 use crate::runctl::{
     self, Checkpoint, CheckpointError, Cursor, Outcome, RunControl, TruncationReason,
 };
-use crate::speculate::{self, SequenceMemo};
+use crate::speculate;
 use crate::weights::WeightSet;
 use wbist_netlist::{Circuit, Fault, FaultList};
-use wbist_sim::{CancelToken, FaultSim, RunOptions, TestSequence};
+use wbist_sim::{CancelToken, FaultSim, PrefixTraceCache, RunOptions, TestSequence};
 use wbist_telemetry::Telemetry;
 
 /// Configuration of the synthesis procedure.
@@ -64,6 +64,15 @@ pub struct SynthesisConfig {
     /// checkpoint configuration hash: checkpoints are portable across
     /// widths.
     pub speculation: usize,
+    /// Enables the per-segment prefix-trace cache: candidate sequences
+    /// sharing an input prefix with a recently committed evaluation
+    /// resume simulation from the divergence cycle instead of cycle 0
+    /// (see `DESIGN.md` §13). Resumed evaluations are bit-identical to
+    /// from-scratch ones — the knob trades memory for wall-clock only —
+    /// so, like `speculation`, it is deliberately *not* part of the
+    /// checkpoint configuration hash: checkpoints are portable across
+    /// both settings.
+    pub prefix_cache: bool,
     /// Shared run options: simulator tuning, telemetry handle, seed.
     pub run: RunOptions,
 }
@@ -77,6 +86,7 @@ impl Default for SynthesisConfig {
             ordering: CandidateOrdering::MatchCount,
             full_length_fixup: true,
             speculation: 1,
+            prefix_cache: true,
             run: RunOptions::default(),
         }
     }
@@ -397,7 +407,7 @@ impl<'a> Synthesis<'a> {
 
         let width = cfg.speculation.max(1);
         let mut live = LiveTargets::new(&target, &det_times, &detected, &abandoned);
-        let mut memo = SequenceMemo::new();
+        let mut cache = cfg.prefix_cache.then(PrefixTraceCache::new);
         if tel.is_enabled() {
             tel.point("fault_drop", live.undetected());
         }
@@ -432,8 +442,8 @@ impl<'a> Synthesis<'a> {
             if !live.time_done(u) {
                 // The segment snapshot: the screening sample and the
                 // dense simulation list are frozen between keeps, and
-                // the memo lives exactly as long as they do. Rebuilt
-                // lazily at the fault start and after every keep.
+                // the prefix cache lives exactly as long as they do.
+                // Rebuilt lazily at the fault start and after every keep.
                 let mut segment: Option<(Vec<usize>, FaultList, Option<FaultList>)> = None;
                 'ls: for ls in ls0..=(u + 1) {
                     s.extend_for(t, u, ls);
@@ -449,7 +459,9 @@ impl<'a> Synthesis<'a> {
                         }
                         if segment.is_none() {
                             live.compact();
-                            memo.clear();
+                            if let Some(cache) = cache.as_mut() {
+                                cache.clear();
+                            }
                             let seg_live = live.live().to_vec();
                             let seg_faults: FaultList =
                                 seg_live.iter().map(|&i| faults.faults()[i]).collect();
@@ -459,15 +471,8 @@ impl<'a> Synthesis<'a> {
                             segment = Some((seg_live, seg_faults, sample));
                         }
                         let seg = segment.as_ref().expect("segment snapshot just built");
-                        let mut wave = speculate::gather(
-                            &sets,
-                            &s,
-                            ls,
-                            &mut j,
-                            width,
-                            &memo,
-                            cfg.sequence_length,
-                        );
+                        let mut wave =
+                            speculate::gather(&sets, &s, ls, &mut j, width, cfg.sequence_length);
                         if wave.is_empty() {
                             break; // no admissible rank left at this L_S
                         }
@@ -477,6 +482,7 @@ impl<'a> Synthesis<'a> {
                             &mut wave,
                             seg.2.as_ref(),
                             &seg.1,
+                            cache.as_ref(),
                             tel.is_enabled(),
                         );
                         // Commit in strict rank order. The first keep (or
@@ -488,22 +494,35 @@ impl<'a> Synthesis<'a> {
                         // the speculation width.
                         let mut committed = 0usize;
                         let mut keep_happened = false;
-                        for entry in &wave {
+                        for entry in wave.iter_mut() {
                             committed += 1;
                             tel.add("select.candidates_tried", 1);
-                            if entry.memo_hit {
-                                tel.add("select.memo_hits", 1);
-                                continue;
-                            }
-                            let done = entry.eval.as_ref().expect("launched entries carry results");
+                            let done = entry.eval.as_mut().expect("launched entries carry results");
                             tel.merge_from(&done.tel);
+                            if tel.is_enabled() && done.prefix_hits > 0 {
+                                // Reuse depends on the cache state a wave
+                                // was evaluated against, hence on the
+                                // width → effort space, out of the
+                                // deterministic trace.
+                                tel.add_effort("select.prefix_hits", done.prefix_hits);
+                                tel.add_effort("select.cycles_skipped", done.cycles_skipped);
+                            }
                             if done.screen_skip {
                                 tel.add("select.sample_skips", 1);
                                 if done.cancelled {
                                     truncated = token.cancelled();
                                     break;
                                 }
-                                memo.insert(entry.key.clone());
+                                // Publish the (trace-only) evaluation for
+                                // prefix reuse. Commit order makes the
+                                // cache state deterministic at any width;
+                                // cancelled or discarded entries never
+                                // install.
+                                if let Some(cache) = cache.as_mut() {
+                                    if let Some(inst) = done.install.take() {
+                                        cache.install(inst);
+                                    }
+                                }
                                 continue;
                             }
                             // The full simulation ran: its flags are
@@ -567,13 +586,18 @@ impl<'a> Synthesis<'a> {
                                 j = entry.rank + 1;
                                 break;
                             }
-                            memo.insert(entry.key.clone());
+                            // Nothing new: publish the evaluation for
+                            // prefix reuse by later ranks.
+                            if let Some(cache) = cache.as_mut() {
+                                if let Some(inst) = done.install.take() {
+                                    cache.install(inst);
+                                }
+                            }
                         }
                         if launched > 0 && tel.is_enabled() {
                             // Width-dependent by nature → effort space,
                             // which stays out of the deterministic trace.
-                            let wasted =
-                                wave[committed..].iter().filter(|e| !e.memo_hit).count() as u64;
+                            let wasted = wave[committed..].len() as u64;
                             tel.add_effort("select.speculation_launched", launched as u64);
                             tel.add_effort("select.speculation_wasted", wasted);
                         }

@@ -24,94 +24,38 @@
 //!    `sim.*` counters into a private [`Telemetry`] handle, merged into
 //!    the main handle in commit order; discarded evaluations are never
 //!    merged, so the deterministic trace cannot see the speculation
-//!    width. The width-dependent totals (`select.speculation_*`) go to
-//!    the effort space, which is excluded from the trace by contract.
+//!    width. The width-dependent totals (`select.speculation_*`, the
+//!    prefix-reuse figures) go to the effort space, which is excluded
+//!    from the trace by contract.
 //! 3. **Cancellation commits a prefix.** A budget that trips mid-wave
 //!    stops the commit loop at the first result whose evaluation saw
 //!    the tripped token; later results are discarded, the checkpoint
 //!    still names the last kept rank, and a resumed run replays from
 //!    there — the same contract the sequential walk has.
 //!
-//! The [`SequenceMemo`] layered underneath exploits that distinct
-//! assignments at small `L_S` frequently generate *identical* `T_G`
-//! (clamped ranks literally repeat assignments, and short subsequences
-//! expand to the same periodic stream). The memo keys candidates by the
-//! packed bits of the generated sequence; a hit skips the screen and
-//! the simulation outright. Entries live exactly as long as the
-//! snapshot they were evaluated under (cleared on every keep and at
-//! every new target fault), so a hit is always exact, and — because
-//! checkpoints are only written at keeps — a resumed run rebuilds the
-//! same (empty) memo state the uninterrupted run had at that point.
-
-use std::collections::HashSet;
+//! The [`PrefixTraceCache`] layered underneath exploits the structure of
+//! the rank walk: consecutive candidates at one `L_S` share long
+//! generated-sequence prefixes by construction (periodic per-input
+//! streams change one input's period at a time, and clamped ranks
+//! literally repeat whole sequences). Each evaluation *prepares* its
+//! sequence against the cache — the good-machine trace resumes at the
+//! first divergent input row, the screen and the dense query share that
+//! one trace, and the dense query resumes every fault batch from the
+//! latest checkpointed faulty-plane snapshot inside the shared prefix.
+//! Resumed evaluations are bit-identical to from-scratch ones (the
+//! snapshots carry cumulative stats and detections), so the cache is
+//! invisible to the deterministic trace. Entries are installed only at
+//! the commit point, and only for committed, keep-free, uncancelled
+//! results: an aborted wavefront can never publish state the sequential
+//! walk would not have had. This replaced the PR-5 exact-match sequence
+//! memo, which keyed on whole packed sequences and therefore never
+//! fired on real circuits (`memo_hits: 0` across the benchmark set).
 
 use crate::assign::{CandidateSets, WeightAssignment};
 use crate::weights::WeightSet;
 use wbist_netlist::FaultList;
-use wbist_sim::{CancelToken, FaultSim, TestSequence};
+use wbist_sim::{CancelToken, FaultSim, PrefixTraceCache, TestSequence};
 use wbist_telemetry::Telemetry;
-
-/// Hard cap on memo entries per segment; inserts beyond it are dropped
-/// (deterministically — the cap depends only on the committed walk).
-/// Bounds memory on pathological runs where one segment tries tens of
-/// thousands of distinct sequences.
-const MEMO_CAP: usize = 4096;
-
-/// Hash-consed set of generated sequences already evaluated in the
-/// current segment (the stretch between two kept assignments).
-#[derive(Debug, Default)]
-pub(crate) struct SequenceMemo {
-    seen: HashSet<Vec<u64>>,
-}
-
-impl SequenceMemo {
-    pub(crate) fn new() -> SequenceMemo {
-        SequenceMemo::default()
-    }
-
-    /// Forgets everything; called whenever the snapshot the entries
-    /// were evaluated under changes (a keep, or a new target fault).
-    pub(crate) fn clear(&mut self) {
-        self.seen.clear();
-    }
-
-    pub(crate) fn contains(&self, key: &[u64]) -> bool {
-        self.seen.contains(key)
-    }
-
-    /// Records a fully evaluated, committed, keep-free sequence.
-    pub(crate) fn insert(&mut self, key: Vec<u64>) {
-        if self.seen.len() < MEMO_CAP {
-            self.seen.insert(key);
-        }
-    }
-}
-
-/// Packs a generated sequence into the words the memo keys on. Exact:
-/// two sequences share a key iff they are bit-for-bit equal (the
-/// trailing word pins the shape).
-pub(crate) fn sequence_key(tg: &TestSequence) -> Vec<u64> {
-    let bits = tg.len() * tg.num_inputs();
-    let mut words = Vec::with_capacity(bits / 64 + 2);
-    let mut w = 0u64;
-    let mut k = 0u32;
-    for u in 0..tg.len() {
-        for &b in tg.row(u) {
-            w |= (b as u64) << k;
-            k += 1;
-            if k == 64 {
-                words.push(w);
-                w = 0;
-                k = 0;
-            }
-        }
-    }
-    if k > 0 {
-        words.push(w);
-    }
-    words.push(((tg.len() as u64) << 32) | tg.num_inputs() as u64);
-    words
-}
 
 /// What one speculative evaluation produced.
 #[derive(Debug)]
@@ -127,6 +71,14 @@ pub(crate) struct EvalDone {
     /// The cancellation token tripped before the evaluation finished;
     /// its results are a valid prefix but must not be committed to Ω.
     pub cancelled: bool,
+    /// Prefix-cache reuse events this evaluation benefited from
+    /// (good-trace resume, screen→dense trace sharing, faulty-plane
+    /// batch resume). Width-dependent → effort space.
+    pub prefix_hits: u64,
+    /// Simulation cycles those reuse events skipped.
+    pub cycles_skipped: u64,
+    /// Cache entry to publish if this evaluation commits cleanly.
+    pub install: Option<wbist_sim::CacheInstall>,
 }
 
 /// One gathered candidate rank, in walk order.
@@ -135,11 +87,7 @@ pub(crate) struct WaveEntry {
     pub rank: usize,
     pub assignment: WeightAssignment,
     pub tg: TestSequence,
-    pub key: Vec<u64>,
-    /// Resolved without simulation: the memo (or an earlier entry of
-    /// this very wave) already evaluated an identical sequence.
-    pub memo_hit: bool,
-    /// Filled by [`evaluate_wavefront`] for non-memo-hit entries.
+    /// Filled by [`evaluate_wavefront`].
     pub eval: Option<EvalDone>,
 }
 
@@ -154,7 +102,6 @@ pub(crate) fn gather(
     ls: usize,
     j: &mut usize,
     width: usize,
-    memo: &SequenceMemo,
     l_g: usize,
 ) -> Vec<WaveEntry> {
     let mut wave: Vec<WaveEntry> = Vec::new();
@@ -168,51 +115,45 @@ pub(crate) fn gather(
             continue;
         };
         let tg = assignment.generate(l_g);
-        let key = sequence_key(&tg);
-        // An identical sequence earlier in this same wave acts like a
-        // memo entry: if it is reached it commits first and inserts the
-        // key, so this rank resolves as a hit — and if it is not
-        // reached (a keep or a budget cut before it), this rank is
-        // discarded along with it.
-        let memo_hit = memo.contains(&key) || wave.iter().any(|e| e.key == key);
         wave.push(WaveEntry {
             rank,
             assignment,
             tg,
-            key,
-            memo_hit,
             eval: None,
         });
     }
     wave
 }
 
-/// Evaluates every non-memo-hit entry of the wave — screen, then full
-/// simulation against the segment's frozen live list — fanning the
-/// entries out over a `std::thread::scope` worker pool (the `wbist-sim`
-/// batch-pool idiom, one level up). Results land back in the entries;
-/// returns how many evaluations were launched.
+/// Evaluates every entry of the wave — screen, then full simulation
+/// against the segment's frozen live list — fanning the entries out
+/// over a `std::thread::scope` worker pool (the `wbist-sim` batch-pool
+/// idiom, one level up). Results land back in the entries; returns how
+/// many evaluations were launched.
 ///
 /// Each evaluation runs on a [`FaultSim::worker_clone`] with a private
 /// telemetry handle, so nothing is recorded into the main handle here —
 /// the caller merges committed results in rank order.
+///
+/// With `cache`, evaluations are *prepared* against the prefix cache
+/// (see the module docs). The cache is read-only for the whole wave —
+/// installs happen at the caller's commit point — so concurrent
+/// evaluations all see the same frozen entries and the reuse a given
+/// candidate gets depends only on the committed walk before its wave,
+/// never on worker scheduling.
 pub(crate) fn evaluate_wavefront(
     sim: &FaultSim<'_>,
     token: &CancelToken,
     wave: &mut [WaveEntry],
     sample: Option<&FaultList>,
     live_faults: &FaultList,
+    cache: Option<&PrefixTraceCache>,
     tel_enabled: bool,
 ) -> usize {
-    let todo: Vec<usize> = wave
-        .iter()
-        .enumerate()
-        .filter(|(_, e)| !e.memo_hit)
-        .map(|(i, _)| i)
-        .collect();
-    if todo.is_empty() {
+    if wave.is_empty() {
         return 0;
     }
+    let todo: Vec<usize> = (0..wave.len()).collect();
     let pool = sim
         .options()
         .threads
@@ -229,14 +170,50 @@ pub(crate) fn evaluate_wavefront(
             Telemetry::disabled()
         };
         let esim = sim.worker_clone(tel.clone(), threads);
-        let screen_skip = match sample {
-            Some(sample) => !esim.detects_any(sample, tg),
-            None => false,
-        };
-        let newly = if screen_skip || live_faults.is_empty() {
-            Vec::new()
-        } else {
-            esim.detected_indices(live_faults, tg)
+        let mut prefix_hits = 0u64;
+        let mut cycles_skipped = 0u64;
+        let (screen_skip, newly, install) = match cache {
+            Some(cache) => {
+                let prep = esim.prepare_sequence(Some(cache), tg);
+                if prep.reused_cycles() > 0 {
+                    prefix_hits += 1;
+                    cycles_skipped += prep.reused_cycles() as u64;
+                }
+                let screened = sample.is_some();
+                let screen_skip = match sample {
+                    Some(sample) => !esim.detects_any_prepared(sample, &prep),
+                    None => false,
+                };
+                if screen_skip || live_faults.is_empty() {
+                    (screen_skip, Vec::new(), Some(esim.trace_install(&prep)))
+                } else {
+                    if screened {
+                        // The dense query reuses the good trace the
+                        // screen already computed — one good simulation
+                        // for the pair instead of two.
+                        prefix_hits += 1;
+                        cycles_skipped += tg.len() as u64;
+                    }
+                    let out = esim.detected_indices_prepared(Some(cache), live_faults, &prep);
+                    if out.resumed_cycles > 0 {
+                        prefix_hits += 1;
+                        cycles_skipped += out.resumed_cycles;
+                    }
+                    (screen_skip, out.detected, Some(out.install))
+                }
+            }
+            None => {
+                let screen_skip = match sample {
+                    Some(sample) => !esim.detects_any(sample, tg),
+                    None => false,
+                };
+                let newly = if screen_skip || live_faults.is_empty() {
+                    Vec::new()
+                } else {
+                    esim.detected_indices(live_faults, tg)
+                };
+                (screen_skip, newly, None)
+            }
         };
         // Read after the queries: the kernels poll the same token per
         // cycle, so a cut-short query implies the trip is visible here.
@@ -246,6 +223,9 @@ pub(crate) fn evaluate_wavefront(
             newly,
             tel,
             cancelled,
+            prefix_hits,
+            cycles_skipped,
+            install,
         }
     };
     if todo.len() == 1 || pool == 1 {
@@ -284,46 +264,4 @@ pub(crate) fn evaluate_wavefront(
         }
     }
     todo.len()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn seq(rows: &[&str]) -> TestSequence {
-        TestSequence::parse_rows(rows).expect("valid rows")
-    }
-
-    #[test]
-    fn sequence_key_is_exact() {
-        let a = seq(&["01", "10"]);
-        let b = seq(&["01", "10"]);
-        let c = seq(&["01", "11"]);
-        assert_eq!(sequence_key(&a), sequence_key(&b));
-        assert_ne!(sequence_key(&a), sequence_key(&c));
-        // Same bits, different shape: the shape word separates them.
-        let wide = seq(&["0110"]);
-        assert_ne!(sequence_key(&a), sequence_key(&wide));
-    }
-
-    #[test]
-    fn sequence_key_crosses_word_boundaries() {
-        // 3 inputs × 50 units = 150 bits → 3 words + shape.
-        let rows: Vec<String> = (0..50).map(|u| format!("{:03b}", u % 8)).collect();
-        let row_refs: Vec<&str> = rows.iter().map(String::as_str).collect();
-        let long = seq(&row_refs);
-        let key = sequence_key(&long);
-        assert_eq!(key.len(), 150_usize.div_ceil(64) + 1);
-        assert_eq!(key, sequence_key(&long.clone()));
-    }
-
-    #[test]
-    fn memo_caps_and_clears() {
-        let mut memo = SequenceMemo::new();
-        let key = vec![1u64, 2];
-        memo.insert(key.clone());
-        assert!(memo.contains(&key));
-        memo.clear();
-        assert!(!memo.contains(&key));
-    }
 }

@@ -195,56 +195,109 @@ impl CompiledCircuit {
         let mut ff = init_ff.to_vec();
         let mut nets = vec![Logic3::X; self.num_nets];
         for u in 0..seq.len() {
-            let row = seq.row(u);
-            for (pi, &n) in self.pi_nets.iter().enumerate() {
-                nets[n as usize] = row[pi].into();
-            }
-            for (k, &q) in self.dff_q.iter().enumerate() {
-                nets[q as usize] = ff[k];
-            }
-            for &(n, v) in &self.const_vals {
-                nets[n as usize] = v.into();
-            }
-            for pos in 0..self.num_gates {
-                let s = self.in_start[pos] as usize;
-                let e = self.in_start[pos + 1] as usize;
-                let mut acc = nets[self.in_nets[s] as usize];
-                match self.kinds[pos] {
-                    GateKind::And | GateKind::Nand => {
-                        for &i in &self.in_nets[s + 1..e] {
-                            acc = acc.and(nets[i as usize]);
-                        }
-                    }
-                    GateKind::Or | GateKind::Nor => {
-                        for &i in &self.in_nets[s + 1..e] {
-                            acc = acc.or(nets[i as usize]);
-                        }
-                    }
-                    GateKind::Xor | GateKind::Xnor => {
-                        for &i in &self.in_nets[s + 1..e] {
-                            acc = acc.xor(nets[i as usize]);
-                        }
-                    }
-                    GateKind::Not | GateKind::Buf => {}
-                }
-                if self.kinds[pos].inverting() {
-                    acc = acc.not();
-                }
-                nets[self.out_nets[pos] as usize] = acc;
-            }
-            for (k, &d) in self.dff_d.iter().enumerate() {
-                ff[k] = nets[d as usize];
-            }
-            let base = u * words;
-            for (n, &v) in nets.iter().enumerate() {
-                match v {
-                    Logic3::One => trace.ones[base + n / 64] |= 1u64 << (n % 64),
-                    Logic3::Zero => trace.zeros[base + n / 64] |= 1u64 << (n % 64),
-                    Logic3::X => {}
-                }
-            }
+            self.good_cycle(seq.row(u), &mut ff, &mut nets, &mut trace, u);
         }
         (trace, ff)
+    }
+
+    /// Like [`good_trace`](Self::good_trace), but copies the first
+    /// `shared` cycles from `base` (whose input rows must match `seq` on
+    /// that prefix) and simulates only the suffix, starting from the
+    /// flip-flop state `base` recorded entering cycle `shared`.
+    pub(crate) fn good_trace_from(
+        &self,
+        seq: &TestSequence,
+        init_ff: &[Logic3],
+        base: &GoodTrace,
+        shared: usize,
+    ) -> (GoodTrace, Vec<Logic3>) {
+        debug_assert_eq!(init_ff.len(), self.num_dffs);
+        debug_assert!(shared <= seq.len() && shared <= base.len());
+        let words = self.num_nets.div_ceil(64);
+        debug_assert_eq!(base.words, words);
+        let mut trace = GoodTrace {
+            num_cycles: seq.len(),
+            words,
+            ones: vec![0u64; words * seq.len()],
+            zeros: vec![0u64; words * seq.len()],
+        };
+        trace.ones[..shared * words].copy_from_slice(&base.ones[..shared * words]);
+        trace.zeros[..shared * words].copy_from_slice(&base.zeros[..shared * words]);
+        // The state entering cycle `shared` is what each flip-flop
+        // latched at the end of cycle `shared - 1` — its D net's value.
+        let mut ff: Vec<Logic3> = if shared == 0 {
+            init_ff.to_vec()
+        } else {
+            self.dff_d
+                .iter()
+                .map(|&d| base.value(shared - 1, d as usize))
+                .collect()
+        };
+        let mut nets = vec![Logic3::X; self.num_nets];
+        for u in shared..seq.len() {
+            self.good_cycle(seq.row(u), &mut ff, &mut nets, &mut trace, u);
+        }
+        (trace, ff)
+    }
+
+    /// One scalar fault-free cycle: apply `row`, evaluate all gates in
+    /// topological order, latch the flip-flops, and record every net
+    /// into `trace` at cycle `u`.
+    fn good_cycle(
+        &self,
+        row: &[bool],
+        ff: &mut [Logic3],
+        nets: &mut [Logic3],
+        trace: &mut GoodTrace,
+        u: usize,
+    ) {
+        for (pi, &n) in self.pi_nets.iter().enumerate() {
+            nets[n as usize] = row[pi].into();
+        }
+        for (k, &q) in self.dff_q.iter().enumerate() {
+            nets[q as usize] = ff[k];
+        }
+        for &(n, v) in &self.const_vals {
+            nets[n as usize] = v.into();
+        }
+        for pos in 0..self.num_gates {
+            let s = self.in_start[pos] as usize;
+            let e = self.in_start[pos + 1] as usize;
+            let mut acc = nets[self.in_nets[s] as usize];
+            match self.kinds[pos] {
+                GateKind::And | GateKind::Nand => {
+                    for &i in &self.in_nets[s + 1..e] {
+                        acc = acc.and(nets[i as usize]);
+                    }
+                }
+                GateKind::Or | GateKind::Nor => {
+                    for &i in &self.in_nets[s + 1..e] {
+                        acc = acc.or(nets[i as usize]);
+                    }
+                }
+                GateKind::Xor | GateKind::Xnor => {
+                    for &i in &self.in_nets[s + 1..e] {
+                        acc = acc.xor(nets[i as usize]);
+                    }
+                }
+                GateKind::Not | GateKind::Buf => {}
+            }
+            if self.kinds[pos].inverting() {
+                acc = acc.not();
+            }
+            nets[self.out_nets[pos] as usize] = acc;
+        }
+        for (k, &d) in self.dff_d.iter().enumerate() {
+            ff[k] = nets[d as usize];
+        }
+        let base = u * trace.words;
+        for (n, &v) in nets.iter().enumerate() {
+            match v {
+                Logic3::One => trace.ones[base + n / 64] |= 1u64 << (n % 64),
+                Logic3::Zero => trace.zeros[base + n / 64] |= 1u64 << (n % 64),
+                Logic3::X => {}
+            }
+        }
     }
 }
 
@@ -277,6 +330,57 @@ impl GoodTrace {
             Planes::ALL_X
         }
     }
+
+    /// The fault-free value of net `n` at cycle `u` as a scalar.
+    #[inline]
+    pub(crate) fn value(&self, u: usize, n: usize) -> Logic3 {
+        let w = u * self.words + n / 64;
+        let bit = 1u64 << (n % 64);
+        if self.ones[w] & bit != 0 {
+            Logic3::One
+        } else if self.zeros[w] & bit != 0 {
+            Logic3::Zero
+        } else {
+            Logic3::X
+        }
+    }
+}
+
+/// Complete state of one fault batch at a cycle boundary of `run_batch`,
+/// captured at checkpointed cycles so a later evaluation sharing the
+/// input prefix can resume mid-sequence instead of replaying from
+/// cycle 0.
+///
+/// Everything the remaining cycles can observe is stored: the live
+/// mask, the faulty flip-flop planes, the *explicit* dirty flip-flop
+/// set (restored verbatim on resume — recomputing it by comparing
+/// planes against the good machine would drop flip-flops whose faulty
+/// planes converged while still flagged, changing `gates_evaluated`),
+/// the cumulative [`BatchStats`], and the detections recorded strictly
+/// before `cycle` (filled in by the caller, which owns detection
+/// bookkeeping). Resuming from a snapshot is therefore bit-identical to
+/// a from-scratch run, deterministic counters included.
+#[derive(Debug, Clone)]
+pub(crate) struct BatchCkpt {
+    /// The cycle the snapshot resumes at (state *entering* this cycle).
+    pub(crate) cycle: usize,
+    /// Live fault mask entering `cycle`.
+    pub(crate) live: u64,
+    /// Faulty flip-flop planes entering `cycle`.
+    pub(crate) ff: Vec<Planes>,
+    /// Flip-flop indices flagged dirty entering `cycle`.
+    pub(crate) dirty_dffs: Vec<u32>,
+    /// Cumulative kernel stats over cycles `0..cycle`.
+    pub(crate) stats: BatchStats,
+    /// Detections `(fault index, cycle)` recorded before `cycle`.
+    pub(crate) found: Vec<(usize, usize)>,
+}
+
+/// Cycle interval between state snapshots: coarse enough to keep the
+/// capture overhead negligible, fine enough that a resume rarely
+/// replays more than a few cycles it could have skipped.
+pub(crate) fn snapshot_interval(len: usize) -> usize {
+    (len / 8).clamp(4, 64)
 }
 
 /// One fault batch's injections, flattened into sorted arrays.
@@ -547,6 +651,14 @@ pub(crate) struct BatchStats {
 /// flip-flops that end the run clean are synced to the broadcast good
 /// state, so at every query boundary `ff` matches the reference kernel
 /// on `live | 1` bits exactly.
+///
+/// With `resume`, the run starts at the snapshot's cycle instead of 0:
+/// the caller must have loaded `ff` from the snapshot, and `trace` must
+/// agree with the snapshot's originating trace on all cycles before the
+/// snapshot (a shared input prefix guarantees this). The passed `live`
+/// mask is ignored in favor of the snapshot's. With `snap`, the
+/// complete batch state is captured into the vector at checkpointed
+/// cycle boundaries (see [`snapshot_interval`]) and at the final cycle.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_batch(
     cc: &CompiledCircuit,
@@ -557,10 +669,20 @@ pub(crate) fn run_batch(
     ff: &mut [Planes],
     nets: &mut [Planes],
     cone: &mut ConeScratch,
+    resume: Option<&BatchCkpt>,
+    mut snap: Option<&mut Vec<BatchCkpt>>,
     mut sink: impl FnMut(usize, &CycleCtx) -> (u64, bool),
 ) -> (u64, BatchStats) {
     debug_assert_eq!(trace.len(), seq.len());
-    let mut stats = BatchStats::default();
+    let (start, mut stats) = match resume {
+        Some(ck) => {
+            debug_assert!(ck.cycle <= seq.len());
+            debug_assert_eq!(ck.ff.len(), cc.num_dffs);
+            live = ck.live;
+            (ck.cycle, ck.stats)
+        }
+        None => (0, BatchStats::default()),
+    };
     cone.propagate(cc, &sched.seeds, live);
     let ConeScratch {
         mask,
@@ -591,7 +713,16 @@ pub(crate) fn run_batch(
         dff_dirty[k as usize] = false;
     }
     dirty_dffs.clear();
-    if !seq.is_empty() {
+    if let Some(ck) = resume {
+        // Restore the snapshot's explicit dirty set instead of rescanning:
+        // a flip-flop whose planes converged to the good machine while
+        // flagged stays flagged until its next examination, and a rescan
+        // would drop it early and change the evaluation schedule.
+        for &k in &ck.dirty_dffs {
+            dff_dirty[k as usize] = true;
+            dirty_dffs.push(k);
+        }
+    } else if !seq.is_empty() {
         for (k, f) in ff.iter().enumerate() {
             let good = trace.planes(0, cc.dff_q[k] as usize);
             if (((f.ones ^ good.ones) | (f.zeros ^ good.zeros)) & (live | 1)) != 0 {
@@ -600,7 +731,14 @@ pub(crate) fn run_batch(
             }
         }
     }
-    for u in 0..seq.len() {
+    let interval = snapshot_interval(seq.len());
+    // A snapshot taken after the live mask died resumes past the loop,
+    // the same way the from-scratch run broke out of it.
+    let run_cycles = resume.is_none() || live != 0;
+    for u in start..seq.len() {
+        if !run_cycles {
+            break;
+        }
         stats.cycles = u + 1;
         stats.fault_cycles += live.count_ones() as u64;
         let mut evaluated = 0u64;
@@ -770,6 +908,18 @@ pub(crate) fn run_batch(
         }
         dirty_nets.clear();
         live &= !drop;
+        if let Some(snaps) = snap.as_deref_mut() {
+            if (u + 1) % interval == 0 || u + 1 == seq.len() || live == 0 || stop {
+                snaps.push(BatchCkpt {
+                    cycle: u + 1,
+                    live,
+                    ff: ff.to_vec(),
+                    dirty_dffs: dirty_dffs.clone(),
+                    stats,
+                    found: Vec::new(),
+                });
+            }
+        }
         if live == 0 || stop {
             break;
         }
@@ -1036,6 +1186,37 @@ mod tests {
         }
         let oracle_ff = crate::good::LogicSim::new(&c).final_state(&seq).unwrap();
         assert_eq!(final_ff, oracle_ff);
+    }
+
+    #[test]
+    fn good_trace_from_matches_from_scratch_at_every_divergence() {
+        let c = toy();
+        let cc = CompiledCircuit::build(&c);
+        let base_seq = TestSequence::parse_rows(&["00", "10", "01", "11", "10"]).unwrap();
+        let (base, _) = cc.good_trace(&base_seq, &[Logic3::X]);
+        // Resumed traces must equal the from-scratch trace whether the
+        // suffix diverges, extends, or truncates the cached sequence.
+        let probes = [
+            (vec!["00", "10", "11", "01", "00"], 2usize),
+            (vec!["00", "10", "01", "11", "10"], 5),
+            (vec!["00", "10", "01"], 3),
+            (vec!["00", "10", "01", "11", "10", "01", "00"], 5),
+        ];
+        for (rows, shared) in probes {
+            let seq = TestSequence::parse_rows(&rows).unwrap();
+            let (expect, expect_ff) = cc.good_trace(&seq, &[Logic3::X]);
+            let (got, got_ff) = cc.good_trace_from(&seq, &[Logic3::X], &base, shared);
+            for u in 0..seq.len() {
+                for n in 0..c.num_nets() {
+                    assert_eq!(
+                        got.planes(u, n),
+                        expect.planes(u, n),
+                        "net {n} at {u} (shared {shared})"
+                    );
+                }
+            }
+            assert_eq!(got_ff, expect_ff, "final state (shared {shared})");
+        }
     }
 
     #[test]

@@ -50,6 +50,7 @@ use crate::compiled::{self, BatchStats, CompiledCircuit, ConeScratch, CycleCtx, 
 use crate::error::SimError;
 use crate::logic::Logic3;
 use crate::plane::Planes;
+use crate::prefix::{self, CacheInstall, FaultyArtifacts, PrefixTraceCache};
 use crate::run::RunOptions;
 use crate::runctl::CancelToken;
 use crate::sequence::TestSequence;
@@ -87,6 +88,54 @@ impl SimOptions {
         self.reference_kernel = on;
         self
     }
+}
+
+/// Cap on `batches × flip-flops` above which the prepared dense query
+/// stops capturing faulty-plane snapshots (the good trace is still
+/// cached). Keeps the prefix cache's memory bounded on the largest
+/// benchmarks; a pure function of the query shape, so determinism is
+/// unaffected.
+const ARTIFACT_STATE_CAP: usize = 1 << 16;
+
+/// A candidate sequence prepared for evaluation: its good-machine
+/// trace, computed once — resumed from the divergence cycle when a
+/// cached sequence shares a prefix — plus the cache entry its
+/// faulty-plane resume can key off. Feed it to
+/// [`FaultSim::detects_any_prepared`] and
+/// [`FaultSim::detected_indices_prepared`]; both reuse the trace, so a
+/// screen-then-dense pair pays for one good simulation instead of two.
+#[derive(Debug)]
+pub struct PreparedSequence {
+    seq: TestSequence,
+    trace: Arc<GoodTrace>,
+    /// `(cache entry index, shared prefix rows)` of the best match.
+    base: Option<(usize, usize)>,
+    reused_cycles: usize,
+}
+
+impl PreparedSequence {
+    /// Good-machine cycles skipped by resuming from a cached trace.
+    pub fn reused_cycles(&self) -> usize {
+        self.reused_cycles
+    }
+
+    /// The prepared sequence itself.
+    pub fn sequence(&self) -> &TestSequence {
+        &self.seq
+    }
+}
+
+/// Result of [`FaultSim::detected_indices_prepared`].
+#[derive(Debug)]
+pub struct PreparedOutcome {
+    /// Indices (into the queried fault list, ascending) of the detected
+    /// faults — identical to [`FaultSim::detected_indices`].
+    pub detected: Vec<usize>,
+    /// Faulty-machine cycles skipped by resuming batches mid-sequence.
+    pub resumed_cycles: u64,
+    /// Entry the caller may install into its [`PrefixTraceCache`] once
+    /// this evaluation's result is committed.
+    pub install: CacheInstall,
 }
 
 /// One batch of up to 63 faults sharing a simulation word.
@@ -329,6 +378,11 @@ impl<'c> FaultSim<'c> {
     /// cycle charges its live fault-cycles, and a tripped token turns
     /// into `stop`, ending the batch at a cycle boundary with its state
     /// intact.
+    ///
+    /// `resume` and `snap` are the compiled kernel's mid-sequence
+    /// snapshot hooks (see [`compiled::run_batch`]); the reference
+    /// kernel always walks the full sequence, so callers must pass
+    /// `None` when `reference` is set.
     #[allow(clippy::too_many_arguments)]
     fn run_one(
         &self,
@@ -339,6 +393,8 @@ impl<'c> FaultSim<'c> {
         trace: &GoodTrace,
         ff: &mut [Planes],
         scratch: &mut Scratch,
+        resume: Option<&compiled::BatchCkpt>,
+        snap: Option<&mut Vec<compiled::BatchCkpt>>,
         mut sink: impl FnMut(usize, &CycleCtx) -> (u64, bool),
     ) -> (u64, BatchStats) {
         let cancel = &self.cancel;
@@ -354,6 +410,7 @@ impl<'c> FaultSim<'c> {
             (drop, stop)
         };
         if reference {
+            debug_assert!(resume.is_none() && snap.is_none());
             compiled::run_batch_reference(
                 &self.compiled,
                 sched,
@@ -374,6 +431,8 @@ impl<'c> FaultSim<'c> {
                 ff,
                 &mut scratch.nets,
                 &mut scratch.cone,
+                resume,
+                snap,
                 sink,
             )
         }
@@ -541,6 +600,8 @@ impl<'c> FaultSim<'c> {
                         trace,
                         &mut ff_run,
                         scratch,
+                        None,
+                        None,
                         |_, ctx| {
                             let detected_now = ctx.obs_diff & ctx.live;
                             if detected_now != 0 {
@@ -604,6 +665,8 @@ impl<'c> FaultSim<'c> {
                         trace,
                         &mut ff,
                         scratch,
+                        None,
+                        None,
                         |u, ctx| {
                             let detected_now = ctx.obs_diff & ctx.live;
                             if detected_now != 0 {
@@ -704,6 +767,8 @@ impl<'c> FaultSim<'c> {
                     trace,
                     &mut ff,
                     scratch,
+                    None,
+                    None,
                     |_, ctx| {
                         if found.load(Ordering::Relaxed) {
                             cancelled = 1;
@@ -722,6 +787,283 @@ impl<'c> FaultSim<'c> {
         });
         self.record_screen(&hits);
         hits.into_iter().any(|(h, _, _)| h)
+    }
+
+    /// Computes the good-machine trace of `seq` once for a screen +
+    /// dense query pair, resuming from the cached sequence sharing the
+    /// longest input prefix (when `cache` holds one) instead of
+    /// simulating from cycle 0.
+    ///
+    /// The reference kernel ignores the cache entirely — it is the
+    /// differential oracle and must keep recomputing everything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence width does not match the circuit.
+    pub fn prepare_sequence(
+        &self,
+        cache: Option<&PrefixTraceCache>,
+        seq: &TestSequence,
+    ) -> PreparedSequence {
+        self.check_width(seq);
+        let init = vec![Logic3::X; self.circuit.num_dffs()];
+        let best = if self.options.reference_kernel {
+            None
+        } else {
+            cache.and_then(|c| c.best_prefix(seq))
+        };
+        match best {
+            Some((ei, d)) => {
+                let base = cache.expect("best_prefix implies a cache").entry(ei);
+                // A full-length match over equal lengths is the same
+                // sequence: share the trace outright.
+                let trace = if d == seq.len() && base.trace.len() == d {
+                    base.trace.clone()
+                } else {
+                    Arc::new(self.compiled.good_trace_from(seq, &init, &base.trace, d).0)
+                };
+                PreparedSequence {
+                    seq: seq.clone(),
+                    trace,
+                    base: Some((ei, d)),
+                    reused_cycles: d,
+                }
+            }
+            None => PreparedSequence {
+                seq: seq.clone(),
+                trace: Arc::new(self.compiled.good_trace(seq, &init).0),
+                base: None,
+                reused_cycles: 0,
+            },
+        }
+    }
+
+    /// A trace-only cache entry for `prep` (no faulty-plane state): what
+    /// a candidate that never ran the dense query — screened out, say —
+    /// can still contribute to later prefix lookups.
+    pub fn trace_install(&self, prep: &PreparedSequence) -> CacheInstall {
+        CacheInstall {
+            seq: prep.seq.clone(),
+            trace: prep.trace.clone(),
+            faulty: None,
+        }
+    }
+
+    /// [`detects_any`](Self::detects_any) against a prepared sequence:
+    /// identical result, but the good trace comes from `prep` instead of
+    /// being recomputed.
+    pub fn detects_any_prepared(&self, faults: &FaultList, prep: &PreparedSequence) -> bool {
+        let seq = &prep.seq;
+        let num_dffs = self.circuit.num_dffs();
+        let trace = &*prep.trace;
+        let batches = self.make_batches(faults);
+        let jobs: Vec<(usize, Batch)> = batches.into_iter().enumerate().collect();
+        let found = AtomicBool::new(false);
+        let hits: Vec<(bool, usize, usize)> = self.scatter(jobs, |(bi, batch), scratch| {
+            if found.load(Ordering::Relaxed) {
+                return (false, 0, 1);
+            }
+            self.run_isolated(bi, scratch, |reference, scratch| {
+                let mut ff = vec![Planes::ALL_X; num_dffs];
+                let mut hit = false;
+                let mut cancelled = 0usize;
+                let (_, stats) = self.run_one(
+                    reference,
+                    &batch.sched,
+                    batch.live,
+                    seq,
+                    trace,
+                    &mut ff,
+                    scratch,
+                    None,
+                    None,
+                    |_, ctx| {
+                        if found.load(Ordering::Relaxed) {
+                            cancelled = 1;
+                            return (0, true);
+                        }
+                        if ctx.obs_diff & ctx.live != 0 {
+                            hit = true;
+                            found.store(true, Ordering::Relaxed);
+                            return (0, true);
+                        }
+                        (0, false)
+                    },
+                );
+                (hit, stats.cycles, cancelled)
+            })
+        });
+        self.record_screen(&hits);
+        hits.into_iter().any(|(h, _, _)| h)
+    }
+
+    /// [`detected_indices`](Self::detected_indices) against a prepared
+    /// sequence, resuming each fault batch from the latest cached
+    /// snapshot at or before the shared-prefix divergence cycle.
+    ///
+    /// Bit-identical to the from-scratch query in every observable:
+    /// detections, drop order, and the deterministic telemetry counters
+    /// (each snapshot carries the cumulative stats and detections of the
+    /// cycles it skips, and an armed cancellation token is pre-charged
+    /// with the skipped fault-cycles). The returned
+    /// [`CacheInstall`] lets the caller publish this evaluation for
+    /// later prefix reuse once the result is committed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence width does not match the circuit.
+    pub fn detected_indices_prepared(
+        &self,
+        cache: Option<&PrefixTraceCache>,
+        faults: &FaultList,
+        prep: &PreparedSequence,
+    ) -> PreparedOutcome {
+        let seq = &prep.seq;
+        let num_dffs = self.circuit.num_dffs();
+        let trace = &*prep.trace;
+        let batches = self.make_batches(faults);
+        let n_jobs = batches.len();
+        let fingerprint = prefix::fault_fingerprint(faults);
+        // Snapshot capture is bounded: a huge fault list times a huge
+        // register file would pin too much plane state in the cache. The
+        // guard is a pure function of the query shape, so artifacts
+        // either exist for every evaluation of a fault list or for none.
+        let capture = !self.options.reference_kernel && n_jobs * num_dffs <= ARTIFACT_STATE_CAP;
+        let arts: Option<(&prefix::FaultyArtifacts, usize)> = match (cache, prep.base) {
+            (Some(cache), Some((ei, d))) if !self.options.reference_kernel => cache
+                .entry(ei)
+                .faulty
+                .as_ref()
+                .filter(|fa| fa.fingerprint == fingerprint && fa.per_batch.len() == n_jobs)
+                .map(|fa| (fa, d)),
+            _ => None,
+        };
+        type Ckpt = Arc<compiled::BatchCkpt>;
+        type Job = (usize, Batch, Option<Ckpt>, Vec<Ckpt>);
+        let jobs: Vec<Job> = batches
+            .into_iter()
+            .enumerate()
+            .map(|(bi, batch)| {
+                let (resume, carry) = match arts {
+                    Some((fa, d)) => {
+                        let list = &fa.per_batch[bi];
+                        // Latest snapshot still inside the shared prefix;
+                        // snapshots at or before it stay valid for the
+                        // new sequence and carry over into its entry.
+                        let resume = list.iter().rfind(|ck| ck.cycle <= d).cloned();
+                        let carry: Vec<Ckpt> = match &resume {
+                            Some(r) => list
+                                .iter()
+                                .filter(|ck| ck.cycle <= r.cycle)
+                                .cloned()
+                                .collect(),
+                            None => Vec::new(),
+                        };
+                        (resume, carry)
+                    }
+                    None => (None, Vec::new()),
+                };
+                (bi, batch, resume, carry)
+            })
+            .collect();
+        type Out = (Vec<(usize, usize)>, BatchStats, Vec<Ckpt>, u64);
+        let per_batch: Vec<Out> = self.scatter(jobs, |(bi, batch, resume, carry), scratch| {
+            self.run_isolated(bi, scratch, |reference, scratch| {
+                let mut found: Vec<(usize, usize)> = Vec::new();
+                // A reference run (primary kernel or panic retry) has no
+                // resume path: it replays the batch from scratch and
+                // captures no snapshots.
+                let (mut ff, from) = match (&resume, reference) {
+                    (Some(ck), false) => (ck.ff.clone(), Some(&**ck)),
+                    _ => (vec![Planes::ALL_X; num_dffs], None),
+                };
+                if let Some(ck) = from {
+                    // Detections and budget charge of the skipped prefix
+                    // carry over, so query totals match from-scratch.
+                    found.extend_from_slice(&ck.found);
+                    if self.cancel.is_armed() {
+                        self.cancel.charge_fault_cycles(ck.stats.fault_cycles);
+                    }
+                }
+                let mut snaps: Vec<compiled::BatchCkpt> = Vec::new();
+                let snap = if capture && !reference {
+                    Some(&mut snaps)
+                } else {
+                    None
+                };
+                let (_, stats) = self.run_one(
+                    reference,
+                    &batch.sched,
+                    batch.live,
+                    seq,
+                    trace,
+                    &mut ff,
+                    scratch,
+                    from,
+                    snap,
+                    |u, ctx| {
+                        let detected_now = ctx.obs_diff & ctx.live;
+                        if detected_now != 0 {
+                            collect_hits(&batch.fault_indices, detected_now, |gi| {
+                                found.push((gi, u))
+                            });
+                        }
+                        (detected_now, false)
+                    },
+                );
+                let skipped = from.map_or(0, |ck| ck.cycle as u64);
+                let kept: Vec<Ckpt> = if reference {
+                    Vec::new()
+                } else {
+                    carry
+                        .iter()
+                        .cloned()
+                        .chain(snaps.into_iter().map(|mut s| {
+                            s.found = found
+                                .iter()
+                                .filter(|&&(_, u)| u < s.cycle)
+                                .copied()
+                                .collect();
+                            Arc::new(s)
+                        }))
+                        .collect()
+                };
+                (found, stats, kept, skipped)
+            })
+        });
+        let mut stats = BatchStats::default();
+        let mut dropped = 0usize;
+        let mut flags = vec![false; faults.len()];
+        let mut per_batch_snaps: Vec<Vec<Ckpt>> = Vec::with_capacity(n_jobs);
+        let mut resumed_cycles = 0u64;
+        for (found, bstats, snaps, skipped) in per_batch {
+            stats.merge(bstats);
+            dropped += found.len();
+            for (gi, _) in found {
+                flags[gi] = true;
+            }
+            per_batch_snaps.push(snaps);
+            resumed_cycles += skipped;
+        }
+        self.record_run(n_jobs, stats, dropped);
+        let detected = flags
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &d)| d.then_some(i))
+            .collect();
+        let install = CacheInstall {
+            seq: seq.clone(),
+            trace: prep.trace.clone(),
+            faulty: capture.then_some(FaultyArtifacts {
+                fingerprint,
+                per_batch: per_batch_snaps,
+            }),
+        };
+        PreparedOutcome {
+            detected,
+            resumed_cycles,
+            install,
+        }
     }
 
     /// For every fault, the set of nets on which the faulty machine differs
@@ -758,6 +1100,8 @@ impl<'c> FaultSim<'c> {
                     trace,
                     &mut ff,
                     scratch,
+                    None,
+                    None,
                     |_, ctx| {
                         for &n in ctx.cone_nets {
                             acc[n as usize] |= ctx.nets[n as usize].diff_from_good();
@@ -850,6 +1194,8 @@ impl<'c> FaultSim<'c> {
                     trace,
                     &mut ff,
                     scratch,
+                    None,
+                    None,
                     |_, ctx| {
                         if found.load(Ordering::Relaxed) {
                             cancelled = 1;
@@ -1309,5 +1655,108 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Runs one prepared dense query against a fresh simulator with its
+    /// own telemetry, returning the outcome and the deterministic
+    /// counters that single query produced.
+    fn prepared_query(
+        c: &Circuit,
+        cache: &crate::prefix::PrefixTraceCache,
+        faults: &FaultList,
+        seq: &TestSequence,
+        threads: usize,
+    ) -> (super::PreparedOutcome, Vec<(String, u64)>) {
+        let tel = Telemetry::enabled();
+        let sim =
+            FaultSim::with_options(c, SimOptions::with_threads(threads)).telemetry(tel.clone());
+        let prep = sim.prepare_sequence(Some(cache), seq);
+        let out = sim.detected_indices_prepared(Some(cache), faults, &prep);
+        (out, tel.counters())
+    }
+
+    #[test]
+    fn prepared_queries_match_from_scratch_with_identical_counters() {
+        let (c, faults) = multi_batch();
+        let base_seq = walk_sequence(40);
+        // A probe diverging from the base at cycle 20.
+        let mut rows: Vec<Vec<bool>> = (0..40)
+            .map(|u| vec![u % 2 == 0, u % 3 == 0, u % 5 != 0])
+            .collect();
+        for row in rows.iter_mut().skip(20) {
+            row[2] = !row[2];
+        }
+        let probe = TestSequence::from_rows(rows).unwrap();
+
+        // From-scratch expectations, each from its own telemetry handle.
+        let scratch_tel = Telemetry::enabled();
+        let scratch =
+            FaultSim::with_options(&c, SimOptions::with_threads(1)).telemetry(scratch_tel.clone());
+        let expect_base = scratch.detected_indices(&faults, &base_seq);
+        let base_counters = scratch_tel.counters();
+        let scratch_tel2 = Telemetry::enabled();
+        let scratch2 =
+            FaultSim::with_options(&c, SimOptions::with_threads(1)).telemetry(scratch_tel2.clone());
+        let expect_probe = scratch2.detected_indices(&faults, &probe);
+        let probe_counters = scratch_tel2.counters();
+
+        // Cold query populates the cache; its counters match from-scratch.
+        let mut cache = crate::prefix::PrefixTraceCache::new();
+        let (out, counters) = prepared_query(&c, &cache, &faults, &base_seq, 1);
+        assert_eq!(out.detected, expect_base);
+        assert_eq!(out.resumed_cycles, 0, "cold cache cannot resume");
+        assert_eq!(counters, base_counters);
+        cache.install(out.install);
+
+        // Warm query resumes from the divergence cycle — identical
+        // detections and identical deterministic counters, fewer
+        // actually-simulated cycles.
+        for threads in [1usize, 4] {
+            let (out, counters) = prepared_query(&c, &cache, &faults, &probe, threads);
+            assert_eq!(out.detected, expect_probe, "threads={threads}");
+            assert!(out.resumed_cycles > 0, "shared prefix must resume");
+            assert_eq!(counters, probe_counters, "threads={threads}");
+        }
+
+        // An exact duplicate of the cached sequence replays only the
+        // suffix past its terminal snapshot (if any); results and
+        // counters still match from-scratch exactly.
+        let (out, counters) = prepared_query(&c, &cache, &faults, &base_seq, 1);
+        assert_eq!(out.detected, expect_base);
+        assert!(out.resumed_cycles > 0, "duplicate must resume");
+        assert_eq!(counters, base_counters);
+    }
+
+    #[test]
+    fn prepared_screen_matches_detects_any() {
+        let (c, faults) = multi_batch();
+        let seq = walk_sequence(24);
+        let sim = FaultSim::with_options(&c, SimOptions::with_threads(1));
+        let cache = crate::prefix::PrefixTraceCache::new();
+        let prep = sim.prepare_sequence(Some(&cache), &seq);
+        assert_eq!(prep.reused_cycles(), 0);
+        assert_eq!(
+            sim.detects_any_prepared(&faults, &prep),
+            sim.detects_any(&faults, &seq)
+        );
+    }
+
+    #[test]
+    fn reference_kernel_ignores_the_cache() {
+        let (c, faults) = multi_batch();
+        let seq = walk_sequence(24);
+        let oracle = FaultSim::with_options(&c, SimOptions::with_threads(1).reference_kernel(true));
+        let mut cache = crate::prefix::PrefixTraceCache::new();
+        let prep = oracle.prepare_sequence(Some(&cache), &seq);
+        let out = oracle.detected_indices_prepared(Some(&cache), &faults, &prep);
+        assert_eq!(out.detected, oracle.detected_indices(&faults, &seq));
+        assert_eq!(out.resumed_cycles, 0);
+        cache.install(out.install);
+        // Even with the (trace-only) entry installed, the oracle must
+        // keep simulating from scratch.
+        let prep = oracle.prepare_sequence(Some(&cache), &seq);
+        assert_eq!(prep.reused_cycles(), 0, "oracle never reuses traces");
+        let out = oracle.detected_indices_prepared(Some(&cache), &faults, &prep);
+        assert_eq!(out.resumed_cycles, 0);
     }
 }

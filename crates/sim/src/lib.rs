@@ -46,6 +46,7 @@ pub mod good;
 pub mod logic;
 pub mod misr;
 mod plane;
+pub mod prefix;
 pub mod reference;
 pub mod run;
 pub mod runctl;
@@ -54,10 +55,11 @@ pub mod vcd;
 
 pub use error::SimError;
 pub use event::EventSim;
-pub use fault::{FaultSim, FaultSimState, SimOptions};
+pub use fault::{FaultSim, FaultSimState, PreparedOutcome, PreparedSequence, SimOptions};
 pub use good::{LogicSim, SimTrace};
 pub use logic::Logic3;
 pub use misr::Misr;
+pub use prefix::{CacheInstall, PrefixTraceCache};
 pub use reference::SerialFaultSim;
 pub use run::RunOptions;
 pub use runctl::{Budget, CancelToken, TruncationReason};

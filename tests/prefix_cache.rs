@@ -1,0 +1,243 @@
+//! Exactness of the prefix-trace cache.
+//!
+//! The cache (`SynthesisConfig::prefix_cache`) resumes candidate
+//! evaluations from the longest shared sequence prefix of an earlier
+//! committed evaluation — good-machine trace and checkpointed
+//! faulty-plane state both. Like speculation it is a wall-clock
+//! optimization only: `Ω`, the detection/abandonment flags, and every
+//! deterministic telemetry counter must be bit-identical with the cache
+//! on or off, at every worker count and wavefront width, and across an
+//! interrupt/resume boundary (the cache is rebuilt from nothing on
+//! resume and is deliberately excluded from the checkpoint
+//! configuration hash).
+
+use proptest::prelude::*;
+use wbist::atpg::Lfsr;
+use wbist::circuits::{s27, synthetic};
+use wbist::core::{
+    Budget, Checkpoint, RunControl, RunOptions, Synthesis, SynthesisConfig, SynthesisResult,
+    Telemetry, TruncationReason,
+};
+use wbist::netlist::{Circuit, FaultList};
+use wbist::sim::TestSequence;
+
+type Counters = Vec<(String, u64)>;
+
+/// One synthesis run; returns the result, the deterministic counter
+/// snapshot, and the width-dependent prefix-reuse effort figures.
+#[allow(clippy::too_many_arguments)]
+fn run_once(
+    c: &Circuit,
+    t: &TestSequence,
+    faults: &FaultList,
+    pre: Option<&[bool]>,
+    base: &SynthesisConfig,
+    threads: usize,
+    width: usize,
+    cache: bool,
+) -> (SynthesisResult, Counters, u64, u64) {
+    let tel = Telemetry::enabled();
+    let cfg = SynthesisConfig {
+        speculation: width,
+        prefix_cache: cache,
+        run: RunOptions::with_threads(threads).telemetry(tel.clone()),
+        ..base.clone()
+    };
+    let mut synth = Synthesis::new(c, t, faults).config(cfg);
+    if let Some(pre) = pre {
+        synth = synth.already_detected(pre);
+    }
+    let result = synth.run();
+    let counters = tel.counters();
+    (
+        result,
+        counters,
+        tel.effort("select.prefix_hits"),
+        tel.effort("select.cycles_skipped"),
+    )
+}
+
+fn assert_identical(
+    label: &str,
+    reference: &(SynthesisResult, Counters),
+    candidate: &(SynthesisResult, Counters),
+) {
+    assert_eq!(candidate.0.omega, reference.0.omega, "{label}: Ω");
+    assert_eq!(
+        candidate.0.detected, reference.0.detected,
+        "{label}: detection flags"
+    );
+    assert_eq!(
+        candidate.0.abandoned, reference.0.abandoned,
+        "{label}: abandonment flags"
+    );
+    assert_eq!(candidate.1, reference.1, "{label}: deterministic counters");
+}
+
+fn s1196_setup() -> (Circuit, TestSequence, FaultList, Vec<bool>, SynthesisConfig) {
+    let c = synthetic::by_name("s1196").expect("known benchmark");
+    let faults = FaultList::checkpoints(&c);
+    let t = Lfsr::new(24, 0xACE1).sequence(c.num_inputs(), 48);
+    let pre: Vec<bool> = (0..faults.len()).map(|i| i % 25 != 0).collect();
+    let base = SynthesisConfig {
+        sequence_length: 64,
+        ..SynthesisConfig::default()
+    };
+    (c, t, faults, pre, base)
+}
+
+/// Cache on vs cache off on a real benchmark: bit-identical results and
+/// deterministic counters across the worker-count × width grid, the
+/// cache actually fires (nonzero reuse), and at a fixed width the reuse
+/// figures are thread-invariant and reproducible.
+#[test]
+fn s1196_cache_is_invisible_and_nonzero() {
+    let (c, t, faults, pre, base) = s1196_setup();
+    let (r0, c0, off_hits, off_skipped) = run_once(&c, &t, &faults, Some(&pre), &base, 1, 1, false);
+    assert_eq!((off_hits, off_skipped), (0, 0), "cache off cannot reuse");
+    let reference = (r0, c0);
+    assert!(reference.0.omega.len() >= 2, "need a non-trivial walk");
+
+    let mut fixed_width: Option<(u64, u64)> = None;
+    for (threads, width) in [(1usize, 1usize), (1, 4), (2, 4), (4, 4), (4, 16)] {
+        let (r, counters, hits, skipped) =
+            run_once(&c, &t, &faults, Some(&pre), &base, threads, width, true);
+        assert_identical(
+            &format!("cache on, threads={threads} width={width}"),
+            &reference,
+            &(r, counters),
+        );
+        assert!(
+            hits > 0 && skipped > 0,
+            "threads={threads} width={width}: the cache must fire on s1196; hits={hits} skipped={skipped}"
+        );
+        if width == 4 {
+            // Fixed width ⇒ fixed wavefront boundaries ⇒ reuse is a pure
+            // function of the walk, whatever the worker count.
+            match fixed_width {
+                None => fixed_width = Some((hits, skipped)),
+                Some(want) => assert_eq!(
+                    (hits, skipped),
+                    want,
+                    "threads={threads}: prefix counters must be thread-invariant at width 4"
+                ),
+            }
+        }
+    }
+}
+
+/// An interrupted run resumed from its checkpoint rebuilds the cache
+/// from nothing and still converges to the uninterrupted (and
+/// cache-free) reference — and the checkpoint is portable across
+/// `prefix_cache` settings in both directions, because the knob is
+/// excluded from the configuration hash.
+#[test]
+fn s1196_interrupted_cache_resumes_bit_identical() {
+    let (c, t, faults, pre, base) = s1196_setup();
+    let dir = std::env::temp_dir().join("wbist-prefix-cache-resume");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // The cache-free reference writes checkpoints like the interrupted
+    // runs do, so the checkpoint counters are comparable.
+    let full_ckpt = dir.join("full.ckpt");
+    let reference = {
+        let tel = Telemetry::enabled();
+        let full = Synthesis::new(&c, &t, &faults)
+            .config(SynthesisConfig {
+                prefix_cache: false,
+                run: RunOptions::default().telemetry(tel.clone()),
+                ..base.clone()
+            })
+            .already_detected(&pre)
+            .run_controlled(&RunControl::default().checkpoint(&full_ckpt));
+        assert!(!full.is_truncated());
+        (full.into_result(), tel.counters())
+    };
+    // Fault-cycle budgets that interrupt this walk at different points
+    // (resumed evaluations pre-charge the cycles they skip, so each
+    // budget bites at the same point with the cache on or off).
+    let ladder = [4_000u64, 8_000, 16_000];
+    for ((cut_cache, resume_cache), budget_fc) in [(true, true), (true, false), (false, true)]
+        .into_iter()
+        .flat_map(|combo| ladder.iter().map(move |&b| (combo, b)))
+    {
+        let ckpt = dir.join(format!("cut-{cut_cache}-{resume_cache}-{budget_fc}.ckpt"));
+        let cut = Synthesis::new(&c, &t, &faults)
+            .config(SynthesisConfig {
+                prefix_cache: cut_cache,
+                run: RunOptions::default().telemetry(Telemetry::enabled()),
+                ..base.clone()
+            })
+            .already_detected(&pre)
+            .run_controlled(
+                &RunControl::default()
+                    .budget(Budget::default().fault_cycles(budget_fc))
+                    .checkpoint(&ckpt),
+            );
+        assert_eq!(cut.truncation(), Some(TruncationReason::FaultCycles));
+        let cut = cut.into_result();
+        assert_eq!(cut.omega[..], reference.0.omega[..cut.omega.len()]);
+
+        let resumed_tel = Telemetry::enabled();
+        let resumed = Synthesis::new(&c, &t, &faults)
+            .config(SynthesisConfig {
+                prefix_cache: resume_cache,
+                run: RunOptions::default().telemetry(resumed_tel.clone()),
+                ..base.clone()
+            })
+            .already_detected(&pre)
+            .resume_from(Checkpoint::load(&ckpt).expect("checkpoint loads"))
+            .expect("prefix_cache is excluded from the checkpoint config hash")
+            .run_controlled(&RunControl::default().checkpoint(&ckpt));
+        assert!(!resumed.is_truncated(), "resume must complete");
+        let resumed = resumed.into_result();
+        let label = format!("cut cache={cut_cache}, resume cache={resume_cache}");
+        assert_eq!(resumed.omega, reference.0.omega, "{label}: Ω");
+        assert_eq!(resumed.detected, reference.0.detected, "{label}: detected");
+        assert_eq!(
+            resumed.abandoned, reference.0.abandoned,
+            "{label}: abandoned"
+        );
+        assert_eq!(
+            resumed_tel.counters(),
+            reference.1,
+            "{label}: deterministic counters"
+        );
+        std::fs::remove_file(&ckpt).ok();
+    }
+    std::fs::remove_file(&full_ckpt).ok();
+}
+
+proptest! {
+    /// Randomized configurations on s27: a cache-on run at a randomly
+    /// drawn worker-count/width combination is bit-identical to the
+    /// cache-off sequential walk — detections, abandonments, and the
+    /// deterministic counter trace.
+    #[test]
+    fn random_configs_are_cache_invariant(
+        seed in 1u32..0xFFFF,
+        t_len in 8usize..32,
+        lg in 24usize..80,
+        sample_size in 1usize..8,
+        sample_sel in 0u8..2,
+        grid in 0usize..9,
+    ) {
+        let c = s27::circuit();
+        let faults = FaultList::checkpoints(&c);
+        let t = Lfsr::new(16, seed).sequence(c.num_inputs(), t_len);
+        let base = SynthesisConfig {
+            sequence_length: lg,
+            sample_first: sample_sel == 1,
+            sample_size,
+            ..SynthesisConfig::default()
+        };
+        let threads = [1usize, 2, 4][grid / 3];
+        let width = [1usize, 4, 16][grid % 3];
+        let (r0, c0, _, _) = run_once(&c, &t, &faults, None, &base, 1, 1, false);
+        let (r1, c1, _, _) = run_once(&c, &t, &faults, None, &base, threads, width, true);
+        prop_assert_eq!(&r1.omega, &r0.omega);
+        prop_assert_eq!(&r1.detected, &r0.detected);
+        prop_assert_eq!(&r1.abandoned, &r0.abandoned);
+        prop_assert_eq!(&c1, &c0);
+    }
+}

@@ -108,15 +108,22 @@ fn s1196_wide_wavefront_matches_sequential_walk() {
 }
 
 /// A walk whose candidate sets contain stream-equivalent subsequences
-/// must resolve the duplicate `T_G` through the memo — and stay
-/// bit-identical while doing so. A single-input sequence lock driven by
-/// an arming prefix plus a periodic tail provides exactly that: the
-/// `01` window at `L_S = 2` and the `0101` window at `L_S = 4` repeat
-/// to the same generated stream (with one input, a candidate *is* the
-/// whole assignment), while the gated fault resists every periodic
-/// candidate, so both ranks land in the same keep-free segment.
+/// must resolve the duplicate `T_G` through the prefix-trace cache —
+/// and stay bit-identical while doing so. A single-input sequence lock
+/// driven by an arming prefix plus a periodic tail provides exactly
+/// that: the `01` window at `L_S = 2` and the `0101` window at
+/// `L_S = 4` repeat to the same generated stream (with one input, a
+/// candidate *is* the whole assignment), while the gated fault resists
+/// every periodic candidate, so both ranks land in the same keep-free
+/// segment and the second resolves as a full-length prefix share.
+///
+/// The reuse counters live in the width-dependent effort space (the
+/// cache a wave sees depends on the wavefront boundaries), so the test
+/// also pins their determinism at a *fixed* width: they must be
+/// thread-invariant and reproducible run to run — the cache is only
+/// written at the strictly-ordered commit point.
 #[test]
-fn duplicate_heavy_walk_hits_the_memo() {
+fn duplicate_heavy_walk_reuses_the_prefix_cache() {
     let c = sequence_lock(1, 3);
     let faults = FaultList::checkpoints(&c);
     let t = TestSequence::parse_rows(&["1", "1", "1", "1", "0", "1", "0", "1", "0", "1"])
@@ -137,24 +144,50 @@ fn duplicate_heavy_walk_hits_the_memo() {
         sample_first: false,
         ..SynthesisConfig::default()
     };
-    let reference = run_once(&c, &t, &faults, Some(&pre), &base, 1, 1);
-    let hits = reference
-        .1
-        .iter()
-        .find(|(k, _)| k == "select.memo_hits")
-        .map(|(_, v)| *v)
-        .unwrap_or(0);
+    // The reference run keeps its own handle so the effort space is
+    // readable alongside the deterministic counters.
+    let run_with_effort = |threads: usize, width: usize| -> (SynthesisResult, Counters, u64, u64) {
+        let tel = Telemetry::enabled();
+        let cfg = SynthesisConfig {
+            speculation: width,
+            run: RunOptions::with_threads(threads).telemetry(tel.clone()),
+            ..base.clone()
+        };
+        let result = Synthesis::new(&c, &t, &faults)
+            .config(cfg)
+            .already_detected(&pre)
+            .run();
+        let counters = tel.counters();
+        (
+            result,
+            counters,
+            tel.effort("select.prefix_hits"),
+            tel.effort("select.cycles_skipped"),
+        )
+    };
+    let (result, counters, hits, skipped) = run_with_effort(1, 1);
     assert!(
-        hits > 0,
-        "duplicate-heavy walk must hit the memo; counters: {:?}",
-        reference.1
+        hits > 0 && skipped > 0,
+        "duplicate-heavy walk must reuse prefixes; hits={hits} skipped={skipped}"
     );
+    let reference = (result, counters);
     for (threads, width) in [(2usize, 4usize), (4, 16)] {
         let speculative = run_once(&c, &t, &faults, Some(&pre), &base, threads, width);
         assert_identical(
             &format!("threads={threads} width={width}"),
             &reference,
             &speculative,
+        );
+    }
+    // Fixed width ⇒ fixed wavefront boundaries ⇒ the reuse counters are
+    // a pure function of the walk: thread count must not move them.
+    let (_, _, base_hits, base_skipped) = run_with_effort(1, 4);
+    for threads in [2usize, 4] {
+        let (_, _, h, s) = run_with_effort(threads, 4);
+        assert_eq!(
+            (h, s),
+            (base_hits, base_skipped),
+            "prefix counters must be thread-invariant at fixed width (threads={threads})"
         );
     }
 }
