@@ -45,7 +45,7 @@ pub fn compact(
     config: &CompactionConfig,
 ) -> TestSequence {
     let sim = FaultSim::new(circuit);
-    let target = sim.count_detected(faults, sequence);
+    let target = sim.query(faults).sequence(sequence).count();
     let mut current = sequence.clone();
     let mut trials = 0usize;
 
@@ -65,7 +65,7 @@ pub fn compact(
             let omit: Vec<usize> = (start..(start + bs).min(current.len())).collect();
             let shorter = current.without_rows(&omit);
             trials += 1;
-            if sim.count_detected(faults, &shorter) >= target {
+            if sim.query(faults).sequence(&shorter).count() >= target {
                 current = shorter;
                 // The window now covers fresh rows; stay at the same start
                 // unless it ran off the end.
@@ -98,9 +98,9 @@ mod tests {
         let faults = FaultList::checkpoints(&c);
         let result = SequenceAtpg::new(&c, AtpgConfig::default()).run(&faults);
         let sim = FaultSim::new(&c);
-        let before = sim.count_detected(&faults, &result.sequence);
+        let before = sim.query(&faults).sequence(&result.sequence).count();
         let compacted = compact(&c, &faults, &result.sequence, &CompactionConfig::default());
-        let after = sim.count_detected(&faults, &compacted);
+        let after = sim.query(&faults).sequence(&compacted).count();
         assert!(after >= before);
         assert!(compacted.len() <= result.sequence.len());
     }
@@ -123,8 +123,8 @@ mod tests {
         );
         let sim = FaultSim::new(&c);
         assert_eq!(
-            sim.count_detected(&faults, &compacted),
-            sim.count_detected(&faults, &padded)
+            sim.query(&faults).sequence(&compacted).count(),
+            sim.query(&faults).sequence(&padded).count()
         );
     }
 

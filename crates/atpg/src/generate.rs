@@ -274,7 +274,10 @@ mod tests {
         let c = s27::circuit();
         let faults = FaultList::checkpoints(&c);
         let result = SequenceAtpg::new(&c, AtpgConfig::default()).run(&faults);
-        let oneshot = FaultSim::new(&c).detected(&faults, &result.sequence);
+        let oneshot = FaultSim::new(&c)
+            .query(&faults)
+            .sequence(&result.sequence)
+            .detected();
         assert_eq!(result.detected, oneshot);
     }
 

@@ -106,7 +106,20 @@ impl<'c> Podem<'c> {
     }
 
     /// Attempts to generate a test vector for `fault`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fault` is not a stuck-at fault. PODEM's single-vector
+    /// D-calculus has no notion of a launch cycle, so transition-delay
+    /// faults are out of scope — the scan baseline that drives this
+    /// generator enumerates stuck-at faults only.
     pub fn generate(&self, fault: Fault) -> PodemResult {
+        let Fault::StuckAt { site, stuck } = fault else {
+            panic!(
+                "PODEM generates single-vector stuck-at tests; {fault} needs \
+                 a sequential (launch/capture) generator"
+            );
+        };
         let c = self.circuit;
         let n_pi = c.num_inputs();
         // Decision stack: (pi index, value, tried_both).
@@ -116,13 +129,13 @@ impl<'c> Podem<'c> {
         let mut backtracks = 0usize;
 
         loop {
-            self.imply(&pi_vals, fault, &mut nets);
+            self.imply(&pi_vals, site, stuck, &mut nets);
             if self.detected(&nets) {
                 // Fill the unassigned inputs with 0.
                 return PodemResult::Test(pi_vals.iter().map(|v| v.unwrap_or(false)).collect());
             }
 
-            let objective = self.pick_objective(fault, &nets);
+            let objective = self.pick_objective(site, stuck, &nets);
             let next = objective.and_then(|(net, val)| self.backtrace(net, val, &nets, &pi_vals));
 
             match next {
@@ -161,13 +174,13 @@ impl<'c> Podem<'c> {
     }
 
     /// Five-valued forward implication from the current PI assignment.
-    fn imply(&self, pi_vals: &[Option<bool>], fault: Fault, nets: &mut [V5]) {
+    fn imply(&self, pi_vals: &[Option<bool>], site: FaultSite, stuck: bool, nets: &mut [V5]) {
         let c = self.circuit;
         let inject_stem = |net: NetId, v: V5| -> V5 {
-            if fault.site == FaultSite::Stem(net) {
+            if site == FaultSite::Stem(net) {
                 V5 {
                     good: v.good,
-                    bad: fault.stuck.into(),
+                    bad: stuck.into(),
                 }
             } else {
                 v
@@ -189,10 +202,10 @@ impl<'c> Podem<'c> {
             let g = c.gate(gid);
             let fetch = |pin: usize| -> V5 {
                 let v = nets[g.inputs[pin].index()];
-                if fault.site == (FaultSite::GatePin { gate: gid, pin }) {
+                if site == (FaultSite::GatePin { gate: gid, pin }) {
                     V5 {
                         good: v.good,
-                        bad: fault.stuck.into(),
+                        bad: stuck.into(),
                     }
                 } else {
                     v
@@ -216,18 +229,18 @@ impl<'c> Podem<'c> {
     /// activation while the fault site is not sensitized, otherwise
     /// D-frontier advancement. `None` when neither exists (dead end) or
     /// no X-path remains.
-    fn pick_objective(&self, fault: Fault, nets: &[V5]) -> Option<(NetId, bool)> {
+    fn pick_objective(&self, site: FaultSite, stuck: bool, nets: &[V5]) -> Option<(NetId, bool)> {
         let c = self.circuit;
         // Activation: the line driving the fault site must carry ¬stuck
         // in the good machine.
-        let site_net = match fault.site {
+        let site_net = match site {
             FaultSite::Stem(n) => n,
             FaultSite::GatePin { gate, pin } => c.gate(gate).inputs[pin],
             FaultSite::DffData(_) => unreachable!("combinational circuits have no DFFs"),
         };
         match nets[site_net.index()].good {
-            Logic3::X => return Some((site_net, !fault.stuck)),
-            v if v.to_bool() == Some(fault.stuck) => return None, // can't activate
+            Logic3::X => return Some((site_net, !stuck)),
+            v if v.to_bool() == Some(stuck) => return None, // can't activate
             _ => {}
         }
         // The site is activated; check that an error actually exists at
@@ -244,8 +257,8 @@ impl<'c> Podem<'c> {
             }
             let has_error = (0..g.inputs.len()).any(|pin| {
                 let mut v = nets[g.inputs[pin].index()];
-                if fault.site == (FaultSite::GatePin { gate: gid, pin }) {
-                    v.bad = fault.stuck.into();
+                if site == (FaultSite::GatePin { gate: gid, pin }) {
+                    v.bad = stuck.into();
                 }
                 v.is_error()
             });
@@ -429,7 +442,10 @@ OUTPUT(23)
             match podem.generate(f) {
                 PodemResult::Test(vec) => {
                     let seq = TestSequence::from_rows(vec![vec]).unwrap();
-                    let det = sim.detected(&FaultList::from_faults(vec![f]), &seq);
+                    let det = sim
+                        .query(&FaultList::from_faults(vec![f]))
+                        .sequence(&seq)
+                        .detected();
                     assert!(
                         det[0],
                         "fault {i} ({}) test does not verify",
@@ -479,7 +495,9 @@ OUTPUT(23)
                     let f = faults.faults()[i];
                     let seq = TestSequence::from_rows(vec![vec.clone()]).unwrap();
                     assert!(
-                        sim.detected(&FaultList::from_faults(vec![f]), &seq)[0],
+                        sim.query(&FaultList::from_faults(vec![f]))
+                            .sequence(&seq)
+                            .detected()[0],
                         "fault {i} test does not verify"
                     );
                 }
@@ -502,7 +520,11 @@ OUTPUT(23)
             match podem.generate(f) {
                 PodemResult::Test(vec) => {
                     let seq = TestSequence::from_rows(vec![vec]).unwrap();
-                    assert!(sim.detected(&FaultList::from_faults(vec![f]), &seq)[0]);
+                    assert!(
+                        sim.query(&FaultList::from_faults(vec![f]))
+                            .sequence(&seq)
+                            .detected()[0]
+                    );
                 }
                 other => panic!("{}: {other:?}", f.describe(&c)),
             }

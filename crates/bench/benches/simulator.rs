@@ -19,7 +19,7 @@ fn bench_fault_sim(c: &mut Criterion) {
             &(&circuit, &faults, &seq),
             |b, (circuit, faults, seq)| {
                 let sim = FaultSim::new(circuit);
-                b.iter(|| sim.count_detected(faults, seq));
+                b.iter(|| sim.query(faults).sequence(seq).count());
             },
         );
     }
@@ -32,7 +32,7 @@ fn bench_detection_times(c: &mut Criterion) {
     let seq = Lfsr::new(24, 0xACE1).sequence(circuit.num_inputs(), 512);
     c.bench_function("detection_times_s298_512", |b| {
         let sim = FaultSim::new(&circuit);
-        b.iter(|| sim.detection_times(&faults, &seq));
+        b.iter(|| sim.query(&faults).sequence(&seq).detection_times());
     });
 }
 
@@ -53,7 +53,7 @@ fn bench_threads(c: &mut Criterion) {
                 &threads,
                 |b, &threads| {
                     let sim = FaultSim::with_options(&circuit, SimOptions::with_threads(threads));
-                    b.iter(|| sim.detection_times(&faults, &seq));
+                    b.iter(|| sim.query(&faults).sequence(&seq).detection_times());
                 },
             );
         }

@@ -24,7 +24,7 @@ fn main() {
         println!("  {u} |  {}", row.join("   "));
     }
 
-    let times = sim.detection_times(&faults, &t);
+    let times = sim.query(&faults).sequence(&t).detection_times();
     let detected = times.iter().filter(|x| x.is_some()).count();
     println!(
         "\nT detects {detected}/{} checkpoint faults (paper: all 32).",
@@ -66,15 +66,15 @@ fn main() {
             .collect();
         println!("  {u:>2} |  {}", row.join("   "));
     }
-    let tg_det = sim.count_detected(&faults, &tg);
+    let tg_det = sim.query(&faults).sequence(&tg).count();
     println!("\nT_G detects {tg_det} faults (paper: 9 — f10 plus eight more).");
 
     let w1 = sets.assignment_at(&s, 1).expect("sets are non-empty");
     println!("Second-best assignment (paper: {{100, 00, 01, 100}}): {w1}");
     let extra = {
         let tg1 = w1.generate(12);
-        let d0 = sim.detected(&faults, &tg);
-        let d1 = sim.detected(&faults, &tg1);
+        let d0 = sim.query(&faults).sequence(&tg).detected();
+        let d1 = sim.query(&faults).sequence(&tg1).detected();
         d0.iter().zip(&d1).filter(|&(&a, &b)| !a && b).count()
     };
     println!("It detects {extra} additional faults (paper: 4).");

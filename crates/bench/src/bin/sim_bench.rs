@@ -14,6 +14,7 @@
 //!                      has a single core
 //!   --kernel K         simulation kernel: compiled (default) or
 //!                      reference (the full-walk differential oracle)
+//!   --fault-model M    fault model: stuck-at (default) or transition
 //!   --reps N           repetitions per measurement; the fastest is
 //!                      reported (default 3)
 //!   --golden           verify detection counts against the committed
@@ -41,7 +42,7 @@ use std::time::Instant;
 use wbist_atpg::Lfsr;
 use wbist_bench::Json;
 use wbist_circuits::synthetic;
-use wbist_netlist::FaultList;
+use wbist_netlist::{FaultModel, FaultUniverse};
 use wbist_sim::{Budget, CancelToken, FaultSim, SimOptions, Telemetry};
 
 /// Seed-era (full-circuit-walk kernel) 1-thread seconds at 128 cycles,
@@ -53,10 +54,16 @@ const SEED_SECONDS_128: &[(&str, f64)] = &[
     ("s35932", 59.570927134),
 ];
 
-/// Golden detection counts at 128 cycles. Any kernel, any thread count
-/// and any repetition must reproduce these exactly; `--golden` turns a
-/// deviation into a non-zero exit for CI.
-const GOLDEN_DETECTED_128: &[(&str, u64)] = &[("s1196", 1325), ("s5378", 6190), ("s35932", 33560)];
+/// Golden detection counts at 128 cycles, keyed by fault model. Any
+/// kernel, any thread count and any repetition must reproduce these
+/// exactly; `--golden` turns a deviation into a non-zero exit for CI.
+const GOLDEN_DETECTED_128: &[(FaultModel, &str, u64)] = &[
+    (FaultModel::StuckAt, "s1196", 1325),
+    (FaultModel::StuckAt, "s5378", 6190),
+    (FaultModel::StuckAt, "s35932", 33560),
+    (FaultModel::TransitionDelay, "s1196", 1103),
+    (FaultModel::TransitionDelay, "s5378", 4905),
+];
 
 fn parse_list(s: &str) -> Vec<String> {
     s.split(',')
@@ -92,6 +99,16 @@ fn main() {
             eprintln!("unknown kernel `{other}` (expected compiled or reference)");
             std::process::exit(1);
         }
+    };
+    let model = match opt("--fault-model") {
+        None => FaultModel::StuckAt,
+        Some(s) => match FaultModel::parse(&s) {
+            Some(m) => m,
+            None => {
+                eprintln!("unknown fault model `{s}` (expected stuck-at or transition)");
+                std::process::exit(1);
+            }
+        },
     };
     let golden = flag("--golden");
     let mut budget = Budget::unlimited();
@@ -149,7 +166,7 @@ fn main() {
             eprintln!("unknown circuit `{name}`, skipping");
             continue;
         };
-        let faults = FaultList::checkpoints(&circuit);
+        let faults = FaultUniverse::checkpoints(model, &circuit);
         let seq = Lfsr::new(24, 0xACE1).sequence(circuit.num_inputs(), cycles);
         let seed_secs = SEED_SECONDS_128
             .iter()
@@ -162,7 +179,7 @@ fn main() {
             let sim = FaultSim::with_options(&circuit, options).cancel(token.clone());
             // Warm up once, then keep the fastest of `reps` runs — the
             // usual least-noise estimator for throughput numbers.
-            let detected = sim.count_detected(&faults, &seq);
+            let detected = sim.query(&faults).sequence(&seq).count();
             if let Some(reason) = token.cancelled() {
                 truncated = Some(reason);
                 break 'measure;
@@ -174,11 +191,11 @@ fn main() {
             let attributed = FaultSim::with_options(&circuit, options)
                 .telemetry(tel.clone())
                 .cancel(token.clone());
-            std::hint::black_box(attributed.count_detected(&faults, &seq));
+            std::hint::black_box(attributed.query(&faults).sequence(&seq).count());
             let secs = (0..reps)
                 .map(|_| {
                     let start = Instant::now();
-                    std::hint::black_box(sim.count_detected(&faults, &seq));
+                    std::hint::black_box(sim.query(&faults).sequence(&seq).count());
                     start.elapsed().as_secs_f64()
                 })
                 .fold(f64::INFINITY, f64::min);
@@ -193,15 +210,19 @@ fn main() {
             let work = (faults.len() * cycles) as f64;
             let live_work = tel.counter("sim.fault_cycles") as f64;
             eprintln!(
-                "{name}: {} faults x {cycles} cycles, {t} thread(s), {kernel_name}: {:.1} ms ({:.2}x, {:.0} nominal / {:.0} effective fault-cycles/s)",
+                "{name}: {} {} faults x {cycles} cycles, {t} thread(s), {kernel_name}: {:.1} ms ({:.2}x, {:.0} nominal / {:.0} effective fault-cycles/s)",
                 faults.len(),
+                model.name(),
                 secs * 1e3,
                 baseline / secs,
                 work / secs,
                 live_work / secs
             );
             if golden {
-                if let Some(&(_, want)) = GOLDEN_DETECTED_128.iter().find(|&&(n, _)| n == name) {
+                if let Some(&(_, _, want)) = GOLDEN_DETECTED_128
+                    .iter()
+                    .find(|&&(m, n, _)| m == model && n == name)
+                {
                     if cycles == 128 && detected as u64 != want {
                         eprintln!(
                             "GOLDEN MISMATCH: {name} detected {detected}, committed value is {want}"
@@ -216,6 +237,7 @@ fn main() {
                 ("cycles", cycles.into()),
                 ("threads", t.into()),
                 ("kernel", kernel_name.into()),
+                ("fault_model", model.name().into()),
                 ("detected", detected.into()),
                 ("seconds", secs.into()),
                 ("fault_cycles_per_sec", (work / secs).into()),
@@ -238,6 +260,7 @@ fn main() {
         ("bench", "sim".into()),
         ("available_cores", cores.into()),
         ("kernel", kernel_name.into()),
+        ("fault_model", model.name().into()),
     ];
     if let Some(reason) = truncated {
         doc_fields.push(("truncated", Json::Str(reason.to_string())));

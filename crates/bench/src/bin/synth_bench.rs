@@ -18,6 +18,7 @@
 //!   --width-sweep      measure the speculative rows even when the host
 //!                      has a single core
 //!   --threads N        simulation worker threads (default all cores)
+//!   --fault-model M    fault model: stuck-at (default) or transition
 //!   --reps N           repetitions per row; the fastest is reported
 //!                      (default 1 — a synthesis run is long enough)
 //!   --golden           verify Ω size and target coverage against the
@@ -46,7 +47,7 @@ use wbist_atpg::Lfsr;
 use wbist_bench::Json;
 use wbist_circuits::synthetic;
 use wbist_core::{RunOptions, Synthesis, SynthesisConfig, SynthesisResult, Telemetry};
-use wbist_netlist::FaultList;
+use wbist_netlist::{FaultModel, FaultUniverse};
 
 /// Default target subsampling per circuit: every `keep_every`-th fault
 /// stays a target. Chosen so a full synthesis walk finishes in seconds
@@ -58,10 +59,12 @@ const DEFAULT_KEEP_EVERY: &[(&str, usize)] = &[("s1196", 5), ("s5378", 60), ("s3
 /// walk is bit-identical at every speculation width and worker count,
 /// so one committed value per circuit pins them all; `--golden` turns a
 /// deviation into a non-zero exit for CI.
-const GOLDEN_DEFAULT_CONFIG: &[(&str, u64, u64)] = &[
-    // (circuit, omega_len, targets_detected)
-    ("s1196", 36, 212),
-    ("s5378", 31, 74),
+const GOLDEN_DEFAULT_CONFIG: &[(FaultModel, &str, u64, u64)] = &[
+    // (fault model, circuit, omega_len, targets_detected)
+    (FaultModel::StuckAt, "s1196", 36, 212),
+    (FaultModel::StuckAt, "s5378", 31, 74),
+    (FaultModel::TransitionDelay, "s1196", 33, 154),
+    (FaultModel::TransitionDelay, "s5378", 24, 56),
 ];
 
 /// A run's identity-relevant products: the synthesis result, the
@@ -97,6 +100,16 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(1)
         .max(1);
+    let model = match opt("--fault-model") {
+        None => FaultModel::StuckAt,
+        Some(s) => match FaultModel::parse(&s) {
+            Some(m) => m,
+            None => {
+                eprintln!("unknown fault model `{s}` (expected stuck-at or transition)");
+                std::process::exit(1);
+            }
+        },
+    };
     let golden = flag("--golden");
     let no_prefix_cache = flag("--no-prefix-cache");
     let cores = std::thread::available_parallelism()
@@ -139,7 +152,7 @@ fn main() {
             eprintln!("unknown circuit `{name}`, skipping");
             continue;
         };
-        let faults = FaultList::checkpoints(&circuit);
+        let faults = FaultUniverse::checkpoints(model, &circuit);
         let seq = Lfsr::new(24, 0xACE1).sequence(circuit.num_inputs(), t_len);
         let keep_every = keep_override
             .or_else(|| {
@@ -214,14 +227,16 @@ fn main() {
                 .filter(|&(&d, &p)| d && !p)
                 .count() as u64;
             eprintln!(
-                "{name}: {targets} targets, width {width}, {threads} thread(s): {:.2} s ({:.2}x, {:.1} candidates/s, {tried} tried, {prefix_hits} prefix hits skipping {cycles_skipped} cycles, {wasted}/{launched} speculative evals wasted)",
+                "{name}: {targets} {} targets, width {width}, {threads} thread(s): {:.2} s ({:.2}x, {:.1} candidates/s, {tried} tried, {prefix_hits} prefix hits skipping {cycles_skipped} cycles, {wasted}/{launched} speculative evals wasted)",
+                model.name(),
                 secs,
                 *base_secs / secs,
                 tried as f64 / secs,
             );
             if golden {
-                if let Some(&(_, want_omega, want_detected)) =
-                    GOLDEN_DEFAULT_CONFIG.iter().find(|&&(n, _, _)| n == name)
+                if let Some(&(_, _, want_omega, want_detected)) = GOLDEN_DEFAULT_CONFIG
+                    .iter()
+                    .find(|&&(m, n, _, _)| m == model && n == name)
                 {
                     if (result.omega.len() as u64, detected_targets) != (want_omega, want_detected)
                     {
@@ -235,6 +250,7 @@ fn main() {
             }
             rows.push(Json::obj(vec![
                 ("circuit", name.as_str().into()),
+                ("fault_model", model.name().into()),
                 ("faults", faults.len().into()),
                 ("targets", targets.into()),
                 ("t_len", t_len.into()),
@@ -273,6 +289,7 @@ fn main() {
 
     let doc = Json::obj(vec![
         ("bench", "select".into()),
+        ("fault_model", model.name().into()),
         ("available_cores", cores.into()),
         ("rows", Json::Array(rows)),
     ]);

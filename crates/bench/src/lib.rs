@@ -125,8 +125,10 @@ pub fn run_pipeline(name: &str, circuit: Circuit, cfg: &PipelineConfig) -> Circu
             None => atpg.sequence.clone(),
         }
     };
-    let t_detected =
-        FaultSim::with_run_options(&circuit, &cfg.run).count_detected(&faults, &sequence);
+    let t_detected = FaultSim::with_run_options(&circuit, &cfg.run)
+        .query(&faults)
+        .sequence(&sequence)
+        .count();
     let syn_cfg = SynthesisConfig {
         sequence_length: cfg.sequence_length,
         sample_first: cfg.sample_first,
@@ -193,10 +195,11 @@ pub fn table6_row(run: &CircuitRun) -> Table6Row {
     let sim = FaultSim::new(&run.circuit);
     let mut detected = vec![false; run.faults.len()];
     for sel in &run.pruned {
-        for (d, f) in detected
-            .iter_mut()
-            .zip(sim.detected(&run.faults, &sel.sequence(run.synthesis.sequence_length)))
-        {
+        for (d, f) in detected.iter_mut().zip(
+            sim.query(&run.faults)
+                .sequence(&sel.sequence(run.synthesis.sequence_length))
+                .detected(),
+        ) {
             *d |= f;
         }
     }

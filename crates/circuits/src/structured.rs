@@ -290,7 +290,7 @@ mod tests {
         let faults = FaultList::checkpoints(&c);
         // 512 unbiased random vectors almost surely never unlock.
         let seq = TestSequence::from_rows(wbist_atpg_like_random(512, 8)).unwrap();
-        let det = FaultSim::new(&c).count_detected(&faults, &seq);
+        let det = FaultSim::new(&c).query(&faults).sequence(&seq).count();
         // The open parity cone is detected, the payload cone is not.
         assert!(det < faults.len() / 2, "detected {det}/{}", faults.len());
 
@@ -298,7 +298,7 @@ mod tests {
         let mut rows = vec![vec![true; 8], vec![true; 8], vec![true; 8]];
         rows.extend(wbist_atpg_like_random(512, 8));
         let unlocked = TestSequence::from_rows(rows).unwrap();
-        let det_unlocked = FaultSim::new(&c).count_detected(&faults, &unlocked);
+        let det_unlocked = FaultSim::new(&c).query(&faults).sequence(&unlocked).count();
         assert!(det_unlocked > det, "unlocking exposes more faults");
     }
 

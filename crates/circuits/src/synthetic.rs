@@ -387,7 +387,7 @@ mod tests {
             .map(|_| (0..6).map(|_| rng.gen_bool(0.5)).collect())
             .collect();
         let seq = TestSequence::from_rows(rows).unwrap();
-        let det = FaultSim::new(&c).count_detected(&faults, &seq);
+        let det = FaultSim::new(&c).query(&faults).sequence(&seq).count();
         assert!(
             det * 2 > faults.len(),
             "only {det}/{} faults detected",

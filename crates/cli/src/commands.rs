@@ -10,7 +10,7 @@ use wbist_core::{
     PruneOptions, RunControl, Synthesis, SynthesisConfig,
 };
 use wbist_hw::{build_generator, build_hybrid_generator, generator_cost, to_verilog};
-use wbist_netlist::{bench_format, circuit_stats, Circuit, FaultList};
+use wbist_netlist::{bench_format, circuit_stats, Circuit, FaultList, FaultModel, FaultUniverse};
 use wbist_sim::{
     Budget, CancelToken, FaultSim, RunOptions, SimOptions, Telemetry, TestSequence,
     TruncationReason,
@@ -20,6 +20,7 @@ use wbist_sim::{
 pub const USAGE: &str = "usage:
   wbist stats   <circuit.bench>
   wbist faults  <circuit.bench> [--model checkpoints|collapsed|all]
+                [--fault-model stuck-at|transition]
   wbist atpg    <circuit.bench> [--seed N] [--max-len N] [--no-compact] [-o seq.txt]
   wbist sim     <circuit.bench> <seq.txt> [--times]
   wbist synth   <circuit.bench> [--seq seq.txt] [--lg N] [--random N]
@@ -33,6 +34,10 @@ pub const USAGE: &str = "usage:
              shift:N, count:N, lock:WIDTH:ARM, johnson:N
   global options (any command):
       --threads N     simulator worker threads (default: all cores)
+  fault selection (faults, atpg, sim, synth, obs, session, podem):
+      --model M       fault universe: checkpoints (default) | collapsed | all
+      --fault-model F fault model: stuck-at (default) | transition
+                      (podem is stuck-at only)
       --kernel K      fault-sim kernel: compiled (default) | reference
       --speculation K synth candidate wavefront width (default 1);
                       results are bit-identical at every width
@@ -324,22 +329,38 @@ fn cmd_stats(argv: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-fn fault_list(c: &Circuit, model: Option<&str>) -> Result<FaultList, CliError> {
-    Ok(match model.unwrap_or("checkpoints") {
-        "checkpoints" => FaultList::checkpoints(c),
-        "collapsed" => FaultList::collapsed(c),
-        "all" => FaultList::all_lines(c),
-        other => return Err(usage(format!("unknown fault model `{other}`"))),
+fn fault_model(name: Option<&str>) -> Result<FaultModel, CliError> {
+    match name {
+        None => Ok(FaultModel::StuckAt),
+        Some(s) => FaultModel::parse(s).ok_or_else(|| {
+            usage(format!(
+                "unknown fault model `{s}` (expected stuck-at or transition)"
+            ))
+        }),
+    }
+}
+
+fn fault_list(
+    c: &Circuit,
+    universe: Option<&str>,
+    model: Option<&str>,
+) -> Result<FaultList, CliError> {
+    let fm = fault_model(model)?;
+    Ok(match universe.unwrap_or("checkpoints") {
+        "checkpoints" => FaultUniverse::checkpoints(fm, c),
+        "collapsed" => FaultUniverse::collapsed(fm, c),
+        "all" => FaultUniverse::enumerate(fm, c),
+        other => return Err(usage(format!("unknown fault universe `{other}`"))),
     })
 }
 
 fn cmd_faults(argv: &[String]) -> Result<(), CliError> {
-    let p = parse(argv, &["model"]).map_err(usage)?;
+    let p = parse(argv, &["model", "fault-model"]).map_err(usage)?;
     let path = p
         .pos(0)
         .ok_or_else(|| usage("faults needs a .bench file"))?;
     let c = load_circuit(path)?;
-    let fl = fault_list(&c, p.opt("model"))?;
+    let fl = fault_list(&c, p.opt("model"), p.opt("fault-model"))?;
     for (i, f) in fl.iter().enumerate() {
         println!("f{i}: {}", f.describe(&c));
     }
@@ -348,10 +369,10 @@ fn cmd_faults(argv: &[String]) -> Result<(), CliError> {
 }
 
 fn cmd_atpg(argv: &[String]) -> Result<(), CliError> {
-    let p = parse(argv, &["seed", "max-len", "o", "model"]).map_err(usage)?;
+    let p = parse(argv, &["seed", "max-len", "o", "model", "fault-model"]).map_err(usage)?;
     let path = p.pos(0).ok_or_else(|| usage("atpg needs a .bench file"))?;
     let c = load_circuit(path)?;
-    let faults = fault_list(&c, p.opt("model"))?;
+    let faults = fault_list(&c, p.opt("model"), p.opt("fault-model"))?;
     let mut cfg = AtpgConfig::default();
     if let Some(seed) = p.opt_parse::<u64>("seed").map_err(usage)? {
         cfg.seed = seed;
@@ -380,15 +401,18 @@ fn cmd_atpg(argv: &[String]) -> Result<(), CliError> {
 }
 
 fn cmd_sim(argv: &[String], g: &Globals) -> Result<(), CliError> {
-    let p = parse(argv, &["model"]).map_err(usage)?;
+    let p = parse(argv, &["model", "fault-model"]).map_err(usage)?;
     let (path, seq_path) = match (p.pos(0), p.pos(1)) {
         (Some(a), Some(b)) => (a, b),
         _ => return Err(usage("sim needs a .bench file and a sequence file")),
     };
     let c = load_circuit(path)?;
     let seq = load_sequence(seq_path)?;
-    let faults = fault_list(&c, p.opt("model"))?;
-    let times = FaultSim::with_run_options(&c, &g.run).detection_times(&faults, &seq);
+    let faults = fault_list(&c, p.opt("model"), p.opt("fault-model"))?;
+    let times = FaultSim::with_run_options(&c, &g.run)
+        .query(&faults)
+        .sequence(&seq)
+        .detection_times();
     let det = times.iter().filter(|t| t.is_some()).count();
     println!(
         "{}/{} faults detected ({:.2}%) by {} vectors",
@@ -411,12 +435,21 @@ fn cmd_sim(argv: &[String], g: &Globals) -> Result<(), CliError> {
 fn cmd_synth(argv: &[String], g: &Globals) -> Result<CmdStatus, CliError> {
     let p = parse(
         argv,
-        &["seq", "lg", "random", "verilog", "bench", "model", "seed"],
+        &[
+            "seq",
+            "lg",
+            "random",
+            "verilog",
+            "bench",
+            "model",
+            "fault-model",
+            "seed",
+        ],
     )
     .map_err(usage)?;
     let path = p.pos(0).ok_or_else(|| usage("synth needs a .bench file"))?;
     let c = load_circuit(path)?;
-    let faults = fault_list(&c, p.opt("model"))?;
+    let faults = fault_list(&c, p.opt("model"), p.opt("fault-model"))?;
 
     // Deterministic sequence: from a file or from the built-in ATPG.
     let t = match p.opt("seq") {
@@ -583,10 +616,10 @@ fn sequence_for(c: &Circuit, faults: &FaultList, p: &Parsed) -> Result<TestSeque
 }
 
 fn cmd_obs(argv: &[String], g: &Globals) -> Result<(), CliError> {
-    let p = parse(argv, &["seq", "lg", "model"]).map_err(usage)?;
+    let p = parse(argv, &["seq", "lg", "model", "fault-model"]).map_err(usage)?;
     let path = p.pos(0).ok_or_else(|| usage("obs needs a .bench file"))?;
     let c = load_circuit(path)?;
-    let faults = fault_list(&c, p.opt("model"))?;
+    let faults = fault_list(&c, p.opt("model"), p.opt("fault-model"))?;
     let t = sequence_for(&c, &faults, &p)?;
     let l_g = p
         .opt_parse::<usize>("lg")
@@ -625,12 +658,16 @@ fn cmd_obs(argv: &[String], g: &Globals) -> Result<(), CliError> {
 }
 
 fn cmd_session(argv: &[String], g: &Globals) -> Result<(), CliError> {
-    let p = parse(argv, &["seq", "lg", "misr", "capture", "model"]).map_err(usage)?;
+    let p = parse(
+        argv,
+        &["seq", "lg", "misr", "capture", "model", "fault-model"],
+    )
+    .map_err(usage)?;
     let path = p
         .pos(0)
         .ok_or_else(|| usage("session needs a .bench file"))?;
     let c = load_circuit(path)?;
-    let faults = fault_list(&c, p.opt("model"))?;
+    let faults = fault_list(&c, p.opt("model"), p.opt("fault-model"))?;
     let t = sequence_for(&c, &faults, &p)?;
     let l_g = p
         .opt_parse::<usize>("lg")
@@ -679,11 +716,16 @@ fn cmd_session(argv: &[String], g: &Globals) -> Result<(), CliError> {
 
 fn cmd_podem(argv: &[String]) -> Result<(), CliError> {
     use wbist_atpg::{Podem, PodemConfig, PodemResult};
-    let p = parse(argv, &["model"]).map_err(usage)?;
+    let p = parse(argv, &["model", "fault-model"]).map_err(usage)?;
     let path = p.pos(0).ok_or_else(|| usage("podem needs a .bench file"))?;
     let c = load_circuit(path)?;
     let scan = wbist_netlist::transform::full_scan(&c)?;
-    let faults = fault_list(&scan, p.opt("model"))?;
+    if fault_model(p.opt("fault-model"))? != FaultModel::StuckAt {
+        return Err(usage(
+            "podem generates single-vector stuck-at tests; --fault-model transition is not supported",
+        ));
+    }
+    let faults = fault_list(&scan, p.opt("model"), None)?;
     let podem = Podem::new(&scan, PodemConfig::default());
     let mut tested = 0usize;
     let mut redundant = 0usize;

@@ -118,7 +118,7 @@ pub fn weighted_random_coverage(
         seq.push_row(&row);
     }
     Coverage {
-        detected: FaultSim::new(circuit).count_detected(faults, &seq),
+        detected: FaultSim::new(circuit).query(faults).sequence(&seq).count(),
         total: faults.len(),
     }
 }
@@ -151,7 +151,9 @@ pub fn three_weight_coverage(
     );
     let sim = FaultSim::new(circuit);
     let mut times: Vec<usize> = sim
-        .detection_times(faults, t)
+        .query(faults)
+        .sequence(t)
+        .detection_times()
         .into_iter()
         .flatten()
         .collect();
@@ -192,7 +194,7 @@ pub fn three_weight_coverage(
             break;
         }
         let live_faults: FaultList = live.iter().map(|&i| faults.faults()[i]).collect();
-        let flags = sim.detected(&live_faults, &seq);
+        let flags = sim.query(&live_faults).sequence(&seq).detected();
         for (k, &i) in live.iter().enumerate() {
             if flags[k] {
                 detected[i] = true;
@@ -231,7 +233,7 @@ pub fn scan_bist_coverage(
     let translated: FaultList = faults
         .iter()
         .map(|f| {
-            let site = match f.site {
+            let site = match f.site() {
                 FaultSite::DffData(k) => FaultSite::Stem(
                     circuit.dffs()[k]
                         .d
@@ -239,10 +241,7 @@ pub fn scan_bist_coverage(
                 ),
                 other => other,
             };
-            wbist_netlist::Fault {
-                site,
-                stuck: f.stuck,
-            }
+            f.with_site(site)
         })
         .collect();
     // The scan view is combinational, so one multi-row sequence is
@@ -258,7 +257,10 @@ pub fn scan_bist_coverage(
         seq.push_row(&row);
     }
     Coverage {
-        detected: FaultSim::new(&scan).count_detected(&translated, &seq),
+        detected: FaultSim::new(&scan)
+            .query(&translated)
+            .sequence(&seq)
+            .count(),
         total: faults.len(),
     }
 }

@@ -57,7 +57,10 @@ impl FaultDictionary {
         let sim = FaultSim::new(circuit);
         let mut syndromes = vec![0u64; faults.len()];
         for (k, sel) in omega.iter().enumerate() {
-            let flags = sim.detected(faults, &sel.sequence(sequence_length));
+            let flags = sim
+                .query(faults)
+                .sequence(&sel.sequence(sequence_length))
+                .detected();
             for (syn, hit) in syndromes.iter_mut().zip(flags) {
                 if hit {
                     *syn |= 1 << k;

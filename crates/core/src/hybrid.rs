@@ -108,7 +108,8 @@ pub fn synthesize_hybrid(
             let seq = lfsr.parallel_sequence(circuit.num_inputs(), cfg.synthesis.sequence_length);
             // Each session starts from the power-up state, like a weighted
             // session would.
-            for (d, f) in random_detected.iter_mut().zip(sim.detected(faults, &seq)) {
+            let flags = sim.query(faults).sequence(&seq).detected();
+            for (d, f) in random_detected.iter_mut().zip(flags) {
                 *d |= f;
             }
             random_sequences.push(seq);

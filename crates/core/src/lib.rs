@@ -66,11 +66,3 @@ pub use session::{run_bist_session, SessionConfig, SessionReport};
 pub use subseq::Subsequence;
 pub use wbist_sim::{Budget, CancelToken, RunOptions, SimOptions, Telemetry, TruncationReason};
 pub use weights::WeightSet;
-
-// Deprecated positional forms, re-exported for the transition period.
-#[allow(deprecated)]
-pub use obs::observation_point_tradeoff_with;
-#[allow(deprecated)]
-pub use prune::reverse_order_prune_with;
-#[allow(deprecated)]
-pub use select::synthesize_weighted_bist_from;

@@ -22,7 +22,7 @@
 
 use crate::select::SelectedAssignment;
 use wbist_netlist::{Circuit, FaultList, NetId};
-use wbist_sim::{FaultSim, RunOptions, SimOptions};
+use wbist_sim::{FaultSim, RunOptions};
 
 /// Options for [`observation_point_tradeoff`].
 #[derive(Debug, Clone)]
@@ -112,7 +112,11 @@ pub fn observation_point_tradeoff(
     // Detection matrix: per assignment, per fault.
     let det: Vec<Vec<bool>> = omega
         .iter()
-        .map(|sel| sim.detected(faults, &sel.sequence(sequence_length)))
+        .map(|sel| {
+            sim.query(faults)
+                .sequence(&sel.sequence(sequence_length))
+                .detected()
+        })
         .collect();
     let covered_by_omega: Vec<bool> = (0..faults.len())
         .map(|i| det.iter().any(|row| row[i]))
@@ -163,7 +167,10 @@ pub fn observation_point_tradeoff(
             .collect();
         if !live.is_empty() {
             let live_faults: FaultList = live.iter().map(|&i| faults.faults()[i]).collect();
-            let lines = sim.observable_lines(&live_faults, &omega[best].sequence(sequence_length));
+            let lines = sim
+                .query(&live_faults)
+                .sequence(&omega[best].sequence(sequence_length))
+                .observable_lines();
             for (k, &i) in live.iter().enumerate() {
                 for &net in &lines[k] {
                     if !op_lines[i].contains(&net) {
@@ -205,25 +212,6 @@ pub fn observation_point_tradeoff(
         rows,
         total_covered,
     }
-}
-
-/// Deprecated positional form of [`observation_point_tradeoff`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `observation_point_tradeoff(circuit, faults, omega, &ObsOptions { .. })`"
-)]
-pub fn observation_point_tradeoff_with(
-    circuit: &Circuit,
-    faults: &FaultList,
-    omega: &[SelectedAssignment],
-    sequence_length: usize,
-    sim_options: SimOptions,
-) -> ObsTradeoff {
-    let opts = ObsOptions::new(sequence_length).run(RunOptions {
-        sim: sim_options,
-        ..RunOptions::default()
-    });
-    observation_point_tradeoff(circuit, faults, omega, &opts)
 }
 
 /// Greedy set cover: picks lines until every fault in `remaining` with a

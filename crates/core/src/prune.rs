@@ -10,7 +10,7 @@
 
 use crate::select::SelectedAssignment;
 use wbist_netlist::{Circuit, FaultList};
-use wbist_sim::{FaultSim, RunOptions, SimOptions};
+use wbist_sim::{FaultSim, RunOptions};
 
 /// Options for [`reverse_order_prune`].
 #[derive(Debug, Clone)]
@@ -78,7 +78,7 @@ pub fn reverse_order_prune(
         }
         let live_faults: FaultList = live.iter().map(|&i| faults.faults()[i]).collect();
         let tg = sel.sequence(opts.sequence_length);
-        let flags = sim.detected(&live_faults, &tg);
+        let flags = sim.query(&live_faults).sequence(&tg).detected();
         let mut newly = 0;
         for (j, &i) in live.iter().enumerate() {
             if flags[j] {
@@ -99,25 +99,6 @@ pub fn reverse_order_prune(
         .filter(|&(_, &k)| k)
         .map(|(s, _)| s.clone())
         .collect()
-}
-
-/// Deprecated positional form of [`reverse_order_prune`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `reverse_order_prune(circuit, faults, omega, &PruneOptions { .. })`"
-)]
-pub fn reverse_order_prune_with(
-    circuit: &Circuit,
-    faults: &FaultList,
-    omega: &[SelectedAssignment],
-    sequence_length: usize,
-    sim_options: SimOptions,
-) -> Vec<SelectedAssignment> {
-    let opts = PruneOptions::new(sequence_length).run(RunOptions {
-        sim: sim_options,
-        ..RunOptions::default()
-    });
-    reverse_order_prune(circuit, faults, omega, &opts)
 }
 
 #[cfg(test)]
@@ -148,10 +129,11 @@ mod tests {
         let sim = FaultSim::new(&c);
         let mut detected = vec![false; faults.len()];
         for sel in &pruned {
-            for (d, f) in detected
-                .iter_mut()
-                .zip(sim.detected(&faults, &sel.sequence(cfg.sequence_length)))
-            {
+            for (d, f) in detected.iter_mut().zip(
+                sim.query(&faults)
+                    .sequence(&sel.sequence(cfg.sequence_length))
+                    .detected(),
+            ) {
                 *d |= f;
             }
         }

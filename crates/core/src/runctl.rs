@@ -41,7 +41,7 @@ use std::path::{Path, PathBuf};
 
 use crate::select::{SelectedAssignment, SynthesisConfig};
 use crate::subseq::Subsequence;
-use wbist_netlist::{Circuit, FaultList, FaultSite};
+use wbist_netlist::{Circuit, FaultList, FaultModel, FaultSite};
 use wbist_sim::TestSequence;
 pub use wbist_sim::{Budget, CancelToken, TruncationReason};
 use wbist_telemetry::{failpoint, Json, Telemetry};
@@ -447,7 +447,13 @@ pub fn config_hash(
     }
     h.int(faults.len() as u64);
     for f in faults.faults() {
-        let (tag, a, b) = match f.site {
+        // The model tag participates so a checkpoint taken under one
+        // fault model can never resume a run over another.
+        h.int(match f.model() {
+            FaultModel::StuckAt => 0,
+            FaultModel::TransitionDelay => 1,
+        });
+        let (tag, a, b) = match f.site() {
             FaultSite::Stem(n) => (0u64, n.index() as u64, 0u64),
             FaultSite::GatePin { gate, pin } => (1, gate.index() as u64, pin as u64),
             FaultSite::DffData(k) => (2, k as u64, 0),
@@ -455,7 +461,7 @@ pub fn config_hash(
         h.int(tag);
         h.int(a);
         h.int(b);
-        h.int(f.stuck as u64);
+        h.int(f.polarity() as u64);
     }
     h.int(cfg.sequence_length as u64);
     h.int(cfg.sample_first as u64);

@@ -344,7 +344,7 @@ impl<'a> Synthesis<'a> {
             cfg.run.clone().cancel(CancelToken::unlimited())
         };
         let setup_sim = FaultSim::with_run_options(circuit, &setup_run);
-        let det_times = setup_sim.detection_times(faults, t);
+        let det_times = setup_sim.query(faults).sequence(t).detection_times();
         let target: Vec<bool> = det_times
             .iter()
             .zip(&pre)
@@ -663,25 +663,6 @@ pub fn synthesize_weighted_bist(
     Synthesis::new(circuit, t, faults).config(cfg.clone()).run()
 }
 
-/// Deprecated positional form of [`Synthesis::already_detected`] +
-/// [`Synthesis::run`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Synthesis::new(..).config(..).already_detected(..).run()`"
-)]
-pub fn synthesize_weighted_bist_from(
-    circuit: &Circuit,
-    t: &TestSequence,
-    faults: &FaultList,
-    cfg: &SynthesisConfig,
-    already_detected: &[bool],
-) -> SynthesisResult {
-    Synthesis::new(circuit, t, faults)
-        .config(cfg.clone())
-        .already_detected(already_detected)
-        .run()
-}
-
 /// Builds the screening sample: the target fault plus the first
 /// `size - 1` other undetected targets (ascending index over the
 /// segment's live list — the same faults the old per-rank scan picked,
@@ -794,7 +775,10 @@ mod tests {
         let sim = FaultSim::new(&c);
         let mut detected = vec![false; faults.len()];
         for sel in &r.omega {
-            let flags = sim.detected(&faults, &sel.sequence(cfg.sequence_length));
+            let flags = sim
+                .query(&faults)
+                .sequence(&sel.sequence(cfg.sequence_length))
+                .detected();
             for (d, f) in detected.iter_mut().zip(flags) {
                 *d |= f;
             }

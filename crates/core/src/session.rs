@@ -269,7 +269,7 @@ mod tests {
         for sel in &omega {
             for (e, f) in expect
                 .iter_mut()
-                .zip(sim.detected(&faults, &sel.sequence(l_g)))
+                .zip(sim.query(&faults).sequence(&sel.sequence(l_g)).detected())
             {
                 *e |= f;
             }

@@ -181,7 +181,7 @@ pub(crate) fn evaluate_wavefront(
                 }
                 let screened = sample.is_some();
                 let screen_skip = match sample {
-                    Some(sample) => !esim.detects_any_prepared(sample, &prep),
+                    Some(sample) => !esim.query(sample).prepared(&prep).any(),
                     None => false,
                 };
                 if screen_skip || live_faults.is_empty() {
@@ -194,7 +194,11 @@ pub(crate) fn evaluate_wavefront(
                         prefix_hits += 1;
                         cycles_skipped += tg.len() as u64;
                     }
-                    let out = esim.detected_indices_prepared(Some(cache), live_faults, &prep);
+                    let out = esim
+                        .query(live_faults)
+                        .prepared(&prep)
+                        .cache(cache)
+                        .outcome();
                     if out.resumed_cycles > 0 {
                         prefix_hits += 1;
                         cycles_skipped += out.resumed_cycles;
@@ -204,13 +208,13 @@ pub(crate) fn evaluate_wavefront(
             }
             None => {
                 let screen_skip = match sample {
-                    Some(sample) => !esim.detects_any(sample, tg),
+                    Some(sample) => !esim.query(sample).sequence(tg).any(),
                     None => false,
                 };
                 let newly = if screen_skip || live_faults.is_empty() {
                     Vec::new()
                 } else {
-                    esim.detected_indices(live_faults, tg)
+                    esim.query(live_faults).sequence(tg).detected_indices()
                 };
                 (screen_skip, newly, None)
             }

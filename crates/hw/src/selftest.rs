@@ -259,7 +259,7 @@ fn default_taps(width: usize) -> Vec<bool> {
 mod tests {
     use super::*;
     use wbist_core::{synthesize_weighted_bist, SynthesisConfig};
-    use wbist_netlist::{Fault, FaultList, FaultSite};
+    use wbist_netlist::{FaultList, FaultSite};
     use wbist_sim::{Logic3, SerialFaultSim, TestSequence};
 
     fn setup() -> (Circuit, FaultList, Vec<SelectedAssignment>, usize) {
@@ -317,14 +317,11 @@ mod tests {
         let mut translated = 0usize;
         let mut flipped = 0usize;
         for f in &faults {
-            let FaultSite::Stem(net) = f.site else {
+            let FaultSite::Stem(net) = f.site() else {
                 continue; // pin/DFF-data faults need gate-id mapping
             };
             let fused_net = design.cut_nets[cut.net_name(net)];
-            let fault = Fault {
-                site: FaultSite::Stem(fused_net),
-                stuck: f.stuck,
-            };
+            let fault = f.with_site(FaultSite::Stem(fused_net));
             translated += 1;
             let bad = sim.output_stream(Some(fault), &stim);
             let bad_sig = bad.last().expect("non-empty");

@@ -43,5 +43,5 @@ pub mod transform;
 
 pub use circuit::{Circuit, Dff, Driver, Gate, GateId, GateKind, Load, NetId};
 pub use error::NetlistError;
-pub use faults::{Fault, FaultList, FaultSite};
+pub use faults::{Fault, FaultDisplay, FaultList, FaultModel, FaultSite, FaultUniverse};
 pub use stats::{circuit_stats, CircuitStats};

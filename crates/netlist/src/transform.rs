@@ -194,7 +194,7 @@ mod tests {
         // against the scan view (ids remain meaningful). DFF-data faults
         // have no direct counterpart — the flip-flops are gone.
         for f in &FaultList::checkpoints(&c) {
-            if !matches!(f.site, crate::faults::FaultSite::DffData(_)) {
+            if !matches!(f.site(), crate::faults::FaultSite::DffData(_)) {
                 let _ = f.describe(&s);
             }
         }

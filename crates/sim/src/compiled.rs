@@ -49,6 +49,39 @@ use crate::plane::Planes;
 use crate::sequence::TestSequence;
 use wbist_netlist::{Circuit, Driver, Fault, FaultSite, GateKind};
 
+/// Which flat [`Schedule`] array a conditional injection overlays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum InjSlot {
+    SrcPi,
+    SrcDff,
+    SrcConst,
+    GateStem,
+    Pin,
+    Dff,
+}
+
+/// One conditional injection: a fault whose effect masks join the
+/// schedule only in cycles where its *activation condition* holds on the
+/// fault-free machine. Transition-delay faults use this — the fault
+/// launches when the good value of `watch` changes from `!slow_to` at
+/// cycle `t-1` to `slow_to` at cycle `t`, and the effect forces the site
+/// back to `!slow_to` in the capture cycle `t`. The two-plane good trace
+/// stores every cycle, so both the launch and the capture value are one
+/// indexed read away; stuck-at faults never allocate an entry here.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CondInj {
+    /// Which array the effect masks OR into.
+    pub(crate) slot: InjSlot,
+    /// Index of the target entry in that array (post-sort).
+    pub(crate) idx: u32,
+    /// Net whose fault-free transition activates the fault.
+    pub(crate) watch: u32,
+    /// Destination value of the slow transition.
+    pub(crate) slow_to: bool,
+    /// Machine bit of the fault.
+    pub(crate) bit: u64,
+}
+
 /// Load codes in the fanout CSR: values `< num_gates` are consuming
 /// gate topo positions; `num_gates + k` is the data input of DFF `k`.
 #[derive(Debug, Clone)]
@@ -406,6 +439,10 @@ pub(crate) struct Schedule {
     /// their own net; pin faults seed the consuming gate's output;
     /// DFF-data faults seed the flip-flop's state output.
     pub(crate) seeds: Vec<(u32, u64)>,
+    /// Conditional (activation-gated) injections, overlaid per cycle.
+    /// Empty for pure stuck-at batches — the static arrays above are
+    /// then used directly, with zero per-cycle cost.
+    pub(crate) cond: Vec<CondInj>,
 }
 
 impl Schedule {
@@ -414,6 +451,9 @@ impl Schedule {
     pub(crate) fn build(c: &Circuit, cc: &CompiledCircuit, faults: &[(usize, Fault)]) -> Schedule {
         debug_assert!(faults.len() <= 63);
         let mut sched = Schedule::default();
+        // (slot, key1, key2, watch, slow_to, bit): resolved to array
+        // indices after the sorts below.
+        let mut cond_raw: Vec<(InjSlot, u32, u32, u32, bool, u64)> = Vec::new();
         let seed = |sched: &mut Schedule, net: u32, bits: u64| {
             if let Some(e) = sched.seeds.iter_mut().find(|(n, _)| *n == net) {
                 e.1 |= bits;
@@ -423,21 +463,45 @@ impl Schedule {
         };
         for (k, &(_, f)) in faults.iter().enumerate() {
             let bit = 1u64 << (k + 1);
-            let (f1, f0) = if f.stuck { (bit, 0) } else { (0, bit) };
-            match f.site {
+            // A stuck-at fault contributes its masks statically; a
+            // transition-delay fault contributes a zero-mask entry plus a
+            // conditional component that ORs the effect in on activation
+            // cycles. The effect polarity (force the *old* value) is
+            // derived from `slow_to` at overlay time.
+            let (f1, f0, cond) = match f {
+                Fault::StuckAt { stuck, .. } => {
+                    if stuck {
+                        (bit, 0, None)
+                    } else {
+                        (0, bit, None)
+                    }
+                }
+                Fault::TransitionDelay { site, slow_to } => {
+                    let watch = match site {
+                        FaultSite::Stem(net) => net.index() as u32,
+                        FaultSite::GatePin { gate, pin } => c.gate(gate).inputs[pin].index() as u32,
+                        FaultSite::DffData(k) => cc.dff_d[k],
+                    };
+                    (0, 0, Some((watch, slow_to)))
+                }
+            };
+            match f.site() {
                 FaultSite::Stem(net) => {
                     let n = net.index() as u32;
                     seed(&mut sched, n, bit);
-                    match c.driver(net) {
+                    let slot = match c.driver(net) {
                         Driver::Gate(gid) => {
                             let pos = cc.topo_pos[gid.index()];
                             merge3(&mut sched.gate_stems, pos, f1, f0);
+                            (InjSlot::GateStem, pos, 0)
                         }
                         Driver::Input(pi) => {
                             merge_src(&mut sched.src_pi, pi as u32, n, f1, f0);
+                            (InjSlot::SrcPi, pi as u32, 0)
                         }
                         Driver::Dff(k) => {
                             merge_src(&mut sched.src_dff, k as u32, n, f1, f0);
+                            (InjSlot::SrcDff, k as u32, 0)
                         }
                         Driver::Const(v) => {
                             if let Some(e) =
@@ -448,8 +512,12 @@ impl Schedule {
                             } else {
                                 sched.src_const.push((n, v, f1, f0));
                             }
+                            (InjSlot::SrcConst, n, 0)
                         }
                         Driver::Undriven => unreachable!("levelized circuits have no undriven net"),
+                    };
+                    if let Some((watch, slow_to)) = cond {
+                        cond_raw.push((slot.0, slot.1, slot.2, watch, slow_to, bit));
                     }
                 }
                 FaultSite::GatePin { gate, pin } => {
@@ -466,10 +534,16 @@ impl Schedule {
                     } else {
                         sched.pins.push((pos, pin as u32, f1, f0));
                     }
+                    if let Some((watch, slow_to)) = cond {
+                        cond_raw.push((InjSlot::Pin, pos, pin as u32, watch, slow_to, bit));
+                    }
                 }
                 FaultSite::DffData(k) => {
                     seed(&mut sched, cc.dff_q[k], bit);
                     merge3(&mut sched.dffs, k as u32, f1, f0);
+                    if let Some((watch, slow_to)) = cond {
+                        cond_raw.push((InjSlot::Dff, k as u32, 0, watch, slow_to, bit));
+                    }
                 }
             }
         }
@@ -480,7 +554,148 @@ impl Schedule {
         sched.pins.sort_unstable_by_key(|e| (e.0, e.1));
         sched.dffs.sort_unstable_by_key(|e| e.0);
         sched.seeds.sort_unstable_by_key(|e| e.0);
+        for (slot, k1, k2, watch, slow_to, bit) in cond_raw {
+            let idx = match slot {
+                InjSlot::SrcPi => sched.src_pi.iter().position(|e| e.0 == k1),
+                InjSlot::SrcDff => sched.src_dff.iter().position(|e| e.0 == k1),
+                InjSlot::SrcConst => sched.src_const.iter().position(|e| e.0 == k1),
+                InjSlot::GateStem => sched.gate_stems.iter().position(|e| e.0 == k1),
+                InjSlot::Pin => sched.pins.iter().position(|e| e.0 == k1 && e.1 == k2),
+                InjSlot::Dff => sched.dffs.iter().position(|e| e.0 == k1),
+            }
+            .expect("conditional injection targets an entry created above");
+            sched.cond.push(CondInj {
+                slot,
+                idx: idx as u32,
+                watch,
+                slow_to,
+                bit,
+            });
+        }
         sched
+    }
+
+    /// The schedule's injection arrays as consumed by one cycle, with no
+    /// conditional components (valid whenever `cond` is empty).
+    pub(crate) fn static_view(&self) -> CycleInj<'_> {
+        CycleInj {
+            src_pi: &self.src_pi,
+            src_dff: &self.src_dff,
+            src_const: &self.src_const,
+            gate_stems: &self.gate_stems,
+            pins: &self.pins,
+            dffs: &self.dffs,
+        }
+    }
+}
+
+/// The effective injection masks for one cycle: either the schedule's
+/// static arrays (pure stuck-at) or a [`MaskBuf`] overlay with this
+/// cycle's active conditional components OR-ed in. Entry order and keys
+/// are identical either way, so the kernels' monotone cursors are
+/// oblivious to which source they read.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CycleInj<'a> {
+    pub(crate) src_pi: &'a [(u32, u32, u64, u64)],
+    pub(crate) src_dff: &'a [(u32, u32, u64, u64)],
+    pub(crate) src_const: &'a [(u32, bool, u64, u64)],
+    pub(crate) gate_stems: &'a [(u32, u64, u64)],
+    pub(crate) pins: &'a [(u32, u32, u64, u64)],
+    pub(crate) dffs: &'a [(u32, u64, u64)],
+}
+
+/// Per-worker scratch holding one cycle's effective injection masks when
+/// a batch carries conditional injections. Buffers are reused across
+/// cycles and batches (clear + extend), so the steady-state cycle loop
+/// performs no allocation.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct MaskBuf {
+    src_pi: Vec<(u32, u32, u64, u64)>,
+    src_dff: Vec<(u32, u32, u64, u64)>,
+    src_const: Vec<(u32, bool, u64, u64)>,
+    gate_stems: Vec<(u32, u64, u64)>,
+    pins: Vec<(u32, u32, u64, u64)>,
+    dffs: Vec<(u32, u64, u64)>,
+}
+
+impl MaskBuf {
+    pub(crate) fn new() -> MaskBuf {
+        MaskBuf::default()
+    }
+
+    /// Rebuilds the effective masks for cycle `u`: copies the static
+    /// arrays, then ORs in every conditional injection whose activation
+    /// condition holds on the fault-free machine. The launch value at
+    /// cycle 0 comes from `prev0` (the good net values entering the
+    /// sequence — `None` means the all-`X` start, which never launches).
+    fn refresh(&mut self, sched: &Schedule, trace: &GoodTrace, u: usize, prev0: Option<&[Logic3]>) {
+        self.src_pi.clear();
+        self.src_pi.extend_from_slice(&sched.src_pi);
+        self.src_dff.clear();
+        self.src_dff.extend_from_slice(&sched.src_dff);
+        self.src_const.clear();
+        self.src_const.extend_from_slice(&sched.src_const);
+        self.gate_stems.clear();
+        self.gate_stems.extend_from_slice(&sched.gate_stems);
+        self.pins.clear();
+        self.pins.extend_from_slice(&sched.pins);
+        self.dffs.clear();
+        self.dffs.extend_from_slice(&sched.dffs);
+        for ci in &sched.cond {
+            let n = ci.watch as usize;
+            let cur = trace.value(u, n);
+            let prev = if u > 0 {
+                trace.value(u - 1, n)
+            } else {
+                match prev0 {
+                    Some(p) => p[n],
+                    None => Logic3::X,
+                }
+            };
+            if cur == ci.slow_to.into() && prev == (!ci.slow_to).into() {
+                // The slow site still shows the old value in the capture
+                // cycle: slow-to-rise forces 0, slow-to-fall forces 1.
+                let (a1, a0) = if ci.slow_to { (0, ci.bit) } else { (ci.bit, 0) };
+                let i = ci.idx as usize;
+                match ci.slot {
+                    InjSlot::SrcPi => {
+                        self.src_pi[i].2 |= a1;
+                        self.src_pi[i].3 |= a0;
+                    }
+                    InjSlot::SrcDff => {
+                        self.src_dff[i].2 |= a1;
+                        self.src_dff[i].3 |= a0;
+                    }
+                    InjSlot::SrcConst => {
+                        self.src_const[i].2 |= a1;
+                        self.src_const[i].3 |= a0;
+                    }
+                    InjSlot::GateStem => {
+                        self.gate_stems[i].1 |= a1;
+                        self.gate_stems[i].2 |= a0;
+                    }
+                    InjSlot::Pin => {
+                        self.pins[i].2 |= a1;
+                        self.pins[i].3 |= a0;
+                    }
+                    InjSlot::Dff => {
+                        self.dffs[i].1 |= a1;
+                        self.dffs[i].2 |= a0;
+                    }
+                }
+            }
+        }
+    }
+
+    fn view(&self) -> CycleInj<'_> {
+        CycleInj {
+            src_pi: &self.src_pi,
+            src_dff: &self.src_dff,
+            src_const: &self.src_const,
+            gate_stems: &self.gate_stems,
+            pins: &self.pins,
+            dffs: &self.dffs,
+        }
     }
 }
 
@@ -659,6 +874,11 @@ pub(crate) struct BatchStats {
 /// mask is ignored in favor of the snapshot's. With `snap`, the
 /// complete batch state is captured into the vector at checkpointed
 /// cycle boundaries (see [`snapshot_interval`]) and at the final cycle.
+///
+/// `prev0` supplies the fault-free net values *entering* cycle 0 (for
+/// incremental segments); `None` is the all-`X` start. It only gates
+/// conditional-injection launches at cycle 0 — cycles past the first
+/// read their launch value from the trace itself.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_batch(
     cc: &CompiledCircuit,
@@ -666,14 +886,17 @@ pub(crate) fn run_batch(
     mut live: u64,
     seq: &TestSequence,
     trace: &GoodTrace,
+    prev0: Option<&[Logic3]>,
     ff: &mut [Planes],
     nets: &mut [Planes],
     cone: &mut ConeScratch,
+    buf: &mut MaskBuf,
     resume: Option<&BatchCkpt>,
     mut snap: Option<&mut Vec<BatchCkpt>>,
     mut sink: impl FnMut(usize, &CycleCtx) -> (u64, bool),
 ) -> (u64, BatchStats) {
     debug_assert_eq!(trace.len(), seq.len());
+    let has_cond = !sched.cond.is_empty();
     let (start, mut stats) = match resume {
         Some(ck) => {
             debug_assert!(ck.cycle <= seq.len());
@@ -742,6 +965,12 @@ pub(crate) fn run_batch(
         stats.cycles = u + 1;
         stats.fault_cycles += live.count_ones() as u64;
         let mut evaluated = 0u64;
+        let inj = if has_cond {
+            buf.refresh(sched, trace, u, prev0);
+            buf.view()
+        } else {
+            sched.static_view()
+        };
 
         // Dirty stored state enters on the flip-flop output nets; the
         // flip-flop itself must be re-examined this cycle so it can go
@@ -761,7 +990,7 @@ pub(crate) fn run_batch(
         // exactly the good value (or the stored planes for a dirty
         // flip-flop), and the result is marked dirty conservatively.
         let row = seq.row(u);
-        for &(pi, n, f1, f0) in &sched.src_pi {
+        for &(pi, n, f1, f0) in inj.src_pi {
             let (f1, f0) = (f1 & live, f0 & live);
             if f1 | f0 != 0 {
                 nets[n as usize] = Planes::broadcast(row[pi as usize]).inject(f1, f0);
@@ -772,7 +1001,7 @@ pub(crate) fn run_batch(
                 mark_loads(cc, sched_bits, cand_bits, n);
             }
         }
-        for &(k, n, f1, f0) in &sched.src_dff {
+        for &(k, n, f1, f0) in inj.src_dff {
             let (f1, f0) = (f1 & live, f0 & live);
             if f1 | f0 != 0 {
                 let base = if dff_dirty[k as usize] {
@@ -788,7 +1017,7 @@ pub(crate) fn run_batch(
                 mark_loads(cc, sched_bits, cand_bits, n);
             }
         }
-        for &(n, v, f1, f0) in &sched.src_const {
+        for &(n, v, f1, f0) in inj.src_const {
             let (f1, f0) = (f1 & live, f0 & live);
             if f1 | f0 != 0 {
                 nets[n as usize] = Planes::broadcast(v).inject(f1, f0);
@@ -801,12 +1030,12 @@ pub(crate) fn run_batch(
         }
         // Gates carrying live injections run unconditionally — their
         // operands may all be clean.
-        for &(pos, f1, f0) in &sched.gate_stems {
+        for &(pos, f1, f0) in inj.gate_stems {
             if (f1 | f0) & live != 0 {
                 sched_bits[(pos >> 6) as usize] |= 1 << (pos & 63);
             }
         }
-        for &(pos, _, f1, f0) in &sched.pins {
+        for &(pos, _, f1, f0) in inj.pins {
             if (f1 | f0) & live != 0 {
                 sched_bits[(pos >> 6) as usize] |= 1 << (pos & 63);
             }
@@ -830,7 +1059,7 @@ pub(crate) fn run_batch(
                 let pos = (w << 6) + bits.trailing_zeros() as usize;
                 sched_bits[w] = bits & (bits - 1);
                 evaluated += 1;
-                let v = eval_gate(cc, sched, pos, &mut is, &mut ip, |n: u32| {
+                let v = eval_gate(cc, inj, pos, &mut is, &mut ip, |n: u32| {
                     if dirty[n as usize] {
                         nets[n as usize]
                     } else {
@@ -851,7 +1080,7 @@ pub(crate) fn run_batch(
         }
         // Next-state examination: flip-flops whose data net went dirty,
         // whose stored planes were dirty, or that carry live injections.
-        for &(k, f1, f0) in &sched.dffs {
+        for &(k, f1, f0) in inj.dffs {
             if (f1 | f0) & live != 0 {
                 cand_bits[(k >> 6) as usize] |= 1 << (k & 63);
             }
@@ -870,11 +1099,11 @@ pub(crate) fn run_batch(
                 } else {
                     trace.planes(u, d)
                 };
-                while id < sched.dffs.len() && (sched.dffs[id].0 as usize) < k {
+                while id < inj.dffs.len() && (inj.dffs[id].0 as usize) < k {
                     id += 1;
                 }
-                if id < sched.dffs.len() && sched.dffs[id].0 as usize == k {
-                    let (_, f1, f0) = sched.dffs[id];
+                if id < inj.dffs.len() && inj.dffs[id].0 as usize == k {
+                    let (_, f1, f0) = inj.dffs[id];
                     v = v.inject(f1 & live, f0 & live);
                 }
                 let good = trace.planes(u, d);
@@ -962,21 +1191,35 @@ fn mark_loads(cc: &CompiledCircuit, sched_bits: &mut [u64], cand_bits: &mut [u64
 /// [`Schedule`] (cursor merge instead of the original `HashMap` probes)
 /// and the sink contract with [`run_batch`], so any divergence between
 /// the two kernels is in the cone machinery, not the plumbing.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_batch_reference(
     cc: &CompiledCircuit,
     sched: &Schedule,
     mut live: u64,
     seq: &TestSequence,
+    trace: &GoodTrace,
+    prev0: Option<&[Logic3]>,
     ff: &mut [Planes],
     nets: &mut [Planes],
+    buf: &mut MaskBuf,
     mut sink: impl FnMut(usize, &CycleCtx) -> (u64, bool),
 ) -> (u64, BatchStats) {
+    debug_assert_eq!(trace.len(), seq.len());
+    let has_cond = !sched.cond.is_empty();
     nets.fill(Planes::ALL_X);
     let mut stats = BatchStats::default();
     for u in 0..seq.len() {
         stats.cycles = u + 1;
         stats.gates_evaluated += cc.num_gates as u64;
         stats.fault_cycles += live.count_ones() as u64;
+        // The trace feeds only conditional-injection activation: the
+        // reference machine's own evolution stays trace-free.
+        let inj = if has_cond {
+            buf.refresh(sched, trace, u, prev0);
+            buf.view()
+        } else {
+            sched.static_view()
+        };
         let row = seq.row(u);
         for (pi, &n) in cc.pi_nets.iter().enumerate() {
             nets[n as usize] = Planes::broadcast(row[pi]);
@@ -990,29 +1233,29 @@ pub(crate) fn run_batch_reference(
         // Source stem injections, applied unconditionally — dropped bit
         // lanes keep carrying their faulty values, exactly like the
         // original kernel.
-        for &(_, n, f1, f0) in &sched.src_pi {
+        for &(_, n, f1, f0) in inj.src_pi {
             nets[n as usize] = nets[n as usize].inject(f1, f0);
         }
-        for &(_, n, f1, f0) in &sched.src_dff {
+        for &(_, n, f1, f0) in inj.src_dff {
             nets[n as usize] = nets[n as usize].inject(f1, f0);
         }
-        for &(n, _, f1, f0) in &sched.src_const {
+        for &(n, _, f1, f0) in inj.src_const {
             nets[n as usize] = nets[n as usize].inject(f1, f0);
         }
         let mut is = 0usize;
         let mut ip = 0usize;
         for pos in 0..cc.num_gates {
-            let v = eval_gate(cc, sched, pos, &mut is, &mut ip, |n: u32| nets[n as usize]);
+            let v = eval_gate(cc, inj, pos, &mut is, &mut ip, |n: u32| nets[n as usize]);
             nets[cc.out_nets[pos] as usize] = v;
         }
         let mut id = 0usize;
         for k in 0..cc.num_dffs {
             let mut v = nets[cc.dff_d[k] as usize];
-            while id < sched.dffs.len() && (sched.dffs[id].0 as usize) < k {
+            while id < inj.dffs.len() && (inj.dffs[id].0 as usize) < k {
                 id += 1;
             }
-            if id < sched.dffs.len() && sched.dffs[id].0 as usize == k {
-                let (_, f1, f0) = sched.dffs[id];
+            if id < inj.dffs.len() && inj.dffs[id].0 as usize == k {
+                let (_, f1, f0) = inj.dffs[id];
                 v = v.inject(f1, f0);
             }
             ff[k] = v;
@@ -1045,24 +1288,24 @@ pub(crate) fn run_batch_reference(
 #[inline]
 fn eval_gate(
     cc: &CompiledCircuit,
-    sched: &Schedule,
+    inj: CycleInj<'_>,
     pos: usize,
     is: &mut usize,
     ip: &mut usize,
     read: impl Fn(u32) -> Planes + Copy,
 ) -> Planes {
-    while *is < sched.gate_stems.len() && (sched.gate_stems[*is].0 as usize) < pos {
+    while *is < inj.gate_stems.len() && (inj.gate_stems[*is].0 as usize) < pos {
         *is += 1;
     }
-    while *ip < sched.pins.len() && (sched.pins[*ip].0 as usize) < pos {
+    while *ip < inj.pins.len() && (inj.pins[*ip].0 as usize) < pos {
         *ip += 1;
     }
     let s = cc.in_start[pos] as usize;
     let e = cc.in_start[pos + 1] as usize;
-    let has_pin_inj = *ip < sched.pins.len() && sched.pins[*ip].0 as usize == pos;
+    let has_pin_inj = *ip < inj.pins.len() && inj.pins[*ip].0 as usize == pos;
     let ip = *ip;
     let mut acc = if has_pin_inj {
-        fetch_injected(sched, pos, 0, cc.in_nets[s], ip, read)
+        fetch_injected(inj, pos, 0, cc.in_nets[s], ip, read)
     } else {
         read(cc.in_nets[s])
     };
@@ -1070,7 +1313,7 @@ fn eval_gate(
         GateKind::And | GateKind::Nand => {
             for (pin, &i) in cc.in_nets[s + 1..e].iter().enumerate() {
                 let v = if has_pin_inj {
-                    fetch_injected(sched, pos, pin + 1, i, ip, read)
+                    fetch_injected(inj, pos, pin + 1, i, ip, read)
                 } else {
                     read(i)
                 };
@@ -1080,7 +1323,7 @@ fn eval_gate(
         GateKind::Or | GateKind::Nor => {
             for (pin, &i) in cc.in_nets[s + 1..e].iter().enumerate() {
                 let v = if has_pin_inj {
-                    fetch_injected(sched, pos, pin + 1, i, ip, read)
+                    fetch_injected(inj, pos, pin + 1, i, ip, read)
                 } else {
                     read(i)
                 };
@@ -1090,7 +1333,7 @@ fn eval_gate(
         GateKind::Xor | GateKind::Xnor => {
             for (pin, &i) in cc.in_nets[s + 1..e].iter().enumerate() {
                 let v = if has_pin_inj {
-                    fetch_injected(sched, pos, pin + 1, i, ip, read)
+                    fetch_injected(inj, pos, pin + 1, i, ip, read)
                 } else {
                     read(i)
                 };
@@ -1102,8 +1345,8 @@ fn eval_gate(
     if cc.kinds[pos].inverting() {
         acc = acc.not();
     }
-    if *is < sched.gate_stems.len() && sched.gate_stems[*is].0 as usize == pos {
-        let (_, f1, f0) = sched.gate_stems[*is];
+    if *is < inj.gate_stems.len() && inj.gate_stems[*is].0 as usize == pos {
+        let (_, f1, f0) = inj.gate_stems[*is];
         acc = acc.inject(f1, f0);
     }
     acc
@@ -1114,7 +1357,7 @@ fn eval_gate(
 /// injections.
 #[inline]
 fn fetch_injected(
-    sched: &Schedule,
+    inj: CycleInj<'_>,
     pos: usize,
     pin: usize,
     net: u32,
@@ -1123,9 +1366,9 @@ fn fetch_injected(
 ) -> Planes {
     let v = read(net);
     let mut i = ip;
-    while i < sched.pins.len() && sched.pins[i].0 as usize == pos {
-        if sched.pins[i].1 as usize == pin {
-            let (_, _, f1, f0) = sched.pins[i];
+    while i < inj.pins.len() && inj.pins[i].0 as usize == pos {
+        if inj.pins[i].1 as usize == pin {
+            let (_, _, f1, f0) = inj.pins[i];
             return v.inject(f1, f0);
         }
         i += 1;

@@ -1,4 +1,4 @@
-//! Parallel sequential stuck-at fault simulation.
+//! Parallel sequential fault simulation, generic over the fault model.
 //!
 //! The simulator packs the fault-free machine (bit 0) and up to 63 faulty
 //! machines (bits 1–63) into each 64-bit word. A three-valued signal is
@@ -12,7 +12,21 @@
 //! Faults are injected by forcing plane bits: a stem fault forces the net's
 //! planes after its driver is evaluated; a gate-pin fault forces the value
 //! seen by a single gate input; a DFF-data fault forces the value loaded
-//! into one flip-flop.
+//! into one flip-flop. Stuck-at faults force unconditionally on every
+//! cycle; transition-delay faults contribute the same forced effect but
+//! gated by an activation condition on the fault-free machine — the site
+//! must transition to the slow value between consecutive cycles (launch
+//! at `t−1`, capture at `t`), which the per-query good trace answers
+//! without any extra state (see `compiled::MaskBuf`).
+//!
+//! # Queries
+//!
+//! All one-shot queries go through the single [`FaultSim::query`]
+//! builder: pick the sequence (raw via [`Query::sequence`] or a
+//! [`PreparedSequence`] via [`Query::prepared`]), then call a terminal
+//! ([`Query::detection_times`], [`Query::any`], [`Query::outcome`], …).
+//! Incremental simulation keeps its dedicated [`FaultSim::begin`] /
+//! [`FaultSim::advance`] / [`FaultSim::sample_detects`] surface.
 //!
 //! # Kernels
 //!
@@ -41,12 +55,14 @@
 //! flip-flop planes owned per batch. Per-fault results are written to
 //! disjoint indices and merged in batch order after the join, so all
 //! outputs are bit-identical to the single-threaded path regardless of
-//! scheduling. The boolean early-exit queries ([`FaultSim::detects_any`],
+//! scheduling. The boolean early-exit queries ([`Query::any`],
 //! [`FaultSim::sample_detects`]) coordinate through an `AtomicBool`: the
 //! first worker to find a detection cancels the rest. Thread count is
 //! controlled by [`SimOptions::threads`] (default: all available cores).
 
-use crate::compiled::{self, BatchStats, CompiledCircuit, ConeScratch, CycleCtx, GoodTrace};
+use crate::compiled::{
+    self, BatchStats, CompiledCircuit, ConeScratch, CycleCtx, GoodTrace, MaskBuf,
+};
 use crate::error::SimError;
 use crate::logic::Logic3;
 use crate::plane::Planes;
@@ -57,8 +73,14 @@ use crate::sequence::TestSequence;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use wbist_netlist::{Circuit, Fault, FaultList, NetId};
+use wbist_netlist::{Circuit, Fault, FaultList, FaultModel, NetId};
 use wbist_telemetry::Telemetry;
+
+/// Prepared-resume context threaded from [`Query`] into the dense
+/// engine: the prefix cache (if attached) and the prepared sequence's
+/// `(epoch_index, divergence_cycle)` base. `None` means a from-scratch
+/// raw-sequence query.
+type PreparedCtx<'q> = Option<(Option<&'q PrefixTraceCache>, Option<(usize, usize)>)>;
 
 /// Simulation tuning knobs, shared by every [`FaultSim`] entry point.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -100,9 +122,8 @@ const ARTIFACT_STATE_CAP: usize = 1 << 16;
 /// A candidate sequence prepared for evaluation: its good-machine
 /// trace, computed once — resumed from the divergence cycle when a
 /// cached sequence shares a prefix — plus the cache entry its
-/// faulty-plane resume can key off. Feed it to
-/// [`FaultSim::detects_any_prepared`] and
-/// [`FaultSim::detected_indices_prepared`]; both reuse the trace, so a
+/// faulty-plane resume can key off. Feed it to queries through
+/// [`Query::prepared`]; every terminal reuses the trace, so a
 /// screen-then-dense pair pays for one good simulation instead of two.
 #[derive(Debug)]
 pub struct PreparedSequence {
@@ -125,11 +146,11 @@ impl PreparedSequence {
     }
 }
 
-/// Result of [`FaultSim::detected_indices_prepared`].
+/// Result of [`Query::outcome`].
 #[derive(Debug)]
 pub struct PreparedOutcome {
     /// Indices (into the queried fault list, ascending) of the detected
-    /// faults — identical to [`FaultSim::detected_indices`].
+    /// faults — identical to [`Query::detected_indices`].
     pub detected: Vec<usize>,
     /// Faulty-machine cycles skipped by resuming batches mid-sequence.
     pub resumed_cycles: u64,
@@ -197,6 +218,12 @@ pub struct FaultSimState {
     detected: Vec<bool>,
     /// Time units consumed so far (for absolute detection times).
     elapsed: usize,
+    /// Fault-free net values at the end of the last [`FaultSim::advance`]
+    /// segment — the launch half of a transition-delay activation at the
+    /// next segment's first cycle. `None` when the fault list carries no
+    /// transition faults (and before the first cycle: the all-`X` start
+    /// never launches).
+    prev_nets: Option<Vec<Logic3>>,
 }
 
 impl FaultSimState {
@@ -239,6 +266,9 @@ impl FaultSimState {
 struct Scratch {
     nets: Vec<Planes>,
     cone: ConeScratch,
+    /// Per-cycle effective injection masks, used only by batches whose
+    /// schedule carries conditional (transition-delay) injections.
+    buf: MaskBuf,
 }
 
 impl Scratch {
@@ -246,6 +276,7 @@ impl Scratch {
         Scratch {
             nets: vec![Planes::ALL_X; cc.num_nets],
             cone: ConeScratch::new(cc),
+            buf: MaskBuf::new(),
         }
     }
 }
@@ -382,7 +413,9 @@ impl<'c> FaultSim<'c> {
     /// `resume` and `snap` are the compiled kernel's mid-sequence
     /// snapshot hooks (see [`compiled::run_batch`]); the reference
     /// kernel always walks the full sequence, so callers must pass
-    /// `None` when `reference` is set.
+    /// `None` when `reference` is set. `prev0` holds the fault-free net
+    /// values entering the sequence — the launch half of a cycle-0
+    /// transition-delay activation; `None` is the all-`X` start.
     #[allow(clippy::too_many_arguments)]
     fn run_one(
         &self,
@@ -391,6 +424,7 @@ impl<'c> FaultSim<'c> {
         live: u64,
         seq: &TestSequence,
         trace: &GoodTrace,
+        prev0: Option<&[Logic3]>,
         ff: &mut [Planes],
         scratch: &mut Scratch,
         resume: Option<&compiled::BatchCkpt>,
@@ -416,8 +450,11 @@ impl<'c> FaultSim<'c> {
                 sched,
                 live,
                 seq,
+                trace,
+                prev0,
                 ff,
                 &mut scratch.nets,
+                &mut scratch.buf,
                 sink,
             )
         } else {
@@ -428,9 +465,11 @@ impl<'c> FaultSim<'c> {
                 live,
                 seq,
                 trace,
+                prev0,
                 ff,
                 &mut scratch.nets,
                 &mut scratch.cone,
+                &mut scratch.buf,
                 resume,
                 snap,
                 sink,
@@ -558,6 +597,9 @@ impl<'c> FaultSim<'c> {
             good_ff: vec![Logic3::X; self.circuit.num_dffs()],
             detected: vec![false; faults.len()],
             elapsed: 0,
+            prev_nets: faults
+                .has_model(FaultModel::TransitionDelay)
+                .then(|| vec![Logic3::X; self.circuit.num_nets()]),
         }
     }
 
@@ -575,6 +617,7 @@ impl<'c> FaultSim<'c> {
         self.check_width(seq);
         let (trace, next_good) = self.good_trace(seq, &state.good_ff);
         let trace = &trace;
+        let prev0 = state.prev_nets.as_deref();
         let jobs: Vec<(usize, &mut Batch, &mut Vec<Planes>)> = state
             .batches
             .iter_mut()
@@ -598,6 +641,7 @@ impl<'c> FaultSim<'c> {
                         batch.live,
                         seq,
                         trace,
+                        prev0,
                         &mut ff_run,
                         scratch,
                         None,
@@ -633,121 +677,206 @@ impl<'c> FaultSim<'c> {
         }
         self.record_run(n_jobs, stats, dropped);
         state.good_ff = next_good;
+        if !seq.is_empty() {
+            if let Some(prev) = state.prev_nets.as_mut() {
+                for (n, v) in prev.iter_mut().enumerate() {
+                    *v = trace.value(seq.len() - 1, n);
+                }
+            }
+        }
         state.elapsed += seq.len();
         newly
     }
 
-    /// Simulates `seq` from the all-`X` state and returns, for every fault,
-    /// the first time unit at which it is detected (the paper's
-    /// `u_det(f)`), or `None` if the sequence does not detect it.
+    /// Opens a query over `faults`: the single entry point for every
+    /// one-shot simulation question. Pick the sequence with
+    /// [`Query::sequence`] (raw, good trace computed on the spot) or
+    /// [`Query::prepared`] (trace reused from a [`PreparedSequence`]),
+    /// then call a terminal.
     ///
-    /// # Panics
+    /// ```
+    /// # use wbist_netlist::{bench_format, FaultList};
+    /// # use wbist_sim::{FaultSim, TestSequence};
+    /// # let c = bench_format::parse("t", "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n").unwrap();
+    /// let faults = FaultList::collapsed(&c);
+    /// let seq = TestSequence::parse_rows(&["0", "1"]).unwrap();
+    /// let times = FaultSim::new(&c).query(&faults).sequence(&seq).detection_times();
+    /// # assert_eq!(times.len(), faults.len());
+    /// ```
+    pub fn query<'q>(&'q self, faults: &'q FaultList) -> Query<'q, 'c> {
+        Query {
+            sim: self,
+            faults,
+            seq: None,
+            prep: None,
+            cache: None,
+        }
+    }
+
+    /// Dense detection engine behind every [`Query`] terminal that needs
+    /// per-fault results: runs every batch to the end of the sequence
+    /// (with fault dropping), returning the first detection time per
+    /// fault, the faulty-machine cycles skipped by snapshot resume, and
+    /// — for prepared queries under the capture cap — the faulty-plane
+    /// snapshots to install into the prefix cache.
     ///
-    /// Panics if the sequence width does not match the circuit.
-    pub fn detection_times(&self, faults: &FaultList, seq: &TestSequence) -> Vec<Option<usize>> {
-        self.check_width(seq);
+    /// With `prepared` absent this is the historic from-scratch dense
+    /// query: no resume, no capture, identical work and identical
+    /// deterministic telemetry. With `prepared` present each batch
+    /// resumes from the latest cached snapshot at or before the
+    /// shared-prefix divergence cycle — bit-identical to the
+    /// from-scratch run in every observable (each snapshot carries the
+    /// cumulative stats and detections of the cycles it skips, and an
+    /// armed cancellation token is pre-charged with the skipped
+    /// fault-cycles).
+    fn run_dense(
+        &self,
+        faults: &FaultList,
+        seq: &TestSequence,
+        trace: &GoodTrace,
+        prepared: PreparedCtx<'_>,
+    ) -> (Vec<Option<usize>>, u64, Option<FaultyArtifacts>) {
         let num_dffs = self.circuit.num_dffs();
-        let (trace, _) = self.good_trace(seq, &vec![Logic3::X; num_dffs]);
-        let trace = &trace;
         let batches = self.make_batches(faults);
         let n_jobs = batches.len();
-        let jobs: Vec<(usize, Batch)> = batches.into_iter().enumerate().collect();
-        let hits: Vec<(Vec<(usize, usize)>, BatchStats)> =
-            self.scatter(jobs, |(bi, batch), scratch| {
-                self.run_isolated(bi, scratch, |reference, scratch| {
-                    let mut ff = vec![Planes::ALL_X; num_dffs];
-                    let mut found = Vec::new();
-                    let (_, stats) = self.run_one(
-                        reference,
-                        &batch.sched,
-                        batch.live,
-                        seq,
-                        trace,
-                        &mut ff,
-                        scratch,
-                        None,
-                        None,
-                        |u, ctx| {
-                            let detected_now = ctx.obs_diff & ctx.live;
-                            if detected_now != 0 {
-                                collect_hits(&batch.fault_indices, detected_now, |gi| {
-                                    found.push((gi, u))
-                                });
-                            }
-                            (detected_now, false)
-                        },
-                    );
-                    (found, stats)
-                })
-            });
+        let fingerprint = prefix::fault_fingerprint(faults);
+        // Snapshot capture is bounded: a huge fault list times a huge
+        // register file would pin too much plane state in the cache. The
+        // guard is a pure function of the query shape, so artifacts
+        // either exist for every evaluation of a fault list or for none.
+        let capture = prepared.is_some()
+            && !self.options.reference_kernel
+            && n_jobs * num_dffs <= ARTIFACT_STATE_CAP;
+        let arts: Option<(&FaultyArtifacts, usize)> = match prepared {
+            Some((Some(cache), Some((ei, d)))) if !self.options.reference_kernel => cache
+                .entry(ei)
+                .faulty
+                .as_ref()
+                .filter(|fa| fa.fingerprint == fingerprint && fa.per_batch.len() == n_jobs)
+                .map(|fa| (fa, d)),
+            _ => None,
+        };
+        type Ckpt = Arc<compiled::BatchCkpt>;
+        type Job = (usize, Batch, Option<Ckpt>, Vec<Ckpt>);
+        let jobs: Vec<Job> = batches
+            .into_iter()
+            .enumerate()
+            .map(|(bi, batch)| {
+                let (resume, carry) = match arts {
+                    Some((fa, d)) => {
+                        let list = &fa.per_batch[bi];
+                        // Latest snapshot still inside the shared prefix;
+                        // snapshots at or before it stay valid for the
+                        // new sequence and carry over into its entry.
+                        let resume = list.iter().rfind(|ck| ck.cycle <= d).cloned();
+                        let carry: Vec<Ckpt> = match &resume {
+                            Some(r) => list
+                                .iter()
+                                .filter(|ck| ck.cycle <= r.cycle)
+                                .cloned()
+                                .collect(),
+                            None => Vec::new(),
+                        };
+                        (resume, carry)
+                    }
+                    None => (None, Vec::new()),
+                };
+                (bi, batch, resume, carry)
+            })
+            .collect();
+        type Out = (Vec<(usize, usize)>, BatchStats, Vec<Ckpt>, u64);
+        let per_batch: Vec<Out> = self.scatter(jobs, |(bi, batch, resume, carry), scratch| {
+            self.run_isolated(bi, scratch, |reference, scratch| {
+                let mut found: Vec<(usize, usize)> = Vec::new();
+                // A reference run (primary kernel or panic retry) has no
+                // resume path: it replays the batch from scratch and
+                // captures no snapshots.
+                let (mut ff, from) = match (&resume, reference) {
+                    (Some(ck), false) => (ck.ff.clone(), Some(&**ck)),
+                    _ => (vec![Planes::ALL_X; num_dffs], None),
+                };
+                if let Some(ck) = from {
+                    // Detections and budget charge of the skipped prefix
+                    // carry over, so query totals match from-scratch.
+                    found.extend_from_slice(&ck.found);
+                    if self.cancel.is_armed() {
+                        self.cancel.charge_fault_cycles(ck.stats.fault_cycles);
+                    }
+                }
+                let mut snaps: Vec<compiled::BatchCkpt> = Vec::new();
+                let snap = if capture && !reference {
+                    Some(&mut snaps)
+                } else {
+                    None
+                };
+                let (_, stats) = self.run_one(
+                    reference,
+                    &batch.sched,
+                    batch.live,
+                    seq,
+                    trace,
+                    None,
+                    &mut ff,
+                    scratch,
+                    from,
+                    snap,
+                    |u, ctx| {
+                        let detected_now = ctx.obs_diff & ctx.live;
+                        if detected_now != 0 {
+                            collect_hits(&batch.fault_indices, detected_now, |gi| {
+                                found.push((gi, u))
+                            });
+                        }
+                        (detected_now, false)
+                    },
+                );
+                let skipped = from.map_or(0, |ck| ck.cycle as u64);
+                let kept: Vec<Ckpt> = if reference {
+                    Vec::new()
+                } else {
+                    carry
+                        .iter()
+                        .cloned()
+                        .chain(snaps.into_iter().map(|mut s| {
+                            s.found = found
+                                .iter()
+                                .filter(|&&(_, u)| u < s.cycle)
+                                .copied()
+                                .collect();
+                            Arc::new(s)
+                        }))
+                        .collect()
+                };
+                (found, stats, kept, skipped)
+            })
+        });
         let mut times = vec![None; faults.len()];
         let mut stats = BatchStats::default();
         let mut dropped = 0usize;
-        for (batch_hits, batch_stats) in hits {
-            stats.merge(batch_stats);
-            dropped += batch_hits.len();
-            for (gi, u) in batch_hits {
+        let mut per_batch_snaps: Vec<Vec<Ckpt>> = Vec::with_capacity(n_jobs);
+        let mut resumed_cycles = 0u64;
+        for (found, bstats, snaps, skipped) in per_batch {
+            stats.merge(bstats);
+            dropped += found.len();
+            for (gi, u) in found {
                 times[gi] = Some(u);
             }
+            per_batch_snaps.push(snaps);
+            resumed_cycles += skipped;
         }
         self.record_run(n_jobs, stats, dropped);
-        times
+        let artifacts = capture.then_some(FaultyArtifacts {
+            fingerprint,
+            per_batch: per_batch_snaps,
+        });
+        (times, resumed_cycles, artifacts)
     }
 
-    /// Simulates `seq` and returns a detected flag per fault.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the sequence width does not match the circuit.
-    pub fn detected(&self, faults: &FaultList, seq: &TestSequence) -> Vec<bool> {
-        self.detection_times(faults, seq)
-            .into_iter()
-            .map(|t| t.is_some())
-            .collect()
-    }
-
-    /// Simulates `seq` and returns the indices (into `faults`, ascending)
-    /// of the detected faults.
-    ///
-    /// This is the snapshot-safe query the synthesis wavefront uses:
-    /// detection of a fault by a sequence does not depend on any other
-    /// fault's status, so the returned set computed against a frozen
-    /// fault list stays valid when it is intersected with a later state.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the sequence width does not match the circuit.
-    pub fn detected_indices(&self, faults: &FaultList, seq: &TestSequence) -> Vec<usize> {
-        self.detection_times(faults, seq)
-            .into_iter()
-            .enumerate()
-            .filter_map(|(i, t)| t.map(|_| i))
-            .collect()
-    }
-
-    /// Counts the faults of `faults` detected by `seq`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the sequence width does not match the circuit.
-    pub fn count_detected(&self, faults: &FaultList, seq: &TestSequence) -> usize {
-        self.detected(faults, seq).iter().filter(|&&d| d).count()
-    }
-
-    /// Returns `true` as soon as `seq` detects any fault of `faults`
-    /// (early exit). Used for the paper's sample-first speedup.
-    ///
-    /// The first worker thread to find a detection cancels the others
-    /// through a shared flag.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the sequence width does not match the circuit.
-    pub fn detects_any(&self, faults: &FaultList, seq: &TestSequence) -> bool {
-        self.check_width(seq);
+    /// Early-exit screening engine behind [`Query::any`]: stops the
+    /// moment any machine differs on an observed net, with worker
+    /// threads coordinating through a shared flag.
+    fn run_screen(&self, faults: &FaultList, seq: &TestSequence, trace: &GoodTrace) -> bool {
         let num_dffs = self.circuit.num_dffs();
-        let (trace, _) = self.good_trace(seq, &vec![Logic3::X; num_dffs]);
-        let trace = &trace;
         let batches = self.make_batches(faults);
         let jobs: Vec<(usize, Batch)> = batches.into_iter().enumerate().collect();
         let found = AtomicBool::new(false);
@@ -765,6 +894,7 @@ impl<'c> FaultSim<'c> {
                     batch.live,
                     seq,
                     trace,
+                    None,
                     &mut ff,
                     scratch,
                     None,
@@ -849,237 +979,19 @@ impl<'c> FaultSim<'c> {
         }
     }
 
-    /// [`detects_any`](Self::detects_any) against a prepared sequence:
-    /// identical result, but the good trace comes from `prep` instead of
-    /// being recomputed.
-    pub fn detects_any_prepared(&self, faults: &FaultList, prep: &PreparedSequence) -> bool {
-        let seq = &prep.seq;
-        let num_dffs = self.circuit.num_dffs();
-        let trace = &*prep.trace;
-        let batches = self.make_batches(faults);
-        let jobs: Vec<(usize, Batch)> = batches.into_iter().enumerate().collect();
-        let found = AtomicBool::new(false);
-        let hits: Vec<(bool, usize, usize)> = self.scatter(jobs, |(bi, batch), scratch| {
-            if found.load(Ordering::Relaxed) {
-                return (false, 0, 1);
-            }
-            self.run_isolated(bi, scratch, |reference, scratch| {
-                let mut ff = vec![Planes::ALL_X; num_dffs];
-                let mut hit = false;
-                let mut cancelled = 0usize;
-                let (_, stats) = self.run_one(
-                    reference,
-                    &batch.sched,
-                    batch.live,
-                    seq,
-                    trace,
-                    &mut ff,
-                    scratch,
-                    None,
-                    None,
-                    |_, ctx| {
-                        if found.load(Ordering::Relaxed) {
-                            cancelled = 1;
-                            return (0, true);
-                        }
-                        if ctx.obs_diff & ctx.live != 0 {
-                            hit = true;
-                            found.store(true, Ordering::Relaxed);
-                            return (0, true);
-                        }
-                        (0, false)
-                    },
-                );
-                (hit, stats.cycles, cancelled)
-            })
-        });
-        self.record_screen(&hits);
-        hits.into_iter().any(|(h, _, _)| h)
-    }
-
-    /// [`detected_indices`](Self::detected_indices) against a prepared
-    /// sequence, resuming each fault batch from the latest cached
-    /// snapshot at or before the shared-prefix divergence cycle.
-    ///
-    /// Bit-identical to the from-scratch query in every observable:
-    /// detections, drop order, and the deterministic telemetry counters
-    /// (each snapshot carries the cumulative stats and detections of the
-    /// cycles it skips, and an armed cancellation token is pre-charged
-    /// with the skipped fault-cycles). The returned
-    /// [`CacheInstall`] lets the caller publish this evaluation for
-    /// later prefix reuse once the result is committed.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the sequence width does not match the circuit.
-    pub fn detected_indices_prepared(
+    /// Observability engine behind [`Query::observable_lines`]: for
+    /// every fault, the set of nets on which the faulty machine differs
+    /// (binary vs. binary) from the fault-free machine at *some* time
+    /// unit of `seq` — the paper's observation-point candidate sets
+    /// `OP(f)`.
+    fn run_lines(
         &self,
-        cache: Option<&PrefixTraceCache>,
         faults: &FaultList,
-        prep: &PreparedSequence,
-    ) -> PreparedOutcome {
-        let seq = &prep.seq;
-        let num_dffs = self.circuit.num_dffs();
-        let trace = &*prep.trace;
-        let batches = self.make_batches(faults);
-        let n_jobs = batches.len();
-        let fingerprint = prefix::fault_fingerprint(faults);
-        // Snapshot capture is bounded: a huge fault list times a huge
-        // register file would pin too much plane state in the cache. The
-        // guard is a pure function of the query shape, so artifacts
-        // either exist for every evaluation of a fault list or for none.
-        let capture = !self.options.reference_kernel && n_jobs * num_dffs <= ARTIFACT_STATE_CAP;
-        let arts: Option<(&prefix::FaultyArtifacts, usize)> = match (cache, prep.base) {
-            (Some(cache), Some((ei, d))) if !self.options.reference_kernel => cache
-                .entry(ei)
-                .faulty
-                .as_ref()
-                .filter(|fa| fa.fingerprint == fingerprint && fa.per_batch.len() == n_jobs)
-                .map(|fa| (fa, d)),
-            _ => None,
-        };
-        type Ckpt = Arc<compiled::BatchCkpt>;
-        type Job = (usize, Batch, Option<Ckpt>, Vec<Ckpt>);
-        let jobs: Vec<Job> = batches
-            .into_iter()
-            .enumerate()
-            .map(|(bi, batch)| {
-                let (resume, carry) = match arts {
-                    Some((fa, d)) => {
-                        let list = &fa.per_batch[bi];
-                        // Latest snapshot still inside the shared prefix;
-                        // snapshots at or before it stay valid for the
-                        // new sequence and carry over into its entry.
-                        let resume = list.iter().rfind(|ck| ck.cycle <= d).cloned();
-                        let carry: Vec<Ckpt> = match &resume {
-                            Some(r) => list
-                                .iter()
-                                .filter(|ck| ck.cycle <= r.cycle)
-                                .cloned()
-                                .collect(),
-                            None => Vec::new(),
-                        };
-                        (resume, carry)
-                    }
-                    None => (None, Vec::new()),
-                };
-                (bi, batch, resume, carry)
-            })
-            .collect();
-        type Out = (Vec<(usize, usize)>, BatchStats, Vec<Ckpt>, u64);
-        let per_batch: Vec<Out> = self.scatter(jobs, |(bi, batch, resume, carry), scratch| {
-            self.run_isolated(bi, scratch, |reference, scratch| {
-                let mut found: Vec<(usize, usize)> = Vec::new();
-                // A reference run (primary kernel or panic retry) has no
-                // resume path: it replays the batch from scratch and
-                // captures no snapshots.
-                let (mut ff, from) = match (&resume, reference) {
-                    (Some(ck), false) => (ck.ff.clone(), Some(&**ck)),
-                    _ => (vec![Planes::ALL_X; num_dffs], None),
-                };
-                if let Some(ck) = from {
-                    // Detections and budget charge of the skipped prefix
-                    // carry over, so query totals match from-scratch.
-                    found.extend_from_slice(&ck.found);
-                    if self.cancel.is_armed() {
-                        self.cancel.charge_fault_cycles(ck.stats.fault_cycles);
-                    }
-                }
-                let mut snaps: Vec<compiled::BatchCkpt> = Vec::new();
-                let snap = if capture && !reference {
-                    Some(&mut snaps)
-                } else {
-                    None
-                };
-                let (_, stats) = self.run_one(
-                    reference,
-                    &batch.sched,
-                    batch.live,
-                    seq,
-                    trace,
-                    &mut ff,
-                    scratch,
-                    from,
-                    snap,
-                    |u, ctx| {
-                        let detected_now = ctx.obs_diff & ctx.live;
-                        if detected_now != 0 {
-                            collect_hits(&batch.fault_indices, detected_now, |gi| {
-                                found.push((gi, u))
-                            });
-                        }
-                        (detected_now, false)
-                    },
-                );
-                let skipped = from.map_or(0, |ck| ck.cycle as u64);
-                let kept: Vec<Ckpt> = if reference {
-                    Vec::new()
-                } else {
-                    carry
-                        .iter()
-                        .cloned()
-                        .chain(snaps.into_iter().map(|mut s| {
-                            s.found = found
-                                .iter()
-                                .filter(|&&(_, u)| u < s.cycle)
-                                .copied()
-                                .collect();
-                            Arc::new(s)
-                        }))
-                        .collect()
-                };
-                (found, stats, kept, skipped)
-            })
-        });
-        let mut stats = BatchStats::default();
-        let mut dropped = 0usize;
-        let mut flags = vec![false; faults.len()];
-        let mut per_batch_snaps: Vec<Vec<Ckpt>> = Vec::with_capacity(n_jobs);
-        let mut resumed_cycles = 0u64;
-        for (found, bstats, snaps, skipped) in per_batch {
-            stats.merge(bstats);
-            dropped += found.len();
-            for (gi, _) in found {
-                flags[gi] = true;
-            }
-            per_batch_snaps.push(snaps);
-            resumed_cycles += skipped;
-        }
-        self.record_run(n_jobs, stats, dropped);
-        let detected = flags
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &d)| d.then_some(i))
-            .collect();
-        let install = CacheInstall {
-            seq: seq.clone(),
-            trace: prep.trace.clone(),
-            faulty: capture.then_some(FaultyArtifacts {
-                fingerprint,
-                per_batch: per_batch_snaps,
-            }),
-        };
-        PreparedOutcome {
-            detected,
-            resumed_cycles,
-            install,
-        }
-    }
-
-    /// For every fault, the set of nets on which the faulty machine differs
-    /// (binary vs. binary) from the fault-free machine at *some* time unit
-    /// of `seq`. A fault would be detected by observing any of these lines —
-    /// this computes the paper's observation-point candidate sets `OP(f)`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the sequence width does not match the circuit.
-    pub fn observable_lines(&self, faults: &FaultList, seq: &TestSequence) -> Vec<Vec<NetId>> {
-        self.check_width(seq);
+        seq: &TestSequence,
+        trace: &GoodTrace,
+    ) -> Vec<Vec<NetId>> {
         let num_dffs = self.circuit.num_dffs();
         let num_nets = self.circuit.num_nets();
-        let (trace, _) = self.good_trace(seq, &vec![Logic3::X; num_dffs]);
-        let trace = &trace;
         let batches = self.make_batches(faults);
         let n_jobs = batches.len();
         let jobs: Vec<(usize, Batch)> = batches.into_iter().enumerate().collect();
@@ -1098,6 +1010,7 @@ impl<'c> FaultSim<'c> {
                     batch.live,
                     seq,
                     trace,
+                    None,
                     &mut ff,
                     scratch,
                     None,
@@ -1160,6 +1073,7 @@ impl<'c> FaultSim<'c> {
         self.check_width(seq);
         let (trace, _) = self.good_trace(seq, &state.good_ff);
         let trace = &trace;
+        let prev0 = state.prev_nets.as_deref();
         // Only batches carrying a live sampled fault need simulating.
         let jobs: Vec<(usize, u64)> = state
             .batches
@@ -1192,6 +1106,7 @@ impl<'c> FaultSim<'c> {
                     wanted,
                     seq,
                     trace,
+                    prev0,
                     &mut ff,
                     scratch,
                     None,
@@ -1235,8 +1150,8 @@ impl<'c> FaultSim<'c> {
         self.telemetry.add("sim.fault_cycles", stats.fault_cycles);
     }
 
-    /// Reports one early-exit screening query ([`FaultSim::detects_any`]
-    /// / [`FaultSim::sample_detects`]). Cycle and cancellation totals
+    /// Reports one early-exit screening query ([`Query::any`] /
+    /// [`FaultSim::sample_detects`]). Cycle and cancellation totals
     /// depend on which worker wins the race, so they are recorded as
     /// effort, not as deterministic counters.
     fn record_screen(&self, hits: &[(bool, usize, usize)]) {
@@ -1250,6 +1165,171 @@ impl<'c> FaultSim<'c> {
             .add_effort("sim.screen_cycles", cycles as u64);
         self.telemetry
             .add_effort("sim.early_exit_cancels", cancelled as u64);
+    }
+}
+
+/// A single fault-simulation question, built from [`FaultSim::query`].
+///
+/// Exactly one sequence source must be set before a terminal runs:
+///
+/// * [`sequence`](Query::sequence) — a raw [`TestSequence`]; the good
+///   trace is computed on the spot from the all-`X` start, or
+/// * [`prepared`](Query::prepared) — a [`PreparedSequence`] whose good
+///   trace was computed (possibly prefix-resumed) up front, so a
+///   screen-then-dense pair pays for one good simulation instead of
+///   two.
+///
+/// An optional [`cache`](Query::cache) supplies the prefix cache whose
+/// faulty-plane snapshots [`outcome`](Query::outcome) resumes from.
+/// Terminals consume the builder; every terminal panics if the sequence
+/// width does not match the circuit, and each reports exactly one
+/// telemetry record (`sim.calls` for the dense and observability
+/// terminals, `sim.screen_calls` for [`any`](Query::any)).
+#[derive(Clone, Copy)]
+#[must_use = "a query does nothing until a terminal method runs it"]
+pub struct Query<'q, 'c> {
+    sim: &'q FaultSim<'c>,
+    faults: &'q FaultList,
+    seq: Option<&'q TestSequence>,
+    prep: Option<&'q PreparedSequence>,
+    cache: Option<&'q PrefixTraceCache>,
+}
+
+impl<'q, 'c> Query<'q, 'c> {
+    /// Evaluates against a raw sequence (good trace computed here).
+    /// Clears any previously set [`prepared`](Query::prepared) source.
+    pub fn sequence(mut self, seq: &'q TestSequence) -> Self {
+        self.seq = Some(seq);
+        self.prep = None;
+        self
+    }
+
+    /// Evaluates against a prepared sequence, reusing its good trace.
+    /// Clears any previously set [`sequence`](Query::sequence) source.
+    pub fn prepared(mut self, prep: &'q PreparedSequence) -> Self {
+        self.prep = Some(prep);
+        self.seq = None;
+        self
+    }
+
+    /// Prefix cache whose faulty-plane snapshots a
+    /// [`prepared`](Query::prepared) [`outcome`](Query::outcome) may
+    /// resume from. Ignored by every other terminal.
+    pub fn cache(mut self, cache: &'q PrefixTraceCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The sequence and good trace this query runs against.
+    fn resolve(&self) -> (&'q TestSequence, Arc<GoodTrace>) {
+        match (self.prep, self.seq) {
+            (Some(p), _) => (&p.seq, p.trace.clone()),
+            (None, Some(s)) => {
+                self.sim.check_width(s);
+                let init = vec![Logic3::X; self.sim.circuit.num_dffs()];
+                (s, Arc::new(self.sim.compiled.good_trace(s, &init).0))
+            }
+            (None, None) => {
+                panic!("FaultSim query needs a sequence: call .sequence(..) or .prepared(..)")
+            }
+        }
+    }
+
+    /// The prepared-resume context handed to the dense engine: present
+    /// iff the query was built from a prepared sequence.
+    fn prepared_ctx(&self) -> PreparedCtx<'q> {
+        self.prep.map(|p| (self.cache, p.base))
+    }
+
+    /// For every fault, the first time unit at which it is detected (the
+    /// paper's `u_det(f)`), or `None` if the sequence does not detect
+    /// it.
+    pub fn detection_times(self) -> Vec<Option<usize>> {
+        let (seq, trace) = self.resolve();
+        self.sim
+            .run_dense(self.faults, seq, &trace, self.prepared_ctx())
+            .0
+    }
+
+    /// A detected flag per fault.
+    pub fn detected(self) -> Vec<bool> {
+        self.detection_times()
+            .into_iter()
+            .map(|t| t.is_some())
+            .collect()
+    }
+
+    /// Indices (into the queried fault list, ascending) of the detected
+    /// faults.
+    ///
+    /// This is the snapshot-safe query the synthesis wavefront uses:
+    /// detection of a fault by a sequence does not depend on any other
+    /// fault's status, so the returned set computed against a frozen
+    /// fault list stays valid when it is intersected with a later state.
+    pub fn detected_indices(self) -> Vec<usize> {
+        self.detection_times()
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.map(|_| i))
+            .collect()
+    }
+
+    /// Number of detected faults.
+    pub fn count(self) -> usize {
+        self.detection_times()
+            .iter()
+            .filter(|t| t.is_some())
+            .count()
+    }
+
+    /// `true` as soon as any fault is detected (early exit). Used for
+    /// the paper's sample-first speedup; the first worker thread to find
+    /// a detection cancels the others through a shared flag.
+    pub fn any(self) -> bool {
+        let (seq, trace) = self.resolve();
+        self.sim.run_screen(self.faults, seq, &trace)
+    }
+
+    /// Per-fault observation-point candidate sets `OP(f)`: the nets on
+    /// which the faulty machine differs (binary vs. binary) from the
+    /// fault-free machine at some time unit. A fault would be detected
+    /// by observing any of these lines.
+    pub fn observable_lines(self) -> Vec<Vec<NetId>> {
+        let (seq, trace) = self.resolve();
+        self.sim.run_lines(self.faults, seq, &trace)
+    }
+
+    /// The dense query with its cache bookkeeping: detected indices plus
+    /// the resume accounting and the [`CacheInstall`] the caller may
+    /// publish once the result is committed. Requires a
+    /// [`prepared`](Query::prepared) sequence — the install shares the
+    /// prepared trace.
+    ///
+    /// Bit-identical to [`detected_indices`](Query::detected_indices) in
+    /// every observable: detections, drop order, and the deterministic
+    /// telemetry counters (each resumed batch carries the cumulative
+    /// stats and detections of the cycles it skips).
+    pub fn outcome(self) -> PreparedOutcome {
+        let prep = self
+            .prep
+            .expect("Query::outcome requires a prepared sequence");
+        let (times, resumed_cycles, faulty) =
+            self.sim
+                .run_dense(self.faults, &prep.seq, &prep.trace, self.prepared_ctx());
+        let detected = times
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.map(|_| i))
+            .collect();
+        PreparedOutcome {
+            detected,
+            resumed_cycles,
+            install: CacheInstall {
+                seq: prep.seq.clone(),
+                trace: prep.trace.clone(),
+                faulty,
+            },
+        }
     }
 }
 
@@ -1290,7 +1370,7 @@ mod tests {
     use super::*;
     use crate::good::LogicSim;
     use crate::logic::Logic3;
-    use wbist_netlist::{bench_format, FaultSite};
+    use wbist_netlist::{bench_format, FaultSite, FaultUniverse};
 
     fn toy() -> Circuit {
         bench_format::parse(
@@ -1302,23 +1382,58 @@ mod tests {
 
     /// Reference implementation: serial single-fault simulation using the
     /// good simulator on a mutated evaluation. Used to validate the
-    /// parallel engine.
+    /// parallel engine over every fault model: the good machine steps
+    /// first each cycle, so the faulty machine's forced value (if the
+    /// fault is active this cycle) can be derived from the fault-free
+    /// launch/capture pair.
     fn serial_detect(c: &Circuit, fault: Fault, seq: &TestSequence) -> Option<usize> {
-        // Simulate good and faulty machines side by side with scalar logic.
         let mut good_ff = vec![Logic3::X; c.num_dffs()];
         let mut bad_ff = vec![Logic3::X; c.num_dffs()];
         let mut good = vec![Logic3::X; c.num_nets()];
         let mut bad = vec![Logic3::X; c.num_nets()];
+        let mut prev_good: Option<Vec<Logic3>> = None;
         for u in 0..seq.len() {
             scalar_step(c, seq.row(u), &mut good_ff, &mut good, None);
-            scalar_step(c, seq.row(u), &mut bad_ff, &mut bad, Some(fault));
+            let forced =
+                forced_value(c, fault, &good, prev_good.as_deref()).map(|v| (fault.site(), v));
+            scalar_step(c, seq.row(u), &mut bad_ff, &mut bad, forced);
             for o in c.observed_nets() {
                 if good[o.index()].conflicts(bad[o.index()]) {
                     return Some(u);
                 }
             }
+            prev_good = Some(good.clone());
         }
         None
+    }
+
+    /// The value `fault` forces at its site this cycle, or `None` when
+    /// it is inactive. Stuck-at faults force unconditionally; a
+    /// transition-delay fault forces the launch value only when its site
+    /// transitions to the slow value on the fault-free machine between
+    /// the previous and current cycles (an `X` on either side never
+    /// activates, and the all-`X` start before cycle 0 never launches).
+    fn forced_value(
+        c: &Circuit,
+        fault: Fault,
+        good: &[Logic3],
+        prev: Option<&[Logic3]>,
+    ) -> Option<Logic3> {
+        match fault {
+            Fault::StuckAt { stuck, .. } => Some(stuck.into()),
+            Fault::TransitionDelay { site, slow_to } => {
+                let watch = match site {
+                    FaultSite::Stem(net) => net,
+                    FaultSite::GatePin { gate, pin } => c.gate(gate).inputs[pin],
+                    FaultSite::DffData(k) => c.dffs()[k].d.unwrap(),
+                };
+                let cur = good[watch.index()];
+                let prv = prev.map_or(Logic3::X, |p| p[watch.index()]);
+                let slow: Logic3 = slow_to.into();
+                let launch: Logic3 = (!slow_to).into();
+                (cur == slow && prv == launch).then_some(launch)
+            }
+        }
     }
 
     fn scalar_step(
@@ -1326,12 +1441,12 @@ mod tests {
         row: &[bool],
         ff: &mut [Logic3],
         nets: &mut [Logic3],
-        fault: Option<Fault>,
+        forced: Option<(FaultSite, Logic3)>,
     ) {
         let inject_stem = |net: NetId, v: Logic3| -> Logic3 {
-            if let Some(f) = fault {
-                if f.site == FaultSite::Stem(net) {
-                    return f.stuck.into();
+            if let Some((site, fv)) = forced {
+                if site == FaultSite::Stem(net) {
+                    return fv;
                 }
             }
             v
@@ -1350,9 +1465,9 @@ mod tests {
                 .enumerate()
                 .map(|(pin, &i)| {
                     let mut v = nets[i.index()];
-                    if let Some(f) = fault {
-                        if f.site == (FaultSite::GatePin { gate: gid, pin }) {
-                            v = f.stuck.into();
+                    if let Some((site, fv)) = forced {
+                        if site == (FaultSite::GatePin { gate: gid, pin }) {
+                            v = fv;
                         }
                     }
                     v
@@ -1363,9 +1478,9 @@ mod tests {
         }
         for (k, d) in c.dffs().iter().enumerate() {
             let mut v = nets[d.d.unwrap().index()];
-            if let Some(f) = fault {
-                if f.site == FaultSite::DffData(k) {
-                    v = f.stuck.into();
+            if let Some((site, fv)) = forced {
+                if site == FaultSite::DffData(k) {
+                    v = fv;
                 }
             }
             ff[k] = v;
@@ -1377,7 +1492,10 @@ mod tests {
         let c = toy();
         let faults = FaultList::all_lines(&c);
         let seq = TestSequence::parse_rows(&["00", "10", "01", "11", "00", "10"]).unwrap();
-        let par = FaultSim::new(&c).detection_times(&faults, &seq);
+        let par = FaultSim::new(&c)
+            .query(&faults)
+            .sequence(&seq)
+            .detection_times();
         for (i, &f) in faults.faults().iter().enumerate() {
             let ser = serial_detect(&c, f, &seq);
             assert_eq!(par[i], ser, "fault {} disagrees", f.describe(&c));
@@ -1390,10 +1508,125 @@ mod tests {
         let faults = FaultList::all_lines(&c);
         let seq = TestSequence::parse_rows(&["00", "10", "01", "11", "00", "10"]).unwrap();
         let sim = FaultSim::with_options(&c, SimOptions::default().reference_kernel(true));
-        let par = sim.detection_times(&faults, &seq);
+        let par = sim.query(&faults).sequence(&seq).detection_times();
         for (i, &f) in faults.faults().iter().enumerate() {
             let ser = serial_detect(&c, f, &seq);
             assert_eq!(par[i], ser, "fault {} disagrees", f.describe(&c));
+        }
+    }
+
+    /// Every transition-delay fault on the toy circuit agrees with the
+    /// scalar launch/capture oracle, on both kernels.
+    #[test]
+    fn transition_faults_match_scalar_oracle_on_toy() {
+        let c = toy();
+        let faults = FaultUniverse::enumerate(FaultModel::TransitionDelay, &c);
+        assert!(!faults.is_empty());
+        let seq = TestSequence::parse_rows(&["00", "10", "01", "11", "00", "10"]).unwrap();
+        for reference in [false, true] {
+            let sim = FaultSim::with_options(&c, SimOptions::default().reference_kernel(reference));
+            let par = sim.query(&faults).sequence(&seq).detection_times();
+            for (i, &f) in faults.faults().iter().enumerate() {
+                let ser = serial_detect(&c, f, &seq);
+                assert_eq!(
+                    par[i],
+                    ser,
+                    "fault {} disagrees (reference={reference})",
+                    f.describe(&c)
+                );
+            }
+        }
+    }
+
+    /// A mixed stuck-at + transition fault list in one batch: both
+    /// kernels agree with the scalar oracle on every fault.
+    #[test]
+    fn mixed_model_batch_matches_scalar_oracle() {
+        let c = toy();
+        let mut all = FaultUniverse::enumerate(FaultModel::StuckAt, &c)
+            .faults()
+            .to_vec();
+        all.extend(
+            FaultUniverse::enumerate(FaultModel::TransitionDelay, &c)
+                .faults()
+                .iter()
+                .copied(),
+        );
+        let faults = FaultList::from_faults(all);
+        let seq = TestSequence::parse_rows(&["00", "10", "01", "11", "00", "10"]).unwrap();
+        let fast = FaultSim::new(&c)
+            .query(&faults)
+            .sequence(&seq)
+            .detection_times();
+        let oracle = FaultSim::with_options(&c, SimOptions::default().reference_kernel(true))
+            .query(&faults)
+            .sequence(&seq)
+            .detection_times();
+        assert_eq!(fast, oracle);
+        for (i, &f) in faults.faults().iter().enumerate() {
+            assert_eq!(
+                fast[i],
+                serial_detect(&c, f, &seq),
+                "fault {}",
+                f.describe(&c)
+            );
+        }
+    }
+
+    /// Pins the launch/capture semantics cycle by cycle on a one-gate
+    /// circuit: `y = NOT(a)`, slow-to-rise on the stem of `a`.
+    ///
+    /// * cycle 0 never launches (the pre-sequence state is all-`X`);
+    /// * the fault activates exactly on a 0→1 transition of `a`, forcing
+    ///   the stale 0 for that cycle (so `y` reads 1 instead of 0);
+    /// * a steady 1 (no transition) is fault-free.
+    #[test]
+    fn transition_launch_capture_cycle_semantics() {
+        let c = bench_format::parse("inv", "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n").unwrap();
+        let a = c.net_by_name("a").unwrap();
+        let str_fault = Fault::slow_to_rise(FaultSite::Stem(a));
+        let stf_fault = Fault::slow_to_fall(FaultSite::Stem(a));
+        let faults = FaultList::from_faults(vec![str_fault, stf_fault]);
+        for reference in [false, true] {
+            let sim = FaultSim::with_options(&c, SimOptions::default().reference_kernel(reference));
+            // a: 1, 0, 1, 1, 0 — rises at u=2 (0→1), falls at u=1 and
+            // u=4. Cycle 0 applies a 1 but cannot launch from X.
+            let seq = TestSequence::parse_rows(&["1", "0", "1", "1", "0"]).unwrap();
+            let times = sim.query(&faults).sequence(&seq).detection_times();
+            assert_eq!(times[0], Some(2), "slow-to-rise fires on the 0→1 edge");
+            assert_eq!(times[1], Some(1), "slow-to-fall fires on the 1→0 edge");
+            // A constant stream never transitions: nothing activates.
+            let flat = TestSequence::parse_rows(&["1", "1", "1"]).unwrap();
+            assert_eq!(
+                sim.query(&faults).sequence(&flat).detection_times(),
+                vec![None, None],
+                "no transition, no activation (reference={reference})"
+            );
+        }
+    }
+
+    /// The incremental state carries the launch half of a transition
+    /// across segment boundaries: splitting a sequence right on the
+    /// transition edge detects exactly what the one-shot run does.
+    #[test]
+    fn incremental_advance_carries_transition_launch_state() {
+        let c = bench_format::parse("inv", "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n").unwrap();
+        let a = c.net_by_name("a").unwrap();
+        let faults = FaultList::from_faults(vec![Fault::slow_to_rise(FaultSite::Stem(a))]);
+        let seq = TestSequence::parse_rows(&["0", "1"]).unwrap();
+        for reference in [false, true] {
+            let sim = FaultSim::with_options(&c, SimOptions::default().reference_kernel(reference));
+            let oneshot = sim.query(&faults).sequence(&seq).detected();
+            assert_eq!(oneshot, vec![true], "the 0→1 edge detects the fault");
+            let mut st = sim.begin(&faults);
+            sim.advance(&mut st, &seq.slice(0..1));
+            assert_eq!(st.num_detected(), 0, "launch cycle alone detects nothing");
+            sim.advance(&mut st, &seq.slice(1..2));
+            assert_eq!(
+                st.detected(),
+                &oneshot[..],
+                "capture cycle in the next segment still sees the launch (reference={reference})"
+            );
         }
     }
 
@@ -1405,12 +1638,12 @@ mod tests {
         let seq = TestSequence::parse_rows(&["00", "10", "01"]).unwrap();
         let empty = FaultList::from_faults(vec![]);
         let sim = FaultSim::new(&c);
-        assert_eq!(sim.count_detected(&empty, &seq), 0);
+        assert_eq!(sim.query(&empty).sequence(&seq).count(), 0);
         // And a stuck fault on the PO stem is detected whenever the PO is
         // binary and differs.
         let y = c.net_by_name("y").unwrap();
         let fl = FaultList::from_faults(vec![Fault::sa0(FaultSite::Stem(y))]);
-        let times = sim.detection_times(&fl, &seq);
+        let times = sim.query(&fl).sequence(&seq).detection_times();
         let outs = LogicSim::new(&c).outputs(&seq).unwrap();
         let expect = outs.iter().position(|o| o[0] == Logic3::One);
         assert_eq!(times[0], expect);
@@ -1422,7 +1655,7 @@ mod tests {
         let faults = FaultList::all_lines(&c);
         let seq = TestSequence::parse_rows(&["00", "10", "01", "11", "10", "00"]).unwrap();
         let sim = FaultSim::new(&c);
-        let oneshot = sim.detected(&faults, &seq);
+        let oneshot = sim.query(&faults).sequence(&seq).detected();
         let mut st = sim.begin(&faults);
         sim.advance(&mut st, &seq.slice(0..3));
         sim.advance(&mut st, &seq.slice(3..6));
@@ -1436,8 +1669,8 @@ mod tests {
         let faults = FaultList::checkpoints(&c);
         let seq = TestSequence::parse_rows(&["00", "10"]).unwrap();
         let sim = FaultSim::new(&c);
-        let any = sim.count_detected(&faults, &seq) > 0;
-        assert_eq!(sim.detects_any(&faults, &seq), any);
+        let any = sim.query(&faults).sequence(&seq).count() > 0;
+        assert_eq!(sim.query(&faults).sequence(&seq).any(), any);
     }
 
     #[test]
@@ -1446,8 +1679,8 @@ mod tests {
         let faults = FaultList::checkpoints(&c);
         let seq = TestSequence::parse_rows(&["00", "10", "01", "11"]).unwrap();
         let sim = FaultSim::new(&c);
-        let det = sim.detected(&faults, &seq);
-        let lines = sim.observable_lines(&faults, &seq);
+        let det = sim.query(&faults).sequence(&seq).detected();
+        let lines = sim.query(&faults).sequence(&seq).observable_lines();
         let y = c.net_by_name("y").unwrap();
         for (i, d) in det.iter().enumerate() {
             if *d {
@@ -1468,7 +1701,7 @@ mod tests {
         let st = sim.begin(&faults);
         let sample: Vec<usize> = (0..faults.len()).collect();
         let any = sim.sample_detects(&st, &sample, &seq);
-        assert_eq!(any, sim.detects_any(&faults, &seq));
+        assert_eq!(any, sim.query(&faults).sequence(&seq).any());
         // State must be unmodified.
         assert_eq!(st.elapsed(), 0);
         assert_eq!(st.num_detected(), 0);
@@ -1480,7 +1713,7 @@ mod tests {
         let c = toy();
         let faults = FaultList::checkpoints(&c);
         let seq = TestSequence::parse_rows(&["000"]).unwrap();
-        FaultSim::new(&c).detected(&faults, &seq);
+        FaultSim::new(&c).query(&faults).sequence(&seq).detected();
     }
 
     /// A circuit big enough to span several 63-fault batches.
@@ -1511,16 +1744,16 @@ mod tests {
         let fast = FaultSim::with_options(&c, SimOptions::with_threads(1));
         let oracle = FaultSim::with_options(&c, SimOptions::with_threads(1).reference_kernel(true));
         assert_eq!(
-            fast.detection_times(&faults, &seq),
-            oracle.detection_times(&faults, &seq)
+            fast.query(&faults).sequence(&seq).detection_times(),
+            oracle.query(&faults).sequence(&seq).detection_times()
         );
         assert_eq!(
-            fast.observable_lines(&faults, &seq),
-            oracle.observable_lines(&faults, &seq)
+            fast.query(&faults).sequence(&seq).observable_lines(),
+            oracle.query(&faults).sequence(&seq).observable_lines()
         );
         assert_eq!(
-            fast.detects_any(&faults, &seq),
-            oracle.detects_any(&faults, &seq)
+            fast.query(&faults).sequence(&seq).any(),
+            oracle.query(&faults).sequence(&seq).any()
         );
     }
 
@@ -1531,16 +1764,16 @@ mod tests {
         let serial = FaultSim::with_options(&c, SimOptions::with_threads(1));
         let threaded = FaultSim::with_options(&c, SimOptions::with_threads(4));
         assert_eq!(
-            serial.detection_times(&faults, &seq),
-            threaded.detection_times(&faults, &seq)
+            serial.query(&faults).sequence(&seq).detection_times(),
+            threaded.query(&faults).sequence(&seq).detection_times()
         );
         assert_eq!(
-            serial.observable_lines(&faults, &seq),
-            threaded.observable_lines(&faults, &seq)
+            serial.query(&faults).sequence(&seq).observable_lines(),
+            threaded.query(&faults).sequence(&seq).observable_lines()
         );
         assert_eq!(
-            serial.detects_any(&faults, &seq),
-            threaded.detects_any(&faults, &seq)
+            serial.query(&faults).sequence(&seq).any(),
+            threaded.query(&faults).sequence(&seq).any()
         );
         let mut st_a = serial.begin(&faults);
         let mut st_b = threaded.begin(&faults);
@@ -1587,9 +1820,12 @@ mod tests {
         let sim = FaultSim::new(&c);
         let hot = walk_sequence(16);
         let cold = TestSequence::from_rows(vec![vec![false; 3]; 4]).unwrap();
-        let _ = sim.detection_times(&faults, &hot);
-        let after = sim.detection_times(&faults, &cold);
-        let fresh = FaultSim::new(&c).detection_times(&faults, &cold);
+        let _ = sim.query(&faults).sequence(&hot).detection_times();
+        let after = sim.query(&faults).sequence(&cold).detection_times();
+        let fresh = FaultSim::new(&c)
+            .query(&faults)
+            .sequence(&cold)
+            .detection_times();
         assert_eq!(after, fresh);
     }
 
@@ -1598,10 +1834,13 @@ mod tests {
         use crate::runctl::{Budget, CancelToken, TruncationReason};
         let (c, faults) = multi_batch();
         let seq = walk_sequence(48);
-        let full = FaultSim::with_options(&c, SimOptions::with_threads(1)).detected(&faults, &seq);
+        let full = FaultSim::with_options(&c, SimOptions::with_threads(1))
+            .query(&faults)
+            .sequence(&seq)
+            .detected();
         let token = CancelToken::for_budget(&Budget::unlimited().fault_cycles(200));
         let sim = FaultSim::with_options(&c, SimOptions::with_threads(1)).cancel(token.clone());
-        let partial = sim.detected(&faults, &seq);
+        let partial = sim.query(&faults).sequence(&seq).detected();
         assert_eq!(token.cancelled(), Some(TruncationReason::FaultCycles));
         // The truncated query is a valid prefix: everything it reports
         // detected is detected by the full run too.
@@ -1621,7 +1860,9 @@ mod tests {
             .cancel(CancelToken::for_budget(
                 &Budget::unlimited().fault_cycles(200),
             ))
-            .detected(&faults, &seq);
+            .query(&faults)
+            .sequence(&seq)
+            .detected();
         assert_eq!(partial, again);
     }
 
@@ -1671,7 +1912,7 @@ mod tests {
         let sim =
             FaultSim::with_options(c, SimOptions::with_threads(threads)).telemetry(tel.clone());
         let prep = sim.prepare_sequence(Some(cache), seq);
-        let out = sim.detected_indices_prepared(Some(cache), faults, &prep);
+        let out = sim.query(faults).prepared(&prep).cache(cache).outcome();
         (out, tel.counters())
     }
 
@@ -1692,12 +1933,15 @@ mod tests {
         let scratch_tel = Telemetry::enabled();
         let scratch =
             FaultSim::with_options(&c, SimOptions::with_threads(1)).telemetry(scratch_tel.clone());
-        let expect_base = scratch.detected_indices(&faults, &base_seq);
+        let expect_base = scratch
+            .query(&faults)
+            .sequence(&base_seq)
+            .detected_indices();
         let base_counters = scratch_tel.counters();
         let scratch_tel2 = Telemetry::enabled();
         let scratch2 =
             FaultSim::with_options(&c, SimOptions::with_threads(1)).telemetry(scratch_tel2.clone());
-        let expect_probe = scratch2.detected_indices(&faults, &probe);
+        let expect_probe = scratch2.query(&faults).sequence(&probe).detected_indices();
         let probe_counters = scratch_tel2.counters();
 
         // Cold query populates the cache; its counters match from-scratch.
@@ -1736,8 +1980,8 @@ mod tests {
         let prep = sim.prepare_sequence(Some(&cache), &seq);
         assert_eq!(prep.reused_cycles(), 0);
         assert_eq!(
-            sim.detects_any_prepared(&faults, &prep),
-            sim.detects_any(&faults, &seq)
+            sim.query(&faults).prepared(&prep).any(),
+            sim.query(&faults).sequence(&seq).any()
         );
     }
 
@@ -1748,15 +1992,26 @@ mod tests {
         let oracle = FaultSim::with_options(&c, SimOptions::with_threads(1).reference_kernel(true));
         let mut cache = crate::prefix::PrefixTraceCache::new();
         let prep = oracle.prepare_sequence(Some(&cache), &seq);
-        let out = oracle.detected_indices_prepared(Some(&cache), &faults, &prep);
-        assert_eq!(out.detected, oracle.detected_indices(&faults, &seq));
+        let out = oracle
+            .query(&faults)
+            .prepared(&prep)
+            .cache(&cache)
+            .outcome();
+        assert_eq!(
+            out.detected,
+            oracle.query(&faults).sequence(&seq).detected_indices()
+        );
         assert_eq!(out.resumed_cycles, 0);
         cache.install(out.install);
         // Even with the (trace-only) entry installed, the oracle must
         // keep simulating from scratch.
         let prep = oracle.prepare_sequence(Some(&cache), &seq);
         assert_eq!(prep.reused_cycles(), 0, "oracle never reuses traces");
-        let out = oracle.detected_indices_prepared(Some(&cache), &faults, &prep);
+        let out = oracle
+            .query(&faults)
+            .prepared(&prep)
+            .cache(&cache)
+            .outcome();
         assert_eq!(out.resumed_cycles, 0);
     }
 }

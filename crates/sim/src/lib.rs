@@ -1,4 +1,4 @@
-//! Three-valued logic simulation and sequential stuck-at fault simulation.
+//! Three-valued logic simulation and sequential fault simulation.
 //!
 //! This crate provides the simulation substrate for the `wbist` workspace:
 //!
@@ -7,9 +7,12 @@
 //!   the primary inputs of a circuit, one vector per time unit;
 //! * [`LogicSim`] — good-machine (fault-free) simulation from the all-`X`
 //!   initial state, with optional full-trace recording;
-//! * [`FaultSim`] — a parallel-fault sequential stuck-at fault simulator
-//!   that evaluates 63 faulty machines plus the fault-free machine per
-//!   64-bit word, using a two-bit-plane encoding of three-valued signals.
+//! * [`FaultSim`] — a parallel-fault sequential fault simulator that
+//!   evaluates 63 faulty machines plus the fault-free machine per
+//!   64-bit word, using a two-bit-plane encoding of three-valued
+//!   signals. It is generic over the fault model (single stuck-at and
+//!   transition-delay faults); all one-shot questions go through the
+//!   [`FaultSim::query`] builder.
 //!
 //! # Detection semantics
 //!
@@ -32,7 +35,7 @@
 //! )?;
 //! let faults = FaultList::checkpoints(&c);
 //! let seq = TestSequence::parse_rows(&["11", "01", "10", "00"])?;
-//! let times = FaultSim::new(&c).detection_times(&faults, &seq);
+//! let times = FaultSim::new(&c).query(&faults).sequence(&seq).detection_times();
 //! assert_eq!(times.len(), faults.len());
 //! # Ok(())
 //! # }
@@ -55,7 +58,7 @@ pub mod vcd;
 
 pub use error::SimError;
 pub use event::EventSim;
-pub use fault::{FaultSim, FaultSimState, PreparedOutcome, PreparedSequence, SimOptions};
+pub use fault::{FaultSim, FaultSimState, PreparedOutcome, PreparedSequence, Query, SimOptions};
 pub use good::{LogicSim, SimTrace};
 pub use logic::Logic3;
 pub use misr::Misr;

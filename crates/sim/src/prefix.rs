@@ -42,7 +42,7 @@ use std::sync::Arc;
 
 use crate::compiled::{BatchCkpt, GoodTrace};
 use crate::sequence::TestSequence;
-use wbist_netlist::{FaultList, FaultSite};
+use wbist_netlist::{FaultList, FaultModel, FaultSite};
 
 /// Entries kept per cache (the last few committed candidates). Small by
 /// design: consecutive ranks diverge from a recent sequence or not at
@@ -169,7 +169,11 @@ pub(crate) fn fault_fingerprint(faults: &FaultList) -> u64 {
     let mut h = Fnv::new();
     h.int(faults.len() as u64);
     for f in faults.iter() {
-        match f.site {
+        h.int(match f.model() {
+            FaultModel::StuckAt => 0,
+            FaultModel::TransitionDelay => 1,
+        });
+        match f.site() {
             FaultSite::Stem(net) => {
                 h.int(0);
                 h.int(net.index() as u64);
@@ -184,7 +188,7 @@ pub(crate) fn fault_fingerprint(faults: &FaultList) -> u64 {
                 h.int(k as u64);
             }
         }
-        h.int(f.stuck as u64);
+        h.int(f.polarity() as u64);
     }
     h.finish()
 }
@@ -292,8 +296,16 @@ mod tests {
         let a = FaultList::from_faults(vec![Fault::sa0(FaultSite::Stem(NetId::from_index(3)))]);
         let b = FaultList::from_faults(vec![Fault::sa1(FaultSite::Stem(NetId::from_index(3)))]);
         let c = FaultList::from_faults(vec![Fault::sa0(FaultSite::DffData(3))]);
+        // Same site and polarity under a different model must not alias:
+        // snapshots taken against stuck-at faults are meaningless for a
+        // transition query over the same lines.
+        let d = FaultList::from_faults(vec![Fault::slow_to_rise(FaultSite::Stem(
+            NetId::from_index(3),
+        ))]);
         assert_ne!(fault_fingerprint(&a), fault_fingerprint(&b));
         assert_ne!(fault_fingerprint(&a), fault_fingerprint(&c));
+        assert_ne!(fault_fingerprint(&a), fault_fingerprint(&d));
+        assert_ne!(fault_fingerprint(&b), fault_fingerprint(&d));
         assert_eq!(fault_fingerprint(&a), fault_fingerprint(&a.clone()));
     }
 }

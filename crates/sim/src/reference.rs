@@ -7,6 +7,15 @@
 //! eye — the workspace's property tests assert that the two engines
 //! agree on every fault, sequence and circuit they are given.
 //!
+//! Every fault model reduces to the same scalar mechanics: each cycle
+//! the fault either forces one value at its site or does nothing. A
+//! stuck-at fault forces its stuck value unconditionally; a
+//! transition-delay fault forces the *launch* (previous-cycle) value
+//! exactly on the cycles where the fault-free machine transitions the
+//! site to the slow value. Because activation is a pure function of the
+//! fault-free trace, the good machine is stepped first each cycle and
+//! the faulty machine receives the resolved `(site, value)` force.
+//!
 //! It also exposes per-cycle faulty-machine *output streams*, which the
 //! signature-analysis layer (`wbist-core`'s BIST session) consumes.
 
@@ -46,14 +55,17 @@ impl<'c> SerialFaultSim<'c> {
         );
         let mut good = MachineState::new(c);
         let mut bad = MachineState::new(c);
+        let mut prev_good: Option<Vec<Logic3>> = None;
         for u in 0..seq.len() {
             good.step(c, seq.row(u), None);
-            bad.step(c, seq.row(u), Some(fault));
+            let forced = forced_value(c, fault, &good.nets, prev_good.as_deref());
+            bad.step(c, seq.row(u), forced);
             for o in c.observed_nets() {
                 if good.nets[o.index()].conflicts(bad.nets[o.index()]) {
                     return Some(u);
                 }
             }
+            prev_good = Some(good.nets.clone());
         }
         None
     }
@@ -72,13 +84,49 @@ impl<'c> SerialFaultSim<'c> {
             c.num_inputs(),
             "sequence width must match the circuit"
         );
+        // The fault-free machine runs alongside even for the faulty
+        // stream: conditional (transition) activation reads it.
+        let mut good = MachineState::new(c);
         let mut m = MachineState::new(c);
+        let mut prev_good: Option<Vec<Logic3>> = None;
         let mut out = Vec::with_capacity(seq.len());
         for u in 0..seq.len() {
-            m.step(c, seq.row(u), fault);
+            good.step(c, seq.row(u), None);
+            let forced = fault.and_then(|f| forced_value(c, f, &good.nets, prev_good.as_deref()));
+            m.step(c, seq.row(u), forced);
             out.push(c.outputs().iter().map(|&o| m.nets[o.index()]).collect());
+            prev_good = Some(good.nets.clone());
         }
         out
+    }
+}
+
+/// The value `fault` forces at its site this cycle, or `None` when it
+/// is inactive. Stuck-at faults force unconditionally; a
+/// transition-delay fault forces the launch value only when the
+/// fault-free machine transitions the watched line to the slow value
+/// between the previous and current cycles (`X` on either side never
+/// activates; `prev = None` is the all-`X` start before cycle 0).
+fn forced_value(
+    c: &Circuit,
+    fault: Fault,
+    good: &[Logic3],
+    prev: Option<&[Logic3]>,
+) -> Option<(FaultSite, Logic3)> {
+    match fault {
+        Fault::StuckAt { site, stuck } => Some((site, stuck.into())),
+        Fault::TransitionDelay { site, slow_to } => {
+            let watch = match site {
+                FaultSite::Stem(net) => net,
+                FaultSite::GatePin { gate, pin } => c.gate(gate).inputs[pin],
+                FaultSite::DffData(k) => c.dffs()[k].d.expect("levelized"),
+            };
+            let cur = good[watch.index()];
+            let prv = prev.map_or(Logic3::X, |p| p[watch.index()]);
+            let slow: Logic3 = slow_to.into();
+            let launch: Logic3 = (!slow_to).into();
+            (cur == slow && prv == launch).then_some((site, launch))
+        }
     }
 }
 
@@ -97,10 +145,12 @@ impl MachineState {
         }
     }
 
-    fn step(&mut self, c: &Circuit, row: &[bool], fault: Option<Fault>) {
+    /// Advances one cycle, forcing `forced = (site, value)` if the
+    /// fault is active this cycle.
+    fn step(&mut self, c: &Circuit, row: &[bool], forced: Option<(FaultSite, Logic3)>) {
         let inject_stem = |net: NetId, v: Logic3| -> Logic3 {
-            match fault {
-                Some(f) if f.site == FaultSite::Stem(net) => f.stuck.into(),
+            match forced {
+                Some((site, fv)) if site == FaultSite::Stem(net) => fv,
                 _ => v,
             }
         };
@@ -119,8 +169,8 @@ impl MachineState {
             let g = c.gate(gid);
             let vals = g.inputs.iter().enumerate().map(|(pin, &i)| {
                 let v = self.nets[i.index()];
-                match fault {
-                    Some(f) if f.site == (FaultSite::GatePin { gate: gid, pin }) => f.stuck.into(),
+                match forced {
+                    Some((site, fv)) if site == (FaultSite::GatePin { gate: gid, pin }) => fv,
                     _ => v,
                 }
             });
@@ -129,9 +179,9 @@ impl MachineState {
         }
         for (k, d) in c.dffs().iter().enumerate() {
             let mut v = self.nets[d.d.expect("levelized").index()];
-            if let Some(f) = fault {
-                if f.site == FaultSite::DffData(k) {
-                    v = f.stuck.into();
+            if let Some((site, fv)) = forced {
+                if site == FaultSite::DffData(k) {
+                    v = fv;
                 }
             }
             self.ff[k] = v;
@@ -143,7 +193,7 @@ impl MachineState {
 mod tests {
     use super::*;
     use crate::fault::FaultSim;
-    use wbist_netlist::{bench_format, FaultList};
+    use wbist_netlist::{bench_format, FaultList, FaultModel, FaultUniverse};
 
     fn toy() -> Circuit {
         bench_format::parse(
@@ -158,7 +208,25 @@ mod tests {
         let c = toy();
         let faults = FaultList::all_lines(&c);
         let seq = TestSequence::parse_rows(&["00", "10", "01", "11", "00", "10"]).expect("valid");
-        let par = FaultSim::new(&c).detection_times(&faults, &seq);
+        let par = FaultSim::new(&c)
+            .query(&faults)
+            .sequence(&seq)
+            .detection_times();
+        let ser = SerialFaultSim::new(&c);
+        for (i, &f) in faults.faults().iter().enumerate() {
+            assert_eq!(par[i], ser.detection_time(f, &seq), "{}", f.describe(&c));
+        }
+    }
+
+    #[test]
+    fn agrees_with_parallel_engine_on_transition_faults() {
+        let c = toy();
+        let faults = FaultUniverse::enumerate(FaultModel::TransitionDelay, &c);
+        let seq = TestSequence::parse_rows(&["00", "10", "01", "11", "00", "10"]).expect("valid");
+        let par = FaultSim::new(&c)
+            .query(&faults)
+            .sequence(&seq)
+            .detection_times();
         let ser = SerialFaultSim::new(&c);
         for (i, &f) in faults.faults().iter().enumerate() {
             assert_eq!(par[i], ser.detection_time(f, &seq), "{}", f.describe(&c));
@@ -177,10 +245,16 @@ mod tests {
     #[test]
     fn faulty_stream_differs_at_detection_time() {
         let c = toy();
-        let faults = FaultList::checkpoints(&c);
+        let mut all = FaultList::checkpoints(&c).faults().to_vec();
+        all.extend(
+            FaultUniverse::checkpoints(FaultModel::TransitionDelay, &c)
+                .faults()
+                .iter()
+                .copied(),
+        );
         let seq = TestSequence::parse_rows(&["00", "10", "01", "11"]).expect("valid");
         let ser = SerialFaultSim::new(&c);
-        for &f in faults.faults() {
+        for f in all {
             if let Some(u) = ser.detection_time(f, &seq) {
                 let good = ser.output_stream(None, &seq);
                 let bad = ser.output_stream(Some(f), &seq);

@@ -73,13 +73,19 @@ fn disabled_telemetry_adds_no_allocations() {
     let with_disabled =
         FaultSim::with_options(&c, SimOptions::with_threads(1)).telemetry(Telemetry::disabled());
     // Warm up both paths once (lazy init, thread-local growth).
-    plain.detection_times(&faults, &seq);
-    with_disabled.detection_times(&faults, &seq);
+    plain.query(&faults).sequence(&seq).detection_times();
+    with_disabled
+        .query(&faults)
+        .sequence(&seq)
+        .detection_times();
 
     let base = allocs();
-    plain.detection_times(&faults, &seq);
+    plain.query(&faults).sequence(&seq).detection_times();
     let after_plain = allocs();
-    with_disabled.detection_times(&faults, &seq);
+    with_disabled
+        .query(&faults)
+        .sequence(&seq)
+        .detection_times();
     let after_disabled = allocs();
     assert_eq!(
         after_disabled - after_plain,
@@ -107,12 +113,18 @@ fn disabled_telemetry_adds_no_allocations() {
             &quiet,
             SimOptions::with_threads(1).reference_kernel(reference),
         );
-        assert_eq!(sim.detection_times(&latent, &short), vec![None]);
-        assert_eq!(sim.detection_times(&latent, &long), vec![None]);
+        assert_eq!(
+            sim.query(&latent).sequence(&short).detection_times(),
+            vec![None]
+        );
+        assert_eq!(
+            sim.query(&latent).sequence(&long).detection_times(),
+            vec![None]
+        );
         let base = allocs();
-        sim.detection_times(&latent, &short);
+        sim.query(&latent).sequence(&short).detection_times();
         let after_short = allocs();
-        sim.detection_times(&latent, &long);
+        sim.query(&latent).sequence(&long).detection_times();
         let after_long = allocs();
         assert_eq!(
             after_long - after_short,

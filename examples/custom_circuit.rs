@@ -88,15 +88,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sim = FaultSim::new(&circuit);
     let mut detected = vec![false; faults.len()];
     for sel in &pruned {
-        for (d, f) in detected
-            .iter_mut()
-            .zip(sim.detected(&faults, &sel.sequence(cfg.sequence_length)))
-        {
+        for (d, f) in detected.iter_mut().zip(
+            sim.query(&faults)
+                .sequence(&sel.sequence(cfg.sequence_length))
+                .detected(),
+        ) {
             *d |= f;
         }
     }
     let total = detected.iter().filter(|&&d| d).count();
-    let t_det = sim.count_detected(&faults, &t);
+    let t_det = sim.query(&faults).sequence(&t).count();
     println!("BIST session detects {total} faults; deterministic T detects {t_det}");
     assert!(total >= t_det);
 

@@ -11,7 +11,7 @@
 use wbist::circuits::s27;
 use wbist::core::{synthesize_weighted_bist, SynthesisConfig};
 use wbist::hw::{build_self_test, to_verilog};
-use wbist::netlist::{circuit_stats, Fault, FaultList, FaultSite};
+use wbist::netlist::{circuit_stats, FaultList, FaultSite};
 use wbist::sim::{LogicSim, SerialFaultSim, TestSequence};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -61,13 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut flipped = 0usize;
     let mut total = 0usize;
     for f in &faults {
-        let FaultSite::Stem(net) = f.site else {
+        let FaultSite::Stem(net) = f.site() else {
             continue;
         };
-        let fault = Fault {
-            site: FaultSite::Stem(design.cut_nets[cut.net_name(net)]),
-            stuck: f.stuck,
-        };
+        let fault = f.with_site(FaultSite::Stem(design.cut_nets[cut.net_name(net)]));
         total += 1;
         let bad = sim.output_stream(Some(fault), &stim);
         let sig = bad.last().expect("non-empty");

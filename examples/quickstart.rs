@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. A deterministic test sequence. Here: the paper's own Table-1
     //    sequence; for your circuit, produce one with `wbist::atpg`.
     let t = s27::paper_test_sequence();
-    let det = FaultSim::new(&circuit).count_detected(&faults, &t);
+    let det = FaultSim::new(&circuit).query(&faults).sequence(&t).count();
     println!(
         "deterministic sequence: {} vectors, detects {det} faults",
         t.len()

@@ -39,7 +39,7 @@
 //! let faults = FaultList::checkpoints(&circuit);
 //!
 //! // Deterministic coverage is the guarantee target.
-//! let det = FaultSim::new(&circuit).detection_times(&faults, &t);
+//! let det = FaultSim::new(&circuit).query(&faults).sequence(&t).detection_times();
 //! let covered = det.iter().filter(|d| d.is_some()).count();
 //!
 //! // Synthesize the weighted BIST scheme.

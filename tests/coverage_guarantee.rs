@@ -45,7 +45,7 @@ fn check_guarantee(circuit: &Circuit, l_g: usize) {
     for sel in &pruned {
         for (d, f) in detected
             .iter_mut()
-            .zip(sim.detected(&faults, &sel.sequence(l_g)))
+            .zip(sim.query(&faults).sequence(&sel.sequence(l_g)).detected())
         {
             *d |= f;
         }

@@ -35,13 +35,18 @@ fn batch_kernel_panic_recovers_via_reference_retry() {
     let faults = FaultList::checkpoints(&c);
     assert!(faults.len() > 63, "needs a multi-batch run");
     let seq = Lfsr::new(24, 0xACE1).sequence(c.num_inputs(), 128);
-    let want = FaultSim::with_options(&c, SimOptions::with_threads(1)).detected(&faults, &seq);
+    let want = FaultSim::with_options(&c, SimOptions::with_threads(1))
+        .query(&faults)
+        .sequence(&seq)
+        .detected();
 
     failpoint::arm("sim.batch_kernel", 1);
     let tel = Telemetry::enabled();
     let got = FaultSim::with_options(&c, SimOptions::with_threads(1))
         .telemetry(tel.clone())
-        .detected(&faults, &seq);
+        .query(&faults)
+        .sequence(&seq)
+        .detected();
     failpoint::reset();
 
     assert_eq!(got, want, "retried run must report the same detections");
@@ -59,14 +64,18 @@ fn repeated_batch_panics_still_complete() {
     let c = synthetic::by_name("s1196").expect("known benchmark");
     let faults = FaultList::checkpoints(&c);
     let seq = Lfsr::new(24, 0xACE1).sequence(c.num_inputs(), 64);
-    let want =
-        FaultSim::with_options(&c, SimOptions::with_threads(1)).count_detected(&faults, &seq);
+    let want = FaultSim::with_options(&c, SimOptions::with_threads(1))
+        .query(&faults)
+        .sequence(&seq)
+        .count();
 
     failpoint::arm("sim.batch_kernel", 3);
     let tel = Telemetry::enabled();
     let got = FaultSim::with_options(&c, SimOptions::with_threads(1))
         .telemetry(tel.clone())
-        .count_detected(&faults, &seq);
+        .query(&faults)
+        .sequence(&seq)
+        .count();
     failpoint::reset();
 
     assert_eq!(got, want);

@@ -83,7 +83,7 @@ fn generator_driven_bist_session_reaches_guaranteed_coverage() {
     let session = TestSequence::from_rows(rows).expect("rectangular");
 
     let sim = FaultSim::new(&c);
-    let detected = sim.count_detected(&faults, &session);
+    let detected = sim.query(&faults).sequence(&session).count();
     assert_eq!(detected, 32, "the one-session BIST run detects all faults");
 }
 

@@ -65,7 +65,10 @@ fn hybrid_session_reaches_guaranteed_coverage_through_hardware() {
             })
             .collect();
         let seq = TestSequence::from_rows(rows).expect("rectangular");
-        for (d, f) in detected.iter_mut().zip(sim.detected(&faults, &seq)) {
+        for (d, f) in detected
+            .iter_mut()
+            .zip(sim.query(&faults).sequence(&seq).detected())
+        {
             *d |= f;
         }
     }

@@ -176,13 +176,18 @@ fn s5378_tiny_budget_stops_within_batch_granularity() {
     let c = synthetic::by_name("s5378").expect("known benchmark");
     let faults = FaultList::checkpoints(&c);
     let seq = Lfsr::new(24, 0xACE1).sequence(c.num_inputs(), 64);
-    let full = FaultSim::with_options(&c, SimOptions::with_threads(1)).detected(&faults, &seq);
+    let full = FaultSim::with_options(&c, SimOptions::with_threads(1))
+        .query(&faults)
+        .sequence(&seq)
+        .detected();
 
     const LIMIT: u64 = 20_000;
     let token = CancelToken::for_budget(&Budget::default().fault_cycles(LIMIT));
     let partial = FaultSim::with_options(&c, SimOptions::with_threads(1))
         .cancel(token.clone())
-        .detected(&faults, &seq);
+        .query(&faults)
+        .sequence(&seq)
+        .detected();
     assert_eq!(token.cancelled(), Some(TruncationReason::FaultCycles));
 
     // Everything the truncated run reports detected is genuinely
@@ -208,6 +213,8 @@ fn s5378_tiny_budget_stops_within_batch_granularity() {
         .cancel(CancelToken::for_budget(
             &Budget::default().fault_cycles(LIMIT),
         ))
-        .detected(&faults, &seq);
+        .query(&faults)
+        .sequence(&seq)
+        .detected();
     assert_eq!(partial, again);
 }

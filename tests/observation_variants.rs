@@ -16,12 +16,15 @@ fn ideal_observation_improves_coverage() {
     let c = s27::circuit();
     let faults = FaultList::checkpoints(&c);
     let seq = lfsr_seq(4, 64);
-    let base = FaultSim::new(&c).count_detected(&faults, &seq);
+    let base = FaultSim::new(&c).query(&faults).sequence(&seq).count();
 
     // Observe every internal gate output: coverage can only improve.
     let lines: Vec<NetId> = (0..c.num_nets()).map(NetId::from_index).collect();
     let observed = transform::add_ideal_observation_points(&c, &lines).expect("valid lines");
-    let with_op = FaultSim::new(&observed).count_detected(&faults, &seq);
+    let with_op = FaultSim::new(&observed)
+        .query(&faults)
+        .sequence(&seq)
+        .count();
     assert!(with_op >= base);
     assert!(with_op > base, "full observability must help on s27");
 }
@@ -38,9 +41,9 @@ fn xor_tree_detects_with_possible_masking() {
     let ideal = transform::add_ideal_observation_points(&c, &[g8, g12]).expect("valid lines");
     let tree = transform::add_xor_observation_tree(&c, &[g8, g12]).expect("valid lines");
 
-    let ideal_cov = FaultSim::new(&ideal).count_detected(&faults, &seq);
-    let tree_cov = FaultSim::new(&tree).count_detected(&faults, &seq);
-    let base_cov = FaultSim::new(&c).count_detected(&faults, &seq);
+    let ideal_cov = FaultSim::new(&ideal).query(&faults).sequence(&seq).count();
+    let tree_cov = FaultSim::new(&tree).query(&faults).sequence(&seq).count();
+    let base_cov = FaultSim::new(&c).query(&faults).sequence(&seq).count();
 
     // The XOR tree can mask (even number of simultaneous errors) but
     // never observes less than the raw outputs.
@@ -63,14 +66,16 @@ fn scan_view_agrees_with_podem_classification() {
     let sim = FaultSim::new(&scan);
 
     let random = lfsr_seq(scan.num_inputs(), 512);
-    let random_hits = sim.detected(&faults, &random);
+    let random_hits = sim.query(&faults).sequence(&random).detected();
 
     for (i, &f) in faults.faults().iter().enumerate() {
         match podem.generate(f) {
             PodemResult::Test(v) => {
                 let one = TestSequence::from_rows(vec![v]).expect("rectangular");
                 assert!(
-                    sim.detected(&FaultList::from_faults(vec![f]), &one)[0],
+                    sim.query(&FaultList::from_faults(vec![f]))
+                        .sequence(&one)
+                        .detected()[0],
                     "fault {i}: PODEM pattern must verify"
                 );
             }
@@ -93,7 +98,7 @@ fn sequential_detection_implies_scan_detection_possible() {
     let c = s27::circuit();
     let t = s27::paper_test_sequence();
     let faults = FaultList::checkpoints(&c);
-    let seq_detected = FaultSim::new(&c).detected(&faults, &t);
+    let seq_detected = FaultSim::new(&c).query(&faults).sequence(&t).detected();
 
     let scan = transform::full_scan(&c).expect("converts");
     let podem = Podem::new(&scan, PodemConfig::default());
@@ -102,16 +107,13 @@ fn sequential_detection_implies_scan_detection_possible() {
             continue;
         }
         // Translate DFF-data faults like the scan baseline does.
-        let site = match f.site {
+        let site = match f.site() {
             wbist::netlist::FaultSite::DffData(k) => {
                 wbist::netlist::FaultSite::Stem(c.dffs()[k].d.expect("levelized"))
             }
             other => other,
         };
-        let tf = wbist::netlist::Fault {
-            site,
-            stuck: f.stuck,
-        };
+        let tf = f.with_site(site);
         assert!(
             matches!(podem.generate(tf), PodemResult::Test(_)),
             "fault {i} sequentially detected but not scan-testable?"

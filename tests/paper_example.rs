@@ -22,7 +22,10 @@ fn table1_sequence_detects_all_faults() {
     let c = s27::circuit();
     let t = s27::paper_test_sequence();
     let faults = FaultList::checkpoints(&c);
-    let times = FaultSim::new(&c).detection_times(&faults, &t);
+    let times = FaultSim::new(&c)
+        .query(&faults)
+        .sequence(&t)
+        .detection_times();
     assert!(times.iter().all(Option::is_some), "T detects all 32 faults");
     // The largest detection time is 9 and exactly two faults are
     // detected there (the paper's f10 and f12).
@@ -106,12 +109,12 @@ fn table2_weighted_sequence_and_detections() {
     // second-best assignment (13 cumulative). Our detection-time
     // convention shifts the split by one fault (8 + 5) but the cumulative
     // count is identical — see EXPERIMENTS.md.
-    let d0 = sim.detected(&faults, &tg);
+    let d0 = sim.query(&faults).sequence(&tg).detected();
     let n0 = d0.iter().filter(|&&d| d).count();
     assert!((8..=9).contains(&n0), "T_G detects {n0}");
 
     let w1 = WeightAssignment::new(vec![sub("100"), sub("00"), sub("01"), sub("100")]);
-    let d1 = sim.detected(&faults, &w1.generate(12));
+    let d1 = sim.query(&faults).sequence(&w1.generate(12)).detected();
     let cumulative = d0.iter().zip(&d1).filter(|&(&a, &b)| a || b).count();
     assert_eq!(cumulative, 13, "both assignments together detect 13");
 }

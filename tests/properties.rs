@@ -109,8 +109,11 @@ proptest! {
         let faults = FaultList::checkpoints(&c);
         let seq = Lfsr::new(20, (seed % 0xFFFF) as u32 + 1).sequence(4, 64);
         let sim = FaultSim::new(&c);
-        let full = sim.detected(&faults, &seq);
-        let prefix = sim.detected(&faults, &seq.slice(0..split.min(seq.len())));
+        let full = sim.query(&faults).sequence(&seq).detected();
+        let prefix = sim
+            .query(&faults)
+            .sequence(&seq.slice(0..split.min(seq.len())))
+            .detected();
         for (i, (&p, &f)) in prefix.iter().zip(&full).enumerate() {
             prop_assert!(!p || f, "fault {i} detected by prefix but not by full");
         }
@@ -169,7 +172,7 @@ proptest! {
         let faults = FaultList::checkpoints(&c);
         let seq = Lfsr::new(18, (seed % 1000) as u32 + 3).sequence(4, 64);
         let sim = FaultSim::new(&c);
-        let oneshot = sim.detected(&faults, &seq);
+        let oneshot = sim.query(&faults).sequence(&seq).detected();
         let mut st = sim.begin(&faults);
         sim.advance(&mut st, &seq.slice(0..cut));
         sim.advance(&mut st, &seq.slice(cut..seq.len()));
@@ -194,7 +197,7 @@ proptest! {
         for threads in [1usize, 4] {
             let sim = FaultSim::with_options(&c, SimOptions::with_threads(threads));
             prop_assert_eq!(
-                sim.detection_times(&faults, &seq),
+                sim.query(&faults).sequence(&seq).detection_times(),
                 expect.clone(),
                 "thread count {}",
                 threads
@@ -218,10 +221,10 @@ proptest! {
             SimOptions::with_threads(1).reference_kernel(true),
         );
         prop_assert_eq!(
-            fast.detection_times(&faults, &seq),
-            oracle.detection_times(&faults, &seq)
+            fast.query(&faults).sequence(&seq).detection_times(),
+            oracle.query(&faults).sequence(&seq).detection_times()
         );
-        prop_assert_eq!(fast.detected(&faults, &seq), oracle.detected(&faults, &seq));
+        prop_assert_eq!(fast.query(&faults).sequence(&seq).detected(), oracle.query(&faults).sequence(&seq).detected());
         // Incremental runs must leave identical flip-flop planes on
         // every live machine bit at the query boundary.
         let mut sf = fast.begin(&faults);
@@ -254,7 +257,7 @@ proptest! {
         let c = SyntheticSpec::new("chk", 6, 4, 5, 60, seed % 16).build();
         let faults = FaultList::checkpoints(&c);
         let seq = Lfsr::new(21, (seed % 3000) as u32 + 11).sequence(6, 64);
-        let oneshot = FaultSim::new(&c).detected(&faults, &seq);
+        let oneshot = FaultSim::new(&c).query(&faults).sequence(&seq).detected();
         for threads in [1usize, 4] {
             let sim = FaultSim::with_options(&c, SimOptions::with_threads(threads));
             let mut st = sim.begin(&faults);
@@ -280,7 +283,7 @@ proptest! {
             let tel = Telemetry::enabled();
             let run = RunOptions::with_threads(threads).telemetry(tel.clone());
             let sim = FaultSim::with_run_options(&c, &run);
-            sim.detection_times(&faults, &seq);
+            sim.query(&faults).sequence(&seq).detection_times();
             prop_assert!(tel.counter("sim.cycles") > 0);
             traces.push(tel.render_trace());
         }

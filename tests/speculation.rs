@@ -130,7 +130,10 @@ fn duplicate_heavy_walk_reuses_the_prefix_cache() {
         .expect("valid rows");
     // Leave only the hardest fault (largest detection time) as a target:
     // one long keep-free walk instead of several short segments.
-    let times = wbist::sim::FaultSim::new(&c).detection_times(&faults, &t);
+    let times = wbist::sim::FaultSim::new(&c)
+        .query(&faults)
+        .sequence(&t)
+        .detection_times();
     let hardest = times
         .iter()
         .enumerate()

@@ -80,44 +80,3 @@ fn disabled_handle_exports_a_schema_stable_empty_trace() {
     assert!(trace.contains("\"counters\""));
     assert_eq!(tel.counter("sim.cycles"), 0);
 }
-
-#[test]
-#[allow(deprecated)]
-fn deprecated_shims_match_the_options_api() {
-    let c = s27::circuit();
-    let t = s27::paper_test_sequence();
-    let faults = FaultList::checkpoints(&c);
-    let cfg = SynthesisConfig {
-        sequence_length: L_G,
-        ..SynthesisConfig::default()
-    };
-    let pre = vec![false; faults.len()];
-    let via_builder = Synthesis::new(&c, &t, &faults)
-        .config(cfg.clone())
-        .already_detected(&pre)
-        .run();
-    let via_shim = wbist::core::synthesize_weighted_bist_from(&c, &t, &faults, &cfg, &pre);
-    assert_eq!(via_builder.detected, via_shim.detected);
-    assert_eq!(via_builder.omega.len(), via_shim.omega.len());
-
-    let new_prune = reverse_order_prune(&c, &faults, &via_builder.omega, &PruneOptions::new(L_G));
-    let old_prune = wbist::core::reverse_order_prune_with(
-        &c,
-        &faults,
-        &via_builder.omega,
-        L_G,
-        wbist::sim::SimOptions::default(),
-    );
-    assert_eq!(new_prune.len(), old_prune.len());
-
-    let new_obs =
-        observation_point_tradeoff(&c, &faults, &via_builder.omega, &ObsOptions::new(L_G));
-    let old_obs = wbist::core::observation_point_tradeoff_with(
-        &c,
-        &faults,
-        &via_builder.omega,
-        L_G,
-        wbist::sim::SimOptions::default(),
-    );
-    assert_eq!(new_obs.rows.len(), old_obs.rows.len());
-}

@@ -1,0 +1,85 @@
+//! Hand-computed transition-delay detections on s27.
+//!
+//! Under the paper's 10-vector deterministic test sequence the
+//! fault-free primary output of s27 carries, cycle by cycle,
+//!
+//! ```text
+//! u:    0  1  2  3  4  5  6  7  8  9
+//! out:  X  0  0  0  0  1  1  1  1  0
+//! ```
+//!
+//! A transition-delay fault *at the output stem itself* is the one case
+//! where detection can be read straight off that trace: the fault
+//! launches exactly on the cycles where the fault-free machine drives
+//! the slow edge at the site, and the forced launch value conflicts
+//! with the good value at the observed net immediately.
+//!
+//! * slow-to-rise: the first completed 0→1 edge is u=4→5, so the fault
+//!   forces the stale 0 at u=5 against a good 1 — detected at u=5;
+//! * slow-to-fall: the first 1→0 edge is u=8→9 — detected at u=9;
+//! * the X→0 edge into u=1 must **not** activate slow-to-fall: an
+//!   unknown previous value is never a witnessed launch transition.
+
+use wbist::circuits::s27;
+use wbist::netlist::{Fault, FaultList, FaultSite};
+use wbist::sim::{FaultSim, Logic3, LogicSim, SerialFaultSim, SimOptions};
+
+#[test]
+fn output_stem_transitions_detect_at_hand_computed_edges() {
+    let c = s27::circuit();
+    let t = s27::paper_test_sequence();
+    assert_eq!(t.len(), 10);
+
+    // Pin the fault-free output trace the arithmetic below reads from.
+    let want: Vec<Logic3> = "X000011110"
+        .chars()
+        .map(|ch| match ch {
+            '0' => Logic3::Zero,
+            '1' => Logic3::One,
+            _ => Logic3::X,
+        })
+        .collect();
+    let outs = LogicSim::new(&c).outputs(&t).expect("s27 simulates");
+    let got: Vec<Logic3> = outs.iter().map(|row| row[0]).collect();
+    assert_eq!(got, want, "fault-free output trace changed");
+
+    let out = c.outputs()[0];
+    let faults = FaultList::from_faults(vec![
+        Fault::slow_to_rise(FaultSite::Stem(out)),
+        Fault::slow_to_fall(FaultSite::Stem(out)),
+    ]);
+
+    for reference in [false, true] {
+        let sim =
+            FaultSim::with_options(&c, SimOptions::with_threads(1).reference_kernel(reference));
+        let times = sim.query(&faults).sequence(&t).detection_times();
+        assert_eq!(times[0], Some(5), "slow-to-rise launches on the 4→5 edge");
+        assert_eq!(times[1], Some(9), "slow-to-fall launches on the 8→9 edge");
+
+        // Cycle-by-cycle: before its launch edge completes, each fault
+        // is undetectable — every strict prefix of the sequence misses.
+        let prefix5 = sim
+            .query(&faults)
+            .sequence(&t.slice(0..5))
+            .detection_times();
+        assert_eq!(
+            prefix5,
+            vec![None, None],
+            "no 0→1 edge completes before u=5"
+        );
+        let prefix9 = sim
+            .query(&faults)
+            .sequence(&t.slice(0..9))
+            .detection_times();
+        assert_eq!(
+            prefix9,
+            vec![Some(5), None],
+            "the X→0 edge into u=1 must not count as a 1→0 launch"
+        );
+    }
+
+    // The scalar oracle agrees with the hand computation too.
+    let oracle = SerialFaultSim::new(&c);
+    assert_eq!(oracle.detection_time(faults.faults()[0], &t), Some(5));
+    assert_eq!(oracle.detection_time(faults.faults()[1], &t), Some(9));
+}
