@@ -18,6 +18,10 @@
 //!   --width-sweep      measure the speculative rows even when the host
 //!                      has a single core
 //!   --threads N        simulation worker threads (default all cores)
+//!   --word-width W     fault-plane word width: 64 (default), 128 or 256
+//!                      (256 needs the `w256` build feature). The walk
+//!                      is bit-identical at every width, so `--golden`
+//!                      applies unchanged
 //!   --fault-model M    fault model: stuck-at (default) or transition
 //!   --reps N           repetitions per row; the fastest is reported
 //!                      (default 1 — a synthesis run is long enough)
@@ -48,6 +52,7 @@ use wbist_bench::Json;
 use wbist_circuits::synthetic;
 use wbist_core::{RunOptions, Synthesis, SynthesisConfig, SynthesisResult, Telemetry};
 use wbist_netlist::{FaultModel, FaultUniverse};
+use wbist_sim::WordWidth;
 
 /// Default target subsampling per circuit: every `keep_every`-th fault
 /// stays a target. Chosen so a full synthesis walk finishes in seconds
@@ -119,18 +124,32 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .filter(|&t| t >= 1)
         .unwrap_or(cores);
-    let widths: Vec<usize> = match opt("--widths") {
-        Some(s) => parse_list(&s)
-            .iter()
-            .filter_map(|w| w.parse().ok())
-            .filter(|&w| w >= 1)
-            .collect(),
-        // On a single core the speculative rows only measure scheduling
-        // overhead — the wavefront evaluates inline — so the default
-        // sweep collapses to the width-1 baseline unless --width-sweep
-        // insists (mirroring sim_bench's --thread-sweep).
-        None if cores == 1 && !flag("--width-sweep") => vec![1],
-        None => vec![1, 4, 8],
+    let word_width = match opt("--word-width") {
+        None => WordWidth::W64,
+        Some(s) => match WordWidth::parse(&s) {
+            Ok(w) => w,
+            Err(reason) => {
+                eprintln!("{reason}");
+                std::process::exit(1);
+            }
+        },
+    };
+    // On a single core the speculative rows only measure scheduling
+    // overhead — the wavefront evaluates inline — so the default sweep
+    // collapses to the width-1 baseline unless --width-sweep insists
+    // (mirroring sim_bench's --thread-sweep). The collapsed widths are
+    // not silently dropped: each emits an explicit `skipped_reason` row.
+    let (widths, skipped_widths): (Vec<usize>, Vec<usize>) = match opt("--widths") {
+        Some(s) => (
+            parse_list(&s)
+                .iter()
+                .filter_map(|w| w.parse().ok())
+                .filter(|&w| w >= 1)
+                .collect(),
+            Vec::new(),
+        ),
+        None if cores == 1 && !flag("--width-sweep") => (vec![1], vec![4, 8]),
+        None => (vec![1, 4, 8], Vec::new()),
     };
     if widths.is_empty() {
         eprintln!("--widths needs at least one positive integer");
@@ -169,11 +188,13 @@ fn main() {
             let mut best: Option<(SynthesisResult, Telemetry, f64)> = None;
             for _ in 0..reps {
                 let tel = Telemetry::enabled();
+                let mut run = RunOptions::with_threads(threads).telemetry(tel.clone());
+                run.sim.word_width = word_width;
                 let cfg = SynthesisConfig {
                     sequence_length: lg,
                     speculation: width,
                     prefix_cache: !no_prefix_cache,
-                    run: RunOptions::with_threads(threads).telemetry(tel.clone()),
+                    run,
                     ..SynthesisConfig::default()
                 };
                 let start = Instant::now();
@@ -256,6 +277,7 @@ fn main() {
                 ("t_len", t_len.into()),
                 ("sequence_length", lg.into()),
                 ("threads", threads.into()),
+                ("word_width", u64::from(word_width.bits()).into()),
                 ("speculation", width.into()),
                 ("seconds", secs.into()),
                 ("candidates_tried", tried.into()),
@@ -282,6 +304,20 @@ fn main() {
                     } else {
                         (*base_secs / secs).into()
                     },
+                ),
+            ]));
+        }
+        for &width in &skipped_widths {
+            rows.push(Json::obj(vec![
+                ("circuit", name.as_str().into()),
+                ("speculation", width.into()),
+                ("word_width", u64::from(word_width.bits()).into()),
+                ("available_cores", cores.into()),
+                (
+                    "skipped_reason",
+                    "single-core host: speculative rows evaluate inline and measure \
+                     scheduling overhead, not speculation (pass --width-sweep to force)"
+                        .into(),
                 ),
             ]));
         }

@@ -483,7 +483,7 @@ impl<'a> Synthesis<'a> {
                             seg.2.as_ref(),
                             &seg.1,
                             cache.as_ref(),
-                            tel.is_enabled(),
+                            &tel,
                         );
                         // Commit in strict rank order. The first keep (or
                         // budget trip) discards the rest of the wave: the

@@ -121,10 +121,10 @@ pub fn run_bist_session(
         .collect();
     let golden_known = golden.iter().all(|sig| sig.iter().all(|s| s.is_known()));
 
-    // Faults are independent: fan them out over worker threads. Each
-    // worker shares the read-only simulator, golden streams, and
-    // signatures; results land in disjoint per-fault slots, so the merge
-    // is deterministic.
+    // Faults are independent: fan them out through the shared worker
+    // pool. Every participant shares the read-only simulator, golden
+    // streams, and signatures; results land in disjoint per-fault slots,
+    // so the merge is deterministic.
     let n_faults = faults.len();
     let threads = cfg
         .run
@@ -172,26 +172,20 @@ pub fn run_bist_session(
         }
     } else {
         let eval_fault = &eval_fault;
-        let results = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|w| {
-                    scope.spawn(move || {
-                        faults
-                            .faults()
-                            .iter()
-                            .enumerate()
-                            .skip(w)
-                            .step_by(threads)
-                            .map(|(fi, &fault)| (fi, eval_fault(fault)))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("session worker panicked"))
-                .collect::<Vec<_>>()
-        });
+        let jobs: Vec<(usize, wbist_netlist::Fault)> = faults
+            .faults()
+            .iter()
+            .enumerate()
+            .map(|(fi, &fault)| (fi, fault))
+            .collect();
+        let (results, stats) = wbist_sim::pool::scatter(
+            threads,
+            jobs,
+            || (),
+            |(fi, fault), _state| (fi, eval_fault(fault)),
+        );
+        tel.add_effort("pool.tasks", stats.tasks);
+        tel.add_effort("pool.steals", stats.stolen);
         for (fi, (o, s)) in results {
             detected_by_observation[fi] = o;
             detected_by_signature[fi] = s;

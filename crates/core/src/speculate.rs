@@ -127,13 +127,15 @@ pub(crate) fn gather(
 
 /// Evaluates every entry of the wave — screen, then full simulation
 /// against the segment's frozen live list — fanning the entries out
-/// over a `std::thread::scope` worker pool (the `wbist-sim` batch-pool
-/// idiom, one level up). Results land back in the entries; returns how
-/// many evaluations were launched.
+/// through the shared worker pool ([`wbist_sim::pool`], the same pool
+/// the per-batch sim fan-out uses one level down). Results land back in
+/// the entries; returns how many evaluations were launched.
 ///
 /// Each evaluation runs on a [`FaultSim::worker_clone`] with a private
-/// telemetry handle, so nothing is recorded into the main handle here —
-/// the caller merges committed results in rank order.
+/// telemetry handle, so the only thing recorded into the main handle
+/// here is the effort-space pool dispatch accounting
+/// (`pool.tasks`/`pool.steals`) — the caller merges committed results
+/// in rank order.
 ///
 /// With `cache`, evaluations are *prepared* against the prefix cache
 /// (see the module docs). The cache is read-only for the whole wave —
@@ -148,11 +150,12 @@ pub(crate) fn evaluate_wavefront(
     sample: Option<&FaultList>,
     live_faults: &FaultList,
     cache: Option<&PrefixTraceCache>,
-    tel_enabled: bool,
+    tel: &Telemetry,
 ) -> usize {
     if wave.is_empty() {
         return 0;
     }
+    let tel_enabled = tel.is_enabled();
     let todo: Vec<usize> = (0..wave.len()).collect();
     let pool = sim
         .options()
@@ -240,29 +243,16 @@ pub(crate) fn evaluate_wavefront(
     } else {
         let workers = pool.min(todo.len());
         let inner = (pool / workers).max(1);
-        let mut per_worker: Vec<Vec<usize>> = (0..workers).map(|_| Vec::new()).collect();
-        for (k, &i) in todo.iter().enumerate() {
-            per_worker[k % workers].push(i);
-        }
         let shared: &[WaveEntry] = wave;
         let evaluate = &evaluate;
-        let mut slots: Vec<(usize, EvalDone)> = Vec::with_capacity(todo.len());
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = per_worker
-                .into_iter()
-                .map(|chunk| {
-                    scope.spawn(move || {
-                        chunk
-                            .into_iter()
-                            .map(|i| (i, evaluate(&shared[i].tg, inner)))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for handle in handles {
-                slots.extend(handle.join().expect("speculation worker panicked"));
-            }
-        });
+        let (slots, stats) = wbist_sim::pool::scatter(
+            workers,
+            todo.clone(),
+            || (),
+            |i, _state| (i, evaluate(&shared[i].tg, inner)),
+        );
+        tel.add_effort("pool.tasks", stats.tasks);
+        tel.add_effort("pool.steals", stats.stolen);
         for (i, done) in slots {
             wave[i].eval = Some(done);
         }

@@ -47,6 +47,7 @@
 use crate::logic::Logic3;
 use crate::plane::Planes;
 use crate::sequence::TestSequence;
+use crate::word::Word;
 use wbist_netlist::{Circuit, Driver, Fault, FaultSite, GateKind};
 
 /// Which flat [`Schedule`] array a conditional injection overlays.
@@ -69,7 +70,7 @@ pub(crate) enum InjSlot {
 /// stores every cycle, so both the launch and the capture value are one
 /// indexed read away; stuck-at faults never allocate an entry here.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct CondInj {
+pub(crate) struct CondInj<W> {
     /// Which array the effect masks OR into.
     pub(crate) slot: InjSlot,
     /// Index of the target entry in that array (post-sort).
@@ -79,7 +80,7 @@ pub(crate) struct CondInj {
     /// Destination value of the slow transition.
     pub(crate) slow_to: bool,
     /// Machine bit of the fault.
-    pub(crate) bit: u64,
+    pub(crate) bit: W,
 }
 
 /// Load codes in the fanout CSR: values `< num_gates` are consuming
@@ -349,10 +350,12 @@ impl GoodTrace {
         self.num_cycles
     }
 
-    /// The fault-free value of net `n` at cycle `u`, broadcast to all 64
-    /// machine bit positions.
+    /// The fault-free value of net `n` at cycle `u`, broadcast to all
+    /// machine bit positions of the requested lane width. The trace
+    /// itself is packed one bit per net regardless of the batch width —
+    /// only this broadcast is width-dependent.
     #[inline]
-    pub(crate) fn planes(&self, u: usize, n: usize) -> Planes {
+    pub(crate) fn planes<W: Word>(&self, u: usize, n: usize) -> Planes<W> {
         let w = u * self.words + n / 64;
         let bit = 1u64 << (n % 64);
         if self.ones[w] & bit != 0 {
@@ -394,13 +397,13 @@ impl GoodTrace {
 /// bookkeeping). Resuming from a snapshot is therefore bit-identical to
 /// a from-scratch run, deterministic counters included.
 #[derive(Debug, Clone)]
-pub(crate) struct BatchCkpt {
+pub(crate) struct BatchCkpt<W> {
     /// The cycle the snapshot resumes at (state *entering* this cycle).
     pub(crate) cycle: usize,
     /// Live fault mask entering `cycle`.
-    pub(crate) live: u64,
+    pub(crate) live: W,
     /// Faulty flip-flop planes entering `cycle`.
-    pub(crate) ff: Vec<Planes>,
+    pub(crate) ff: Vec<Planes<W>>,
     /// Flip-flop indices flagged dirty entering `cycle`.
     pub(crate) dirty_dffs: Vec<u32>,
     /// Cumulative kernel stats over cycles `0..cycle`.
@@ -422,39 +425,43 @@ pub(crate) fn snapshot_interval(len: usize) -> usize {
 /// `GateId`), so both kernels can merge them into their topo-order
 /// stepping loop with monotone cursors.
 #[derive(Debug, Clone, Default)]
-pub(crate) struct Schedule {
+pub(crate) struct Schedule<W> {
     /// Stem injections on primary inputs: (PI index, net, f1, f0).
-    pub(crate) src_pi: Vec<(u32, u32, u64, u64)>,
+    pub(crate) src_pi: Vec<(u32, u32, W, W)>,
     /// Stem injections on DFF outputs: (DFF index, net, f1, f0).
-    pub(crate) src_dff: Vec<(u32, u32, u64, u64)>,
+    pub(crate) src_dff: Vec<(u32, u32, W, W)>,
     /// Stem injections on constant nets: (net, value, f1, f0).
-    pub(crate) src_const: Vec<(u32, bool, u64, u64)>,
+    pub(crate) src_const: Vec<(u32, bool, W, W)>,
     /// Stem injections on gate outputs: (topo position, f1, f0), sorted.
-    pub(crate) gate_stems: Vec<(u32, u64, u64)>,
+    pub(crate) gate_stems: Vec<(u32, W, W)>,
     /// Gate-pin injections: (topo position, pin, f1, f0), sorted.
-    pub(crate) pins: Vec<(u32, u32, u64, u64)>,
+    pub(crate) pins: Vec<(u32, u32, W, W)>,
     /// DFF-data injections: (DFF index, f1, f0), sorted.
-    pub(crate) dffs: Vec<(u32, u64, u64)>,
+    pub(crate) dffs: Vec<(u32, W, W)>,
     /// Cone seeds: (net, fault bits first observable there). Stems seed
     /// their own net; pin faults seed the consuming gate's output;
     /// DFF-data faults seed the flip-flop's state output.
-    pub(crate) seeds: Vec<(u32, u64)>,
+    pub(crate) seeds: Vec<(u32, W)>,
     /// Conditional (activation-gated) injections, overlaid per cycle.
     /// Empty for pure stuck-at batches — the static arrays above are
     /// then used directly, with zero per-cycle cost.
-    pub(crate) cond: Vec<CondInj>,
+    pub(crate) cond: Vec<CondInj<W>>,
 }
 
-impl Schedule {
-    /// Builds the schedule for one chunk of up to 63 indexed faults;
-    /// fault `k` of the chunk occupies machine bit `k + 1`.
-    pub(crate) fn build(c: &Circuit, cc: &CompiledCircuit, faults: &[(usize, Fault)]) -> Schedule {
-        debug_assert!(faults.len() <= 63);
+impl<W: Word> Schedule<W> {
+    /// Builds the schedule for one chunk of up to `W::BITS - 1` indexed
+    /// faults; fault `k` of the chunk occupies machine bit `k + 1`.
+    pub(crate) fn build(
+        c: &Circuit,
+        cc: &CompiledCircuit,
+        faults: &[(usize, Fault)],
+    ) -> Schedule<W> {
+        debug_assert!(faults.len() < W::BITS as usize);
         let mut sched = Schedule::default();
         // (slot, key1, key2, watch, slow_to, bit): resolved to array
         // indices after the sorts below.
-        let mut cond_raw: Vec<(InjSlot, u32, u32, u32, bool, u64)> = Vec::new();
-        let seed = |sched: &mut Schedule, net: u32, bits: u64| {
+        let mut cond_raw: Vec<(InjSlot, u32, u32, u32, bool, W)> = Vec::new();
+        let seed = |sched: &mut Schedule<W>, net: u32, bits: W| {
             if let Some(e) = sched.seeds.iter_mut().find(|(n, _)| *n == net) {
                 e.1 |= bits;
             } else {
@@ -462,7 +469,7 @@ impl Schedule {
             }
         };
         for (k, &(_, f)) in faults.iter().enumerate() {
-            let bit = 1u64 << (k + 1);
+            let bit = W::bit(k + 1);
             // A stuck-at fault contributes its masks statically; a
             // transition-delay fault contributes a zero-mask entry plus a
             // conditional component that ORs the effect in on activation
@@ -471,9 +478,9 @@ impl Schedule {
             let (f1, f0, cond) = match f {
                 Fault::StuckAt { stuck, .. } => {
                     if stuck {
-                        (bit, 0, None)
+                        (bit, W::ZERO, None)
                     } else {
-                        (0, bit, None)
+                        (W::ZERO, bit, None)
                     }
                 }
                 Fault::TransitionDelay { site, slow_to } => {
@@ -482,7 +489,7 @@ impl Schedule {
                         FaultSite::GatePin { gate, pin } => c.gate(gate).inputs[pin].index() as u32,
                         FaultSite::DffData(k) => cc.dff_d[k],
                     };
-                    (0, 0, Some((watch, slow_to)))
+                    (W::ZERO, W::ZERO, Some((watch, slow_to)))
                 }
             };
             match f.site() {
@@ -577,7 +584,7 @@ impl Schedule {
 
     /// The schedule's injection arrays as consumed by one cycle, with no
     /// conditional components (valid whenever `cond` is empty).
-    pub(crate) fn static_view(&self) -> CycleInj<'_> {
+    pub(crate) fn static_view(&self) -> CycleInj<'_, W> {
         CycleInj {
             src_pi: &self.src_pi,
             src_dff: &self.src_dff,
@@ -595,13 +602,13 @@ impl Schedule {
 /// are identical either way, so the kernels' monotone cursors are
 /// oblivious to which source they read.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct CycleInj<'a> {
-    pub(crate) src_pi: &'a [(u32, u32, u64, u64)],
-    pub(crate) src_dff: &'a [(u32, u32, u64, u64)],
-    pub(crate) src_const: &'a [(u32, bool, u64, u64)],
-    pub(crate) gate_stems: &'a [(u32, u64, u64)],
-    pub(crate) pins: &'a [(u32, u32, u64, u64)],
-    pub(crate) dffs: &'a [(u32, u64, u64)],
+pub(crate) struct CycleInj<'a, W> {
+    pub(crate) src_pi: &'a [(u32, u32, W, W)],
+    pub(crate) src_dff: &'a [(u32, u32, W, W)],
+    pub(crate) src_const: &'a [(u32, bool, W, W)],
+    pub(crate) gate_stems: &'a [(u32, W, W)],
+    pub(crate) pins: &'a [(u32, u32, W, W)],
+    pub(crate) dffs: &'a [(u32, W, W)],
 }
 
 /// Per-worker scratch holding one cycle's effective injection masks when
@@ -609,17 +616,17 @@ pub(crate) struct CycleInj<'a> {
 /// cycles and batches (clear + extend), so the steady-state cycle loop
 /// performs no allocation.
 #[derive(Debug, Clone, Default)]
-pub(crate) struct MaskBuf {
-    src_pi: Vec<(u32, u32, u64, u64)>,
-    src_dff: Vec<(u32, u32, u64, u64)>,
-    src_const: Vec<(u32, bool, u64, u64)>,
-    gate_stems: Vec<(u32, u64, u64)>,
-    pins: Vec<(u32, u32, u64, u64)>,
-    dffs: Vec<(u32, u64, u64)>,
+pub(crate) struct MaskBuf<W> {
+    src_pi: Vec<(u32, u32, W, W)>,
+    src_dff: Vec<(u32, u32, W, W)>,
+    src_const: Vec<(u32, bool, W, W)>,
+    gate_stems: Vec<(u32, W, W)>,
+    pins: Vec<(u32, u32, W, W)>,
+    dffs: Vec<(u32, W, W)>,
 }
 
-impl MaskBuf {
-    pub(crate) fn new() -> MaskBuf {
+impl<W: Word> MaskBuf<W> {
+    pub(crate) fn new() -> MaskBuf<W> {
         MaskBuf::default()
     }
 
@@ -628,7 +635,13 @@ impl MaskBuf {
     /// condition holds on the fault-free machine. The launch value at
     /// cycle 0 comes from `prev0` (the good net values entering the
     /// sequence — `None` means the all-`X` start, which never launches).
-    fn refresh(&mut self, sched: &Schedule, trace: &GoodTrace, u: usize, prev0: Option<&[Logic3]>) {
+    fn refresh(
+        &mut self,
+        sched: &Schedule<W>,
+        trace: &GoodTrace,
+        u: usize,
+        prev0: Option<&[Logic3]>,
+    ) {
         self.src_pi.clear();
         self.src_pi.extend_from_slice(&sched.src_pi);
         self.src_dff.clear();
@@ -655,7 +668,11 @@ impl MaskBuf {
             if cur == ci.slow_to.into() && prev == (!ci.slow_to).into() {
                 // The slow site still shows the old value in the capture
                 // cycle: slow-to-rise forces 0, slow-to-fall forces 1.
-                let (a1, a0) = if ci.slow_to { (0, ci.bit) } else { (ci.bit, 0) };
+                let (a1, a0) = if ci.slow_to {
+                    (W::ZERO, ci.bit)
+                } else {
+                    (ci.bit, W::ZERO)
+                };
                 let i = ci.idx as usize;
                 match ci.slot {
                     InjSlot::SrcPi => {
@@ -687,7 +704,7 @@ impl MaskBuf {
         }
     }
 
-    fn view(&self) -> CycleInj<'_> {
+    fn view(&self) -> CycleInj<'_, W> {
         CycleInj {
             src_pi: &self.src_pi,
             src_dff: &self.src_dff,
@@ -699,7 +716,7 @@ impl MaskBuf {
     }
 }
 
-fn merge3(v: &mut Vec<(u32, u64, u64)>, key: u32, f1: u64, f0: u64) {
+fn merge3<W: Word>(v: &mut Vec<(u32, W, W)>, key: u32, f1: W, f0: W) {
     if let Some(e) = v.iter_mut().find(|(k, _, _)| *k == key) {
         e.1 |= f1;
         e.2 |= f0;
@@ -708,7 +725,7 @@ fn merge3(v: &mut Vec<(u32, u64, u64)>, key: u32, f1: u64, f0: u64) {
     }
 }
 
-fn merge_src(v: &mut Vec<(u32, u32, u64, u64)>, key: u32, net: u32, f1: u64, f0: u64) {
+fn merge_src<W: Word>(v: &mut Vec<(u32, u32, W, W)>, key: u32, net: u32, f1: W, f0: W) {
     if let Some(e) = v.iter_mut().find(|(k, _, _, _)| *k == key) {
         e.2 |= f1;
         e.3 |= f0;
@@ -721,10 +738,10 @@ fn merge_src(v: &mut Vec<(u32, u32, u64, u64)>, key: u32, net: u32, f1: u64, f0:
 /// allocated once (per worker, per query) and reused across batches and
 /// cycles — the cycle loop itself never allocates.
 #[derive(Debug, Clone)]
-pub(crate) struct ConeScratch {
+pub(crate) struct ConeScratch<W> {
     /// Per-net fault mask: which machine bits can *ever* differ from
     /// good here (the sequential reachability cone).
-    mask: Vec<u64>,
+    mask: Vec<W>,
     /// Worklist for the mask propagation (net indices).
     worklist: Vec<u32>,
     /// Nets whose mask is non-zero, in discovery order.
@@ -749,10 +766,10 @@ pub(crate) struct ConeScratch {
     obs_list: Vec<u32>,
 }
 
-impl ConeScratch {
-    pub(crate) fn new(cc: &CompiledCircuit) -> ConeScratch {
+impl<W: Word> ConeScratch<W> {
+    pub(crate) fn new(cc: &CompiledCircuit) -> ConeScratch<W> {
         ConeScratch {
-            mask: vec![0; cc.num_nets],
+            mask: vec![W::ZERO; cc.num_nets],
             worklist: Vec::with_capacity(cc.num_nets),
             cone_nets: Vec::with_capacity(cc.num_nets),
             dirty: vec![false; cc.num_nets],
@@ -769,18 +786,18 @@ impl ConeScratch {
     /// Computes the per-net fault masks for `seeds`, restricted to
     /// `live` bits: a monotone worklist closure over gate fanout and
     /// flip-flop boundaries.
-    fn propagate(&mut self, cc: &CompiledCircuit, seeds: &[(u32, u64)], live: u64) {
+    fn propagate(&mut self, cc: &CompiledCircuit, seeds: &[(u32, W)], live: W) {
         for &n in &self.cone_nets {
-            self.mask[n as usize] = 0;
+            self.mask[n as usize] = W::ZERO;
         }
         self.cone_nets.clear();
         self.worklist.clear();
         for &(n, bits) in seeds {
             let bits = bits & live;
-            if bits != 0 && self.mask[n as usize] == 0 {
+            if !bits.is_zero() && self.mask[n as usize].is_zero() {
                 self.cone_nets.push(n);
             }
-            if bits != 0 {
+            if !bits.is_zero() {
                 self.mask[n as usize] |= bits;
                 self.worklist.push(n);
             }
@@ -797,7 +814,7 @@ impl ConeScratch {
                 };
                 let cur = self.mask[out as usize];
                 if cur | m != cur {
-                    if cur == 0 {
+                    if cur.is_zero() {
                         self.cone_nets.push(out);
                     }
                     self.mask[out as usize] = cur | m;
@@ -809,33 +826,28 @@ impl ConeScratch {
 
     /// Test-only view of the per-net fault mask (after [`run_batch`]).
     #[cfg(test)]
-    pub(crate) fn mask_of(&self, net: usize) -> u64 {
+    pub(crate) fn mask_of(&self, net: usize) -> W {
         self.mask[net]
     }
 
     /// Test-only cone computation entry point.
     #[cfg(test)]
-    pub(crate) fn propagate_for_test(
-        &mut self,
-        cc: &CompiledCircuit,
-        seeds: &[(u32, u64)],
-        live: u64,
-    ) {
+    pub(crate) fn propagate_for_test(&mut self, cc: &CompiledCircuit, seeds: &[(u32, W)], live: W) {
         self.propagate(cc, seeds, live);
     }
 }
 
 /// What one evaluated cycle exposes to the query-specific sink.
-pub(crate) struct CycleCtx<'a> {
+pub(crate) struct CycleCtx<'a, W> {
     /// Net planes after this cycle's evaluation. Only the nets listed in
     /// `cone_nets` are current; everything else may be stale — clean
     /// nets carry the fault-free value on all live bits.
-    pub(crate) nets: &'a [Planes],
+    pub(crate) nets: &'a [Planes<W>],
     /// OR of `diff_from_good` over the observed nets that can differ.
     /// May carry bits of already-dropped machines; mask with `live`.
-    pub(crate) obs_diff: u64,
+    pub(crate) obs_diff: W,
     /// Machine bits still carrying live faults.
-    pub(crate) live: u64,
+    pub(crate) live: W,
     /// Nets whose planes differ from the good machine this cycle (the
     /// dirty set; the whole netlist under the reference kernel).
     pub(crate) cone_nets: &'a [u32],
@@ -880,21 +892,21 @@ pub(crate) struct BatchStats {
 /// conditional-injection launches at cycle 0 — cycles past the first
 /// read their launch value from the trace itself.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn run_batch(
+pub(crate) fn run_batch<W: Word>(
     cc: &CompiledCircuit,
-    sched: &Schedule,
-    mut live: u64,
+    sched: &Schedule<W>,
+    mut live: W,
     seq: &TestSequence,
     trace: &GoodTrace,
     prev0: Option<&[Logic3]>,
-    ff: &mut [Planes],
-    nets: &mut [Planes],
-    cone: &mut ConeScratch,
-    buf: &mut MaskBuf,
-    resume: Option<&BatchCkpt>,
-    mut snap: Option<&mut Vec<BatchCkpt>>,
-    mut sink: impl FnMut(usize, &CycleCtx) -> (u64, bool),
-) -> (u64, BatchStats) {
+    ff: &mut [Planes<W>],
+    nets: &mut [Planes<W>],
+    cone: &mut ConeScratch<W>,
+    buf: &mut MaskBuf<W>,
+    resume: Option<&BatchCkpt<W>>,
+    mut snap: Option<&mut Vec<BatchCkpt<W>>>,
+    mut sink: impl FnMut(usize, &CycleCtx<W>) -> (W, bool),
+) -> (W, BatchStats) {
     debug_assert_eq!(trace.len(), seq.len());
     let has_cond = !sched.cond.is_empty();
     let (start, mut stats) = match resume {
@@ -925,7 +937,7 @@ pub(crate) fn run_batch(
     }
     obs_list.clear();
     for &n in &cc.observed {
-        if mask[n as usize] != 0 {
+        if !mask[n as usize].is_zero() {
             is_observed[n as usize] = true;
             obs_list.push(n);
         }
@@ -947,8 +959,8 @@ pub(crate) fn run_batch(
         }
     } else if !seq.is_empty() {
         for (k, f) in ff.iter().enumerate() {
-            let good = trace.planes(0, cc.dff_q[k] as usize);
-            if (((f.ones ^ good.ones) | (f.zeros ^ good.zeros)) & (live | 1)) != 0 {
+            let good = trace.planes::<W>(0, cc.dff_q[k] as usize);
+            if !(((f.ones ^ good.ones) | (f.zeros ^ good.zeros)) & (live | W::LSB)).is_zero() {
                 dff_dirty[k] = true;
                 dirty_dffs.push(k as u32);
             }
@@ -957,7 +969,7 @@ pub(crate) fn run_batch(
     let interval = snapshot_interval(seq.len());
     // A snapshot taken after the live mask died resumes past the loop,
     // the same way the from-scratch run broke out of it.
-    let run_cycles = resume.is_none() || live != 0;
+    let run_cycles = resume.is_none() || !live.is_zero();
     for u in start..seq.len() {
         if !run_cycles {
             break;
@@ -992,7 +1004,7 @@ pub(crate) fn run_batch(
         let row = seq.row(u);
         for &(pi, n, f1, f0) in inj.src_pi {
             let (f1, f0) = (f1 & live, f0 & live);
-            if f1 | f0 != 0 {
+            if !(f1 | f0).is_zero() {
                 nets[n as usize] = Planes::broadcast(row[pi as usize]).inject(f1, f0);
                 if !dirty[n as usize] {
                     dirty[n as usize] = true;
@@ -1003,7 +1015,7 @@ pub(crate) fn run_batch(
         }
         for &(k, n, f1, f0) in inj.src_dff {
             let (f1, f0) = (f1 & live, f0 & live);
-            if f1 | f0 != 0 {
+            if !(f1 | f0).is_zero() {
                 let base = if dff_dirty[k as usize] {
                     ff[k as usize]
                 } else {
@@ -1019,7 +1031,7 @@ pub(crate) fn run_batch(
         }
         for &(n, v, f1, f0) in inj.src_const {
             let (f1, f0) = (f1 & live, f0 & live);
-            if f1 | f0 != 0 {
+            if !(f1 | f0).is_zero() {
                 nets[n as usize] = Planes::broadcast(v).inject(f1, f0);
                 if !dirty[n as usize] {
                     dirty[n as usize] = true;
@@ -1031,12 +1043,12 @@ pub(crate) fn run_batch(
         // Gates carrying live injections run unconditionally — their
         // operands may all be clean.
         for &(pos, f1, f0) in inj.gate_stems {
-            if (f1 | f0) & live != 0 {
+            if !((f1 | f0) & live).is_zero() {
                 sched_bits[(pos >> 6) as usize] |= 1 << (pos & 63);
             }
         }
         for &(pos, _, f1, f0) in inj.pins {
-            if (f1 | f0) & live != 0 {
+            if !((f1 | f0) & live).is_zero() {
                 sched_bits[(pos >> 6) as usize] |= 1 << (pos & 63);
             }
         }
@@ -1068,8 +1080,8 @@ pub(crate) fn run_batch(
                 });
                 let out = cc.out_nets[pos] as usize;
                 nets[out] = v;
-                let good = trace.planes(u, out);
-                if (((v.ones ^ good.ones) | (v.zeros ^ good.zeros)) & (live | 1)) != 0
+                let good = trace.planes::<W>(u, out);
+                if !(((v.ones ^ good.ones) | (v.zeros ^ good.zeros)) & (live | W::LSB)).is_zero()
                     && !dirty[out]
                 {
                     dirty[out] = true;
@@ -1081,7 +1093,7 @@ pub(crate) fn run_batch(
         // Next-state examination: flip-flops whose data net went dirty,
         // whose stored planes were dirty, or that carry live injections.
         for &(k, f1, f0) in inj.dffs {
-            if (f1 | f0) & live != 0 {
+            if !((f1 | f0) & live).is_zero() {
                 cand_bits[(k >> 6) as usize] |= 1 << (k & 63);
             }
         }
@@ -1106,8 +1118,8 @@ pub(crate) fn run_batch(
                     let (_, f1, f0) = inj.dffs[id];
                     v = v.inject(f1 & live, f0 & live);
                 }
-                let good = trace.planes(u, d);
-                if (((v.ones ^ good.ones) | (v.zeros ^ good.zeros)) & (live | 1)) != 0 {
+                let good = trace.planes::<W>(u, d);
+                if !(((v.ones ^ good.ones) | (v.zeros ^ good.zeros)) & (live | W::LSB)).is_zero() {
                     ff[k] = v;
                     dff_dirty[k] = true;
                     dirty_dffs.push(k as u32);
@@ -1117,7 +1129,7 @@ pub(crate) fn run_batch(
             }
         }
         // Detection sites: only dirty observed nets can differ.
-        let mut obs_diff = 0u64;
+        let mut obs_diff = W::ZERO;
         for &n in dirty_nets.iter() {
             if is_observed[n as usize] {
                 obs_diff |= nets[n as usize].diff_from_good();
@@ -1138,7 +1150,7 @@ pub(crate) fn run_batch(
         dirty_nets.clear();
         live &= !drop;
         if let Some(snaps) = snap.as_deref_mut() {
-            if (u + 1) % interval == 0 || u + 1 == seq.len() || live == 0 || stop {
+            if (u + 1) % interval == 0 || u + 1 == seq.len() || live.is_zero() || stop {
                 snaps.push(BatchCkpt {
                     cycle: u + 1,
                     live,
@@ -1149,7 +1161,7 @@ pub(crate) fn run_batch(
                 });
             }
         }
-        if live == 0 || stop {
+        if live.is_zero() || stop {
             break;
         }
     }
@@ -1192,18 +1204,18 @@ fn mark_loads(cc: &CompiledCircuit, sched_bits: &mut [u64], cand_bits: &mut [u64
 /// and the sink contract with [`run_batch`], so any divergence between
 /// the two kernels is in the cone machinery, not the plumbing.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn run_batch_reference(
+pub(crate) fn run_batch_reference<W: Word>(
     cc: &CompiledCircuit,
-    sched: &Schedule,
-    mut live: u64,
+    sched: &Schedule<W>,
+    mut live: W,
     seq: &TestSequence,
     trace: &GoodTrace,
     prev0: Option<&[Logic3]>,
-    ff: &mut [Planes],
-    nets: &mut [Planes],
-    buf: &mut MaskBuf,
-    mut sink: impl FnMut(usize, &CycleCtx) -> (u64, bool),
-) -> (u64, BatchStats) {
+    ff: &mut [Planes<W>],
+    nets: &mut [Planes<W>],
+    buf: &mut MaskBuf<W>,
+    mut sink: impl FnMut(usize, &CycleCtx<W>) -> (W, bool),
+) -> (W, BatchStats) {
     debug_assert_eq!(trace.len(), seq.len());
     let has_cond = !sched.cond.is_empty();
     nets.fill(Planes::ALL_X);
@@ -1260,7 +1272,7 @@ pub(crate) fn run_batch_reference(
             }
             ff[k] = v;
         }
-        let mut obs_diff = 0u64;
+        let mut obs_diff = W::ZERO;
         for &n in &cc.observed {
             obs_diff |= nets[n as usize].diff_from_good();
         }
@@ -1272,7 +1284,7 @@ pub(crate) fn run_batch_reference(
         };
         let (drop, stop) = sink(u, &ctx);
         live &= !drop;
-        if live == 0 || stop {
+        if live.is_zero() || stop {
             break;
         }
     }
@@ -1286,14 +1298,14 @@ pub(crate) fn run_batch_reference(
 /// array for the reference kernel, the dirty-set/good-trace split for
 /// the compiled kernel.
 #[inline]
-fn eval_gate(
+fn eval_gate<W: Word>(
     cc: &CompiledCircuit,
-    inj: CycleInj<'_>,
+    inj: CycleInj<'_, W>,
     pos: usize,
     is: &mut usize,
     ip: &mut usize,
-    read: impl Fn(u32) -> Planes + Copy,
-) -> Planes {
+    read: impl Fn(u32) -> Planes<W> + Copy,
+) -> Planes<W> {
     while *is < inj.gate_stems.len() && (inj.gate_stems[*is].0 as usize) < pos {
         *is += 1;
     }
@@ -1356,14 +1368,14 @@ fn eval_gate(
 /// from the pin cursor. Only called for the rare gates that carry pin
 /// injections.
 #[inline]
-fn fetch_injected(
-    inj: CycleInj<'_>,
+fn fetch_injected<W: Word>(
+    inj: CycleInj<'_, W>,
     pos: usize,
     pin: usize,
     net: u32,
     ip: usize,
-    read: impl Fn(u32) -> Planes,
-) -> Planes {
+    read: impl Fn(u32) -> Planes<W>,
+) -> Planes<W> {
     let v = read(net);
     let mut i = ip;
     while i < inj.pins.len() && inj.pins[i].0 as usize == pos {
@@ -1419,12 +1431,19 @@ mod tests {
         let oracle = crate::good::LogicSim::new(&c).trace(&seq).unwrap();
         for u in 0..seq.len() {
             for n in 0..c.num_nets() {
-                let expect = match oracle.value(u, NetId::from_index(n)) {
+                let expect: Planes<u64> = match oracle.value(u, NetId::from_index(n)) {
                     Logic3::One => Planes::ALL_ONE,
                     Logic3::Zero => Planes::ALL_ZERO,
                     Logic3::X => Planes::ALL_X,
                 };
-                assert_eq!(trace.planes(u, n), expect, "net {n} at {u}");
+                assert_eq!(trace.planes::<u64>(u, n), expect, "net {n} at {u}");
+                // The wide broadcasts agree with the u64 one bit-for-bit
+                // on the overlapping lanes.
+                assert_eq!(
+                    trace.planes::<u128>(u, n).limbs().0[0],
+                    expect.ones,
+                    "u128 broadcast, net {n} at {u}"
+                );
             }
         }
         let oracle_ff = crate::good::LogicSim::new(&c).final_state(&seq).unwrap();
@@ -1452,8 +1471,8 @@ mod tests {
             for u in 0..seq.len() {
                 for n in 0..c.num_nets() {
                     assert_eq!(
-                        got.planes(u, n),
-                        expect.planes(u, n),
+                        got.planes::<u64>(u, n),
+                        expect.planes::<u64>(u, n),
                         "net {n} at {u} (shared {shared})"
                     );
                 }
@@ -1466,7 +1485,7 @@ mod tests {
     fn cone_of_output_stem_is_local() {
         let c = toy();
         let cc = CompiledCircuit::build(&c);
-        let mut cone = ConeScratch::new(&cc);
+        let mut cone: ConeScratch<u64> = ConeScratch::new(&cc);
         let y = c.net_by_name("y").unwrap().index();
         // A fault on the PO stem y reaches nothing else: y has no loads.
         cone.propagate_for_test(&cc, &[(y as u32, 0b10)], !0);
@@ -1479,7 +1498,7 @@ mod tests {
     fn cone_crosses_the_register_boundary() {
         let c = toy();
         let cc = CompiledCircuit::build(&c);
-        let mut cone = ConeScratch::new(&cc);
+        let mut cone: ConeScratch<u64> = ConeScratch::new(&cc);
         // A fault seeded at the DFF state output q contaminates g (NAND
         // reads q), then y, and — through the register (g drives the DFF
         // data input) — stays closed on q itself.
@@ -1492,7 +1511,7 @@ mod tests {
         assert_eq!(cone.mask_of(y), 0b100, "transitive fanout");
         // And the other direction: a fault on g's output crosses the DFF
         // d→q boundary into the next cycle's state.
-        let mut cone = ConeScratch::new(&cc);
+        let mut cone: ConeScratch<u64> = ConeScratch::new(&cc);
         cone.propagate_for_test(&cc, &[(g as u32, 0b10)], !0);
         assert_eq!(cone.mask_of(q), 0b10, "cone must cross the register");
         assert_eq!(cone.mask_of(y), 0b10);
@@ -1502,10 +1521,15 @@ mod tests {
     fn dead_bits_are_excluded_from_the_cone() {
         let c = toy();
         let cc = CompiledCircuit::build(&c);
-        let mut cone = ConeScratch::new(&cc);
+        let mut cone: ConeScratch<u64> = ConeScratch::new(&cc);
         let g = c.net_by_name("g").unwrap().index();
         // Seed two faults at g, but only one is live.
         cone.propagate_for_test(&cc, &[(g as u32, 0b110)], 0b010);
         assert_eq!(cone.mask_of(g), 0b010);
+        // The same closure works on wide lanes, including bits past 64.
+        let mut cone: ConeScratch<u128> = ConeScratch::new(&cc);
+        let hi = 1u128 << 100;
+        cone.propagate_for_test(&cc, &[(g as u32, hi | 0b10)], hi);
+        assert_eq!(cone.mask_of(g), hi);
     }
 }

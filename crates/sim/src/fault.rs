@@ -1,13 +1,23 @@
-//! Parallel sequential fault simulation, generic over the fault model.
+//! Parallel sequential fault simulation, generic over the fault model
+//! and the plane word width.
 //!
-//! The simulator packs the fault-free machine (bit 0) and up to 63 faulty
-//! machines (bits 1–63) into each 64-bit word. A three-valued signal is
-//! held as two bit-planes `(ones, zeros)` per net (the `plane` module): bit
-//! `b` of `ones` set means machine `b` sees logic 1, bit `b` of `zeros`
-//! means logic 0, and neither means `X`. Gate evaluation is plain boolean
+//! The simulator packs the fault-free machine (bit 0) and up to
+//! `W::BITS − 1` faulty machines into each plane word `W` — 63 at the
+//! default 64-bit width, 127 at 128 bits, 255 at the feature-gated
+//! 256-bit lane (the crate-private `word` module). A three-valued
+//! signal is held as two
+//! bit-planes `(ones, zeros)` per net (the `plane` module): bit `b` of
+//! `ones` set means machine `b` sees logic 1, bit `b` of `zeros` means
+//! logic 0, and neither means `X`. Gate evaluation is plain boolean
 //! algebra on the planes, so all machines advance in lock-step through
 //! the levelized combinational core, cycle by cycle, each with its own
-//! flip-flop state.
+//! flip-flop state. The width is chosen once per simulator
+//! ([`SimOptions::word_width`]) and dispatched to monomorphized engines
+//! at each public entry point; detections, detection times and the
+//! deterministic counters are width-invariant (a fault's charge ends
+//! when it drops, wherever it was batched), while batch partitioning —
+//! and therefore `sim.batches` and the gate-evaluation figures — tracks
+//! the width.
 //!
 //! Faults are injected by forcing plane bits: a stem fault forces the net's
 //! planes after its driver is evaluated; a gate-pin fault forces the value
@@ -50,15 +60,16 @@
 //!
 //! Fault batches are mutually independent — they share nothing but the
 //! (read-only) circuit, good trace, and input sequence — so every public
-//! entry point fans its batches out over worker threads
-//! (`std::thread::scope`), with one scratch buffer per worker and the
-//! flip-flop planes owned per batch. Per-fault results are written to
-//! disjoint indices and merged in batch order after the join, so all
-//! outputs are bit-identical to the single-threaded path regardless of
-//! scheduling. The boolean early-exit queries ([`Query::any`],
-//! [`FaultSim::sample_detects`]) coordinate through an `AtomicBool`: the
-//! first worker to find a detection cancels the rest. Thread count is
-//! controlled by [`SimOptions::threads`] (default: all available cores).
+//! entry point fans its batches out through the shared worker pool
+//! ([`crate::pool`]), with one scratch buffer per participating thread
+//! and the flip-flop planes owned per batch. Per-fault results are
+//! written to disjoint indices and merged in batch order after the
+//! fan-out, so all outputs are bit-identical to the single-threaded path
+//! regardless of scheduling. The boolean early-exit queries
+//! ([`Query::any`], [`FaultSim::sample_detects`]) coordinate through an
+//! `AtomicBool`: the first worker to find a detection cancels the rest.
+//! Thread count is controlled by [`SimOptions::threads`] (default: all
+//! available cores).
 
 use crate::compiled::{
     self, BatchStats, CompiledCircuit, ConeScratch, CycleCtx, GoodTrace, MaskBuf,
@@ -66,10 +77,14 @@ use crate::compiled::{
 use crate::error::SimError;
 use crate::logic::Logic3;
 use crate::plane::Planes;
-use crate::prefix::{self, CacheInstall, FaultyArtifacts, PrefixTraceCache};
+use crate::pool;
+use crate::prefix::{
+    self, AnyArtifacts, ArtifactLane, CacheInstall, FaultyArtifacts, PrefixTraceCache,
+};
 use crate::run::RunOptions;
 use crate::runctl::CancelToken;
 use crate::sequence::TestSequence;
+use crate::word::{with_word, Word, WordWidth};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -93,6 +108,11 @@ pub struct SimOptions {
     /// compiled cone-restricted one. Slower by design; kept as the
     /// differential-testing oracle (detection results are identical).
     pub reference_kernel: bool,
+    /// Plane word width: each batch carries `width − 1` faulty machines,
+    /// so wider lanes mean fewer batches for the same fault list.
+    /// Detections and every deterministic counter except the batch
+    /// partition figures are width-invariant. Default: 64-bit.
+    pub word_width: WordWidth,
 }
 
 impl SimOptions {
@@ -108,6 +128,12 @@ impl SimOptions {
     /// full-walk kernel, `false` the compiled kernel.
     pub fn reference_kernel(mut self, on: bool) -> SimOptions {
         self.reference_kernel = on;
+        self
+    }
+
+    /// Selects the plane word width (builder style).
+    pub fn word_width(mut self, width: WordWidth) -> SimOptions {
+        self.word_width = width;
         self
     }
 }
@@ -159,27 +185,27 @@ pub struct PreparedOutcome {
     pub install: CacheInstall,
 }
 
-/// One batch of up to 63 faults sharing a simulation word.
+/// One batch of up to `W::BITS − 1` faults sharing a simulation word.
 #[derive(Debug, Clone)]
-struct Batch {
+struct Batch<W> {
     /// Global fault indices; fault `k` of the batch occupies bit `k + 1`.
     fault_indices: Vec<usize>,
     /// Global fault index → its bit mask, sorted by index (the inverse
     /// of `fault_indices`, for O(log n) membership checks).
-    bit_index: Vec<(usize, u64)>,
+    bit_index: Vec<(usize, W)>,
     /// The batch's injections, flattened into topo-sorted arrays.
-    sched: compiled::Schedule,
+    sched: compiled::Schedule<W>,
     /// Mask of bits that carry live (not yet detected) faults.
-    live: u64,
+    live: W,
 }
 
-impl Batch {
-    fn build(circuit: &Circuit, cc: &CompiledCircuit, faults: &[(usize, Fault)]) -> Batch {
-        debug_assert!(faults.len() <= 63);
-        let mut live = 0u64;
+impl<W: Word> Batch<W> {
+    fn build(circuit: &Circuit, cc: &CompiledCircuit, faults: &[(usize, Fault)]) -> Batch<W> {
+        debug_assert!(faults.len() < W::BITS as usize);
+        let mut live = W::ZERO;
         let mut bit_index = Vec::with_capacity(faults.len());
         for (k, &(gi, _)) in faults.iter().enumerate() {
-            let bit = 1u64 << (k + 1);
+            let bit = W::bit(k + 1);
             bit_index.push((gi, bit));
             live |= bit;
         }
@@ -192,12 +218,73 @@ impl Batch {
         }
     }
 
-    /// Bit position (1–63) of a global fault index within this batch.
-    fn bit_of(&self, global: usize) -> Option<u64> {
+    /// Bit mask (bit 1 up) of a global fault index within this batch.
+    fn bit_of(&self, global: usize) -> Option<W> {
         self.bit_index
             .binary_search_by_key(&global, |&(gi, _)| gi)
             .ok()
             .map(|i| self.bit_index[i].1)
+    }
+}
+
+/// The width-specific half of a [`FaultSimState`]: the fault batches
+/// and their flip-flop planes at one concrete lane type.
+#[derive(Debug, Clone)]
+struct Lanes<W> {
+    batches: Vec<Batch<W>>,
+    /// Flip-flop planes per batch.
+    ff: Vec<Vec<Planes<W>>>,
+}
+
+/// [`Lanes`] with the width erased, so [`FaultSimState`] stays a plain
+/// (non-generic) public type. Built at the width the originating
+/// simulator was configured with; every state-consuming entry point
+/// dispatches on the variant, so a state outlives the options that
+/// created it (incremental states are width-portable by construction).
+#[derive(Debug, Clone)]
+enum LaneState {
+    W64(Lanes<u64>),
+    W128(Lanes<u128>),
+    #[cfg(feature = "w256")]
+    W256(Lanes<crate::word::W256>),
+}
+
+/// Expands `$body` with `$l` bound to the concrete-width [`Lanes`] of a
+/// [`LaneState`] — the state-side counterpart of `with_word!`.
+macro_rules! with_lanes {
+    ($lanes:expr, $l:ident => $body:expr) => {
+        match $lanes {
+            LaneState::W64($l) => $body,
+            LaneState::W128($l) => $body,
+            #[cfg(feature = "w256")]
+            LaneState::W256($l) => $body,
+        }
+    };
+}
+
+/// The lane types [`FaultSim`] dispatches to: plane words that can wrap
+/// themselves into the width-erased containers ([`LaneState`],
+/// [`AnyArtifacts`]).
+trait SimWord: Word + ArtifactLane {
+    fn wrap(lanes: Lanes<Self>) -> LaneState;
+}
+
+impl SimWord for u64 {
+    fn wrap(lanes: Lanes<u64>) -> LaneState {
+        LaneState::W64(lanes)
+    }
+}
+
+impl SimWord for u128 {
+    fn wrap(lanes: Lanes<u128>) -> LaneState {
+        LaneState::W128(lanes)
+    }
+}
+
+#[cfg(feature = "w256")]
+impl SimWord for crate::word::W256 {
+    fn wrap(lanes: Lanes<crate::word::W256>) -> LaneState {
+        LaneState::W256(lanes)
     }
 }
 
@@ -207,9 +294,9 @@ impl Batch {
 /// state. The state is tied to the fault list it was created from.
 #[derive(Debug, Clone)]
 pub struct FaultSimState {
-    batches: Vec<Batch>,
-    /// Flip-flop planes per batch.
-    ff: Vec<Vec<Planes>>,
+    /// Batches and flip-flop planes, at the width the originating
+    /// simulator was configured with.
+    lanes: LaneState,
     /// Scalar fault-free flip-flop state, advanced alongside the
     /// batches; the compiled kernel seeds each query's good trace from
     /// it.
@@ -244,35 +331,79 @@ impl FaultSimState {
     }
 
     /// Raw per-batch flip-flop planes for differential tests: one entry
-    /// per batch of `(live-or-good mask, per-DFF (ones, zeros))`. Planes
-    /// are only meaningful on the masked bits — the compiled kernel
-    /// stops maintaining dropped machines. Not part of the public API.
+    /// per batch of `(live-or-good mask, per-DFF (ones, zeros))`, each
+    /// word exported as little-endian `u64` limbs so the surface is
+    /// width-erased (upper limbs are zero for narrow lanes). Planes are
+    /// only meaningful on the masked bits — the compiled kernel stops
+    /// maintaining dropped machines. Not part of the public API.
     #[doc(hidden)]
-    pub fn debug_ff_planes(&self) -> Vec<(u64, Vec<(u64, u64)>)> {
-        self.batches
-            .iter()
-            .zip(&self.ff)
-            .map(|(b, ff)| {
-                let planes = ff.iter().map(|p| (p.ones, p.zeros)).collect();
-                (b.live | 1, planes)
-            })
-            .collect()
+    #[allow(clippy::type_complexity)]
+    pub fn debug_ff_planes(&self) -> Vec<([u64; 4], Vec<([u64; 4], [u64; 4])>)> {
+        with_lanes!(&self.lanes, l => debug_planes(l))
     }
+
+    /// The per-DFF three-valued state of one fault's machine, or `None`
+    /// once the fault has dropped (its planes go stale). Batch-layout
+    /// independent, so differential tests can compare machines across
+    /// word widths, where partitioning differs. Not part of the public
+    /// API.
+    #[doc(hidden)]
+    pub fn debug_fault_ff(&self, global: usize) -> Option<Vec<Logic3>> {
+        with_lanes!(&self.lanes, l => debug_fault_ff(l, global))
+    }
+}
+
+/// Width-erased export behind [`FaultSimState::debug_ff_planes`].
+#[allow(clippy::type_complexity)]
+fn debug_planes<W: Word>(l: &Lanes<W>) -> Vec<([u64; 4], Vec<([u64; 4], [u64; 4])>)> {
+    l.batches
+        .iter()
+        .zip(&l.ff)
+        .map(|(b, ff)| {
+            let planes = ff.iter().map(|p| p.limbs()).collect();
+            ((b.live | W::LSB).limbs(), planes)
+        })
+        .collect()
+}
+
+/// Per-fault machine readout behind [`FaultSimState::debug_fault_ff`].
+fn debug_fault_ff<W: Word>(l: &Lanes<W>, global: usize) -> Option<Vec<Logic3>> {
+    for (b, ff) in l.batches.iter().zip(&l.ff) {
+        if let Some(bit) = b.bit_of(global) {
+            if (b.live & bit).is_zero() {
+                return None;
+            }
+            return Some(
+                ff.iter()
+                    .map(|p| {
+                        if !(p.ones & bit).is_zero() {
+                            Logic3::One
+                        } else if !(p.zeros & bit).is_zero() {
+                            Logic3::Zero
+                        } else {
+                            Logic3::X
+                        }
+                    })
+                    .collect(),
+            );
+        }
+    }
+    None
 }
 
 /// Per-worker scratch: one net-plane buffer plus the cone bookkeeping,
 /// allocated once per worker and reused across every batch and cycle it
 /// processes.
-struct Scratch {
-    nets: Vec<Planes>,
-    cone: ConeScratch,
+struct Scratch<W> {
+    nets: Vec<Planes<W>>,
+    cone: ConeScratch<W>,
     /// Per-cycle effective injection masks, used only by batches whose
     /// schedule carries conditional (transition-delay) injections.
-    buf: MaskBuf,
+    buf: MaskBuf<W>,
 }
 
-impl Scratch {
-    fn new(cc: &CompiledCircuit) -> Scratch {
+impl<W: Word> Scratch<W> {
+    fn new(cc: &CompiledCircuit) -> Scratch<W> {
         Scratch {
             nets: vec![Planes::ALL_X; cc.num_nets],
             cone: ConeScratch::new(cc),
@@ -339,6 +470,10 @@ impl<'c> FaultSim<'c> {
     /// faults dropped, batches — through it; see the crate docs of
     /// `wbist-telemetry` for which counters are deterministic.
     pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        telemetry.event(
+            "sim.word_width",
+            &[("bits", self.options.word_width.bits() as u64)],
+        );
         self.telemetry = telemetry;
         self
     }
@@ -389,10 +524,10 @@ impl<'c> FaultSim<'c> {
         );
     }
 
-    fn make_batches(&self, faults: &FaultList) -> Vec<Batch> {
+    fn make_batches<W: Word>(&self, faults: &FaultList) -> Vec<Batch<W>> {
         let indexed: Vec<(usize, Fault)> = faults.iter().copied().enumerate().collect();
         indexed
-            .chunks(63)
+            .chunks(W::BITS as usize - 1)
             .map(|chunk| Batch::build(self.circuit, &self.compiled, chunk))
             .collect()
     }
@@ -417,23 +552,23 @@ impl<'c> FaultSim<'c> {
     /// values entering the sequence — the launch half of a cycle-0
     /// transition-delay activation; `None` is the all-`X` start.
     #[allow(clippy::too_many_arguments)]
-    fn run_one(
+    fn run_one<W: Word>(
         &self,
         reference: bool,
-        sched: &compiled::Schedule,
-        live: u64,
+        sched: &compiled::Schedule<W>,
+        live: W,
         seq: &TestSequence,
         trace: &GoodTrace,
         prev0: Option<&[Logic3]>,
-        ff: &mut [Planes],
-        scratch: &mut Scratch,
-        resume: Option<&compiled::BatchCkpt>,
-        snap: Option<&mut Vec<compiled::BatchCkpt>>,
-        mut sink: impl FnMut(usize, &CycleCtx) -> (u64, bool),
-    ) -> (u64, BatchStats) {
+        ff: &mut [Planes<W>],
+        scratch: &mut Scratch<W>,
+        resume: Option<&compiled::BatchCkpt<W>>,
+        snap: Option<&mut Vec<compiled::BatchCkpt<W>>>,
+        mut sink: impl FnMut(usize, &CycleCtx<W>) -> (W, bool),
+    ) -> (W, BatchStats) {
         let cancel = &self.cancel;
         let armed = cancel.is_armed();
-        let sink = |u: usize, ctx: &CycleCtx| {
+        let sink = |u: usize, ctx: &CycleCtx<W>| {
             if armed {
                 cancel.charge_fault_cycles(ctx.live.count_ones() as u64);
             }
@@ -489,11 +624,11 @@ impl<'c> FaultSim<'c> {
     /// the primary) re-raises as a [`SimError::BatchPanicked`]-formatted
     /// panic: at that point both kernels are broken and there is nothing
     /// safer left to run.
-    fn run_isolated<R>(
+    fn run_isolated<W: Word, R>(
         &self,
         batch_index: usize,
-        scratch: &mut Scratch,
-        attempt: impl Fn(bool, &mut Scratch) -> R,
+        scratch: &mut Scratch<W>,
+        attempt: impl Fn(bool, &mut Scratch<W>) -> R,
     ) -> R {
         let reference = self.options.reference_kernel;
         match catch_unwind(AssertUnwindSafe(|| attempt(reference, &mut *scratch))) {
@@ -533,67 +668,35 @@ impl<'c> FaultSim<'c> {
             .clamp(1, jobs.max(1))
     }
 
-    /// Runs `work` over every item, fanning out across worker threads.
-    ///
-    /// Items are distributed round-robin; each worker owns one
-    /// [`Scratch`] for its lifetime. Results are returned in item order,
-    /// so callers observe a deterministic merge no matter how the items
-    /// were scheduled.
-    fn scatter<I, R, F>(&self, items: Vec<I>, work: F) -> Vec<R>
+    /// Runs `work` over every item through the shared worker pool
+    /// ([`crate::pool`]): the calling thread and up to `threads − 1`
+    /// pool workers self-schedule items, each lazily building one
+    /// [`Scratch`] it reuses for every item it claims. Results are
+    /// returned in item order, so callers observe a deterministic merge
+    /// no matter how the items were scheduled; the dispatch figures land
+    /// in the effort-space `pool.tasks` / `pool.steals` counters.
+    fn scatter<W: Word, I, R, F>(&self, items: Vec<I>, work: F) -> Vec<R>
     where
         I: Send,
         R: Send,
-        F: Fn(I, &mut Scratch) -> R + Sync,
+        F: Fn(I, &mut Scratch<W>) -> R + Sync,
     {
         let threads = self.thread_count(items.len());
-        if threads <= 1 {
-            let mut scratch = Scratch::new(&self.compiled);
-            return items.into_iter().map(|it| work(it, &mut scratch)).collect();
+        let (results, stats) = pool::scatter(threads, items, || Scratch::new(&self.compiled), work);
+        if self.telemetry.is_enabled() {
+            self.telemetry.add_effort("pool.tasks", stats.tasks);
+            self.telemetry.add_effort("pool.steals", stats.stolen);
         }
-        let n = items.len();
-        // Round-robin deal so neighbouring (similarly-sized) batches
-        // spread across workers.
-        let mut per_worker: Vec<Vec<(usize, I)>> = (0..threads).map(|_| Vec::new()).collect();
-        for (i, item) in items.into_iter().enumerate() {
-            per_worker[i % threads].push((i, item));
-        }
-        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        let work = &work;
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = per_worker
-                .into_iter()
-                .map(|chunk| {
-                    scope.spawn(move || {
-                        let mut scratch = Scratch::new(&self.compiled);
-                        chunk
-                            .into_iter()
-                            .map(|(i, item)| (i, work(item, &mut scratch)))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for handle in handles {
-                for (i, r) in handle.join().expect("sim worker panicked") {
-                    slots[i] = Some(r);
-                }
-            }
-        });
-        slots
-            .into_iter()
-            .map(|s| s.expect("every item produces a result"))
-            .collect()
+        results
     }
 
-    /// Starts an incremental simulation of `faults` from the all-`X` state.
+    /// Starts an incremental simulation of `faults` from the all-`X`
+    /// state, batched at the simulator's configured word width.
     pub fn begin(&self, faults: &FaultList) -> FaultSimState {
-        let batches = self.make_batches(faults);
-        let ff = batches
-            .iter()
-            .map(|_| vec![Planes::ALL_X; self.circuit.num_dffs()])
-            .collect();
+        let lanes =
+            with_word!(self.options.word_width, W => W::wrap(self.begin_lanes::<W>(faults)));
         FaultSimState {
-            batches,
-            ff,
+            lanes,
             good_ff: vec![Logic3::X; self.circuit.num_dffs()],
             detected: vec![false; faults.len()],
             elapsed: 0,
@@ -601,6 +704,15 @@ impl<'c> FaultSim<'c> {
                 .has_model(FaultModel::TransitionDelay)
                 .then(|| vec![Logic3::X; self.circuit.num_nets()]),
         }
+    }
+
+    fn begin_lanes<W: Word>(&self, faults: &FaultList) -> Lanes<W> {
+        let batches = self.make_batches::<W>(faults);
+        let ff = batches
+            .iter()
+            .map(|_| vec![Planes::ALL_X; self.circuit.num_dffs()])
+            .collect();
+        Lanes { batches, ff }
     }
 
     /// Applies `seq` on top of `state`, updating flip-flop planes and the
@@ -618,12 +730,37 @@ impl<'c> FaultSim<'c> {
         let (trace, next_good) = self.good_trace(seq, &state.good_ff);
         let trace = &trace;
         let prev0 = state.prev_nets.as_deref();
-        let jobs: Vec<(usize, &mut Batch, &mut Vec<Planes>)> = state
+        let detected = &mut state.detected;
+        let newly = with_lanes!(&mut state.lanes, l => {
+            self.advance_lanes(l, detected, seq, trace, prev0)
+        });
+        state.good_ff = next_good;
+        if !seq.is_empty() {
+            if let Some(prev) = state.prev_nets.as_mut() {
+                for (n, v) in prev.iter_mut().enumerate() {
+                    *v = trace.value(seq.len() - 1, n);
+                }
+            }
+        }
+        state.elapsed += seq.len();
+        newly
+    }
+
+    fn advance_lanes<W: Word>(
+        &self,
+        lanes: &mut Lanes<W>,
+        detected: &mut [bool],
+        seq: &TestSequence,
+        trace: &GoodTrace,
+        prev0: Option<&[Logic3]>,
+    ) -> usize {
+        type AdvanceJob<'a, W> = (usize, &'a mut Batch<W>, &'a mut Vec<Planes<W>>);
+        let jobs: Vec<AdvanceJob<'_, W>> = lanes
             .batches
             .iter_mut()
-            .zip(state.ff.iter_mut())
+            .zip(lanes.ff.iter_mut())
             .enumerate()
-            .filter(|(_, (batch, _))| batch.live != 0)
+            .filter(|(_, (batch, _))| !batch.live.is_zero())
             .map(|(bi, (batch, ff))| (bi, batch, ff))
             .collect();
         let n_jobs = jobs.len();
@@ -646,9 +783,9 @@ impl<'c> FaultSim<'c> {
                         scratch,
                         None,
                         None,
-                        |_, ctx| {
+                        |_, ctx: &CycleCtx<W>| {
                             let detected_now = ctx.obs_diff & ctx.live;
-                            if detected_now != 0 {
+                            if !detected_now.is_zero() {
                                 collect_hits(&batch.fault_indices, detected_now, |gi| {
                                     found.push(gi)
                                 });
@@ -669,22 +806,13 @@ impl<'c> FaultSim<'c> {
             stats.merge(batch_stats);
             dropped += batch_hits.len();
             for gi in batch_hits {
-                if !state.detected[gi] {
-                    state.detected[gi] = true;
+                if !detected[gi] {
+                    detected[gi] = true;
                     newly += 1;
                 }
             }
         }
         self.record_run(n_jobs, stats, dropped);
-        state.good_ff = next_good;
-        if !seq.is_empty() {
-            if let Some(prev) = state.prev_nets.as_mut() {
-                for (n, v) in prev.iter_mut().enumerate() {
-                    *v = trace.value(seq.len() - 1, n);
-                }
-            }
-        }
-        state.elapsed += seq.len();
         newly
     }
 
@@ -729,15 +857,15 @@ impl<'c> FaultSim<'c> {
     /// cumulative stats and detections of the cycles it skips, and an
     /// armed cancellation token is pre-charged with the skipped
     /// fault-cycles).
-    fn run_dense(
+    fn run_dense<W: SimWord>(
         &self,
         faults: &FaultList,
         seq: &TestSequence,
         trace: &GoodTrace,
         prepared: PreparedCtx<'_>,
-    ) -> (Vec<Option<usize>>, u64, Option<FaultyArtifacts>) {
+    ) -> (Vec<Option<usize>>, u64, Option<AnyArtifacts>) {
         let num_dffs = self.circuit.num_dffs();
-        let batches = self.make_batches(faults);
+        let batches = self.make_batches::<W>(faults);
         let n_jobs = batches.len();
         let fingerprint = prefix::fault_fingerprint(faults);
         // Snapshot capture is bounded: a huge fault list times a huge
@@ -747,18 +875,21 @@ impl<'c> FaultSim<'c> {
         let capture = prepared.is_some()
             && !self.options.reference_kernel
             && n_jobs * num_dffs <= ARTIFACT_STATE_CAP;
-        let arts: Option<(&FaultyArtifacts, usize)> = match prepared {
+        // Artifacts cached at another word width fail the downcast and
+        // simply miss — the trace-side prefix reuse still applies.
+        let arts: Option<(&FaultyArtifacts<W>, usize)> = match prepared {
             Some((Some(cache), Some((ei, d)))) if !self.options.reference_kernel => cache
                 .entry(ei)
                 .faulty
                 .as_ref()
+                .and_then(W::from_any)
                 .filter(|fa| fa.fingerprint == fingerprint && fa.per_batch.len() == n_jobs)
                 .map(|fa| (fa, d)),
             _ => None,
         };
-        type Ckpt = Arc<compiled::BatchCkpt>;
-        type Job = (usize, Batch, Option<Ckpt>, Vec<Ckpt>);
-        let jobs: Vec<Job> = batches
+        type Ckpt<W> = Arc<compiled::BatchCkpt<W>>;
+        type Job<W> = (usize, Batch<W>, Option<Ckpt<W>>, Vec<Ckpt<W>>);
+        let jobs: Vec<Job<W>> = batches
             .into_iter()
             .enumerate()
             .map(|(bi, batch)| {
@@ -769,7 +900,7 @@ impl<'c> FaultSim<'c> {
                         // snapshots at or before it stay valid for the
                         // new sequence and carry over into its entry.
                         let resume = list.iter().rfind(|ck| ck.cycle <= d).cloned();
-                        let carry: Vec<Ckpt> = match &resume {
+                        let carry: Vec<Ckpt<W>> = match &resume {
                             Some(r) => list
                                 .iter()
                                 .filter(|ck| ck.cycle <= r.cycle)
@@ -784,8 +915,8 @@ impl<'c> FaultSim<'c> {
                 (bi, batch, resume, carry)
             })
             .collect();
-        type Out = (Vec<(usize, usize)>, BatchStats, Vec<Ckpt>, u64);
-        let per_batch: Vec<Out> = self.scatter(jobs, |(bi, batch, resume, carry), scratch| {
+        type Out<W> = (Vec<(usize, usize)>, BatchStats, Vec<Ckpt<W>>, u64);
+        let per_batch: Vec<Out<W>> = self.scatter(jobs, |(bi, batch, resume, carry), scratch| {
             self.run_isolated(bi, scratch, |reference, scratch| {
                 let mut found: Vec<(usize, usize)> = Vec::new();
                 // A reference run (primary kernel or panic retry) has no
@@ -803,7 +934,7 @@ impl<'c> FaultSim<'c> {
                         self.cancel.charge_fault_cycles(ck.stats.fault_cycles);
                     }
                 }
-                let mut snaps: Vec<compiled::BatchCkpt> = Vec::new();
+                let mut snaps: Vec<compiled::BatchCkpt<W>> = Vec::new();
                 let snap = if capture && !reference {
                     Some(&mut snaps)
                 } else {
@@ -820,9 +951,9 @@ impl<'c> FaultSim<'c> {
                     scratch,
                     from,
                     snap,
-                    |u, ctx| {
+                    |u, ctx: &CycleCtx<W>| {
                         let detected_now = ctx.obs_diff & ctx.live;
-                        if detected_now != 0 {
+                        if !detected_now.is_zero() {
                             collect_hits(&batch.fault_indices, detected_now, |gi| {
                                 found.push((gi, u))
                             });
@@ -831,7 +962,7 @@ impl<'c> FaultSim<'c> {
                     },
                 );
                 let skipped = from.map_or(0, |ck| ck.cycle as u64);
-                let kept: Vec<Ckpt> = if reference {
+                let kept: Vec<Ckpt<W>> = if reference {
                     Vec::new()
                 } else {
                     carry
@@ -853,7 +984,7 @@ impl<'c> FaultSim<'c> {
         let mut times = vec![None; faults.len()];
         let mut stats = BatchStats::default();
         let mut dropped = 0usize;
-        let mut per_batch_snaps: Vec<Vec<Ckpt>> = Vec::with_capacity(n_jobs);
+        let mut per_batch_snaps: Vec<Vec<Ckpt<W>>> = Vec::with_capacity(n_jobs);
         let mut resumed_cycles = 0u64;
         for (found, bstats, snaps, skipped) in per_batch {
             stats.merge(bstats);
@@ -865,9 +996,11 @@ impl<'c> FaultSim<'c> {
             resumed_cycles += skipped;
         }
         self.record_run(n_jobs, stats, dropped);
-        let artifacts = capture.then_some(FaultyArtifacts {
-            fingerprint,
-            per_batch: per_batch_snaps,
+        let artifacts = capture.then(|| {
+            W::into_any(FaultyArtifacts {
+                fingerprint,
+                per_batch: per_batch_snaps,
+            })
         });
         (times, resumed_cycles, artifacts)
     }
@@ -875,10 +1008,15 @@ impl<'c> FaultSim<'c> {
     /// Early-exit screening engine behind [`Query::any`]: stops the
     /// moment any machine differs on an observed net, with worker
     /// threads coordinating through a shared flag.
-    fn run_screen(&self, faults: &FaultList, seq: &TestSequence, trace: &GoodTrace) -> bool {
+    fn run_screen<W: Word>(
+        &self,
+        faults: &FaultList,
+        seq: &TestSequence,
+        trace: &GoodTrace,
+    ) -> bool {
         let num_dffs = self.circuit.num_dffs();
-        let batches = self.make_batches(faults);
-        let jobs: Vec<(usize, Batch)> = batches.into_iter().enumerate().collect();
+        let batches = self.make_batches::<W>(faults);
+        let jobs: Vec<(usize, Batch<W>)> = batches.into_iter().enumerate().collect();
         let found = AtomicBool::new(false);
         let hits: Vec<(bool, usize, usize)> = self.scatter(jobs, |(bi, batch), scratch| {
             if found.load(Ordering::Relaxed) {
@@ -899,17 +1037,17 @@ impl<'c> FaultSim<'c> {
                     scratch,
                     None,
                     None,
-                    |_, ctx| {
+                    |_, ctx: &CycleCtx<W>| {
                         if found.load(Ordering::Relaxed) {
                             cancelled = 1;
-                            return (0, true);
+                            return (W::ZERO, true);
                         }
-                        if ctx.obs_diff & ctx.live != 0 {
+                        if !(ctx.obs_diff & ctx.live).is_zero() {
                             hit = true;
                             found.store(true, Ordering::Relaxed);
-                            return (0, true);
+                            return (W::ZERO, true);
                         }
-                        (0, false)
+                        (W::ZERO, false)
                     },
                 );
                 (hit, stats.cycles, cancelled)
@@ -984,7 +1122,7 @@ impl<'c> FaultSim<'c> {
     /// (binary vs. binary) from the fault-free machine at *some* time
     /// unit of `seq` — the paper's observation-point candidate sets
     /// `OP(f)`.
-    fn run_lines(
+    fn run_lines<W: Word>(
         &self,
         faults: &FaultList,
         seq: &TestSequence,
@@ -992,9 +1130,9 @@ impl<'c> FaultSim<'c> {
     ) -> Vec<Vec<NetId>> {
         let num_dffs = self.circuit.num_dffs();
         let num_nets = self.circuit.num_nets();
-        let batches = self.make_batches(faults);
+        let batches = self.make_batches::<W>(faults);
         let n_jobs = batches.len();
-        let jobs: Vec<(usize, Batch)> = batches.into_iter().enumerate().collect();
+        let jobs: Vec<(usize, Batch<W>)> = batches.into_iter().enumerate().collect();
         // Per batch: (fault index, observable lines) pairs + stats.
         type BatchLines = (Vec<(usize, Vec<NetId>)>, BatchStats);
         let per_batch: Vec<BatchLines> = self.scatter(jobs, |(bi, batch), scratch| {
@@ -1003,7 +1141,7 @@ impl<'c> FaultSim<'c> {
                 // Accumulated difference mask per net. Only nets inside
                 // the batch's cone can ever differ from the good
                 // machine, so the sink visits just those.
-                let mut acc = vec![0u64; num_nets];
+                let mut acc = vec![W::ZERO; num_nets];
                 let (_, stats) = self.run_one(
                     reference,
                     &batch.sched,
@@ -1015,11 +1153,11 @@ impl<'c> FaultSim<'c> {
                     scratch,
                     None,
                     None,
-                    |_, ctx| {
+                    |_, ctx: &CycleCtx<W>| {
                         for &n in ctx.cone_nets {
                             acc[n as usize] |= ctx.nets[n as usize].diff_from_good();
                         }
-                        (0, false)
+                        (W::ZERO, false)
                     },
                 );
                 let lines = batch
@@ -1027,11 +1165,11 @@ impl<'c> FaultSim<'c> {
                     .iter()
                     .enumerate()
                     .map(|(k, &gi)| {
-                        let bit = 1u64 << (k + 1);
+                        let bit = W::bit(k + 1);
                         let lines = acc
                             .iter()
                             .enumerate()
-                            .filter(|&(_, &mask)| mask & bit != 0)
+                            .filter(|&(_, &mask)| !(mask & bit).is_zero())
                             .map(|(n, _)| NetId::from_index(n))
                             .collect();
                         (gi, lines)
@@ -1074,20 +1212,31 @@ impl<'c> FaultSim<'c> {
         let (trace, _) = self.good_trace(seq, &state.good_ff);
         let trace = &trace;
         let prev0 = state.prev_nets.as_deref();
+        with_lanes!(&state.lanes, l => self.sample_lanes(l, sample, seq, trace, prev0))
+    }
+
+    fn sample_lanes<W: Word>(
+        &self,
+        lanes: &Lanes<W>,
+        sample: &[usize],
+        seq: &TestSequence,
+        trace: &GoodTrace,
+        prev0: Option<&[Logic3]>,
+    ) -> bool {
         // Only batches carrying a live sampled fault need simulating.
-        let jobs: Vec<(usize, u64)> = state
+        let jobs: Vec<(usize, W)> = lanes
             .batches
             .iter()
             .enumerate()
             .filter_map(|(bi, batch)| {
-                let mut wanted = 0u64;
+                let mut wanted = W::ZERO;
                 for &gi in sample {
                     if let Some(bit) = batch.bit_of(gi) {
                         wanted |= bit;
                     }
                 }
                 wanted &= batch.live;
-                (wanted != 0).then_some((bi, wanted))
+                (!wanted.is_zero()).then_some((bi, wanted))
             })
             .collect();
         let found = AtomicBool::new(false);
@@ -1096,8 +1245,8 @@ impl<'c> FaultSim<'c> {
                 return (false, 0, 1);
             }
             self.run_isolated(bi, scratch, |reference, scratch| {
-                let batch = &state.batches[bi];
-                let mut ff = state.ff[bi].clone();
+                let batch = &lanes.batches[bi];
+                let mut ff = lanes.ff[bi].clone();
                 let mut hit = false;
                 let mut cancelled = 0usize;
                 let (_, stats) = self.run_one(
@@ -1111,17 +1260,17 @@ impl<'c> FaultSim<'c> {
                     scratch,
                     None,
                     None,
-                    |_, ctx| {
+                    |_, ctx: &CycleCtx<W>| {
                         if found.load(Ordering::Relaxed) {
                             cancelled = 1;
-                            return (0, true);
+                            return (W::ZERO, true);
                         }
-                        if ctx.obs_diff & wanted != 0 {
+                        if !(ctx.obs_diff & wanted).is_zero() {
                             hit = true;
                             found.store(true, Ordering::Relaxed);
-                            return (0, true);
+                            return (W::ZERO, true);
                         }
-                        (0, false)
+                        (W::ZERO, false)
                     },
                 );
                 (hit, stats.cycles, cancelled)
@@ -1246,9 +1395,11 @@ impl<'q, 'c> Query<'q, 'c> {
     /// it.
     pub fn detection_times(self) -> Vec<Option<usize>> {
         let (seq, trace) = self.resolve();
-        self.sim
-            .run_dense(self.faults, seq, &trace, self.prepared_ctx())
-            .0
+        with_word!(self.sim.options.word_width, W => {
+            self.sim
+                .run_dense::<W>(self.faults, seq, &trace, self.prepared_ctx())
+                .0
+        })
     }
 
     /// A detected flag per fault.
@@ -1287,7 +1438,9 @@ impl<'q, 'c> Query<'q, 'c> {
     /// a detection cancels the others through a shared flag.
     pub fn any(self) -> bool {
         let (seq, trace) = self.resolve();
-        self.sim.run_screen(self.faults, seq, &trace)
+        with_word!(self.sim.options.word_width, W => {
+            self.sim.run_screen::<W>(self.faults, seq, &trace)
+        })
     }
 
     /// Per-fault observation-point candidate sets `OP(f)`: the nets on
@@ -1296,7 +1449,9 @@ impl<'q, 'c> Query<'q, 'c> {
     /// by observing any of these lines.
     pub fn observable_lines(self) -> Vec<Vec<NetId>> {
         let (seq, trace) = self.resolve();
-        self.sim.run_lines(self.faults, seq, &trace)
+        with_word!(self.sim.options.word_width, W => {
+            self.sim.run_lines::<W>(self.faults, seq, &trace)
+        })
     }
 
     /// The dense query with its cache bookkeeping: detected indices plus
@@ -1313,9 +1468,10 @@ impl<'q, 'c> Query<'q, 'c> {
         let prep = self
             .prep
             .expect("Query::outcome requires a prepared sequence");
-        let (times, resumed_cycles, faulty) =
+        let (times, resumed_cycles, faulty) = with_word!(self.sim.options.word_width, W => {
             self.sim
-                .run_dense(self.faults, &prep.seq, &prep.trace, self.prepared_ctx());
+                .run_dense::<W>(self.faults, &prep.seq, &prep.trace, self.prepared_ctx())
+        });
         let detected = times
             .into_iter()
             .enumerate()
@@ -1357,9 +1513,9 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 /// Reports every set bit of `detected_now` as its global fault index.
 #[inline]
-fn collect_hits(fault_indices: &[usize], detected_now: u64, mut report: impl FnMut(usize)) {
+fn collect_hits<W: Word>(fault_indices: &[usize], detected_now: W, mut report: impl FnMut(usize)) {
     for (k, &gi) in fault_indices.iter().enumerate() {
-        if detected_now & (1u64 << (k + 1)) != 0 {
+        if detected_now.test(k + 1) {
             report(gi);
         }
     }
@@ -1891,10 +2047,95 @@ mod tests {
             {
                 assert_eq!(mask_a, mask_b);
                 for (k, (&(o_a, z_a), &(o_b, z_b))) in ff_a.iter().zip(&ff_b).enumerate() {
-                    assert_eq!(o_a & mask_a, o_b & mask_a, "dff {k} ones");
-                    assert_eq!(z_a & mask_a, z_b & mask_a, "dff {k} zeros");
+                    for limb in 0..4 {
+                        let m = mask_a[limb];
+                        assert_eq!(o_a[limb] & m, o_b[limb] & m, "dff {k} ones limb {limb}");
+                        assert_eq!(z_a[limb] & m, z_b[limb] & m, "dff {k} zeros limb {limb}");
+                    }
                 }
             }
+        }
+    }
+
+    /// The non-default word widths compiled into this build.
+    fn wide_widths() -> Vec<WordWidth> {
+        #[allow(unused_mut)]
+        let mut widths = vec![WordWidth::W128];
+        #[cfg(feature = "w256")]
+        widths.push(WordWidth::W256);
+        widths
+    }
+
+    /// Every query observable is width-invariant: detection times, the
+    /// observable-line sets and the screen verdict agree between 64-bit
+    /// planes and every wider lane, at one and several threads.
+    #[test]
+    fn word_widths_agree_on_multi_batch_circuit() {
+        let (c, faults) = multi_batch();
+        let seq = walk_sequence(48);
+        let base = FaultSim::with_options(&c, SimOptions::with_threads(1));
+        let expect_times = base.query(&faults).sequence(&seq).detection_times();
+        let expect_lines = base.query(&faults).sequence(&seq).observable_lines();
+        let expect_any = base.query(&faults).sequence(&seq).any();
+        for width in wide_widths() {
+            for threads in [1usize, 4] {
+                let sim =
+                    FaultSim::with_options(&c, SimOptions::with_threads(threads).word_width(width));
+                assert_eq!(
+                    sim.query(&faults).sequence(&seq).detection_times(),
+                    expect_times,
+                    "width {width:?} threads {threads}"
+                );
+                assert_eq!(
+                    sim.query(&faults).sequence(&seq).observable_lines(),
+                    expect_lines,
+                    "width {width:?} threads {threads}"
+                );
+                assert_eq!(
+                    sim.query(&faults).sequence(&seq).any(),
+                    expect_any,
+                    "width {width:?} threads {threads}"
+                );
+            }
+        }
+    }
+
+    /// Incremental simulation at a wide word matches the 64-bit run
+    /// machine by machine: detected flags after every segment, and the
+    /// per-fault flip-flop state of every live fault — even though the
+    /// batch partitioning differs (63 vs. 127+ faults per batch).
+    #[test]
+    fn incremental_state_matches_across_word_widths() {
+        let (c, faults) = multi_batch();
+        let seq = walk_sequence(36);
+        let narrow = FaultSim::with_options(&c, SimOptions::with_threads(1));
+        for width in wide_widths() {
+            let wide = FaultSim::with_options(&c, SimOptions::with_threads(1).word_width(width));
+            let mut st_n = narrow.begin(&faults);
+            let mut st_w = wide.begin(&faults);
+            for cut in [12usize, 24, 36] {
+                let part = seq.slice(cut - 12..cut);
+                assert_eq!(
+                    narrow.advance(&mut st_n, &part),
+                    wide.advance(&mut st_w, &part),
+                    "width {width:?} cut {cut}"
+                );
+                assert_eq!(st_n.detected(), st_w.detected());
+                for gi in 0..faults.len() {
+                    assert_eq!(
+                        st_n.debug_fault_ff(gi),
+                        st_w.debug_fault_ff(gi),
+                        "fault {gi} width {width:?} cut {cut}"
+                    );
+                }
+            }
+            // A wide state handed to the narrow simulator still
+            // advances correctly: states are width-portable.
+            let mut st_x = wide.begin(&faults);
+            narrow.advance(&mut st_x, &seq);
+            let mut st_full = narrow.begin(&faults);
+            narrow.advance(&mut st_full, &seq);
+            assert_eq!(st_x.detected(), st_full.detected());
         }
     }
 
@@ -1969,6 +2210,47 @@ mod tests {
         assert_eq!(out.detected, expect_base);
         assert!(out.resumed_cycles > 0, "duplicate must resume");
         assert_eq!(counters, base_counters);
+    }
+
+    /// Faulty-plane snapshots resume at wide widths too, and artifacts
+    /// cached at one width miss safely (no resume, correct results) when
+    /// the querying simulator runs at another.
+    #[test]
+    fn prepared_resume_respects_word_width() {
+        let (c, faults) = multi_batch();
+        let seq = walk_sequence(40);
+        let expect = FaultSim::with_options(&c, SimOptions::with_threads(1))
+            .query(&faults)
+            .sequence(&seq)
+            .detected_indices();
+        let wide_opts = SimOptions::with_threads(1).word_width(WordWidth::W128);
+        let wide = FaultSim::with_options(&c, wide_opts);
+        let mut cache = crate::prefix::PrefixTraceCache::new();
+        let prep = wide.prepare_sequence(Some(&cache), &seq);
+        let out = wide.query(&faults).prepared(&prep).cache(&cache).outcome();
+        assert_eq!(out.detected, expect);
+        assert_eq!(out.resumed_cycles, 0, "cold cache cannot resume");
+        cache.install(out.install);
+        // Same width: the duplicate resumes from its own snapshots.
+        let prep = wide.prepare_sequence(Some(&cache), &seq);
+        let out = wide.query(&faults).prepared(&prep).cache(&cache).outcome();
+        assert_eq!(out.detected, expect);
+        assert!(out.resumed_cycles > 0, "same-width artifacts must resume");
+        // Other width: the artifact downcast misses, the trace still
+        // prefix-matches, and the results are unchanged.
+        let narrow = FaultSim::with_options(&c, SimOptions::with_threads(1));
+        let prep = narrow.prepare_sequence(Some(&cache), &seq);
+        assert!(prep.reused_cycles() > 0, "trace reuse is width-agnostic");
+        let out = narrow
+            .query(&faults)
+            .prepared(&prep)
+            .cache(&cache)
+            .outcome();
+        assert_eq!(out.detected, expect);
+        assert_eq!(
+            out.resumed_cycles, 0,
+            "cross-width artifacts must miss, not corrupt"
+        );
     }
 
     #[test]

@@ -8,11 +8,15 @@
 //! * [`LogicSim`] — good-machine (fault-free) simulation from the all-`X`
 //!   initial state, with optional full-trace recording;
 //! * [`FaultSim`] — a parallel-fault sequential fault simulator that
-//!   evaluates 63 faulty machines plus the fault-free machine per
-//!   64-bit word, using a two-bit-plane encoding of three-valued
-//!   signals. It is generic over the fault model (single stuck-at and
-//!   transition-delay faults); all one-shot questions go through the
-//!   [`FaultSim::query`] builder.
+//!   evaluates `W::BITS - 1` faulty machines plus the fault-free machine
+//!   per plane word (63 at the default [`WordWidth::W64`], 127 at
+//!   [`WordWidth::W128`]), using a two-bit-plane encoding of
+//!   three-valued signals. It is generic over the fault model (single
+//!   stuck-at and transition-delay faults); all one-shot questions go
+//!   through the [`FaultSim::query`] builder.
+//! * [`pool`] — the single work-stealing pool that every parallel
+//!   fan-out in the workspace (sim batches, speculative candidate
+//!   evaluation, session fault jobs) dispatches through.
 //!
 //! # Detection semantics
 //!
@@ -49,12 +53,14 @@ pub mod good;
 pub mod logic;
 pub mod misr;
 mod plane;
+pub mod pool;
 pub mod prefix;
 pub mod reference;
 pub mod run;
 pub mod runctl;
 pub mod sequence;
 pub mod vcd;
+mod word;
 
 pub use error::SimError;
 pub use event::EventSim;
@@ -68,3 +74,4 @@ pub use run::RunOptions;
 pub use runctl::{Budget, CancelToken, TruncationReason};
 pub use sequence::TestSequence;
 pub use wbist_telemetry::Telemetry;
+pub use word::WordWidth;

@@ -1,27 +1,39 @@
-//! The two-bit-plane encoding of 64 three-valued machines.
+//! The two-bit-plane encoding of `W::BITS` three-valued machines.
 //!
-//! One [`Planes`] word pair holds the value of a single net in 64
-//! machines at once: bit `b` of `ones` set means machine `b` sees logic
-//! 1, bit `b` of `zeros` means logic 0, and neither means `X`. Machine 0
-//! is by convention the fault-free machine; machines 1–63 carry faults.
-//! Both the reference kernel and the compiled cone-restricted kernel
-//! (see [`crate::compiled`]) operate on this representation, so moving a
-//! batch between them is a no-op.
+//! One [`Planes`] word pair holds the value of a single net in
+//! `W::BITS` machines at once: bit `b` of `ones` set means machine `b`
+//! sees logic 1, bit `b` of `zeros` means logic 0, and neither means
+//! `X`. Machine 0 is by convention the fault-free machine; machines
+//! `1..W::BITS` carry faults. Both the reference kernel and the
+//! compiled cone-restricted kernel (see [`crate::compiled`]) operate on
+//! this representation at any lane width (see [`crate::word::Word`]),
+//! so moving a batch between them is a no-op.
 
-/// Two bit-planes encoding one net's value in 64 machines.
+use crate::word::Word;
+
+/// Two bit-planes encoding one net's value in `W::BITS` machines.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub(crate) struct Planes {
-    pub(crate) ones: u64,
-    pub(crate) zeros: u64,
+pub(crate) struct Planes<W> {
+    pub(crate) ones: W,
+    pub(crate) zeros: W,
 }
 
-impl Planes {
-    pub(crate) const ALL_ONE: Planes = Planes { ones: !0, zeros: 0 };
-    pub(crate) const ALL_ZERO: Planes = Planes { ones: 0, zeros: !0 };
-    pub(crate) const ALL_X: Planes = Planes { ones: 0, zeros: 0 };
+impl<W: Word> Planes<W> {
+    pub(crate) const ALL_ONE: Planes<W> = Planes {
+        ones: W::ALL,
+        zeros: W::ZERO,
+    };
+    pub(crate) const ALL_ZERO: Planes<W> = Planes {
+        ones: W::ZERO,
+        zeros: W::ALL,
+    };
+    pub(crate) const ALL_X: Planes<W> = Planes {
+        ones: W::ZERO,
+        zeros: W::ZERO,
+    };
 
     #[inline]
-    pub(crate) fn broadcast(v: bool) -> Planes {
+    pub(crate) fn broadcast(v: bool) -> Planes<W> {
         if v {
             Planes::ALL_ONE
         } else {
@@ -30,7 +42,7 @@ impl Planes {
     }
 
     #[inline]
-    pub(crate) fn and(self, rhs: Planes) -> Planes {
+    pub(crate) fn and(self, rhs: Planes<W>) -> Planes<W> {
         Planes {
             ones: self.ones & rhs.ones,
             zeros: self.zeros | rhs.zeros,
@@ -38,7 +50,7 @@ impl Planes {
     }
 
     #[inline]
-    pub(crate) fn or(self, rhs: Planes) -> Planes {
+    pub(crate) fn or(self, rhs: Planes<W>) -> Planes<W> {
         Planes {
             ones: self.ones | rhs.ones,
             zeros: self.zeros & rhs.zeros,
@@ -46,7 +58,7 @@ impl Planes {
     }
 
     #[inline]
-    pub(crate) fn xor(self, rhs: Planes) -> Planes {
+    pub(crate) fn xor(self, rhs: Planes<W>) -> Planes<W> {
         Planes {
             ones: (self.ones & rhs.zeros) | (self.zeros & rhs.ones),
             zeros: (self.ones & rhs.ones) | (self.zeros & rhs.zeros),
@@ -54,7 +66,7 @@ impl Planes {
     }
 
     #[inline]
-    pub(crate) fn not(self) -> Planes {
+    pub(crate) fn not(self) -> Planes<W> {
         Planes {
             ones: self.zeros,
             zeros: self.ones,
@@ -63,7 +75,7 @@ impl Planes {
 
     /// Forces bits: machines in `f1` to 1, machines in `f0` to 0.
     #[inline]
-    pub(crate) fn inject(self, f1: u64, f0: u64) -> Planes {
+    pub(crate) fn inject(self, f1: W, f0: W) -> Planes<W> {
         Planes {
             ones: (self.ones & !f0) | f1,
             zeros: (self.zeros & !f1) | f0,
@@ -73,14 +85,20 @@ impl Planes {
     /// Machines whose value is binary and differs from the fault-free
     /// machine (bit 0). Returns 0 when the fault-free value is `X`.
     #[inline]
-    pub(crate) fn diff_from_good(self) -> u64 {
-        if self.ones & 1 != 0 {
-            self.zeros & !1
-        } else if self.zeros & 1 != 0 {
-            self.ones & !1
+    pub(crate) fn diff_from_good(self) -> W {
+        if self.ones & W::LSB != W::ZERO {
+            self.zeros & !W::LSB
+        } else if self.zeros & W::LSB != W::ZERO {
+            self.ones & !W::LSB
         } else {
-            0
+            W::ZERO
         }
+    }
+
+    /// Width-erased limb export for debugging surfaces.
+    #[inline]
+    pub(crate) fn limbs(self) -> ([u64; crate::word::LIMBS], [u64; crate::word::LIMBS]) {
+        (self.ones.limbs(), self.zeros.limbs())
     }
 }
 
@@ -88,45 +106,49 @@ impl Planes {
 mod tests {
     use super::*;
 
-    #[test]
-    fn inject_forces_bits() {
-        let x = Planes::ALL_X.inject(0b10, 0b100);
-        assert_eq!(x.ones, 0b10);
-        assert_eq!(x.zeros, 0b100);
-        let one = Planes::ALL_ONE.inject(0, 0b1000);
-        assert_eq!(one.ones, !0b1000);
-        assert_eq!(one.zeros, 0b1000);
-    }
+    fn plane_algebra<W: Word>() {
+        // inject forces bits
+        let x = Planes::<W>::ALL_X.inject(W::bit(1), W::bit(2));
+        assert_eq!(x.ones, W::bit(1));
+        assert_eq!(x.zeros, W::bit(2));
+        let one = Planes::<W>::ALL_ONE.inject(W::ZERO, W::bit(3));
+        assert_eq!(one.ones, !W::bit(3));
+        assert_eq!(one.zeros, W::bit(3));
 
-    #[test]
-    fn diff_needs_binary_good_value() {
-        // Good machine X: nothing can differ.
-        assert_eq!(Planes::ALL_X.diff_from_good(), 0);
+        // diff needs a binary good value
+        assert_eq!(Planes::<W>::ALL_X.diff_from_good(), W::ZERO);
         // Good machine 1, machine 3 at 0.
         let p = Planes {
-            ones: 0b1,
-            zeros: 0b1000,
+            ones: W::LSB,
+            zeros: W::bit(3),
         };
-        assert_eq!(p.diff_from_good(), 0b1000);
-        // Good machine 0, machine 1 at 1.
+        assert_eq!(p.diff_from_good(), W::bit(3));
+        // Good machine 0, machine 1 at 1 — also on the highest lane.
+        let hi = (W::BITS - 1) as usize;
         let p = Planes {
-            ones: 0b10,
-            zeros: 0b1,
+            ones: W::bit(1) | W::bit(hi),
+            zeros: W::LSB,
         };
-        assert_eq!(p.diff_from_good(), 0b10);
-    }
+        assert_eq!(p.diff_from_good(), W::bit(1) | W::bit(hi));
 
-    #[test]
-    fn de_morgan_on_planes() {
+        // De Morgan
         let a = Planes {
-            ones: 0b0110,
-            zeros: 0b1001,
+            ones: W::bit(1) | W::bit(2) | W::bit(hi),
+            zeros: W::LSB | W::bit(3),
         };
         let b = Planes {
-            ones: 0b0011,
-            zeros: 0b0100,
+            ones: W::LSB | W::bit(1),
+            zeros: W::bit(2) | W::bit(hi),
         };
         assert_eq!(a.and(b).not(), a.not().or(b.not()));
         assert_eq!(a.or(b).not(), a.not().and(b.not()));
+    }
+
+    #[test]
+    fn plane_algebra_holds_at_every_width() {
+        plane_algebra::<u64>();
+        plane_algebra::<u128>();
+        #[cfg(feature = "w256")]
+        plane_algebra::<crate::word::W256>();
     }
 }

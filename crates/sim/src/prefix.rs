@@ -42,6 +42,7 @@ use std::sync::Arc;
 
 use crate::compiled::{BatchCkpt, GoodTrace};
 use crate::sequence::TestSequence;
+use crate::word::Word;
 use wbist_netlist::{FaultList, FaultModel, FaultSite};
 
 /// Entries kept per cache (the last few committed candidates). Small by
@@ -50,13 +51,79 @@ use wbist_netlist::{FaultList, FaultModel, FaultSite};
 const CACHE_CAP: usize = 4;
 
 /// Per-batch faulty-plane snapshots, valid for one (sequence, fault
-/// list) pair.
+/// list, word width) triple.
 #[derive(Debug)]
-pub(crate) struct FaultyArtifacts {
+pub(crate) struct FaultyArtifacts<W> {
     /// Fingerprint of the fault list the snapshots were taken against.
     pub(crate) fingerprint: u64,
     /// Snapshots per batch, ascending by cycle.
-    pub(crate) per_batch: Vec<Vec<Arc<BatchCkpt>>>,
+    pub(crate) per_batch: Vec<Vec<Arc<BatchCkpt<W>>>>,
+}
+
+/// Width-erased faulty artifacts: the cache stores whatever lane width
+/// produced the snapshots, and a query at a different width simply
+/// misses (batch partitioning and machine-bit assignment are
+/// width-specific, so cross-width resume is meaningless — the
+/// width-independent good trace still gets reused).
+#[derive(Debug)]
+pub(crate) enum AnyArtifacts {
+    W64(FaultyArtifacts<u64>),
+    W128(FaultyArtifacts<u128>),
+    #[cfg(feature = "w256")]
+    W256(FaultyArtifacts<crate::word::W256>),
+}
+
+/// Selects the lane-typed artifacts out of the width-erased enum.
+/// Implemented per lane type so the generic dense-query engine can
+/// recover its own width's snapshots (and wrap new ones) without the
+/// public cache surface becoming generic.
+pub(crate) trait ArtifactLane: Word {
+    fn from_any(any: &AnyArtifacts) -> Option<&FaultyArtifacts<Self>>
+    where
+        Self: Sized;
+    fn into_any(artifacts: FaultyArtifacts<Self>) -> AnyArtifacts
+    where
+        Self: Sized;
+}
+
+impl ArtifactLane for u64 {
+    fn from_any(any: &AnyArtifacts) -> Option<&FaultyArtifacts<u64>> {
+        match any {
+            AnyArtifacts::W64(fa) => Some(fa),
+            _ => None,
+        }
+    }
+
+    fn into_any(artifacts: FaultyArtifacts<u64>) -> AnyArtifacts {
+        AnyArtifacts::W64(artifacts)
+    }
+}
+
+impl ArtifactLane for u128 {
+    fn from_any(any: &AnyArtifacts) -> Option<&FaultyArtifacts<u128>> {
+        match any {
+            AnyArtifacts::W128(fa) => Some(fa),
+            _ => None,
+        }
+    }
+
+    fn into_any(artifacts: FaultyArtifacts<u128>) -> AnyArtifacts {
+        AnyArtifacts::W128(artifacts)
+    }
+}
+
+#[cfg(feature = "w256")]
+impl ArtifactLane for crate::word::W256 {
+    fn from_any(any: &AnyArtifacts) -> Option<&FaultyArtifacts<crate::word::W256>> {
+        match any {
+            AnyArtifacts::W256(fa) => Some(fa),
+            _ => None,
+        }
+    }
+
+    fn into_any(artifacts: FaultyArtifacts<crate::word::W256>) -> AnyArtifacts {
+        AnyArtifacts::W256(artifacts)
+    }
 }
 
 /// One cached sequence with its good trace and optional faulty state.
@@ -64,7 +131,7 @@ pub(crate) struct FaultyArtifacts {
 pub(crate) struct CacheEntry {
     pub(crate) seq: TestSequence,
     pub(crate) trace: Arc<GoodTrace>,
-    pub(crate) faulty: Option<FaultyArtifacts>,
+    pub(crate) faulty: Option<AnyArtifacts>,
 }
 
 /// An entry ready to be installed into a [`PrefixTraceCache`], produced
@@ -76,7 +143,7 @@ pub(crate) struct CacheEntry {
 pub struct CacheInstall {
     pub(crate) seq: TestSequence,
     pub(crate) trace: Arc<GoodTrace>,
-    pub(crate) faulty: Option<FaultyArtifacts>,
+    pub(crate) faulty: Option<AnyArtifacts>,
 }
 
 /// Cache of recently evaluated sequences, looked up by longest common

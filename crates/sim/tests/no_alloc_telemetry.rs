@@ -1,8 +1,11 @@
 //! A disabled telemetry handle must be free on the batch-kernel path:
 //! no locks, no allocations. This test swaps in a counting global
 //! allocator and checks (a) that disabled-handle operations allocate
-//! nothing at all, and (b) that a fault-simulation run with a disabled
-//! handle attached allocates exactly as much as one with no handle.
+//! nothing at all, (b) that a fault-simulation run with a disabled
+//! handle attached allocates exactly as much as one with no handle, and
+//! (d) that the shared worker pool's steady-state task dispatch is
+//! allocation-free: a warm fan-out's allocation count is invariant in
+//! the number of tasks dispatched.
 //!
 //! Everything lives in one `#[test]` because the allocation counter is
 //! process-global and the test harness runs tests concurrently.
@@ -132,4 +135,41 @@ fn disabled_telemetry_adds_no_allocations() {
             "cycle loop must not allocate per cycle (reference_kernel = {reference})"
         );
     }
+
+    // (d) Pool steady-state dispatch is allocation-free: once the worker
+    // is spawned and the ticket queue warm, a fan-out allocates a
+    // constant number of objects (job header, slot vector, result
+    // buffers — one each) regardless of how many tasks it dispatches.
+    // The item type and result type are zero-sized so the per-task
+    // payload cannot hide an allocation, and the rendezvous in `work`
+    // forces both participants to claim at least one task, which makes
+    // the per-participant buffer count deterministic.
+    let scatter_sync = |tasks: usize| {
+        let participants = AtomicUsize::new(0);
+        let (out, stats) = wbist_sim::pool::scatter(
+            2,
+            vec![(); tasks],
+            || {
+                participants.fetch_add(1, Ordering::SeqCst);
+            },
+            |_item, _state| {
+                while participants.load(Ordering::SeqCst) < 2 {
+                    std::hint::spin_loop();
+                }
+            },
+        );
+        assert_eq!(out.len(), tasks);
+        assert!(stats.stolen >= 1, "the pool worker must have joined");
+    };
+    scatter_sync(640); // warm-up: spawn the worker, grow queue and buffers
+    let base = allocs();
+    scatter_sync(64);
+    let after_small = allocs();
+    scatter_sync(640);
+    let after_big = allocs();
+    assert_eq!(
+        after_big - after_small,
+        after_small - base,
+        "pool dispatch must not allocate per task"
+    );
 }

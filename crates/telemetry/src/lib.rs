@@ -566,16 +566,19 @@ mod tests {
     #[test]
     fn clones_share_state_across_threads() {
         let t = Telemetry::enabled();
-        std::thread::scope(|scope| {
-            for _ in 0..4 {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
                 let h = t.clone();
-                scope.spawn(move || {
+                std::thread::spawn(move || {
                     for _ in 0..100 {
                         h.add("hits", 1);
                     }
-                });
-            }
-        });
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
         assert_eq!(t.counter("hits"), 400);
     }
 

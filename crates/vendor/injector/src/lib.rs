@@ -1,0 +1,142 @@
+//! Offline stand-in for the `crossbeam-deque` crate's `Injector`.
+//!
+//! The build environment has no crates.io access, so like the other
+//! stubs under `crates/vendor/` this implements exactly the API subset
+//! the workspace uses — here the global MPMC injector queue that
+//! `wbist_sim::pool` distributes job tickets through — with the same
+//! shapes as the real crate ([`Injector::new`], [`Injector::push`],
+//! [`Injector::steal`] returning a [`Steal`] verdict). The lock-free
+//! segmented queue of the real implementation is replaced by a mutexed
+//! ring buffer: the pool pushes a handful of tickets per fan-out (not
+//! per task — task claiming is a lock-free cursor on the caller's
+//! stack), so queue contention is not on the hot path and the stand-in
+//! favors obvious correctness.
+//!
+//! One deliberate extension over the real API: [`Injector::retain`],
+//! which the pool uses to purge a fan-out's unclaimed tickets before
+//! its stack frame dies. `crossbeam-deque` cannot offer that on a
+//! lock-free queue; swapping the real crate in would replace the purge
+//! with ticket-side generation checks.
+//!
+//! The buffer keeps its allocated capacity across pushes and pops, so a
+//! warmed queue enqueues without allocating.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// The result of a steal attempt.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// One item was stolen.
+    Success(T),
+}
+
+impl<T> Steal<T> {
+    /// The stolen item, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            Steal::Empty => None,
+        }
+    }
+}
+
+/// A FIFO queue any thread can push to and steal from.
+#[derive(Debug, Default)]
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    /// An empty injector.
+    pub const fn new() -> Injector<T> {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Enqueues `item` at the back.
+    pub fn push(&self, item: T) {
+        self.queue.lock().unwrap().push_back(item);
+    }
+
+    /// Steals one item from the front.
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.lock().unwrap().pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().unwrap().is_empty()
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.queue.lock().unwrap().len()
+    }
+
+    /// Drops every queued item for which `keep` returns `false`
+    /// (extension over `crossbeam-deque`; see the crate docs).
+    pub fn retain(&self, keep: impl FnMut(&T) -> bool) {
+        self.queue.lock().unwrap().retain(keep);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_push_steal() {
+        let q = Injector::new();
+        assert_eq!(q.steal(), Steal::<u32>::Empty);
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.steal(), Steal::Success(1));
+        assert_eq!(q.steal(), Steal::Success(2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn retain_purges_selectively() {
+        let q = Injector::new();
+        for i in 0..6 {
+            q.push(i);
+        }
+        q.retain(|&i| i % 2 == 0);
+        assert_eq!(q.steal().success(), Some(0));
+        assert_eq!(q.steal().success(), Some(2));
+        assert_eq!(q.steal().success(), Some(4));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let q = std::sync::Arc::new(Injector::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        q.push(t * 100 + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got = Vec::new();
+        while let Steal::Success(v) = q.steal() {
+            got.push(v);
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..400).collect::<Vec<_>>());
+    }
+}

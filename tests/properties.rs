@@ -238,10 +238,18 @@ proptest! {
         let po = so.debug_ff_planes();
         prop_assert_eq!(pf.len(), po.len());
         for (bi, (bf, bo)) in pf.iter().zip(&po).enumerate() {
-            let mask = bf.0 & bo.0;
             for (k, (&(o1, z1), &(o2, z2))) in bf.1.iter().zip(&bo.1).enumerate() {
-                prop_assert_eq!(o1 & mask, o2 & mask, "ones, batch {} dff {}", bi, k);
-                prop_assert_eq!(z1 & mask, z2 & mask, "zeros, batch {} dff {}", bi, k);
+                for limb in 0..bf.0.len() {
+                    let mask = bf.0[limb] & bo.0[limb];
+                    prop_assert_eq!(
+                        o1[limb] & mask, o2[limb] & mask,
+                        "ones, batch {} dff {} limb {}", bi, k, limb
+                    );
+                    prop_assert_eq!(
+                        z1[limb] & mask, z2[limb] & mask,
+                        "zeros, batch {} dff {} limb {}", bi, k, limb
+                    );
+                }
             }
         }
     }
