@@ -61,6 +61,15 @@ impl Parsed {
             .map(|(_, v)| v.as_str())
     }
 
+    /// The first flag not in `known`, if any — lets strict commands
+    /// reject misspelled options instead of silently ignoring them.
+    pub fn unknown_flag(&self, known: &[&str]) -> Option<&str> {
+        self.flags
+            .iter()
+            .map(String::as_str)
+            .find(|f| !known.contains(f))
+    }
+
     /// The value of `--key` parsed as `T`.
     pub fn opt_parse<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
         match self.opt(name) {

@@ -11,6 +11,7 @@ use wbist_core::{
 };
 use wbist_hw::{build_generator, build_hybrid_generator, generator_cost, to_verilog};
 use wbist_netlist::{bench_format, circuit_stats, Circuit, FaultList, FaultModel, FaultUniverse};
+use wbist_serve::ServeConfig;
 use wbist_sim::{
     Budget, CancelToken, FaultSim, RunOptions, SimOptions, Telemetry, TestSequence,
     TruncationReason, WordWidth,
@@ -32,6 +33,13 @@ pub const USAGE: &str = "usage:
   wbist gen     <name> [-o out.bench]
       names: s27, s208..s35932 (synthetic stand-ins),
              shift:N, count:N, lock:WIDTH:ARM, johnson:N
+  wbist serve   [--socket PATH] [--workers N] [--job-threads N]
+                [--max-queue N] [--retry-max N] [--retry-backoff-ms N]
+                [--evict-after-ms N] [--ckpt-dir DIR]
+      multi-tenant job daemon: line-delimited JSON requests on stdin
+      (or a Unix socket), job events on stdout; SIGTERM or
+      {\"op\":\"shutdown\"} drains running jobs to checkpoints
+      (exit 2 when resumable work was left behind)
   global options (any command):
       --threads N     simulator worker threads (default: all cores)
       --word-width W  fault-plane word width: 64 (default) | 128 | 256
@@ -292,6 +300,7 @@ pub fn dispatch(argv: &[String]) -> Result<CmdStatus, CliError> {
         "podem" => cmd_podem(rest).map(|()| CmdStatus::Complete),
         "vcd" => cmd_vcd(rest).map(|()| CmdStatus::Complete),
         "gen" => cmd_gen(rest).map(|()| CmdStatus::Complete),
+        "serve" => cmd_serve(rest, &g),
         "-h" | "--help" | "help" => {
             println!("{USAGE}");
             return Ok(CmdStatus::Complete);
@@ -797,6 +806,87 @@ fn cmd_gen(argv: &[String]) -> Result<(), CliError> {
         None => print!("{text}"),
     }
     Ok(())
+}
+
+fn cmd_serve(argv: &[String], g: &Globals) -> Result<CmdStatus, CliError> {
+    let p = parse(
+        argv,
+        &[
+            "socket",
+            "workers",
+            "job-threads",
+            "max-queue",
+            "retry-max",
+            "retry-backoff-ms",
+            "evict-after-ms",
+            "ckpt-dir",
+        ],
+    )
+    .map_err(usage)?;
+    if p.num_pos() > 0 {
+        return Err(usage("serve takes no positional arguments"));
+    }
+    // The daemon runs unattended; a silently ignored misspelled option
+    // is worse than a refusal to start.
+    if let Some(f) = p.unknown_flag(&[]) {
+        return Err(usage(format!("serve: unknown option `--{f}`")));
+    }
+    // `--trace`/`--progress` enable telemetry through the globals; the
+    // daemon's `serve.*` counters land in the same trace file.
+    let mut cfg = ServeConfig {
+        handle_signals: true,
+        telemetry: g.run.telemetry.clone(),
+        ..ServeConfig::default()
+    };
+    if let Some(n) = p.opt_parse::<usize>("workers").map_err(usage)? {
+        if n == 0 {
+            return Err(usage("--workers must be at least 1"));
+        }
+        cfg.workers = n;
+    }
+    if let Some(n) = p.opt_parse::<usize>("job-threads").map_err(usage)? {
+        if n == 0 {
+            return Err(usage("--job-threads must be at least 1"));
+        }
+        cfg.job_threads = n;
+    }
+    if let Some(n) = p.opt_parse::<usize>("max-queue").map_err(usage)? {
+        cfg.max_queue = n;
+    }
+    if let Some(n) = p.opt_parse::<u32>("retry-max").map_err(usage)? {
+        cfg.retry_max = n;
+    }
+    if let Some(n) = p.opt_parse::<u64>("retry-backoff-ms").map_err(usage)? {
+        cfg.retry_backoff_ms = n;
+    }
+    cfg.evict_after_ms = p.opt_parse::<u64>("evict-after-ms").map_err(usage)?;
+    cfg.ckpt_dir = p.opt("ckpt-dir").map(PathBuf::from);
+    let summary = match p.opt("socket") {
+        #[cfg(unix)]
+        Some(path) => wbist_serve::serve_unix_socket(
+            cfg,
+            std::path::Path::new(path),
+            Box::new(std::io::stdout()),
+        )?,
+        #[cfg(not(unix))]
+        Some(_) => return Err(usage("--socket needs a Unix platform")),
+        None => wbist_serve::serve(
+            cfg,
+            std::io::BufReader::new(std::io::stdin()),
+            Box::new(std::io::stdout()),
+        )?,
+    };
+    eprintln!(
+        "serve: {} attempts, {} evicted to checkpoints, {} left queued",
+        summary.attempts, summary.evicted_at_shutdown, summary.left_queued
+    );
+    if summary.truncated {
+        // Resumable work was drained to disk: the documented "valid
+        // partial output" condition, same as a tripped budget.
+        Ok(CmdStatus::Truncated(TruncationReason::Preempted))
+    } else {
+        Ok(CmdStatus::Complete)
+    }
 }
 
 fn build_named(name: &str) -> Result<Circuit, CliError> {

@@ -1,0 +1,190 @@
+//! Full-binary contract tests for `wbist serve`: the daemon is spawned
+//! as a real process, driven over stdin, and observed over stdout —
+//! proving the documented exit-code contract (0 complete, 2 drained
+//! mid-run, 1 usage error), the SIGTERM graceful drain, and the
+//! checkpoint files left behind for the next daemon lifetime.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::time::Duration;
+
+struct Daemon {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wbist-serve-cli-{name}"));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn spawn(extra: &[&str]) -> Daemon {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_wbist"))
+        .arg("serve")
+        .args(extra)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn wbist serve");
+    // Watchdog: a wedged daemon must fail the test, not hang the suite.
+    let pid = child.id();
+    std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_secs(300));
+        let _ = Command::new("kill").arg("-9").arg(pid.to_string()).status();
+    });
+    let stdin = child.stdin.take();
+    let stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+    Daemon {
+        child,
+        stdin,
+        stdout,
+    }
+}
+
+impl Daemon {
+    fn send(&mut self, line: &str) {
+        let stdin = self.stdin.as_mut().expect("stdin open");
+        writeln!(stdin, "{line}").expect("write request");
+        stdin.flush().expect("flush request");
+    }
+
+    /// Reads stdout lines until one contains `needle`; panics on EOF.
+    fn wait_for(&mut self, needle: &str) -> String {
+        loop {
+            let mut line = String::new();
+            let n = self.stdout.read_line(&mut line).expect("read stdout");
+            assert!(n > 0, "daemon closed stdout before `{needle}` appeared");
+            if line.contains(needle) {
+                return line;
+            }
+        }
+    }
+
+    /// Closes stdin (EOF) and returns (exit code, remaining stdout).
+    fn finish(mut self) -> (i32, String) {
+        drop(self.stdin.take());
+        let mut rest = String::new();
+        std::io::Read::read_to_string(&mut self.stdout, &mut rest).expect("drain stdout");
+        let status = self.child.wait().expect("wait for daemon");
+        (status.code().expect("daemon exited with a code"), rest)
+    }
+}
+
+/// A complete session — register, run a job to `done`, explicit
+/// shutdown — exits 0 with an untruncated drain summary.
+#[test]
+fn completed_session_exits_zero() {
+    let dir = scratch_dir("complete");
+    std::fs::remove_file(dir.join("j1.ckpt")).ok();
+    let mut d = spawn(&["--ckpt-dir", dir.to_str().unwrap()]);
+    d.send(r#"{"op":"register","name":"c","builtin":"s298"}"#);
+    d.send(r#"{"op":"submit","id":"j1","kind":"synth","circuit":"c"}"#);
+    d.wait_for(r#""state":"running""#);
+    let done = d.wait_for(r#""state":"done""#);
+    assert!(
+        done.contains(r#""result""#),
+        "done event carries the result"
+    );
+    d.send(r#"{"op":"shutdown"}"#);
+    let (code, rest) = d.finish();
+    assert_eq!(code, 0, "clean session must exit 0\n{rest}");
+    assert!(rest.contains(r#""truncated":false"#), "{rest}");
+}
+
+/// EOF while a job is mid-run triggers the graceful drain: the job is
+/// evicted to its checkpoint, the summary reports truncation, and the
+/// process exits 2 — the documented "work remains" code.
+#[test]
+fn eof_mid_run_drains_to_checkpoint_and_exits_two() {
+    let dir = scratch_dir("eof-drain");
+    std::fs::remove_file(dir.join("big.ckpt")).ok();
+    let mut d = spawn(&["--ckpt-dir", dir.to_str().unwrap()]);
+    d.send(r#"{"op":"register","name":"b","builtin":"s1196"}"#);
+    d.send(r#"{"op":"submit","id":"big","kind":"synth","circuit":"b"}"#);
+    d.wait_for(r#""state":"running""#);
+    let (code, rest) = d.finish();
+    assert_eq!(code, 2, "drained-mid-run must exit 2\n{rest}");
+    assert!(rest.contains(r#""state":"evicted""#), "{rest}");
+    assert!(rest.contains(r#""truncated":true"#), "{rest}");
+    assert!(
+        dir.join("big.ckpt").exists(),
+        "the evicted job must leave its checkpoint behind"
+    );
+}
+
+/// SIGTERM mid-run is the same graceful drain as EOF: the daemon logs
+/// the signal, evicts the running job to its checkpoint, and exits 2.
+#[cfg(unix)]
+#[test]
+fn sigterm_mid_run_drains_gracefully() {
+    let dir = scratch_dir("sigterm");
+    std::fs::remove_file(dir.join("big.ckpt")).ok();
+    let mut d = spawn(&["--ckpt-dir", dir.to_str().unwrap()]);
+    d.send(r#"{"op":"register","name":"b","builtin":"s1196"}"#);
+    d.send(r#"{"op":"submit","id":"big","kind":"synth","circuit":"b"}"#);
+    d.wait_for(r#""state":"running""#);
+    let killed = Command::new("kill")
+        .arg("-TERM")
+        .arg(d.child.id().to_string())
+        .status()
+        .expect("send SIGTERM");
+    assert!(killed.success());
+    // stdin stays open: the signal alone must trigger the drain.
+    d.wait_for(r#""event":"sigterm""#);
+    d.wait_for(r#""state":"evicted""#);
+    let (code, rest) = d.finish();
+    assert_eq!(code, 2, "SIGTERM drain must exit 2\n{rest}");
+    assert!(rest.contains(r#""truncated":true"#), "{rest}");
+    assert!(dir.join("big.ckpt").exists());
+}
+
+/// A drained job's checkpoint is picked up by the *next* daemon
+/// process: resubmitting the same id reports `resumed:true` and
+/// completes, and that session exits 0.
+#[test]
+fn next_daemon_lifetime_resumes_the_drained_job() {
+    let dir = scratch_dir("restart");
+    std::fs::remove_file(dir.join("carry.ckpt")).ok();
+    let mut first = spawn(&["--ckpt-dir", dir.to_str().unwrap()]);
+    first.send(r#"{"op":"register","name":"b","builtin":"s1196"}"#);
+    first.send(r#"{"op":"submit","id":"carry","kind":"synth","circuit":"b"}"#);
+    first.wait_for(r#""state":"running""#);
+    let (code, _) = first.finish();
+    assert_eq!(code, 2);
+    assert!(dir.join("carry.ckpt").exists());
+
+    let mut second = spawn(&["--ckpt-dir", dir.to_str().unwrap()]);
+    second.send(r#"{"op":"register","name":"b","builtin":"s1196"}"#);
+    second.send(r#"{"op":"submit","id":"carry","kind":"synth","circuit":"b"}"#);
+    let done = second.wait_for(r#""state":"done""#);
+    assert!(done.contains(r#""resumed":true"#), "{done}");
+    second.send(r#"{"op":"shutdown"}"#);
+    let (code, _) = second.finish();
+    assert_eq!(code, 0);
+}
+
+/// Bad invocations are usage errors: exit 1 before any serving starts.
+#[test]
+fn invalid_flags_are_usage_errors() {
+    for bad in [
+        &["--workers", "0"][..],
+        &["--job-threads", "0"][..],
+        &["--workers", "zebra"][..],
+        &["--unknown-flag"][..],
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_wbist"))
+            .arg("serve")
+            .args(bad)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .output()
+            .expect("run wbist serve");
+        assert_eq!(out.status.code(), Some(1), "{bad:?}");
+        assert!(!out.stderr.is_empty(), "{bad:?} must explain itself");
+    }
+}

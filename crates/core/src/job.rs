@@ -1,0 +1,190 @@
+//! Job-granular synthesis entry points for long-running callers.
+//!
+//! [`crate::select::Synthesis`] is a one-shot builder: callers that run
+//! *many* jobs — most prominently the `wbist serve` daemon — repeat the
+//! same dance around it every time (look for a checkpoint, load it,
+//! validate it, resume or start fresh, run under a [`RunControl`]).
+//! [`run_synthesis_job`] packages that dance once, with an explicit
+//! [`ResumePolicy`] instead of ad-hoc `if path.exists()` logic at every
+//! call site, and reports checkpoint problems as typed
+//! [`CheckpointError`]s the caller can degrade on (a daemon falls back
+//! to a fresh run and keeps the job; the CLI exits 1).
+
+use crate::runctl::{Checkpoint, CheckpointError, Outcome, RunControl};
+use crate::select::{Synthesis, SynthesisConfig, SynthesisResult};
+use std::io;
+use wbist_netlist::{Circuit, FaultList};
+use wbist_sim::TestSequence;
+
+/// How a job treats an existing checkpoint file at
+/// [`RunControl::checkpoint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResumePolicy {
+    /// Ignore any existing checkpoint and start from scratch (the file
+    /// is overwritten as the fresh run checkpoints).
+    Fresh,
+    /// Resume when a checkpoint file exists, start fresh when it does
+    /// not. A file that exists but fails to load or validate is an
+    /// error — silently discarding committed work is never the default.
+    Auto,
+    /// The checkpoint must exist and load; a missing file is an error.
+    Require,
+}
+
+/// What [`run_synthesis_job`] returns: the run outcome plus whether it
+/// actually resumed from a checkpoint.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Whether the run was seeded from an existing checkpoint.
+    pub resumed: bool,
+    /// The (possibly truncated) synthesis outcome.
+    pub outcome: Outcome<SynthesisResult>,
+}
+
+/// Runs one synthesis job under `ctl`, honoring `resume` against the
+/// checkpoint path in `ctl.checkpoint`.
+///
+/// The budget/cancellation semantics are exactly those of
+/// [`Synthesis::run_controlled`]; `already_detected` seeds pre-covered
+/// faults as in [`Synthesis::already_detected`]. A resumed run is
+/// bit-identical to the uninterrupted one — same `Ω`, flags, and
+/// deterministic telemetry counters.
+pub fn run_synthesis_job(
+    circuit: &Circuit,
+    t: &TestSequence,
+    faults: &FaultList,
+    cfg: SynthesisConfig,
+    already_detected: Option<&[bool]>,
+    ctl: &RunControl,
+    resume: ResumePolicy,
+) -> Result<JobOutcome, CheckpointError> {
+    let mut syn = Synthesis::new(circuit, t, faults).config(cfg);
+    if let Some(pre) = already_detected {
+        syn = syn.already_detected(pre);
+    }
+    let ckpt_path = ctl.checkpoint.as_deref();
+    let mut resumed = false;
+    match resume {
+        ResumePolicy::Fresh => {}
+        ResumePolicy::Auto => {
+            if let Some(path) = ckpt_path {
+                if path.exists() {
+                    syn = syn.resume_from(Checkpoint::load(path)?)?;
+                    resumed = true;
+                }
+            }
+        }
+        ResumePolicy::Require => {
+            let path = ckpt_path.ok_or_else(|| {
+                CheckpointError::Io(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    "ResumePolicy::Require needs a checkpoint path in RunControl",
+                ))
+            })?;
+            syn = syn.resume_from(Checkpoint::load(path)?)?;
+            resumed = true;
+        }
+    }
+    Ok(JobOutcome {
+        resumed,
+        outcome: syn.run_controlled(ctl),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbist_circuits::s27;
+
+    fn setup() -> (Circuit, TestSequence, FaultList) {
+        let c = s27::circuit();
+        let t = s27::paper_test_sequence();
+        let faults = FaultList::checkpoints(&c);
+        (c, t, faults)
+    }
+
+    fn cfg() -> SynthesisConfig {
+        SynthesisConfig {
+            sequence_length: 100,
+            ..SynthesisConfig::default()
+        }
+    }
+
+    #[test]
+    fn fresh_and_auto_agree_when_no_checkpoint_exists() {
+        let (c, t, faults) = setup();
+        let dir = std::env::temp_dir().join("wbist-job-auto");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("none-yet.ckpt");
+        std::fs::remove_file(&path).ok();
+        let ctl = RunControl::default().checkpoint(&path);
+        let auto = run_synthesis_job(&c, &t, &faults, cfg(), None, &ctl, ResumePolicy::Auto)
+            .expect("fresh start");
+        assert!(!auto.resumed);
+        let fresh = run_synthesis_job(&c, &t, &faults, cfg(), None, &ctl, ResumePolicy::Fresh)
+            .expect("fresh start");
+        assert_eq!(
+            auto.outcome.result().omega,
+            fresh.outcome.result().omega,
+            "identical runs"
+        );
+        // The checkpoint written by the first run makes Auto resume now.
+        let resumed = run_synthesis_job(&c, &t, &faults, cfg(), None, &ctl, ResumePolicy::Auto)
+            .expect("resume from completed checkpoint");
+        assert!(resumed.resumed);
+        assert_eq!(resumed.outcome.result().omega, fresh.outcome.result().omega);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn require_without_checkpoint_is_an_error() {
+        let (c, t, faults) = setup();
+        let err = run_synthesis_job(
+            &c,
+            &t,
+            &faults,
+            cfg(),
+            None,
+            &RunControl::default(),
+            ResumePolicy::Require,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)), "{err}");
+        let dir = std::env::temp_dir().join("wbist-job-require");
+        std::fs::create_dir_all(&dir).unwrap();
+        let missing = dir.join("missing.ckpt");
+        std::fs::remove_file(&missing).ok();
+        let err = run_synthesis_job(
+            &c,
+            &t,
+            &faults,
+            cfg(),
+            None,
+            &RunControl::default().checkpoint(&missing),
+            ResumePolicy::Require,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn auto_surfaces_corruption_instead_of_discarding_it() {
+        let (c, t, faults) = setup();
+        let dir = std::env::temp_dir().join("wbist-job-corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.ckpt");
+        std::fs::write(&path, "{ not json").unwrap();
+        let err = run_synthesis_job(
+            &c,
+            &t,
+            &faults,
+            cfg(),
+            None,
+            &RunControl::default().checkpoint(&path),
+            ResumePolicy::Auto,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt { .. }), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -41,6 +41,7 @@ pub mod assign;
 pub mod baseline;
 pub mod diagnose;
 pub mod hybrid;
+pub mod job;
 mod live;
 pub mod obs;
 pub mod prune;
@@ -54,6 +55,7 @@ pub mod weights;
 pub use assign::{Candidate, CandidateOrdering, CandidateSets, WeightAssignment};
 pub use diagnose::{DictionaryResolution, FaultDictionary, Syndrome};
 pub use hybrid::{synthesize_hybrid, HybridConfig, HybridResult};
+pub use job::{run_synthesis_job, JobOutcome, ResumePolicy};
 pub use obs::{observation_point_tradeoff, ObsOptions, ObsRow, ObsTradeoff};
 pub use prune::{reverse_order_prune, PruneOptions};
 pub use runctl::{

@@ -175,8 +175,16 @@ pub struct Checkpoint {
 pub enum CheckpointError {
     /// The file could not be read or written.
     Io(io::Error),
-    /// The file is not valid JSON.
-    Parse(wbist_telemetry::json::JsonParseError),
+    /// The file's bytes are damaged — truncated, bit-flipped, or
+    /// otherwise not the document that was written. The error is
+    /// line-anchored so a damaged multi-line checkpoint points at the
+    /// offending spot.
+    Corrupt {
+        /// 1-based line in the checkpoint file.
+        line: usize,
+        /// What was wrong there.
+        message: String,
+    },
     /// The document is JSON but not a `wbist-ckpt/v1` checkpoint; the
     /// string names the missing or malformed field.
     Schema(String),
@@ -194,7 +202,9 @@ impl fmt::Display for CheckpointError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
-            CheckpointError::Parse(e) => write!(f, "checkpoint is not valid JSON: {e}"),
+            CheckpointError::Corrupt { line, message } => {
+                write!(f, "checkpoint is corrupt at line {line}: {message}")
+            }
             CheckpointError::Schema(what) => {
                 write!(f, "not a {CHECKPOINT_SCHEMA} checkpoint: {what}")
             }
@@ -398,29 +408,106 @@ impl Checkpoint {
         })
     }
 
-    /// Writes the checkpoint to `path`, atomically: the document goes to
-    /// `path.tmp` first and is renamed over `path` only once fully
-    /// flushed, so an interrupted write never destroys the previous
-    /// checkpoint.
+    /// Writes the checkpoint to `path`, atomically and durably: the
+    /// document (plus an `integrity` checksum over its content) goes to
+    /// `path.tmp` first, is fsynced, renamed over `path`, and the parent
+    /// directory entry is fsynced too — the rename itself is only
+    /// durable once the directory is on disk. An interrupted write never
+    /// destroys the previous checkpoint.
     pub fn save(&self, path: &Path) -> io::Result<()> {
         if failpoint::should_fire("core.checkpoint_write") {
             return Err(io::Error::other("failpoint `core.checkpoint_write` fired"));
         }
+        let mut doc = self.to_json();
+        let sum = integrity_hash(&doc);
+        if let Json::Object(entries) = &mut doc {
+            entries.push(("integrity".to_string(), Json::UInt(sum)));
+        }
         let tmp = path.with_extension("tmp");
         let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(self.to_json().render_pretty().as_bytes())?;
+        f.write_all(doc.render_pretty().as_bytes())?;
         f.write_all(b"\n")?;
         f.sync_all()?;
+        if failpoint::should_fire("core.checkpoint_rename") {
+            // Simulated crash between the tmp-file fsync and the rename:
+            // the previous checkpoint must remain intact and loadable.
+            return Err(io::Error::other("failpoint `core.checkpoint_rename` fired"));
+        }
         std::fs::rename(&tmp, path)?;
+        // Best effort on the directory handle: not every platform lets a
+        // directory be opened, but where it can be, sync failures are
+        // real failures.
+        let dir = match path.parent() {
+            Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+            _ => PathBuf::from("."),
+        };
+        if let Ok(d) = std::fs::File::open(&dir) {
+            d.sync_all()?;
+        }
         Ok(())
     }
 
     /// Loads and validates a checkpoint from `path`.
+    ///
+    /// Every failure is a typed [`CheckpointError`] — a truncated,
+    /// bit-flipped, wrong-version or wrong-run file is *rejected*, never
+    /// a panic. Files written by [`Checkpoint::save`] carry an
+    /// `integrity` checksum which is verified here; files without one
+    /// (hand-edited or older) skip that check.
     pub fn load(path: &Path) -> Result<Checkpoint, CheckpointError> {
+        if failpoint::should_fire("core.checkpoint_read") {
+            return Err(CheckpointError::Io(io::Error::other(
+                "failpoint `core.checkpoint_read` fired",
+            )));
+        }
         let text = std::fs::read_to_string(path)?;
-        let json = Json::parse(&text).map_err(CheckpointError::Parse)?;
+        let mut json = Json::parse(&text).map_err(|e| CheckpointError::Corrupt {
+            line: line_of_offset(&text, e.offset),
+            message: e.message,
+        })?;
+        if let Json::Object(entries) = &mut json {
+            if let Some(pos) = entries.iter().position(|(k, _)| k == "integrity") {
+                let (_, stored) = entries.remove(pos);
+                let expected = stored.as_u64().ok_or_else(|| CheckpointError::Corrupt {
+                    line: 1,
+                    message: "`integrity` is not an unsigned integer".to_string(),
+                })?;
+                let actual = integrity_hash(&json);
+                if actual != expected {
+                    return Err(CheckpointError::Corrupt {
+                        line: 1,
+                        message: format!(
+                            "integrity checksum mismatch (file says {expected:#018x}, \
+                             content hashes to {actual:#018x})"
+                        ),
+                    });
+                }
+            }
+        }
         Checkpoint::from_json(&json)
     }
+}
+
+/// 1-based line number of a byte offset into `text`.
+fn line_of_offset(text: &str, offset: usize) -> usize {
+    let upto = offset.min(text.len());
+    text.as_bytes()[..upto]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+        + 1
+}
+
+/// FNV-1a over the compact rendering of a checkpoint document (without
+/// its `integrity` field). The parser normalizes whitespace and key
+/// order is preserved, so parse → re-render reproduces the hashed bytes
+/// exactly; any semantic damage to the file changes the hash.
+fn integrity_hash(doc: &Json) -> u64 {
+    let mut h = Fnv::new();
+    for b in doc.render().bytes() {
+        h.byte(b);
+    }
+    h.finish()
 }
 
 /// FNV-1a over everything that shapes a synthesis run: circuit
@@ -647,6 +734,63 @@ mod tests {
         ck.save(&path).expect("save");
         let back = Checkpoint::load(&path).expect("load");
         assert_eq!(back, ck);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn integrity_checksum_rejects_value_damage() {
+        let dir = std::env::temp_dir().join("wbist-ckpt-integrity");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("damaged.ckpt");
+        sample_checkpoint().save(&path).expect("save");
+
+        // Flip one digit of a counter value: still valid JSON, still a
+        // valid schema, but no longer the document that was written.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"integrity\""), "save writes the checksum");
+        let damaged = text.replacen("1234", "1235", 1);
+        assert_ne!(damaged, text);
+        std::fs::write(&path, damaged).unwrap();
+        let err = Checkpoint::load(&path).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::Corrupt { .. }),
+            "expected a corruption error, got {err}"
+        );
+        assert!(err.to_string().contains("integrity"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn files_without_integrity_still_load() {
+        let dir = std::env::temp_dir().join("wbist-ckpt-legacy");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy.ckpt");
+        let ck = sample_checkpoint();
+        std::fs::write(&path, ck.to_json().render_pretty()).unwrap();
+        assert_eq!(Checkpoint::load(&path).expect("legacy load"), ck);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parse_errors_are_line_anchored() {
+        let dir = std::env::temp_dir().join("wbist-ckpt-lines");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("truncated.ckpt");
+        sample_checkpoint().save(&path).expect("save");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let cut = text.len() / 2;
+        std::fs::write(&path, &text[..cut]).unwrap();
+        let expect_line = line_of_offset(&text[..cut], cut);
+        match Checkpoint::load(&path).unwrap_err() {
+            CheckpointError::Corrupt { line, .. } => {
+                assert!(line > 1, "a mid-file cut anchors past line 1, got {line}");
+                assert!(
+                    line <= expect_line,
+                    "line {line} beyond the cut {expect_line}"
+                );
+            }
+            other => panic!("expected Corrupt, got {other}"),
+        }
         std::fs::remove_file(&path).ok();
     }
 

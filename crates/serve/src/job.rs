@@ -1,0 +1,178 @@
+//! Job records and the job state machine.
+//!
+//! ```text
+//! queued → running → done                 (complete, result committed)
+//!                  → timeout              (budget tripped; valid partial)
+//!                  → failed               (panic after retry budget)
+//!                  → cancelled            (explicit cancel)
+//!                  → queued   (evicted)   (preempted to checkpoint)
+//!                  → queued   (retried)   (transient failure, backoff)
+//!          running → evicted              (terminal: drained mid-run at
+//!                                          shutdown, checkpoint on disk)
+//! ```
+//!
+//! "evicted" and "retried" are normally *transitions* back to `queued`,
+//! not terminal states; `Evicted` becomes terminal only when the daemon
+//! drains at shutdown and will not run the job again in this process.
+
+use crate::protocol::JobSpec;
+use std::fmt;
+use std::time::Instant;
+use wbist_sim::{CancelToken, TruncationReason};
+use wbist_telemetry::json::Json;
+
+/// Where a job currently is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in a tenant queue.
+    Queued,
+    /// Executing on a worker.
+    Running,
+    /// Finished completely; result committed.
+    Done,
+    /// A per-job budget tripped; the partial result is valid.
+    Timeout,
+    /// Drained to its checkpoint at shutdown; resumable by a future
+    /// daemon sharing the checkpoint directory.
+    Evicted,
+    /// Failed permanently (panics exhausted the retry budget, or an
+    /// unrecoverable setup error).
+    Failed,
+    /// Cancelled on request.
+    Cancelled,
+}
+
+impl JobState {
+    /// Whether the state is terminal (the job will not run again).
+    pub fn is_terminal(self) -> bool {
+        !matches!(self, JobState::Queued | JobState::Running)
+    }
+}
+
+impl fmt::Display for JobState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Timeout => "timeout",
+            JobState::Evicted => "evicted",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        })
+    }
+}
+
+/// The daemon-side record of one submitted job.
+#[derive(Debug)]
+pub struct JobRecord {
+    /// The submission as parsed off the wire.
+    pub spec: JobSpec,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Times the job entered `Running`.
+    pub attempts: u32,
+    /// Transient-failure retries consumed (bounded by the retry budget).
+    pub retries: u32,
+    /// Times the job was preempted to its checkpoint.
+    pub evictions: u32,
+    /// Whether any attempt resumed from a checkpoint.
+    pub resumed: bool,
+    /// Cancel token for the *current* attempt; replaced per attempt.
+    pub cancel: CancelToken,
+    /// When the current attempt started.
+    pub started: Option<Instant>,
+    /// Committed result payload (`Done` / `Timeout`).
+    pub result: Option<Json>,
+    /// Terminal error message (`Failed`).
+    pub error: Option<String>,
+    /// Which budget tripped, for `Timeout` (or `Preempted` for a
+    /// terminal `Evicted`).
+    pub truncation: Option<TruncationReason>,
+}
+
+impl JobRecord {
+    /// A fresh record in `Queued`.
+    pub fn new(spec: JobSpec) -> JobRecord {
+        JobRecord {
+            spec,
+            state: JobState::Queued,
+            attempts: 0,
+            retries: 0,
+            evictions: 0,
+            resumed: false,
+            cancel: CancelToken::unlimited(),
+            started: None,
+            result: None,
+            error: None,
+            truncation: None,
+        }
+    }
+
+    /// Renders the record as a status payload.
+    pub fn status_json(&self) -> Json {
+        let mut fields = vec![
+            ("id", Json::Str(self.spec.id.clone())),
+            ("tenant", Json::Str(self.spec.tenant.clone())),
+            ("kind", Json::Str(self.spec.kind.to_string())),
+            ("state", Json::Str(self.state.to_string())),
+            ("attempts", Json::UInt(self.attempts as u64)),
+            ("retries", Json::UInt(self.retries as u64)),
+            ("evictions", Json::UInt(self.evictions as u64)),
+            ("resumed", Json::Bool(self.resumed)),
+        ];
+        if let Some(reason) = self.truncation {
+            fields.push(("truncation", Json::Str(reason.to_string())));
+        }
+        if let Some(err) = &self.error {
+            fields.push(("error", Json::Str(err.clone())));
+        }
+        if let Some(result) = &self.result {
+            fields.push(("result", result.clone()));
+        }
+        Json::obj(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{parse_request, Request};
+
+    fn spec() -> JobSpec {
+        let Ok(Request::Submit(spec)) =
+            parse_request(r#"{"op":"submit","id":"j1","kind":"synth","circuit":"s27"}"#)
+        else {
+            panic!("fixture parse");
+        };
+        spec
+    }
+
+    #[test]
+    fn terminal_states_are_classified() {
+        assert!(!JobState::Queued.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+        for s in [
+            JobState::Done,
+            JobState::Timeout,
+            JobState::Evicted,
+            JobState::Failed,
+            JobState::Cancelled,
+        ] {
+            assert!(s.is_terminal(), "{s}");
+        }
+    }
+
+    #[test]
+    fn status_json_carries_the_state_machine_fields() {
+        let mut rec = JobRecord::new(spec());
+        rec.state = JobState::Timeout;
+        rec.attempts = 2;
+        rec.truncation = Some(TruncationReason::FaultCycles);
+        let v = rec.status_json();
+        assert_eq!(v.get("state").and_then(Json::as_str), Some("timeout"));
+        assert_eq!(v.get("attempts").and_then(Json::as_u64), Some(2));
+        assert!(v.get("truncation").is_some());
+        assert!(v.get("result").is_none());
+    }
+}

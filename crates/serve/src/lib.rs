@@ -1,0 +1,42 @@
+//! `wbist serve` — a fault-tolerant multi-tenant synthesis daemon.
+//!
+//! A single process accepts synthesis and simulation jobs over a
+//! line-delimited JSON protocol (stdin or a Unix socket), shares one
+//! compiled lowering per registered circuit across all concurrent jobs,
+//! and schedules work fairly across tenants with:
+//!
+//! * **admission control** — fresh submissions beyond the configured
+//!   queue depth are shed with a structured `retry_after_ms` rejection
+//!   instead of queueing without bound;
+//! * **per-job budgets** — wall-clock / fault-cycle / assignment limits
+//!   via [`wbist_sim::Budget`], with a distinct `timeout` terminal state
+//!   carrying a valid partial result;
+//! * **checkpoint-backed eviction** — a long-running synthesis job can
+//!   be preempted mid-run, persisted to a `wbist-ckpt/v1` file, and
+//!   transparently resumed when the queue drains, with results proven
+//!   bit-identical to an uninterrupted run;
+//! * **panic isolation and bounded retry** — a panicking job body never
+//!   takes the daemon down; transient failures retry with exponential
+//!   backoff up to a retry budget, then land in a `failed` state;
+//! * **graceful shutdown** — SIGTERM or `{"op":"shutdown"}` drains
+//!   running jobs to their checkpoints under the workspace's 0/2/1
+//!   exit-code contract (2 = resumable work left behind).
+//!
+//! See `DESIGN.md` §16 for the architecture and the job state machine,
+//! and the `README.md` "Serving" section for the wire protocol.
+
+pub mod daemon;
+pub mod job;
+pub mod protocol;
+pub mod registry;
+pub mod scheduler;
+
+#[cfg(unix)]
+pub use daemon::serve_unix_socket;
+pub use daemon::{
+    install_signal_handlers, serve, termination_requested, ExitSummary, Flow, ServeConfig, Server,
+};
+pub use job::{JobRecord, JobState};
+pub use protocol::{parse_request, CircuitSource, JobKind, JobSpec, ProtocolError, Request};
+pub use registry::{RegisteredCircuit, Registry, RegistryError};
+pub use scheduler::Scheduler;

@@ -1,0 +1,145 @@
+//! The shared circuit registry.
+//!
+//! Parsing a netlist and lowering it to the compiled kernel form is the
+//! expensive one-time cost of a simulation; a daemon serving many jobs
+//! against the same few circuits must pay it once. Registration does
+//! both up front and keeps the result behind an `Arc`, so every
+//! concurrent job against the same circuit shares one
+//! [`CompiledHandle`] — the lowering is reused, never rebuilt.
+
+use crate::protocol::CircuitSource;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use wbist_circuits::synthetic;
+use wbist_netlist::{bench_format, Circuit};
+use wbist_sim::CompiledHandle;
+
+/// A registered circuit: the netlist plus its shared lowering.
+#[derive(Debug)]
+pub struct RegisteredCircuit {
+    /// The registry key.
+    pub name: String,
+    /// The parsed, levelized netlist.
+    pub circuit: Circuit,
+    /// The one shared lowering every job reuses.
+    pub compiled: CompiledHandle,
+}
+
+/// Errors from [`Registry::register`].
+#[derive(Debug)]
+pub enum RegistryError {
+    /// The `builtin` name is not a known benchmark.
+    UnknownBuiltin(String),
+    /// The inline `.bench` source failed to parse.
+    Parse(wbist_netlist::NetlistError),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::UnknownBuiltin(name) => {
+                write!(f, "unknown built-in circuit `{name}`")
+            }
+            RegistryError::Parse(e) => write!(f, "bench parse failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// Thread-safe name → circuit map.
+#[derive(Debug, Default)]
+pub struct Registry {
+    circuits: Mutex<BTreeMap<String, Arc<RegisteredCircuit>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Parses, levelizes, and lowers `source`, storing it under `name`.
+    /// Re-registering a name replaces the old entry; jobs already
+    /// holding the old `Arc` finish against it unaffected.
+    pub fn register(&self, name: &str, source: &CircuitSource) -> Result<(), RegistryError> {
+        let circuit = match source {
+            CircuitSource::Builtin(builtin) => synthetic::by_name(builtin)
+                .ok_or_else(|| RegistryError::UnknownBuiltin(builtin.clone()))?,
+            CircuitSource::Bench(text) => {
+                bench_format::parse(name, text).map_err(RegistryError::Parse)?
+            }
+        };
+        let compiled = CompiledHandle::lower(&circuit);
+        let entry = Arc::new(RegisteredCircuit {
+            name: name.to_string(),
+            circuit,
+            compiled,
+        });
+        self.circuits
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(name.to_string(), entry);
+        Ok(())
+    }
+
+    /// Looks a circuit up by name.
+    pub fn get(&self, name: &str) -> Option<Arc<RegisteredCircuit>> {
+        self.circuits
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(name)
+            .cloned()
+    }
+
+    /// The registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.circuits
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .keys()
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_and_bench_sources_register() {
+        let reg = Registry::new();
+        reg.register("ref", &CircuitSource::Builtin("s27".to_string()))
+            .unwrap();
+        reg.register(
+            "toy",
+            &CircuitSource::Bench(
+                "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nq = DFF(g)\ng = NAND(a, q)\ny = XOR(g, b)\n"
+                    .to_string(),
+            ),
+        )
+        .unwrap();
+        assert_eq!(reg.names(), vec!["ref".to_string(), "toy".to_string()]);
+        let toy = reg.get("toy").unwrap();
+        assert!(toy.compiled.matches(&toy.circuit));
+        assert!(reg.get("missing").is_none());
+    }
+
+    #[test]
+    fn bad_sources_are_typed_errors() {
+        let reg = Registry::new();
+        let err = reg
+            .register("x", &CircuitSource::Builtin("s99999".to_string()))
+            .unwrap_err();
+        assert!(matches!(err, RegistryError::UnknownBuiltin(_)), "{err}");
+        let err = reg
+            .register("y", &CircuitSource::Bench("INPUT(".to_string()))
+            .unwrap_err();
+        assert!(matches!(err, RegistryError::Parse(_)), "{err}");
+        assert!(
+            reg.get("x").is_none(),
+            "failed registrations leave no entry"
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! Fair admission-controlled job queue.
+//!
+//! One FIFO per tenant, served round-robin, so a tenant that floods
+//! the daemon with a hundred submissions cannot starve another whose
+//! single job arrived later — the scheduler alternates between tenant
+//! queues, not across one global queue.
+//!
+//! Admission control is a hard bound on *fresh* submissions: when the
+//! total queued depth reaches the configured maximum, `submit` sheds
+//! the job with the depth so the caller can build a structured
+//! `retry_after` rejection. Requeues (evicted or retried jobs) bypass
+//! admission — shedding work the daemon already accepted would lose
+//! committed progress, exactly what eviction exists to protect.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+
+#[derive(Debug, Default)]
+struct Queues {
+    /// Per-tenant FIFOs, keyed by tenant name.
+    by_tenant: BTreeMap<String, VecDeque<String>>,
+    /// Round-robin position: the tenant served last.
+    cursor: Option<String>,
+    /// Total queued jobs across tenants.
+    depth: usize,
+    /// Once set, `next` returns `None` instead of blocking.
+    draining: bool,
+}
+
+/// The shared scheduler.
+#[derive(Debug, Default)]
+pub struct Scheduler {
+    queues: Mutex<Queues>,
+    wakeup: Condvar,
+    /// Fresh submissions beyond this total depth are shed.
+    max_queue: usize,
+}
+
+impl Scheduler {
+    /// A scheduler shedding fresh submissions beyond `max_queue` queued
+    /// jobs.
+    pub fn new(max_queue: usize) -> Scheduler {
+        Scheduler {
+            max_queue,
+            ..Scheduler::default()
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Queues> {
+        self.queues.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Enqueues a fresh submission. `Err(depth)` means the job was shed
+    /// by admission control at the given queue depth.
+    pub fn submit(&self, tenant: &str, id: &str) -> Result<(), usize> {
+        let mut q = self.lock();
+        if q.depth >= self.max_queue {
+            return Err(q.depth);
+        }
+        q.by_tenant
+            .entry(tenant.to_string())
+            .or_default()
+            .push_back(id.to_string());
+        q.depth += 1;
+        drop(q);
+        self.wakeup.notify_one();
+        Ok(())
+    }
+
+    /// Re-enqueues an evicted or retried job at the *front* of its
+    /// tenant's queue (it already waited once). Never shed.
+    pub fn requeue(&self, tenant: &str, id: &str) {
+        let mut q = self.lock();
+        q.by_tenant
+            .entry(tenant.to_string())
+            .or_default()
+            .push_front(id.to_string());
+        q.depth += 1;
+        drop(q);
+        self.wakeup.notify_one();
+    }
+
+    /// Removes a queued job (cancellation). `true` if it was queued.
+    pub fn remove(&self, tenant: &str, id: &str) -> bool {
+        let mut q = self.lock();
+        if let Some(fifo) = q.by_tenant.get_mut(tenant) {
+            if let Some(pos) = fifo.iter().position(|j| j == id) {
+                fifo.remove(pos);
+                q.depth -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Blocks for the next job id, serving tenants round-robin.
+    /// Returns `None` once draining and empty.
+    pub fn next(&self) -> Option<String> {
+        let mut q = self.lock();
+        loop {
+            if q.depth > 0 {
+                // Pick the first non-empty tenant strictly after the
+                // cursor (wrapping), so consecutive picks rotate.
+                let tenants: Vec<String> = q.by_tenant.keys().cloned().collect();
+                let start = match &q.cursor {
+                    Some(cur) => tenants.iter().position(|t| t > cur).unwrap_or(0),
+                    None => 0,
+                };
+                for i in 0..tenants.len() {
+                    let tenant = &tenants[(start + i) % tenants.len()];
+                    if let Some(id) = q.by_tenant.get_mut(tenant).and_then(VecDeque::pop_front) {
+                        q.cursor = Some(tenant.clone());
+                        q.depth -= 1;
+                        return Some(id);
+                    }
+                }
+                unreachable!("depth > 0 but every tenant queue was empty");
+            }
+            if q.draining {
+                return None;
+            }
+            q = self.wakeup.wait(q).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Current total queued depth.
+    pub fn depth(&self) -> usize {
+        self.lock().depth
+    }
+
+    /// Starts draining: `next` stops blocking, queued jobs still drain.
+    pub fn drain(&self) {
+        self.lock().draining = true;
+        self.wakeup.notify_all();
+    }
+
+    /// Like [`Scheduler::drain`] but also discards everything queued,
+    /// returning the discarded ids (drain-to-checkpoint on shutdown
+    /// keeps queued jobs queued; hard cancellation does not).
+    pub fn drain_discard(&self) -> Vec<String> {
+        let mut q = self.lock();
+        q.draining = true;
+        let mut dropped = Vec::new();
+        for fifo in q.by_tenant.values_mut() {
+            dropped.extend(fifo.drain(..));
+        }
+        q.depth = 0;
+        drop(q);
+        self.wakeup.notify_all();
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_alternates_between_tenants() {
+        let s = Scheduler::new(16);
+        s.submit("alice", "a1").unwrap();
+        s.submit("alice", "a2").unwrap();
+        s.submit("alice", "a3").unwrap();
+        s.submit("bob", "b1").unwrap();
+        let order: Vec<String> = (0..4).map(|_| s.next().unwrap()).collect();
+        // bob's single job is served before alice's queue drains.
+        let bob_pos = order.iter().position(|id| id == "b1").unwrap();
+        assert!(bob_pos <= 1, "fair rotation, got {order:?}");
+        assert_eq!(s.depth(), 0);
+    }
+
+    #[test]
+    fn admission_sheds_but_requeue_bypasses() {
+        let s = Scheduler::new(2);
+        s.submit("t", "j1").unwrap();
+        s.submit("t", "j2").unwrap();
+        assert_eq!(s.submit("t", "j3"), Err(2), "queue full");
+        s.requeue("t", "evicted");
+        assert_eq!(s.depth(), 3, "requeue bypasses admission");
+        assert_eq!(s.next().unwrap(), "evicted", "requeued jobs go first");
+    }
+
+    #[test]
+    fn drain_unblocks_and_serves_leftovers() {
+        let s = Scheduler::new(4);
+        s.submit("t", "j1").unwrap();
+        s.drain();
+        assert_eq!(s.next(), Some("j1".to_string()));
+        assert_eq!(s.next(), None, "draining and empty");
+    }
+
+    #[test]
+    fn remove_cancels_queued_jobs() {
+        let s = Scheduler::new(4);
+        s.submit("t", "j1").unwrap();
+        assert!(s.remove("t", "j1"));
+        assert!(!s.remove("t", "j1"));
+        assert_eq!(s.depth(), 0);
+    }
+}

@@ -412,6 +412,77 @@ impl<W: Word> Scratch<W> {
     }
 }
 
+/// A shared, pre-lowered circuit: the one-time `CompiledCircuit`
+/// lowering behind an `Arc`, decoupled from any particular [`FaultSim`]
+/// instance or circuit borrow.
+///
+/// Lowering a large circuit into the compiled kernel's CSR arrays is the
+/// expensive part of constructing a simulator; a long-running service
+/// that fields many jobs against the same circuit should pay it once.
+/// Build a handle with [`CompiledHandle::lower`] (or grab one from an
+/// existing simulator via [`FaultSim::compiled_handle`]), put it in
+/// [`RunOptions::compiled`], and every
+/// [`FaultSim::with_run_options`] constructor for that circuit reuses
+/// the shared lowering — an `Arc` bump instead of a rebuild.
+///
+/// The handle remembers a structural fingerprint of the circuit it was
+/// lowered from; offering it to a *different* circuit falls back to a
+/// fresh lowering instead of simulating garbage, so a stale handle can
+/// degrade performance but never correctness.
+#[derive(Debug, Clone)]
+pub struct CompiledHandle {
+    compiled: Arc<CompiledCircuit>,
+    fingerprint: u64,
+}
+
+impl CompiledHandle {
+    /// Lowers `circuit` once, returning a handle that can be shared
+    /// across threads and simulators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has not been levelized.
+    pub fn lower(circuit: &Circuit) -> CompiledHandle {
+        assert!(circuit.is_levelized(), "circuit must be levelized");
+        CompiledHandle {
+            compiled: Arc::new(CompiledCircuit::build(circuit)),
+            fingerprint: circuit_fingerprint(circuit),
+        }
+    }
+
+    /// Whether this handle was lowered from a circuit structurally
+    /// identical (by fingerprint) to `circuit`.
+    pub fn matches(&self, circuit: &Circuit) -> bool {
+        self.fingerprint == circuit_fingerprint(circuit)
+    }
+}
+
+/// FNV-1a over the cheap structural facts of a circuit. Not a full
+/// netlist hash — it guards against *accidental* circuit/handle mixups
+/// in a registry, where entries differ in name or shape.
+fn circuit_fingerprint(c: &Circuit) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for b in c.name().bytes() {
+        eat(b);
+    }
+    for v in [
+        c.num_nets() as u64,
+        c.num_inputs() as u64,
+        c.num_outputs() as u64,
+        c.num_dffs() as u64,
+        c.num_gates() as u64,
+    ] {
+        for b in v.to_le_bytes() {
+            eat(b);
+        }
+    }
+    h
+}
+
 /// Parallel-fault sequential stuck-at fault simulator.
 ///
 /// See the [module documentation](self) for the machine model, detection
@@ -456,13 +527,39 @@ impl<'c> FaultSim<'c> {
     /// tuning, the telemetry handle, and the cancellation token. This is
     /// the constructor the pipeline phases use.
     ///
+    /// When [`RunOptions::compiled`] carries a [`CompiledHandle`] whose
+    /// fingerprint matches `circuit`, the shared lowering is reused (an
+    /// `Arc` bump); a missing or mismatched handle falls back to a fresh
+    /// lowering.
+    ///
     /// # Panics
     ///
     /// Panics if the circuit has not been levelized.
     pub fn with_run_options(circuit: &'c Circuit, run: &RunOptions) -> Self {
-        Self::with_options(circuit, run.sim)
-            .telemetry(run.telemetry.clone())
+        let sim = match &run.compiled {
+            Some(h) if h.matches(circuit) => {
+                assert!(circuit.is_levelized(), "circuit must be levelized");
+                FaultSim {
+                    circuit,
+                    compiled: Arc::clone(&h.compiled),
+                    options: run.sim,
+                    telemetry: Telemetry::disabled(),
+                    cancel: CancelToken::unlimited(),
+                }
+            }
+            _ => Self::with_options(circuit, run.sim),
+        };
+        sim.telemetry(run.telemetry.clone())
             .cancel(run.cancel.clone())
+    }
+
+    /// A [`CompiledHandle`] sharing this simulator's lowering. See
+    /// [`CompiledHandle`] for what it is for.
+    pub fn compiled_handle(&self) -> CompiledHandle {
+        CompiledHandle {
+            compiled: Arc::clone(&self.compiled),
+            fingerprint: circuit_fingerprint(self.circuit),
+        }
     }
 
     /// Replaces the telemetry handle (builder style). Every query then
@@ -1534,6 +1631,39 @@ mod tests {
             "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nq = DFF(g)\ng = NAND(a, q)\ny = XOR(g, b)\n",
         )
         .unwrap()
+    }
+
+    #[test]
+    fn shared_lowering_is_reused_and_bit_identical() {
+        let c = toy();
+        let faults = FaultList::checkpoints(&c);
+        let seq = TestSequence::parse_rows(&["11", "01", "10", "00"]).unwrap();
+        let want = FaultSim::new(&c).query(&faults).sequence(&seq).detected();
+
+        let handle = CompiledHandle::lower(&c);
+        assert!(handle.matches(&c));
+        let run = RunOptions::default().compiled(handle.clone());
+        let sim = FaultSim::with_run_options(&c, &run);
+        // Same Arc: the registry's one-time lowering is what gets used.
+        assert!(Arc::ptr_eq(&sim.compiled, &handle.compiled));
+        assert_eq!(sim.query(&faults).sequence(&seq).detected(), want);
+        // compiled_handle() round-trips the same Arc.
+        assert!(Arc::ptr_eq(
+            &sim.compiled_handle().compiled,
+            &handle.compiled
+        ));
+
+        // A handle from a *different* circuit degrades to a fresh
+        // lowering instead of simulating the wrong netlist.
+        let other = bench_format::parse("other", "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n").unwrap();
+        let stale = RunOptions::default().compiled(CompiledHandle::lower(&other));
+        assert!(!stale.compiled.as_ref().unwrap().matches(&c));
+        let fresh = FaultSim::with_run_options(&c, &stale);
+        assert!(!Arc::ptr_eq(
+            &fresh.compiled,
+            &stale.compiled.as_ref().unwrap().compiled
+        ));
+        assert_eq!(fresh.query(&faults).sequence(&seq).detected(), want);
     }
 
     /// Reference implementation: serial single-fault simulation using the

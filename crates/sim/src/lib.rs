@@ -64,7 +64,9 @@ mod word;
 
 pub use error::SimError;
 pub use event::EventSim;
-pub use fault::{FaultSim, FaultSimState, PreparedOutcome, PreparedSequence, Query, SimOptions};
+pub use fault::{
+    CompiledHandle, FaultSim, FaultSimState, PreparedOutcome, PreparedSequence, Query, SimOptions,
+};
 pub use good::{LogicSim, SimTrace};
 pub use logic::Logic3;
 pub use misr::Misr;

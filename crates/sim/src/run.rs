@@ -7,7 +7,7 @@
 //! simulator tuning, the telemetry handle, and the base seed for any
 //! pseudo-random choices a phase makes.
 
-use crate::fault::SimOptions;
+use crate::fault::{CompiledHandle, SimOptions};
 use crate::runctl::CancelToken;
 use wbist_telemetry::Telemetry;
 
@@ -30,6 +30,10 @@ pub struct RunOptions {
     /// default ([`CancelToken::unlimited`]) never trips and costs
     /// nothing.
     pub cancel: CancelToken,
+    /// Shared pre-lowered circuit ([`CompiledHandle`]): when it matches
+    /// the circuit a phase simulates, the expensive one-time lowering is
+    /// reused instead of rebuilt. `None` (the default) lowers fresh.
+    pub compiled: Option<CompiledHandle>,
 }
 
 impl Default for RunOptions {
@@ -39,6 +43,7 @@ impl Default for RunOptions {
             telemetry: Telemetry::disabled(),
             seed: 1,
             cancel: CancelToken::unlimited(),
+            compiled: None,
         }
     }
 }
@@ -67,6 +72,12 @@ impl RunOptions {
     /// Replaces the cancellation token (builder style).
     pub fn cancel(mut self, cancel: CancelToken) -> RunOptions {
         self.cancel = cancel;
+        self
+    }
+
+    /// Attaches a shared pre-lowered circuit (builder style).
+    pub fn compiled(mut self, handle: CompiledHandle) -> RunOptions {
+        self.compiled = Some(handle);
         self
     }
 }

@@ -81,6 +81,10 @@ pub enum TruncationReason {
     MaxAssignments,
     /// [`CancelToken::cancel`] was called externally.
     Cancelled,
+    /// The run was preempted by a scheduler so its slot could be handed
+    /// to other work; the preempted job is expected to persist a
+    /// checkpoint and resume later (see `wbist serve`).
+    Preempted,
 }
 
 impl TruncationReason {
@@ -91,6 +95,7 @@ impl TruncationReason {
             TruncationReason::FaultCycles => 2,
             TruncationReason::MaxAssignments => 3,
             TruncationReason::Cancelled => 4,
+            TruncationReason::Preempted => 5,
         }
     }
 
@@ -100,6 +105,7 @@ impl TruncationReason {
             2 => Some(TruncationReason::FaultCycles),
             3 => Some(TruncationReason::MaxAssignments),
             4 => Some(TruncationReason::Cancelled),
+            5 => Some(TruncationReason::Preempted),
             _ => None,
         }
     }
@@ -112,6 +118,7 @@ impl std::fmt::Display for TruncationReason {
             TruncationReason::FaultCycles => "fault-cycle budget exceeded",
             TruncationReason::MaxAssignments => "assignment budget exceeded",
             TruncationReason::Cancelled => "cancelled",
+            TruncationReason::Preempted => "preempted for eviction",
         })
     }
 }
@@ -284,6 +291,18 @@ mod tests {
         let u = t.clone();
         u.charge_fault_cycles(11);
         assert_eq!(t.cancelled(), Some(TruncationReason::FaultCycles));
+    }
+
+    #[test]
+    fn preemption_reason_round_trips() {
+        assert_eq!(TruncationReason::Preempted.code(), 5);
+        assert_eq!(
+            TruncationReason::from_code(5),
+            Some(TruncationReason::Preempted)
+        );
+        let t = CancelToken::for_budget(&Budget::unlimited());
+        t.cancel(TruncationReason::Preempted);
+        assert_eq!(t.cancelled(), Some(TruncationReason::Preempted));
     }
 
     #[test]

@@ -13,11 +13,16 @@
 //!
 //! Known sites in this workspace:
 //!
-//! | site                    | effect when armed                              |
-//! |-------------------------|------------------------------------------------|
-//! | `sim.batch_kernel`      | panics a compiled-kernel batch run             |
-//! | `core.checkpoint_write` | fails a synthesis checkpoint write             |
-//! | `netlist.bench_parse`   | fails a `.bench` parse with a `Parse` error    |
+//! | site                     | effect when armed                              |
+//! |--------------------------|------------------------------------------------|
+//! | `sim.batch_kernel`       | panics a compiled-kernel batch run             |
+//! | `core.checkpoint_write`  | fails a synthesis checkpoint write             |
+//! | `core.checkpoint_rename` | fails a checkpoint save after the tmp-file     |
+//! |                          | fsync but before the atomic rename (simulated  |
+//! |                          | crash at the worst moment)                     |
+//! | `core.checkpoint_read`   | fails a checkpoint load with an `Io` error     |
+//! | `serve.job_run`          | panics a `wbist serve` job body                |
+//! | `netlist.bench_parse`    | fails a `.bench` parse with a `Parse` error    |
 
 #[cfg(feature = "failpoints")]
 mod imp {

@@ -74,6 +74,23 @@ impl Json {
         }
     }
 
+    /// The value as a float (also accepts unsigned integers).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Float(x) => Some(*x),
+            Json::UInt(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as a string slice.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -532,6 +549,10 @@ mod tests {
     fn accessors_navigate_parsed_trees() {
         let v = Json::parse(r#"{"a": {"b": [1, "two"]}, "n": 7}"#).unwrap();
         assert_eq!(v.get("n").and_then(Json::as_u64), Some(7));
+        assert_eq!(v.get("n").and_then(Json::as_f64), Some(7.0));
+        assert_eq!(Json::Float(0.5).as_f64(), Some(0.5));
+        assert_eq!(Json::Bool(true).as_bool(), Some(true));
+        assert_eq!(Json::Null.as_bool(), None);
         let b = v.get("a").and_then(|a| a.get("b")).unwrap();
         assert_eq!(b.as_array().unwrap().len(), 2);
         assert_eq!(b.as_array().unwrap()[1].as_str(), Some("two"));

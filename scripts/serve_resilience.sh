@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# Chaos drill for the `wbist serve` daemon: drives a release build with
+# failpoints compiled in through a mixed multi-tenant workload —
+# a failpoint-forced panic (retried), a budget timeout, an explicit
+# eviction with transparent resume — then a SIGTERM mid-run drain and a
+# resume in a fresh daemon lifetime. Asserts the documented exit-code
+# contract (0 complete / 2 drained), the checkpoint files on disk, and
+# the serve.* counters in the telemetry trace.
+#
+# Usage: scripts/serve_resilience.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline -p wbist-cli --features failpoints
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+BIN=target/release/wbist WORK="$WORK" python3 - <<'EOF'
+import json, os, signal, subprocess, sys, time
+
+BIN = os.environ["BIN"]
+WORK = os.environ["WORK"]
+CKPT = os.path.join(WORK, "ckpt")
+TRACE = os.path.join(WORK, "serve_trace.json")
+
+
+def start(trace=None):
+    argv = [BIN]
+    if trace:
+        argv += ["--trace", trace]
+    argv += ["serve", "--ckpt-dir", CKPT, "--retry-backoff-ms", "1"]
+    return subprocess.Popen(
+        argv,
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def send(p, **req):
+    p.stdin.write(json.dumps(req) + "\n")
+    p.stdin.flush()
+
+
+def wait_line(p, pred, what, timeout=300):
+    deadline = time.monotonic() + timeout
+    while True:
+        line = p.stdout.readline()
+        if not line:
+            raise SystemExit(f"daemon closed stdout before: {what}")
+        doc = json.loads(line)
+        if pred(doc):
+            return doc
+        if time.monotonic() > deadline:
+            raise SystemExit(f"timed out waiting for: {what}")
+
+
+def job_event(doc, job, state):
+    return doc.get("event") == "job" and doc.get("id") == job and doc.get("state") == state
+
+
+# ---- Lifetime 1: mixed chaos workload, clean shutdown, exit 0 --------
+p = start(trace=TRACE)
+send(p, op="register", name="big", builtin="s1196")
+send(p, op="register", name="huge", builtin="s5378")
+
+# A forced panic on the next job body: isolated, retried, completes.
+send(p, op="failpoint", site="serve.job_run", times=1)
+send(p, op="submit", id="flaky", tenant="alice", kind="synth", circuit="big")
+wait_line(p, lambda d: job_event(d, "flaky", "retried"), "flaky retried")
+flaky = wait_line(p, lambda d: job_event(d, "flaky", "done"), "flaky done")
+assert flaky["result"]["coverage_guaranteed"], flaky
+
+# A tiny fault-cycle budget: distinct `timeout` terminal state with a
+# valid partial result.
+send(p, op="submit", id="impatient", tenant="bob", kind="synth",
+     circuit="huge", fault_cycles=50000)
+timeout = wait_line(p, lambda d: job_event(d, "impatient", "timeout"), "timeout")
+assert "fault" in timeout["reason"], timeout
+
+# An explicit eviction mid-run: checkpointed, requeued, resumed, done.
+send(p, op="submit", id="nomad", tenant="carol", kind="synth", circuit="big")
+wait_line(p, lambda d: job_event(d, "nomad", "running"), "nomad running")
+send(p, op="evict", id="nomad")
+wait_line(p, lambda d: job_event(d, "nomad", "evicted"), "nomad evicted")
+nomad = wait_line(p, lambda d: job_event(d, "nomad", "done"), "nomad done")
+assert nomad["resumed"] is True, nomad
+
+send(p, op="shutdown")
+out, err = p.communicate(timeout=300)
+assert p.returncode == 0, f"clean session must exit 0, got {p.returncode}\n{err}"
+print("lifetime 1 ok: panic retried, budget timeout, evict+resume, exit 0")
+
+counters = json.load(open(TRACE))["counters"]
+for key, floor in [("serve.job_panics", 1), ("serve.jobs_retried", 1),
+                   ("serve.jobs_timeout", 1), ("serve.jobs_evicted", 1),
+                   ("serve.jobs_resumed", 1), ("serve.jobs_done", 2)]:
+    assert counters.get(key, 0) >= floor, f"{key}: {counters}"
+print("trace counters ok:", {k: v for k, v in counters.items() if k.startswith("serve.")})
+
+# ---- Lifetime 2: SIGTERM mid-run drains to checkpoint, exit 2 --------
+p = start()
+send(p, op="register", name="big", builtin="s1196")
+send(p, op="submit", id="carry", tenant="alice", kind="synth", circuit="big")
+wait_line(p, lambda d: job_event(d, "carry", "running"), "carry running")
+p.send_signal(signal.SIGTERM)
+wait_line(p, lambda d: d.get("event") == "sigterm", "sigterm event")
+wait_line(p, lambda d: job_event(d, "carry", "evicted"), "carry evicted")
+out, err = p.communicate(timeout=300)
+assert p.returncode == 2, f"drained session must exit 2, got {p.returncode}\n{err}"
+assert os.path.exists(os.path.join(CKPT, "carry.ckpt")), "checkpoint missing"
+print("lifetime 2 ok: SIGTERM drained to checkpoint, exit 2")
+
+# ---- Lifetime 3: the next daemon resumes the drained job, exit 0 -----
+p = start()
+send(p, op="register", name="big", builtin="s1196")
+send(p, op="submit", id="carry", tenant="alice", kind="synth", circuit="big")
+carry = wait_line(p, lambda d: job_event(d, "carry", "done"), "carry done")
+assert carry["resumed"] is True, carry
+send(p, op="shutdown")
+out, err = p.communicate(timeout=300)
+assert p.returncode == 0, f"resume session must exit 0, got {p.returncode}\n{err}"
+print("lifetime 3 ok: drained job resumed to completion, exit 0")
+print("serve resilience drill passed")
+EOF

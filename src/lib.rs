@@ -22,6 +22,9 @@
 //! * [`core`] — the paper's method: weights, weight assignments,
 //!   reverse-order pruning, observation-point insertion, baselines;
 //! * [`hw`] — weight-FSM synthesis, logic minimization, Verilog emission;
+//! * [`serve`] — the `wbist serve` daemon: multi-tenant job scheduling
+//!   with admission control, checkpoint-backed eviction, and graceful
+//!   drain (see `DESIGN.md` §16);
 //! * [`telemetry`] — pipeline spans/counters/events and deterministic
 //!   JSON traces (see `wbist --trace` / `--progress`).
 //!
@@ -54,5 +57,6 @@ pub use wbist_circuits as circuits;
 pub use wbist_core as core;
 pub use wbist_hw as hw;
 pub use wbist_netlist as netlist;
+pub use wbist_serve as serve;
 pub use wbist_sim as sim;
 pub use wbist_telemetry as telemetry;

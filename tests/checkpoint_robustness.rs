@@ -1,0 +1,192 @@
+//! Checkpoint robustness: the `wbist-ckpt/v1` loader faces arbitrary
+//! on-disk corruption — bit rot, torn writes, truncation — and must
+//! *never* panic and *never* silently accept a state different from
+//! the one that was saved. The failpoint-gated tests additionally prove
+//! the writer's crash consistency: a failure injected between the
+//! temp-file fsync and the atomic rename leaves the previous checkpoint
+//! intact and loadable.
+
+mod common;
+
+use common::{benchmark, failpoints_serialized, lfsr_sequence, scratch_dir, subsampled_targets};
+use std::panic::catch_unwind;
+use std::path::{Path, PathBuf};
+use wbist::core::{Budget, Checkpoint, RunControl, RunOptions, Synthesis, SynthesisConfig};
+use wbist::netlist::FaultList;
+
+/// Runs a (possibly budget-truncated) s1196 synthesis that writes a real
+/// checkpoint to `dir/name`, and returns the path.
+fn grown_checkpoint(dir: &Path, name: &str, budget_fc: Option<u64>) -> PathBuf {
+    let c = benchmark("s1196");
+    let faults = FaultList::checkpoints(&c);
+    let t = lfsr_sequence(&c, 48);
+    let pre = subsampled_targets(faults.len(), 20);
+    let path = dir.join(name);
+    std::fs::remove_file(&path).ok();
+    let mut ctl = RunControl::default().checkpoint(&path);
+    if let Some(fc) = budget_fc {
+        ctl = ctl.budget(Budget::default().fault_cycles(fc));
+    }
+    Synthesis::new(&c, &t, &faults)
+        .config(SynthesisConfig {
+            sequence_length: 64,
+            run: RunOptions::default(),
+            ..SynthesisConfig::default()
+        })
+        .already_detected(&pre)
+        .run_controlled(&ctl);
+    assert!(path.exists(), "the run must leave a checkpoint behind");
+    path
+}
+
+/// Every single-bit flip over the checkpoint file either loads the
+/// *exact* original state or fails with a typed error — never a panic,
+/// never a silently different state (the integrity checksum's job).
+#[test]
+fn bit_flips_never_panic_and_never_load_a_different_state() {
+    let _guard = failpoints_serialized();
+    let dir = scratch_dir("ckpt-robust-flips");
+    let path = grown_checkpoint(&dir, "victim.ckpt", Some(4_000));
+    let original = Checkpoint::load(&path).expect("pristine checkpoint loads");
+    let bytes = std::fs::read(&path).expect("read checkpoint bytes");
+    assert!(bytes.len() > 64, "checkpoint is non-trivial");
+
+    let mutant = dir.join("mutant.ckpt");
+    for offset in (0..bytes.len()).step_by(7) {
+        let mut corrupted = bytes.clone();
+        corrupted[offset] ^= 1 << (offset % 8);
+        std::fs::write(&mutant, &corrupted).expect("write mutant");
+        let loaded = catch_unwind(|| Checkpoint::load(&mutant))
+            .unwrap_or_else(|_| panic!("load panicked on a bit flip at byte {offset}"));
+        match loaded {
+            Ok(ck) => assert_eq!(
+                ck, original,
+                "flip at byte {offset} silently loaded a different state"
+            ),
+            Err(e) => assert!(!e.to_string().is_empty(), "untyped error at byte {offset}"),
+        }
+    }
+    std::fs::remove_file(&mutant).ok();
+}
+
+/// A torn write (any strict prefix of the file) is always rejected with
+/// a typed error — truncation cannot masquerade as a shorter valid run.
+#[test]
+fn truncations_are_always_rejected() {
+    let _guard = failpoints_serialized();
+    let dir = scratch_dir("ckpt-robust-trunc");
+    let path = grown_checkpoint(&dir, "victim.ckpt", Some(4_000));
+    let bytes = std::fs::read(&path).expect("read checkpoint bytes");
+
+    let torn = dir.join("torn.ckpt");
+    for cut in (0..bytes.len()).step_by(17) {
+        std::fs::write(&torn, &bytes[..cut]).expect("write torn prefix");
+        let loaded = catch_unwind(|| Checkpoint::load(&torn))
+            .unwrap_or_else(|_| panic!("load panicked on a {cut}-byte prefix"));
+        let err = loaded.expect_err("a torn checkpoint must not load");
+        assert!(!err.to_string().is_empty(), "untyped error at cut {cut}");
+    }
+    std::fs::remove_file(&torn).ok();
+}
+
+/// Arbitrary non-checkpoint files (binary noise, wrong JSON shapes) are
+/// rejected without panicking.
+#[test]
+fn garbage_files_are_rejected_gracefully() {
+    let _guard = failpoints_serialized();
+    let dir = scratch_dir("ckpt-robust-garbage");
+    let path = dir.join("garbage.ckpt");
+    for (i, garbage) in [
+        &b"\x00\x01\x02\xff\xfe\xfd"[..],
+        b"[]",
+        b"{}",
+        b"42",
+        br#"{"format":"wbist-ckpt/v1"}"#,
+        br#"{"format":"something-else/v9","cursor":0}"#,
+        b"{\"format\":\"wbist-ckpt/v1\",",
+        b"\xef\xbb\xbfnot json at all",
+    ]
+    .iter()
+    .enumerate()
+    {
+        std::fs::write(&path, garbage).expect("write garbage");
+        let loaded = catch_unwind(|| Checkpoint::load(&path))
+            .unwrap_or_else(|_| panic!("load panicked on garbage #{i}"));
+        assert!(loaded.is_err(), "garbage #{i} must not load");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// Crash consistency: a failure injected between the temp-file fsync
+/// and the atomic rename (`core.checkpoint_rename`) makes `save` fail
+/// — but the *previous* checkpoint at that path is untouched and still
+/// loads bit-identically. The writer never tears its destination.
+#[cfg(feature = "failpoints")]
+#[test]
+fn rename_failure_leaves_the_previous_checkpoint_intact() {
+    use wbist::telemetry::failpoint;
+    let _guard = failpoints_serialized();
+    let dir = scratch_dir("ckpt-robust-rename");
+    let old_path = grown_checkpoint(&dir, "old.ckpt", Some(1_000));
+    let new_path = grown_checkpoint(&dir, "new.ckpt", None);
+    let old = Checkpoint::load(&old_path).expect("old checkpoint loads");
+    let new = Checkpoint::load(&new_path).expect("new checkpoint loads");
+    assert_ne!(old, new, "the two snapshots must differ for this proof");
+
+    failpoint::arm("core.checkpoint_rename", 1);
+    let err = new.save(&old_path);
+    failpoint::reset();
+    assert!(err.is_err(), "the armed rename must fail the save");
+    assert_eq!(
+        Checkpoint::load(&old_path).expect("destination still loads"),
+        old,
+        "a failed save must leave the previous checkpoint untouched"
+    );
+
+    // With the site spent the same save goes through atomically.
+    new.save(&old_path)
+        .expect("save succeeds after the site is spent");
+    assert_eq!(Checkpoint::load(&old_path).expect("loads"), new);
+}
+
+/// A forced write failure (`core.checkpoint_write`) on a *fresh* path
+/// fails the save without leaving a destination file behind.
+#[cfg(feature = "failpoints")]
+#[test]
+fn write_failure_leaves_no_destination_file() {
+    use wbist::telemetry::failpoint;
+    let _guard = failpoints_serialized();
+    let dir = scratch_dir("ckpt-robust-write");
+    let src = grown_checkpoint(&dir, "src.ckpt", Some(1_000));
+    let ck = Checkpoint::load(&src).expect("source loads");
+
+    let dst = dir.join("never-created.ckpt");
+    std::fs::remove_file(&dst).ok();
+    failpoint::arm("core.checkpoint_write", 1);
+    let err = ck.save(&dst);
+    failpoint::reset();
+    assert!(err.is_err());
+    assert!(
+        !dst.exists(),
+        "a failed first save must not create the file"
+    );
+}
+
+/// A forced read failure (`core.checkpoint_read`) surfaces as a typed
+/// I/O error and the very next load succeeds — transient storage
+/// hiccups at resume time are recoverable, not fatal.
+#[cfg(feature = "failpoints")]
+#[test]
+fn read_failure_is_transient_and_typed() {
+    use wbist::core::CheckpointError;
+    use wbist::telemetry::failpoint;
+    let _guard = failpoints_serialized();
+    let dir = scratch_dir("ckpt-robust-read");
+    let path = grown_checkpoint(&dir, "src.ckpt", Some(1_000));
+
+    failpoint::arm("core.checkpoint_read", 1);
+    let err = Checkpoint::load(&path).expect_err("armed read must fail");
+    failpoint::reset();
+    assert!(matches!(err, CheckpointError::Io(_)), "got {err}");
+    Checkpoint::load(&path).expect("the next load succeeds");
+}

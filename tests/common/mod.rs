@@ -1,0 +1,55 @@
+//! Shared fixtures for the workspace-level integration suites.
+//!
+//! Each `tests/*.rs` binary compiles this module independently via
+//! `mod common;`, so helpers unused by one binary are expected —
+//! hence the blanket `dead_code` allow.
+#![allow(dead_code)]
+
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use wbist::atpg::Lfsr;
+use wbist::circuits::synthetic;
+use wbist::netlist::Circuit;
+use wbist::sim::TestSequence;
+use wbist::telemetry::failpoint;
+
+/// Serializes tests that arm failpoints. The failpoint registry is
+/// process-global and the harness runs tests on parallel threads, so
+/// *every* test in a binary that arms sites must hold this guard while
+/// simulating — otherwise a concurrently armed site fires in the wrong
+/// test. The guard also resets the registry on entry, so a poisoned
+/// (panicked) predecessor cannot leak armed sites.
+pub fn failpoints_serialized() -> MutexGuard<'static, ()> {
+    static REGISTRY: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard = REGISTRY
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    failpoint::reset();
+    guard
+}
+
+/// A fresh per-test scratch directory under the system temp dir.
+pub fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wbist-test-{name}"));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// A named benchmark circuit (`s27`, `s1196`, `s5378`, …).
+pub fn benchmark(name: &str) -> Circuit {
+    synthetic::by_name(name).expect("known benchmark")
+}
+
+/// The suite's canonical pseudo-random stimulus: a 24-bit LFSR seeded
+/// with `0xACE1`, expanded to one vector per time unit.
+pub fn lfsr_sequence(c: &Circuit, len: usize) -> TestSequence {
+    Lfsr::new(24, 0xACE1).sequence(c.num_inputs(), len)
+}
+
+/// Marks every `keep_every`-th fault as a synthesis target and the rest
+/// as already detected — shrinks target sets (and test runtime) while
+/// the setup still walks the full circuit.
+pub fn subsampled_targets(num_faults: usize, keep_every: usize) -> Vec<bool> {
+    (0..num_faults).map(|i| i % keep_every != 0).collect()
+}

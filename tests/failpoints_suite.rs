@@ -7,23 +7,14 @@
 //! ```
 #![cfg(feature = "failpoints")]
 
-use std::sync::Mutex;
-use wbist::atpg::Lfsr;
-use wbist::circuits::{s27, synthetic};
+mod common;
+
+use common::{benchmark, failpoints_serialized as serialized, lfsr_sequence, scratch_dir};
+use wbist::circuits::s27;
 use wbist::core::{RunControl, RunOptions, Synthesis, SynthesisConfig, Telemetry};
 use wbist::netlist::{bench_format, FaultList, NetlistError};
 use wbist::sim::{FaultSim, SimOptions};
 use wbist::telemetry::failpoint;
-
-/// The failpoint registry is process-global, and the test harness runs
-/// tests in parallel threads — serialize every test that arms a site.
-static REGISTRY: Mutex<()> = Mutex::new(());
-
-fn serialized() -> std::sync::MutexGuard<'static, ()> {
-    let guard = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
-    failpoint::reset();
-    guard
-}
 
 /// A forced panic in the compiled batch kernel is caught, retried on
 /// the reference kernel, and the run completes with correct detections
@@ -31,10 +22,10 @@ fn serialized() -> std::sync::MutexGuard<'static, ()> {
 #[test]
 fn batch_kernel_panic_recovers_via_reference_retry() {
     let _guard = serialized();
-    let c = synthetic::by_name("s1196").expect("known benchmark");
+    let c = benchmark("s1196");
     let faults = FaultList::checkpoints(&c);
     assert!(faults.len() > 63, "needs a multi-batch run");
-    let seq = Lfsr::new(24, 0xACE1).sequence(c.num_inputs(), 128);
+    let seq = lfsr_sequence(&c, 128);
     let want = FaultSim::with_options(&c, SimOptions::with_threads(1))
         .query(&faults)
         .sequence(&seq)
@@ -61,9 +52,9 @@ fn batch_kernel_panic_recovers_via_reference_retry() {
 #[test]
 fn repeated_batch_panics_still_complete() {
     let _guard = serialized();
-    let c = synthetic::by_name("s1196").expect("known benchmark");
+    let c = benchmark("s1196");
     let faults = FaultList::checkpoints(&c);
-    let seq = Lfsr::new(24, 0xACE1).sequence(c.num_inputs(), 64);
+    let seq = lfsr_sequence(&c, 64);
     let want = FaultSim::with_options(&c, SimOptions::with_threads(1))
         .query(&faults)
         .sequence(&seq)
@@ -90,9 +81,7 @@ fn checkpoint_write_failure_does_not_kill_the_run() {
     let c = s27::circuit();
     let t = s27::paper_test_sequence();
     let faults = FaultList::checkpoints(&c);
-    let dir = std::env::temp_dir().join("wbist-failpoint-ckpt");
-    std::fs::create_dir_all(&dir).unwrap();
-    let path = dir.join("forced-failure.ckpt");
+    let path = scratch_dir("failpoint-ckpt").join("forced-failure.ckpt");
 
     failpoint::arm("core.checkpoint_write", 1);
     let outcome = Synthesis::new(&c, &t, &faults)

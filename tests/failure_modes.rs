@@ -1,7 +1,11 @@
 //! Failure injection: malformed inputs must surface typed errors (or
 //! documented panics), never silent misbehaviour.
 
+mod common;
+
+use common::benchmark;
 use wbist::netlist::{bench_format, Circuit, GateKind, NetlistError};
+use wbist::serve::{parse_request, ProtocolError};
 use wbist::sim::{LogicSim, SimError, TestSequence};
 
 #[test]
@@ -47,7 +51,7 @@ fn sequence_validation() {
 
 #[test]
 fn simulator_rejects_wrong_width() {
-    let c = wbist::circuits::s27::circuit();
+    let c = benchmark("s27");
     let seq = TestSequence::parse_rows(&["01"]).expect("valid rows");
     let err = LogicSim::new(&c).outputs(&seq).unwrap_err();
     assert!(matches!(
@@ -76,9 +80,27 @@ fn builder_validation() {
     ));
 }
 
+/// Malformed daemon requests are typed protocol errors, never panics —
+/// the daemon reads untrusted lines.
+#[test]
+fn serve_protocol_rejects_malformed_requests() {
+    for bad in [
+        "",
+        "not json",
+        r#"{"op":"submit"}"#,
+        r#"{"op":"submit","id":"../traversal","kind":"synth","circuit":"c"}"#,
+        r#"{"op":"submit","id":"j","kind":"sim","circuit":"c"}"#,
+        r#"{"op":"register","name":"c","builtin":1}"#,
+    ] {
+        let err = parse_request(bad).expect_err(bad);
+        assert!(!err.message.is_empty(), "{bad:?}");
+    }
+}
+
 #[test]
 fn error_types_are_std_errors() {
     fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
     assert_error::<NetlistError>();
     assert_error::<SimError>();
+    assert_error::<ProtocolError>();
 }

@@ -5,9 +5,10 @@
 //! bit-identical to the uninterrupted run — same `Ω`, same detection
 //! flags, same abandonment flags, and the same telemetry counters.
 
+mod common;
+
+use common::{benchmark, lfsr_sequence, scratch_dir, subsampled_targets};
 use std::path::Path;
-use wbist::atpg::Lfsr;
-use wbist::circuits::synthetic;
 use wbist::core::{
     Budget, CancelToken, Checkpoint, RunControl, RunOptions, Synthesis, SynthesisConfig, Telemetry,
     TruncationReason,
@@ -19,14 +20,6 @@ use wbist::sim::{FaultSim, SimOptions};
 const T_LEN: usize = 48;
 /// Generated-sequence length `L_G`.
 const L_G: usize = 64;
-
-/// Every `keep_every`-th fault stays a synthesis target; the rest are
-/// marked already detected. This keeps the target set (and therefore
-/// the test runtime) small while the setup still walks the full
-/// benchmark circuit.
-fn subsampled_targets(num_faults: usize, keep_every: usize) -> Vec<bool> {
-    (0..num_faults).map(|i| i % keep_every != 0).collect()
-}
 
 fn interrupt_resume_roundtrip(name: &str, keep_every: usize) {
     interrupt_resume_roundtrip_with(name, keep_every, 1, 1);
@@ -46,18 +39,17 @@ fn interrupt_resume_roundtrip_with(
     cut_width: usize,
     resume_width: usize,
 ) {
-    let c = synthetic::by_name(name).expect("known benchmark");
+    let c = benchmark(name);
     let faults = FaultList::checkpoints(&c);
-    let t = Lfsr::new(24, 0xACE1).sequence(c.num_inputs(), T_LEN);
+    let t = lfsr_sequence(&c, T_LEN);
     let pre = subsampled_targets(faults.len(), keep_every);
     let cfg = SynthesisConfig {
         sequence_length: L_G,
         ..SynthesisConfig::default()
     };
-    let dir = std::env::temp_dir().join(format!(
-        "wbist-interrupt-resume-{name}-{cut_width}-{resume_width}"
+    let dir = scratch_dir(&format!(
+        "interrupt-resume-{name}-{cut_width}-{resume_width}"
     ));
-    std::fs::create_dir_all(&dir).unwrap();
 
     // The uninterrupted reference run, writing checkpoints like the
     // interrupted runs do so the checkpoint counters are comparable.
@@ -173,9 +165,9 @@ fn s1196_checkpoints_are_portable_across_widths() {
 /// of the unbudgeted run's detections, and deterministic.
 #[test]
 fn s5378_tiny_budget_stops_within_batch_granularity() {
-    let c = synthetic::by_name("s5378").expect("known benchmark");
+    let c = benchmark("s5378");
     let faults = FaultList::checkpoints(&c);
-    let seq = Lfsr::new(24, 0xACE1).sequence(c.num_inputs(), 64);
+    let seq = lfsr_sequence(&c, 64);
     let full = FaultSim::with_options(&c, SimOptions::with_threads(1))
         .query(&faults)
         .sequence(&seq)

@@ -1,0 +1,133 @@
+//! Panic storms against the shared work-stealing pool: repeated panics
+//! inside scattered work — on the caller thread and on pool workers —
+//! must always drain cleanly, never wedge or kill the process-wide
+//! pool, and never corrupt the results of subsequent fan-outs. The
+//! failpoint-gated test runs the same storm through the fault-simulator
+//! batch kernel, where every injected panic is recovered per-batch.
+
+mod common;
+
+use common::failpoints_serialized;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use wbist::sim::pool;
+
+/// A clean reference fan-out: deterministic per-item work.
+fn reference(n: u64) -> Vec<u64> {
+    let (got, _) = pool::scatter(4, (0..n).collect(), || (), |i, ()| i * i + 1);
+    got
+}
+
+/// Twenty rounds of storms, each panicking a different subset of tasks
+/// mid-scatter; after every storm the pool must produce bit-identical
+/// clean results.
+#[test]
+fn work_panic_storm_never_wedges_the_pool() {
+    let _guard = failpoints_serialized();
+    const N: u64 = 200;
+    let want = reference(N);
+    for round in 0..20u64 {
+        let storm = catch_unwind(AssertUnwindSafe(|| {
+            pool::scatter(
+                4,
+                (0..N).collect(),
+                || (),
+                |i: u64, ()| {
+                    if i % 17 == round % 17 {
+                        panic!("storm round {round} task {i}");
+                    }
+                    i * i + 1
+                },
+            )
+        }));
+        assert!(storm.is_err(), "round {round}: the storm must re-raise");
+        // The pool drained and is immediately reusable — and correct.
+        assert_eq!(reference(N), want, "round {round}: results corrupted");
+    }
+}
+
+/// The degenerate storm — every single task panics — still drains and
+/// re-raises exactly once per fan-out.
+#[test]
+fn total_panic_storm_still_drains() {
+    let _guard = failpoints_serialized();
+    for round in 0..5 {
+        let storm = catch_unwind(AssertUnwindSafe(|| {
+            pool::scatter(
+                4,
+                (0..64u64).collect(),
+                || (),
+                |i: u64, ()| -> u64 { panic!("total storm task {i}") },
+            )
+        }));
+        assert!(storm.is_err(), "round {round}");
+    }
+    assert_eq!(reference(64), reference(64));
+}
+
+/// Panic payloads must be one of the two documented shapes: the
+/// original message (caller-thread panic) or the pool's re-raise.
+#[test]
+fn panic_payloads_are_the_documented_shapes() {
+    let _guard = failpoints_serialized();
+    let storm = catch_unwind(AssertUnwindSafe(|| {
+        pool::scatter(
+            4,
+            (0..64u64).collect(),
+            || (),
+            |_: u64, ()| -> u64 { panic!("documented storm") },
+        )
+    }));
+    let payload = storm.expect_err("must panic");
+    let message = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .expect("panic payload is a string");
+    assert!(
+        message == "documented storm" || message == "wbist pool participant panicked",
+        "unexpected payload `{message}`"
+    );
+}
+
+/// The same storm driven through the simulator's compiled batch kernel
+/// via the `sim.batch_kernel` failpoint, multi-threaded: every injected
+/// panic unwinds on whatever pool participant claimed the batch, is
+/// recovered by the per-batch reference retry, and the detections stay
+/// bit-identical to a clean single-threaded run — across rounds.
+#[cfg(feature = "failpoints")]
+#[test]
+fn batch_kernel_storm_on_pool_workers_recovers_bit_identically() {
+    use common::{benchmark, lfsr_sequence};
+    use wbist::core::Telemetry;
+    use wbist::netlist::FaultList;
+    use wbist::sim::{FaultSim, SimOptions};
+    use wbist::telemetry::failpoint;
+
+    let _guard = failpoints_serialized();
+    let c = benchmark("s1196");
+    let faults = FaultList::checkpoints(&c);
+    let batches = faults.len().div_ceil(63);
+    assert!(batches >= 6, "needs a multi-batch storm, have {batches}");
+    let seq = lfsr_sequence(&c, 96);
+    let want = FaultSim::with_options(&c, SimOptions::with_threads(1))
+        .query(&faults)
+        .sequence(&seq)
+        .detected();
+
+    for round in 0..3 {
+        failpoint::arm("sim.batch_kernel", 6);
+        let tel = Telemetry::enabled();
+        let got = FaultSim::with_options(&c, SimOptions::with_threads(4))
+            .telemetry(tel.clone())
+            .query(&faults)
+            .sequence(&seq)
+            .detected();
+        failpoint::reset();
+        assert_eq!(got, want, "round {round}: detections diverged");
+        assert_eq!(
+            tel.counter("sim.batch_panics"),
+            6,
+            "round {round}: every armed panic must fire and be recovered"
+        );
+    }
+}
