@@ -30,6 +30,9 @@
 //!                      only) and exit non-zero on any deviation
 //!   --no-prefix-cache  disable the prefix-trace cache (the results must
 //!                      be bit-identical either way; CI asserts it)
+//!   --no-cone-seeding  disable cone-seeded good-trace resume; resumed
+//!                      rebuilds re-evaluate every suffix gate (results
+//!                      are bit-identical either way; CI asserts it)
 //!   -o FILE            write the JSON there instead of stdout
 //!
 //! exit codes: 0 complete, 1 usage error, I/O failure or golden mismatch
@@ -42,7 +45,16 @@
 //! divides the deterministic `select.candidates_tried` counter by the
 //! wall clock; `prefix_hits`/`cycles_skipped` report the prefix-trace
 //! cache's reuse, and the speculation launch/waste figures come from the
-//! same width-dependent effort space. `speedup_vs_width_1` is null when
+//! same width-dependent effort space. `cone_seeded`,
+//! `trace_gates_evaluated` and `gates_rescanned_saved` report the
+//! cone-seeded good-trace rebuilds (how many resumed evaluations were
+//! spatially incremental, the suffix gates they evaluated, and the
+//! gates a full per-cycle rescan would have added); `snapshot_spills`
+//! and `snapshot_bytes` count compressed faulty-plane snapshots on
+//! dense queries past the raw capture cap, and
+//! `snapshot_capture_denied` counts dense evaluations past even the
+//! spill cap (deterministic, unlike the effort figures).
+//! `speedup_vs_width_1` is null when
 //! `--threads` oversubscribes the host (`threads > available_cores`):
 //! the width-1 baseline then measures contention, not work.
 
@@ -56,8 +68,12 @@ use wbist_sim::WordWidth;
 
 /// Default target subsampling per circuit: every `keep_every`-th fault
 /// stays a target. Chosen so a full synthesis walk finishes in seconds
-/// while still exercising hundreds of candidate evaluations.
-const DEFAULT_KEEP_EVERY: &[(&str, usize)] = &[("s1196", 5), ("s5378", 60), ("s35932", 600)];
+/// while still exercising hundreds of candidate evaluations. The
+/// s35932 value is dense enough (~6000 targets) that the first
+/// segments' dense queries exceed the raw snapshot-capture cap
+/// (`batches × flip-flops > 2^16`), so the committed rows exercise the
+/// compressed spill tier.
+const DEFAULT_KEEP_EVERY: &[(&str, usize)] = &[("s1196", 5), ("s5378", 60), ("s35932", 10)];
 
 /// Golden Ω sizes and detected-target counts at the default
 /// configuration (`--t-len 48 --lg 64`, default `--keep-every`). The
@@ -117,6 +133,7 @@ fn main() {
     };
     let golden = flag("--golden");
     let no_prefix_cache = flag("--no-prefix-cache");
+    let no_cone_seeding = flag("--no-cone-seeding");
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -190,6 +207,7 @@ fn main() {
                 let tel = Telemetry::enabled();
                 let mut run = RunOptions::with_threads(threads).telemetry(tel.clone());
                 run.sim.word_width = word_width;
+                run.sim.no_cone_seeding = no_cone_seeding;
                 let cfg = SynthesisConfig {
                     sequence_length: lg,
                     speculation: width,
@@ -241,6 +259,12 @@ fn main() {
             let cycles_skipped = tel.effort("select.cycles_skipped");
             let launched = tel.effort("select.speculation_launched");
             let wasted = tel.effort("select.speculation_wasted");
+            let cone_seeded = tel.effort("select.cone_seeded");
+            let trace_gates_evaluated = tel.effort("select.trace_gates_evaluated");
+            let gates_rescanned_saved = tel.effort("select.gates_rescanned_saved");
+            let snapshot_spills = tel.effort("select.snapshot_spills");
+            let snapshot_bytes = tel.effort("select.snapshot_bytes");
+            let capture_denied = tel.counter("select.snapshot_capture_denied");
             let detected_targets = result
                 .detected
                 .iter()
@@ -285,6 +309,13 @@ fn main() {
                 ("prefix_cache", (!no_prefix_cache).into()),
                 ("prefix_hits", prefix_hits.into()),
                 ("cycles_skipped", cycles_skipped.into()),
+                ("cone_seeding", (!no_cone_seeding).into()),
+                ("cone_seeded", cone_seeded.into()),
+                ("trace_gates_evaluated", trace_gates_evaluated.into()),
+                ("gates_rescanned_saved", gates_rescanned_saved.into()),
+                ("snapshot_spills", snapshot_spills.into()),
+                ("snapshot_bytes", snapshot_bytes.into()),
+                ("snapshot_capture_denied", capture_denied.into()),
                 ("speculation_launched", launched.into()),
                 ("speculation_wasted", wasted.into()),
                 ("omega_len", result.omega.len().into()),

@@ -45,6 +45,8 @@ pub const USAGE: &str = "usage:
       --word-width W  fault-plane word width: 64 (default) | 128 | 256
                       (256 needs the `w256` build feature); detections
                       are bit-identical at every width
+      --no-cone-seeding  disable cone-seeded good-trace resume (results
+                      are bit-identical; for identity diffs and timing)
   fault selection (faults, atpg, sim, synth, obs, session, podem):
       --model M       fault universe: checkpoints (default) | collapsed | all
       --fault-model F fault model: stuck-at (default) | transition
@@ -133,6 +135,7 @@ fn extract_globals(argv: &[String]) -> Result<(Vec<String>, Globals), CliError> 
     let mut threads: Option<usize> = None;
     let mut word_width = WordWidth::default();
     let mut reference_kernel = false;
+    let mut no_cone_seeding = false;
     let mut trace: Option<String> = None;
     let mut progress = false;
     let mut budget = Budget::default();
@@ -158,6 +161,7 @@ fn extract_globals(argv: &[String]) -> Result<(Vec<String>, Globals), CliError> 
                     .ok_or_else(|| usage("--word-width needs a value"))?;
                 word_width = WordWidth::parse(v).map_err(usage)?;
             }
+            "--no-cone-seeding" => no_cone_seeding = true,
             "--kernel" => {
                 let v = it.next().ok_or_else(|| usage("--kernel needs a value"))?;
                 reference_kernel = match v.as_str() {
@@ -249,6 +253,7 @@ fn extract_globals(argv: &[String]) -> Result<(Vec<String>, Globals), CliError> 
             threads,
             word_width,
             reference_kernel,
+            no_cone_seeding,
         },
         ..run
     };

@@ -631,6 +631,7 @@ const KNOWN_COUNTERS: &[&str] = &[
     "select.assignments_kept",
     "select.candidates_tried",
     "select.sample_skips",
+    "select.snapshot_capture_denied",
     "select.targets_abandoned",
     "session.assignments",
     "session.faults",

@@ -416,6 +416,11 @@ impl<'a> Synthesis<'a> {
         }
 
         let mut truncated: Option<TruncationReason> = None;
+        // One-time trace event for declined snapshot capture: the
+        // denial repeats for every dense evaluation of the same query
+        // shape, so only the first committed one is worth an event (the
+        // deterministic counter keeps the full count).
+        let mut capture_denied_reported = false;
         loop {
             if let Some(r) = token.cancelled() {
                 truncated = Some(r);
@@ -506,6 +511,45 @@ impl<'a> Synthesis<'a> {
                                 // deterministic trace.
                                 tel.add_effort("select.prefix_hits", done.prefix_hits);
                                 tel.add_effort("select.cycles_skipped", done.cycles_skipped);
+                            }
+                            if tel.is_enabled() {
+                                // Spatial-incrementality figures ride the
+                                // same cache state → effort space too.
+                                if done.cone_seeded > 0 {
+                                    tel.add_effort("select.cone_seeded", done.cone_seeded);
+                                }
+                                if done.trace_gates_evaluated > 0 {
+                                    tel.add_effort(
+                                        "select.trace_gates_evaluated",
+                                        done.trace_gates_evaluated,
+                                    );
+                                }
+                                if done.gates_rescanned_saved > 0 {
+                                    tel.add_effort(
+                                        "select.gates_rescanned_saved",
+                                        done.gates_rescanned_saved,
+                                    );
+                                }
+                                if done.snapshot_spills > 0 {
+                                    tel.add_effort("select.snapshot_spills", done.snapshot_spills);
+                                }
+                                if done.snapshot_bytes > 0 {
+                                    tel.add_effort("select.snapshot_bytes", done.snapshot_bytes);
+                                }
+                            }
+                            if done.snapshot_capture_denied {
+                                // Deterministic: the denial is a pure
+                                // function of the committed query shape
+                                // (batches × flip-flops over the spill
+                                // cap), replayed identically on resume.
+                                tel.add("select.snapshot_capture_denied", 1);
+                                if tel.is_enabled() && !capture_denied_reported {
+                                    capture_denied_reported = true;
+                                    tel.event(
+                                        "select.snapshot_capture_denied",
+                                        &[("rank", entry.rank as u64)],
+                                    );
+                                }
                             }
                             if done.screen_skip {
                                 tel.add("select.sample_skips", 1);

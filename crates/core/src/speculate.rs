@@ -77,6 +77,21 @@ pub(crate) struct EvalDone {
     pub prefix_hits: u64,
     /// Simulation cycles those reuse events skipped.
     pub cycles_skipped: u64,
+    /// 1 when the good-trace rebuild was cone-seeded. Effort space,
+    /// like every prefix-reuse figure.
+    pub cone_seeded: u64,
+    /// Good-machine gate evaluations spent rebuilding the trace suffix.
+    pub trace_gates_evaluated: u64,
+    /// Good-machine gate evaluations cone seeding avoided relative to a
+    /// full per-cycle rescan of the suffix.
+    pub gates_rescanned_saved: u64,
+    /// Snapshots newly compressed into the install's spill store.
+    pub snapshot_spills: u64,
+    /// Bytes the install's spilled snapshots pin.
+    pub snapshot_bytes: u64,
+    /// The dense query declined snapshot capture (above the spill cap).
+    /// Deterministic — a pure function of the query shape.
+    pub snapshot_capture_denied: bool,
     /// Cache entry to publish if this evaluation commits cleanly.
     pub install: Option<wbist_sim::CacheInstall>,
 }
@@ -175,6 +190,12 @@ pub(crate) fn evaluate_wavefront(
         let esim = sim.worker_clone(tel.clone(), threads);
         let mut prefix_hits = 0u64;
         let mut cycles_skipped = 0u64;
+        let mut cone_seeded = 0u64;
+        let mut trace_gates_evaluated = 0u64;
+        let mut gates_rescanned_saved = 0u64;
+        let mut snapshot_spills = 0u64;
+        let mut snapshot_bytes = 0u64;
+        let mut snapshot_capture_denied = false;
         let (screen_skip, newly, install) = match cache {
             Some(cache) => {
                 let prep = esim.prepare_sequence(Some(cache), tg);
@@ -182,6 +203,9 @@ pub(crate) fn evaluate_wavefront(
                     prefix_hits += 1;
                     cycles_skipped += prep.reused_cycles() as u64;
                 }
+                cone_seeded = prep.cone_seeded() as u64;
+                trace_gates_evaluated = prep.trace_gates_evaluated();
+                gates_rescanned_saved = prep.trace_gates_saved();
                 let screened = sample.is_some();
                 let screen_skip = match sample {
                     Some(sample) => !esim.query(sample).prepared(&prep).any(),
@@ -206,6 +230,9 @@ pub(crate) fn evaluate_wavefront(
                         prefix_hits += 1;
                         cycles_skipped += out.resumed_cycles;
                     }
+                    snapshot_spills = out.snapshot_spills;
+                    snapshot_bytes = out.snapshot_bytes;
+                    snapshot_capture_denied = out.snapshot_capture_denied;
                     (screen_skip, out.detected, Some(out.install))
                 }
             }
@@ -232,6 +259,12 @@ pub(crate) fn evaluate_wavefront(
             cancelled,
             prefix_hits,
             cycles_skipped,
+            cone_seeded,
+            trace_gates_evaluated,
+            gates_rescanned_saved,
+            snapshot_spills,
+            snapshot_bytes,
+            snapshot_capture_denied,
             install,
         }
     };

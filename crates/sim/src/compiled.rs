@@ -115,6 +115,26 @@ pub(crate) struct CompiledCircuit {
     pub(crate) load_codes: Vec<u32>,
     /// Every net index, ascending — the "cone" of the reference kernel.
     pub(crate) all_nets: Vec<u32>,
+    /// Per-primary-input forward cones over gate topo positions:
+    /// `gate_words` words per PI, bit `g` set when gate `g` is reachable
+    /// from the PI through gate fanout, *crossing DFF boundaries* (a PI
+    /// reaching a DFF data input reaches the DFF's output net — and its
+    /// loads — on later cycles, so membership means "reachable at some
+    /// cycle offset"). Bounds what a changed input stream can dirty in
+    /// the cone-seeded incremental good-trace rebuild (the dynamic
+    /// dirty set is narrower; the static bound is debug-asserted).
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    pub(crate) pi_cone_gates: Vec<u64>,
+    /// Per-primary-input forward cones over DFF indices, `dff_words`
+    /// words per PI (same closure as `pi_cone_gates`). Consumed by the
+    /// debug-build cone-union assertion in `good_trace_from_cone`.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    pub(crate) pi_cone_dffs: Vec<u64>,
+    /// `u64` words per PI in `pi_cone_gates`.
+    pub(crate) gate_words: usize,
+    /// `u64` words per PI in `pi_cone_dffs`.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    pub(crate) dff_words: usize,
 }
 
 impl CompiledCircuit {
@@ -189,6 +209,42 @@ impl CompiledCircuit {
             cursor[d as usize] += 1;
         }
 
+        // Per-PI forward-cone bitmaps: a monotone worklist closure over
+        // the load CSR, continuing through DFF boundaries via the Q net.
+        // O(inputs × (nets + pins)); the per-PI net stamp avoids
+        // clearing the visited set between inputs.
+        let pi_nets: Vec<u32> = pi_nets;
+        let dff_q: Vec<u32> = dff_q;
+        let out_nets: Vec<u32> = out_nets;
+        let gate_words = num_gates.div_ceil(64);
+        let dff_words = num_dffs.div_ceil(64);
+        let mut pi_cone_gates = vec![0u64; pi_nets.len() * gate_words];
+        let mut pi_cone_dffs = vec![0u64; pi_nets.len() * dff_words];
+        let mut seen = vec![u32::MAX; num_nets];
+        let mut stack: Vec<u32> = Vec::new();
+        for (pi, &root) in pi_nets.iter().enumerate() {
+            seen[root as usize] = pi as u32;
+            stack.push(root);
+            while let Some(n) = stack.pop() {
+                let (s, e) = (load_start[n as usize], load_start[n as usize + 1]);
+                for &code in &load_codes[s as usize..e as usize] {
+                    let next = if (code as usize) < num_gates {
+                        let g = code as usize;
+                        pi_cone_gates[pi * gate_words + g / 64] |= 1u64 << (g % 64);
+                        out_nets[g]
+                    } else {
+                        let k = code as usize - num_gates;
+                        pi_cone_dffs[pi * dff_words + k / 64] |= 1u64 << (k % 64);
+                        dff_q[k]
+                    };
+                    if seen[next as usize] != pi as u32 {
+                        seen[next as usize] = pi as u32;
+                        stack.push(next);
+                    }
+                }
+            }
+        }
+
         CompiledCircuit {
             num_nets,
             num_gates,
@@ -206,7 +262,24 @@ impl CompiledCircuit {
             load_start,
             load_codes,
             all_nets: (0..num_nets as u32).collect(),
+            pi_cone_gates,
+            pi_cone_dffs,
+            gate_words,
+            dff_words,
         }
+    }
+
+    /// Bitmap over gate topo positions of primary input `pi`'s forward
+    /// cone (DFF-boundary-crossing closure).
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    pub(crate) fn cone_gates_of(&self, pi: usize) -> &[u64] {
+        &self.pi_cone_gates[pi * self.gate_words..(pi + 1) * self.gate_words]
+    }
+
+    /// Bitmap over DFF indices of primary input `pi`'s forward cone.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    pub(crate) fn cone_dffs_of(&self, pi: usize) -> &[u64] {
+        &self.pi_cone_dffs[pi * self.dff_words..(pi + 1) * self.dff_words]
     }
 
     /// Scalar three-valued evaluation of the fault-free machine over
@@ -274,6 +347,212 @@ impl CompiledCircuit {
         (trace, ff)
     }
 
+    /// Cone-seeded variant of [`good_trace_from`](Self::good_trace_from):
+    /// instead of re-evaluating every gate of every suffix cycle, the
+    /// rows that overlap `base` are rebuilt *incrementally* — the dirty
+    /// worklist is seeded each cycle with only the primary inputs whose
+    /// streams differ (`changed_pis`, per-PI flags) plus the Q nets of
+    /// flip-flops whose data input was dirty the cycle before, and a
+    /// gate is evaluated only when one of its operands left the base
+    /// value. A gate whose recomputed output equals the base value goes
+    /// clean on the spot, so dirtiness dies out instead of flooding the
+    /// netlist. Rows past `base.len()` fall back to full evaluation.
+    ///
+    /// Every evaluated gate provably lies inside the union of the
+    /// changed inputs' forward cones (`pi_cone_gates`, debug-asserted),
+    /// and the produced trace is bit-identical to the full rebuild —
+    /// pinned by `good_trace_from_cone_matches_full` below and the
+    /// prefix-cache proptests. Returns the gate-evaluation accounting
+    /// alongside the trace and final flip-flop state.
+    pub(crate) fn good_trace_from_cone(
+        &self,
+        seq: &TestSequence,
+        init_ff: &[Logic3],
+        base: &GoodTrace,
+        shared: usize,
+        changed_pis: &[bool],
+    ) -> (GoodTrace, Vec<Logic3>, TraceStats) {
+        debug_assert_eq!(init_ff.len(), self.num_dffs);
+        debug_assert_eq!(changed_pis.len(), self.pi_nets.len());
+        debug_assert!(shared <= seq.len() && shared <= base.len());
+        if shared == 0 {
+            // Nothing is shared, so nothing is incremental: the full
+            // path is the honest accounting.
+            let (trace, ff) = self.good_trace(seq, init_ff);
+            let evaluated = (self.num_gates * seq.len()) as u64;
+            return (trace, ff, TraceStats::full(evaluated));
+        }
+        let words = self.num_nets.div_ceil(64);
+        debug_assert_eq!(base.words, words);
+        let mut trace = GoodTrace {
+            num_cycles: seq.len(),
+            words,
+            ones: vec![0u64; words * seq.len()],
+            zeros: vec![0u64; words * seq.len()],
+        };
+        trace.ones[..shared * words].copy_from_slice(&base.ones[..shared * words]);
+        trace.zeros[..shared * words].copy_from_slice(&base.zeros[..shared * words]);
+        let mut stats = TraceStats::default();
+        // Union cone of the changed input streams: the static bound the
+        // dynamic dirty set must stay inside.
+        #[cfg(debug_assertions)]
+        let (cone, cone_ffs): (Vec<u64>, Vec<u64>) = {
+            let mut cone = vec![0u64; self.gate_words];
+            let mut cone_ffs = vec![0u64; self.dff_words];
+            for (pi, &flag) in changed_pis.iter().enumerate() {
+                if flag {
+                    for (w, &bits) in self.cone_gates_of(pi).iter().enumerate() {
+                        cone[w] |= bits;
+                    }
+                    for (w, &bits) in self.cone_dffs_of(pi).iter().enumerate() {
+                        cone_ffs[w] |= bits;
+                    }
+                }
+            }
+            (cone, cone_ffs)
+        };
+        let mut sched = vec![0u64; self.gate_words];
+        let mut dirty = vec![false; self.num_nets];
+        let mut val = vec![Logic3::X; self.num_nets];
+        let mut dirty_nets: Vec<u32> = Vec::new();
+        // DFF indices whose data net was dirty in the previous cycle:
+        // their Q nets seed the next cycle's worklist (this is how
+        // dirtiness crosses the register boundary).
+        let mut dirty_qs: Vec<u32> = Vec::new();
+        let mut next_qs: Vec<u32> = Vec::new();
+        let overlap = seq.len().min(base.len());
+        for u in shared..overlap {
+            let evaluated_before = stats.gates_evaluated;
+            // Seed: changed-stream PIs that actually differ this cycle…
+            let row = seq.row(u);
+            for (pi, &n) in self.pi_nets.iter().enumerate() {
+                if !changed_pis[pi] {
+                    debug_assert_eq!(
+                        Logic3::from(row[pi]),
+                        base.value(u, n as usize),
+                        "unchanged stream diverged from the base trace"
+                    );
+                    continue;
+                }
+                let v: Logic3 = row[pi].into();
+                if v != base.value(u, n as usize) {
+                    dirty[n as usize] = true;
+                    val[n as usize] = v;
+                    dirty_nets.push(n);
+                    mark_cone_loads(self, n as usize, &mut sched, &mut next_qs);
+                }
+            }
+            // …and the Q nets latched from last cycle's dirty D nets.
+            for &k in &dirty_qs {
+                #[cfg(debug_assertions)]
+                debug_assert!(
+                    cone_ffs[k as usize / 64] & (1u64 << (k % 64)) != 0,
+                    "flip-flop {k} latched dirtiness outside the changed-input cone union"
+                );
+                let q = self.dff_q[k as usize] as usize;
+                let v = trace.value(u - 1, self.dff_d[k as usize] as usize);
+                debug_assert_ne!(v, base.value(u, q), "a dirty D net implies a dirty Q");
+                dirty[q] = true;
+                val[q] = v;
+                dirty_nets.push(q as u32);
+                mark_cone_loads(self, q, &mut sched, &mut next_qs);
+            }
+            // Forward sweep in topo order: loads sit at strictly later
+            // positions, so popping the lowest set bit first evaluates
+            // everything that can change exactly once.
+            let mut wi = 0usize;
+            while wi < self.gate_words {
+                if sched[wi] == 0 {
+                    wi += 1;
+                    continue;
+                }
+                let bit = sched[wi].trailing_zeros() as usize;
+                sched[wi] &= sched[wi] - 1;
+                let pos = wi * 64 + bit;
+                #[cfg(debug_assertions)]
+                debug_assert!(
+                    cone[wi] & (1u64 << bit) != 0,
+                    "gate {pos} dirtied outside the changed-input cone union"
+                );
+                stats.gates_evaluated += 1;
+                let s = self.in_start[pos] as usize;
+                let e = self.in_start[pos + 1] as usize;
+                let read = |n: usize| if dirty[n] { val[n] } else { base.value(u, n) };
+                let mut acc = read(self.in_nets[s] as usize);
+                match self.kinds[pos] {
+                    GateKind::And | GateKind::Nand => {
+                        for &i in &self.in_nets[s + 1..e] {
+                            acc = acc.and(read(i as usize));
+                        }
+                    }
+                    GateKind::Or | GateKind::Nor => {
+                        for &i in &self.in_nets[s + 1..e] {
+                            acc = acc.or(read(i as usize));
+                        }
+                    }
+                    GateKind::Xor | GateKind::Xnor => {
+                        for &i in &self.in_nets[s + 1..e] {
+                            acc = acc.xor(read(i as usize));
+                        }
+                    }
+                    GateKind::Not | GateKind::Buf => {}
+                }
+                if self.kinds[pos].inverting() {
+                    acc = acc.not();
+                }
+                let out = self.out_nets[pos] as usize;
+                if acc != base.value(u, out) {
+                    dirty[out] = true;
+                    val[out] = acc;
+                    dirty_nets.push(out as u32);
+                    mark_cone_loads(self, out, &mut sched, &mut next_qs);
+                }
+            }
+            stats.gates_saved += self.num_gates as u64 - (stats.gates_evaluated - evaluated_before);
+            // Write the row: the base row verbatim, then the dirty nets.
+            let rb = u * words;
+            trace.ones[rb..rb + words].copy_from_slice(&base.ones[rb..rb + words]);
+            trace.zeros[rb..rb + words].copy_from_slice(&base.zeros[rb..rb + words]);
+            for &n in &dirty_nets {
+                let w = rb + n as usize / 64;
+                let bit = 1u64 << (n % 64);
+                trace.ones[w] &= !bit;
+                trace.zeros[w] &= !bit;
+                match val[n as usize] {
+                    Logic3::One => trace.ones[w] |= bit,
+                    Logic3::Zero => trace.zeros[w] |= bit,
+                    Logic3::X => {}
+                }
+            }
+            // Sparse reset for the next cycle.
+            for &n in &dirty_nets {
+                dirty[n as usize] = false;
+            }
+            dirty_nets.clear();
+            std::mem::swap(&mut dirty_qs, &mut next_qs);
+            next_qs.clear();
+        }
+        // Rows past the base trace have nothing to diff against: full
+        // scalar evaluation from the flip-flop state the incremental
+        // rows produced.
+        let mut ff: Vec<Logic3> = if overlap == 0 {
+            init_ff.to_vec()
+        } else {
+            self.dff_d
+                .iter()
+                .map(|&d| trace.value(overlap - 1, d as usize))
+                .collect()
+        };
+        if overlap < seq.len() {
+            let mut nets = vec![Logic3::X; self.num_nets];
+            for u in overlap..seq.len() {
+                self.good_cycle(seq.row(u), &mut ff, &mut nets, &mut trace, u);
+            }
+            stats.gates_evaluated += (self.num_gates * (seq.len() - overlap)) as u64;
+        }
+        (trace, ff, stats)
+    }
+
     /// One scalar fault-free cycle: apply `row`, evaluate all gates in
     /// topological order, latch the flip-flops, and record every net
     /// into `trace` at cycle `u`.
@@ -331,6 +610,48 @@ impl CompiledCircuit {
                 Logic3::Zero => trace.zeros[base + n / 64] |= 1u64 << (n % 64),
                 Logic3::X => {}
             }
+        }
+    }
+}
+
+/// Gate-evaluation accounting for an incremental good-trace rebuild:
+/// how many gates the suffix actually evaluated, and how many a full
+/// per-cycle rescan would have evaluated but the cone-restricted sweep
+/// proved clean. `evaluated + saved = num_gates × overlap_cycles` for
+/// the incrementally rebuilt rows; rows past the base trace count as
+/// fully evaluated with nothing saved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct TraceStats {
+    /// Gates evaluated while rebuilding the suffix.
+    pub(crate) gates_evaluated: u64,
+    /// Gates a full rescan would have re-evaluated for nothing.
+    pub(crate) gates_saved: u64,
+}
+
+impl TraceStats {
+    /// Accounting for a full (non-incremental) rebuild.
+    pub(crate) fn full(evaluated: u64) -> TraceStats {
+        TraceStats {
+            gates_evaluated: evaluated,
+            gates_saved: 0,
+        }
+    }
+}
+
+/// Schedules the consumers of a freshly dirtied net during the
+/// cone-seeded good-trace rebuild: consuming gates join the bitmap
+/// worklist, DFF data loads are collected for the *next* cycle's Q-net
+/// seeding. Each net is dirtied at most once per cycle (single driver),
+/// so the DFF list never sees duplicates.
+#[inline]
+fn mark_cone_loads(cc: &CompiledCircuit, net: usize, sched: &mut [u64], next_qs: &mut Vec<u32>) {
+    let s = cc.load_start[net] as usize;
+    let e = cc.load_start[net + 1] as usize;
+    for &code in &cc.load_codes[s..e] {
+        if (code as usize) < cc.num_gates {
+            sched[code as usize / 64] |= 1u64 << (code % 64);
+        } else {
+            next_qs.push(code - cc.num_gates as u32);
         }
     }
 }
@@ -1478,6 +1799,72 @@ mod tests {
                 }
             }
             assert_eq!(got_ff, expect_ff, "final state (shared {shared})");
+        }
+    }
+
+    #[test]
+    fn pi_cones_cross_the_register_boundary() {
+        let c = toy();
+        let cc = CompiledCircuit::build(&c);
+        // PI a feeds the NAND (topo 0), whose output crosses the DFF and
+        // also drives the XOR (topo 1): both gates and the DFF are in
+        // a's cone. PI b feeds only the XOR.
+        assert_eq!(cc.cone_gates_of(0), &[0b11]);
+        assert_eq!(cc.cone_dffs_of(0), &[0b1]);
+        assert_eq!(cc.cone_gates_of(1), &[0b10]);
+        assert_eq!(cc.cone_dffs_of(1), &[0b0]);
+    }
+
+    #[test]
+    fn good_trace_from_cone_matches_full() {
+        let c = toy();
+        let cc = CompiledCircuit::build(&c);
+        let base_rows = ["00", "10", "01", "11", "10", "00"];
+        let base_seq = TestSequence::parse_rows(&base_rows).unwrap();
+        let (base, _) = cc.good_trace(&base_seq, &[Logic3::X]);
+        // Flip input 1's stream from each divergence cycle on (plus an
+        // extension past the base), and rebuild cone-seeded: the trace,
+        // final state and row contents must match the full rebuild at
+        // every divergence cycle, under both the honest changed-stream
+        // flags and the conservative all-changed flags.
+        for shared in 1..=base_seq.len() {
+            let mut rows: Vec<String> = base_rows.iter().map(|r| r.to_string()).collect();
+            for row in rows.iter_mut().skip(shared) {
+                let flipped = if &row[1..2] == "0" { "1" } else { "0" };
+                *row = format!("{}{}", &row[..1], flipped);
+            }
+            rows.push("11".into());
+            let refs: Vec<&str> = rows.iter().map(String::as_str).collect();
+            let seq = TestSequence::parse_rows(&refs).unwrap();
+            let (expect, expect_ff) = cc.good_trace_from(&seq, &[Logic3::X], &base, shared);
+            for changed in [vec![false, true], vec![true, true]] {
+                let (got, got_ff, stats) =
+                    cc.good_trace_from_cone(&seq, &[Logic3::X], &base, shared, &changed);
+                for u in 0..seq.len() {
+                    for n in 0..c.num_nets() {
+                        assert_eq!(
+                            got.planes::<u64>(u, n),
+                            expect.planes::<u64>(u, n),
+                            "net {n} at {u} (shared {shared}, changed {changed:?})"
+                        );
+                    }
+                }
+                assert_eq!(got_ff, expect_ff, "final state (shared {shared})");
+                // The accounting is complete: over the overlapping rows
+                // evaluated + saved covers every gate of every cycle,
+                // and the extension row is fully evaluated.
+                let overlap = (base_seq.len() - shared) as u64;
+                let extension = (seq.len() - base_seq.len()) as u64;
+                assert_eq!(
+                    stats.gates_evaluated + stats.gates_saved,
+                    cc.num_gates as u64 * (overlap + extension),
+                    "accounting (shared {shared})"
+                );
+                assert!(
+                    stats.gates_saved > 0 || shared == base_seq.len(),
+                    "a diverging suffix on this toy must save something"
+                );
+            }
         }
     }
 

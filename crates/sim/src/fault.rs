@@ -80,6 +80,7 @@ use crate::plane::Planes;
 use crate::pool;
 use crate::prefix::{
     self, AnyArtifacts, ArtifactLane, CacheInstall, FaultyArtifacts, PrefixTraceCache,
+    SnapshotStore, SpilledCkpt,
 };
 use crate::run::RunOptions;
 use crate::runctl::CancelToken;
@@ -113,6 +114,13 @@ pub struct SimOptions {
     /// Detections and every deterministic counter except the batch
     /// partition figures are width-invariant. Default: 64-bit.
     pub word_width: WordWidth,
+    /// Disables cone-seeded good-trace resume: a prepared evaluation
+    /// that resumes from a cached prefix re-evaluates *every* gate of
+    /// every suffix cycle instead of only the changed input streams'
+    /// forward cones. The produced trace is bit-identical either way —
+    /// the flag exists for the identity diffs in CI and for measuring
+    /// the saving (inverted so the zero default keeps seeding on).
+    pub no_cone_seeding: bool,
 }
 
 impl SimOptions {
@@ -136,14 +144,27 @@ impl SimOptions {
         self.word_width = width;
         self
     }
+
+    /// Enables or disables cone-seeded good-trace resume (builder
+    /// style). On by default; results are identical either way.
+    pub fn cone_seeding(mut self, on: bool) -> SimOptions {
+        self.no_cone_seeding = !on;
+        self
+    }
 }
 
-/// Cap on `batches × flip-flops` above which the prepared dense query
-/// stops capturing faulty-plane snapshots (the good trace is still
-/// cached). Keeps the prefix cache's memory bounded on the largest
-/// benchmarks; a pure function of the query shape, so determinism is
-/// unaffected.
+/// Cap on `batches × flip-flops` up to which the prepared dense query
+/// captures faulty-plane snapshots as raw plane vectors. Above it the
+/// snapshots are spilled to the compressed XOR-delta form
+/// ([`SpilledCkpt`]); a pure function of the query shape, so
+/// determinism is unaffected.
 const ARTIFACT_STATE_CAP: usize = 1 << 16;
+
+/// Cap on `batches × flip-flops` above which even compressed snapshot
+/// capture is declined (the good trace is still cached). The denial is
+/// reported — [`PreparedOutcome::snapshot_capture_denied`] — instead of
+/// silently degrading.
+const ARTIFACT_SPILL_CAP: usize = 1 << 24;
 
 /// A candidate sequence prepared for evaluation: its good-machine
 /// trace, computed once — resumed from the divergence cycle when a
@@ -158,6 +179,13 @@ pub struct PreparedSequence {
     /// `(cache entry index, shared prefix rows)` of the best match.
     base: Option<(usize, usize)>,
     reused_cycles: usize,
+    /// Whether the trace rebuild was cone-seeded (a resumed rebuild with
+    /// cone seeding enabled; full-length trace shares never rebuild).
+    cone_seeded: bool,
+    /// Good-machine gates evaluated rebuilding the suffix.
+    trace_gates_evaluated: u64,
+    /// Gates a full-rescan rebuild would have evaluated on top of that.
+    trace_gates_saved: u64,
 }
 
 impl PreparedSequence {
@@ -170,6 +198,23 @@ impl PreparedSequence {
     pub fn sequence(&self) -> &TestSequence {
         &self.seq
     }
+
+    /// Whether the good-trace rebuild was cone-seeded.
+    pub fn cone_seeded(&self) -> bool {
+        self.cone_seeded
+    }
+
+    /// Good-machine gate evaluations spent rebuilding the trace suffix
+    /// (0 when the trace was computed from scratch or shared whole).
+    pub fn trace_gates_evaluated(&self) -> u64 {
+        self.trace_gates_evaluated
+    }
+
+    /// Good-machine gate evaluations the cone-seeded rebuild avoided
+    /// relative to a full per-cycle rescan of the suffix.
+    pub fn trace_gates_saved(&self) -> u64 {
+        self.trace_gates_saved
+    }
 }
 
 /// Result of [`Query::outcome`].
@@ -180,9 +225,29 @@ pub struct PreparedOutcome {
     pub detected: Vec<usize>,
     /// Faulty-machine cycles skipped by resuming batches mid-sequence.
     pub resumed_cycles: u64,
+    /// Snapshots newly compressed into the install's spill store this
+    /// run (0 when the raw representation applied or capture was off).
+    pub snapshot_spills: u64,
+    /// Total bytes the install's spilled snapshots pin after budget
+    /// enforcement (0 for raw stores).
+    pub snapshot_bytes: u64,
+    /// Whether snapshot capture was declined because `batches ×
+    /// flip-flops` exceeded even the spill cap.
+    pub snapshot_capture_denied: bool,
     /// Entry the caller may install into its [`PrefixTraceCache`] once
     /// this evaluation's result is committed.
     pub install: CacheInstall,
+}
+
+/// Everything one dense engine run reports: per-fault detection times
+/// plus the resume and capture accounting [`Query::outcome`] surfaces.
+struct DenseRun {
+    times: Vec<Option<usize>>,
+    resumed_cycles: u64,
+    artifacts: Option<AnyArtifacts>,
+    snapshot_spills: u64,
+    snapshot_bytes: u64,
+    capture_denied: bool,
 }
 
 /// One batch of up to `W::BITS − 1` faults sharing a simulation word.
@@ -960,18 +1025,35 @@ impl<'c> FaultSim<'c> {
         seq: &TestSequence,
         trace: &GoodTrace,
         prepared: PreparedCtx<'_>,
-    ) -> (Vec<Option<usize>>, u64, Option<AnyArtifacts>) {
+    ) -> DenseRun {
         let num_dffs = self.circuit.num_dffs();
         let batches = self.make_batches::<W>(faults);
         let n_jobs = batches.len();
         let fingerprint = prefix::fault_fingerprint(faults);
-        // Snapshot capture is bounded: a huge fault list times a huge
-        // register file would pin too much plane state in the cache. The
-        // guard is a pure function of the query shape, so artifacts
-        // either exist for every evaluation of a fault list or for none.
-        let capture = prepared.is_some()
-            && !self.options.reference_kernel
-            && n_jobs * num_dffs <= ARTIFACT_STATE_CAP;
+        // Snapshot capture is tiered on the plane footprint `batches ×
+        // flip-flops` — a pure function of the query shape, so
+        // artifacts either exist for every evaluation of a fault list
+        // or for none, and a cached store always matches the
+        // representation a rerun would pick. Small queries keep raw
+        // plane vectors; above the state cap snapshots are spilled to
+        // the compressed XOR-delta form; above the spill cap capture is
+        // declined and the denial reported.
+        #[derive(Clone, Copy, PartialEq, Eq)]
+        enum Capture {
+            Off,
+            Raw,
+            Spill,
+            Denied,
+        }
+        let capture = if prepared.is_none() || self.options.reference_kernel {
+            Capture::Off
+        } else if n_jobs * num_dffs <= ARTIFACT_STATE_CAP {
+            Capture::Raw
+        } else if n_jobs * num_dffs <= ARTIFACT_SPILL_CAP {
+            Capture::Spill
+        } else {
+            Capture::Denied
+        };
         // Artifacts cached at another word width fail the downcast and
         // simply miss — the trace-side prefix reuse still applies.
         let arts: Option<(&FaultyArtifacts<W>, usize)> = match prepared {
@@ -980,40 +1062,74 @@ impl<'c> FaultSim<'c> {
                 .faulty
                 .as_ref()
                 .and_then(W::from_any)
-                .filter(|fa| fa.fingerprint == fingerprint && fa.per_batch.len() == n_jobs)
+                .filter(|fa| fa.fingerprint == fingerprint && fa.store.num_batches() == n_jobs)
                 .map(|fa| (fa, d)),
             _ => None,
         };
+        if let Some((fa, _)) = arts {
+            debug_assert!(
+                matches!(
+                    (&fa.store, capture),
+                    (SnapshotStore::Raw(_), Capture::Raw)
+                        | (SnapshotStore::Spilled(_), Capture::Spill)
+                ),
+                "cached store representation must match the rerun's capture tier"
+            );
+        }
         type Ckpt<W> = Arc<compiled::BatchCkpt<W>>;
-        type Job<W> = (usize, Batch<W>, Option<Ckpt<W>>, Vec<Ckpt<W>>);
+        type Job<W> = (usize, Batch<W>, Option<Ckpt<W>>);
+        // Snapshots at or before each batch's resume point stay valid
+        // for the new sequence and carry over into its entry; they are
+        // merged back in (deterministic) batch order after the fan-out.
+        let mut carry_raw: Vec<Vec<Ckpt<W>>> = vec![Vec::new(); n_jobs];
+        let mut carry_spilled: Vec<Vec<Arc<SpilledCkpt<W>>>> = vec![Vec::new(); n_jobs];
         let jobs: Vec<Job<W>> = batches
             .into_iter()
             .enumerate()
             .map(|(bi, batch)| {
-                let (resume, carry) = match arts {
-                    Some((fa, d)) => {
-                        let list = &fa.per_batch[bi];
-                        // Latest snapshot still inside the shared prefix;
-                        // snapshots at or before it stay valid for the
-                        // new sequence and carry over into its entry.
-                        let resume = list.iter().rfind(|ck| ck.cycle <= d).cloned();
-                        let carry: Vec<Ckpt<W>> = match &resume {
-                            Some(r) => list
-                                .iter()
-                                .filter(|ck| ck.cycle <= r.cycle)
-                                .cloned()
-                                .collect(),
-                            None => Vec::new(),
-                        };
-                        (resume, carry)
-                    }
-                    None => (None, Vec::new()),
+                // Resume from the latest snapshot still inside the
+                // shared prefix; spilled snapshots are decompressed
+                // against the new trace (identical on prefix rows).
+                let resume = match arts {
+                    Some((fa, d)) => match &fa.store {
+                        SnapshotStore::Raw(pb) => {
+                            let list = &pb[bi];
+                            let resume = list.iter().rfind(|ck| ck.cycle <= d).cloned();
+                            if let Some(r) = &resume {
+                                carry_raw[bi] = list
+                                    .iter()
+                                    .filter(|ck| ck.cycle <= r.cycle)
+                                    .cloned()
+                                    .collect();
+                            }
+                            resume
+                        }
+                        SnapshotStore::Spilled(pb) => {
+                            let list = &pb[bi];
+                            let spill = list.iter().rfind(|ck| ck.cycle <= d);
+                            if let Some(r) = spill {
+                                carry_spilled[bi] = list
+                                    .iter()
+                                    .filter(|ck| ck.cycle <= r.cycle)
+                                    .cloned()
+                                    .collect();
+                            }
+                            spill.map(|s| Arc::new(s.restore(trace, &self.compiled.dff_d)))
+                        }
+                    },
+                    None => None,
                 };
-                (bi, batch, resume, carry)
+                (bi, batch, resume)
             })
             .collect();
-        type Out<W> = (Vec<(usize, usize)>, BatchStats, Vec<Ckpt<W>>, u64);
-        let per_batch: Vec<Out<W>> = self.scatter(jobs, |(bi, batch, resume, carry), scratch| {
+        let capture_on = matches!(capture, Capture::Raw | Capture::Spill);
+        type Out<W> = (
+            Vec<(usize, usize)>,
+            BatchStats,
+            Option<Vec<compiled::BatchCkpt<W>>>,
+            u64,
+        );
+        let per_batch: Vec<Out<W>> = self.scatter(jobs, |(bi, batch, resume), scratch| {
             self.run_isolated(bi, scratch, |reference, scratch| {
                 let mut found: Vec<(usize, usize)> = Vec::new();
                 // A reference run (primary kernel or panic retry) has no
@@ -1032,7 +1148,7 @@ impl<'c> FaultSim<'c> {
                     }
                 }
                 let mut snaps: Vec<compiled::BatchCkpt<W>> = Vec::new();
-                let snap = if capture && !reference {
+                let snap = if capture_on && !reference {
                     Some(&mut snaps)
                 } else {
                     None
@@ -1059,47 +1175,91 @@ impl<'c> FaultSim<'c> {
                     },
                 );
                 let skipped = from.map_or(0, |ck| ck.cycle as u64);
-                let kept: Vec<Ckpt<W>> = if reference {
-                    Vec::new()
-                } else {
-                    carry
-                        .iter()
-                        .cloned()
-                        .chain(snaps.into_iter().map(|mut s| {
-                            s.found = found
-                                .iter()
-                                .filter(|&&(_, u)| u < s.cycle)
-                                .copied()
-                                .collect();
-                            Arc::new(s)
-                        }))
-                        .collect()
-                };
-                (found, stats, kept, skipped)
+                // Raw snapshots move to the merge loop, which owns the
+                // found-filter and (on the spill tier) compression; a
+                // reference retry forfeits capture entirely.
+                (found, stats, (!reference).then_some(snaps), skipped)
             })
         });
         let mut times = vec![None; faults.len()];
         let mut stats = BatchStats::default();
         let mut dropped = 0usize;
-        let mut per_batch_snaps: Vec<Vec<Ckpt<W>>> = Vec::with_capacity(n_jobs);
+        let mut raw_store: Vec<Vec<Ckpt<W>>> = Vec::new();
+        let mut spill_store: Vec<Vec<Arc<SpilledCkpt<W>>>> = Vec::new();
+        let mut snapshot_spills = 0u64;
         let mut resumed_cycles = 0u64;
-        for (found, bstats, snaps, skipped) in per_batch {
+        for (bi, (found, bstats, captured, skipped)) in per_batch.into_iter().enumerate() {
             stats.merge(bstats);
             dropped += found.len();
+            // Each stored snapshot keeps only the detections strictly
+            // before its cycle, so a resume replays the rest verbatim.
+            match (capture, captured) {
+                (Capture::Raw, Some(snaps)) => {
+                    let mut list = std::mem::take(&mut carry_raw[bi]);
+                    list.extend(snaps.into_iter().map(|mut s| {
+                        s.found = found
+                            .iter()
+                            .filter(|&&(_, u)| u < s.cycle)
+                            .copied()
+                            .collect();
+                        Arc::new(s)
+                    }));
+                    raw_store.push(list);
+                }
+                (Capture::Spill, Some(snaps)) => {
+                    let mut list = std::mem::take(&mut carry_spilled[bi]);
+                    for mut s in snaps {
+                        s.found = found
+                            .iter()
+                            .filter(|&&(_, u)| u < s.cycle)
+                            .copied()
+                            .collect();
+                        snapshot_spills += 1;
+                        list.push(Arc::new(SpilledCkpt::compress(
+                            &s,
+                            trace,
+                            &self.compiled.dff_d,
+                        )));
+                    }
+                    spill_store.push(list);
+                }
+                // A panic-retried batch reran under the reference
+                // kernel and forfeits its snapshots, carried included.
+                (Capture::Raw, None) => raw_store.push(Vec::new()),
+                (Capture::Spill, None) => spill_store.push(Vec::new()),
+                _ => {}
+            }
             for (gi, u) in found {
                 times[gi] = Some(u);
             }
-            per_batch_snaps.push(snaps);
             resumed_cycles += skipped;
         }
         self.record_run(n_jobs, stats, dropped);
-        let artifacts = capture.then(|| {
-            W::into_any(FaultyArtifacts {
+        let mut snapshot_bytes = 0u64;
+        let artifacts = match capture {
+            Capture::Raw => Some(W::into_any(FaultyArtifacts {
                 fingerprint,
-                per_batch: per_batch_snaps,
-            })
-        });
-        (times, resumed_cycles, artifacts)
+                store: SnapshotStore::Raw(raw_store),
+            })),
+            Capture::Spill => {
+                snapshot_bytes =
+                    prefix::enforce_spill_budget(&mut spill_store, prefix::SPILL_BYTE_BUDGET)
+                        as u64;
+                Some(W::into_any(FaultyArtifacts {
+                    fingerprint,
+                    store: SnapshotStore::Spilled(spill_store),
+                }))
+            }
+            Capture::Off | Capture::Denied => None,
+        };
+        DenseRun {
+            times,
+            resumed_cycles,
+            artifacts,
+            snapshot_spills,
+            snapshot_bytes,
+            capture_denied: capture == Capture::Denied,
+        }
     }
 
     /// Early-exit screening engine behind [`Query::any`]: stops the
@@ -1182,16 +1342,32 @@ impl<'c> FaultSim<'c> {
                 let base = cache.expect("best_prefix implies a cache").entry(ei);
                 // A full-length match over equal lengths is the same
                 // sequence: share the trace outright.
-                let trace = if d == seq.len() && base.trace.len() == d {
-                    base.trace.clone()
+                let (trace, cone_seeded, stats) = if d == seq.len() && base.trace.len() == d {
+                    (base.trace.clone(), false, compiled::TraceStats::default())
+                } else if self.options.no_cone_seeding {
+                    // Full-divergence resume: every suffix gate rescanned.
+                    let stats = compiled::TraceStats::full(
+                        (self.compiled.num_gates * (seq.len() - d)) as u64,
+                    );
+                    let trace = self.compiled.good_trace_from(seq, &init, &base.trace, d).0;
+                    (Arc::new(trace), false, stats)
                 } else {
-                    Arc::new(self.compiled.good_trace_from(seq, &init, &base.trace, d).0)
+                    // Cone-seeded resume: only the changed input
+                    // streams' forward cones are re-evaluated.
+                    let changed = prefix::changed_streams(&base.seq, seq, d);
+                    let (trace, _, stats) =
+                        self.compiled
+                            .good_trace_from_cone(seq, &init, &base.trace, d, &changed);
+                    (Arc::new(trace), true, stats)
                 };
                 PreparedSequence {
                     seq: seq.clone(),
                     trace,
                     base: Some((ei, d)),
                     reused_cycles: d,
+                    cone_seeded,
+                    trace_gates_evaluated: stats.gates_evaluated,
+                    trace_gates_saved: stats.gates_saved,
                 }
             }
             None => PreparedSequence {
@@ -1199,6 +1375,9 @@ impl<'c> FaultSim<'c> {
                 trace: Arc::new(self.compiled.good_trace(seq, &init).0),
                 base: None,
                 reused_cycles: 0,
+                cone_seeded: false,
+                trace_gates_evaluated: 0,
+                trace_gates_saved: 0,
             },
         }
     }
@@ -1495,7 +1674,7 @@ impl<'q, 'c> Query<'q, 'c> {
         with_word!(self.sim.options.word_width, W => {
             self.sim
                 .run_dense::<W>(self.faults, seq, &trace, self.prepared_ctx())
-                .0
+                .times
         })
     }
 
@@ -1565,22 +1744,26 @@ impl<'q, 'c> Query<'q, 'c> {
         let prep = self
             .prep
             .expect("Query::outcome requires a prepared sequence");
-        let (times, resumed_cycles, faulty) = with_word!(self.sim.options.word_width, W => {
+        let run = with_word!(self.sim.options.word_width, W => {
             self.sim
                 .run_dense::<W>(self.faults, &prep.seq, &prep.trace, self.prepared_ctx())
         });
-        let detected = times
+        let detected = run
+            .times
             .into_iter()
             .enumerate()
             .filter_map(|(i, t)| t.map(|_| i))
             .collect();
         PreparedOutcome {
             detected,
-            resumed_cycles,
+            resumed_cycles: run.resumed_cycles,
+            snapshot_spills: run.snapshot_spills,
+            snapshot_bytes: run.snapshot_bytes,
+            snapshot_capture_denied: run.capture_denied,
             install: CacheInstall {
                 seq: prep.seq.clone(),
                 trace: prep.trace.clone(),
-                faulty,
+                faulty: run.artifacts,
             },
         }
     }

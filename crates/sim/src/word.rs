@@ -117,10 +117,13 @@ impl Word for u128 {
 ///
 /// Stand-in for the `std::simd::u64x4` lane: `std::simd` is still
 /// nightly-only, so on the stable toolchain this crate builds with, the
-/// lane is a plain limb array whose bitwise ops the autovectorizer maps
-/// onto SIMD registers where profitable. The memory layout and the
-/// [`Word`] surface are exactly what the portable-SIMD version would
-/// expose, so swapping the internals later is local to this type.
+/// lane is a plain limb array. On x86-64 hosts with AVX2, the bitwise
+/// ops route through `std::arch` 256-bit intrinsics behind a one-time
+/// runtime feature probe (`is_x86_feature_detected!`, cached by std);
+/// everywhere else — and on pre-AVX2 x86-64 — the scalar limb loop
+/// runs, producing identical bits. The memory layout and the [`Word`]
+/// surface are exactly what the portable-SIMD version would expose, so
+/// swapping the internals later is local to this type.
 #[cfg(feature = "w256")]
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub(crate) struct W256(pub(crate) [u64; 4]);
@@ -130,32 +133,112 @@ mod w256_impl {
     use super::{Word, LIMBS, W256};
     use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, Not};
 
+    /// AVX2 backends for the lanewise ops. Each function is compiled
+    /// with the `avx2` target feature and is only reachable through the
+    /// runtime-detected dispatch below, so the crate's baseline target
+    /// stays plain x86-64 (or any other architecture).
+    #[cfg(all(target_arch = "x86_64", feature = "w256"))]
+    pub(super) mod avx2 {
+        use super::W256;
+        use std::arch::x86_64::{
+            __m256i, _mm256_and_si256, _mm256_loadu_si256, _mm256_or_si256, _mm256_set1_epi64x,
+            _mm256_storeu_si256, _mm256_xor_si256,
+        };
+
+        /// Whether the running CPU has AVX2. `is_x86_feature_detected!`
+        /// caches the CPUID probe in `std`, so this is a load after the
+        /// first call.
+        #[inline]
+        pub(in crate::word) fn available() -> bool {
+            is_x86_feature_detected!("avx2")
+        }
+
+        macro_rules! avx2_binop {
+            ($name:ident, $intrin:ident) => {
+                /// # Safety
+                /// The caller must have verified AVX2 support (see
+                /// [`available`]).
+                #[target_feature(enable = "avx2")]
+                pub(in crate::word) unsafe fn $name(a: W256, b: W256) -> W256 {
+                    // Unaligned loads: `W256` is a plain `[u64; 4]`
+                    // with 8-byte alignment.
+                    let va = _mm256_loadu_si256(a.0.as_ptr() as *const __m256i);
+                    let vb = _mm256_loadu_si256(b.0.as_ptr() as *const __m256i);
+                    let mut out = W256([0; 4]);
+                    _mm256_storeu_si256(out.0.as_mut_ptr() as *mut __m256i, $intrin(va, vb));
+                    out
+                }
+            };
+        }
+
+        avx2_binop!(bitand, _mm256_and_si256);
+        avx2_binop!(bitor, _mm256_or_si256);
+        avx2_binop!(bitxor, _mm256_xor_si256);
+
+        /// # Safety
+        /// The caller must have verified AVX2 support (see [`available`]).
+        #[target_feature(enable = "avx2")]
+        pub(in crate::word) unsafe fn not(a: W256) -> W256 {
+            let va = _mm256_loadu_si256(a.0.as_ptr() as *const __m256i);
+            let mut out = W256([0; 4]);
+            _mm256_storeu_si256(
+                out.0.as_mut_ptr() as *mut __m256i,
+                _mm256_xor_si256(va, _mm256_set1_epi64x(-1)),
+            );
+            out
+        }
+    }
+
     macro_rules! lanewise {
-        ($trait:ident, $method:ident, $op:tt) => {
+        ($trait:ident, $method:ident, $op:tt, $scalar:ident) => {
+            /// The scalar limb loop — the only implementation off
+            /// x86-64, the pre-AVX2 fallback on it, and the oracle the
+            /// SIMD path is differentially tested against.
+            #[inline]
+            pub(super) fn $scalar(a: W256, b: W256) -> W256 {
+                W256([
+                    a.0[0] $op b.0[0],
+                    a.0[1] $op b.0[1],
+                    a.0[2] $op b.0[2],
+                    a.0[3] $op b.0[3],
+                ])
+            }
+
             impl $trait for W256 {
                 type Output = W256;
                 #[inline]
                 fn $method(self, rhs: W256) -> W256 {
-                    W256([
-                        self.0[0] $op rhs.0[0],
-                        self.0[1] $op rhs.0[1],
-                        self.0[2] $op rhs.0[2],
-                        self.0[3] $op rhs.0[3],
-                    ])
+                    #[cfg(target_arch = "x86_64")]
+                    if avx2::available() {
+                        // SAFETY: AVX2 support verified at runtime.
+                        return unsafe { avx2::$method(self, rhs) };
+                    }
+                    $scalar(self, rhs)
                 }
             }
         };
     }
 
-    lanewise!(BitAnd, bitand, &);
-    lanewise!(BitOr, bitor, |);
-    lanewise!(BitXor, bitxor, ^);
+    lanewise!(BitAnd, bitand, &, scalar_and);
+    lanewise!(BitOr, bitor, |, scalar_or);
+    lanewise!(BitXor, bitxor, ^, scalar_xor);
+
+    /// Scalar complement (see the lanewise scalar ops).
+    #[inline]
+    pub(super) fn scalar_not(a: W256) -> W256 {
+        W256([!a.0[0], !a.0[1], !a.0[2], !a.0[3]])
+    }
 
     impl Not for W256 {
         type Output = W256;
         #[inline]
         fn not(self) -> W256 {
-            W256([!self.0[0], !self.0[1], !self.0[2], !self.0[3]])
+            #[cfg(target_arch = "x86_64")]
+            if avx2::available() {
+                // SAFETY: AVX2 support verified at runtime.
+                return unsafe { avx2::not(self) };
+            }
+            scalar_not(self)
         }
     }
 
@@ -318,6 +401,38 @@ mod tests {
         word_contract::<u128>();
         #[cfg(feature = "w256")]
         word_contract::<W256>();
+    }
+
+    /// On AVX2 hosts the operator side of each assertion runs the
+    /// `std::arch` intrinsic path while the right side runs the scalar
+    /// limb loop; elsewhere both run the scalar loop and the assertions
+    /// are tautologies — runtime dispatch means one binary covers both.
+    #[cfg(feature = "w256")]
+    #[test]
+    fn w256_simd_path_matches_the_scalar_oracle() {
+        let mut s = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for _ in 0..256 {
+            let a = W256([next(), next(), next(), next()]);
+            let b = W256([next(), next(), next(), next()]);
+            assert_eq!(a & b, w256_impl::scalar_and(a, b));
+            assert_eq!(a | b, w256_impl::scalar_or(a, b));
+            assert_eq!(a ^ b, w256_impl::scalar_xor(a, b));
+            assert_eq!(!a, w256_impl::scalar_not(a));
+        }
+        // Compound assignment rides the same dispatch.
+        let a = W256([next(), next(), next(), next()]);
+        let b = W256([next(), next(), next(), next()]);
+        let (mut x, mut y) = (a, a);
+        x &= b;
+        y |= b;
+        assert_eq!(x, w256_impl::scalar_and(a, b));
+        assert_eq!(y, w256_impl::scalar_or(a, b));
     }
 
     #[test]

@@ -13,13 +13,13 @@
 
 use proptest::prelude::*;
 use wbist::atpg::Lfsr;
-use wbist::circuits::{s27, synthetic};
+use wbist::circuits::{s27, synthetic, SyntheticSpec};
 use wbist::core::{
     Budget, Checkpoint, RunControl, RunOptions, Synthesis, SynthesisConfig, SynthesisResult,
     Telemetry, TruncationReason,
 };
 use wbist::netlist::{Circuit, FaultList};
-use wbist::sim::TestSequence;
+use wbist::sim::{FaultSim, PrefixTraceCache, SimOptions, TestSequence};
 
 type Counters = Vec<(String, u64)>;
 
@@ -208,7 +208,167 @@ fn s1196_interrupted_cache_resumes_bit_identical() {
     std::fs::remove_file(&full_ckpt).ok();
 }
 
+/// The owner sequence with input `pi`'s stream inverted from cycle `d`
+/// onward: rows `0..d` are shared verbatim, so a prepared evaluation
+/// resumes at exactly `d`.
+fn diverge_at(owner: &TestSequence, d: usize, pi: usize) -> TestSequence {
+    let rows: Vec<Vec<bool>> = (0..owner.len())
+        .map(|u| {
+            let mut row = owner.row(u).to_vec();
+            if u >= d {
+                row[pi] = !row[pi];
+            }
+            row
+        })
+        .collect();
+    TestSequence::from_rows(rows).expect("rows share the owner's arity")
+}
+
+/// Cone-seeded good-trace resume is bit-identical to the full-rescan
+/// resume (`--no-cone-seeding`) and to a from-scratch evaluation at
+/// *every* divergence cycle on s1196, the accounting balances exactly
+/// (`evaluated + saved` equals the rescan's evaluation count at every
+/// cut), and seeding saves good-machine work overall.
+#[test]
+fn s1196_cone_seeding_identity_at_every_divergence() {
+    let c = synthetic::by_name("s1196").expect("known benchmark");
+    let faults = FaultList::checkpoints(&c);
+    let owner = Lfsr::new(24, 0xACE1).sequence(c.num_inputs(), 40);
+    let seeded = FaultSim::with_options(&c, SimOptions::with_threads(2));
+    let rescan = FaultSim::with_options(&c, SimOptions::with_threads(2).cone_seeding(false));
+
+    // Each mode owns a cache primed with the same committed sequence.
+    let mut caches = Vec::new();
+    for sim in [&seeded, &rescan] {
+        let mut cache = PrefixTraceCache::new();
+        let prep = sim.prepare_sequence(Some(&cache), &owner);
+        let out = sim.query(&faults).prepared(&prep).cache(&cache).outcome();
+        cache.install(out.install);
+        caches.push(cache);
+    }
+
+    let (mut evaluated_seeded, mut evaluated_rescan, mut saved) = (0u64, 0u64, 0u64);
+    for d in 1..owner.len() {
+        let probe = diverge_at(&owner, d, d % c.num_inputs());
+        let scratch = seeded.query(&faults).sequence(&probe).detected_indices();
+
+        let prep = seeded.prepare_sequence(Some(&caches[0]), &probe);
+        assert_eq!(prep.reused_cycles(), d, "divergence must land at {d}");
+        assert!(prep.cone_seeded(), "resumed rebuild must be cone-seeded");
+        let out = seeded
+            .query(&faults)
+            .prepared(&prep)
+            .cache(&caches[0])
+            .outcome();
+        assert_eq!(out.detected, scratch, "cone-seeded resume at cut {d}");
+        let balance = prep.trace_gates_evaluated() + prep.trace_gates_saved();
+        evaluated_seeded += prep.trace_gates_evaluated();
+        saved += prep.trace_gates_saved();
+
+        let prep = rescan.prepare_sequence(Some(&caches[1]), &probe);
+        assert_eq!(prep.reused_cycles(), d, "same cache, same divergence");
+        assert!(!prep.cone_seeded(), "no_cone_seeding must force the rescan");
+        let out = rescan
+            .query(&faults)
+            .prepared(&prep)
+            .cache(&caches[1])
+            .outcome();
+        assert_eq!(out.detected, scratch, "full-rescan resume at cut {d}");
+        assert_eq!(
+            balance,
+            prep.trace_gates_evaluated(),
+            "evaluated + saved must equal the full-rescan count at cut {d}"
+        );
+        evaluated_rescan += prep.trace_gates_evaluated();
+    }
+    assert!(
+        saved > 0,
+        "cone seeding must save good-machine work on s1196"
+    );
+    assert_eq!(evaluated_seeded + saved, evaluated_rescan);
+}
+
+/// Past the raw-capture cap (`batches × flip-flops > 2^16`, the s35932
+/// class) snapshots spill to the compressed XOR-delta form — and a
+/// prepared evaluation still resumes from them bit-identically.
+#[test]
+fn spilled_snapshots_resume_bit_identical_past_the_raw_cap() {
+    let c = SyntheticSpec::new("spill-tier", 8, 4, 1100, 2400, 7).build();
+    let faults = FaultList::all_lines(&c);
+    let n_batches = faults.len().div_ceil(63);
+    assert!(
+        n_batches * c.num_dffs() > 1 << 16,
+        "shape must exceed the raw cap: {n_batches} batches x {} flip-flops",
+        c.num_dffs(),
+    );
+    assert!(
+        n_batches * c.num_dffs() <= 1 << 24,
+        "but stay under the spill cap"
+    );
+
+    let owner = Lfsr::new(20, 0xBEEF).sequence(c.num_inputs(), 16);
+    let sim = FaultSim::with_options(&c, SimOptions::with_threads(4));
+    let mut cache = PrefixTraceCache::new();
+    let prep = sim.prepare_sequence(Some(&cache), &owner);
+    let out = sim.query(&faults).prepared(&prep).cache(&cache).outcome();
+    assert!(
+        out.snapshot_spills > 0,
+        "capture must engage the spill tier"
+    );
+    assert!(out.snapshot_bytes > 0, "spilled snapshots pin bytes");
+    assert!(!out.snapshot_capture_denied, "spill fits under the cap");
+    cache.install(out.install);
+
+    let probe = diverge_at(&owner, 13, 3);
+    let scratch = sim.query(&faults).sequence(&probe).detected_indices();
+    let prep = sim.prepare_sequence(Some(&cache), &probe);
+    assert_eq!(prep.reused_cycles(), 13, "the probe shares 13 rows");
+    let out = sim.query(&faults).prepared(&prep).cache(&cache).outcome();
+    assert!(
+        out.resumed_cycles > 0,
+        "spilled snapshots must actually resume fault batches"
+    );
+    assert_eq!(
+        out.detected, scratch,
+        "spilled resume must be bit-identical to from-scratch"
+    );
+}
+
 proptest! {
+    /// Randomized divergences on s27: the cone-seeded resume and the
+    /// full-rescan resume produce identical detections at any cut
+    /// cycle — both equal to the from-scratch evaluation — whichever
+    /// input stream diverges.
+    #[test]
+    fn s27_cone_seeding_is_invisible(
+        seed in 1u32..0xFFFF,
+        t_len in 4usize..24,
+        cut_sel in 0usize..64,
+        pi_sel in 0usize..8,
+    ) {
+        let cut = 1 + cut_sel % (t_len - 1);
+        let c = s27::circuit();
+        let faults = FaultList::checkpoints(&c);
+        let owner = Lfsr::new(16, seed).sequence(c.num_inputs(), t_len);
+        let probe = diverge_at(&owner, cut, pi_sel % c.num_inputs());
+        let scratch = FaultSim::new(&c).query(&faults).sequence(&probe).detected_indices();
+        for cone in [true, false] {
+            let sim = FaultSim::with_options(
+                &c,
+                SimOptions::with_threads(1).cone_seeding(cone),
+            );
+            let mut cache = PrefixTraceCache::new();
+            let prep = sim.prepare_sequence(Some(&cache), &owner);
+            let out = sim.query(&faults).prepared(&prep).cache(&cache).outcome();
+            cache.install(out.install);
+            let prep = sim.prepare_sequence(Some(&cache), &probe);
+            prop_assert_eq!(prep.reused_cycles(), cut);
+            prop_assert_eq!(prep.cone_seeded(), cone);
+            let out = sim.query(&faults).prepared(&prep).cache(&cache).outcome();
+            prop_assert_eq!(&out.detected, &scratch, "cone seeding {}", cone);
+        }
+    }
+
     /// Randomized configurations on s27: a cache-on run at a randomly
     /// drawn worker-count/width combination is bit-identical to the
     /// cache-off sequential walk — detections, abandonments, and the
